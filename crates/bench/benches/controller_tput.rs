@@ -1,0 +1,70 @@
+//! E6 — controller flow-request throughput (the Maple-style headline).
+//!
+//! How fast does the whole control loop — punt, decode, host lookup,
+//! shortest path, flow installation, packet release — grind through a
+//! storm of new flows? Each iteration simulates an all-pairs burst of
+//! first packets on a leaf–spine fabric; throughput is reported in
+//! flow setups per second of *wall-clock* time (the simulator itself is
+//! part of the measured controller machinery, as in real controller
+//! benchmarks the I/O stack is).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use zen_core::apps::ReactiveForwarding;
+use zen_core::harness::{build_fabric_with_hosts, default_host_ip, FabricOptions};
+use zen_core::Controller;
+use zen_sim::{Duration, Host, Instant, LinkParams, Topology, Workload, World};
+
+fn run_burst(hosts_per_leaf: usize) -> u64 {
+    let topo = Topology::leaf_spine(4, 2, hosts_per_leaf, LinkParams::default());
+    let n = topo.host_count();
+    let mut world = World::new(1);
+    let fabric = build_fabric_with_hosts(
+        &mut world,
+        &topo,
+        vec![Box::new(ReactiveForwarding::new())],
+        FabricOptions::default(),
+        |i, mac, ip| {
+            let mut host = Host::new(mac, ip).with_gratuitous_arp();
+            // Every host sends one datagram to every other host; each
+            // pair is a distinct flow needing controller service.
+            for d in 0..n {
+                if d != i {
+                    host = host.with_workload(Workload::Udp {
+                        dst: default_host_ip(d),
+                        dst_port: 9,
+                        size: 64,
+                        count: 1,
+                        interval: Duration::from_millis(1),
+                        start: Instant::from_millis(500 + (i as u64 * 7 + d as u64) % 50),
+                    });
+                }
+            }
+            host
+        },
+    );
+    world.run_until(Instant::from_secs(2));
+    let controller = world.node_as::<Controller>(fabric.controller);
+    controller.stats.packet_ins
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6/controller_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(5));
+    for hosts_per_leaf in [2usize, 4] {
+        let n = 4 * hosts_per_leaf;
+        let pairs = (n * (n - 1)) as u64;
+        group.throughput(Throughput::Elements(pairs));
+        group.bench_function(format!("all_pairs_{n}_hosts"), |b| {
+            b.iter(|| black_box(run_burst(hosts_per_leaf)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller);
+criterion_main!(benches);

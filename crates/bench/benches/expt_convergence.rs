@@ -1,0 +1,163 @@
+//! E7 — failure convergence: centralized vs. distributed control.
+//!
+//! A square topology with two disjoint paths carries a 1 kHz probe
+//! stream while the link actually carrying the traffic is cut, in two
+//! fault models:
+//!
+//! * **detected** — both endpoints see carrier loss immediately
+//!   (port-down events);
+//! * **silent** — frames blackhole with no notification; only protocol
+//!   liveness (controller LLDP aging, link-state dead interval,
+//!   distance-vector route timeout) notices.
+//!
+//! Reported: lost probes (≈ black-hole milliseconds at 1 kHz) and
+//! control messages exchanged in the 2 s window around the failure.
+
+use zen_core::apps::proactive::FABRIC_MAC;
+use zen_core::apps::ProactiveFabric;
+use zen_core::harness::{build_fabric, build_fabric_with_hosts, default_host_ip, FabricOptions};
+use zen_routing::{DistanceVectorRouter, LinkStateRouter};
+use zen_sim::{Duration, Host, Instant, LinkId, LinkParams, NodeId, Topology, Workload, World};
+use zen_wire::{EthernetAddress, Ipv4Address};
+
+const PROBES: u64 = 4000;
+const GAP: Duration = Duration::from_millis(1);
+const CUT_AT: Instant = Instant::from_secs(2);
+const END: Instant = Instant::from_secs(7);
+
+fn topo() -> Topology {
+    let mut t = Topology::ring(4, LinkParams::default());
+    t.hosts = vec![0, 2];
+    t
+}
+
+fn probe(dst: Ipv4Address) -> Workload {
+    Workload::Udp {
+        dst,
+        dst_port: 9,
+        size: 100,
+        count: PROBES,
+        interval: GAP,
+        start: Instant::from_secs(1),
+    }
+}
+
+/// Pick the ring link carrying the most bytes (the probe path).
+fn loaded_link(world: &World, candidates: &[LinkId]) -> LinkId {
+    candidates
+        .iter()
+        .copied()
+        .max_by_key(|&l| {
+            let link = world.link(l);
+            link.ab.tx_bytes + link.ba.tx_bytes
+        })
+        .expect("links exist")
+}
+
+fn run_sdn(silent: bool) -> (u64, u64) {
+    let topo = topo();
+    let inventory = {
+        let mut scratch = World::new(3);
+        build_fabric(&mut scratch, &topo, vec![], FabricOptions::default()).static_hosts()
+    };
+    let mut world = World::new(3);
+    let fabric = build_fabric_with_hosts(
+        &mut world,
+        &topo,
+        vec![Box::new(ProactiveFabric::new(
+            inventory,
+            topo.switches,
+            2 * topo.links.len(),
+        ))],
+        FabricOptions::default(),
+        |i, mac, ip| {
+            let host = Host::new(mac, ip).with_static_arp(default_host_ip(1 - i), FABRIC_MAC);
+            if i == 0 {
+                host.with_workload(probe(default_host_ip(1)))
+            } else {
+                host
+            }
+        },
+    );
+    // Warm up to 1.5s so probes flow, then cut the loaded link.
+    world.run_until(Instant::from_millis(1500));
+    let victim = loaded_link(&world, &fabric.switch_links);
+    let msgs_before = world.metrics().counter("sim.control_msgs");
+    if silent {
+        world.schedule_link_state_silent(victim, false, CUT_AT);
+    } else {
+        world.schedule_link_state(victim, false, CUT_AT);
+    }
+    world.run_until(END);
+    let msgs = world.metrics().counter("sim.control_msgs") - msgs_before;
+    let lost = PROBES - world.node_as::<Host>(fabric.hosts[1]).stats.udp_rx;
+    (lost, msgs)
+}
+
+enum Kind {
+    Ls,
+    Dv,
+}
+
+fn run_routers(kind: Kind, silent: bool) -> (u64, u64) {
+    let topo = topo();
+    let mut world = World::new(3);
+    let routers: Vec<NodeId> = (0..topo.switches)
+        .map(|i| match kind {
+            Kind::Ls => world.add_node(Box::new(LinkStateRouter::new(i as u64))),
+            Kind::Dv => world.add_node(Box::new(DistanceVectorRouter::new(i as u64))),
+        })
+        .collect();
+    let links: Vec<LinkId> = topo
+        .links
+        .iter()
+        .map(|l| world.connect(routers[l.a], routers[l.b], l.params).0)
+        .collect();
+    let mut hosts = Vec::new();
+    for (i, &sw) in topo.hosts.iter().enumerate() {
+        let ip = Ipv4Address::new(10, 0, 0, (i + 1) as u8);
+        let mut host =
+            Host::new(EthernetAddress::from_id(0x50_0000 + i as u64), ip).with_gratuitous_arp();
+        if i == 0 {
+            host = host.with_workload(probe(Ipv4Address::new(10, 0, 0, 2)));
+        }
+        let id = world.add_node(Box::new(host));
+        world.connect(id, routers[sw], LinkParams::default());
+        hosts.push(id);
+    }
+    world.run_until(Instant::from_millis(1500));
+    let victim = loaded_link(&world, &links);
+    let msgs_before = world.metrics().counter("routing.msgs");
+    if silent {
+        world.schedule_link_state_silent(victim, false, CUT_AT);
+    } else {
+        world.schedule_link_state(victim, false, CUT_AT);
+    }
+    world.run_until(END);
+    let msgs = world.metrics().counter("routing.msgs") - msgs_before;
+    let lost = PROBES - world.node_as::<Host>(hosts[1]).stats.udp_rx;
+    (lost, msgs)
+}
+
+fn main() {
+    println!("# E7 — failure convergence: black-hole window and control overhead");
+    println!("# square topology, 1 kHz probes, loaded link cut at t=2s");
+    println!();
+    println!(
+        "{:>34} {:>12} {:>16} {:>14}",
+        "control plane", "fault", "lost (≈ms hole)", "ctl msgs"
+    );
+    for silent in [false, true] {
+        let fault = if silent { "silent" } else { "detected" };
+        let (lost, msgs) = run_sdn(silent);
+        println!("{:>34} {:>12} {:>16} {:>14}", "SDN proactive+failover", fault, lost, msgs);
+        let (lost, msgs) = run_routers(Kind::Ls, silent);
+        println!("{:>34} {:>12} {:>16} {:>14}", "link-state (OSPF-style)", fault, lost, msgs);
+        let (lost, msgs) = run_routers(Kind::Dv, silent);
+        println!("{:>34} {:>12} {:>16} {:>14}", "distance-vector (RIP-style)", fault, lost, msgs);
+    }
+    println!();
+    println!("# Shape check: detected faults heal in ~0 for all planes (local repair");
+    println!("# / immediate flooding); silent faults rank SDN-LLDP < LS dead-interval");
+    println!("# < DV route timeout.");
+}

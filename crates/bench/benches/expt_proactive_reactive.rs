@@ -1,0 +1,130 @@
+//! E10 — proactive vs. reactive rule installation.
+//!
+//! The classic control-plane design trade-off: install everything up
+//! front (state scales with hosts × switches, controller idle at
+//! runtime) or on demand (state scales with active flows, every new
+//! flow pays a controller round trip). Both run the same workload on
+//! the same leaf–spine fabric; reported: control messages, flow
+//! entries, packet-ins, delivery, and worst first-packet latency.
+
+use zen_core::apps::proactive::FABRIC_MAC;
+use zen_core::apps::{ProactiveFabric, ReactiveForwarding};
+use zen_core::harness::{build_fabric, build_fabric_with_hosts, default_host_ip, FabricOptions};
+use zen_core::{Controller, SwitchAgent};
+use zen_sim::{Duration, Host, Instant, LinkParams, Topology, Workload, World};
+
+struct Outcome {
+    ctl_msgs_sent: u64,
+    packet_ins: u64,
+    flow_entries: usize,
+    delivered: u64,
+    expected: u64,
+    worst_first_us: f64,
+}
+
+fn workload(i: usize, active_peers: usize, n: usize) -> Vec<Workload> {
+    // Each host talks to `active_peers` following hosts.
+    (1..=active_peers)
+        .map(|d| Workload::Udp {
+            dst: default_host_ip((i + d) % n),
+            dst_port: 9,
+            size: 200,
+            count: 30,
+            interval: Duration::from_millis(3),
+            start: Instant::from_millis(1000 + (d as u64 * 13) % 40),
+        })
+        .collect()
+}
+
+fn run(proactive: bool, active_peers: usize) -> Outcome {
+    let topo = Topology::leaf_spine(4, 2, 3, LinkParams::default());
+    let n = topo.host_count();
+    let expected_links = 2 * topo.links.len();
+    let inventory = {
+        let mut scratch = World::new(8);
+        build_fabric(&mut scratch, &topo, vec![], FabricOptions::default()).static_hosts()
+    };
+    let mut world = World::new(8);
+    let app: Box<dyn zen_core::App> = if proactive {
+        Box::new(ProactiveFabric::new(inventory, topo.switches, expected_links))
+    } else {
+        Box::new(ReactiveForwarding::new())
+    };
+    let fabric = build_fabric_with_hosts(
+        &mut world,
+        &topo,
+        vec![app],
+        FabricOptions::default(),
+        |i, mac, ip| {
+            let mut host = Host::new(mac, ip);
+            if proactive {
+                for d in 0..n {
+                    if d != i {
+                        host = host.with_static_arp(default_host_ip(d), FABRIC_MAC);
+                    }
+                }
+            } else {
+                host = host.with_gratuitous_arp();
+            }
+            for w in workload(i, active_peers, n) {
+                host = host.with_workload(w);
+            }
+            host
+        },
+    );
+    world.run_until(Instant::from_secs(3));
+
+    let mut delivered = 0u64;
+    let mut worst_first = 0f64;
+    for &h in &fabric.hosts {
+        let host = world.node_as::<Host>(h);
+        delivered += host.stats.udp_rx;
+        if let Some(&first) = host.stats.udp_latency.samples().first() {
+            worst_first = worst_first.max(first);
+        }
+    }
+    let flow_entries: usize = fabric
+        .switches
+        .iter()
+        .map(|&sw| world.node_as::<SwitchAgent>(sw).dp.flow_count())
+        .sum();
+    let controller = world.node_as::<Controller>(fabric.controller);
+    Outcome {
+        ctl_msgs_sent: controller.stats.msgs_sent,
+        packet_ins: controller.stats.packet_ins,
+        flow_entries,
+        delivered,
+        expected: (n * active_peers * 30) as u64,
+        worst_first_us: worst_first * 1e6,
+    }
+}
+
+fn main() {
+    println!("# E10 — proactive vs reactive installation (leaf-spine 4x2, 12 hosts)");
+    println!("# each host sends 30 datagrams to each of P peers");
+    println!();
+    println!(
+        "{:>11} {:>3} {:>11} {:>11} {:>8} {:>14} {:>14}",
+        "mode", "P", "ctl-msgs", "pkt-ins", "flows", "delivered", "first-pkt(us)"
+    );
+    for &peers in &[1usize, 3, 6] {
+        for &proactive in &[true, false] {
+            let o = run(proactive, peers);
+            println!(
+                "{:>11} {:>3} {:>11} {:>11} {:>8} {:>9}/{:<5} {:>13.0}",
+                if proactive { "proactive" } else { "reactive" },
+                peers,
+                o.ctl_msgs_sent,
+                o.packet_ins,
+                o.flow_entries,
+                o.delivered,
+                o.expected,
+                o.worst_first_us
+            );
+        }
+    }
+    println!();
+    println!("# Shape check: proactive state is constant in P with near-zero");
+    println!("# packet-ins and flat first-packet latency; reactive state and");
+    println!("# control traffic grow with P and first packets pay the RTT.");
+}

@@ -1,0 +1,152 @@
+//! E2 — FIB longest-prefix match: the lookup/update trade-off space.
+//!
+//! Reproduces the shape of the FIB-data-structure comparisons (linear
+//! scan vs. unibit trie vs. path-compressed trie vs. DIR-24-8 direct
+//! indexing) on synthetic tables with a realistic prefix-length mix.
+//! Expected shape: DIR-24-8 fastest lookups but slowest updates; tries
+//! in between; linear scan collapses with table size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use zen_fib::{BinaryTrieFib, Dir24Fib, Fib, LinearFib, RadixTrieFib, SyntheticTable};
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2/fib_lookup");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let table = SyntheticTable::generate(n, 42);
+        let keys = table.lookup_keys(4096, 7);
+        group.throughput(Throughput::Elements(1));
+
+        // The linear oracle is O(n); skip its largest size to keep bench
+        // time sane but keep enough points to see the collapse.
+        if n <= 10_000 {
+            let mut fib = LinearFib::new();
+            table.load(&mut fib);
+            group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    i += 1;
+                    black_box(fib.lookup(keys[i % keys.len()]))
+                });
+            });
+        }
+
+        let mut fib = BinaryTrieFib::new();
+        table.load(&mut fib);
+        group.bench_with_input(BenchmarkId::new("binary_trie", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i += 1;
+                black_box(fib.lookup(keys[i % keys.len()]))
+            });
+        });
+
+        let mut fib = RadixTrieFib::new();
+        table.load(&mut fib);
+        group.bench_with_input(BenchmarkId::new("radix_trie", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i += 1;
+                black_box(fib.lookup(keys[i % keys.len()]))
+            });
+        });
+
+        let mut fib = Dir24Fib::new();
+        table.load(&mut fib);
+        group.bench_with_input(BenchmarkId::new("dir24_8", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i += 1;
+                black_box(fib.lookup(keys[i % keys.len()]))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2/fib_update");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    let n = 50_000;
+    let table = SyntheticTable::generate(n, 42);
+    // Churn set: a disjoint batch of prefixes inserted and removed.
+    let churn = SyntheticTable::generate(256, 999);
+
+    group.throughput(Throughput::Elements(churn.entries.len() as u64));
+
+    let mut fib = BinaryTrieFib::new();
+    table.load(&mut fib);
+    group.bench_function("binary_trie_churn", |b| {
+        b.iter(|| {
+            for &(p, nh) in &churn.entries {
+                fib.insert(p, nh);
+            }
+            for &(p, _) in &churn.entries {
+                fib.remove(p);
+            }
+        });
+    });
+
+    let mut fib = RadixTrieFib::new();
+    table.load(&mut fib);
+    group.bench_function("radix_trie_churn", |b| {
+        b.iter(|| {
+            for &(p, nh) in &churn.entries {
+                fib.insert(p, nh);
+            }
+            for &(p, _) in &churn.entries {
+                fib.remove(p);
+            }
+        });
+    });
+
+    let mut fib = Dir24Fib::new();
+    table.load(&mut fib);
+    group.bench_function("dir24_8_churn", |b| {
+        b.iter(|| {
+            for &(p, nh) in &churn.entries {
+                fib.insert(p, nh);
+            }
+            for &(p, _) in &churn.entries {
+                fib.remove(p);
+            }
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2/fib_build_100k");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    let table = SyntheticTable::generate(100_000, 42);
+    group.bench_function("binary_trie", |b| {
+        b.iter(|| {
+            let mut fib = BinaryTrieFib::new();
+            table.load(&mut fib);
+            black_box(fib.len())
+        });
+    });
+    group.bench_function("radix_trie", |b| {
+        b.iter(|| {
+            let mut fib = RadixTrieFib::new();
+            table.load(&mut fib);
+            black_box(fib.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_update, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! E1 — Flow-table lookup cost vs. table size and rule shape.
+//!
+//! The OVS-style question: how does match cost scale with rule count,
+//! and what do wildcards cost relative to exact rules? The linear
+//! priority scan is the reference data-plane implementation; the bench
+//! establishes its scaling so the pipeline experiments can be
+//! interpreted.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use zen_dataplane::{Action, FlowKey, FlowMatch, FlowSpec, FlowTable};
+use zen_wire::builder::PacketBuilder;
+use zen_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
+
+fn frame_for(i: u32) -> Vec<u8> {
+    PacketBuilder::udp(
+        EthernetAddress::from_id(u64::from(i) + 1),
+        Ipv4Address::from_u32(0x0a00_0000 | (i & 0xffff)),
+        1000 + (i % 1000) as u16,
+        EthernetAddress::from_id(u64::from(i) + 100_000),
+        Ipv4Address::from_u32(0x0b00_0000 | (i & 0xffff)),
+        53,
+        b"payload",
+    )
+}
+
+fn exact_table(n: u32) -> (FlowTable, Vec<FlowKey>) {
+    let mut table = FlowTable::new();
+    let mut keys = Vec::new();
+    for i in 0..n {
+        let frame = frame_for(i);
+        let key = FlowKey::extract(1, &frame).unwrap();
+        table.add(
+            FlowSpec::new(100, FlowMatch::exact(&key), vec![Action::Output(2)]),
+            0,
+        );
+        keys.push(key);
+    }
+    (table, keys)
+}
+
+fn prefix_table(n: u32) -> (FlowTable, Vec<FlowKey>) {
+    let mut table = FlowTable::new();
+    let mut keys = Vec::new();
+    for i in 0..n {
+        let dst = Ipv4Address::from_u32(0x0b00_0000 | (i & 0xffff));
+        let cidr = Ipv4Cidr::new(dst, 32).unwrap();
+        table.add(
+            FlowSpec::new(
+                (i % 100) as u16 + 1,
+                FlowMatch::ipv4_to(cidr),
+                vec![Action::Output(2)],
+            ),
+            0,
+        );
+        let frame = frame_for(i);
+        keys.push(FlowKey::extract(1, &frame).unwrap());
+    }
+    (table, keys)
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1/flow_table_lookup");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    for &n in &[100u32, 1_000, 10_000] {
+        group.throughput(Throughput::Elements(1));
+        let (mut table, keys) = exact_table(n);
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let key = &keys[i % keys.len()];
+                i += 1;
+                black_box(table.lookup(key, 64, 1).is_some())
+            });
+        });
+        let (mut table, keys) = prefix_table(n);
+        group.bench_with_input(BenchmarkId::new("prefix", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let key = &keys[i % keys.len()];
+                i += 1;
+                black_box(table.lookup(key, 64, 1).is_some())
+            });
+        });
+        // Worst case: a key that matches nothing scans the whole table.
+        let (mut table, _) = exact_table(n);
+        let miss_frame = frame_for(u32::MAX - 1);
+        let miss_key = FlowKey::extract(9, &miss_frame).unwrap();
+        group.bench_with_input(BenchmarkId::new("miss", n), &n, |b, _| {
+            b.iter(|| black_box(table.lookup(&miss_key, 64, 1).is_some()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_key_extract(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1/flow_key_extract");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    let frame = frame_for(7);
+    group.bench_function("udp_frame", |b| {
+        b.iter(|| black_box(FlowKey::extract(1, black_box(&frame))));
+    });
+    let arp = PacketBuilder::arp_request(
+        EthernetAddress::from_id(1),
+        Ipv4Address::new(10, 0, 0, 1),
+        Ipv4Address::new(10, 0, 0, 2),
+    );
+    group.bench_function("arp_frame", |b| {
+        b.iter(|| black_box(FlowKey::extract(1, black_box(&arp))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_key_extract);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E3 — control-protocol codec throughput.
+//!
+//! Encode/decode cost of the hot control-channel messages: FLOW_MOD
+//! (the programming path) and PACKET_IN at small and MTU frame sizes
+//! (the reactive path). Controller throughput (E6) is bounded by this.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use zen_dataplane::{Action, FlowMatch, FlowSpec};
+use zen_proto::{decode, encode, FlowModCmd, Message};
+use zen_wire::EthernetAddress;
+
+fn flow_mod() -> Message {
+    Message::FlowMod {
+        table_id: 0,
+        cmd: FlowModCmd::Add(
+            FlowSpec::new(
+                100,
+                FlowMatch::ipv4_to("10.1.0.0/16".parse().unwrap()).with_in_port(3),
+                vec![
+                    Action::SetEthDst(EthernetAddress::from_id(7)),
+                    Action::DecTtl,
+                    Action::Output(4),
+                ],
+            )
+            .with_timeouts(1_000_000_000, 0)
+            .with_cookie(0xbeef),
+        ),
+    }
+}
+
+fn packet_in(frame_len: usize) -> Message {
+    Message::PacketIn {
+        in_port: 3,
+        table_id: 0,
+        is_miss: true,
+        frame: vec![0xa5; frame_len],
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3/proto_codec");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+
+    let messages: Vec<(&str, Message)> = vec![
+        ("flow_mod", flow_mod()),
+        ("packet_in_64", packet_in(64)),
+        ("packet_in_1500", packet_in(1500)),
+        ("barrier", Message::BarrierRequest),
+    ];
+
+    for (name, msg) in &messages {
+        let bytes = encode(msg, 1);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", name), msg, |b, m| {
+            b.iter(|| black_box(encode(black_box(m), 1)));
+        });
+        group.bench_with_input(BenchmarkId::new("decode", name), &bytes, |b, bytes| {
+            b.iter(|| black_box(decode(black_box(bytes)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

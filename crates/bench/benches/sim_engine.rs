@@ -1,0 +1,118 @@
+//! Simulator engine throughput: events per second of wall-clock time.
+//!
+//! Not a paper experiment, but the number that bounds how large a
+//! topology the experiment suite can afford: raw event dispatch, link
+//! queueing arithmetic, and timer churn.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use std::any::Any;
+use zen_sim::{Context, Duration, LinkParams, Node, PortNo, World};
+
+/// A node that forwards every frame to its other port, forever.
+struct Relay;
+
+impl Node for Relay {
+    fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortNo, frame: &[u8]) {
+        let out = if port == 1 { 2 } else { 1 };
+        ctx.transmit(out, frame.to_vec());
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Kicks off `n` frames at start.
+struct Kicker {
+    n: usize,
+}
+
+impl Node for Kicker {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for _ in 0..self.n {
+            ctx.transmit(1, vec![0u8; 200]);
+        }
+    }
+    fn on_packet(&mut self, ctx: &mut Context<'_>, _port: PortNo, frame: &[u8]) {
+        ctx.transmit(1, frame.to_vec());
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A ring of relays with `inflight` frames circulating; run until
+/// `budget` events are processed.
+fn run_ring(relays: usize, inflight: usize, budget: u64) -> u64 {
+    let mut world = World::new(1);
+    let kicker = world.add_node(Box::new(Kicker { n: inflight }));
+    let mut prev = kicker;
+    let mut nodes = vec![kicker];
+    for _ in 0..relays {
+        let node = world.add_node(Box::new(Relay));
+        world.connect(prev, node, LinkParams::default());
+        nodes.push(node);
+        prev = node;
+    }
+    // Close the ring.
+    world.connect(prev, kicker, LinkParams::default());
+    world.run_to_quiescence(budget);
+    world.events_processed()
+}
+
+/// Timer-heavy workload: a node that reschedules many timers.
+struct TimerStorm {
+    fanout: u64,
+}
+
+impl Node for TimerStorm {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for t in 0..self.fanout {
+            ctx.set_timer(Duration::from_micros(t + 1), t);
+        }
+    }
+    fn on_packet(&mut self, _: &mut Context<'_>, _: PortNo, _: &[u8]) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        ctx.set_timer(Duration::from_micros(self.fanout), token);
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/engine");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+
+    let budget = 200_000u64;
+    group.throughput(Throughput::Elements(budget));
+    group.bench_function("packet_ring_10relays_100inflight", |b| {
+        b.iter(|| black_box(run_ring(10, 100, budget)));
+    });
+
+    group.bench_function("timer_storm_1000", |b| {
+        b.iter(|| {
+            let mut world = World::new(1);
+            world.add_node(Box::new(TimerStorm { fanout: 1000 }));
+            world.run_to_quiescence(budget);
+            black_box(world.events_processed())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! # zen-bench — benchmarks and experiment harnesses
+//!
+//! Criterion micro-benchmarks (E1–E4, E6) and printed-table experiment
+//! harnesses (E5, E7–E10) per the experiment index in `DESIGN.md`.
+//! `cargo bench --workspace` regenerates everything; results are
+//! recorded in `EXPERIMENTS.md`.
+
+/// Shared helpers for the experiment harnesses.
+pub mod util {
+    /// Print a table row with fixed-width columns.
+    pub fn row(cells: &[String], widths: &[usize]) -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    }
+}

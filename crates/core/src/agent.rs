@@ -1,0 +1,334 @@
+//! The switch agent: a simulator node that embeds a [`Datapath`] and
+//! speaks `zen-proto` to the controller.
+//!
+//! This is the software running *on* the switch in a deployed SDN — the
+//! part of Open vSwitch that terminates the OpenFlow session: it
+//! registers local ports, punts table misses as PACKET_IN, applies
+//! FLOW_MOD / GROUP_MOD / METER_MOD, executes PACKET_OUT, answers
+//! BARRIER and STATS, and reports PORT_STATUS and FLOW_REMOVED.
+
+use std::any::Any;
+
+use zen_dataplane::{Datapath, DatapathId, Effect, MissPolicy, PortNo};
+use zen_proto::{
+    decode, encode, CodecError, ErrorCode, FlowModCmd, GroupModCmd, Message, MeterModCmd,
+    PortDesc, StatsBody, StatsKind,
+};
+use zen_sim::{Context, Duration, Node, NodeId};
+
+const TIMER_EXPIRE: u64 = 1;
+
+/// Agent counters, read by experiments.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AgentStats {
+    /// PACKET_INs sent to the controller.
+    pub packet_ins: u64,
+    /// FLOW_MODs applied.
+    pub flow_mods: u64,
+    /// PACKET_OUTs executed.
+    pub packet_outs: u64,
+    /// Protocol decode errors.
+    pub decode_errors: u64,
+}
+
+/// The switch-side control agent.
+pub struct SwitchAgent {
+    /// The embedded forwarding plane.
+    pub dp: Datapath,
+    controller: NodeId,
+    expire_interval: Duration,
+    xid: u32,
+    /// Counters.
+    pub stats: AgentStats,
+}
+
+impl SwitchAgent {
+    /// An agent for a switch with `dpid`, `n_tables` tables, punting
+    /// misses (truncated to 2 KiB) to `controller`.
+    pub fn new(dpid: DatapathId, n_tables: usize, controller: NodeId) -> SwitchAgent {
+        SwitchAgent {
+            dp: Datapath::new(dpid, n_tables, MissPolicy::ToController { max_len: 2048 }),
+            controller,
+            expire_interval: Duration::from_millis(10),
+            xid: 1,
+            stats: AgentStats::default(),
+        }
+    }
+
+    fn send(&mut self, ctx: &mut Context<'_>, msg: &Message) {
+        let xid = self.xid;
+        self.xid += 1;
+        ctx.send_control(self.controller, encode(msg, xid));
+    }
+
+    fn send_with_xid(&mut self, ctx: &mut Context<'_>, msg: &Message, xid: u32) {
+        ctx.send_control(self.controller, encode(msg, xid));
+    }
+
+    fn port_descs(&self, ctx: &Context<'_>) -> Vec<PortDesc> {
+        ctx.ports()
+            .into_iter()
+            .map(|p| PortDesc {
+                port_no: p,
+                up: ctx.port_up(p),
+            })
+            .collect()
+    }
+
+    fn run_effects(&mut self, ctx: &mut Context<'_>, effects: Vec<Effect>) {
+        for effect in effects {
+            match effect {
+                Effect::Output { port, frame } => {
+                    if self.dp.port_up(port) {
+                        ctx.transmit(port, frame);
+                    }
+                }
+                Effect::ToController {
+                    reason,
+                    in_port,
+                    frame,
+                    table_id,
+                } => {
+                    self.stats.packet_ins += 1;
+                    let msg = Message::PacketIn {
+                        in_port,
+                        table_id,
+                        is_miss: reason == zen_dataplane::datapath::PacketInReason::NoMatch,
+                        frame,
+                    };
+                    self.send(ctx, &msg);
+                }
+            }
+        }
+    }
+
+    fn handle_message(&mut self, ctx: &mut Context<'_>, msg: Message, xid: u32) {
+        let now = ctx.now().as_nanos();
+        match msg {
+            Message::Hello { .. } => {
+                // Each side sends HELLO exactly once (ours went out at
+                // start); answering here would ping-pong forever.
+            }
+            Message::EchoRequest { token } => {
+                self.send_with_xid(ctx, &Message::EchoReply { token }, xid);
+            }
+            Message::FeaturesRequest => {
+                let reply = Message::FeaturesReply {
+                    dpid: self.dp.dpid,
+                    n_tables: self.dp.table_count() as u8,
+                    ports: self.port_descs(ctx),
+                };
+                self.send_with_xid(ctx, &reply, xid);
+            }
+            Message::PacketOut {
+                in_port,
+                actions,
+                frame,
+            } => {
+                self.stats.packet_outs += 1;
+                let effects = self.dp.inject(now, in_port, &actions, &frame);
+                self.run_effects(ctx, effects);
+            }
+            Message::FlowMod { table_id, cmd } => {
+                if usize::from(table_id) >= self.dp.table_count()
+                    && !matches!(cmd, FlowModCmd::DeleteByCookie { .. })
+                {
+                    let err = Message::Error {
+                        code: ErrorCode::BadRequest,
+                        data: vec![table_id],
+                    };
+                    self.send_with_xid(ctx, &err, xid);
+                    return;
+                }
+                self.stats.flow_mods += 1;
+                match cmd {
+                    FlowModCmd::Add(spec) => self.dp.add_flow(table_id, spec, now),
+                    FlowModCmd::DeleteStrict { priority, matcher } => {
+                        if let Some(entry) =
+                            self.dp.delete_flow_strict(table_id, priority, &matcher)
+                        {
+                            let note = Message::FlowRemoved {
+                                table_id,
+                                priority: entry.spec.priority,
+                                cookie: entry.spec.cookie,
+                                reason: zen_proto::RemovedReason::Delete,
+                                packets: entry.packets,
+                                bytes: entry.bytes,
+                            };
+                            self.send(ctx, &note);
+                        }
+                    }
+                    FlowModCmd::DeleteByCookie { cookie } => {
+                        for (tid, entry) in self.dp.delete_flows_by_cookie(cookie) {
+                            let note = Message::FlowRemoved {
+                                table_id: tid,
+                                priority: entry.spec.priority,
+                                cookie: entry.spec.cookie,
+                                reason: zen_proto::RemovedReason::Delete,
+                                packets: entry.packets,
+                                bytes: entry.bytes,
+                            };
+                            self.send(ctx, &note);
+                        }
+                    }
+                }
+            }
+            Message::GroupMod { group_id, cmd } => match cmd {
+                GroupModCmd::Add(desc) => self.dp.groups.add(group_id, desc),
+                GroupModCmd::Delete => {
+                    self.dp.groups.remove(group_id);
+                }
+            },
+            Message::MeterMod { meter_id, cmd } => match cmd {
+                MeterModCmd::Add {
+                    rate_bps,
+                    burst_bytes,
+                } => self.dp.set_meter(meter_id, rate_bps, burst_bytes),
+                MeterModCmd::Delete => {
+                    self.dp.remove_meter(meter_id);
+                }
+            },
+            Message::BarrierRequest => {
+                // The simulator applies messages synchronously, so the
+                // fence holds by construction; acknowledge it.
+                self.send_with_xid(ctx, &Message::BarrierReply, xid);
+            }
+            Message::StatsRequest { kind } => {
+                let body = self.collect_stats(ctx, kind);
+                self.send_with_xid(ctx, &Message::StatsReply { body }, xid);
+            }
+            // Symmetric / controller-bound messages are ignored here.
+            _ => {}
+        }
+    }
+
+    fn collect_stats(&self, ctx: &Context<'_>, kind: StatsKind) -> StatsBody {
+        match kind {
+            StatsKind::Flow { table_id } => {
+                let tables: Vec<u8> = if table_id == 0xff {
+                    (0..self.dp.table_count() as u8).collect()
+                } else {
+                    vec![table_id.min(self.dp.table_count() as u8 - 1)]
+                };
+                let mut records = Vec::new();
+                for tid in tables {
+                    for entry in self.dp.table(tid).entries() {
+                        records.push(zen_proto::FlowStats {
+                            table_id: tid,
+                            priority: entry.spec.priority,
+                            cookie: entry.spec.cookie,
+                            packets: entry.packets,
+                            bytes: entry.bytes,
+                        });
+                    }
+                }
+                StatsBody::Flow(records)
+            }
+            StatsKind::Port { port_no } => {
+                let ports: Vec<PortNo> = if port_no == 0 {
+                    ctx.ports()
+                } else {
+                    vec![port_no]
+                };
+                StatsBody::Port(
+                    ports
+                        .into_iter()
+                        .map(|p| {
+                            let s = self.dp.port_stats(p);
+                            zen_proto::PortStatsRec {
+                                port_no: p,
+                                rx_frames: s.rx_frames,
+                                rx_bytes: s.rx_bytes,
+                                tx_frames: s.tx_frames,
+                                tx_bytes: s.tx_bytes,
+                            }
+                        })
+                        .collect(),
+                )
+            }
+            StatsKind::Table => StatsBody::Table(
+                (0..self.dp.table_count() as u8)
+                    .map(|tid| {
+                        let t = self.dp.table(tid);
+                        zen_proto::TableStats {
+                            table_id: tid,
+                            active: t.len() as u32,
+                            hits: t.hits,
+                            misses: t.misses,
+                        }
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl Node for SwitchAgent {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for port in ctx.ports() {
+            self.dp.add_port(port);
+            if !ctx.port_up(port) {
+                self.dp.set_port_up(port, false);
+            }
+        }
+        self.send(ctx, &Message::Hello { version: zen_proto::VERSION });
+        ctx.set_timer(self.expire_interval, TIMER_EXPIRE);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortNo, frame: &[u8]) {
+        let now = ctx.now().as_nanos();
+        let effects = self.dp.process(now, port, frame);
+        self.run_effects(ctx, effects);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        if token == TIMER_EXPIRE {
+            let removed = self.dp.expire(ctx.now().as_nanos());
+            for (table_id, entry, reason) in removed {
+                let note = Message::FlowRemoved {
+                    table_id,
+                    priority: entry.spec.priority,
+                    cookie: entry.spec.cookie,
+                    reason: reason.into(),
+                    packets: entry.packets,
+                    bytes: entry.bytes,
+                };
+                self.send(ctx, &note);
+            }
+            ctx.set_timer(self.expire_interval, TIMER_EXPIRE);
+        }
+    }
+
+    fn on_control(&mut self, ctx: &mut Context<'_>, _from: NodeId, bytes: &[u8]) {
+        let mut at = 0;
+        while at < bytes.len() {
+            match decode(&bytes[at..]) {
+                Ok((msg, xid, consumed)) => {
+                    at += consumed;
+                    self.handle_message(ctx, msg, xid);
+                }
+                Err(CodecError::Truncated) if at > 0 => break,
+                Err(_) => {
+                    self.stats.decode_errors += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn on_link_status(&mut self, ctx: &mut Context<'_>, port: PortNo, up: bool) {
+        self.dp.set_port_up(port, up);
+        let msg = Message::PortStatus {
+            port: PortDesc { port_no: port, up },
+        };
+        self.send(ctx, &msg);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

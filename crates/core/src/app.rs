@@ -1,0 +1,66 @@
+//! The application framework: controller behaviour is composed from
+//! apps dispatched in chain order (Ryu/ONOS style).
+
+use zen_dataplane::PortNo;
+use zen_proto::StatsBody;
+
+use crate::controller::Ctl;
+use crate::view::Dpid;
+
+/// What an app decided about a PACKET_IN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Pass the event to the next app in the chain.
+    Continue,
+    /// The packet is dealt with; stop the chain.
+    Handled,
+}
+
+/// A controller application.
+///
+/// All methods have no-op defaults; implement the events you care
+/// about. Apps interact with the network exclusively through
+/// [`Ctl`] — typed wrappers over control-protocol messages — so
+/// everything an app does is observable control-channel traffic.
+#[allow(unused_variables)]
+pub trait App: 'static {
+    /// A short name for logs and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// A switch completed its handshake.
+    fn on_switch_up(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid) {}
+
+    /// A non-LLDP frame was punted to the controller.
+    fn on_packet_in(
+        &mut self,
+        ctl: &mut Ctl<'_, '_>,
+        dpid: Dpid,
+        in_port: PortNo,
+        frame: &[u8],
+    ) -> Disposition {
+        Disposition::Continue
+    }
+
+    /// A switch port changed state (the view is already updated).
+    fn on_port_status(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid, port: PortNo, up: bool) {}
+
+    /// A flow entry was evicted or deleted.
+    fn on_flow_removed(
+        &mut self,
+        ctl: &mut Ctl<'_, '_>,
+        dpid: Dpid,
+        table_id: u8,
+        priority: u16,
+        cookie: u64,
+    ) {
+    }
+
+    /// A statistics reply arrived.
+    fn on_stats(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid, body: &StatsBody) {}
+
+    /// The periodic controller tick (also the discovery cadence).
+    fn tick(&mut self, ctl: &mut Ctl<'_, '_>) {}
+
+    /// Downcast support for post-run inspection.
+    fn as_any(&self) -> &dyn std::any::Any;
+}

@@ -1,0 +1,61 @@
+//! Network-wide access control: drop rules pushed at handshake.
+//!
+//! Deny rules are plain high-priority flow entries with an empty action
+//! list — matching traffic dies in the data plane of the first switch
+//! it touches, with zero controller involvement after installation.
+
+use std::any::Any;
+
+use zen_dataplane::{FlowMatch, FlowSpec};
+
+use crate::app::App;
+use crate::controller::Ctl;
+use crate::view::Dpid;
+
+/// Cookie marking ACL flows.
+pub const ACL_COOKIE: u64 = 0xac1c_0001;
+
+/// The ACL application.
+pub struct Acl {
+    denies: Vec<FlowMatch>,
+    /// Priority of deny rules (must beat forwarding apps).
+    pub priority: u16,
+    /// Rules pushed (metric).
+    pub rules_pushed: u64,
+}
+
+impl Acl {
+    /// An ACL denying the given matches everywhere.
+    pub fn new(denies: Vec<FlowMatch>) -> Acl {
+        Acl {
+            denies,
+            priority: 900,
+            rules_pushed: 0,
+        }
+    }
+
+    /// Add a deny rule (applies to switches joining afterwards; call
+    /// before the run starts for global coverage).
+    pub fn deny(&mut self, matcher: FlowMatch) {
+        self.denies.push(matcher);
+    }
+}
+
+impl App for Acl {
+    fn name(&self) -> &'static str {
+        "acl"
+    }
+
+    fn on_switch_up(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid) {
+        for &matcher in &self.denies {
+            self.rules_pushed += 1;
+            let spec =
+                FlowSpec::new(self.priority, matcher, vec![]).with_cookie(ACL_COOKIE);
+            ctl.install_flow(dpid, 0, spec);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,102 @@
+//! Per-switch MAC learning — the canonical first SDN app.
+//!
+//! Every switch gets its own MAC table at the controller. Frames to
+//! unknown destinations are flooded via PACKET_OUT; once both endpoints
+//! are learned, an exact L2 flow is installed so subsequent packets
+//! never leave the data plane. Correct on loop-free topologies (like a
+//! hardware learning switch without STP).
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use zen_dataplane::{Action, FlowMatch, FlowSpec, PortNo};
+use zen_wire::ethernet::Frame;
+use zen_wire::EthernetAddress;
+
+use crate::app::{App, Disposition};
+use crate::controller::Ctl;
+use crate::view::Dpid;
+
+/// The learning-switch application.
+pub struct L2Learning {
+    /// dpid → (MAC → port).
+    tables: BTreeMap<Dpid, BTreeMap<EthernetAddress, PortNo>>,
+    /// Idle timeout for installed flows, in nanoseconds (0 = none).
+    pub idle_timeout: u64,
+    /// Priority of installed flows.
+    pub priority: u16,
+    /// Flows installed (metric).
+    pub flows_installed: u64,
+    /// Floods performed (metric).
+    pub floods: u64,
+}
+
+impl L2Learning {
+    /// A learning app with a 5-second idle timeout.
+    pub fn new() -> L2Learning {
+        L2Learning {
+            tables: BTreeMap::new(),
+            idle_timeout: 5_000_000_000,
+            priority: 10,
+            flows_installed: 0,
+            floods: 0,
+        }
+    }
+
+    /// The learned location of `mac` on `dpid`, if any.
+    pub fn location(&self, dpid: Dpid, mac: EthernetAddress) -> Option<PortNo> {
+        self.tables.get(&dpid)?.get(&mac).copied()
+    }
+}
+
+impl Default for L2Learning {
+    fn default() -> L2Learning {
+        L2Learning::new()
+    }
+}
+
+impl App for L2Learning {
+    fn name(&self) -> &'static str {
+        "l2-learning"
+    }
+
+    fn on_packet_in(
+        &mut self,
+        ctl: &mut Ctl<'_, '_>,
+        dpid: Dpid,
+        in_port: PortNo,
+        frame: &[u8],
+    ) -> Disposition {
+        let Ok(eth) = Frame::new_checked(frame) else {
+            return Disposition::Continue;
+        };
+        let table = self.tables.entry(dpid).or_default();
+        if eth.src_addr().is_unicast() {
+            table.insert(eth.src_addr(), in_port);
+        }
+        let dst = eth.dst_addr();
+        match table.get(&dst).copied() {
+            Some(out_port) if !dst.is_multicast() => {
+                // Install the forward flow, then release the packet.
+                self.flows_installed += 1;
+                let spec = FlowSpec::new(
+                    self.priority,
+                    FlowMatch::eth_to(dst),
+                    vec![Action::Output(out_port)],
+                )
+                .with_timeouts(self.idle_timeout, 0);
+                ctl.install_flow(dpid, 0, spec);
+                ctl.packet_out(dpid, in_port, vec![Action::Output(out_port)], frame.to_vec());
+            }
+            _ => {
+                self.floods += 1;
+                ctl.packet_out(dpid, in_port, vec![Action::Flood], frame.to_vec());
+            }
+        }
+        Disposition::Handled
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

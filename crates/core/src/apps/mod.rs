@@ -1,0 +1,27 @@
+//! Built-in controller applications.
+//!
+//! * [`l2::L2Learning`] — per-switch MAC learning, the "hello world" of
+//!   SDN controllers (Ryu's `simple_switch`).
+//! * [`reactive::ReactiveForwarding`] — global shortest-path forwarding
+//!   installed on first packet (ONOS `fwd`).
+//! * [`proactive::ProactiveFabric`] — up-front ECMP rules for a fabric
+//!   with a known host inventory.
+//! * [`acl::Acl`] — drop rules installed on every switch at handshake.
+//! * [`monitor::Monitor`] — periodic STATS collection into a queryable
+//!   utilization snapshot.
+//! * [`te::TrafficEngineering`] — B4-style bandwidth allocation onto
+//!   VLAN-labelled tunnels with weighted ECMP groups.
+
+pub mod acl;
+pub mod l2;
+pub mod monitor;
+pub mod proactive;
+pub mod reactive;
+pub mod te;
+
+pub use acl::Acl;
+pub use l2::L2Learning;
+pub use monitor::Monitor;
+pub use proactive::{ProactiveFabric, StaticHost};
+pub use reactive::ReactiveForwarding;
+pub use te::TrafficEngineering;

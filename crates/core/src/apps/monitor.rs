@@ -1,0 +1,154 @@
+//! Network monitoring: periodic statistics collection.
+//!
+//! The observability half of a network OS: every N ticks the app sends
+//! STATS_REQUESTs (port and table) to every switch and folds the
+//! replies into a queryable utilization snapshot — the data source a
+//! TE app's demand estimator or an operator dashboard would read.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use zen_dataplane::PortNo;
+use zen_proto::{Message, StatsBody, StatsKind};
+use zen_sim::Instant;
+
+use crate::app::App;
+use crate::controller::Ctl;
+use crate::view::Dpid;
+
+/// A port-counter snapshot with its arrival time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortSample {
+    /// When the sample arrived at the controller.
+    pub at_nanos: u64,
+    /// Frames received by the port.
+    pub rx_frames: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+    /// Frames sent.
+    pub tx_frames: u64,
+    /// Bytes sent.
+    pub tx_bytes: u64,
+}
+
+/// The statistics-collection application.
+pub struct Monitor {
+    /// Poll every `period_ticks` controller ticks.
+    pub period_ticks: u32,
+    tick_count: u32,
+    /// Latest sample per (switch, port), plus the previous one for rate
+    /// estimation.
+    latest: BTreeMap<(Dpid, PortNo), PortSample>,
+    previous: BTreeMap<(Dpid, PortNo), PortSample>,
+    /// Latest per-table (active entries, hits, misses) per switch.
+    pub tables: BTreeMap<(Dpid, u8), (u32, u64, u64)>,
+    /// Polls issued (metric).
+    pub polls: u64,
+    /// Replies folded in (metric).
+    pub replies: u64,
+}
+
+impl Monitor {
+    /// A monitor polling every `period_ticks` ticks.
+    pub fn new(period_ticks: u32) -> Monitor {
+        Monitor {
+            period_ticks: period_ticks.max(1),
+            tick_count: 0,
+            latest: BTreeMap::new(),
+            previous: BTreeMap::new(),
+            tables: BTreeMap::new(),
+            polls: 0,
+            replies: 0,
+        }
+    }
+
+    /// The latest sample for a port.
+    pub fn port_sample(&self, dpid: Dpid, port: PortNo) -> Option<PortSample> {
+        self.latest.get(&(dpid, port)).copied()
+    }
+
+    /// Estimated transmit rate of a port in bits/sec, from the last two
+    /// samples. `None` until two samples exist.
+    pub fn tx_rate_bps(&self, dpid: Dpid, port: PortNo) -> Option<f64> {
+        let new = self.latest.get(&(dpid, port))?;
+        let old = self.previous.get(&(dpid, port))?;
+        let dt = new.at_nanos.saturating_sub(old.at_nanos);
+        if dt == 0 {
+            return None;
+        }
+        Some((new.tx_bytes.saturating_sub(old.tx_bytes)) as f64 * 8.0 * 1e9 / dt as f64)
+    }
+
+    /// Total bytes forwarded network-wide (sum of port tx counters).
+    pub fn total_tx_bytes(&self) -> u64 {
+        self.latest.values().map(|s| s.tx_bytes).sum()
+    }
+
+    /// Switch/port pairs sorted by estimated tx rate, busiest first.
+    pub fn busiest_ports(&self) -> Vec<((Dpid, PortNo), f64)> {
+        let mut rates: Vec<((Dpid, PortNo), f64)> = self
+            .latest
+            .keys()
+            .filter_map(|&key| self.tx_rate_bps(key.0, key.1).map(|r| (key, r)))
+            .collect();
+        rates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        rates
+    }
+}
+
+impl App for Monitor {
+    fn name(&self) -> &'static str {
+        "monitor"
+    }
+
+    fn tick(&mut self, ctl: &mut Ctl<'_, '_>) {
+        self.tick_count += 1;
+        if !self.tick_count.is_multiple_of(self.period_ticks) {
+            return;
+        }
+        let switches: Vec<Dpid> = ctl.view.switches.keys().copied().collect();
+        for dpid in switches {
+            self.polls += 1;
+            ctl.send(
+                dpid,
+                &Message::StatsRequest {
+                    kind: StatsKind::Port { port_no: 0 },
+                },
+            );
+            ctl.send(dpid, &Message::StatsRequest { kind: StatsKind::Table });
+        }
+    }
+
+    fn on_stats(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid, body: &StatsBody) {
+        self.replies += 1;
+        let now: Instant = ctl.now();
+        match body {
+            StatsBody::Port(records) => {
+                for r in records {
+                    let key = (dpid, r.port_no);
+                    let sample = PortSample {
+                        at_nanos: now.as_nanos(),
+                        rx_frames: r.rx_frames,
+                        rx_bytes: r.rx_bytes,
+                        tx_frames: r.tx_frames,
+                        tx_bytes: r.tx_bytes,
+                    };
+                    if let Some(old) = self.latest.insert(key, sample) {
+                        self.previous.insert(key, old);
+                    }
+                }
+            }
+            StatsBody::Table(records) => {
+                for r in records {
+                    self.tables
+                        .insert((dpid, r.table_id), (r.active, r.hits, r.misses));
+                }
+            }
+            StatsBody::Flow(_) => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

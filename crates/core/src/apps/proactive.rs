@@ -1,0 +1,192 @@
+//! Proactive ECMP fabric programming.
+//!
+//! Given a host inventory (the fabric manager's source of truth, as in
+//! a datacenter), this app waits for discovery to stabilize, then
+//! pushes *all* forwarding state up front: per-destination /32 rules
+//! pointing at SELECT groups whose buckets are the equal-cost next-hop
+//! ports. Packets never visit the controller; failures are absorbed by
+//! group-bucket liveness and a re-install on topology change.
+//!
+//! Senders address frames to [`FABRIC_MAC`]; the egress switch rewrites
+//! the destination MAC to the real host before delivery (a common
+//! fabric-anycast-gateway design).
+
+use std::any::Any;
+
+use zen_dataplane::{Action, Bucket, FlowMatch, FlowSpec, GroupDesc, GroupType, PortNo};
+use zen_graph::{dists_to, ecmp_next_hops};
+use zen_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
+
+use crate::app::App;
+use crate::controller::Ctl;
+use crate::view::Dpid;
+
+/// The virtual gateway MAC hosts send to.
+pub const FABRIC_MAC: EthernetAddress = EthernetAddress([0x02, 0xfa, 0xb0, 0x00, 0x00, 0x01]);
+
+/// Cookie marking fabric flows.
+pub const FABRIC_COOKIE: u64 = 0xfab0_0001;
+
+/// One entry of the host inventory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticHost {
+    /// Host IP.
+    pub ip: Ipv4Address,
+    /// Host MAC (written into delivered frames).
+    pub mac: EthernetAddress,
+    /// Attachment switch.
+    pub dpid: Dpid,
+    /// Attachment port.
+    pub port: PortNo,
+}
+
+/// The proactive fabric application.
+pub struct ProactiveFabric {
+    hosts: Vec<StaticHost>,
+    /// Number of switches expected before programming starts.
+    pub expected_switches: usize,
+    /// Number of directed links expected before programming starts.
+    pub expected_links: usize,
+    /// Priority of installed rules.
+    pub priority: u16,
+    installed_version: Option<u64>,
+    stable_ticks: u32,
+    /// Full reprogram passes performed (metric).
+    pub installs: u64,
+    /// Rules pushed in total (metric).
+    pub rules_pushed: u64,
+}
+
+impl ProactiveFabric {
+    /// A fabric app for the given inventory and expected topology size.
+    pub fn new(
+        hosts: Vec<StaticHost>,
+        expected_switches: usize,
+        expected_links: usize,
+    ) -> ProactiveFabric {
+        ProactiveFabric {
+            hosts,
+            expected_switches,
+            expected_links,
+            priority: 200,
+            installed_version: None,
+            stable_ticks: 0,
+            installs: 0,
+            rules_pushed: 0,
+        }
+    }
+
+    /// Whether the fabric has been programmed for the current topology.
+    pub fn programmed(&self) -> bool {
+        self.installed_version.is_some()
+    }
+
+    fn ready(&self, ctl: &Ctl<'_, '_>) -> bool {
+        ctl.view.switches.len() >= self.expected_switches
+            && ctl.view.links.len() >= self.expected_links
+    }
+
+    fn install_all(&mut self, ctl: &mut Ctl<'_, '_>) {
+        self.installs += 1;
+        let (graph, dpids, index) = ctl.view.graph(0);
+        let switch_list: Vec<Dpid> = ctl.view.switches.keys().copied().collect();
+
+        for &switch in &switch_list {
+            // Wipe our previous generation on this switch.
+            ctl.delete_flows_by_cookie(switch, FABRIC_COOKIE);
+        }
+
+        // One SELECT group per (switch, destination switch).
+        for (dst_pos, &dst_dpid) in dpids.iter().enumerate() {
+            let dist = dists_to(&graph, dst_pos as u32);
+            for &switch in &switch_list {
+                if switch == dst_dpid {
+                    continue;
+                }
+                let Some(&my_ix) = index.get(&switch) else {
+                    continue;
+                };
+                let hops = ecmp_next_hops(&graph, my_ix, &dist);
+                let mut buckets = Vec::new();
+                for edge_ix in hops {
+                    let next_dpid = dpids[graph.edge(edge_ix).to as usize];
+                    for port in ctl.view.ports_toward(switch, next_dpid) {
+                        buckets.push(Bucket::output(port));
+                    }
+                }
+                if buckets.is_empty() {
+                    continue;
+                }
+                let group_id = group_id_for(dst_dpid);
+                ctl.install_group(
+                    switch,
+                    group_id,
+                    GroupDesc {
+                        group_type: GroupType::Select,
+                        buckets,
+                    },
+                );
+            }
+        }
+
+        // Per-host rules.
+        let hosts = self.hosts.clone();
+        for host in &hosts {
+            for &switch in &switch_list {
+                let matcher = FlowMatch::ipv4_to(
+                    Ipv4Cidr::new(host.ip, 32).expect("/32 is valid"),
+                );
+                let actions = if switch == host.dpid {
+                    vec![Action::SetEthDst(host.mac), Action::Output(host.port)]
+                } else {
+                    vec![Action::Group(group_id_for(host.dpid))]
+                };
+                self.rules_pushed += 1;
+                let spec = FlowSpec::new(self.priority, matcher, actions)
+                    .with_cookie(FABRIC_COOKIE);
+                ctl.install_flow(switch, 0, spec);
+            }
+        }
+        self.installed_version = Some(ctl.view.version);
+    }
+}
+
+/// The group id used for routes toward `dst_dpid`.
+pub fn group_id_for(dst_dpid: Dpid) -> u32 {
+    0x1000 + dst_dpid as u32
+}
+
+impl App for ProactiveFabric {
+    fn name(&self) -> &'static str {
+        "proactive-fabric"
+    }
+
+    fn tick(&mut self, ctl: &mut Ctl<'_, '_>) {
+        // `ready` gates only the *initial* programming; once programmed,
+        // any topology change (including lost links) must reprogram.
+        if self.installed_version.is_none() && !self.ready(ctl) {
+            return;
+        }
+        match self.installed_version {
+            Some(v) if v == ctl.view.version => {}
+            _ => {
+                // Require two quiet ticks so discovery bursts settle.
+                self.stable_ticks += 1;
+                if self.stable_ticks >= 2 {
+                    self.stable_ticks = 0;
+                    self.install_all(ctl);
+                }
+            }
+        }
+    }
+
+    fn on_port_status(&mut self, _ctl: &mut Ctl<'_, '_>, _dpid: Dpid, _port: PortNo, _up: bool) {
+        // The view version bump makes the next tick reprogram; SELECT
+        // group liveness already bypasses the dead port in the meantime.
+        self.stable_ticks = 1; // accelerate reprogramming
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,162 @@
+//! Reactive global shortest-path forwarding (ONOS `fwd` style).
+//!
+//! The first packet of a host pair is punted; the app computes the
+//! shortest path over the discovered topology, installs an L2 flow on
+//! every switch along it, and releases the packet at the punting
+//! switch. Broadcast and unknown-destination frames are delivered to
+//! every *edge* port in the network (never onto switch-switch links),
+//! which is loop-free on any topology without needing a spanning tree.
+
+use std::any::Any;
+
+use zen_dataplane::{Action, FlowMatch, FlowSpec, PortNo};
+use zen_graph::dijkstra;
+use zen_wire::ethernet::Frame;
+
+use crate::app::{App, Disposition};
+use crate::controller::Ctl;
+use crate::view::Dpid;
+
+/// The reactive forwarding application.
+pub struct ReactiveForwarding {
+    /// Idle timeout for installed path flows, nanoseconds.
+    pub idle_timeout: u64,
+    /// Priority of installed flows.
+    pub priority: u16,
+    /// Paths installed (metric).
+    pub paths_installed: u64,
+    /// Edge floods performed (metric).
+    pub edge_floods: u64,
+}
+
+impl ReactiveForwarding {
+    /// A reactive forwarder with a 5-second idle timeout.
+    pub fn new() -> ReactiveForwarding {
+        ReactiveForwarding {
+            idle_timeout: 5_000_000_000,
+            priority: 100,
+            paths_installed: 0,
+            edge_floods: 0,
+        }
+    }
+
+    /// Deliver a frame to every up edge port except the one it came in
+    /// on — the controller-mediated broadcast primitive.
+    fn flood_to_edges(
+        &mut self,
+        ctl: &mut Ctl<'_, '_>,
+        ingress: (Dpid, PortNo),
+        frame: &[u8],
+    ) {
+        self.edge_floods += 1;
+        for (dpid, port) in ctl.view.edge_ports() {
+            if (dpid, port) != ingress {
+                ctl.packet_out(dpid, 0, vec![Action::Output(port)], frame.to_vec());
+            }
+        }
+    }
+}
+
+impl Default for ReactiveForwarding {
+    fn default() -> ReactiveForwarding {
+        ReactiveForwarding::new()
+    }
+}
+
+impl App for ReactiveForwarding {
+    fn name(&self) -> &'static str {
+        "reactive-forwarding"
+    }
+
+    fn on_packet_in(
+        &mut self,
+        ctl: &mut Ctl<'_, '_>,
+        dpid: Dpid,
+        in_port: PortNo,
+        frame: &[u8],
+    ) -> Disposition {
+        let Ok(eth) = Frame::new_checked(frame) else {
+            return Disposition::Continue;
+        };
+        let dst = eth.dst_addr();
+        if dst.is_multicast() {
+            self.flood_to_edges(ctl, (dpid, in_port), frame);
+            return Disposition::Handled;
+        }
+        let Some(&host) = ctl.view.hosts.get(&dst) else {
+            // Unknown unicast: deliver everywhere a host could be.
+            self.flood_to_edges(ctl, (dpid, in_port), frame);
+            return Disposition::Handled;
+        };
+
+        // Shortest path from the punting switch to the host's switch.
+        let (graph, dpids, index) = ctl.view.graph(0);
+        let (Some(&src_ix), Some(&dst_ix)) = (index.get(&dpid), index.get(&host.dpid)) else {
+            return Disposition::Handled;
+        };
+        let hops: Vec<Dpid> = if src_ix == dst_ix {
+            vec![dpid]
+        } else {
+            let sp = dijkstra(&graph, src_ix);
+            let Some(path) = sp.path_to(&graph, dst_ix) else {
+                // Partitioned: drop.
+                return Disposition::Handled;
+            };
+            path.nodes.iter().map(|&ix| dpids[ix as usize]).collect()
+        };
+
+        // Install (eth_src, eth_dst) flows hop by hop.
+        self.paths_installed += 1;
+        let matcher = FlowMatch {
+            eth_src: Some(eth.src_addr()),
+            eth_dst: Some(dst),
+            ..FlowMatch::ANY
+        };
+        let mut first_out_port = None;
+        for (i, &hop) in hops.iter().enumerate() {
+            let out_port = if i + 1 < hops.len() {
+                match ctl.view.port_toward(hop, hops[i + 1]) {
+                    Some(p) => p,
+                    None => return Disposition::Handled, // view changed underneath
+                }
+            } else {
+                host.port
+            };
+            if i == 0 {
+                first_out_port = Some(out_port);
+            }
+            let spec = FlowSpec::new(self.priority, matcher, vec![Action::Output(out_port)])
+                .with_timeouts(self.idle_timeout, 0)
+                .with_cookie(REACTIVE_COOKIE);
+            ctl.install_flow(hop, 0, spec);
+        }
+        // Release the trigger packet along the fresh path.
+        if let Some(port) = first_out_port {
+            ctl.packet_out(dpid, in_port, vec![Action::Output(port)], frame.to_vec());
+        }
+        Disposition::Handled
+    }
+
+    fn on_port_status(
+        &mut self,
+        ctl: &mut Ctl<'_, '_>,
+        _dpid: Dpid,
+        _port: PortNo,
+        _up: bool,
+    ) {
+        // Topology changed: our installed paths may now traverse a dead
+        // link. Purge them everywhere; traffic re-punts and re-routes
+        // over the updated view (ONOS flow re-computation, simplified).
+        let switches: Vec<Dpid> = ctl.view.switches.keys().copied().collect();
+        for dpid in switches {
+            ctl.delete_flows_by_cookie(dpid, REACTIVE_COOKIE);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Cookie marking reactive-forwarding flows.
+pub const REACTIVE_COOKIE: u64 = 0x5eac_0001;

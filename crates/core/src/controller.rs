@@ -1,0 +1,457 @@
+//! The logically centralized controller.
+//!
+//! The controller is itself a simulator node; switch agents reach it
+//! over the out-of-band control channel. It owns the
+//! [`view::NetworkView`](crate::view::NetworkView), runs LLDP topology
+//! discovery, learns host locations from punted edge traffic, and
+//! dispatches everything else to the application chain.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use zen_dataplane::{FlowSpec, GroupDesc, PortNo};
+use zen_proto::{decode, encode, CodecError, FlowModCmd, GroupModCmd, Message, MeterModCmd};
+use zen_sim::{Context, Duration, Instant, Node, NodeId};
+use zen_wire::ethernet::{EtherType, Frame};
+use zen_wire::{arp, ipv4, lldp};
+
+use crate::app::{App, Disposition};
+use crate::view::{Dpid, NetworkView};
+
+const TIMER_TICK: u64 = 1;
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerConfig {
+    /// Discovery + app tick period.
+    pub tick_interval: Duration,
+    /// TTL stamped into discovery LLDPs.
+    pub lldp_ttl_secs: u16,
+    /// Age after which an unconfirmed link is declared dead (silent
+    /// failure detection). Should be several tick intervals.
+    pub link_max_age: Duration,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> ControllerConfig {
+        ControllerConfig {
+            tick_interval: Duration::from_millis(50),
+            lldp_ttl_secs: 120,
+            link_max_age: Duration::from_millis(175),
+        }
+    }
+}
+
+/// Controller counters, read by experiments.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CtlStats {
+    /// PACKET_INs received (excluding LLDP discovery returns).
+    pub packet_ins: u64,
+    /// LLDP discovery PACKET_INs received.
+    pub lldp_ins: u64,
+    /// FLOW_MODs sent.
+    pub flow_mods: u64,
+    /// GROUP_MODs sent.
+    pub group_mods: u64,
+    /// PACKET_OUTs sent.
+    pub packet_outs: u64,
+    /// Total control messages sent.
+    pub msgs_sent: u64,
+    /// Total control messages received.
+    pub msgs_received: u64,
+    /// Protocol decode errors.
+    pub decode_errors: u64,
+}
+
+/// The services handle passed to applications: the network view plus
+/// typed message-sending helpers.
+pub struct Ctl<'a, 'w> {
+    /// The simulator context (time, RNG, metrics).
+    pub ctx: &'a mut Context<'w>,
+    /// The controller's network view.
+    pub view: &'a mut NetworkView,
+    registry: &'a BTreeMap<Dpid, NodeId>,
+    xid: &'a mut u32,
+    stats: &'a mut CtlStats,
+}
+
+impl Ctl<'_, '_> {
+    /// Current simulated time.
+    pub fn now(&self) -> Instant {
+        self.ctx.now()
+    }
+
+    /// Send a raw protocol message to a switch. Unknown dpids are
+    /// silently dropped (the switch may have disconnected).
+    pub fn send(&mut self, dpid: Dpid, msg: &Message) {
+        let Some(&node) = self.registry.get(&dpid) else {
+            return;
+        };
+        let xid = *self.xid;
+        *self.xid += 1;
+        self.stats.msgs_sent += 1;
+        match msg {
+            Message::FlowMod { .. } => self.stats.flow_mods += 1,
+            Message::GroupMod { .. } => self.stats.group_mods += 1,
+            Message::PacketOut { .. } => self.stats.packet_outs += 1,
+            _ => {}
+        }
+        self.ctx.send_control(node, encode(msg, xid));
+    }
+
+    /// Install a flow.
+    pub fn install_flow(&mut self, dpid: Dpid, table_id: u8, spec: FlowSpec) {
+        self.send(
+            dpid,
+            &Message::FlowMod {
+                table_id,
+                cmd: FlowModCmd::Add(spec),
+            },
+        );
+    }
+
+    /// Delete all flows carrying `cookie` on a switch.
+    pub fn delete_flows_by_cookie(&mut self, dpid: Dpid, cookie: u64) {
+        self.send(
+            dpid,
+            &Message::FlowMod {
+                table_id: 0,
+                cmd: FlowModCmd::DeleteByCookie { cookie },
+            },
+        );
+    }
+
+    /// Install or replace a group.
+    pub fn install_group(&mut self, dpid: Dpid, group_id: u32, desc: GroupDesc) {
+        self.send(
+            dpid,
+            &Message::GroupMod {
+                group_id,
+                cmd: GroupModCmd::Add(desc),
+            },
+        );
+    }
+
+    /// Install or replace a meter.
+    pub fn install_meter(&mut self, dpid: Dpid, meter_id: u32, rate_bps: u64, burst_bytes: u64) {
+        self.send(
+            dpid,
+            &Message::MeterMod {
+                meter_id,
+                cmd: MeterModCmd::Add {
+                    rate_bps,
+                    burst_bytes,
+                },
+            },
+        );
+    }
+
+    /// Inject a frame at a switch with the given actions.
+    pub fn packet_out(
+        &mut self,
+        dpid: Dpid,
+        in_port: PortNo,
+        actions: Vec<zen_dataplane::Action>,
+        frame: Vec<u8>,
+    ) {
+        self.send(
+            dpid,
+            &Message::PacketOut {
+                in_port,
+                actions,
+                frame,
+            },
+        );
+    }
+
+    /// Fence a switch (answered asynchronously).
+    pub fn barrier(&mut self, dpid: Dpid) {
+        self.send(dpid, &Message::BarrierRequest);
+    }
+}
+
+/// The controller node.
+pub struct Controller {
+    cfg: ControllerConfig,
+    apps: Vec<Box<dyn App>>,
+    /// The network view (public for post-run inspection).
+    pub view: NetworkView,
+    registry: BTreeMap<Dpid, NodeId>,
+    rev_registry: BTreeMap<NodeId, Dpid>,
+    xid: u32,
+    /// Counters.
+    pub stats: CtlStats,
+}
+
+impl Controller {
+    /// A controller running `apps` (dispatched in order).
+    pub fn new(apps: Vec<Box<dyn App>>) -> Controller {
+        Controller::with_config(apps, ControllerConfig::default())
+    }
+
+    /// A controller with explicit configuration.
+    pub fn with_config(apps: Vec<Box<dyn App>>, cfg: ControllerConfig) -> Controller {
+        Controller {
+            cfg,
+            apps,
+            view: NetworkView::new(),
+            registry: BTreeMap::new(),
+            rev_registry: BTreeMap::new(),
+            xid: 1,
+            stats: CtlStats::default(),
+        }
+    }
+
+    /// Access an application by index (post-run inspection).
+    pub fn app(&self, index: usize) -> &dyn App {
+        self.apps[index].as_ref()
+    }
+
+    /// Run `f` with the services handle and the app list temporarily
+    /// split apart (the standard take/put dance).
+    fn with_apps(
+        &mut self,
+        ctx: &mut Context<'_>,
+        f: impl FnOnce(&mut Vec<Box<dyn App>>, &mut Ctl<'_, '_>),
+    ) {
+        let mut apps = std::mem::take(&mut self.apps);
+        {
+            let mut ctl = Ctl {
+                ctx,
+                view: &mut self.view,
+                registry: &self.registry,
+                xid: &mut self.xid,
+                stats: &mut self.stats,
+            };
+            f(&mut apps, &mut ctl);
+        }
+        self.apps = apps;
+    }
+
+    fn send_direct(&mut self, ctx: &mut Context<'_>, dpid: Dpid, msg: &Message) {
+        let Some(&node) = self.registry.get(&dpid) else {
+            return;
+        };
+        let xid = self.xid;
+        self.xid += 1;
+        self.stats.msgs_sent += 1;
+        ctx.send_control(node, encode(msg, xid));
+    }
+
+    /// Send one LLDP probe out of every known up port of every switch.
+    fn discovery_round(&mut self, ctx: &mut Context<'_>) {
+        let targets: Vec<(Dpid, PortNo)> = self
+            .view
+            .switches
+            .iter()
+            .flat_map(|(&dpid, info)| {
+                info.ports
+                    .iter()
+                    .filter(|&(_, &up)| up)
+                    .map(move |(&port, _)| (dpid, port))
+            })
+            .collect();
+        for (dpid, port) in targets {
+            let frame = zen_wire::builder::PacketBuilder::lldp(
+                zen_wire::EthernetAddress::from_id(0x70_0000 + dpid),
+                dpid,
+                port,
+                self.cfg.lldp_ttl_secs,
+            );
+            self.stats.packet_outs += 1;
+            let msg = Message::PacketOut {
+                in_port: 0,
+                actions: vec![zen_dataplane::Action::Output(port)],
+                frame,
+            };
+            self.send_direct(ctx, dpid, &msg);
+        }
+    }
+
+    fn handle_packet_in(
+        &mut self,
+        ctx: &mut Context<'_>,
+        dpid: Dpid,
+        in_port: PortNo,
+        frame: Vec<u8>,
+    ) {
+        let Ok(eth) = Frame::new_checked(&frame[..]) else {
+            return;
+        };
+        // Discovery return path.
+        if eth.ethertype() == EtherType::Lldp {
+            self.stats.lldp_ins += 1;
+            if let Ok(repr) = lldp::Repr::parse(eth.payload()) {
+                let now = ctx.now();
+                self.view
+                    .add_link_at((repr.chassis_id, repr.port_id), (dpid, in_port), now);
+            }
+            return;
+        }
+        self.stats.packet_ins += 1;
+
+        // Host learning from edge-port traffic.
+        if self.view.is_edge_port(dpid, in_port) && eth.src_addr().is_unicast() {
+            let ip = match eth.ethertype() {
+                EtherType::Arp => arp::Packet::new_checked(eth.payload())
+                    .ok()
+                    .and_then(|p| arp::Repr::parse(&p).ok())
+                    .map(|r| r.sender_protocol_addr)
+                    .filter(|ip| ip.is_unicast()),
+                EtherType::Ipv4 => ipv4::Packet::new_checked(eth.payload())
+                    .ok()
+                    .map(|p| p.src_addr())
+                    .filter(|ip| ip.is_unicast()),
+                _ => None,
+            };
+            let now = ctx.now();
+            self.view.learn_host(eth.src_addr(), dpid, in_port, ip, now);
+        }
+
+        // Application chain.
+        self.with_apps(ctx, |apps, ctl| {
+            for app in apps.iter_mut() {
+                if app.on_packet_in(ctl, dpid, in_port, &frame) == Disposition::Handled {
+                    break;
+                }
+            }
+        });
+    }
+
+    fn handle_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Message, _xid: u32) {
+        match msg {
+            Message::Hello { .. } => {
+                // Learn the session, ask who they are.
+                let reply = encode(&Message::Hello { version: zen_proto::VERSION }, 0);
+                self.stats.msgs_sent += 2;
+                ctx.send_control(from, reply);
+                ctx.send_control(from, encode(&Message::FeaturesRequest, 0));
+            }
+            Message::FeaturesReply {
+                dpid,
+                n_tables,
+                ports,
+            } => {
+                self.registry.insert(dpid, from);
+                self.rev_registry.insert(from, dpid);
+                let port_list: Vec<(PortNo, bool)> =
+                    ports.iter().map(|p| (p.port_no, p.up)).collect();
+                self.view.add_switch(dpid, n_tables, &port_list);
+                self.with_apps(ctx, |apps, ctl| {
+                    for app in apps.iter_mut() {
+                        app.on_switch_up(ctl, dpid);
+                    }
+                });
+                // Probe its links right away.
+                self.discovery_round(ctx);
+            }
+            Message::PacketIn { in_port, frame, .. } => {
+                let Some(&dpid) = self.rev_registry.get(&from) else {
+                    return;
+                };
+                self.handle_packet_in(ctx, dpid, in_port, frame);
+            }
+            Message::PortStatus { port } => {
+                let Some(&dpid) = self.rev_registry.get(&from) else {
+                    return;
+                };
+                self.view.set_port(dpid, port.port_no, port.up);
+                self.with_apps(ctx, |apps, ctl| {
+                    for app in apps.iter_mut() {
+                        app.on_port_status(ctl, dpid, port.port_no, port.up);
+                    }
+                });
+            }
+            Message::FlowRemoved {
+                table_id,
+                priority,
+                cookie,
+                ..
+            } => {
+                let Some(&dpid) = self.rev_registry.get(&from) else {
+                    return;
+                };
+                self.with_apps(ctx, |apps, ctl| {
+                    for app in apps.iter_mut() {
+                        app.on_flow_removed(ctl, dpid, table_id, priority, cookie);
+                    }
+                });
+            }
+            Message::EchoRequest { token } => {
+                self.stats.msgs_sent += 1;
+                ctx.send_control(from, encode(&Message::EchoReply { token }, 0));
+            }
+            Message::StatsReply { body } => {
+                let Some(&dpid) = self.rev_registry.get(&from) else {
+                    return;
+                };
+                self.with_apps(ctx, |apps, ctl| {
+                    for app in apps.iter_mut() {
+                        app.on_stats(ctl, dpid, &body);
+                    }
+                });
+            }
+            // BarrierReply, EchoReply, Error: surfaced to apps as needed;
+            // currently informational.
+            _ => {}
+        }
+    }
+}
+
+impl Node for Controller {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(self.cfg.tick_interval, TIMER_TICK);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        if token == TIMER_TICK {
+            // Silent-failure detection: drop links whose LLDP confirmations
+            // stopped arriving.
+            let removed = self.view.expire_links(ctx.now(), self.cfg.link_max_age);
+            for ((dpid, port), _) in removed {
+                self.with_apps(ctx, |apps, ctl| {
+                    for app in apps.iter_mut() {
+                        app.on_port_status(ctl, dpid, port, false);
+                    }
+                });
+            }
+            self.discovery_round(ctx);
+            self.with_apps(ctx, |apps, ctl| {
+                for app in apps.iter_mut() {
+                    app.tick(ctl);
+                }
+            });
+            ctx.set_timer(self.cfg.tick_interval, TIMER_TICK);
+        }
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortNo, _frame: &[u8]) {
+        // The controller has no data-plane ports (out-of-band control).
+    }
+
+    fn on_control(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]) {
+        let mut at = 0;
+        while at < bytes.len() {
+            match decode(&bytes[at..]) {
+                Ok((msg, xid, consumed)) => {
+                    at += consumed;
+                    self.stats.msgs_received += 1;
+                    self.handle_message(ctx, from, msg, xid);
+                }
+                Err(CodecError::Truncated) if at > 0 => break,
+                Err(_) => {
+                    self.stats.decode_errors += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

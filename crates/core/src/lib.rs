@@ -1,0 +1,37 @@
+//! # zen-core — the network operating system
+//!
+//! The centerpiece of the `zen` platform: a logically centralized
+//! controller in the mould of ONOS/Ryu, layered exactly like the systems
+//! it models:
+//!
+//! * **Southbound** — [`agent::SwitchAgent`] runs on each switch,
+//!   embedding the `zen-dataplane` pipeline and speaking the `zen-proto`
+//!   control protocol over the simulator's out-of-band control channel.
+//! * **Core** — [`controller::Controller`] terminates switch sessions,
+//!   discovers topology with LLDP round trips, tracks host locations
+//!   from punted edge traffic, and maintains the queryable
+//!   [`view::NetworkView`].
+//! * **Northbound** — applications implement [`app::App`] and compose in
+//!   a dispatch chain: [`apps::L2Learning`], [`apps::ReactiveForwarding`],
+//!   [`apps::ProactiveFabric`] (ECMP fabrics), [`apps::Acl`], and
+//!   [`apps::TrafficEngineering`] (B4-style WAN TE over VLAN tunnels).
+//!
+//! [`harness`] builds whole fabrics (switches + controller + hosts) from
+//! `zen-sim` topologies, so examples, tests and benchmarks construct
+//! networks identically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod app;
+pub mod apps;
+pub mod controller;
+pub mod harness;
+pub mod view;
+
+pub use agent::SwitchAgent;
+pub use app::{App, Disposition};
+pub use controller::{Controller, ControllerConfig, Ctl, CtlStats};
+pub use harness::{build_fabric, build_fabric_with_hosts, Fabric, FabricOptions};
+pub use view::{Dpid, HostEntry, NetworkView, SwitchInfo};

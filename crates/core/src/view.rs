@@ -1,0 +1,333 @@
+//! The controller's network view: switches, ports, links, and hosts.
+//!
+//! Everything in the view is *learned* — switches from FEATURES_REPLY,
+//! links from LLDP round trips, hosts from the source addresses of
+//! punted edge-port traffic — never taken from simulator ground truth.
+
+use std::collections::BTreeMap;
+
+use zen_dataplane::PortNo;
+use zen_graph::Graph;
+use zen_sim::{Duration, Instant};
+use zen_wire::{EthernetAddress, Ipv4Address};
+
+/// A datapath id.
+pub type Dpid = u64;
+
+/// What the controller knows about one switch.
+#[derive(Debug, Clone, Default)]
+pub struct SwitchInfo {
+    /// Ports and their operational state.
+    pub ports: BTreeMap<PortNo, bool>,
+    /// Number of pipeline tables.
+    pub n_tables: u8,
+}
+
+/// A learned host attachment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostEntry {
+    /// Switch the host hangs off.
+    pub dpid: Dpid,
+    /// Edge port it was seen on.
+    pub port: PortNo,
+    /// IP address, if any frame revealed one.
+    pub ip: Option<Ipv4Address>,
+    /// Last sighting.
+    pub last_seen: Instant,
+}
+
+/// The controller's model of the network.
+#[derive(Debug, Default)]
+pub struct NetworkView {
+    /// Known switches.
+    pub switches: BTreeMap<Dpid, SwitchInfo>,
+    /// Directed switch links: (src dpid, src port) → (dst dpid, dst port).
+    pub links: BTreeMap<(Dpid, PortNo), (Dpid, PortNo)>,
+    /// Last LLDP confirmation per directed link.
+    pub link_seen: BTreeMap<(Dpid, PortNo), Instant>,
+    /// Learned hosts keyed by MAC.
+    pub hosts: BTreeMap<EthernetAddress, HostEntry>,
+    /// Bumped on every structural change; apps compare against it to
+    /// know when to recompute.
+    pub version: u64,
+}
+
+impl NetworkView {
+    /// An empty view.
+    pub fn new() -> NetworkView {
+        NetworkView::default()
+    }
+
+    fn bump(&mut self) {
+        self.version += 1;
+    }
+
+    /// Register or refresh a switch.
+    pub fn add_switch(&mut self, dpid: Dpid, n_tables: u8, ports: &[(PortNo, bool)]) {
+        let info = SwitchInfo {
+            ports: ports.iter().copied().collect(),
+            n_tables,
+        };
+        self.switches.insert(dpid, info);
+        self.bump();
+    }
+
+    /// Record a port state change. Downed ports also tear down any link
+    /// using them.
+    pub fn set_port(&mut self, dpid: Dpid, port: PortNo, up: bool) {
+        if let Some(info) = self.switches.get_mut(&dpid) {
+            info.ports.insert(port, up);
+        }
+        if !up {
+            if let Some(peer) = self.links.remove(&(dpid, port)) {
+                self.links.remove(&peer);
+                self.link_seen.remove(&peer);
+            }
+            self.link_seen.remove(&(dpid, port));
+        }
+        self.bump();
+    }
+
+    /// Record a discovered unidirectional link, confirming it at `now`.
+    /// Returns `true` if new.
+    pub fn add_link_at(&mut self, from: (Dpid, PortNo), to: (Dpid, PortNo), now: Instant) -> bool {
+        self.link_seen.insert(from, now);
+        let new = self.links.insert(from, to) != Some(to);
+        if new {
+            self.bump();
+        }
+        new
+    }
+
+    /// Record a discovered unidirectional link (unaged). Returns `true`
+    /// if new.
+    pub fn add_link(&mut self, from: (Dpid, PortNo), to: (Dpid, PortNo)) -> bool {
+        self.add_link_at(from, to, Instant::ZERO)
+    }
+
+    /// Drop links not LLDP-confirmed within `max_age` — how the
+    /// controller notices *silent* failures. Returns the removed links.
+    #[allow(clippy::type_complexity)]
+    pub fn expire_links(
+        &mut self,
+        now: Instant,
+        max_age: Duration,
+    ) -> Vec<((Dpid, PortNo), (Dpid, PortNo))> {
+        let stale: Vec<(Dpid, PortNo)> = self
+            .links
+            .keys()
+            .filter(|k| {
+                let seen = self.link_seen.get(k).copied().unwrap_or(Instant::ZERO);
+                now.duration_since(seen) >= max_age
+            })
+            .copied()
+            .collect();
+        let mut removed = Vec::new();
+        for key in stale {
+            if let Some(peer) = self.links.remove(&key) {
+                removed.push((key, peer));
+            }
+            self.link_seen.remove(&key);
+        }
+        if !removed.is_empty() {
+            self.bump();
+        }
+        removed
+    }
+
+    /// Record a host sighting. Returns `true` if the host is new or
+    /// moved (location change), which callers propagate to apps.
+    pub fn learn_host(
+        &mut self,
+        mac: EthernetAddress,
+        dpid: Dpid,
+        port: PortNo,
+        ip: Option<Ipv4Address>,
+        now: Instant,
+    ) -> bool {
+        match self.hosts.get_mut(&mac) {
+            Some(entry) => {
+                let moved = entry.dpid != dpid || entry.port != port;
+                entry.dpid = dpid;
+                entry.port = port;
+                if ip.is_some() {
+                    entry.ip = ip;
+                }
+                entry.last_seen = now;
+                if moved {
+                    self.bump();
+                }
+                moved
+            }
+            None => {
+                self.hosts.insert(
+                    mac,
+                    HostEntry {
+                        dpid,
+                        port,
+                        ip,
+                        last_seen: now,
+                    },
+                );
+                self.bump();
+                true
+            }
+        }
+    }
+
+    /// Whether a port currently has no discovered switch link (i.e. may
+    /// face hosts).
+    pub fn is_edge_port(&self, dpid: Dpid, port: PortNo) -> bool {
+        !self.links.contains_key(&(dpid, port))
+    }
+
+    /// Whether a port exists and is up.
+    pub fn port_up(&self, dpid: Dpid, port: PortNo) -> bool {
+        self.switches
+            .get(&dpid)
+            .and_then(|s| s.ports.get(&port))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// All (dpid, port) edge ports that are up.
+    pub fn edge_ports(&self) -> Vec<(Dpid, PortNo)> {
+        let mut out = Vec::new();
+        for (&dpid, info) in &self.switches {
+            for (&port, &up) in &info.ports {
+                if up && self.is_edge_port(dpid, port) {
+                    out.push((dpid, port));
+                }
+            }
+        }
+        out
+    }
+
+    /// Find a host by IP.
+    pub fn host_by_ip(&self, ip: Ipv4Address) -> Option<(EthernetAddress, HostEntry)> {
+        self.hosts
+            .iter()
+            .find(|(_, e)| e.ip == Some(ip))
+            .map(|(&mac, &e)| (mac, e))
+    }
+
+    /// The egress port on `from` of the first discovered link toward
+    /// `to`, considering only up ports.
+    pub fn port_toward(&self, from: Dpid, to: Dpid) -> Option<PortNo> {
+        self.links
+            .iter()
+            .find(|(&(src, sp), &(dst, _))| src == from && dst == to && self.port_up(src, sp))
+            .map(|(&(_, sp), _)| sp)
+    }
+
+    /// All egress ports on `from` leading directly to `to` (parallel
+    /// links), up only.
+    pub fn ports_toward(&self, from: Dpid, to: Dpid) -> Vec<PortNo> {
+        self.links
+            .iter()
+            .filter(|(&(src, sp), &(dst, _))| src == from && dst == to && self.port_up(src, sp))
+            .map(|(&(_, sp), _)| sp)
+            .collect()
+    }
+
+    /// Build a routing graph: one node per switch, one directed edge per
+    /// discovered link whose source port is up. Returns the graph, the
+    /// index→dpid table, and the dpid→index map. Edge `capacity` is
+    /// `default_capacity` (the view does not know line rates; TE apps
+    /// supply them).
+    pub fn graph(&self, default_capacity: u64) -> (Graph, Vec<Dpid>, BTreeMap<Dpid, u32>) {
+        let dpids: Vec<Dpid> = self.switches.keys().copied().collect();
+        let index: BTreeMap<Dpid, u32> = dpids
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d, i as u32))
+            .collect();
+        let mut graph = Graph::with_nodes(dpids.len());
+        for (&(src, sp), &(dst, _)) in &self.links {
+            if !self.port_up(src, sp) {
+                continue;
+            }
+            if let (Some(&a), Some(&b)) = (index.get(&src), index.get(&dst)) {
+                graph.add_edge(a, b, 1, default_capacity);
+            }
+        }
+        (graph, dpids, index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_switch_view() -> NetworkView {
+        let mut v = NetworkView::new();
+        v.add_switch(1, 1, &[(1, true), (2, true)]);
+        v.add_switch(2, 1, &[(1, true), (2, true)]);
+        v.add_link((1, 2), (2, 1));
+        v.add_link((2, 1), (1, 2));
+        v
+    }
+
+    #[test]
+    fn edge_port_classification() {
+        let v = two_switch_view();
+        assert!(v.is_edge_port(1, 1));
+        assert!(!v.is_edge_port(1, 2));
+        assert_eq!(v.edge_ports(), vec![(1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn port_down_tears_links() {
+        let mut v = two_switch_view();
+        v.set_port(1, 2, false);
+        assert!(v.links.is_empty(), "both directions removed");
+        assert!(!v.port_up(1, 2));
+    }
+
+    #[test]
+    fn host_learning_and_moves() {
+        let mut v = two_switch_view();
+        let mac = EthernetAddress::from_id(5);
+        let t = Instant::from_millis(1);
+        assert!(v.learn_host(mac, 1, 1, None, t));
+        assert!(!v.learn_host(mac, 1, 1, Some(Ipv4Address::new(10, 0, 0, 1)), t));
+        // IP was filled in without a "moved" signal.
+        assert_eq!(
+            v.host_by_ip(Ipv4Address::new(10, 0, 0, 1)).map(|(m, _)| m),
+            Some(mac)
+        );
+        // Moving ports reports true.
+        assert!(v.learn_host(mac, 2, 2, None, t));
+        assert_eq!(v.hosts[&mac].dpid, 2);
+        // The IP survives the move.
+        assert_eq!(v.hosts[&mac].ip, Some(Ipv4Address::new(10, 0, 0, 1)));
+    }
+
+    #[test]
+    fn graph_reflects_links_and_port_state() {
+        let v = two_switch_view();
+        let (g, dpids, index) = v.graph(0);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(dpids.len(), 2);
+        assert_eq!(index[&1], 0);
+
+        let mut v2 = two_switch_view();
+        v2.set_port(1, 2, false);
+        let (g2, _, _) = v2.graph(0);
+        assert_eq!(g2.edge_count(), 0);
+    }
+
+    #[test]
+    fn ports_toward_and_version_bumps() {
+        let mut v = two_switch_view();
+        assert_eq!(v.port_toward(1, 2), Some(2));
+        assert_eq!(v.ports_toward(1, 2), vec![2]);
+        assert_eq!(v.port_toward(2, 1), Some(1));
+        let before = v.version;
+        v.add_link((1, 2), (2, 1)); // duplicate: no bump
+        assert_eq!(v.version, before);
+        v.set_port(2, 2, false);
+        assert!(v.version > before);
+    }
+}

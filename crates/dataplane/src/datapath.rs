@@ -1,0 +1,664 @@
+//! The multi-table pipeline: one `process` call per received frame.
+
+use std::collections::BTreeMap;
+
+use crate::action::{apply_rewrite, Action, Rewrite};
+use crate::group::GroupTable;
+use crate::key::FlowKey;
+use crate::matching::FlowMatch;
+use crate::meter::Meter;
+use crate::table::{FlowEntry, FlowSpec, FlowTable, RemovedReason};
+use crate::{DatapathId, Nanos, PortNo};
+
+/// What to do with frames no table entry matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissPolicy {
+    /// Silently drop (the OpenFlow 1.3 default).
+    Drop,
+    /// Punt to the controller, truncated to `max_len` bytes.
+    ToController {
+        /// Truncation limit.
+        max_len: u16,
+    },
+}
+
+/// Why a frame was punted to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketInReason {
+    /// Table miss.
+    NoMatch,
+    /// An explicit `ToController` action.
+    Action,
+}
+
+/// An externally visible outcome of processing a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Effect {
+    /// Emit `frame` on `port`.
+    Output {
+        /// Egress port.
+        port: PortNo,
+        /// The frame as rewritten up to the output action.
+        frame: Vec<u8>,
+    },
+    /// Deliver (a prefix of) the frame to the controller.
+    ToController {
+        /// Why the frame was punted.
+        reason: PacketInReason,
+        /// Ingress port.
+        in_port: PortNo,
+        /// The (possibly truncated) frame.
+        frame: Vec<u8>,
+        /// The table that punted it.
+        table_id: u8,
+    },
+}
+
+/// Per-port counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortStats {
+    /// Frames received.
+    pub rx_frames: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+    /// Frames emitted.
+    pub tx_frames: u64,
+    /// Bytes emitted.
+    pub tx_bytes: u64,
+    /// Frames dropped at egress (down port).
+    pub tx_dropped: u64,
+}
+
+/// A complete switch data plane: flow tables, groups, meters, and ports.
+#[derive(Debug)]
+pub struct Datapath {
+    /// The datapath id this switch announces to the controller.
+    pub dpid: DatapathId,
+    tables: Vec<FlowTable>,
+    /// The group table.
+    pub groups: GroupTable,
+    meters: BTreeMap<u32, Meter>,
+    ports: BTreeMap<PortNo, bool>,
+    port_stats: BTreeMap<PortNo, PortStats>,
+    miss_policy: MissPolicy,
+    /// Frames dropped because no entry matched under [`MissPolicy::Drop`],
+    /// a meter fired, or TTL expired.
+    pub pipeline_drops: u64,
+}
+
+impl Datapath {
+    /// A datapath with `n_tables` flow tables (≥ 1) and the given miss
+    /// policy.
+    pub fn new(dpid: DatapathId, n_tables: usize, miss_policy: MissPolicy) -> Datapath {
+        assert!((1..=255).contains(&n_tables));
+        Datapath {
+            dpid,
+            tables: (0..n_tables).map(|_| FlowTable::new()).collect(),
+            groups: GroupTable::new(),
+            meters: BTreeMap::new(),
+            ports: BTreeMap::new(),
+            port_stats: BTreeMap::new(),
+            miss_policy,
+            pipeline_drops: 0,
+        }
+    }
+
+    /// Register a port (initially up).
+    pub fn add_port(&mut self, port: PortNo) {
+        self.ports.insert(port, true);
+        self.port_stats.entry(port).or_default();
+    }
+
+    /// Record a port's operational state.
+    pub fn set_port_up(&mut self, port: PortNo, up: bool) {
+        if let Some(state) = self.ports.get_mut(&port) {
+            *state = up;
+        }
+    }
+
+    /// Whether a port exists and is up.
+    pub fn port_up(&self, port: PortNo) -> bool {
+        self.ports.get(&port).copied().unwrap_or(false)
+    }
+
+    /// All registered ports in ascending order.
+    pub fn ports(&self) -> Vec<PortNo> {
+        self.ports.keys().copied().collect()
+    }
+
+    /// Counters for `port` (zeroes for unknown ports).
+    pub fn port_stats(&self, port: PortNo) -> PortStats {
+        self.port_stats.get(&port).copied().unwrap_or_default()
+    }
+
+    /// Number of flow tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Access a flow table (stats, dumps).
+    pub fn table(&self, id: u8) -> &FlowTable {
+        &self.tables[id as usize]
+    }
+
+    /// Install a flow in a table.
+    ///
+    /// # Panics
+    /// Panics if `table_id` is out of range.
+    pub fn add_flow(&mut self, table_id: u8, spec: FlowSpec, now: Nanos) {
+        self.tables[table_id as usize].add(spec, now);
+    }
+
+    /// Strict-delete a flow. Returns it if present.
+    pub fn delete_flow_strict(
+        &mut self,
+        table_id: u8,
+        priority: u16,
+        matcher: &FlowMatch,
+    ) -> Option<FlowEntry> {
+        self.tables[table_id as usize].delete_strict(priority, matcher)
+    }
+
+    /// Delete all flows carrying `cookie`, across every table.
+    pub fn delete_flows_by_cookie(&mut self, cookie: u64) -> Vec<(u8, FlowEntry)> {
+        let mut removed = Vec::new();
+        for (id, table) in self.tables.iter_mut().enumerate() {
+            for entry in table.delete_by_cookie(cookie) {
+                removed.push((id as u8, entry));
+            }
+        }
+        removed
+    }
+
+    /// Total installed flow entries across tables.
+    pub fn flow_count(&self) -> usize {
+        self.tables.iter().map(FlowTable::len).sum()
+    }
+
+    /// Run table expiry; returns evicted entries for FLOW_REMOVED.
+    pub fn expire(&mut self, now: Nanos) -> Vec<(u8, FlowEntry, RemovedReason)> {
+        let mut removed = Vec::new();
+        for (id, table) in self.tables.iter_mut().enumerate() {
+            for (entry, reason) in table.expire(now) {
+                removed.push((id as u8, entry, reason));
+            }
+        }
+        removed
+    }
+
+    /// Install or replace a meter.
+    pub fn set_meter(&mut self, id: u32, rate_bps: u64, burst_bytes: u64) {
+        self.meters.insert(id, Meter::new(rate_bps, burst_bytes));
+    }
+
+    /// Remove a meter; returns whether it existed.
+    pub fn remove_meter(&mut self, id: u32) -> bool {
+        self.meters.remove(&id).is_some()
+    }
+
+    /// Inspect a meter.
+    pub fn meter(&self, id: u32) -> Option<&Meter> {
+        self.meters.get(&id)
+    }
+
+    /// Execute a controller-supplied action list on an injected frame
+    /// (the PACKET_OUT path). `in_port` is used by `Flood` exclusion and
+    /// may be 0 for "none".
+    pub fn inject(
+        &mut self,
+        now: Nanos,
+        in_port: PortNo,
+        actions: &[Action],
+        frame: &[u8],
+    ) -> Vec<Effect> {
+        let key = FlowKey::extract(in_port, frame).unwrap_or(FlowKey {
+            in_port,
+            eth_src: zen_wire::EthernetAddress::ZERO,
+            eth_dst: zen_wire::EthernetAddress::ZERO,
+            ethertype: 0,
+            vlan: None,
+            ipv4: None,
+            l4: None,
+        });
+        let mut working = frame.to_vec();
+        let mut effects = Vec::new();
+        self.execute_actions(actions, &key, in_port, &mut working, &mut effects, now, 0);
+        self.account_outputs(&effects);
+        effects
+    }
+
+    /// Process one received frame through the pipeline.
+    pub fn process(&mut self, now: Nanos, in_port: PortNo, frame: &[u8]) -> Vec<Effect> {
+        {
+            let stats = self.port_stats.entry(in_port).or_default();
+            stats.rx_frames += 1;
+            stats.rx_bytes += frame.len() as u64;
+        }
+        let Some(key) = FlowKey::extract(in_port, frame) else {
+            self.pipeline_drops += 1;
+            return Vec::new();
+        };
+
+        let mut effects = Vec::new();
+        let mut working = frame.to_vec();
+        let mut table_id = 0u8;
+        loop {
+            let table = &mut self.tables[table_id as usize];
+            let Some(entry) = table.lookup(&key, frame.len(), now) else {
+                match self.miss_policy {
+                    MissPolicy::Drop => {
+                        self.pipeline_drops += 1;
+                    }
+                    MissPolicy::ToController { max_len } => {
+                        let take = working.len().min(usize::from(max_len));
+                        effects.push(Effect::ToController {
+                            reason: PacketInReason::NoMatch,
+                            in_port,
+                            frame: working[..take].to_vec(),
+                            table_id,
+                        });
+                    }
+                }
+                break;
+            };
+            let actions = entry.spec.actions.clone();
+            let goto = entry.spec.goto_table;
+            if !self.execute_actions(&actions, &key, in_port, &mut working, &mut effects, now, table_id)
+            {
+                break; // dropped by meter or TTL
+            }
+            match goto {
+                Some(next) if next > table_id && (next as usize) < self.tables.len() => {
+                    table_id = next;
+                }
+                Some(_) | None => break,
+            }
+        }
+        self.account_outputs(&effects);
+        effects
+    }
+
+    /// Execute an action list against `working`. Returns `false` if the
+    /// frame was dropped (meter red or TTL expired).
+    #[allow(clippy::too_many_arguments)]
+    fn execute_actions(
+        &mut self,
+        actions: &[Action],
+        key: &FlowKey,
+        in_port: PortNo,
+        working: &mut Vec<u8>,
+        effects: &mut Vec<Effect>,
+        now: Nanos,
+        table_id: u8,
+    ) -> bool {
+        for &action in actions {
+            match action {
+                Action::Output(port) => {
+                    effects.push(Effect::Output {
+                        port,
+                        frame: working.clone(),
+                    });
+                }
+                Action::Flood => {
+                    for (&port, &up) in &self.ports {
+                        if up && port != in_port {
+                            effects.push(Effect::Output {
+                                port,
+                                frame: working.clone(),
+                            });
+                        }
+                    }
+                }
+                Action::ToController { max_len } => {
+                    let take = working.len().min(usize::from(max_len));
+                    effects.push(Effect::ToController {
+                        reason: PacketInReason::Action,
+                        in_port,
+                        frame: working[..take].to_vec(),
+                        table_id,
+                    });
+                }
+                Action::Group(id) => {
+                    let ports_snapshot = self.ports.clone();
+                    let picks =
+                        self.groups
+                            .select_buckets(id, key.flow_hash(), |p| {
+                                ports_snapshot.get(&p).copied().unwrap_or(false)
+                            });
+                    let buckets: Vec<Vec<Action>> = picks
+                        .iter()
+                        .filter_map(|&i| self.groups.get(id).map(|g| g.buckets[i].actions.clone()))
+                        .collect();
+                    for bucket_actions in buckets {
+                        // Each bucket works on its own copy.
+                        let mut copy = working.clone();
+                        if !self.execute_actions(
+                            &bucket_actions,
+                            key,
+                            in_port,
+                            &mut copy,
+                            effects,
+                            now,
+                            table_id,
+                        ) {
+                            return false;
+                        }
+                    }
+                }
+                Action::Meter(id) => {
+                    let len = working.len();
+                    if let Some(meter) = self.meters.get_mut(&id) {
+                        if !meter.allow(now, len) {
+                            self.pipeline_drops += 1;
+                            return false;
+                        }
+                    }
+                }
+                rewrite => {
+                    if apply_rewrite(rewrite, working) == Rewrite::Drop {
+                        self.pipeline_drops += 1;
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Update tx counters, filtering outputs to down or unknown ports.
+    fn account_outputs(&mut self, effects: &[Effect]) {
+        for effect in effects {
+            if let Effect::Output { port, frame } = effect {
+                let up = self.ports.get(port).copied().unwrap_or(false);
+                let stats = self.port_stats.entry(*port).or_default();
+                if up {
+                    stats.tx_frames += 1;
+                    stats.tx_bytes += frame.len() as u64;
+                } else {
+                    stats.tx_dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// Drop `Output` effects aimed at down ports (the embedding calls
+    /// this before transmitting; `process` already counted them).
+    pub fn filter_live_outputs(&self, effects: Vec<Effect>) -> Vec<Effect> {
+        effects
+            .into_iter()
+            .filter(|e| match e {
+                Effect::Output { port, .. } => self.port_up(*port),
+                Effect::ToController { .. } => true,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::{Bucket, GroupDesc, GroupType};
+    use zen_wire::builder::PacketBuilder;
+    use zen_wire::{EthernetAddress, Ipv4Address};
+
+    const M1: EthernetAddress = EthernetAddress([2, 0, 0, 0, 0, 1]);
+    const M2: EthernetAddress = EthernetAddress([2, 0, 0, 0, 0, 2]);
+    const IP1: Ipv4Address = Ipv4Address::new(10, 0, 0, 1);
+    const IP2: Ipv4Address = Ipv4Address::new(10, 0, 0, 2);
+
+    fn dp(n_tables: usize) -> Datapath {
+        let mut dp = Datapath::new(
+            1,
+            n_tables,
+            MissPolicy::ToController { max_len: 128 },
+        );
+        for p in 1..=4 {
+            dp.add_port(p);
+        }
+        dp
+    }
+
+    fn udp(dst_port: u16) -> Vec<u8> {
+        PacketBuilder::udp(M1, IP1, 999, M2, IP2, dst_port, b"payload")
+    }
+
+    #[test]
+    fn exact_forwarding() {
+        let mut dp = dp(1);
+        let key = FlowKey::extract(1, &udp(53)).unwrap();
+        dp.add_flow(
+            0,
+            FlowSpec::new(10, FlowMatch::exact(&key), vec![Action::Output(2)]),
+            0,
+        );
+        let effects = dp.process(0, 1, &udp(53));
+        assert_eq!(effects.len(), 1);
+        assert!(matches!(&effects[0], Effect::Output { port: 2, .. }));
+        assert_eq!(dp.port_stats(2).tx_frames, 1);
+        assert_eq!(dp.port_stats(1).rx_frames, 1);
+    }
+
+    #[test]
+    fn miss_punts_truncated() {
+        let mut dp = Datapath::new(1, 1, MissPolicy::ToController { max_len: 20 });
+        dp.add_port(1);
+        let frame = udp(53);
+        let effects = dp.process(0, 1, &frame);
+        assert_eq!(effects.len(), 1);
+        match &effects[0] {
+            Effect::ToController {
+                reason,
+                in_port,
+                frame: punted,
+                table_id,
+            } => {
+                assert_eq!(*reason, PacketInReason::NoMatch);
+                assert_eq!(*in_port, 1);
+                assert_eq!(punted.len(), 20);
+                assert_eq!(*table_id, 0);
+                assert_eq!(&punted[..], &frame[..20]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn miss_policy_drop() {
+        let mut dp = Datapath::new(1, 1, MissPolicy::Drop);
+        dp.add_port(1);
+        assert!(dp.process(0, 1, &udp(1)).is_empty());
+        assert_eq!(dp.pipeline_drops, 1);
+    }
+
+    #[test]
+    fn flood_excludes_ingress_and_down() {
+        let mut dp = dp(1);
+        dp.set_port_up(3, false);
+        dp.add_flow(0, FlowSpec::new(1, FlowMatch::ANY, vec![Action::Flood]), 0);
+        let effects = dp.process(0, 1, &udp(1));
+        let ports: Vec<PortNo> = effects
+            .iter()
+            .map(|e| match e {
+                Effect::Output { port, .. } => *port,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(ports, vec![2, 4]);
+    }
+
+    #[test]
+    fn multi_table_acl_then_forward() {
+        let mut dp = dp(2);
+        // Table 0: drop UDP/53 (deny rule: no actions, no goto), else goto 1.
+        dp.add_flow(
+            0,
+            FlowSpec::new(10, FlowMatch::ANY.with_ip_proto(17).with_l4_dst(53), vec![]),
+            0,
+        );
+        dp.add_flow(0, FlowSpec::new(1, FlowMatch::ANY, vec![]).with_goto(1), 0);
+        // Table 1: forward everything to port 2.
+        dp.add_flow(1, FlowSpec::new(1, FlowMatch::ANY, vec![Action::Output(2)]), 0);
+
+        assert!(dp.process(0, 1, &udp(53)).is_empty(), "denied flow leaked");
+        let effects = dp.process(0, 1, &udp(80));
+        assert_eq!(effects.len(), 1);
+        assert!(matches!(&effects[0], Effect::Output { port: 2, .. }));
+    }
+
+    #[test]
+    fn goto_must_move_forward() {
+        let mut dp = dp(2);
+        // A malformed goto pointing at its own table must not loop.
+        dp.add_flow(
+            1,
+            FlowSpec::new(1, FlowMatch::ANY, vec![Action::Output(2)]).with_goto(1),
+            0,
+        );
+        dp.add_flow(0, FlowSpec::new(1, FlowMatch::ANY, vec![]).with_goto(1), 0);
+        let effects = dp.process(0, 1, &udp(1));
+        assert_eq!(effects.len(), 1, "pipeline must terminate");
+    }
+
+    #[test]
+    fn select_group_is_flow_stable() {
+        let mut dp = dp(1);
+        dp.groups.add(
+            7,
+            GroupDesc {
+                group_type: GroupType::Select,
+                buckets: vec![Bucket::output(2), Bucket::output(3), Bucket::output(4)],
+            },
+        );
+        dp.add_flow(0, FlowSpec::new(1, FlowMatch::ANY, vec![Action::Group(7)]), 0);
+        let first = dp.process(0, 1, &udp(1000));
+        // Same flow, later packet: same bucket.
+        let second = dp.process(1, 1, &udp(1000));
+        assert_eq!(first, second);
+        // Different flows eventually use different ports.
+        let mut ports = std::collections::BTreeSet::new();
+        for dst in 0..64u16 {
+            for e in dp.process(2, 1, &udp(dst)) {
+                if let Effect::Output { port, .. } = e {
+                    ports.insert(port);
+                }
+            }
+        }
+        assert!(ports.len() >= 2, "ECMP never spread: {ports:?}");
+    }
+
+    #[test]
+    fn failover_group_reacts_to_port_state() {
+        let mut dp = dp(1);
+        dp.groups.add(
+            9,
+            GroupDesc {
+                group_type: GroupType::FastFailover,
+                buckets: vec![Bucket::output(2), Bucket::output(3)],
+            },
+        );
+        dp.add_flow(0, FlowSpec::new(1, FlowMatch::ANY, vec![Action::Group(9)]), 0);
+        let effects = dp.process(0, 1, &udp(1));
+        assert!(matches!(&effects[0], Effect::Output { port: 2, .. }));
+        dp.set_port_up(2, false);
+        let effects = dp.process(1, 1, &udp(1));
+        assert!(matches!(&effects[0], Effect::Output { port: 3, .. }));
+    }
+
+    #[test]
+    fn meter_drops_excess() {
+        let mut dp = dp(1);
+        dp.set_meter(1, 8_000, 50); // 8 kb/s, 50-byte burst
+        dp.add_flow(
+            0,
+            FlowSpec::new(
+                1,
+                FlowMatch::ANY,
+                vec![Action::Meter(1), Action::Output(2)],
+            ),
+            0,
+        );
+        // One 43-byte frame fits in the burst; a second at the same
+        // instant does not.
+        let small = PacketBuilder::udp(M1, IP1, 1, M2, IP2, 2, b"x");
+        assert!(!dp.process(0, 1, &small).is_empty());
+        // Bucket exhausted: next frame at the same instant drops.
+        assert!(dp.process(0, 1, &small).is_empty());
+        assert_eq!(dp.meter(1).unwrap().dropped, 1);
+    }
+
+    #[test]
+    fn rewrite_then_output() {
+        let mut dp = dp(1);
+        let m3 = EthernetAddress([2, 0, 0, 0, 0, 3]);
+        dp.add_flow(
+            0,
+            FlowSpec::new(
+                1,
+                FlowMatch::ANY,
+                vec![Action::SetEthDst(m3), Action::DecTtl, Action::Output(2)],
+            ),
+            0,
+        );
+        let effects = dp.process(0, 1, &udp(1));
+        let Effect::Output { frame, .. } = &effects[0] else {
+            panic!();
+        };
+        let key = FlowKey::extract(2, frame).unwrap();
+        assert_eq!(key.eth_dst, m3);
+    }
+
+    #[test]
+    fn output_before_rewrite_sends_original() {
+        let mut dp = dp(1);
+        let m3 = EthernetAddress([2, 0, 0, 0, 0, 3]);
+        dp.add_flow(
+            0,
+            FlowSpec::new(
+                1,
+                FlowMatch::ANY,
+                vec![Action::Output(2), Action::SetEthDst(m3), Action::Output(3)],
+            ),
+            0,
+        );
+        let effects = dp.process(0, 1, &udp(1));
+        let frames: Vec<&Vec<u8>> = effects
+            .iter()
+            .map(|e| match e {
+                Effect::Output { frame, .. } => frame,
+                _ => panic!(),
+            })
+            .collect();
+        let k0 = FlowKey::extract(1, frames[0]).unwrap();
+        let k1 = FlowKey::extract(1, frames[1]).unwrap();
+        assert_eq!(k0.eth_dst, M2, "first output sees pre-rewrite frame");
+        assert_eq!(k1.eth_dst, m3);
+    }
+
+    #[test]
+    fn output_to_down_port_filtered() {
+        let mut dp = dp(1);
+        dp.add_flow(0, FlowSpec::new(1, FlowMatch::ANY, vec![Action::Output(2)]), 0);
+        dp.set_port_up(2, false);
+        let effects = dp.process(0, 1, &udp(1));
+        assert_eq!(effects.len(), 1, "process still reports the intent");
+        assert_eq!(dp.port_stats(2).tx_dropped, 1);
+        assert!(dp.filter_live_outputs(effects).is_empty());
+    }
+
+    #[test]
+    fn expiry_and_cookie_delete() {
+        let mut dp = dp(1);
+        dp.add_flow(
+            0,
+            FlowSpec::new(1, FlowMatch::ANY, vec![]).with_timeouts(0, 100).with_cookie(5),
+            0,
+        );
+        dp.add_flow(0, FlowSpec::new(2, FlowMatch::ANY, vec![]).with_cookie(5), 0);
+        assert_eq!(dp.flow_count(), 2);
+        let expired = dp.expire(100);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].2, RemovedReason::HardTimeout);
+        assert_eq!(dp.delete_flows_by_cookie(5).len(), 1);
+        assert_eq!(dp.flow_count(), 0);
+    }
+}

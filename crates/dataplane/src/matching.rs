@@ -1,0 +1,270 @@
+//! Wildcardable flow matching.
+
+use zen_wire::{EthernetAddress, Ipv4Cidr};
+
+use crate::key::FlowKey;
+use crate::PortNo;
+
+/// A match over [`FlowKey`] fields. `None` fields are wildcards.
+///
+/// IPv4 addresses match by prefix ([`Ipv4Cidr`]), so the same type
+/// expresses exact microflow rules and aggregated rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlowMatch {
+    /// Ingress port.
+    pub in_port: Option<PortNo>,
+    /// Ethernet source, exact.
+    pub eth_src: Option<EthernetAddress>,
+    /// Ethernet destination, exact.
+    pub eth_dst: Option<EthernetAddress>,
+    /// Inner EtherType.
+    pub ethertype: Option<u16>,
+    /// VLAN id; `Some(None)` matches untagged frames specifically.
+    pub vlan: Option<Option<u16>>,
+    /// IPv4 source prefix. Implies the frame must carry IPv4.
+    pub ipv4_src: Option<Ipv4Cidr>,
+    /// IPv4 destination prefix. Implies the frame must carry IPv4.
+    pub ipv4_dst: Option<Ipv4Cidr>,
+    /// IP protocol. Implies IPv4.
+    pub ip_proto: Option<u8>,
+    /// L4 source port. Implies TCP or UDP.
+    pub l4_src: Option<u16>,
+    /// L4 destination port. Implies TCP or UDP.
+    pub l4_dst: Option<u16>,
+}
+
+impl FlowMatch {
+    /// Match everything (the table-miss wildcard).
+    pub const ANY: FlowMatch = FlowMatch {
+        in_port: None,
+        eth_src: None,
+        eth_dst: None,
+        ethertype: None,
+        vlan: None,
+        ipv4_src: None,
+        ipv4_dst: None,
+        ip_proto: None,
+        l4_src: None,
+        l4_dst: None,
+    };
+
+    /// An exact match on every field present in `key` (a "microflow"
+    /// rule, what a reactive controller installs).
+    pub fn exact(key: &FlowKey) -> FlowMatch {
+        FlowMatch {
+            in_port: Some(key.in_port),
+            eth_src: Some(key.eth_src),
+            eth_dst: Some(key.eth_dst),
+            ethertype: Some(key.ethertype),
+            vlan: Some(key.vlan),
+            ipv4_src: key
+                .ipv4
+                .map(|ip| Ipv4Cidr::new(ip.src, 32).expect("32 is valid")),
+            ipv4_dst: key
+                .ipv4
+                .map(|ip| Ipv4Cidr::new(ip.dst, 32).expect("32 is valid")),
+            ip_proto: key.ipv4.map(|ip| ip.proto),
+            l4_src: key.l4.map(|l4| l4.src_port),
+            l4_dst: key.l4.map(|l4| l4.dst_port),
+        }
+    }
+
+    /// Match frames destined to an L2 address.
+    pub fn eth_to(dst: EthernetAddress) -> FlowMatch {
+        FlowMatch {
+            eth_dst: Some(dst),
+            ..FlowMatch::ANY
+        }
+    }
+
+    /// Match IPv4 frames destined into a prefix.
+    pub fn ipv4_to(dst: Ipv4Cidr) -> FlowMatch {
+        FlowMatch {
+            ethertype: Some(0x0800),
+            ipv4_dst: Some(dst),
+            ..FlowMatch::ANY
+        }
+    }
+
+    /// Builder: also require an ingress port.
+    pub fn with_in_port(mut self, port: PortNo) -> FlowMatch {
+        self.in_port = Some(port);
+        self
+    }
+
+    /// Builder: also require an IP protocol.
+    pub fn with_ip_proto(mut self, proto: u8) -> FlowMatch {
+        self.ethertype = Some(0x0800);
+        self.ip_proto = Some(proto);
+        self
+    }
+
+    /// Builder: also require an L4 destination port.
+    pub fn with_l4_dst(mut self, port: u16) -> FlowMatch {
+        self.l4_dst = Some(port);
+        self
+    }
+
+    /// Whether `key` satisfies every present field.
+    pub fn matches(&self, key: &FlowKey) -> bool {
+        if let Some(p) = self.in_port {
+            if key.in_port != p {
+                return false;
+            }
+        }
+        if let Some(m) = self.eth_src {
+            if key.eth_src != m {
+                return false;
+            }
+        }
+        if let Some(m) = self.eth_dst {
+            if key.eth_dst != m {
+                return false;
+            }
+        }
+        if let Some(t) = self.ethertype {
+            if key.ethertype != t {
+                return false;
+            }
+        }
+        if let Some(v) = self.vlan {
+            if key.vlan != v {
+                return false;
+            }
+        }
+        if self.ipv4_src.is_some() || self.ipv4_dst.is_some() || self.ip_proto.is_some() {
+            let Some(ip) = key.ipv4 else {
+                return false;
+            };
+            if let Some(cidr) = self.ipv4_src {
+                if !cidr.contains(ip.src) {
+                    return false;
+                }
+            }
+            if let Some(cidr) = self.ipv4_dst {
+                if !cidr.contains(ip.dst) {
+                    return false;
+                }
+            }
+            if let Some(proto) = self.ip_proto {
+                if ip.proto != proto {
+                    return false;
+                }
+            }
+        }
+        if self.l4_src.is_some() || self.l4_dst.is_some() {
+            let Some(l4) = key.l4 else {
+                return false;
+            };
+            if let Some(p) = self.l4_src {
+                if l4.src_port != p {
+                    return false;
+                }
+            }
+            if let Some(p) = self.l4_dst {
+                if l4.dst_port != p {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// A crude specificity score (count of constrained fields plus prefix
+    /// lengths), useful for debugging and table dumps; priority, not
+    /// specificity, decides matching order.
+    pub fn specificity(&self) -> u32 {
+        let mut s = 0;
+        s += u32::from(self.in_port.is_some());
+        s += u32::from(self.eth_src.is_some());
+        s += u32::from(self.eth_dst.is_some());
+        s += u32::from(self.ethertype.is_some());
+        s += u32::from(self.vlan.is_some());
+        s += self.ipv4_src.map_or(0, |c| 1 + u32::from(c.prefix_len()));
+        s += self.ipv4_dst.map_or(0, |c| 1 + u32::from(c.prefix_len()));
+        s += u32::from(self.ip_proto.is_some());
+        s += u32::from(self.l4_src.is_some());
+        s += u32::from(self.l4_dst.is_some());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zen_wire::builder::PacketBuilder;
+    use zen_wire::Ipv4Address;
+
+    const M1: EthernetAddress = EthernetAddress([2, 0, 0, 0, 0, 1]);
+    const M2: EthernetAddress = EthernetAddress([2, 0, 0, 0, 0, 2]);
+    const IP1: Ipv4Address = Ipv4Address::new(10, 0, 0, 1);
+    const IP2: Ipv4Address = Ipv4Address::new(10, 1, 2, 3);
+
+    fn udp_key() -> FlowKey {
+        let frame = PacketBuilder::udp(M1, IP1, 1234, M2, IP2, 53, b"q");
+        FlowKey::extract(3, &frame).unwrap()
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        assert!(FlowMatch::ANY.matches(&udp_key()));
+    }
+
+    #[test]
+    fn exact_matches_own_key_only() {
+        let key = udp_key();
+        let m = FlowMatch::exact(&key);
+        assert!(m.matches(&key));
+        let mut other = key;
+        other.in_port = 4;
+        assert!(!m.matches(&other));
+    }
+
+    #[test]
+    fn prefix_match() {
+        let key = udp_key();
+        let m = FlowMatch::ipv4_to("10.1.0.0/16".parse().unwrap());
+        assert!(m.matches(&key));
+        let m = FlowMatch::ipv4_to("10.2.0.0/16".parse().unwrap());
+        assert!(!m.matches(&key));
+    }
+
+    #[test]
+    fn ip_fields_require_ip() {
+        let arp = PacketBuilder::arp_request(M1, IP1, IP2);
+        let key = FlowKey::extract(1, &arp).unwrap();
+        assert!(!FlowMatch::ipv4_to("0.0.0.0/0".parse().unwrap()).matches(&key));
+        assert!(!FlowMatch::ANY.with_ip_proto(17).matches(&key));
+        assert!(FlowMatch::ANY.matches(&key));
+    }
+
+    #[test]
+    fn l4_fields_require_l4() {
+        let icmp = PacketBuilder::icmp_echo_request(M1, IP1, M2, IP2, 1, 1);
+        let key = FlowKey::extract(1, &icmp).unwrap();
+        assert!(!FlowMatch::ANY.with_l4_dst(53).matches(&key));
+        assert!(FlowMatch::ANY.with_ip_proto(1).matches(&key));
+    }
+
+    #[test]
+    fn untagged_vlan_match() {
+        let key = udp_key();
+        let m = FlowMatch {
+            vlan: Some(None),
+            ..FlowMatch::ANY
+        };
+        assert!(m.matches(&key));
+        let m = FlowMatch {
+            vlan: Some(Some(100)),
+            ..FlowMatch::ANY
+        };
+        assert!(!m.matches(&key));
+    }
+
+    #[test]
+    fn specificity_ranks_exact_over_wildcard() {
+        let key = udp_key();
+        assert!(FlowMatch::exact(&key).specificity() > FlowMatch::eth_to(M2).specificity());
+        assert_eq!(FlowMatch::ANY.specificity(), 0);
+    }
+}

@@ -1,0 +1,379 @@
+//! Priority-ordered flow tables with timeouts and counters.
+
+use crate::action::Action;
+use crate::key::FlowKey;
+use crate::matching::FlowMatch;
+use crate::Nanos;
+
+/// What a controller supplies when adding a flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Match priority; higher wins.
+    pub priority: u16,
+    /// The match.
+    pub matcher: FlowMatch,
+    /// Action list, applied in order.
+    pub actions: Vec<Action>,
+    /// Continue processing in a later table after the action list.
+    pub goto_table: Option<u8>,
+    /// Opaque controller cookie.
+    pub cookie: u64,
+    /// Evict if unmatched for this long. `0` = never.
+    pub idle_timeout: Nanos,
+    /// Evict this long after installation regardless of use. `0` = never.
+    pub hard_timeout: Nanos,
+}
+
+impl FlowSpec {
+    /// A spec with the given priority, match and actions; no timeouts,
+    /// no goto, cookie 0.
+    pub fn new(priority: u16, matcher: FlowMatch, actions: Vec<Action>) -> FlowSpec {
+        FlowSpec {
+            priority,
+            matcher,
+            actions,
+            goto_table: None,
+            cookie: 0,
+            idle_timeout: 0,
+            hard_timeout: 0,
+        }
+    }
+
+    /// Builder: set timeouts.
+    pub fn with_timeouts(mut self, idle: Nanos, hard: Nanos) -> FlowSpec {
+        self.idle_timeout = idle;
+        self.hard_timeout = hard;
+        self
+    }
+
+    /// Builder: set the cookie.
+    pub fn with_cookie(mut self, cookie: u64) -> FlowSpec {
+        self.cookie = cookie;
+        self
+    }
+
+    /// Builder: continue in a later table.
+    pub fn with_goto(mut self, table: u8) -> FlowSpec {
+        self.goto_table = Some(table);
+        self
+    }
+}
+
+/// An installed entry: the spec plus its counters.
+#[derive(Debug, Clone)]
+pub struct FlowEntry {
+    /// The controller-supplied parameters.
+    pub spec: FlowSpec,
+    /// Installation time.
+    pub installed_at: Nanos,
+    /// Last packet hit (== `installed_at` when unused).
+    pub last_hit: Nanos,
+    /// Packets matched.
+    pub packets: u64,
+    /// Bytes matched.
+    pub bytes: u64,
+    /// Insertion sequence, breaking priority ties deterministically
+    /// (earlier installation wins).
+    seq: u64,
+}
+
+/// Why an entry was removed (reported to the controller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemovedReason {
+    /// Idle timeout expired.
+    IdleTimeout,
+    /// Hard timeout expired.
+    HardTimeout,
+    /// Deleted by a controller request.
+    Delete,
+}
+
+/// A single flow table.
+#[derive(Debug, Clone, Default)]
+pub struct FlowTable {
+    /// Sorted by (priority desc, seq asc).
+    entries: Vec<FlowEntry>,
+    next_seq: u64,
+    /// Lookups that matched no entry.
+    pub misses: u64,
+    /// Lookups that matched an entry.
+    pub hits: u64,
+}
+
+impl FlowTable {
+    /// An empty table.
+    pub fn new() -> FlowTable {
+        FlowTable::default()
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in match order.
+    pub fn entries(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.entries.iter()
+    }
+
+    /// Install `spec`. An entry with identical (priority, match) is
+    /// replaced, preserving OpenFlow ADD semantics (counters reset).
+    pub fn add(&mut self, spec: FlowSpec, now: Nanos) {
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.spec.priority == spec.priority && e.spec.matcher == spec.matcher)
+        {
+            let seq = existing.seq;
+            *existing = FlowEntry {
+                spec,
+                installed_at: now,
+                last_hit: now,
+                packets: 0,
+                bytes: 0,
+                seq,
+            };
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = FlowEntry {
+            spec,
+            installed_at: now,
+            last_hit: now,
+            packets: 0,
+            bytes: 0,
+            seq,
+        };
+        // Insert keeping (priority desc, seq asc) order.
+        let pos = self
+            .entries
+            .partition_point(|e| e.spec.priority >= entry.spec.priority);
+        self.entries.insert(pos, entry);
+    }
+
+    /// Delete the entry with exactly this (priority, match). Returns it if
+    /// present.
+    pub fn delete_strict(&mut self, priority: u16, matcher: &FlowMatch) -> Option<FlowEntry> {
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.spec.priority == priority && e.spec.matcher == *matcher)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// Delete every entry whose cookie equals `cookie`; returns them.
+    pub fn delete_by_cookie(&mut self, cookie: u64) -> Vec<FlowEntry> {
+        let (gone, keep) = self
+            .entries
+            .drain(..)
+            .partition(|e| e.spec.cookie == cookie);
+        self.entries = keep;
+        gone
+    }
+
+    /// Delete all entries; returns them.
+    pub fn clear(&mut self) -> Vec<FlowEntry> {
+        self.entries.drain(..).collect()
+    }
+
+    /// The highest-priority matching entry, updating its counters.
+    pub fn lookup(&mut self, key: &FlowKey, frame_len: usize, now: Nanos) -> Option<&FlowEntry> {
+        match self
+            .entries
+            .iter_mut()
+            .find(|e| e.spec.matcher.matches(key))
+        {
+            Some(entry) => {
+                entry.packets += 1;
+                entry.bytes += frame_len as u64;
+                entry.last_hit = now;
+                self.hits += 1;
+                Some(&*entry)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// A read-only lookup that leaves counters untouched (for stats and
+    /// conflict analysis).
+    pub fn peek(&self, key: &FlowKey) -> Option<&FlowEntry> {
+        self.entries.iter().find(|e| e.spec.matcher.matches(key))
+    }
+
+    /// Evict expired entries; returns them with the reason, for
+    /// FLOW_REMOVED notifications.
+    pub fn expire(&mut self, now: Nanos) -> Vec<(FlowEntry, RemovedReason)> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| {
+            if e.spec.hard_timeout > 0 && now >= e.installed_at + e.spec.hard_timeout {
+                removed.push((e.clone(), RemovedReason::HardTimeout));
+                false
+            } else if e.spec.idle_timeout > 0 && now >= e.last_hit + e.spec.idle_timeout {
+                removed.push((e.clone(), RemovedReason::IdleTimeout));
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zen_wire::builder::PacketBuilder;
+    use zen_wire::{EthernetAddress, Ipv4Address};
+
+    const M1: EthernetAddress = EthernetAddress([2, 0, 0, 0, 0, 1]);
+    const M2: EthernetAddress = EthernetAddress([2, 0, 0, 0, 0, 2]);
+
+    fn key(dst_port: u16) -> FlowKey {
+        let frame = PacketBuilder::udp(
+            M1,
+            Ipv4Address::new(10, 0, 0, 1),
+            999,
+            M2,
+            Ipv4Address::new(10, 0, 0, 2),
+            dst_port,
+            b"x",
+        );
+        FlowKey::extract(1, &frame).unwrap()
+    }
+
+    #[test]
+    fn priority_order_wins() {
+        let mut table = FlowTable::new();
+        table.add(
+            FlowSpec::new(1, FlowMatch::ANY, vec![Action::Output(1)]),
+            0,
+        );
+        table.add(
+            FlowSpec::new(
+                10,
+                FlowMatch::ANY.with_ip_proto(17),
+                vec![Action::Output(2)],
+            ),
+            0,
+        );
+        let hit = table.lookup(&key(53), 60, 100).unwrap();
+        assert_eq!(hit.spec.actions, vec![Action::Output(2)]);
+        assert_eq!(table.hits, 1);
+    }
+
+    #[test]
+    fn equal_priority_earlier_install_wins() {
+        let mut table = FlowTable::new();
+        table.add(
+            FlowSpec::new(5, FlowMatch::ANY, vec![Action::Output(1)]).with_cookie(1),
+            0,
+        );
+        table.add(
+            FlowSpec::new(5, FlowMatch::ANY.with_ip_proto(17), vec![Action::Output(2)])
+                .with_cookie(2),
+            0,
+        );
+        let hit = table.lookup(&key(53), 60, 0).unwrap();
+        assert_eq!(hit.spec.cookie, 1);
+    }
+
+    #[test]
+    fn add_replaces_same_priority_and_match() {
+        let mut table = FlowTable::new();
+        table.add(
+            FlowSpec::new(5, FlowMatch::ANY, vec![Action::Output(1)]),
+            0,
+        );
+        table.lookup(&key(1), 60, 1);
+        table.add(
+            FlowSpec::new(5, FlowMatch::ANY, vec![Action::Output(9)]),
+            2,
+        );
+        assert_eq!(table.len(), 1);
+        let hit = table.lookup(&key(1), 60, 3).unwrap();
+        assert_eq!(hit.spec.actions, vec![Action::Output(9)]);
+        assert_eq!(hit.packets, 1, "counters reset on replace");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut table = FlowTable::new();
+        table.add(
+            FlowSpec::new(5, FlowMatch::ANY, vec![Action::Output(1)]),
+            0,
+        );
+        table.lookup(&key(1), 100, 1);
+        table.lookup(&key(2), 50, 2);
+        let entry = table.entries().next().unwrap();
+        assert_eq!(entry.packets, 2);
+        assert_eq!(entry.bytes, 150);
+        assert_eq!(entry.last_hit, 2);
+    }
+
+    #[test]
+    fn miss_counts() {
+        let mut table = FlowTable::new();
+        assert!(table.lookup(&key(1), 60, 0).is_none());
+        assert_eq!(table.misses, 1);
+    }
+
+    #[test]
+    fn idle_timeout_expires_only_when_idle() {
+        let mut table = FlowTable::new();
+        table.add(
+            FlowSpec::new(5, FlowMatch::ANY, vec![Action::Output(1)]).with_timeouts(100, 0),
+            0,
+        );
+        // Kept alive by hits.
+        table.lookup(&key(1), 60, 50);
+        assert!(table.expire(120).is_empty());
+        // Goes idle.
+        let removed = table.expire(160);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].1, RemovedReason::IdleTimeout);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn hard_timeout_expires_despite_hits() {
+        let mut table = FlowTable::new();
+        table.add(
+            FlowSpec::new(5, FlowMatch::ANY, vec![Action::Output(1)]).with_timeouts(0, 100),
+            0,
+        );
+        table.lookup(&key(1), 60, 99);
+        let removed = table.expire(100);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].1, RemovedReason::HardTimeout);
+    }
+
+    #[test]
+    fn delete_strict_and_by_cookie() {
+        let mut table = FlowTable::new();
+        let m = FlowMatch::ANY.with_ip_proto(17);
+        table.add(FlowSpec::new(5, m, vec![]).with_cookie(7), 0);
+        table.add(FlowSpec::new(6, FlowMatch::ANY, vec![]).with_cookie(7), 0);
+        assert!(table.delete_strict(5, &m).is_some());
+        assert!(table.delete_strict(5, &m).is_none());
+        assert_eq!(table.delete_by_cookie(7).len(), 1);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut table = FlowTable::new();
+        table.add(FlowSpec::new(5, FlowMatch::ANY, vec![]), 0);
+        assert!(table.peek(&key(1)).is_some());
+        assert_eq!(table.hits, 0);
+        assert_eq!(table.entries().next().unwrap().packets, 0);
+    }
+}

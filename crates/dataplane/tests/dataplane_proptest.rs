@@ -1,0 +1,189 @@
+//! Property tests for the data plane: flow-table semantics against a
+//! naive model, and pipeline totality on arbitrary frames.
+
+use proptest::prelude::*;
+
+use zen_dataplane::{
+    Action, Datapath, FlowKey, FlowMatch, FlowSpec, FlowTable, MissPolicy,
+};
+use zen_wire::builder::PacketBuilder;
+use zen_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
+
+/// A small universe of keys so matches collide.
+fn key_for(seed: u8) -> FlowKey {
+    let frame = PacketBuilder::udp(
+        EthernetAddress::from_id(u64::from(seed % 4) + 1),
+        Ipv4Address::new(10, 0, 0, seed % 8),
+        1000 + u16::from(seed % 4),
+        EthernetAddress::from_id(u64::from(seed % 3) + 50),
+        Ipv4Address::new(10, 0, 1, seed % 8),
+        53 + u16::from(seed % 2),
+        b"x",
+    );
+    FlowKey::extract(u32::from(seed % 3) + 1, &frame).unwrap()
+}
+
+fn arb_match() -> impl Strategy<Value = FlowMatch> {
+    (
+        proptest::option::of(1u32..4),
+        proptest::option::of(0u8..8),
+        proptest::option::of(0u8..8),
+        proptest::option::of(50u16..56),
+    )
+        .prop_map(|(in_port, src_oct, dst_oct, l4)| FlowMatch {
+            in_port,
+            ipv4_src: src_oct
+                .map(|o| Ipv4Cidr::new(Ipv4Address::new(10, 0, 0, o), 32).unwrap()),
+            ipv4_dst: dst_oct
+                .map(|o| Ipv4Cidr::new(Ipv4Address::new(10, 0, 1, o), 32).unwrap()),
+            l4_dst: l4,
+            ..FlowMatch::ANY
+        })
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Add { priority: u16, matcher: FlowMatch, tag: u32 },
+    DeleteStrict { priority: u16, matcher: FlowMatch },
+    Lookup { seed: u8 },
+    Expire { at: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..4, arb_match(), any::<u32>())
+            .prop_map(|(priority, matcher, tag)| Op::Add { priority, matcher, tag }),
+        (0u16..4, arb_match()).prop_map(|(priority, matcher)| Op::DeleteStrict { priority, matcher }),
+        any::<u8>().prop_map(|seed| Op::Lookup { seed }),
+        (0u64..1000).prop_map(|at| Op::Expire { at }),
+    ]
+}
+
+/// The executable specification of a flow table: a plain list scanned
+/// by (priority desc, insertion order asc).
+#[derive(Default)]
+struct ModelTable {
+    entries: Vec<(u16, FlowMatch, u32, u64)>, // priority, match, tag, seq
+    next_seq: u64,
+}
+
+impl ModelTable {
+    fn add(&mut self, priority: u16, matcher: FlowMatch, tag: u32) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|(p, m, _, _)| *p == priority && *m == matcher)
+        {
+            e.2 = tag;
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push((priority, matcher, tag, seq));
+    }
+
+    fn delete(&mut self, priority: u16, matcher: &FlowMatch) -> bool {
+        let before = self.entries.len();
+        self.entries
+            .retain(|(p, m, _, _)| !(*p == priority && m == matcher));
+        self.entries.len() != before
+    }
+
+    fn lookup(&self, key: &FlowKey) -> Option<u32> {
+        self.entries
+            .iter()
+            .filter(|(_, m, _, _)| m.matches(key))
+            .max_by(|a, b| a.0.cmp(&b.0).then(b.3.cmp(&a.3)))
+            .map(|&(_, _, tag, _)| tag)
+    }
+}
+
+proptest! {
+    #[test]
+    fn table_matches_model(ops in proptest::collection::vec(arb_op(), 1..80)) {
+        let mut real = FlowTable::new();
+        let mut model = ModelTable::default();
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Add { priority, matcher, tag } => {
+                    // Encode the tag in the cookie to compare outcomes.
+                    real.add(
+                        FlowSpec::new(priority, matcher, vec![Action::Output(1)])
+                            .with_cookie(u64::from(tag)),
+                        0,
+                    );
+                    model.add(priority, matcher, tag);
+                }
+                Op::DeleteStrict { priority, matcher } => {
+                    let r = real.delete_strict(priority, &matcher).is_some();
+                    let m = model.delete(priority, &matcher);
+                    prop_assert_eq!(r, m, "delete mismatch at op {}", i);
+                }
+                Op::Lookup { seed } => {
+                    let key = key_for(seed);
+                    let r = real.lookup(&key, 64, 0).map(|e| e.spec.cookie as u32);
+                    let m = model.lookup(&key);
+                    prop_assert_eq!(r, m, "lookup mismatch at op {}", i);
+                }
+                Op::Expire { at } => {
+                    // No timeouts are configured, so expiry never evicts.
+                    prop_assert!(real.expire(at).is_empty());
+                }
+            }
+            prop_assert_eq!(real.len(), model.entries.len(), "len mismatch at op {}", i);
+        }
+    }
+
+    #[test]
+    fn pipeline_total_on_arbitrary_frames(frames in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..200), 1..20)) {
+        // A datapath with a few arbitrary rules must process any byte
+        // soup without panicking.
+        let mut dp = Datapath::new(1, 2, MissPolicy::ToController { max_len: 64 });
+        for p in 1..=4 {
+            dp.add_port(p);
+        }
+        dp.add_flow(0, FlowSpec::new(5, FlowMatch::ANY.with_ip_proto(17), vec![Action::Output(2)]), 0);
+        dp.add_flow(0, FlowSpec::new(1, FlowMatch::ANY, vec![Action::Flood]).with_goto(1), 0);
+        dp.add_flow(1, FlowSpec::new(1, FlowMatch::ANY, vec![Action::DecTtl, Action::Output(3)]), 0);
+        for (i, frame) in frames.iter().enumerate() {
+            let _ = dp.process(i as u64, 1 + (i as u32 % 4), frame);
+        }
+    }
+
+    #[test]
+    fn idle_and_hard_timeouts_model(idle in 1u64..100, hard in 1u64..100, hits in proptest::collection::vec(1u64..200, 0..10)) {
+        let mut table = FlowTable::new();
+        table.add(
+            FlowSpec::new(1, FlowMatch::ANY, vec![]).with_timeouts(idle, hard),
+            0,
+        );
+        let mut sorted = hits.clone();
+        sorted.sort_unstable();
+        let mut last_hit = 0u64;
+        let mut evicted_at: Option<u64> = None;
+        for &t in &sorted {
+            // Model: evict when t >= last_hit + idle or t >= hard.
+            if evicted_at.is_none() && (t >= last_hit + idle || t >= hard) {
+                evicted_at = Some(t);
+            }
+            let removed = table.expire(t);
+            match evicted_at {
+                Some(at) if at == t && removed.len() == 1 => {
+                    // Evicted exactly now; stop.
+                    return Ok(());
+                }
+                Some(_) => {
+                    prop_assert!(removed.len() <= 1);
+                    return Ok(());
+                }
+                None => {
+                    prop_assert!(removed.is_empty(), "premature eviction at {}", t);
+                    let key = key_for(0);
+                    table.lookup(&key, 1, t);
+                    last_hit = t;
+                }
+            }
+        }
+    }
+}

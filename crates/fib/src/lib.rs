@@ -1,0 +1,183 @@
+//! # zen-fib — longest-prefix-match forwarding tables
+//!
+//! The forwarding primitive of the classical (pre-SDN) architecture, and
+//! the controller's RIB representation: IPv4 longest-prefix match with
+//! incremental updates.
+//!
+//! Four interchangeable structures implement the [`Fib`] trait, spanning
+//! the lookup/update/memory trade-off space that the FIB-compression
+//! literature studies:
+//!
+//! * [`LinearFib`] — a sorted scan; the correctness oracle.
+//! * [`trie::BinaryTrieFib`] — one node per prefix bit; fast updates.
+//! * [`radix::RadixTrieFib`] — path-compressed (Patricia); fewer nodes,
+//!   fewer cache misses.
+//! * [`dir24::Dir24Fib`] — DIR-24-8 direct indexing; one or two memory
+//!   probes per lookup, at the cost of expensive updates and a large
+//!   table.
+//!
+//! [`synth::SyntheticTable`] generates prefix tables with a realistic
+//! prefix-length mix for benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dir24;
+pub mod radix;
+pub mod synth;
+pub mod trie;
+
+pub use dir24::Dir24Fib;
+pub use radix::RadixTrieFib;
+pub use synth::SyntheticTable;
+pub use trie::BinaryTrieFib;
+pub use zen_wire::{Ipv4Address, Ipv4Cidr};
+
+/// A next-hop identifier (an adjacency or port index).
+pub type NextHop = u32;
+
+/// A longest-prefix-match forwarding table.
+pub trait Fib {
+    /// Insert or replace the entry for `prefix`.
+    fn insert(&mut self, prefix: Ipv4Cidr, next_hop: NextHop);
+
+    /// Remove the entry for `prefix`. Returns whether it existed.
+    fn remove(&mut self, prefix: Ipv4Cidr) -> bool;
+
+    /// The next hop of the longest prefix covering `addr`, if any.
+    fn lookup(&self, addr: Ipv4Address) -> Option<NextHop>;
+
+    /// Number of installed prefixes.
+    fn len(&self) -> usize;
+
+    /// Whether the table is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The baseline: prefixes kept sorted by descending length and scanned
+/// linearly. O(n) lookup, trivially correct — the oracle the fancy
+/// structures are tested against.
+#[derive(Debug, Clone, Default)]
+pub struct LinearFib {
+    /// (prefix, next_hop), sorted by descending prefix length then
+    /// network for determinism.
+    entries: Vec<(Ipv4Cidr, NextHop)>,
+}
+
+impl LinearFib {
+    /// An empty table.
+    pub fn new() -> LinearFib {
+        LinearFib::default()
+    }
+
+    fn position(&self, prefix: &Ipv4Cidr) -> Result<usize, usize> {
+        let key = (core::cmp::Reverse(prefix.prefix_len()), prefix.network());
+        self.entries
+            .binary_search_by_key(&key, |(p, _)| (core::cmp::Reverse(p.prefix_len()), p.network()))
+    }
+}
+
+impl Fib for LinearFib {
+    fn insert(&mut self, prefix: Ipv4Cidr, next_hop: NextHop) {
+        let canon = Ipv4Cidr::new(prefix.network(), prefix.prefix_len()).unwrap();
+        match self.position(&canon) {
+            Ok(i) => self.entries[i].1 = next_hop,
+            Err(i) => self.entries.insert(i, (canon, next_hop)),
+        }
+    }
+
+    fn remove(&mut self, prefix: Ipv4Cidr) -> bool {
+        let canon = Ipv4Cidr::new(prefix.network(), prefix.prefix_len()).unwrap();
+        match self.position(&canon) {
+            Ok(i) => {
+                self.entries.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn lookup(&self, addr: Ipv4Address) -> Option<NextHop> {
+        // Entries are sorted longest-first, so the first hit wins.
+        self.entries
+            .iter()
+            .find(|(p, _)| p.contains(addr))
+            .map(|&(_, nh)| nh)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cidr(s: &str) -> Ipv4Cidr {
+        s.parse().unwrap()
+    }
+
+    fn addr(s: &str) -> Ipv4Address {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn linear_longest_match_wins() {
+        let mut fib = LinearFib::new();
+        fib.insert(cidr("10.0.0.0/8"), 1);
+        fib.insert(cidr("10.1.0.0/16"), 2);
+        fib.insert(cidr("10.1.2.0/24"), 3);
+        assert_eq!(fib.lookup(addr("10.1.2.3")), Some(3));
+        assert_eq!(fib.lookup(addr("10.1.9.1")), Some(2));
+        assert_eq!(fib.lookup(addr("10.9.9.9")), Some(1));
+        assert_eq!(fib.lookup(addr("11.0.0.1")), None);
+    }
+
+    #[test]
+    fn linear_insert_replaces() {
+        let mut fib = LinearFib::new();
+        fib.insert(cidr("10.0.0.0/8"), 1);
+        fib.insert(cidr("10.0.0.0/8"), 9);
+        assert_eq!(fib.len(), 1);
+        assert_eq!(fib.lookup(addr("10.0.0.1")), Some(9));
+    }
+
+    #[test]
+    fn linear_remove() {
+        let mut fib = LinearFib::new();
+        fib.insert(cidr("10.0.0.0/8"), 1);
+        fib.insert(cidr("10.1.0.0/16"), 2);
+        assert!(fib.remove(cidr("10.1.0.0/16")));
+        assert!(!fib.remove(cidr("10.1.0.0/16")));
+        assert_eq!(fib.lookup(addr("10.1.0.1")), Some(1));
+    }
+
+    #[test]
+    fn linear_default_route() {
+        let mut fib = LinearFib::new();
+        fib.insert(cidr("0.0.0.0/0"), 7);
+        assert_eq!(fib.lookup(addr("1.2.3.4")), Some(7));
+        fib.insert(cidr("1.0.0.0/8"), 8);
+        assert_eq!(fib.lookup(addr("1.2.3.4")), Some(8));
+        assert_eq!(fib.lookup(addr("2.2.3.4")), Some(7));
+    }
+
+    #[test]
+    fn linear_host_route() {
+        let mut fib = LinearFib::new();
+        fib.insert(cidr("10.0.0.1/32"), 1);
+        assert_eq!(fib.lookup(addr("10.0.0.1")), Some(1));
+        assert_eq!(fib.lookup(addr("10.0.0.2")), None);
+    }
+
+    #[test]
+    fn non_canonical_prefix_is_canonicalized() {
+        let mut fib = LinearFib::new();
+        fib.insert(cidr("10.1.2.3/16"), 5);
+        assert_eq!(fib.lookup(addr("10.1.9.9")), Some(5));
+        assert!(fib.remove(cidr("10.1.0.0/16")));
+    }
+}

@@ -1,0 +1,341 @@
+//! A path-compressed (Patricia/radix) trie.
+//!
+//! Chains of single-child nodes in the binary trie are collapsed into one
+//! node holding the whole bit-string, so a lookup visits at most one node
+//! per *branching point* instead of one per bit. This is the structure
+//! production routers used for decades (BSD radix tree) and the starting
+//! point of the FIB-compression literature.
+
+use crate::{Fib, NextHop};
+use zen_wire::{Ipv4Address, Ipv4Cidr};
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// The full prefix from the root, left-aligned.
+    prefix: u32,
+    /// Number of significant bits of `prefix` (absolute, not relative).
+    plen: u8,
+    entry: Option<NextHop>,
+    children: [Option<Box<Node>>; 2],
+}
+
+impl Node {
+    fn new(prefix: u32, plen: u8) -> Node {
+        Node {
+            prefix: mask(prefix, plen),
+            plen,
+            entry: None,
+            children: [None, None],
+        }
+    }
+}
+
+/// Keep only the first `plen` bits of `v`.
+#[inline]
+fn mask(v: u32, plen: u8) -> u32 {
+    if plen == 0 {
+        0
+    } else {
+        v & (u32::MAX << (32 - plen as u32))
+    }
+}
+
+/// Bit `i` (0 = most significant).
+#[inline]
+fn bit(v: u32, i: u8) -> usize {
+    ((v >> (31 - i)) & 1) as usize
+}
+
+/// Length of the common prefix of `a` and `b`, capped at `limit`.
+#[inline]
+fn common_prefix_len(a: u32, b: u32, limit: u8) -> u8 {
+    let diff = a ^ b;
+    let cpl = diff.leading_zeros() as u8;
+    cpl.min(limit)
+}
+
+/// A path-compressed radix trie FIB.
+#[derive(Debug, Clone)]
+pub struct RadixTrieFib {
+    root: Node,
+    len: usize,
+}
+
+impl Default for RadixTrieFib {
+    fn default() -> RadixTrieFib {
+        RadixTrieFib::new()
+    }
+}
+
+impl RadixTrieFib {
+    /// An empty trie.
+    pub fn new() -> RadixTrieFib {
+        RadixTrieFib {
+            root: Node::new(0, 0),
+            len: 0,
+        }
+    }
+
+    /// Number of trie nodes (memory proxy for benchmarks).
+    pub fn node_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            1 + node
+                .children
+                .iter()
+                .flatten()
+                .map(|c| count(c))
+                .sum::<usize>()
+        }
+        count(&self.root)
+    }
+}
+
+impl Fib for RadixTrieFib {
+    fn insert(&mut self, prefix: Ipv4Cidr, next_hop: NextHop) {
+        let net = prefix.network().to_u32();
+        let plen = prefix.prefix_len();
+        let mut node = &mut self.root;
+        loop {
+            debug_assert!(node.plen <= plen && mask(net, node.plen) == node.prefix);
+            if node.plen == plen {
+                if node.entry.is_none() {
+                    self.len += 1;
+                }
+                node.entry = Some(next_hop);
+                return;
+            }
+            let b = bit(net, node.plen);
+            match &node.children[b] {
+                None => {
+                    let mut leaf = Node::new(net, plen);
+                    leaf.entry = Some(next_hop);
+                    node.children[b] = Some(Box::new(leaf));
+                    self.len += 1;
+                    return;
+                }
+                Some(child) => {
+                    let cpl = common_prefix_len(net, child.prefix, child.plen.min(plen));
+                    if cpl == child.plen {
+                        // Fully inside the child's edge: descend.
+                        node = node.children[b].as_mut().unwrap();
+                    } else if cpl == plen {
+                        // The new prefix ends inside the child's edge:
+                        // insert a node above the child.
+                        let old = node.children[b].take().unwrap();
+                        let mut mid = Node::new(net, plen);
+                        mid.entry = Some(next_hop);
+                        let ob = bit(old.prefix, plen);
+                        mid.children[ob] = Some(old);
+                        node.children[b] = Some(Box::new(mid));
+                        self.len += 1;
+                        return;
+                    } else {
+                        // Diverge inside the edge: split with a bare
+                        // internal node at the divergence point.
+                        let old = node.children[b].take().unwrap();
+                        let mut split = Node::new(net, cpl);
+                        let ob = bit(old.prefix, cpl);
+                        split.children[ob] = Some(old);
+                        let mut leaf = Node::new(net, plen);
+                        leaf.entry = Some(next_hop);
+                        split.children[1 - ob] = Some(Box::new(leaf));
+                        node.children[b] = Some(Box::new(split));
+                        self.len += 1;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, prefix: Ipv4Cidr) -> bool {
+        let net = prefix.network().to_u32();
+        let plen = prefix.prefix_len();
+
+        fn walk(node: &mut Node, net: u32, plen: u8) -> Option<bool> {
+            if node.plen == plen {
+                if node.entry.take().is_some() {
+                    return Some(true);
+                }
+                return Some(false);
+            }
+            let b = bit(net, node.plen);
+            let child = node.children[b].as_mut()?;
+            if child.plen > plen || mask(net, child.plen) != child.prefix {
+                return None;
+            }
+            let removed = walk(child, net, plen)?;
+            if removed {
+                // Compact: drop childless empty nodes; splice out
+                // single-child empty internals.
+                let c = node.children[b].as_mut().unwrap();
+                if c.entry.is_none() {
+                    let kids = c.children.iter().flatten().count();
+                    if kids == 0 {
+                        node.children[b] = None;
+                    } else if kids == 1 {
+                        let mut boxed = node.children[b].take().unwrap();
+                        let only = boxed
+                            .children
+                            .iter_mut()
+                            .find_map(Option::take)
+                            .unwrap();
+                        node.children[b] = Some(only);
+                    }
+                }
+            }
+            Some(removed)
+        }
+
+        if plen == 0 {
+            if self.root.entry.take().is_some() {
+                self.len -= 1;
+                return true;
+            }
+            return false;
+        }
+        match walk(&mut self.root, net, plen) {
+            Some(true) => {
+                self.len -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn lookup(&self, addr: Ipv4Address) -> Option<NextHop> {
+        let a = addr.to_u32();
+        let mut best = self.root.entry;
+        let mut node = &self.root;
+        loop {
+            let b = bit(a, node.plen);
+            match &node.children[b] {
+                Some(child) if mask(a, child.plen) == child.prefix => {
+                    if let Some(nh) = child.entry {
+                        best = Some(nh);
+                    }
+                    if child.plen == 32 {
+                        return best;
+                    }
+                    node = child;
+                }
+                _ => return best,
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cidr(s: &str) -> Ipv4Cidr {
+        s.parse().unwrap()
+    }
+
+    fn addr(s: &str) -> Ipv4Address {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_match() {
+        let mut fib = RadixTrieFib::new();
+        fib.insert(cidr("10.0.0.0/8"), 1);
+        fib.insert(cidr("10.1.0.0/16"), 2);
+        fib.insert(cidr("10.1.2.0/24"), 3);
+        assert_eq!(fib.lookup(addr("10.1.2.3")), Some(3));
+        assert_eq!(fib.lookup(addr("10.1.3.3")), Some(2));
+        assert_eq!(fib.lookup(addr("10.2.2.3")), Some(1));
+        assert_eq!(fib.lookup(addr("9.0.0.1")), None);
+    }
+
+    #[test]
+    fn split_on_divergence() {
+        let mut fib = RadixTrieFib::new();
+        // 10.0.0.0/24 and 10.0.1.0/24 share 23 bits then diverge.
+        fib.insert(cidr("10.0.0.0/24"), 1);
+        fib.insert(cidr("10.0.1.0/24"), 2);
+        assert_eq!(fib.lookup(addr("10.0.0.5")), Some(1));
+        assert_eq!(fib.lookup(addr("10.0.1.5")), Some(2));
+        assert_eq!(fib.lookup(addr("10.0.2.5")), None);
+        // Root + split node at /23 + two leaves.
+        assert_eq!(fib.node_count(), 4);
+    }
+
+    #[test]
+    fn insert_above_existing() {
+        let mut fib = RadixTrieFib::new();
+        fib.insert(cidr("10.0.1.0/24"), 2);
+        fib.insert(cidr("10.0.0.0/16"), 1); // ends inside the /24's edge
+        assert_eq!(fib.lookup(addr("10.0.1.5")), Some(2));
+        assert_eq!(fib.lookup(addr("10.0.9.5")), Some(1));
+    }
+
+    #[test]
+    fn compression_keeps_node_count_low() {
+        let mut fib = RadixTrieFib::new();
+        // A single /32 should take 2 nodes (root + leaf), not 33.
+        fib.insert(cidr("203.0.113.7/32"), 9);
+        assert_eq!(fib.node_count(), 2);
+        assert_eq!(fib.lookup(addr("203.0.113.7")), Some(9));
+        assert_eq!(fib.lookup(addr("203.0.113.6")), None);
+    }
+
+    #[test]
+    fn default_route() {
+        let mut fib = RadixTrieFib::new();
+        fib.insert(cidr("0.0.0.0/0"), 7);
+        assert_eq!(fib.lookup(addr("8.8.8.8")), Some(7));
+        assert!(fib.remove(cidr("0.0.0.0/0")));
+        assert_eq!(fib.lookup(addr("8.8.8.8")), None);
+    }
+
+    #[test]
+    fn remove_restores_cover_and_compacts() {
+        let mut fib = RadixTrieFib::new();
+        fib.insert(cidr("10.0.0.0/8"), 1);
+        fib.insert(cidr("10.0.0.0/24"), 2);
+        fib.insert(cidr("10.0.1.0/24"), 3);
+        assert!(fib.remove(cidr("10.0.0.0/24")));
+        assert_eq!(fib.lookup(addr("10.0.0.1")), Some(1));
+        assert_eq!(fib.lookup(addr("10.0.1.1")), Some(3));
+        assert!(fib.remove(cidr("10.0.1.0/24")));
+        assert_eq!(fib.lookup(addr("10.0.1.1")), Some(1));
+        // Only root + the /8 leaf remain after compaction.
+        assert_eq!(fib.node_count(), 2);
+        assert_eq!(fib.len(), 1);
+    }
+
+    #[test]
+    fn remove_missing_is_false() {
+        let mut fib = RadixTrieFib::new();
+        fib.insert(cidr("10.0.0.0/8"), 1);
+        assert!(!fib.remove(cidr("10.0.0.0/16")));
+        assert!(!fib.remove(cidr("11.0.0.0/8")));
+        assert!(!fib.remove(cidr("0.0.0.0/0")));
+        assert_eq!(fib.len(), 1);
+    }
+
+    #[test]
+    fn dense_sibling_host_routes() {
+        let mut fib = RadixTrieFib::new();
+        for i in 0..=255u32 {
+            fib.insert(
+                Ipv4Cidr::new(Ipv4Address::from_u32(0x0a000000 | i), 32).unwrap(),
+                i,
+            );
+        }
+        assert_eq!(fib.len(), 256);
+        for i in 0..=255u32 {
+            assert_eq!(
+                fib.lookup(Ipv4Address::from_u32(0x0a000000 | i)),
+                Some(i),
+                "addr 10.0.0.{i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Synthetic routing tables with a realistic prefix-length mix.
+//!
+//! Real hardware traces (RouteViews dumps) are not available offline, so
+//! benchmarks draw from a generator calibrated to the well-known shape of
+//! the global IPv4 table: /24 dominates (~55–60%), /22–/23 around 15%,
+//! /16 and neighbours most of the rest, with thin tails of short prefixes
+//! and host routes.
+
+use std::collections::BTreeSet;
+
+use zen_wire::{Ipv4Address, Ipv4Cidr};
+
+use crate::{Fib, NextHop};
+
+/// Cumulative prefix-length distribution: (length, per-mille cumulative).
+/// Approximates the 2013-era global table shape.
+const LENGTH_CDF: &[(u8, u32)] = &[
+    (8, 4),
+    (12, 10),
+    (14, 20),
+    (15, 30),
+    (16, 130),
+    (17, 160),
+    (18, 200),
+    (19, 260),
+    (20, 330),
+    (21, 400),
+    (22, 490),
+    (23, 560),
+    (24, 985),
+    (28, 990),
+    (30, 994),
+    (32, 1000),
+];
+
+/// A deterministic SplitMix64 stream, private to the generator so the
+/// crate stays dependency-free.
+#[derive(Debug, Clone)]
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next() % bound
+        }
+    }
+}
+
+/// A generated table plus helpers to load it and to draw lookup keys.
+#[derive(Debug, Clone)]
+pub struct SyntheticTable {
+    /// Distinct `(prefix, next_hop)` entries.
+    pub entries: Vec<(Ipv4Cidr, NextHop)>,
+}
+
+impl SyntheticTable {
+    /// Generate `n` distinct prefixes using `seed`. Next hops cycle
+    /// through a small set, as in a router with a handful of adjacencies.
+    pub fn generate(n: usize, seed: u64) -> SyntheticTable {
+        let mut rng = SplitMix(seed);
+        let mut seen = BTreeSet::new();
+        let mut entries = Vec::with_capacity(n);
+        while entries.len() < n {
+            let roll = rng.below(1000) as u32;
+            let plen = LENGTH_CDF
+                .iter()
+                .find(|&&(_, cum)| roll < cum)
+                .map(|&(l, _)| l)
+                .unwrap_or(24);
+            // Bias networks into the unicast space (avoid class D/E).
+            let raw = (rng.next() as u32) & 0x00ff_ffff | ((rng.below(224) as u32) << 24);
+            let cidr = Ipv4Cidr::new(Ipv4Address::from_u32(raw), plen).unwrap();
+            let net = (cidr.network(), plen);
+            if seen.insert(net) {
+                let nh = (entries.len() % 64) as NextHop;
+                entries.push((Ipv4Cidr::new(net.0, plen).unwrap(), nh));
+            }
+        }
+        SyntheticTable { entries }
+    }
+
+    /// Load every entry into `fib`.
+    pub fn load<F: Fib>(&self, fib: &mut F) {
+        for &(prefix, nh) in &self.entries {
+            fib.insert(prefix, nh);
+        }
+    }
+
+    /// Draw `m` lookup addresses: ~90% uniformly inside random table
+    /// prefixes (hits), ~10% uniformly random (mostly misses).
+    pub fn lookup_keys(&self, m: usize, seed: u64) -> Vec<Ipv4Address> {
+        let mut rng = SplitMix(seed ^ 0xabcd_ef01_2345_6789);
+        let mut keys = Vec::with_capacity(m);
+        for _ in 0..m {
+            if !self.entries.is_empty() && rng.below(10) != 0 {
+                let (prefix, _) = self.entries[rng.below(self.entries.len() as u64) as usize];
+                let host_bits = 32 - prefix.prefix_len() as u32;
+                let offset = if host_bits == 0 {
+                    0
+                } else {
+                    (rng.next() as u32) & ((1u64 << host_bits) as u32).wrapping_sub(1)
+                };
+                keys.push(Ipv4Address::from_u32(prefix.network().to_u32() | offset));
+            } else {
+                keys.push(Ipv4Address::from_u32(rng.next() as u32));
+            }
+        }
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearFib;
+
+    #[test]
+    fn generates_requested_count_distinct() {
+        let t = SyntheticTable::generate(2000, 42);
+        assert_eq!(t.entries.len(), 2000);
+        let set: BTreeSet<_> = t
+            .entries
+            .iter()
+            .map(|(p, _)| (p.network(), p.prefix_len()))
+            .collect();
+        assert_eq!(set.len(), 2000);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = SyntheticTable::generate(500, 7);
+        let b = SyntheticTable::generate(500, 7);
+        assert_eq!(a.entries, b.entries);
+        let c = SyntheticTable::generate(500, 8);
+        assert_ne!(a.entries, c.entries);
+    }
+
+    #[test]
+    fn length_mix_is_realistic() {
+        let t = SyntheticTable::generate(10_000, 1);
+        let p24 = t
+            .entries
+            .iter()
+            .filter(|(p, _)| p.prefix_len() == 24)
+            .count();
+        let frac = p24 as f64 / t.entries.len() as f64;
+        assert!((0.35..0.55).contains(&frac), "p24 fraction {frac}");
+        assert!(t.entries.iter().all(|(p, _)| p.prefix_len() <= 32));
+    }
+
+    #[test]
+    fn lookup_keys_mostly_hit() {
+        let t = SyntheticTable::generate(5000, 3);
+        let mut fib = LinearFib::new();
+        t.load(&mut fib);
+        let keys = t.lookup_keys(1000, 3);
+        let hits = keys.iter().filter(|&&k| fib.lookup(k).is_some()).count();
+        assert!(hits > 800, "only {hits}/1000 hits");
+    }
+}

@@ -1,0 +1,199 @@
+//! A binary (unibit) trie: the textbook IP lookup structure.
+//!
+//! One node per prefix bit, arena-allocated. Lookups walk at most 32
+//! levels recording the last entry seen; updates touch only the affected
+//! path, making this the fastest structure for churny tables.
+
+use crate::{Fib, NextHop};
+use zen_wire::{Ipv4Address, Ipv4Cidr};
+
+const NO_NODE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct TrieNode {
+    children: [u32; 2],
+    entry: Option<NextHop>,
+}
+
+impl TrieNode {
+    fn new() -> TrieNode {
+        TrieNode {
+            children: [NO_NODE, NO_NODE],
+            entry: None,
+        }
+    }
+}
+
+/// An arena-allocated binary trie FIB.
+#[derive(Debug, Clone)]
+pub struct BinaryTrieFib {
+    nodes: Vec<TrieNode>,
+    len: usize,
+}
+
+impl Default for BinaryTrieFib {
+    fn default() -> BinaryTrieFib {
+        BinaryTrieFib::new()
+    }
+}
+
+/// Bit `i` (0 = most significant) of `addr`.
+#[inline]
+fn bit(addr: u32, i: u8) -> usize {
+    ((addr >> (31 - i)) & 1) as usize
+}
+
+impl BinaryTrieFib {
+    /// An empty trie.
+    pub fn new() -> BinaryTrieFib {
+        BinaryTrieFib {
+            nodes: vec![TrieNode::new()],
+            len: 0,
+        }
+    }
+
+    /// Number of trie nodes (memory proxy for benchmarks).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn alloc(&mut self) -> u32 {
+        self.nodes.push(TrieNode::new());
+        (self.nodes.len() - 1) as u32
+    }
+}
+
+impl Fib for BinaryTrieFib {
+    fn insert(&mut self, prefix: Ipv4Cidr, next_hop: NextHop) {
+        let net = prefix.network().to_u32();
+        let plen = prefix.prefix_len();
+        let mut node = 0u32;
+        for i in 0..plen {
+            let b = bit(net, i);
+            let child = self.nodes[node as usize].children[b];
+            let child = if child == NO_NODE {
+                let new = self.alloc();
+                self.nodes[node as usize].children[b] = new;
+                new
+            } else {
+                child
+            };
+            node = child;
+        }
+        let entry = &mut self.nodes[node as usize].entry;
+        if entry.is_none() {
+            self.len += 1;
+        }
+        *entry = Some(next_hop);
+    }
+
+    fn remove(&mut self, prefix: Ipv4Cidr) -> bool {
+        let net = prefix.network().to_u32();
+        let plen = prefix.prefix_len();
+        let mut node = 0u32;
+        for i in 0..plen {
+            let b = bit(net, i);
+            node = self.nodes[node as usize].children[b];
+            if node == NO_NODE {
+                return false;
+            }
+        }
+        let entry = &mut self.nodes[node as usize].entry;
+        if entry.take().is_some() {
+            // Structural pruning is deliberately lazy: empty nodes stay in
+            // the arena. Lookup correctness is unaffected and re-inserts
+            // reuse the path.
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn lookup(&self, addr: Ipv4Address) -> Option<NextHop> {
+        let a = addr.to_u32();
+        let mut node = 0u32;
+        let mut best = self.nodes[0].entry;
+        for i in 0..32 {
+            node = self.nodes[node as usize].children[bit(a, i)];
+            if node == NO_NODE {
+                break;
+            }
+            if let Some(nh) = self.nodes[node as usize].entry {
+                best = Some(nh);
+            }
+        }
+        best
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cidr(s: &str) -> Ipv4Cidr {
+        s.parse().unwrap()
+    }
+
+    fn addr(s: &str) -> Ipv4Address {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_match() {
+        let mut fib = BinaryTrieFib::new();
+        fib.insert(cidr("10.0.0.0/8"), 1);
+        fib.insert(cidr("10.1.0.0/16"), 2);
+        fib.insert(cidr("10.1.2.0/24"), 3);
+        assert_eq!(fib.lookup(addr("10.1.2.3")), Some(3));
+        assert_eq!(fib.lookup(addr("10.1.3.3")), Some(2));
+        assert_eq!(fib.lookup(addr("10.2.2.3")), Some(1));
+        assert_eq!(fib.lookup(addr("9.0.0.1")), None);
+        assert_eq!(fib.len(), 3);
+    }
+
+    #[test]
+    fn default_route() {
+        let mut fib = BinaryTrieFib::new();
+        fib.insert(cidr("0.0.0.0/0"), 42);
+        assert_eq!(fib.lookup(addr("255.255.255.255")), Some(42));
+        assert_eq!(fib.lookup(addr("0.0.0.0")), Some(42));
+    }
+
+    #[test]
+    fn host_route_and_neighbors() {
+        let mut fib = BinaryTrieFib::new();
+        fib.insert(cidr("10.0.0.1/32"), 1);
+        fib.insert(cidr("10.0.0.0/31"), 2);
+        assert_eq!(fib.lookup(addr("10.0.0.1")), Some(1));
+        assert_eq!(fib.lookup(addr("10.0.0.0")), Some(2));
+        assert_eq!(fib.lookup(addr("10.0.0.2")), None);
+    }
+
+    #[test]
+    fn insert_replace_remove() {
+        let mut fib = BinaryTrieFib::new();
+        fib.insert(cidr("192.168.0.0/16"), 1);
+        fib.insert(cidr("192.168.0.0/16"), 2);
+        assert_eq!(fib.len(), 1);
+        assert_eq!(fib.lookup(addr("192.168.1.1")), Some(2));
+        assert!(fib.remove(cidr("192.168.0.0/16")));
+        assert!(!fib.remove(cidr("192.168.0.0/16")));
+        assert_eq!(fib.lookup(addr("192.168.1.1")), None);
+        assert_eq!(fib.len(), 0);
+    }
+
+    #[test]
+    fn removal_uncovers_shorter_prefix() {
+        let mut fib = BinaryTrieFib::new();
+        fib.insert(cidr("10.0.0.0/8"), 1);
+        fib.insert(cidr("10.1.0.0/16"), 2);
+        assert_eq!(fib.lookup(addr("10.1.1.1")), Some(2));
+        fib.remove(cidr("10.1.0.0/16"));
+        assert_eq!(fib.lookup(addr("10.1.1.1")), Some(1));
+    }
+}

@@ -1,0 +1,148 @@
+//! Maximum flow via Edmonds-Karp (BFS augmenting paths).
+//!
+//! Used by the traffic-engineering crate to bound achievable throughput
+//! between sites, and by tests as an oracle for allocation quality.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, NodeIx};
+
+/// The value of a maximum `src`→`dst` flow respecting edge capacities.
+///
+/// Edge `weight` is ignored; parallel edges contribute their combined
+/// capacity. Returns 0 if `src == dst` has no outgoing capacity path.
+pub fn max_flow(graph: &Graph, src: NodeIx, dst: NodeIx) -> u64 {
+    if src == dst {
+        return 0;
+    }
+    let n = graph.node_count();
+    // Build a residual adjacency matrix-free representation: for each
+    // original edge create a forward arc with its capacity and a backward
+    // arc with 0.
+    #[derive(Clone, Copy)]
+    struct Arc {
+        to: u32,
+        cap: u64,
+        rev: usize, // index of reverse arc in adj[to]
+    }
+    let mut adj: Vec<Vec<Arc>> = vec![Vec::new(); n];
+    for edge in graph.edges() {
+        let (u, v) = (edge.from as usize, edge.to as usize);
+        let rev_u = adj[v].len();
+        let rev_v = adj[u].len();
+        adj[u].push(Arc {
+            to: edge.to,
+            cap: edge.capacity,
+            rev: rev_u,
+        });
+        adj[v].push(Arc {
+            to: edge.from,
+            cap: 0,
+            rev: rev_v,
+        });
+    }
+
+    let mut flow = 0u64;
+    loop {
+        // BFS for an augmenting path, recording (node, arc index) parents.
+        let mut parent: Vec<Option<(u32, usize)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[src as usize] = true;
+        let mut queue = VecDeque::from([src]);
+        'bfs: while let Some(u) = queue.pop_front() {
+            for (i, arc) in adj[u as usize].iter().enumerate() {
+                if arc.cap > 0 && !seen[arc.to as usize] {
+                    seen[arc.to as usize] = true;
+                    parent[arc.to as usize] = Some((u, i));
+                    if arc.to == dst {
+                        break 'bfs;
+                    }
+                    queue.push_back(arc.to);
+                }
+            }
+        }
+        if !seen[dst as usize] {
+            break;
+        }
+        // Find the bottleneck.
+        let mut bottleneck = u64::MAX;
+        let mut v = dst;
+        while v != src {
+            let (u, i) = parent[v as usize].unwrap();
+            bottleneck = bottleneck.min(adj[u as usize][i].cap);
+            v = u;
+        }
+        // Apply.
+        let mut v = dst;
+        while v != src {
+            let (u, i) = parent[v as usize].unwrap();
+            adj[u as usize][i].cap -= bottleneck;
+            let rev = adj[u as usize][i].rev;
+            adj[v as usize][rev].cap += bottleneck;
+            v = u;
+        }
+        flow += bottleneck;
+    }
+    flow
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1, 1, 10);
+        g.add_edge(1, 2, 1, 7);
+        assert_eq!(max_flow(&g, 0, 2), 7);
+    }
+
+    #[test]
+    fn parallel_paths_add() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(0, 1, 1, 10);
+        g.add_edge(1, 3, 1, 10);
+        g.add_edge(0, 2, 1, 5);
+        g.add_edge(2, 3, 1, 5);
+        assert_eq!(max_flow(&g, 0, 3), 15);
+    }
+
+    #[test]
+    fn classic_crossover_network() {
+        // The textbook example where a naive greedy needs the residual
+        // back-edge: 0→1 (cap 10), 0→2 (10), 1→2 (1), 1→3 (10), 2→3 (10).
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(0, 1, 1, 10);
+        g.add_edge(0, 2, 1, 10);
+        g.add_edge(1, 2, 1, 1);
+        g.add_edge(1, 3, 1, 10);
+        g.add_edge(2, 3, 1, 10);
+        assert_eq!(max_flow(&g, 0, 3), 20);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let g = Graph::with_nodes(2);
+        assert_eq!(max_flow(&g, 0, 1), 0);
+    }
+
+    #[test]
+    fn src_equals_dst() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(0, 1, 1, 5);
+        assert_eq!(max_flow(&g, 0, 0), 0);
+    }
+
+    #[test]
+    fn respects_min_cut() {
+        // Two fat sources into a thin middle pipe.
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(0, 1, 1, 100);
+        g.add_edge(0, 2, 1, 100);
+        g.add_edge(1, 3, 1, 100);
+        g.add_edge(2, 3, 1, 100);
+        g.add_edge(3, 4, 1, 9);
+        assert_eq!(max_flow(&g, 0, 4), 9);
+    }
+}

@@ -1,0 +1,427 @@
+//! Shortest paths, equal-cost multipath, and k-shortest paths.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+
+use crate::{EdgeIx, Graph, NodeIx};
+
+/// The result of a single-source shortest-path computation.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    /// The source node.
+    pub source: NodeIx,
+    /// `dist[v]` is the distance from the source, or `u64::MAX` if
+    /// unreachable.
+    pub dist: Vec<u64>,
+    /// `parent_edge[v]` is the edge used to reach `v` on one shortest
+    /// path, or `None` for the source and unreachable nodes.
+    pub parent_edge: Vec<Option<EdgeIx>>,
+}
+
+impl ShortestPaths {
+    /// Whether `v` is reachable from the source.
+    pub fn reachable(&self, v: NodeIx) -> bool {
+        self.dist[v as usize] != u64::MAX
+    }
+
+    /// Reconstruct a shortest path from the source to `dst`, as a node
+    /// sequence `[source, ..., dst]`. `None` if unreachable.
+    pub fn path_to(&self, graph: &Graph, dst: NodeIx) -> Option<Path> {
+        if !self.reachable(dst) {
+            return None;
+        }
+        let mut nodes = vec![dst];
+        let mut edges = Vec::new();
+        let mut cur = dst;
+        while let Some(e) = self.parent_edge[cur as usize] {
+            let edge = graph.edge(e);
+            edges.push(e);
+            cur = edge.from;
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        edges.reverse();
+        Some(Path {
+            nodes,
+            edges,
+            cost: self.dist[dst as usize],
+        })
+    }
+}
+
+/// A path: node sequence, edge sequence, and total weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// Nodes from source to destination, inclusive.
+    pub nodes: Vec<NodeIx>,
+    /// The edges traversed (`nodes.len() - 1` of them).
+    pub edges: Vec<EdgeIx>,
+    /// Sum of edge weights.
+    pub cost: u64,
+}
+
+impl Path {
+    /// Number of hops (edges).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the path is a single node (source == destination).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Dijkstra's algorithm from `source`. Ties are broken deterministically
+/// by node index.
+pub fn dijkstra(graph: &Graph, source: NodeIx) -> ShortestPaths {
+    dijkstra_filtered(graph, source, &BTreeSet::new(), &BTreeSet::new())
+}
+
+/// Dijkstra with edge and node exclusion sets (the primitive Yen's
+/// algorithm needs). Excluded nodes cannot be traversed (the source is
+/// never excluded).
+pub fn dijkstra_filtered(
+    graph: &Graph,
+    source: NodeIx,
+    banned_edges: &BTreeSet<EdgeIx>,
+    banned_nodes: &BTreeSet<NodeIx>,
+) -> ShortestPaths {
+    let n = graph.node_count();
+    let mut dist = vec![u64::MAX; n];
+    let mut parent_edge = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0u64, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for &e in graph.out_edges(u) {
+            if banned_edges.contains(&e) {
+                continue;
+            }
+            let edge = graph.edge(e);
+            if banned_nodes.contains(&edge.to) {
+                continue;
+            }
+            let nd = d.saturating_add(edge.weight);
+            let entry = &mut dist[edge.to as usize];
+            if nd < *entry || (nd == *entry && better_parent(graph, parent_edge[edge.to as usize], e))
+            {
+                let improved = nd < *entry;
+                *entry = nd;
+                parent_edge[edge.to as usize] = Some(e);
+                if improved {
+                    heap.push(Reverse((nd, edge.to)));
+                }
+            }
+        }
+    }
+    ShortestPaths {
+        source,
+        dist,
+        parent_edge,
+    }
+}
+
+/// Deterministic tie-break: prefer the parent edge whose source node
+/// index (then edge index) is smaller.
+fn better_parent(graph: &Graph, current: Option<EdgeIx>, candidate: EdgeIx) -> bool {
+    match current {
+        None => true,
+        Some(cur) => {
+            let (cf, nf) = (graph.edge(cur).from, graph.edge(candidate).from);
+            (nf, candidate) < (cf, cur)
+        }
+    }
+}
+
+/// Bellman-Ford from `source`. Weights are unsigned so no negative cycles
+/// exist; provided as an independent oracle for property tests and as the
+/// basis of distance-vector routing.
+pub fn bellman_ford(graph: &Graph, source: NodeIx) -> Vec<u64> {
+    let n = graph.node_count();
+    let mut dist = vec![u64::MAX; n];
+    dist[source as usize] = 0;
+    for _ in 0..n.saturating_sub(1) {
+        let mut changed = false;
+        for edge in graph.edges() {
+            let du = dist[edge.from as usize];
+            if du == u64::MAX {
+                continue;
+            }
+            let nd = du.saturating_add(edge.weight);
+            if nd < dist[edge.to as usize] {
+                dist[edge.to as usize] = nd;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+/// Breadth-first tree from `source`: `parent[v]` is the previous node, or
+/// `None` for the source/unreachable.
+pub fn bfs_tree(graph: &Graph, source: NodeIx) -> Vec<Option<NodeIx>> {
+    let n = graph.node_count();
+    let mut parent = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[source as usize] = true;
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        for v in graph.neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                parent[v as usize] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    parent
+}
+
+/// Weakly connected components (edges treated as undirected). Returns a
+/// component id per node, ids dense from 0.
+pub fn connected_components(graph: &Graph) -> Vec<u32> {
+    let n = graph.node_count();
+    let mut uf = crate::UnionFind::new(n);
+    for edge in graph.edges() {
+        uf.union(edge.from, edge.to);
+    }
+    let mut ids = vec![u32::MAX; n];
+    let mut next = 0;
+    for v in 0..n as u32 {
+        let root = uf.find(v);
+        if ids[root as usize] == u32::MAX {
+            ids[root as usize] = next;
+            next += 1;
+        }
+        ids[v as usize] = ids[root as usize];
+    }
+    ids
+}
+
+/// The equal-cost next hops from `u` toward `dst`: every out-edge `(u,v)`
+/// with `w(u,v) + dist(v, dst) == dist(u, dst)`.
+///
+/// `dist_to_dst` must be distances *to* `dst` — compute them with
+/// [`dijkstra`] on the reversed graph, or use [`dists_to`] on a symmetric
+/// graph.
+pub fn ecmp_next_hops(graph: &Graph, u: NodeIx, dist_to_dst: &[u64]) -> Vec<EdgeIx> {
+    let du = dist_to_dst[u as usize];
+    if du == 0 || du == u64::MAX {
+        return Vec::new();
+    }
+    graph
+        .out_edges(u)
+        .iter()
+        .copied()
+        .filter(|&e| {
+            let edge = graph.edge(e);
+            let dv = dist_to_dst[edge.to as usize];
+            dv != u64::MAX && edge.weight.saturating_add(dv) == du
+        })
+        .collect()
+}
+
+/// Distances from every node *to* `dst`, assuming the graph is symmetric
+/// (every edge has an equal-weight reverse edge), in which case they equal
+/// distances *from* `dst`.
+pub fn dists_to(graph: &Graph, dst: NodeIx) -> Vec<u64> {
+    dijkstra(graph, dst).dist
+}
+
+/// Yen's algorithm: up to `k` loopless shortest paths from `src` to
+/// `dst`, in nondecreasing cost order.
+pub fn k_shortest_paths(graph: &Graph, src: NodeIx, dst: NodeIx, k: usize) -> Vec<Path> {
+    let mut result: Vec<Path> = Vec::new();
+    if k == 0 {
+        return result;
+    }
+    let first = dijkstra(graph, src);
+    let Some(best) = first.path_to(graph, dst) else {
+        return result;
+    };
+    result.push(best);
+
+    // Candidate set ordered by (cost, node sequence) for determinism,
+    // plus the set of node sequences already consumed — candidates are
+    // regenerated from the same spur roots every round, so without this
+    // tombstone set a duplicate candidate would be re-inserted and
+    // re-popped forever.
+    let mut candidates: BTreeSet<(u64, Vec<NodeIx>, Vec<EdgeIx>)> = BTreeSet::new();
+    let mut consumed: BTreeSet<Vec<NodeIx>> = BTreeSet::new();
+    consumed.insert(result[0].nodes.clone());
+
+    while result.len() < k {
+        let last = result.last().unwrap().clone();
+        for i in 0..last.edges.len() {
+            let spur_node = last.nodes[i];
+            let root_nodes = &last.nodes[..=i];
+            let root_edges = &last.edges[..i];
+            let root_cost: u64 = root_edges.iter().map(|&e| graph.edge(e).weight).sum();
+
+            // Ban edges that would recreate already-found paths sharing
+            // this root.
+            let mut banned_edges = BTreeSet::new();
+            for p in &result {
+                if p.nodes.len() > i && p.nodes[..=i] == *root_nodes {
+                    banned_edges.insert(p.edges[i]);
+                }
+            }
+            // Ban root nodes (except the spur) to keep paths loopless.
+            let banned_nodes: BTreeSet<NodeIx> =
+                root_nodes[..i].iter().copied().collect();
+
+            let spur =
+                dijkstra_filtered(graph, spur_node, &banned_edges, &banned_nodes);
+            if let Some(spur_path) = spur.path_to(graph, dst) {
+                let mut nodes = root_nodes.to_vec();
+                nodes.extend_from_slice(&spur_path.nodes[1..]);
+                let mut edges = root_edges.to_vec();
+                edges.extend_from_slice(&spur_path.edges);
+                let cost = root_cost + spur_path.cost;
+                if !consumed.contains(&nodes) {
+                    candidates.insert((cost, nodes, edges));
+                }
+            }
+        }
+        let Some(next) = candidates.iter().next().cloned() else {
+            break;
+        };
+        candidates.remove(&next);
+        let (cost, nodes, edges) = next;
+        consumed.insert(nodes.clone());
+        result.push(Path { nodes, edges, cost });
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: 0→1→3 (cost 2), 0→2→3 (cost 2), plus a slow direct 0→3.
+    fn diamond() -> Graph {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(0, 1, 1, 0);
+        g.add_edge(1, 3, 1, 0);
+        g.add_edge(0, 2, 1, 0);
+        g.add_edge(2, 3, 1, 0);
+        g.add_edge(0, 3, 5, 0);
+        g
+    }
+
+    #[test]
+    fn dijkstra_distances() {
+        let g = diamond();
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.dist, vec![0, 1, 1, 2]);
+        let path = sp.path_to(&g, 3).unwrap();
+        assert_eq!(path.cost, 2);
+        assert_eq!(path.nodes.len(), 3);
+    }
+
+    #[test]
+    fn dijkstra_unreachable() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1, 1, 0);
+        let sp = dijkstra(&g, 0);
+        assert!(!sp.reachable(2));
+        assert!(sp.path_to(&g, 2).is_none());
+    }
+
+    #[test]
+    fn dijkstra_deterministic_tiebreak() {
+        // Two equal paths to 3; the parent must pick the smaller node.
+        let g = diamond();
+        let sp = dijkstra(&g, 0);
+        let path = sp.path_to(&g, 3).unwrap();
+        assert_eq!(path.nodes, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn bellman_ford_matches_dijkstra() {
+        let g = diamond();
+        assert_eq!(bellman_ford(&g, 0), dijkstra(&g, 0).dist);
+    }
+
+    #[test]
+    fn bfs_tree_reaches_all() {
+        let g = diamond();
+        let parent = bfs_tree(&g, 0);
+        assert_eq!(parent[0], None);
+        assert!(parent[1].is_some() && parent[2].is_some() && parent[3].is_some());
+    }
+
+    #[test]
+    fn components() {
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(0, 1, 1, 0);
+        g.add_edge(2, 3, 1, 0);
+        let ids = connected_components(&g);
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[2], ids[3]);
+        assert_ne!(ids[0], ids[2]);
+        assert_ne!(ids[4], ids[0]);
+        assert_ne!(ids[4], ids[2]);
+    }
+
+    #[test]
+    fn ecmp_finds_both_diamond_arms() {
+        let mut g = Graph::with_nodes(4);
+        g.add_undirected(0, 1, 1, 0);
+        g.add_undirected(1, 3, 1, 0);
+        g.add_undirected(0, 2, 1, 0);
+        g.add_undirected(2, 3, 1, 0);
+        let dist = dists_to(&g, 3);
+        let hops = ecmp_next_hops(&g, 0, &dist);
+        assert_eq!(hops.len(), 2);
+        let targets: Vec<NodeIx> = hops.iter().map(|&e| g.edge(e).to).collect();
+        assert!(targets.contains(&1) && targets.contains(&2));
+        // At the destination there are no next hops.
+        assert!(ecmp_next_hops(&g, 3, &dist).is_empty());
+    }
+
+    #[test]
+    fn yen_enumerates_in_cost_order() {
+        let g = diamond();
+        let paths = k_shortest_paths(&g, 0, 3, 5);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].cost, 2);
+        assert_eq!(paths[1].cost, 2);
+        assert_eq!(paths[2].cost, 5);
+        // All distinct.
+        assert_ne!(paths[0].nodes, paths[1].nodes);
+    }
+
+    #[test]
+    fn yen_loopless() {
+        // Ring of 5: two simple paths between any pair.
+        let mut g = Graph::with_nodes(5);
+        for i in 0..5 {
+            g.add_undirected(i, (i + 1) % 5, 1, 0);
+        }
+        let paths = k_shortest_paths(&g, 0, 2, 10);
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            let set: BTreeSet<_> = p.nodes.iter().collect();
+            assert_eq!(set.len(), p.nodes.len(), "loop in {:?}", p.nodes);
+        }
+        assert_eq!(paths[0].cost, 2);
+        assert_eq!(paths[1].cost, 3);
+    }
+
+    #[test]
+    fn yen_k_zero_or_unreachable() {
+        let g = diamond();
+        assert!(k_shortest_paths(&g, 0, 3, 0).is_empty());
+        let mut g2 = Graph::with_nodes(2);
+        g2.add_node();
+        assert!(k_shortest_paths(&g2, 0, 1, 3).is_empty());
+    }
+}

@@ -1,0 +1,999 @@
+//! Binary encoding and decoding of control messages.
+//!
+//! Integers are big-endian. Decoding is bounds-checked everywhere and
+//! returns [`CodecError`] on any malformation.
+
+use bytes::{BufMut, BytesMut};
+
+use zen_dataplane::{Action, Bucket, FlowMatch, FlowSpec, GroupDesc, GroupType};
+use zen_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
+
+use crate::{
+    ErrorCode, FlowModCmd, FlowStats, GroupModCmd, Message, MeterModCmd, PortDesc, PortStatsRec,
+    RemovedReason, StatsBody, StatsKind, TableStats, VERSION,
+};
+
+/// The fixed message header length: version, type, length (u32), xid.
+pub const HEADER_LEN: usize = 1 + 1 + 4 + 4;
+
+/// Decoding errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Not enough bytes for the claimed structure.
+    Truncated,
+    /// The version byte is not [`VERSION`].
+    BadVersion(u8),
+    /// Unknown message type tag.
+    UnknownType(u8),
+    /// A field held an invalid value.
+    Malformed,
+}
+
+impl core::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated message"),
+            CodecError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            CodecError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            CodecError::Malformed => write!(f, "malformed field"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+type Result<T> = core::result::Result<T, CodecError>;
+
+// ---------------------------------------------------------------- reader
+
+struct Rd<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(buf: &'a [u8]) -> Rd<'a> {
+        Rd { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.at + n > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn mac(&mut self) -> Result<EthernetAddress> {
+        Ok(EthernetAddress::from_bytes(self.take(6)?))
+    }
+
+    fn ip(&mut self) -> Result<Ipv4Address> {
+        Ok(Ipv4Address::from_bytes(self.take(4)?))
+    }
+
+    fn cidr(&mut self) -> Result<Ipv4Cidr> {
+        let addr = self.ip()?;
+        let plen = self.u8()?;
+        Ipv4Cidr::new(addr, plen).map_err(|_| CodecError::Malformed)
+    }
+
+    fn finish(&self) -> Result<()> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CodecError::Malformed)
+        }
+    }
+}
+
+// ------------------------------------------------------------ sub-codecs
+
+fn put_match(out: &mut BytesMut, m: &FlowMatch) {
+    let mut bits = 0u16;
+    for (i, present) in [
+        m.in_port.is_some(),
+        m.eth_src.is_some(),
+        m.eth_dst.is_some(),
+        m.ethertype.is_some(),
+        m.vlan.is_some(),
+        m.ipv4_src.is_some(),
+        m.ipv4_dst.is_some(),
+        m.ip_proto.is_some(),
+        m.l4_src.is_some(),
+        m.l4_dst.is_some(),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        if present {
+            bits |= 1 << i;
+        }
+    }
+    out.put_u16(bits);
+    if let Some(p) = m.in_port {
+        out.put_u32(p);
+    }
+    if let Some(a) = m.eth_src {
+        out.put_slice(a.as_bytes());
+    }
+    if let Some(a) = m.eth_dst {
+        out.put_slice(a.as_bytes());
+    }
+    if let Some(t) = m.ethertype {
+        out.put_u16(t);
+    }
+    if let Some(v) = m.vlan {
+        match v {
+            Some(vid) => {
+                out.put_u8(1);
+                out.put_u16(vid);
+            }
+            None => {
+                out.put_u8(0);
+                out.put_u16(0);
+            }
+        }
+    }
+    if let Some(c) = m.ipv4_src {
+        out.put_slice(c.address().as_bytes());
+        out.put_u8(c.prefix_len());
+    }
+    if let Some(c) = m.ipv4_dst {
+        out.put_slice(c.address().as_bytes());
+        out.put_u8(c.prefix_len());
+    }
+    if let Some(p) = m.ip_proto {
+        out.put_u8(p);
+    }
+    if let Some(p) = m.l4_src {
+        out.put_u16(p);
+    }
+    if let Some(p) = m.l4_dst {
+        out.put_u16(p);
+    }
+}
+
+fn get_match(rd: &mut Rd<'_>) -> Result<FlowMatch> {
+    let bits = rd.u16()?;
+    if bits >> 10 != 0 {
+        return Err(CodecError::Malformed);
+    }
+    let mut m = FlowMatch::ANY;
+    if bits & (1 << 0) != 0 {
+        m.in_port = Some(rd.u32()?);
+    }
+    if bits & (1 << 1) != 0 {
+        m.eth_src = Some(rd.mac()?);
+    }
+    if bits & (1 << 2) != 0 {
+        m.eth_dst = Some(rd.mac()?);
+    }
+    if bits & (1 << 3) != 0 {
+        m.ethertype = Some(rd.u16()?);
+    }
+    if bits & (1 << 4) != 0 {
+        let tagged = rd.u8()?;
+        let vid = rd.u16()?;
+        m.vlan = Some(match tagged {
+            0 => None,
+            1 => Some(vid),
+            _ => return Err(CodecError::Malformed),
+        });
+    }
+    if bits & (1 << 5) != 0 {
+        m.ipv4_src = Some(rd.cidr()?);
+    }
+    if bits & (1 << 6) != 0 {
+        m.ipv4_dst = Some(rd.cidr()?);
+    }
+    if bits & (1 << 7) != 0 {
+        m.ip_proto = Some(rd.u8()?);
+    }
+    if bits & (1 << 8) != 0 {
+        m.l4_src = Some(rd.u16()?);
+    }
+    if bits & (1 << 9) != 0 {
+        m.l4_dst = Some(rd.u16()?);
+    }
+    Ok(m)
+}
+
+fn put_action(out: &mut BytesMut, a: &Action) {
+    match *a {
+        Action::Output(p) => {
+            out.put_u8(0);
+            out.put_u32(p);
+        }
+        Action::Flood => out.put_u8(1),
+        Action::ToController { max_len } => {
+            out.put_u8(2);
+            out.put_u16(max_len);
+        }
+        Action::SetEthSrc(mac) => {
+            out.put_u8(3);
+            out.put_slice(mac.as_bytes());
+        }
+        Action::SetEthDst(mac) => {
+            out.put_u8(4);
+            out.put_slice(mac.as_bytes());
+        }
+        Action::SetIpv4Src(ip) => {
+            out.put_u8(5);
+            out.put_slice(ip.as_bytes());
+        }
+        Action::SetIpv4Dst(ip) => {
+            out.put_u8(6);
+            out.put_slice(ip.as_bytes());
+        }
+        Action::SetDscp(v) => {
+            out.put_u8(7);
+            out.put_u8(v);
+        }
+        Action::DecTtl => out.put_u8(8),
+        Action::PushVlan(vid) => {
+            out.put_u8(9);
+            out.put_u16(vid);
+        }
+        Action::PopVlan => out.put_u8(10),
+        Action::Group(id) => {
+            out.put_u8(11);
+            out.put_u32(id);
+        }
+        Action::Meter(id) => {
+            out.put_u8(12);
+            out.put_u32(id);
+        }
+    }
+}
+
+fn get_action(rd: &mut Rd<'_>) -> Result<Action> {
+    Ok(match rd.u8()? {
+        0 => Action::Output(rd.u32()?),
+        1 => Action::Flood,
+        2 => Action::ToController {
+            max_len: rd.u16()?,
+        },
+        3 => Action::SetEthSrc(rd.mac()?),
+        4 => Action::SetEthDst(rd.mac()?),
+        5 => Action::SetIpv4Src(rd.ip()?),
+        6 => Action::SetIpv4Dst(rd.ip()?),
+        7 => Action::SetDscp(rd.u8()?),
+        8 => Action::DecTtl,
+        9 => Action::PushVlan(rd.u16()?),
+        10 => Action::PopVlan,
+        11 => Action::Group(rd.u32()?),
+        12 => Action::Meter(rd.u32()?),
+        _ => return Err(CodecError::Malformed),
+    })
+}
+
+fn put_actions(out: &mut BytesMut, actions: &[Action]) {
+    out.put_u16(actions.len() as u16);
+    for a in actions {
+        put_action(out, a);
+    }
+}
+
+fn get_actions(rd: &mut Rd<'_>) -> Result<Vec<Action>> {
+    let n = rd.u16()? as usize;
+    // Bound allocations by what the buffer could possibly hold (the
+    // smallest action is one byte).
+    if n > rd.buf.len() {
+        return Err(CodecError::Truncated);
+    }
+    let mut actions = Vec::with_capacity(n);
+    for _ in 0..n {
+        actions.push(get_action(rd)?);
+    }
+    Ok(actions)
+}
+
+fn put_spec(out: &mut BytesMut, spec: &FlowSpec) {
+    out.put_u16(spec.priority);
+    out.put_u64(spec.cookie);
+    out.put_u64(spec.idle_timeout);
+    out.put_u64(spec.hard_timeout);
+    out.put_u8(spec.goto_table.unwrap_or(0xff));
+    put_match(out, &spec.matcher);
+    put_actions(out, &spec.actions);
+}
+
+fn get_spec(rd: &mut Rd<'_>) -> Result<FlowSpec> {
+    let priority = rd.u16()?;
+    let cookie = rd.u64()?;
+    let idle_timeout = rd.u64()?;
+    let hard_timeout = rd.u64()?;
+    let goto = rd.u8()?;
+    let matcher = get_match(rd)?;
+    let actions = get_actions(rd)?;
+    Ok(FlowSpec {
+        priority,
+        matcher,
+        actions,
+        goto_table: if goto == 0xff { None } else { Some(goto) },
+        cookie,
+        idle_timeout,
+        hard_timeout,
+    })
+}
+
+fn put_group(out: &mut BytesMut, desc: &GroupDesc) {
+    out.put_u8(match desc.group_type {
+        GroupType::All => 0,
+        GroupType::Select => 1,
+        GroupType::FastFailover => 2,
+    });
+    out.put_u16(desc.buckets.len() as u16);
+    for bucket in &desc.buckets {
+        out.put_u32(bucket.watch_port.unwrap_or(0));
+        put_actions(out, &bucket.actions);
+    }
+}
+
+fn get_group(rd: &mut Rd<'_>) -> Result<GroupDesc> {
+    let group_type = match rd.u8()? {
+        0 => GroupType::All,
+        1 => GroupType::Select,
+        2 => GroupType::FastFailover,
+        _ => return Err(CodecError::Malformed),
+    };
+    let n = rd.u16()? as usize;
+    if n > rd.buf.len() {
+        return Err(CodecError::Truncated);
+    }
+    let mut buckets = Vec::with_capacity(n);
+    for _ in 0..n {
+        let watch = rd.u32()?;
+        let actions = get_actions(rd)?;
+        buckets.push(Bucket {
+            actions,
+            watch_port: if watch == 0 { None } else { Some(watch) },
+        });
+    }
+    Ok(GroupDesc {
+        group_type,
+        buckets,
+    })
+}
+
+fn put_bytes(out: &mut BytesMut, data: &[u8]) {
+    out.put_u32(data.len() as u32);
+    out.put_slice(data);
+}
+
+fn get_bytes(rd: &mut Rd<'_>) -> Result<Vec<u8>> {
+    let n = rd.u32()? as usize;
+    Ok(rd.take(n)?.to_vec())
+}
+
+// ------------------------------------------------------------- messages
+
+/// Encode `msg` with transaction id `xid` into a framed byte vector.
+pub fn encode(msg: &Message, xid: u32) -> Vec<u8> {
+    let mut out = BytesMut::with_capacity(64);
+    out.put_u8(VERSION);
+    out.put_u8(msg.type_id());
+    out.put_u32(0); // length patched below
+    out.put_u32(xid);
+    match msg {
+        Message::Hello { version } => out.put_u8(*version),
+        Message::Error { code, data } => {
+            out.put_u16(match code {
+                ErrorCode::HelloFailed => 0,
+                ErrorCode::BadRequest => 1,
+                ErrorCode::TableFull => 2,
+            });
+            put_bytes(&mut out, data);
+        }
+        Message::EchoRequest { token } | Message::EchoReply { token } => out.put_u64(*token),
+        Message::FeaturesRequest | Message::BarrierRequest | Message::BarrierReply => {}
+        Message::FeaturesReply {
+            dpid,
+            n_tables,
+            ports,
+        } => {
+            out.put_u64(*dpid);
+            out.put_u8(*n_tables);
+            out.put_u16(ports.len() as u16);
+            for p in ports {
+                out.put_u32(p.port_no);
+                out.put_u8(u8::from(p.up));
+            }
+        }
+        Message::PacketIn {
+            in_port,
+            table_id,
+            is_miss,
+            frame,
+        } => {
+            out.put_u32(*in_port);
+            out.put_u8(*table_id);
+            out.put_u8(u8::from(*is_miss));
+            put_bytes(&mut out, frame);
+        }
+        Message::PacketOut {
+            in_port,
+            actions,
+            frame,
+        } => {
+            out.put_u32(*in_port);
+            put_actions(&mut out, actions);
+            put_bytes(&mut out, frame);
+        }
+        Message::FlowMod { table_id, cmd } => {
+            out.put_u8(*table_id);
+            match cmd {
+                FlowModCmd::Add(spec) => {
+                    out.put_u8(0);
+                    put_spec(&mut out, spec);
+                }
+                FlowModCmd::DeleteStrict { priority, matcher } => {
+                    out.put_u8(1);
+                    out.put_u16(*priority);
+                    put_match(&mut out, matcher);
+                }
+                FlowModCmd::DeleteByCookie { cookie } => {
+                    out.put_u8(2);
+                    out.put_u64(*cookie);
+                }
+            }
+        }
+        Message::GroupMod { group_id, cmd } => {
+            out.put_u32(*group_id);
+            match cmd {
+                GroupModCmd::Add(desc) => {
+                    out.put_u8(0);
+                    put_group(&mut out, desc);
+                }
+                GroupModCmd::Delete => out.put_u8(1),
+            }
+        }
+        Message::MeterMod { meter_id, cmd } => {
+            out.put_u32(*meter_id);
+            match cmd {
+                MeterModCmd::Add {
+                    rate_bps,
+                    burst_bytes,
+                } => {
+                    out.put_u8(0);
+                    out.put_u64(*rate_bps);
+                    out.put_u64(*burst_bytes);
+                }
+                MeterModCmd::Delete => out.put_u8(1),
+            }
+        }
+        Message::PortStatus { port } => {
+            out.put_u32(port.port_no);
+            out.put_u8(u8::from(port.up));
+        }
+        Message::FlowRemoved {
+            table_id,
+            priority,
+            cookie,
+            reason,
+            packets,
+            bytes,
+        } => {
+            out.put_u8(*table_id);
+            out.put_u16(*priority);
+            out.put_u64(*cookie);
+            out.put_u8(match reason {
+                RemovedReason::IdleTimeout => 0,
+                RemovedReason::HardTimeout => 1,
+                RemovedReason::Delete => 2,
+            });
+            out.put_u64(*packets);
+            out.put_u64(*bytes);
+        }
+        Message::StatsRequest { kind } => match kind {
+            StatsKind::Flow { table_id } => {
+                out.put_u8(0);
+                out.put_u8(*table_id);
+            }
+            StatsKind::Port { port_no } => {
+                out.put_u8(1);
+                out.put_u32(*port_no);
+            }
+            StatsKind::Table => out.put_u8(2),
+        },
+        Message::StatsReply { body } => match body {
+            StatsBody::Flow(records) => {
+                out.put_u8(0);
+                out.put_u32(records.len() as u32);
+                for r in records {
+                    out.put_u8(r.table_id);
+                    out.put_u16(r.priority);
+                    out.put_u64(r.cookie);
+                    out.put_u64(r.packets);
+                    out.put_u64(r.bytes);
+                }
+            }
+            StatsBody::Port(records) => {
+                out.put_u8(1);
+                out.put_u32(records.len() as u32);
+                for r in records {
+                    out.put_u32(r.port_no);
+                    out.put_u64(r.rx_frames);
+                    out.put_u64(r.rx_bytes);
+                    out.put_u64(r.tx_frames);
+                    out.put_u64(r.tx_bytes);
+                }
+            }
+            StatsBody::Table(records) => {
+                out.put_u8(2);
+                out.put_u32(records.len() as u32);
+                for r in records {
+                    out.put_u8(r.table_id);
+                    out.put_u32(r.active);
+                    out.put_u64(r.hits);
+                    out.put_u64(r.misses);
+                }
+            }
+        },
+    }
+    let len = out.len() as u32;
+    out[2..6].copy_from_slice(&len.to_be_bytes());
+    out.to_vec()
+}
+
+/// Decode one framed message from the front of `buf`. Returns the
+/// message, its xid, and the bytes consumed.
+pub fn decode(buf: &[u8]) -> Result<(Message, u32, usize)> {
+    if buf.len() < HEADER_LEN {
+        return Err(CodecError::Truncated);
+    }
+    let version = buf[0];
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let type_id = buf[1];
+    let length = u32::from_be_bytes(buf[2..6].try_into().unwrap()) as usize;
+    if length < HEADER_LEN {
+        return Err(CodecError::Malformed);
+    }
+    if buf.len() < length {
+        return Err(CodecError::Truncated);
+    }
+    let xid = u32::from_be_bytes(buf[6..10].try_into().unwrap());
+    let mut rd = Rd::new(&buf[HEADER_LEN..length]);
+    let msg = match type_id {
+        0 => Message::Hello { version: rd.u8()? },
+        1 => {
+            let code = match rd.u16()? {
+                0 => ErrorCode::HelloFailed,
+                1 => ErrorCode::BadRequest,
+                2 => ErrorCode::TableFull,
+                _ => return Err(CodecError::Malformed),
+            };
+            Message::Error {
+                code,
+                data: get_bytes(&mut rd)?,
+            }
+        }
+        2 => Message::EchoRequest { token: rd.u64()? },
+        3 => Message::EchoReply { token: rd.u64()? },
+        4 => Message::FeaturesRequest,
+        5 => {
+            let dpid = rd.u64()?;
+            let n_tables = rd.u8()?;
+            let n = rd.u16()? as usize;
+            if n > rd.buf.len() {
+                return Err(CodecError::Truncated);
+            }
+            let mut ports = Vec::with_capacity(n);
+            for _ in 0..n {
+                let port_no = rd.u32()?;
+                let up = rd.u8()? != 0;
+                ports.push(PortDesc { port_no, up });
+            }
+            Message::FeaturesReply {
+                dpid,
+                n_tables,
+                ports,
+            }
+        }
+        6 => Message::PacketIn {
+            in_port: rd.u32()?,
+            table_id: rd.u8()?,
+            is_miss: rd.u8()? != 0,
+            frame: get_bytes(&mut rd)?,
+        },
+        7 => Message::PacketOut {
+            in_port: rd.u32()?,
+            actions: get_actions(&mut rd)?,
+            frame: get_bytes(&mut rd)?,
+        },
+        8 => {
+            let table_id = rd.u8()?;
+            let cmd = match rd.u8()? {
+                0 => FlowModCmd::Add(get_spec(&mut rd)?),
+                1 => FlowModCmd::DeleteStrict {
+                    priority: rd.u16()?,
+                    matcher: get_match(&mut rd)?,
+                },
+                2 => FlowModCmd::DeleteByCookie { cookie: rd.u64()? },
+                _ => return Err(CodecError::Malformed),
+            };
+            Message::FlowMod { table_id, cmd }
+        }
+        9 => {
+            let group_id = rd.u32()?;
+            let cmd = match rd.u8()? {
+                0 => GroupModCmd::Add(get_group(&mut rd)?),
+                1 => GroupModCmd::Delete,
+                _ => return Err(CodecError::Malformed),
+            };
+            Message::GroupMod { group_id, cmd }
+        }
+        10 => {
+            let meter_id = rd.u32()?;
+            let cmd = match rd.u8()? {
+                0 => MeterModCmd::Add {
+                    rate_bps: rd.u64()?,
+                    burst_bytes: rd.u64()?,
+                },
+                1 => MeterModCmd::Delete,
+                _ => return Err(CodecError::Malformed),
+            };
+            Message::MeterMod { meter_id, cmd }
+        }
+        11 => Message::PortStatus {
+            port: PortDesc {
+                port_no: rd.u32()?,
+                up: rd.u8()? != 0,
+            },
+        },
+        12 => Message::FlowRemoved {
+            table_id: rd.u8()?,
+            priority: rd.u16()?,
+            cookie: rd.u64()?,
+            reason: match rd.u8()? {
+                0 => RemovedReason::IdleTimeout,
+                1 => RemovedReason::HardTimeout,
+                2 => RemovedReason::Delete,
+                _ => return Err(CodecError::Malformed),
+            },
+            packets: rd.u64()?,
+            bytes: rd.u64()?,
+        },
+        13 => Message::BarrierRequest,
+        14 => Message::BarrierReply,
+        15 => Message::StatsRequest {
+            kind: match rd.u8()? {
+                0 => StatsKind::Flow { table_id: rd.u8()? },
+                1 => StatsKind::Port { port_no: rd.u32()? },
+                2 => StatsKind::Table,
+                _ => return Err(CodecError::Malformed),
+            },
+        },
+        16 => {
+            let tag = rd.u8()?;
+            let n = rd.u32()? as usize;
+            if n > rd.buf.len() {
+                return Err(CodecError::Truncated);
+            }
+            let body = match tag {
+                0 => {
+                    let mut v = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        v.push(FlowStats {
+                            table_id: rd.u8()?,
+                            priority: rd.u16()?,
+                            cookie: rd.u64()?,
+                            packets: rd.u64()?,
+                            bytes: rd.u64()?,
+                        });
+                    }
+                    StatsBody::Flow(v)
+                }
+                1 => {
+                    let mut v = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        v.push(PortStatsRec {
+                            port_no: rd.u32()?,
+                            rx_frames: rd.u64()?,
+                            rx_bytes: rd.u64()?,
+                            tx_frames: rd.u64()?,
+                            tx_bytes: rd.u64()?,
+                        });
+                    }
+                    StatsBody::Port(v)
+                }
+                2 => {
+                    let mut v = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        v.push(TableStats {
+                            table_id: rd.u8()?,
+                            active: rd.u32()?,
+                            hits: rd.u64()?,
+                            misses: rd.u64()?,
+                        });
+                    }
+                    StatsBody::Table(v)
+                }
+                _ => return Err(CodecError::Malformed),
+            };
+            Message::StatsReply { body }
+        }
+        other => return Err(CodecError::UnknownType(other)),
+    };
+    rd.finish()?;
+    Ok((msg, xid, length))
+}
+
+/// Reassembles framed messages from an arbitrary-boundary byte stream.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// Feed received bytes.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Pop the next complete message, if any. Errors are sticky for the
+    /// current message only: the bad frame is skipped by its claimed
+    /// length when possible.
+    #[allow(clippy::type_complexity, clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Result<(Message, u32)>> {
+        if self.buf.len() < HEADER_LEN {
+            return None;
+        }
+        let length = u32::from_be_bytes(self.buf[2..6].try_into().unwrap()) as usize;
+        if length < HEADER_LEN {
+            self.buf.clear(); // unrecoverable framing error
+            return Some(Err(CodecError::Malformed));
+        }
+        if self.buf.len() < length {
+            return None;
+        }
+        let result = decode(&self.buf[..length]).map(|(m, xid, _)| (m, xid));
+        self.buf.drain(..length);
+        Some(result)
+    }
+
+    /// Bytes currently buffered.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zen_dataplane::FlowSpec;
+
+    fn spec_sample() -> FlowSpec {
+        FlowSpec::new(
+            100,
+            FlowMatch::ipv4_to("10.1.0.0/16".parse().unwrap()).with_in_port(3),
+            vec![
+                Action::SetEthDst(EthernetAddress::from_id(9)),
+                Action::DecTtl,
+                Action::Output(4),
+            ],
+        )
+        .with_timeouts(1_000_000, 2_000_000)
+        .with_cookie(0xfeed)
+        .with_goto(1)
+    }
+
+    fn samples() -> Vec<Message> {
+        vec![
+            Message::Hello { version: 1 },
+            Message::Error {
+                code: ErrorCode::BadRequest,
+                data: vec![1, 2, 3],
+            },
+            Message::EchoRequest { token: 77 },
+            Message::EchoReply { token: 77 },
+            Message::FeaturesRequest,
+            Message::FeaturesReply {
+                dpid: 42,
+                n_tables: 2,
+                ports: vec![
+                    PortDesc {
+                        port_no: 1,
+                        up: true,
+                    },
+                    PortDesc {
+                        port_no: 2,
+                        up: false,
+                    },
+                ],
+            },
+            Message::PacketIn {
+                in_port: 3,
+                table_id: 0,
+                is_miss: true,
+                frame: vec![0xde, 0xad],
+            },
+            Message::PacketOut {
+                in_port: 0,
+                actions: vec![Action::Flood],
+                frame: vec![1; 60],
+            },
+            Message::FlowMod {
+                table_id: 0,
+                cmd: FlowModCmd::Add(spec_sample()),
+            },
+            Message::FlowMod {
+                table_id: 1,
+                cmd: FlowModCmd::DeleteStrict {
+                    priority: 5,
+                    matcher: FlowMatch::ANY,
+                },
+            },
+            Message::FlowMod {
+                table_id: 0,
+                cmd: FlowModCmd::DeleteByCookie { cookie: 9 },
+            },
+            Message::GroupMod {
+                group_id: 7,
+                cmd: GroupModCmd::Add(GroupDesc {
+                    group_type: GroupType::Select,
+                    buckets: vec![Bucket::output(2), Bucket::output(3)],
+                }),
+            },
+            Message::GroupMod {
+                group_id: 7,
+                cmd: GroupModCmd::Delete,
+            },
+            Message::MeterMod {
+                meter_id: 1,
+                cmd: MeterModCmd::Add {
+                    rate_bps: 1_000_000,
+                    burst_bytes: 64_000,
+                },
+            },
+            Message::PortStatus {
+                port: PortDesc {
+                    port_no: 4,
+                    up: false,
+                },
+            },
+            Message::FlowRemoved {
+                table_id: 0,
+                priority: 10,
+                cookie: 0xbeef,
+                reason: RemovedReason::IdleTimeout,
+                packets: 100,
+                bytes: 6400,
+            },
+            Message::BarrierRequest,
+            Message::BarrierReply,
+            Message::StatsRequest {
+                kind: StatsKind::Flow { table_id: 0xff },
+            },
+            Message::StatsRequest {
+                kind: StatsKind::Port { port_no: 0 },
+            },
+            Message::StatsReply {
+                body: StatsBody::Table(vec![TableStats {
+                    table_id: 0,
+                    active: 3,
+                    hits: 10,
+                    misses: 2,
+                }]),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_message() {
+        for (i, msg) in samples().into_iter().enumerate() {
+            let xid = 1000 + i as u32;
+            let bytes = encode(&msg, xid);
+            let (decoded, got_xid, consumed) =
+                decode(&bytes).unwrap_or_else(|e| panic!("msg {i}: {e}"));
+            assert_eq!(decoded, msg, "message {i}");
+            assert_eq!(got_xid, xid);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = encode(&Message::BarrierRequest, 1);
+        bytes[0] = 99;
+        assert_eq!(decode(&bytes).unwrap_err(), CodecError::BadVersion(99));
+    }
+
+    #[test]
+    fn rejects_unknown_type() {
+        let mut bytes = encode(&Message::BarrierRequest, 1);
+        bytes[1] = 200;
+        assert_eq!(decode(&bytes).unwrap_err(), CodecError::UnknownType(200));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let bytes = encode(
+            &Message::FlowMod {
+                table_id: 0,
+                cmd: FlowModCmd::Add(spec_sample()),
+            },
+            7,
+        );
+        for cut in 0..bytes.len() {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "decode succeeded at cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_inside_frame() {
+        let mut bytes = encode(&Message::BarrierRequest, 1);
+        // Claim a longer body than the message has.
+        bytes.extend_from_slice(&[0; 4]);
+        let len = bytes.len() as u32;
+        bytes[2..6].copy_from_slice(&len.to_be_bytes());
+        assert_eq!(decode(&bytes).unwrap_err(), CodecError::Malformed);
+    }
+
+    #[test]
+    fn assembler_handles_arbitrary_fragmentation() {
+        let msgs = samples();
+        let mut stream = Vec::new();
+        for (i, m) in msgs.iter().enumerate() {
+            stream.extend_from_slice(&encode(m, i as u32));
+        }
+        // Feed 7 bytes at a time.
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for chunk in stream.chunks(7) {
+            asm.push(chunk);
+            while let Some(result) = asm.next() {
+                got.push(result.unwrap());
+            }
+        }
+        assert_eq!(got.len(), msgs.len());
+        for (i, (m, xid)) in got.into_iter().enumerate() {
+            assert_eq!(m, msgs[i]);
+            assert_eq!(xid, i as u32);
+        }
+        assert_eq!(asm.pending(), 0);
+    }
+
+    #[test]
+    fn assembler_recovers_frame_length_errors() {
+        let mut asm = FrameAssembler::new();
+        let mut bad = encode(&Message::BarrierRequest, 1);
+        bad[2..6].copy_from_slice(&3u32.to_be_bytes()); // length < header
+        asm.push(&bad);
+        assert!(matches!(asm.next(), Some(Err(CodecError::Malformed))));
+        // The assembler cleared; new valid traffic parses.
+        asm.push(&encode(&Message::BarrierReply, 2));
+        assert!(matches!(
+            asm.next(),
+            Some(Ok((Message::BarrierReply, 2)))
+        ));
+    }
+}

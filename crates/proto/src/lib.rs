@@ -1,0 +1,331 @@
+//! # zen-proto — the switch ↔ controller control protocol
+//!
+//! A binary, length-prefixed protocol in the mould of OpenFlow 1.3,
+//! carrying the message set an SDN deployment actually exercises:
+//! session setup (HELLO / FEATURES), the reactive path (PACKET_IN /
+//! PACKET_OUT), state programming (FLOW_MOD / GROUP_MOD / METER_MOD),
+//! asynchronous notifications (PORT_STATUS / FLOW_REMOVED), statistics
+//! (STATS_REQUEST / STATS_REPLY), liveness (ECHO), and ordering
+//! (BARRIER).
+//!
+//! Every message is framed as:
+//!
+//! ```text
+//! +---------+--------+----------------+------------+----------------+
+//! | version | type   | length (u32)   | xid (u32)  | body ...       |
+//! |  1 B    |  1 B   | whole message  | request id |                |
+//! +---------+--------+----------------+------------+----------------+
+//! ```
+//!
+//! [`codec`] provides [`codec::encode`] / [`codec::decode`] and a
+//! [`codec::FrameAssembler`] for reassembling messages from a byte
+//! stream. Decoding is total: malformed input yields
+//! [`CodecError`], never a panic.
+//!
+//! Match, action, flow-spec and group types are the native
+//! `zen-dataplane` types — the protocol is exactly as expressive as the
+//! data plane it programs, as in OpenFlow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+
+pub use codec::{decode, encode, CodecError, FrameAssembler};
+
+use zen_dataplane::{FlowMatch, FlowSpec, GroupDesc, PortNo};
+
+/// The protocol version this crate implements.
+pub const VERSION: u8 = 1;
+
+/// Description of one switch port in FEATURES_REPLY / PORT_STATUS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortDesc {
+    /// The port number.
+    pub port_no: PortNo,
+    /// Operational state.
+    pub up: bool,
+}
+
+/// FLOW_MOD sub-commands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowModCmd {
+    /// Install (replacing an identical priority+match entry).
+    Add(FlowSpec),
+    /// Strict delete by (priority, match).
+    DeleteStrict {
+        /// Entry priority.
+        priority: u16,
+        /// Entry match.
+        matcher: FlowMatch,
+    },
+    /// Delete every entry carrying a cookie (all tables).
+    DeleteByCookie {
+        /// The cookie.
+        cookie: u64,
+    },
+}
+
+/// GROUP_MOD sub-commands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupModCmd {
+    /// Install or replace a group.
+    Add(GroupDesc),
+    /// Remove a group.
+    Delete,
+}
+
+/// METER_MOD sub-commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeterModCmd {
+    /// Install or replace: sustained rate and burst.
+    Add {
+        /// Rate in bits/sec.
+        rate_bps: u64,
+        /// Burst in bytes.
+        burst_bytes: u64,
+    },
+    /// Remove the meter.
+    Delete,
+}
+
+/// What a STATS_REQUEST asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsKind {
+    /// Per-flow stats of one table (or all with `table_id == 0xff`).
+    Flow {
+        /// Table selector.
+        table_id: u8,
+    },
+    /// Per-port counters (`port_no == 0` selects all ports).
+    Port {
+        /// Port selector.
+        port_no: PortNo,
+    },
+    /// Per-table entry counts and hit/miss counters.
+    Table,
+}
+
+/// One flow-stats record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Table holding the entry.
+    pub table_id: u8,
+    /// Entry priority.
+    pub priority: u16,
+    /// Entry cookie.
+    pub cookie: u64,
+    /// Packets matched.
+    pub packets: u64,
+    /// Bytes matched.
+    pub bytes: u64,
+}
+
+/// One port-stats record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortStatsRec {
+    /// The port.
+    pub port_no: PortNo,
+    /// Frames received.
+    pub rx_frames: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+    /// Frames emitted.
+    pub tx_frames: u64,
+    /// Bytes emitted.
+    pub tx_bytes: u64,
+}
+
+/// One table-stats record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableStats {
+    /// The table.
+    pub table_id: u8,
+    /// Installed entries.
+    pub active: u32,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+}
+
+/// A STATS_REPLY body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsBody {
+    /// Flow records.
+    Flow(Vec<FlowStats>),
+    /// Port records.
+    Port(Vec<PortStatsRec>),
+    /// Table records.
+    Table(Vec<TableStats>),
+}
+
+/// Why a FLOW_REMOVED was sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemovedReason {
+    /// Idle timeout.
+    IdleTimeout,
+    /// Hard timeout.
+    HardTimeout,
+    /// Controller delete.
+    Delete,
+}
+
+impl From<zen_dataplane::RemovedReason> for RemovedReason {
+    fn from(value: zen_dataplane::RemovedReason) -> RemovedReason {
+        match value {
+            zen_dataplane::RemovedReason::IdleTimeout => RemovedReason::IdleTimeout,
+            zen_dataplane::RemovedReason::HardTimeout => RemovedReason::HardTimeout,
+            zen_dataplane::RemovedReason::Delete => RemovedReason::Delete,
+        }
+    }
+}
+
+/// Error codes carried by [`Message::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Version negotiation failed.
+    HelloFailed,
+    /// The request was understood but invalid (bad table, bad group...).
+    BadRequest,
+    /// The switch cannot satisfy the request (table full).
+    TableFull,
+}
+
+/// A control-channel message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Session start; carries the sender's version.
+    Hello {
+        /// Highest protocol version the sender speaks.
+        version: u8,
+    },
+    /// An error notification referencing the offending request's xid.
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Optional diagnostic bytes.
+        data: Vec<u8>,
+    },
+    /// Liveness probe.
+    EchoRequest {
+        /// Opaque token echoed back.
+        token: u64,
+    },
+    /// Liveness response.
+    EchoReply {
+        /// The probed token.
+        token: u64,
+    },
+    /// Ask the switch to describe itself.
+    FeaturesRequest,
+    /// The switch's self-description.
+    FeaturesReply {
+        /// Datapath id.
+        dpid: u64,
+        /// Number of flow tables.
+        n_tables: u8,
+        /// The switch's ports.
+        ports: Vec<PortDesc>,
+    },
+    /// A frame punted to the controller.
+    PacketIn {
+        /// Ingress port.
+        in_port: PortNo,
+        /// Table that punted it.
+        table_id: u8,
+        /// `true` if punted by table miss, `false` if by action.
+        is_miss: bool,
+        /// The (possibly truncated) frame.
+        frame: Vec<u8>,
+    },
+    /// A frame the controller injects into the data plane.
+    PacketOut {
+        /// Treat the frame as if received on this port (0 = none).
+        in_port: PortNo,
+        /// Actions to run on it.
+        actions: Vec<zen_dataplane::Action>,
+        /// The frame.
+        frame: Vec<u8>,
+    },
+    /// Program a flow table.
+    FlowMod {
+        /// Target table.
+        table_id: u8,
+        /// The command.
+        cmd: FlowModCmd,
+    },
+    /// Program the group table.
+    GroupMod {
+        /// Target group id.
+        group_id: u32,
+        /// The command.
+        cmd: GroupModCmd,
+    },
+    /// Program a meter.
+    MeterMod {
+        /// Target meter id.
+        meter_id: u32,
+        /// The command.
+        cmd: MeterModCmd,
+    },
+    /// A port changed operational state.
+    PortStatus {
+        /// The port description after the change.
+        port: PortDesc,
+    },
+    /// An entry was evicted or deleted.
+    FlowRemoved {
+        /// Table it lived in.
+        table_id: u8,
+        /// Its priority.
+        priority: u16,
+        /// Its cookie.
+        cookie: u64,
+        /// Why it went away.
+        reason: RemovedReason,
+        /// Lifetime packet count.
+        packets: u64,
+        /// Lifetime byte count.
+        bytes: u64,
+    },
+    /// Fence: the switch answers after all prior messages took effect.
+    BarrierRequest,
+    /// Fence acknowledgement.
+    BarrierReply,
+    /// Ask for statistics.
+    StatsRequest {
+        /// Which statistics.
+        kind: StatsKind,
+    },
+    /// Statistics response.
+    StatsReply {
+        /// The records.
+        body: StatsBody,
+    },
+}
+
+impl Message {
+    /// The wire type tag (used by the codec and for telemetry).
+    pub fn type_id(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 0,
+            Message::Error { .. } => 1,
+            Message::EchoRequest { .. } => 2,
+            Message::EchoReply { .. } => 3,
+            Message::FeaturesRequest => 4,
+            Message::FeaturesReply { .. } => 5,
+            Message::PacketIn { .. } => 6,
+            Message::PacketOut { .. } => 7,
+            Message::FlowMod { .. } => 8,
+            Message::GroupMod { .. } => 9,
+            Message::MeterMod { .. } => 10,
+            Message::PortStatus { .. } => 11,
+            Message::FlowRemoved { .. } => 12,
+            Message::BarrierRequest => 13,
+            Message::BarrierReply => 14,
+            Message::StatsRequest { .. } => 15,
+            Message::StatsReply { .. } => 16,
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the control-protocol codec: random structured
+//! messages round-trip, and random bytes never panic the decoder.
+
+use proptest::prelude::*;
+
+use zen_dataplane::{Action, Bucket, FlowMatch, FlowSpec, GroupDesc, GroupType};
+use zen_proto::{decode, encode, FlowModCmd, Message, StatsKind};
+use zen_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
+
+fn arb_mac() -> impl Strategy<Value = EthernetAddress> {
+    any::<[u8; 6]>().prop_map(EthernetAddress)
+}
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Address> {
+    any::<u32>().prop_map(Ipv4Address::from_u32)
+}
+
+fn arb_cidr() -> impl Strategy<Value = Ipv4Cidr> {
+    (any::<u32>(), 0u8..=32)
+        .prop_map(|(a, l)| Ipv4Cidr::new(Ipv4Address::from_u32(a), l).unwrap())
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (1u32..100).prop_map(Action::Output),
+        Just(Action::Flood),
+        any::<u16>().prop_map(|l| Action::ToController { max_len: l }),
+        arb_mac().prop_map(Action::SetEthSrc),
+        arb_mac().prop_map(Action::SetEthDst),
+        arb_ip().prop_map(Action::SetIpv4Src),
+        arb_ip().prop_map(Action::SetIpv4Dst),
+        any::<u8>().prop_map(Action::SetDscp),
+        Just(Action::DecTtl),
+        (0u16..4096).prop_map(Action::PushVlan),
+        Just(Action::PopVlan),
+        any::<u32>().prop_map(Action::Group),
+        any::<u32>().prop_map(Action::Meter),
+    ]
+}
+
+fn arb_match() -> impl Strategy<Value = FlowMatch> {
+    (
+        proptest::option::of(1u32..64),
+        proptest::option::of(arb_mac()),
+        proptest::option::of(arb_mac()),
+        proptest::option::of(any::<u16>()),
+        proptest::option::of(proptest::option::of(0u16..4096)),
+        proptest::option::of(arb_cidr()),
+        proptest::option::of(arb_cidr()),
+        proptest::option::of(any::<u8>()),
+        proptest::option::of(any::<u16>()),
+        proptest::option::of(any::<u16>()),
+    )
+        .prop_map(
+            |(in_port, eth_src, eth_dst, ethertype, vlan, ipv4_src, ipv4_dst, ip_proto, l4_src, l4_dst)| {
+                FlowMatch {
+                    in_port,
+                    eth_src,
+                    eth_dst,
+                    ethertype,
+                    vlan,
+                    ipv4_src,
+                    ipv4_dst,
+                    ip_proto,
+                    l4_src,
+                    l4_dst,
+                }
+            },
+        )
+}
+
+fn arb_spec() -> impl Strategy<Value = FlowSpec> {
+    (
+        any::<u16>(),
+        arb_match(),
+        proptest::collection::vec(arb_action(), 0..6),
+        proptest::option::of(0u8..=254),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(priority, matcher, actions, goto_table, cookie, idle, hard)| FlowSpec {
+                priority,
+                matcher,
+                actions,
+                goto_table,
+                cookie,
+                idle_timeout: idle,
+                hard_timeout: hard,
+            },
+        )
+}
+
+fn arb_group() -> impl Strategy<Value = GroupDesc> {
+    (
+        prop_oneof![
+            Just(GroupType::All),
+            Just(GroupType::Select),
+            Just(GroupType::FastFailover)
+        ],
+        proptest::collection::vec(
+            ((proptest::option::of(1u32..64)), proptest::collection::vec(arb_action(), 0..4)),
+            0..5,
+        ),
+    )
+        .prop_map(|(group_type, raw)| GroupDesc {
+            group_type,
+            buckets: raw
+                .into_iter()
+                .map(|(watch_port, actions)| Bucket {
+                    actions,
+                    watch_port,
+                })
+                .collect(),
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        arb_spec().prop_map(|s| Message::FlowMod {
+            table_id: 0,
+            cmd: FlowModCmd::Add(s)
+        }),
+        (any::<u16>(), arb_match()).prop_map(|(priority, matcher)| Message::FlowMod {
+            table_id: 1,
+            cmd: FlowModCmd::DeleteStrict { priority, matcher }
+        }),
+        (any::<u32>(), arb_group()).prop_map(|(group_id, g)| Message::GroupMod {
+            group_id,
+            cmd: zen_proto::GroupModCmd::Add(g)
+        }),
+        (1u32..64, proptest::collection::vec(arb_action(), 0..4), proptest::collection::vec(any::<u8>(), 0..256))
+            .prop_map(|(in_port, actions, frame)| Message::PacketOut { in_port, actions, frame }),
+        (1u32..64, any::<u8>(), any::<bool>(), proptest::collection::vec(any::<u8>(), 0..256))
+            .prop_map(|(in_port, table_id, is_miss, frame)| Message::PacketIn {
+                in_port,
+                table_id,
+                is_miss,
+                frame
+            }),
+        Just(Message::StatsRequest { kind: StatsKind::Table }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn structured_roundtrip(msg in arb_message(), xid in any::<u32>()) {
+        let bytes = encode(&msg, xid);
+        let (decoded, got_xid, consumed) = decode(&bytes).expect("decode");
+        prop_assert_eq!(decoded, msg);
+        prop_assert_eq!(got_xid, xid);
+        prop_assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode(&data);
+    }
+
+    #[test]
+    fn bitflips_never_panic(msg in arb_message(), flip in any::<(usize, u8)>()) {
+        let mut bytes = encode(&msg, 1);
+        if !bytes.is_empty() {
+            let at = flip.0 % bytes.len();
+            bytes[at] ^= flip.1;
+            let _ = decode(&bytes);
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Shared router machinery: proxy-ARP host attachment, host learning,
+//! and the IPv4 forwarding fast path over an LPM FIB.
+//!
+//! Both the link-state and distance-vector routers delegate everything
+//! that is not protocol logic to a [`Chassis`].
+
+use std::collections::BTreeMap;
+
+use zen_dataplane::action::{apply_rewrite, Rewrite};
+use zen_dataplane::Action;
+use zen_fib::{Fib, NextHop, RadixTrieFib};
+use zen_sim::{Context, PortNo};
+use zen_wire::builder::PacketBuilder;
+use zen_wire::ethernet::Frame;
+use zen_wire::{arp, ipv4, EthernetAddress, Ipv4Address, Ipv4Cidr};
+
+/// Where a route points: an egress port and the next-hop router's MAC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Adjacency {
+    /// Egress port.
+    pub port: PortNo,
+    /// Next-hop MAC address.
+    pub mac: EthernetAddress,
+}
+
+/// Counters the experiments read.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ChassisStats {
+    /// IPv4 frames forwarded toward another router.
+    pub forwarded: u64,
+    /// IPv4 frames delivered to a locally attached host.
+    pub delivered_local: u64,
+    /// IPv4 frames dropped for lack of a route.
+    pub dropped_no_route: u64,
+    /// Frames dropped by TTL expiry.
+    pub dropped_ttl: u64,
+    /// Proxy-ARP replies sent.
+    pub proxy_arp_replies: u64,
+}
+
+/// The data plane of a traditional router.
+#[derive(Debug)]
+pub struct Chassis {
+    /// This router's id (also used to derive its MAC).
+    pub router_id: u64,
+    /// The router's own MAC address (one per chassis, as on a
+    /// router-on-a-stick).
+    pub mac: EthernetAddress,
+    fib: RadixTrieFib,
+    adjacencies: Vec<Adjacency>,
+    /// Hosts learned on local ports: address → (port, MAC).
+    pub local_hosts: BTreeMap<Ipv4Address, (PortNo, EthernetAddress)>,
+    /// Forwarding counters.
+    pub stats: ChassisStats,
+}
+
+impl Chassis {
+    /// A chassis for `router_id`, with a MAC derived from it.
+    pub fn new(router_id: u64) -> Chassis {
+        Chassis {
+            router_id,
+            mac: EthernetAddress::from_id(0x10_0000 + router_id),
+            fib: RadixTrieFib::new(),
+            adjacencies: Vec::new(),
+            local_hosts: BTreeMap::new(),
+            stats: ChassisStats::default(),
+        }
+    }
+
+    /// Replace the FIB wholesale (after an SPF run or vector update):
+    /// `routes` maps host /32 prefixes to adjacencies.
+    pub fn install_routes(&mut self, routes: &[(Ipv4Cidr, Adjacency)]) {
+        self.fib = RadixTrieFib::new();
+        self.adjacencies.clear();
+        for &(prefix, adjacency) in routes {
+            let nh = self.intern_adjacency(adjacency);
+            self.fib.insert(prefix, nh);
+        }
+    }
+
+    fn intern_adjacency(&mut self, adjacency: Adjacency) -> NextHop {
+        if let Some(i) = self.adjacencies.iter().position(|a| *a == adjacency) {
+            return i as NextHop;
+        }
+        self.adjacencies.push(adjacency);
+        (self.adjacencies.len() - 1) as NextHop
+    }
+
+    /// Number of installed prefixes.
+    pub fn route_count(&self) -> usize {
+        self.fib.len()
+    }
+
+    /// The route for an address, if any (diagnostics).
+    pub fn route_for(&self, addr: Ipv4Address) -> Option<Adjacency> {
+        self.fib
+            .lookup(addr)
+            .map(|nh| self.adjacencies[nh as usize])
+    }
+
+    /// Learn (or refresh) a locally attached host. Returns `true` if it
+    /// is a *new* host, which protocols use to trigger advertisement.
+    pub fn learn_host(&mut self, ip: Ipv4Address, port: PortNo, mac: EthernetAddress) -> bool {
+        if !ip.is_unicast() {
+            return false;
+        }
+        self.local_hosts.insert(ip, (port, mac)).is_none()
+    }
+
+    /// Handle an ARP payload heard on `port`. Replies with the router's
+    /// own MAC to any request (proxy ARP), and learns the sender as a
+    /// local host. Returns the newly learned host address, if any.
+    pub fn handle_arp(
+        &mut self,
+        ctx: &mut Context<'_>,
+        port: PortNo,
+        payload: &[u8],
+    ) -> Option<Ipv4Address> {
+        let packet = arp::Packet::new_checked(payload).ok()?;
+        let repr = arp::Repr::parse(&packet).ok()?;
+        let newly_learned = if repr.sender_protocol_addr.is_unicast() {
+            let prev = self
+                .local_hosts
+                .insert(repr.sender_protocol_addr, (port, repr.sender_hardware_addr));
+            if prev.is_none() {
+                Some(repr.sender_protocol_addr)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        if repr.operation == arp::Operation::Request
+            && repr.target_protocol_addr != repr.sender_protocol_addr
+        {
+            // Proxy ARP: we claim every address; hosts send everything to
+            // the router. (Gratuitous ARP — target == sender — is not
+            // answered.)
+            self.stats.proxy_arp_replies += 1;
+            let reply = PacketBuilder::arp_reply(&repr, self.mac);
+            ctx.transmit(port, reply);
+        }
+        newly_learned
+    }
+
+    /// Forward an IPv4 frame: deliver locally, or rewrite and send
+    /// toward the FIB next hop.
+    pub fn forward_ipv4(&mut self, ctx: &mut Context<'_>, frame: &[u8]) {
+        let Ok(eth) = Frame::new_checked(frame) else {
+            return;
+        };
+        let Ok(ip) = ipv4::Packet::new_checked(eth.payload()) else {
+            return;
+        };
+        let dst = ip.dst_addr();
+
+        let (out_port, dst_mac) = if let Some(&(port, mac)) = self.local_hosts.get(&dst) {
+            self.stats.delivered_local += 1;
+            (port, mac)
+        } else if let Some(adjacency) = self.fib.lookup(dst).map(|nh| self.adjacencies[nh as usize])
+        {
+            self.stats.forwarded += 1;
+            (adjacency.port, adjacency.mac)
+        } else {
+            self.stats.dropped_no_route += 1;
+            return;
+        };
+
+        let mut out = frame.to_vec();
+        if apply_rewrite(Action::DecTtl, &mut out) == Rewrite::Drop {
+            self.stats.dropped_ttl += 1;
+            return;
+        }
+        apply_rewrite(Action::SetEthSrc(self.mac), &mut out);
+        apply_rewrite(Action::SetEthDst(dst_mac), &mut out);
+        ctx.transmit(out_port, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+    use zen_sim::{Duration, Instant, LinkParams, Node, World};
+
+    /// Captures everything it receives.
+    struct Capture {
+        frames: Vec<(PortNo, Vec<u8>)>,
+    }
+
+    impl Node for Capture {
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, port: PortNo, frame: &[u8]) {
+            self.frames.push((port, frame.to_vec()));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// A probe node hosting a chassis so we can exercise it in a world.
+    struct ChassisProbe {
+        chassis: Chassis,
+        script: Vec<(PortNo, Vec<u8>)>,
+    }
+
+    impl Node for ChassisProbe {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for (port, frame) in std::mem::take(&mut self.script) {
+                // Treat scripted frames as if they arrived on `port`.
+                let eth = Frame::new_checked(&frame[..]).unwrap();
+                match eth.ethertype() {
+                    zen_wire::ethernet::EtherType::Arp => {
+                        self.chassis.handle_arp(ctx, port, eth.payload());
+                    }
+                    zen_wire::ethernet::EtherType::Ipv4 => {
+                        self.chassis.forward_ipv4(ctx, &frame);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        fn on_packet(&mut self, _: &mut Context<'_>, _: PortNo, _: &[u8]) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    const HOST_MAC: EthernetAddress = EthernetAddress([2, 0, 0, 0, 0, 9]);
+    const HOST_IP: Ipv4Address = Ipv4Address::new(10, 0, 0, 9);
+    const FAR_IP: Ipv4Address = Ipv4Address::new(10, 0, 1, 1);
+
+    #[test]
+    fn proxy_arp_reply_and_host_learning() {
+        let mut world = World::new(1);
+        let chassis = Chassis::new(1);
+        let probe = world.add_node(Box::new(ChassisProbe {
+            chassis,
+            script: vec![(1, PacketBuilder::arp_request(HOST_MAC, HOST_IP, FAR_IP))],
+        }));
+        let cap = world.add_node(Box::new(Capture { frames: vec![] }));
+        world.connect(probe, cap, LinkParams::instant(Duration::from_micros(1)));
+        world.run_until(Instant::from_millis(1));
+
+        let cap = world.node_as::<Capture>(cap);
+        assert_eq!(cap.frames.len(), 1, "proxy ARP reply expected");
+        let eth = Frame::new_checked(&cap.frames[0].1[..]).unwrap();
+        let reply = arp::Repr::parse(&arp::Packet::new_checked(eth.payload()).unwrap()).unwrap();
+        assert_eq!(reply.operation, arp::Operation::Reply);
+        assert_eq!(reply.sender_protocol_addr, FAR_IP);
+        assert_eq!(reply.target_hardware_addr, HOST_MAC);
+
+        let probe = world.node_as::<ChassisProbe>(probe);
+        assert_eq!(
+            probe.chassis.local_hosts.get(&HOST_IP),
+            Some(&(1, HOST_MAC))
+        );
+        assert_eq!(probe.chassis.stats.proxy_arp_replies, 1);
+    }
+
+    #[test]
+    fn gratuitous_arp_learns_but_does_not_reply() {
+        let mut world = World::new(1);
+        let probe = world.add_node(Box::new(ChassisProbe {
+            chassis: Chassis::new(1),
+            script: vec![(1, PacketBuilder::arp_request(HOST_MAC, HOST_IP, HOST_IP))],
+        }));
+        let cap = world.add_node(Box::new(Capture { frames: vec![] }));
+        world.connect(probe, cap, LinkParams::instant(Duration::from_micros(1)));
+        world.run_until(Instant::from_millis(1));
+        assert!(world.node_as::<Capture>(cap).frames.is_empty());
+        let probe = world.node_as::<ChassisProbe>(probe);
+        assert!(probe.chassis.local_hosts.contains_key(&HOST_IP));
+    }
+
+    #[test]
+    fn forwards_via_fib_with_rewrite() {
+        let mut world = World::new(1);
+        let mut chassis = Chassis::new(1);
+        let next_mac = EthernetAddress::from_id(0x20);
+        chassis.install_routes(&[(
+            Ipv4Cidr::new(FAR_IP, 32).unwrap(),
+            Adjacency { port: 1, mac: next_mac },
+        )]);
+        let frame = PacketBuilder::udp(HOST_MAC, HOST_IP, 1, chassis.mac, FAR_IP, 2, b"hi");
+        let router_mac = chassis.mac;
+        let probe = world.add_node(Box::new(ChassisProbe {
+            chassis,
+            script: vec![(2, frame)],
+        }));
+        let cap = world.add_node(Box::new(Capture { frames: vec![] }));
+        world.connect(probe, cap, LinkParams::instant(Duration::from_micros(1)));
+        world.run_until(Instant::from_millis(1));
+
+        let cap = world.node_as::<Capture>(cap);
+        assert_eq!(cap.frames.len(), 1);
+        let eth = Frame::new_checked(&cap.frames[0].1[..]).unwrap();
+        assert_eq!(eth.src_addr(), router_mac);
+        assert_eq!(eth.dst_addr(), next_mac);
+        let ip = ipv4::Packet::new_checked(eth.payload()).unwrap();
+        assert_eq!(ip.ttl(), 63);
+        assert!(ip.verify_checksum());
+        let probe = world.node_as::<ChassisProbe>(probe);
+        assert_eq!(probe.chassis.stats.forwarded, 1);
+    }
+
+    #[test]
+    fn local_delivery_beats_fib() {
+        let mut world = World::new(1);
+        let mut chassis = Chassis::new(1);
+        chassis.install_routes(&[(
+            "10.0.0.0/8".parse().unwrap(),
+            Adjacency {
+                port: 2,
+                mac: EthernetAddress::from_id(0x20),
+            },
+        )]);
+        chassis.local_hosts.insert(HOST_IP, (1, HOST_MAC));
+        let frame = PacketBuilder::udp(
+            EthernetAddress::from_id(3),
+            FAR_IP,
+            5,
+            chassis.mac,
+            HOST_IP,
+            6,
+            b"x",
+        );
+        let probe = world.add_node(Box::new(ChassisProbe {
+            chassis,
+            script: vec![(2, frame)],
+        }));
+        let cap = world.add_node(Box::new(Capture { frames: vec![] }));
+        world.connect(probe, cap, LinkParams::instant(Duration::from_micros(1)));
+        world.run_until(Instant::from_millis(1));
+        let cap = world.node_as::<Capture>(cap);
+        assert_eq!(cap.frames.len(), 1);
+        let eth = Frame::new_checked(&cap.frames[0].1[..]).unwrap();
+        assert_eq!(eth.dst_addr(), HOST_MAC, "delivered to the host MAC");
+    }
+
+    #[test]
+    fn no_route_drops() {
+        let mut world = World::new(1);
+        let chassis = Chassis::new(1);
+        let mac = chassis.mac;
+        let frame = PacketBuilder::udp(HOST_MAC, HOST_IP, 1, mac, FAR_IP, 2, b"hi");
+        let probe = world.add_node(Box::new(ChassisProbe {
+            chassis,
+            script: vec![(1, frame)],
+        }));
+        let cap = world.add_node(Box::new(Capture { frames: vec![] }));
+        world.connect(probe, cap, LinkParams::instant(Duration::from_micros(1)));
+        world.run_until(Instant::from_millis(1));
+        assert!(world.node_as::<Capture>(cap).frames.is_empty());
+        let probe = world.node_as::<ChassisProbe>(probe);
+        assert_eq!(probe.chassis.stats.dropped_no_route, 1);
+    }
+}

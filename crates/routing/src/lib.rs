@@ -1,0 +1,43 @@
+//! # zen-routing — distributed control-plane baselines
+//!
+//! The architecture SDN replaced: control logic distributed across the
+//! devices themselves, converging by message exchange. These baselines
+//! run *for real* on `zen-sim` — hellos time out, LSAs flood hop by hop,
+//! distance vectors count to infinity — so centralized-vs-distributed
+//! experiments compare actual protocol dynamics, not idealized models.
+//!
+//! * [`l2::LearningSwitch`] — transparent bridging with MAC learning and
+//!   a simplified IEEE 802.1D spanning tree (root election, port
+//!   blocking), the pre-SDN L2 fabric.
+//! * [`linkstate::LinkStateRouter`] — an OSPF-style router: hello-based
+//!   neighbor discovery with dead intervals, sequence-numbered LSA
+//!   flooding, full-topology Dijkstra, and an LPM FIB (`zen-fib`).
+//! * [`distvec::DistanceVectorRouter`] — a RIP-style router: periodic and
+//!   triggered vector advertisements, split horizon with poisoned
+//!   reverse, and a 16-hop infinity.
+//!
+//! Routers attach hosts with proxy ARP (the router answers every ARP
+//! query on a host port with its own MAC) and advertise learned host
+//! /32s into the routing protocol, so unmodified [`zen_sim::Host`]
+//! workloads run over either control plane — or over the SDN fabric —
+//! unchanged.
+//!
+//! [`proto`] defines the routing-protocol wire format, carried in
+//! Ethernet frames with EtherType `0x88b5` (IEEE experimental).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chassis;
+pub mod distvec;
+pub mod l2;
+pub mod linkstate;
+pub mod proto;
+
+pub use distvec::DistanceVectorRouter;
+pub use l2::LearningSwitch;
+pub use linkstate::LinkStateRouter;
+
+/// EtherType used by the distributed routing protocols (IEEE 802 local
+/// experimental 1).
+pub const ROUTING_ETHERTYPE: u16 = 0x88b5;

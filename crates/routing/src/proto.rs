@@ -1,0 +1,283 @@
+//! Wire format of the distributed routing protocols.
+//!
+//! Messages ride in Ethernet frames with [`crate::ROUTING_ETHERTYPE`],
+//! addressed to the all-routers multicast group. Encoding is simple
+//! big-endian TLV-free structs; decoding is bounds-checked.
+
+use zen_wire::{EthernetAddress, Ipv4Address};
+
+/// The multicast destination routing messages use.
+pub const ROUTERS_MULTICAST: EthernetAddress =
+    EthernetAddress([0x01, 0x80, 0xc2, 0x00, 0x00, 0x41]);
+
+/// A routing-protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutingMsg {
+    /// Periodic neighbor keepalive carrying the sender's router id.
+    Hello {
+        /// The sending router.
+        router_id: u64,
+    },
+    /// A link-state advertisement, flooded network-wide.
+    Lsa {
+        /// Originating router.
+        origin: u64,
+        /// Monotonic per-origin sequence number.
+        seq: u64,
+        /// (neighbor router id, cost) adjacencies.
+        links: Vec<(u64, u32)>,
+        /// Host /32 addresses attached to the origin.
+        hosts: Vec<Ipv4Address>,
+    },
+    /// A distance-vector advertisement sent to one neighbor.
+    Vector {
+        /// The sending router.
+        sender: u64,
+        /// (host address, metric) entries; metric 16 = unreachable.
+        entries: Vec<(Ipv4Address, u8)>,
+    },
+}
+
+impl RoutingMsg {
+    /// Encode to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            RoutingMsg::Hello { router_id } => {
+                out.push(0);
+                out.extend_from_slice(&router_id.to_be_bytes());
+            }
+            RoutingMsg::Lsa {
+                origin,
+                seq,
+                links,
+                hosts,
+            } => {
+                out.push(1);
+                out.extend_from_slice(&origin.to_be_bytes());
+                out.extend_from_slice(&seq.to_be_bytes());
+                out.extend_from_slice(&(links.len() as u16).to_be_bytes());
+                for (neighbor, cost) in links {
+                    out.extend_from_slice(&neighbor.to_be_bytes());
+                    out.extend_from_slice(&cost.to_be_bytes());
+                }
+                out.extend_from_slice(&(hosts.len() as u16).to_be_bytes());
+                for host in hosts {
+                    out.extend_from_slice(host.as_bytes());
+                }
+            }
+            RoutingMsg::Vector { sender, entries } => {
+                out.push(2);
+                out.extend_from_slice(&sender.to_be_bytes());
+                out.extend_from_slice(&(entries.len() as u16).to_be_bytes());
+                for (addr, metric) in entries {
+                    out.extend_from_slice(addr.as_bytes());
+                    out.push(*metric);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode from bytes; `None` on any malformation.
+    pub fn decode(data: &[u8]) -> Option<RoutingMsg> {
+        let mut rd = Rd { data, at: 0 };
+        let msg = match rd.u8()? {
+            0 => RoutingMsg::Hello {
+                router_id: rd.u64()?,
+            },
+            1 => {
+                let origin = rd.u64()?;
+                let seq = rd.u64()?;
+                let n_links = rd.u16()? as usize;
+                if n_links > data.len() {
+                    return None;
+                }
+                let mut links = Vec::with_capacity(n_links);
+                for _ in 0..n_links {
+                    links.push((rd.u64()?, rd.u32()?));
+                }
+                let n_hosts = rd.u16()? as usize;
+                if n_hosts > data.len() {
+                    return None;
+                }
+                let mut hosts = Vec::with_capacity(n_hosts);
+                for _ in 0..n_hosts {
+                    hosts.push(rd.ip()?);
+                }
+                RoutingMsg::Lsa {
+                    origin,
+                    seq,
+                    links,
+                    hosts,
+                }
+            }
+            2 => {
+                let sender = rd.u64()?;
+                let n = rd.u16()? as usize;
+                if n > data.len() {
+                    return None;
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push((rd.ip()?, rd.u8()?));
+                }
+                RoutingMsg::Vector { sender, entries }
+            }
+            _ => return None,
+        };
+        if rd.at == data.len() {
+            Some(msg)
+        } else {
+            None
+        }
+    }
+}
+
+struct Rd<'a> {
+    data: &'a [u8],
+    at: usize,
+}
+
+impl Rd<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        if self.at + n > self.data.len() {
+            return None;
+        }
+        let s = &self.data[self.at..self.at + n];
+        self.at += n;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn ip(&mut self) -> Option<Ipv4Address> {
+        Some(Ipv4Address::from_bytes(self.take(4)?))
+    }
+}
+
+/// Simplified spanning-tree BPDU, used by [`crate::l2::LearningSwitch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bpdu {
+    /// Best root bridge known to the sender.
+    pub root_id: u64,
+    /// Sender's cost to that root.
+    pub root_cost: u32,
+    /// Sender bridge id.
+    pub sender_id: u64,
+}
+
+impl Bpdu {
+    /// Encode to bytes (tag 3 in the shared routing EtherType space).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(21);
+        out.push(3);
+        out.extend_from_slice(&self.root_id.to_be_bytes());
+        out.extend_from_slice(&self.root_cost.to_be_bytes());
+        out.extend_from_slice(&self.sender_id.to_be_bytes());
+        out
+    }
+
+    /// Decode from bytes.
+    pub fn decode(data: &[u8]) -> Option<Bpdu> {
+        if data.len() != 21 || data[0] != 3 {
+            return None;
+        }
+        Some(Bpdu {
+            root_id: u64::from_be_bytes(data[1..9].try_into().unwrap()),
+            root_cost: u32::from_be_bytes(data[9..13].try_into().unwrap()),
+            sender_id: u64::from_be_bytes(data[13..21].try_into().unwrap()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrip() {
+        let msg = RoutingMsg::Hello { router_id: 42 };
+        assert_eq!(RoutingMsg::decode(&msg.encode()), Some(msg));
+    }
+
+    #[test]
+    fn lsa_roundtrip() {
+        let msg = RoutingMsg::Lsa {
+            origin: 7,
+            seq: 123,
+            links: vec![(8, 1), (9, 5)],
+            hosts: vec![Ipv4Address::new(10, 0, 0, 1), Ipv4Address::new(10, 0, 0, 2)],
+        };
+        assert_eq!(RoutingMsg::decode(&msg.encode()), Some(msg));
+    }
+
+    #[test]
+    fn vector_roundtrip() {
+        let msg = RoutingMsg::Vector {
+            sender: 3,
+            entries: vec![
+                (Ipv4Address::new(10, 0, 0, 1), 2),
+                (Ipv4Address::new(10, 0, 0, 9), 16),
+            ],
+        };
+        assert_eq!(RoutingMsg::decode(&msg.encode()), Some(msg));
+    }
+
+    #[test]
+    fn empty_lsa_roundtrip() {
+        let msg = RoutingMsg::Lsa {
+            origin: 1,
+            seq: 0,
+            links: vec![],
+            hosts: vec![],
+        };
+        assert_eq!(RoutingMsg::decode(&msg.encode()), Some(msg));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(RoutingMsg::decode(&[]), None);
+        assert_eq!(RoutingMsg::decode(&[9, 1, 2]), None);
+        // Truncated LSA.
+        let msg = RoutingMsg::Lsa {
+            origin: 7,
+            seq: 1,
+            links: vec![(8, 1)],
+            hosts: vec![],
+        };
+        let bytes = msg.encode();
+        for cut in 1..bytes.len() {
+            assert_eq!(RoutingMsg::decode(&bytes[..cut]), None, "cut {cut}");
+        }
+        // Trailing garbage.
+        let mut extended = bytes;
+        extended.push(0);
+        assert_eq!(RoutingMsg::decode(&extended), None);
+    }
+
+    #[test]
+    fn bpdu_roundtrip() {
+        let bpdu = Bpdu {
+            root_id: 1,
+            root_cost: 7,
+            sender_id: 9,
+        };
+        assert_eq!(Bpdu::decode(&bpdu.encode()), Some(bpdu));
+        assert_eq!(Bpdu::decode(&[0; 5]), None);
+    }
+}

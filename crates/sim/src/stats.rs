@@ -1,0 +1,279 @@
+//! Measurement primitives: counters, sample histograms, and time series.
+
+use std::collections::BTreeMap;
+
+use crate::time::Instant;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Counter {
+        Counter { value: 0 }
+    }
+
+    /// Add one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Add `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    pub const fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A sample-retaining histogram with exact quantiles.
+///
+/// Retains every recorded value (the simulator's sample counts are modest),
+/// so quantiles are exact rather than bucketed approximations.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record a sample.
+    pub fn record(&mut self, value: f64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::min)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::max)
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) by the nearest-rank method, or `None`
+    /// if empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let rank = ((q.clamp(0.0, 1.0)) * (self.samples.len() - 1) as f64).round() as usize;
+        Some(self.samples[rank])
+    }
+
+    /// Convenience: the median.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Convenience: the 99th percentile.
+    pub fn p99(&mut self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// All samples, unsorted, in recording order... unless quantiles were
+    /// queried (which sorts in place).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// A time series of `(Instant, value)` observations.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(Instant, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> TimeSeries {
+        TimeSeries::default()
+    }
+
+    /// Append an observation; `at` values should be non-decreasing.
+    pub fn record(&mut self, at: Instant, value: f64) {
+        self.points.push((at, value));
+    }
+
+    /// The raw points.
+    pub fn points(&self) -> &[(Instant, f64)] {
+        &self.points
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The last value recorded at or before `at`, or `None`.
+    pub fn value_at(&self, at: Instant) -> Option<f64> {
+        self.points
+            .iter()
+            .take_while(|(t, _)| *t <= at)
+            .last()
+            .map(|(_, v)| *v)
+    }
+}
+
+/// A registry of named metrics, used by nodes and experiment harnesses.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Add `n` to the named counter, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, n: u64) {
+        self.counters.entry(name.to_string()).or_default().add(n);
+    }
+
+    /// Add one to the named counter.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Read a counter (zero if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, |c| c.get())
+    }
+
+    /// Record a sample in the named histogram.
+    pub fn record(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Access a histogram mutably (quantiles need `&mut`), creating it if
+    /// absent.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_string()).or_default()
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), Some(3.0));
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(5.0));
+        assert_eq!(h.median(), Some(3.0));
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(5.0));
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.median(), None);
+    }
+
+    #[test]
+    fn histogram_p99() {
+        let mut h = Histogram::new();
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.p99(), Some(98.0));
+    }
+
+    #[test]
+    fn time_series_lookup() {
+        let mut ts = TimeSeries::new();
+        ts.record(Instant::from_secs(1), 10.0);
+        ts.record(Instant::from_secs(2), 20.0);
+        assert_eq!(ts.value_at(Instant::from_millis(500)), None);
+        assert_eq!(ts.value_at(Instant::from_secs(1)), Some(10.0));
+        assert_eq!(ts.value_at(Instant::from_millis(1500)), Some(10.0));
+        assert_eq!(ts.value_at(Instant::from_secs(3)), Some(20.0));
+    }
+
+    #[test]
+    fn metrics_registry() {
+        let mut m = Metrics::new();
+        m.incr("pkts");
+        m.add("pkts", 2);
+        assert_eq!(m.counter("pkts"), 3);
+        assert_eq!(m.counter("missing"), 0);
+        m.record("latency", 1.5);
+        m.record("latency", 2.5);
+        assert_eq!(m.histogram("latency").mean(), Some(2.0));
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["pkts"]);
+    }
+}

@@ -1,0 +1,289 @@
+//! Simulated time: nanosecond-resolution instants and durations.
+//!
+//! The simulator never consults the wall clock; all time flows from the
+//! event queue. `Instant` counts nanoseconds since the start of the
+//! simulation.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant {
+    nanos: u64,
+}
+
+impl Instant {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: Instant = Instant { nanos: 0 };
+
+    /// Construct from nanoseconds since the epoch.
+    pub const fn from_nanos(nanos: u64) -> Instant {
+        Instant { nanos }
+    }
+
+    /// Construct from microseconds since the epoch.
+    pub const fn from_micros(micros: u64) -> Instant {
+        Instant {
+            nanos: micros * 1_000,
+        }
+    }
+
+    /// Construct from milliseconds since the epoch.
+    pub const fn from_millis(millis: u64) -> Instant {
+        Instant {
+            nanos: millis * 1_000_000,
+        }
+    }
+
+    /// Construct from seconds since the epoch.
+    pub const fn from_secs(secs: u64) -> Instant {
+        Instant {
+            nanos: secs * 1_000_000_000,
+        }
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(&self) -> u64 {
+        self.nanos
+    }
+
+    /// Whole microseconds since the epoch.
+    pub const fn as_micros(&self) -> u64 {
+        self.nanos / 1_000
+    }
+
+    /// Whole milliseconds since the epoch.
+    pub const fn as_millis(&self) -> u64 {
+        self.nanos / 1_000_000
+    }
+
+    /// Seconds since the epoch as a float.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// The duration elapsed since `earlier`, saturating to zero if
+    /// `earlier` is in the future.
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        Duration::from_nanos(self.nanos.saturating_sub(earlier.nanos))
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+
+    fn add(self, rhs: Duration) -> Instant {
+        Instant {
+            nanos: self.nanos + rhs.nanos,
+        }
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.nanos += rhs.nanos;
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+
+    fn sub(self, rhs: Instant) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration {
+    nanos: u64,
+}
+
+impl Duration {
+    /// The zero duration.
+    pub const ZERO: Duration = Duration { nanos: 0 };
+
+    /// Construct from nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Duration {
+        Duration { nanos }
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_micros(micros: u64) -> Duration {
+        Duration {
+            nanos: micros * 1_000,
+        }
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(millis: u64) -> Duration {
+        Duration {
+            nanos: millis * 1_000_000,
+        }
+    }
+
+    /// Construct from seconds.
+    pub const fn from_secs(secs: u64) -> Duration {
+        Duration {
+            nanos: secs * 1_000_000_000,
+        }
+    }
+
+    /// Construct from a float number of seconds (saturating at zero).
+    pub fn from_secs_f64(secs: f64) -> Duration {
+        Duration {
+            nanos: (secs.max(0.0) * 1e9) as u64,
+        }
+    }
+
+    /// Nanoseconds in this duration.
+    pub const fn as_nanos(&self) -> u64 {
+        self.nanos
+    }
+
+    /// Whole microseconds.
+    pub const fn as_micros(&self) -> u64 {
+        self.nanos / 1_000
+    }
+
+    /// Whole milliseconds.
+    pub const fn as_millis(&self) -> u64 {
+        self.nanos / 1_000_000
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// Multiply by an integer factor.
+    pub const fn mul(self, factor: u64) -> Duration {
+        Duration {
+            nanos: self.nanos * factor,
+        }
+    }
+
+    /// Divide by an integer divisor.
+    pub const fn div(self, divisor: u64) -> Duration {
+        Duration {
+            nanos: self.nanos / divisor,
+        }
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+
+    fn add(self, rhs: Duration) -> Duration {
+        Duration {
+            nanos: self.nanos + rhs.nanos,
+        }
+    }
+}
+
+impl AddAssign<Duration> for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.nanos += rhs.nanos;
+    }
+}
+
+impl Sub<Duration> for Duration {
+    type Output = Duration;
+
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration {
+            nanos: self.nanos.saturating_sub(rhs.nanos),
+        }
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.nanos >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.nanos >= 1_000_000 {
+            write!(f, "{:.3}ms", self.nanos as f64 / 1e6)
+        } else if self.nanos >= 1_000 {
+            write!(f, "{:.3}us", self.nanos as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.nanos)
+        }
+    }
+}
+
+/// The time to serialize `bytes` onto a link of `bits_per_sec`, rounded up
+/// to the next nanosecond.
+pub fn transmission_time(bytes: usize, bits_per_sec: u64) -> Duration {
+    if bits_per_sec == 0 {
+        return Duration::ZERO;
+    }
+    let bits = bytes as u128 * 8;
+    let nanos = (bits * 1_000_000_000).div_ceil(bits_per_sec as u128);
+    Duration::from_nanos(nanos as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let t = Instant::from_millis(1500);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert_eq!(t.as_micros(), 1_500_000);
+        assert_eq!(t.as_millis(), 1500);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Instant::from_secs(1) + Duration::from_millis(200);
+        assert_eq!(t.as_millis(), 1200);
+        assert_eq!(
+            (t - Instant::from_secs(1)).as_millis(),
+            Duration::from_millis(200).as_millis()
+        );
+        // Saturating subtraction.
+        assert_eq!(Instant::from_secs(1) - Instant::from_secs(2), Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = Duration::from_micros(10);
+        assert_eq!(d.mul(3).as_micros(), 30);
+        assert_eq!(d.div(2).as_micros(), 5);
+    }
+
+    #[test]
+    fn transmission_times() {
+        // 1500 bytes at 1 Gb/s = 12 microseconds.
+        assert_eq!(
+            transmission_time(1500, 1_000_000_000),
+            Duration::from_micros(12)
+        );
+        // 1 byte at 1 Gb/s = 8 ns.
+        assert_eq!(transmission_time(1, 1_000_000_000), Duration::from_nanos(8));
+        // Rounded up.
+        assert_eq!(
+            transmission_time(1, 3_000_000_000),
+            Duration::from_nanos(3)
+        );
+        // Zero rate means instantaneous (infinite-capacity) links.
+        assert_eq!(transmission_time(1500, 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Duration::from_nanos(5).to_string(), "5ns");
+        assert_eq!(Duration::from_micros(5).to_string(), "5.000us");
+        assert_eq!(Duration::from_millis(5).to_string(), "5.000ms");
+        assert_eq!(Duration::from_secs(5).to_string(), "5.000s");
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the TE allocator's safety and quality invariants.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use zen_graph::Graph;
+use zen_te::{allocate, quantize_splits, DemandMatrix};
+
+/// (node, node, value) triples for edges and demands.
+type Triples = Vec<(u32, u32, u64)>;
+
+/// Random symmetric graphs with capacities, plus random demands.
+fn arb_case() -> impl Strategy<Value = (usize, Triples, Triples)> {
+    (3usize..10).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 100u64..10_000),
+            n..3 * n,
+        );
+        let demands = proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 1u64..20_000),
+            1..8,
+        );
+        (Just(n), edges, demands)
+    })
+}
+
+proptest! {
+    #[test]
+    fn allocation_respects_capacity_and_demand((n, edges, demands) in arb_case(), k in 1usize..4) {
+        let mut g = Graph::with_nodes(n);
+        for &(a, b, c) in &edges {
+            if a != b {
+                g.add_undirected(a, b, 1, c);
+            }
+        }
+        let mut m = DemandMatrix::new();
+        for &(s, t, r) in &demands {
+            if s != t {
+                m.push(s, t, r);
+            }
+        }
+        if m.demands.is_empty() {
+            return Ok(());
+        }
+        let alloc = allocate(&g, &m, k, 50);
+
+        // Never grant more than requested.
+        for (d, &r) in m.demands.iter().zip(&alloc.rates) {
+            prop_assert!(r <= d.rate_bps, "overgrant {r} > {}", d.rate_bps);
+        }
+        // Never exceed any link capacity.
+        for (&e, &load) in &alloc.link_load {
+            prop_assert!(
+                load <= g.edge(e).capacity,
+                "edge {e} overloaded: {load} > {}",
+                g.edge(e).capacity
+            );
+        }
+        // Per-demand path rates sum to the granted rate.
+        for (i, paths) in alloc.paths.iter().enumerate() {
+            let sum: u64 = paths.iter().map(|(_, r)| r).sum();
+            prop_assert_eq!(sum, alloc.rates[i]);
+            // Paths actually connect the demand endpoints.
+            for (p, _) in paths {
+                prop_assert_eq!(p.nodes[0], m.demands[i].src);
+                prop_assert_eq!(*p.nodes.last().unwrap(), m.demands[i].dst);
+            }
+        }
+    }
+
+    #[test]
+    fn more_candidates_never_hurt_a_single_demand((n, edges, demands) in arb_case()) {
+        // NOTE: with *multiple* demands, greedy water-filling over more
+        // candidates can admit less total traffic (one demand's detour
+        // may starve another) — that is a real property of greedy TE,
+        // so monotonicity is only asserted per single demand.
+        let mut g = Graph::with_nodes(n);
+        for &(a, b, c) in &edges {
+            if a != b {
+                g.add_undirected(a, b, 1, c);
+            }
+        }
+        let Some(&(s, t, r)) = demands.iter().find(|(s, t, _)| s != t) else {
+            return Ok(());
+        };
+        let mut m = DemandMatrix::new();
+        m.push(s, t, r);
+        let k1 = allocate(&g, &m, 1, 50).total();
+        let k3 = allocate(&g, &m, 3, 50).total();
+        prop_assert!(k3 + 50 >= k1, "k=3 total {k3} worse than k=1 total {k1}");
+        // And never above the max-flow bound.
+        prop_assert!(k3 <= zen_graph::max_flow(&g, s, t).max(k3.min(r)));
+    }
+
+    #[test]
+    fn quantize_preserves_total_and_order(rates in proptest::collection::vec(0u64..1_000_000, 1..8),
+                                          buckets in 1u32..64) {
+        let w = quantize_splits(&rates, buckets);
+        prop_assert_eq!(w.len(), rates.len());
+        let total: u64 = rates.iter().sum();
+        let wsum: u32 = w.iter().sum();
+        if total == 0 {
+            prop_assert_eq!(wsum, 0);
+        } else {
+            prop_assert_eq!(wsum, buckets);
+            // Weight error is at most 1 bucket from the exact share.
+            for (i, &r) in rates.iter().enumerate() {
+                let exact = r as f64 * buckets as f64 / total as f64;
+                prop_assert!((w[i] as f64 - exact).abs() <= 1.0,
+                    "weight {} for exact {exact}", w[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn random_demand_matrix_well_formed(seed in any::<u64>()) {
+        let sites: Vec<u32> = (0..6).collect();
+        let m = DemandMatrix::random(&sites, 12, 10, 100, seed);
+        prop_assert_eq!(m.demands.len(), 12);
+        for d in &m.demands {
+            prop_assert!(d.src != d.dst);
+            prop_assert!((10..=100).contains(&d.rate_bps));
+            prop_assert!(sites.contains(&d.src) && sites.contains(&d.dst));
+        }
+    }
+}
+
+#[test]
+fn b4_like_case_allocation_sane() {
+    // A concrete WAN-shaped case as a regression anchor.
+    let mut g = Graph::with_nodes(6);
+    let caps: BTreeMap<(u32, u32), u64> = [
+        ((0u32, 1u32), 1000u64),
+        ((1, 2), 1000),
+        ((0, 3), 1000),
+        ((3, 4), 1000),
+        ((4, 2), 1000),
+        ((1, 4), 500),
+    ]
+    .into_iter()
+    .collect();
+    for (&(a, b), &c) in &caps {
+        g.add_undirected(a, b, 1, c);
+    }
+    let mut m = DemandMatrix::new();
+    m.push(0, 2, 3000);
+    let sp = allocate(&g, &m, 1, 10);
+    let te = allocate(&g, &m, 3, 10);
+    assert_eq!(sp.rates[0], 1000, "single path caps at one trunk");
+    assert!(te.rates[0] >= 1990, "TE should find both 2-trunk paths");
+    assert_eq!(te.rates[0], zen_graph::max_flow(&g, 0, 2).min(3000));
+}

@@ -1,0 +1,323 @@
+//! The Address Resolution Protocol (RFC 826), Ethernet/IPv4 flavour.
+
+use crate::address::{EthernetAddress, Ipv4Address};
+use crate::{get_u16, set_u16, Error, Result};
+
+/// An ARP operation code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operation {
+    /// Who-has request (1).
+    Request,
+    /// Is-at reply (2).
+    Reply,
+}
+
+impl TryFrom<u16> for Operation {
+    type Error = Error;
+
+    fn try_from(value: u16) -> Result<Operation> {
+        match value {
+            1 => Ok(Operation::Request),
+            2 => Ok(Operation::Reply),
+            _ => Err(Error::Unrecognized),
+        }
+    }
+}
+
+impl From<Operation> for u16 {
+    fn from(op: Operation) -> u16 {
+        match op {
+            Operation::Request => 1,
+            Operation::Reply => 2,
+        }
+    }
+}
+
+mod field {
+    use core::ops::Range;
+
+    pub const HTYPE: Range<usize> = 0..2;
+    pub const PTYPE: Range<usize> = 2..4;
+    pub const HLEN: usize = 4;
+    pub const PLEN: usize = 5;
+    pub const OPER: Range<usize> = 6..8;
+    pub const SHA: Range<usize> = 8..14;
+    pub const SPA: Range<usize> = 14..18;
+    pub const THA: Range<usize> = 18..24;
+    pub const TPA: Range<usize> = 24..28;
+}
+
+/// The length of an Ethernet/IPv4 ARP packet.
+pub const PACKET_LEN: usize = field::TPA.end;
+
+/// A read/write view of an ARP packet.
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wrap a buffer without checking its length.
+    pub const fn new_unchecked(buffer: T) -> Packet<T> {
+        Packet { buffer }
+    }
+
+    /// Wrap a buffer, ensuring it is long enough.
+    pub fn new_checked(buffer: T) -> Result<Packet<T>> {
+        let packet = Packet::new_unchecked(buffer);
+        packet.check_len()?;
+        Ok(packet)
+    }
+
+    /// Validate buffer length.
+    pub fn check_len(&self) -> Result<()> {
+        if self.buffer.as_ref().len() < PACKET_LEN {
+            Err(Error::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Unwrap the view.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Hardware type (1 = Ethernet).
+    pub fn hardware_type(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), field::HTYPE.start)
+    }
+
+    /// Protocol type (0x0800 = IPv4).
+    pub fn protocol_type(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), field::PTYPE.start)
+    }
+
+    /// Hardware address length.
+    pub fn hardware_len(&self) -> u8 {
+        self.buffer.as_ref()[field::HLEN]
+    }
+
+    /// Protocol address length.
+    pub fn protocol_len(&self) -> u8 {
+        self.buffer.as_ref()[field::PLEN]
+    }
+
+    /// Raw operation code.
+    pub fn operation_raw(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), field::OPER.start)
+    }
+
+    /// Sender hardware address.
+    pub fn sender_hardware_addr(&self) -> EthernetAddress {
+        EthernetAddress::from_bytes(&self.buffer.as_ref()[field::SHA])
+    }
+
+    /// Sender protocol address.
+    pub fn sender_protocol_addr(&self) -> Ipv4Address {
+        Ipv4Address::from_bytes(&self.buffer.as_ref()[field::SPA])
+    }
+
+    /// Target hardware address.
+    pub fn target_hardware_addr(&self) -> EthernetAddress {
+        EthernetAddress::from_bytes(&self.buffer.as_ref()[field::THA])
+    }
+
+    /// Target protocol address.
+    pub fn target_protocol_addr(&self) -> Ipv4Address {
+        Ipv4Address::from_bytes(&self.buffer.as_ref()[field::TPA])
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    /// Set the hardware type.
+    pub fn set_hardware_type(&mut self, value: u16) {
+        set_u16(self.buffer.as_mut(), field::HTYPE.start, value);
+    }
+
+    /// Set the protocol type.
+    pub fn set_protocol_type(&mut self, value: u16) {
+        set_u16(self.buffer.as_mut(), field::PTYPE.start, value);
+    }
+
+    /// Set the hardware address length.
+    pub fn set_hardware_len(&mut self, value: u8) {
+        self.buffer.as_mut()[field::HLEN] = value;
+    }
+
+    /// Set the protocol address length.
+    pub fn set_protocol_len(&mut self, value: u8) {
+        self.buffer.as_mut()[field::PLEN] = value;
+    }
+
+    /// Set the operation code.
+    pub fn set_operation(&mut self, value: Operation) {
+        set_u16(self.buffer.as_mut(), field::OPER.start, value.into());
+    }
+
+    /// Set the sender hardware address.
+    pub fn set_sender_hardware_addr(&mut self, value: EthernetAddress) {
+        self.buffer.as_mut()[field::SHA].copy_from_slice(value.as_bytes());
+    }
+
+    /// Set the sender protocol address.
+    pub fn set_sender_protocol_addr(&mut self, value: Ipv4Address) {
+        self.buffer.as_mut()[field::SPA].copy_from_slice(value.as_bytes());
+    }
+
+    /// Set the target hardware address.
+    pub fn set_target_hardware_addr(&mut self, value: EthernetAddress) {
+        self.buffer.as_mut()[field::THA].copy_from_slice(value.as_bytes());
+    }
+
+    /// Set the target protocol address.
+    pub fn set_target_protocol_addr(&mut self, value: Ipv4Address) {
+        self.buffer.as_mut()[field::TPA].copy_from_slice(value.as_bytes());
+    }
+}
+
+/// A high-level representation of an Ethernet/IPv4 ARP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Operation: request or reply.
+    pub operation: Operation,
+    /// Sender MAC address.
+    pub sender_hardware_addr: EthernetAddress,
+    /// Sender IPv4 address.
+    pub sender_protocol_addr: Ipv4Address,
+    /// Target MAC address (zero in requests).
+    pub target_hardware_addr: EthernetAddress,
+    /// Target IPv4 address.
+    pub target_protocol_addr: Ipv4Address,
+}
+
+impl Repr {
+    /// Build a who-has request for `target` from (`sender_mac`, `sender_ip`).
+    pub fn request(
+        sender_hardware_addr: EthernetAddress,
+        sender_protocol_addr: Ipv4Address,
+        target_protocol_addr: Ipv4Address,
+    ) -> Repr {
+        Repr {
+            operation: Operation::Request,
+            sender_hardware_addr,
+            sender_protocol_addr,
+            target_hardware_addr: EthernetAddress::ZERO,
+            target_protocol_addr,
+        }
+    }
+
+    /// Build the reply to `request` announcing `our_hardware_addr`.
+    pub fn reply_to(&self, our_hardware_addr: EthernetAddress) -> Repr {
+        Repr {
+            operation: Operation::Reply,
+            sender_hardware_addr: our_hardware_addr,
+            sender_protocol_addr: self.target_protocol_addr,
+            target_hardware_addr: self.sender_hardware_addr,
+            target_protocol_addr: self.sender_protocol_addr,
+        }
+    }
+
+    /// Parse a packet view, validating the fixed Ethernet/IPv4 fields.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Packet<T>) -> Result<Repr> {
+        packet.check_len()?;
+        if packet.hardware_type() != 1
+            || packet.protocol_type() != 0x0800
+            || packet.hardware_len() != 6
+            || packet.protocol_len() != 4
+        {
+            return Err(Error::Malformed);
+        }
+        Ok(Repr {
+            operation: Operation::try_from(packet.operation_raw())?,
+            sender_hardware_addr: packet.sender_hardware_addr(),
+            sender_protocol_addr: packet.sender_protocol_addr(),
+            target_hardware_addr: packet.target_hardware_addr(),
+            target_protocol_addr: packet.target_protocol_addr(),
+        })
+    }
+
+    /// The emitted packet length.
+    pub const fn buffer_len(&self) -> usize {
+        PACKET_LEN
+    }
+
+    /// Write this packet into `packet`.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut Packet<T>) {
+        packet.set_hardware_type(1);
+        packet.set_protocol_type(0x0800);
+        packet.set_hardware_len(6);
+        packet.set_protocol_len(4);
+        packet.set_operation(self.operation);
+        packet.set_sender_hardware_addr(self.sender_hardware_addr);
+        packet.set_sender_protocol_addr(self.sender_protocol_addr);
+        packet.set_target_hardware_addr(self.target_hardware_addr);
+        packet.set_target_protocol_addr(self.target_protocol_addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Repr {
+        Repr::request(
+            EthernetAddress::from_id(1),
+            Ipv4Address::new(10, 0, 0, 1),
+            Ipv4Address::new(10, 0, 0, 2),
+        )
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let repr = sample();
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut Packet::new_unchecked(&mut buf[..]));
+        let parsed = Repr::parse(&Packet::new_checked(&buf[..]).unwrap()).unwrap();
+        assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn reply_construction() {
+        let req = sample();
+        let our_mac = EthernetAddress::from_id(2);
+        let reply = req.reply_to(our_mac);
+        assert_eq!(reply.operation, Operation::Reply);
+        assert_eq!(reply.sender_hardware_addr, our_mac);
+        assert_eq!(reply.sender_protocol_addr, req.target_protocol_addr);
+        assert_eq!(reply.target_hardware_addr, req.sender_hardware_addr);
+        assert_eq!(reply.target_protocol_addr, req.sender_protocol_addr);
+    }
+
+    #[test]
+    fn reject_truncated() {
+        let buf = [0u8; PACKET_LEN - 1];
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn reject_wrong_hardware() {
+        let repr = sample();
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut packet = Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut packet);
+        packet.set_hardware_type(6);
+        assert_eq!(
+            Repr::parse(&Packet::new_checked(&buf[..]).unwrap()).unwrap_err(),
+            Error::Malformed
+        );
+    }
+
+    #[test]
+    fn reject_unknown_operation() {
+        let repr = sample();
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut packet = Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut packet);
+        set_u16(packet.buffer, field::OPER.start, 9);
+        assert_eq!(
+            Repr::parse(&Packet::new_checked(&buf[..]).unwrap()).unwrap_err(),
+            Error::Unrecognized
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! The RFC 1071 Internet checksum, used by IPv4, ICMPv4, UDP and TCP.
+
+use crate::address::Ipv4Address;
+
+/// Sum `data` as a sequence of big-endian 16-bit words into a 32-bit
+/// accumulator, padding an odd trailing byte with zero.
+fn sum_words(mut acc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Fold a 32-bit accumulator to 16 bits with end-around carry.
+fn fold(mut acc: u32) -> u16 {
+    while acc > 0xffff {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    acc as u16
+}
+
+/// Compute the Internet checksum of `data` (one's-complement of the
+/// one's-complement sum).
+pub fn checksum(data: &[u8]) -> u16 {
+    !fold(sum_words(0, data))
+}
+
+/// Verify `data` whose checksum field is included in the range: the folded
+/// sum of valid data is `0xffff`, so the complement is zero.
+pub fn verify(data: &[u8]) -> bool {
+    fold(sum_words(0, data)) == 0xffff
+}
+
+/// Compute the checksum of a TCP or UDP segment including the IPv4
+/// pseudo-header (src, dst, zero, protocol, length).
+pub fn pseudo_header_checksum(
+    src: Ipv4Address,
+    dst: Ipv4Address,
+    protocol: u8,
+    payload: &[u8],
+) -> u16 {
+    let mut acc = 0u32;
+    acc = sum_words(acc, src.as_bytes());
+    acc = sum_words(acc, dst.as_bytes());
+    acc += u32::from(protocol);
+    acc += payload.len() as u32;
+    acc = sum_words(acc, payload);
+    !fold(acc)
+}
+
+/// Verify a TCP/UDP segment (checksum field included in `payload`).
+pub fn pseudo_header_verify(
+    src: Ipv4Address,
+    dst: Ipv4Address,
+    protocol: u8,
+    payload: &[u8],
+) -> bool {
+    pseudo_header_checksum(src, dst, protocol, payload) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // The worked example from RFC 1071 §3: bytes 00 01 f2 03 f4 f5 f6 f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // One's complement sum is 0xddf2, checksum is its complement.
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn empty_checksum() {
+        assert_eq!(checksum(&[]), 0xffff);
+        assert!(!verify(&[0x12, 0x34]));
+    }
+
+    #[test]
+    fn odd_length_padding() {
+        // Odd byte is padded on the right with zero: [ab] == [ab 00].
+        assert_eq!(checksum(&[0xab]), checksum(&[0xab, 0x00]));
+    }
+
+    #[test]
+    fn verify_accepts_valid() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0];
+        let ck = checksum(&data);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 0x01;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn pseudo_header_roundtrip() {
+        let src = Ipv4Address::new(10, 0, 0, 1);
+        let dst = Ipv4Address::new(10, 0, 0, 2);
+        let mut seg = vec![
+            0x04, 0xd2, 0x16, 0x2e, // ports
+            0x00, 0x0c, 0x00, 0x00, // length 12, checksum 0
+            0xde, 0xad, 0xbe, 0xef, // payload
+        ];
+        let ck = pseudo_header_checksum(src, dst, 17, &seg);
+        seg[6..8].copy_from_slice(&ck.to_be_bytes());
+        assert!(pseudo_header_verify(src, dst, 17, &seg));
+        // A different address (not a swap: the sum is commutative) fails.
+        let other = Ipv4Address::new(10, 0, 0, 9);
+        assert!(!pseudo_header_verify(src, other, 17, &seg));
+        // A different protocol also fails.
+        assert!(!pseudo_header_verify(src, dst, 6, &seg));
+    }
+
+    #[test]
+    fn carry_folding() {
+        // All-0xff data exercises end-around carry.
+        let data = [0xff; 64];
+        assert_eq!(checksum(&data), 0x0000);
+        assert!(verify(&data));
+    }
+}

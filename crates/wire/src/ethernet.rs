@@ -1,0 +1,257 @@
+//! Ethernet II framing.
+
+use core::fmt;
+
+use crate::address::EthernetAddress;
+use crate::{get_u16, set_u16, Error, Result};
+
+/// The EtherType of a frame's payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EtherType {
+    /// IPv4 (`0x0800`).
+    Ipv4,
+    /// ARP (`0x0806`).
+    Arp,
+    /// 802.1Q VLAN tag (`0x8100`).
+    Vlan,
+    /// LLDP (`0x88cc`).
+    Lldp,
+    /// Any other value.
+    Unknown(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(value: u16) -> EtherType {
+        match value {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x8100 => EtherType::Vlan,
+            0x88cc => EtherType::Lldp,
+            other => EtherType::Unknown(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(value: EtherType) -> u16 {
+        match value {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Vlan => 0x8100,
+            EtherType::Lldp => 0x88cc,
+            EtherType::Unknown(other) => other,
+        }
+    }
+}
+
+impl fmt::Display for EtherType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtherType::Ipv4 => write!(f, "IPv4"),
+            EtherType::Arp => write!(f, "ARP"),
+            EtherType::Vlan => write!(f, "VLAN"),
+            EtherType::Lldp => write!(f, "LLDP"),
+            EtherType::Unknown(v) => write!(f, "0x{v:04x}"),
+        }
+    }
+}
+
+mod field {
+    use core::ops::{Range, RangeFrom};
+
+    pub const DESTINATION: Range<usize> = 0..6;
+    pub const SOURCE: Range<usize> = 6..12;
+    pub const ETHERTYPE: Range<usize> = 12..14;
+    pub const PAYLOAD: RangeFrom<usize> = 14..;
+}
+
+/// The length of an Ethernet II header.
+pub const HEADER_LEN: usize = field::PAYLOAD.start;
+
+/// A read/write view of an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct Frame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Frame<T> {
+    /// Wrap a buffer without checking its length.
+    ///
+    /// Accessors may panic if the buffer is shorter than [`HEADER_LEN`];
+    /// prefer [`new_checked`].
+    ///
+    /// [`new_checked`]: Frame::new_checked
+    pub const fn new_unchecked(buffer: T) -> Frame<T> {
+        Frame { buffer }
+    }
+
+    /// Wrap a buffer, ensuring it is long enough for the header.
+    pub fn new_checked(buffer: T) -> Result<Frame<T>> {
+        let frame = Frame::new_unchecked(buffer);
+        frame.check_len()?;
+        Ok(frame)
+    }
+
+    /// Validate buffer length.
+    pub fn check_len(&self) -> Result<()> {
+        if self.buffer.as_ref().len() < HEADER_LEN {
+            Err(Error::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Unwrap the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// The destination address.
+    pub fn dst_addr(&self) -> EthernetAddress {
+        EthernetAddress::from_bytes(&self.buffer.as_ref()[field::DESTINATION])
+    }
+
+    /// The source address.
+    pub fn src_addr(&self) -> EthernetAddress {
+        EthernetAddress::from_bytes(&self.buffer.as_ref()[field::SOURCE])
+    }
+
+    /// The EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        EtherType::from(get_u16(self.buffer.as_ref(), field::ETHERTYPE.start))
+    }
+
+    /// The payload following the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[field::PAYLOAD]
+    }
+
+    /// Total frame length in bytes.
+    pub fn total_len(&self) -> usize {
+        self.buffer.as_ref().len()
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
+    /// Set the destination address.
+    pub fn set_dst_addr(&mut self, addr: EthernetAddress) {
+        self.buffer.as_mut()[field::DESTINATION].copy_from_slice(addr.as_bytes());
+    }
+
+    /// Set the source address.
+    pub fn set_src_addr(&mut self, addr: EthernetAddress) {
+        self.buffer.as_mut()[field::SOURCE].copy_from_slice(addr.as_bytes());
+    }
+
+    /// Set the EtherType field.
+    pub fn set_ethertype(&mut self, value: EtherType) {
+        set_u16(self.buffer.as_mut(), field::ETHERTYPE.start, value.into());
+    }
+
+    /// Mutable access to the payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[field::PAYLOAD]
+    }
+}
+
+/// A high-level representation of an Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Destination address.
+    pub dst_addr: EthernetAddress,
+    /// Source address.
+    pub src_addr: EthernetAddress,
+    /// Payload EtherType.
+    pub ethertype: EtherType,
+}
+
+impl Repr {
+    /// Parse a frame view into a representation.
+    pub fn parse<T: AsRef<[u8]>>(frame: &Frame<T>) -> Result<Repr> {
+        frame.check_len()?;
+        Ok(Repr {
+            dst_addr: frame.dst_addr(),
+            src_addr: frame.src_addr(),
+            ethertype: frame.ethertype(),
+        })
+    }
+
+    /// The emitted header length.
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Write this header into `frame`.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, frame: &mut Frame<T>) {
+        frame.set_dst_addr(self.dst_addr);
+        frame.set_src_addr(self.src_addr);
+        frame.set_ethertype(self.ethertype);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static FRAME_BYTES: [u8; 18] = [
+        0xff, 0xff, 0xff, 0xff, 0xff, 0xff, // dst
+        0x02, 0x00, 0x00, 0x00, 0x00, 0x01, // src
+        0x08, 0x00, // IPv4
+        0xde, 0xad, 0xbe, 0xef, // payload
+    ];
+
+    #[test]
+    fn parse_fields() {
+        let frame = Frame::new_checked(&FRAME_BYTES[..]).unwrap();
+        assert_eq!(frame.dst_addr(), EthernetAddress::BROADCAST);
+        assert_eq!(frame.src_addr(), EthernetAddress::from_id(1));
+        assert_eq!(frame.ethertype(), EtherType::Ipv4);
+        assert_eq!(frame.payload(), &[0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn reject_truncated() {
+        assert_eq!(
+            Frame::new_checked(&FRAME_BYTES[..13]).unwrap_err(),
+            Error::Truncated
+        );
+    }
+
+    #[test]
+    fn repr_roundtrip() {
+        let repr = Repr {
+            dst_addr: EthernetAddress::from_id(2),
+            src_addr: EthernetAddress::from_id(3),
+            ethertype: EtherType::Arp,
+        };
+        let mut buf = vec![0u8; repr.buffer_len() + 4];
+        let mut frame = Frame::new_unchecked(&mut buf[..]);
+        repr.emit(&mut frame);
+        let parsed = Repr::parse(&Frame::new_checked(&buf[..]).unwrap()).unwrap();
+        assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn ethertype_conversions() {
+        for et in [
+            EtherType::Ipv4,
+            EtherType::Arp,
+            EtherType::Vlan,
+            EtherType::Lldp,
+            EtherType::Unknown(0x1234),
+        ] {
+            assert_eq!(EtherType::from(u16::from(et)), et);
+        }
+    }
+
+    #[test]
+    fn mutate_in_place() {
+        let mut buf = FRAME_BYTES.to_vec();
+        let mut frame = Frame::new_checked(&mut buf[..]).unwrap();
+        frame.set_ethertype(EtherType::Lldp);
+        frame.payload_mut()[0] = 0x00;
+        let frame = Frame::new_checked(&buf[..]).unwrap();
+        assert_eq!(frame.ethertype(), EtherType::Lldp);
+        assert_eq!(frame.payload()[0], 0x00);
+    }
+}

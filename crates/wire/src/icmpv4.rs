@@ -1,0 +1,300 @@
+//! The Internet Control Message Protocol (RFC 792): echo, unreachable,
+//! time-exceeded — the subset a router/host data plane needs.
+
+use crate::{checksum, get_u16, set_u16, Error, Result};
+
+/// An ICMPv4 message kind, as seen by the `zen` data plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Message {
+    /// Echo reply (type 0).
+    EchoReply {
+        /// Echo identifier (matches request).
+        ident: u16,
+        /// Echo sequence number.
+        seq: u16,
+    },
+    /// Destination unreachable (type 3) with the given code.
+    DstUnreachable {
+        /// RFC 792 code (0 net, 1 host, 3 port, ...).
+        code: u8,
+    },
+    /// Echo request (type 8).
+    EchoRequest {
+        /// Echo identifier.
+        ident: u16,
+        /// Echo sequence number.
+        seq: u16,
+    },
+    /// Time exceeded (type 11) with the given code.
+    TimeExceeded {
+        /// 0 = TTL exceeded in transit, 1 = reassembly timeout.
+        code: u8,
+    },
+}
+
+impl Message {
+    /// The wire (type, code) pair.
+    pub fn type_code(&self) -> (u8, u8) {
+        match self {
+            Message::EchoReply { .. } => (0, 0),
+            Message::DstUnreachable { code } => (3, *code),
+            Message::EchoRequest { .. } => (8, 0),
+            Message::TimeExceeded { code } => (11, *code),
+        }
+    }
+}
+
+mod field {
+    use core::ops::{Range, RangeFrom};
+
+    pub const TYPE: usize = 0;
+    pub const CODE: usize = 1;
+    pub const CHECKSUM: Range<usize> = 2..4;
+    pub const REST: Range<usize> = 4..8;
+    pub const PAYLOAD: RangeFrom<usize> = 8..;
+}
+
+/// The length of an ICMPv4 header (type, code, checksum, rest-of-header).
+pub const HEADER_LEN: usize = field::PAYLOAD.start;
+
+/// A read/write view of an ICMPv4 packet.
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wrap a buffer without checking its length.
+    pub const fn new_unchecked(buffer: T) -> Packet<T> {
+        Packet { buffer }
+    }
+
+    /// Wrap a buffer, ensuring it is long enough.
+    pub fn new_checked(buffer: T) -> Result<Packet<T>> {
+        let packet = Packet::new_unchecked(buffer);
+        packet.check_len()?;
+        Ok(packet)
+    }
+
+    /// Validate buffer length.
+    pub fn check_len(&self) -> Result<()> {
+        if self.buffer.as_ref().len() < HEADER_LEN {
+            Err(Error::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Unwrap the view.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Message type.
+    pub fn msg_type(&self) -> u8 {
+        self.buffer.as_ref()[field::TYPE]
+    }
+
+    /// Message code.
+    pub fn msg_code(&self) -> u8 {
+        self.buffer.as_ref()[field::CODE]
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), field::CHECKSUM.start)
+    }
+
+    /// First 16 bits of the rest-of-header (echo ident).
+    pub fn echo_ident(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), field::REST.start)
+    }
+
+    /// Second 16 bits of the rest-of-header (echo sequence).
+    pub fn echo_seq(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), field::REST.start + 2)
+    }
+
+    /// Data following the 8-byte header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[field::PAYLOAD]
+    }
+
+    /// Verify the checksum over the whole buffer.
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(self.buffer.as_ref())
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    /// Set the message type.
+    pub fn set_msg_type(&mut self, value: u8) {
+        self.buffer.as_mut()[field::TYPE] = value;
+    }
+
+    /// Set the message code.
+    pub fn set_msg_code(&mut self, value: u8) {
+        self.buffer.as_mut()[field::CODE] = value;
+    }
+
+    /// Set the checksum field.
+    pub fn set_checksum(&mut self, value: u16) {
+        set_u16(self.buffer.as_mut(), field::CHECKSUM.start, value);
+    }
+
+    /// Set the echo identifier.
+    pub fn set_echo_ident(&mut self, value: u16) {
+        set_u16(self.buffer.as_mut(), field::REST.start, value);
+    }
+
+    /// Set the echo sequence number.
+    pub fn set_echo_seq(&mut self, value: u16) {
+        set_u16(self.buffer.as_mut(), field::REST.start + 2, value);
+    }
+
+    /// Mutable access to the payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[field::PAYLOAD]
+    }
+
+    /// Recompute and store the checksum over the whole buffer.
+    pub fn fill_checksum(&mut self) {
+        self.set_checksum(0);
+        let ck = checksum::checksum(self.buffer.as_ref());
+        self.set_checksum(ck);
+    }
+}
+
+/// A high-level representation of an ICMPv4 message with payload length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// The message kind and its parameters.
+    pub message: Message,
+    /// Length of the data following the 8-byte header.
+    pub payload_len: usize,
+}
+
+impl Repr {
+    /// Parse a packet view, validating the checksum.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Packet<T>) -> Result<Repr> {
+        packet.check_len()?;
+        if !packet.verify_checksum() {
+            return Err(Error::Checksum);
+        }
+        let message = match (packet.msg_type(), packet.msg_code()) {
+            (0, 0) => Message::EchoReply {
+                ident: packet.echo_ident(),
+                seq: packet.echo_seq(),
+            },
+            (3, code) => Message::DstUnreachable { code },
+            (8, 0) => Message::EchoRequest {
+                ident: packet.echo_ident(),
+                seq: packet.echo_seq(),
+            },
+            (11, code) => Message::TimeExceeded { code },
+            _ => return Err(Error::Unrecognized),
+        };
+        Ok(Repr {
+            message,
+            payload_len: packet.payload().len(),
+        })
+    }
+
+    /// The emitted length.
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// Write the header into `packet` and fill the checksum. Write the
+    /// payload first (the checksum covers it).
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut Packet<T>) {
+        let (ty, code) = self.message.type_code();
+        packet.set_msg_type(ty);
+        packet.set_msg_code(code);
+        match self.message {
+            Message::EchoRequest { ident, seq } | Message::EchoReply { ident, seq } => {
+                packet.set_echo_ident(ident);
+                packet.set_echo_seq(seq);
+            }
+            _ => {
+                packet.set_echo_ident(0);
+                packet.set_echo_seq(0);
+            }
+        }
+        packet.fill_checksum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let repr = Repr {
+            message: Message::EchoRequest {
+                ident: 0x1234,
+                seq: 7,
+            },
+            payload_len: 4,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut packet = Packet::new_unchecked(&mut buf[..]);
+        packet.payload_mut().copy_from_slice(b"ping");
+        repr.emit(&mut packet);
+
+        let packet = Packet::new_checked(&buf[..]).unwrap();
+        let parsed = Repr::parse(&packet).unwrap();
+        assert_eq!(parsed, repr);
+        assert_eq!(packet.payload(), b"ping");
+    }
+
+    #[test]
+    fn corrupt_checksum_rejected() {
+        let repr = Repr {
+            message: Message::EchoReply { ident: 1, seq: 2 },
+            payload_len: 0,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut Packet::new_unchecked(&mut buf[..]));
+        buf[field::REST.start] ^= 0x01;
+        assert_eq!(
+            Repr::parse(&Packet::new_checked(&buf[..]).unwrap()).unwrap_err(),
+            Error::Checksum
+        );
+    }
+
+    #[test]
+    fn unreachable_and_time_exceeded() {
+        for message in [
+            Message::DstUnreachable { code: 3 },
+            Message::TimeExceeded { code: 0 },
+        ] {
+            let repr = Repr {
+                message,
+                payload_len: 28,
+            };
+            let mut buf = vec![0u8; repr.buffer_len()];
+            repr.emit(&mut Packet::new_unchecked(&mut buf[..]));
+            let parsed = Repr::parse(&Packet::new_checked(&buf[..]).unwrap()).unwrap();
+            assert_eq!(parsed, repr);
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut buf = [0u8; HEADER_LEN];
+        let mut packet = Packet::new_unchecked(&mut buf[..]);
+        packet.set_msg_type(42);
+        packet.fill_checksum();
+        assert_eq!(
+            Repr::parse(&Packet::new_checked(&buf[..]).unwrap()).unwrap_err(),
+            Error::Unrecognized
+        );
+    }
+
+    #[test]
+    fn reject_truncated() {
+        assert!(Packet::new_checked(&[0u8; 7][..]).is_err());
+    }
+}

@@ -1,0 +1,458 @@
+//! The Internet Protocol version 4 (RFC 791).
+
+use core::fmt;
+
+use crate::address::Ipv4Address;
+use crate::{checksum, get_u16, set_u16, Error, Result};
+
+/// An IP protocol number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Protocol {
+    /// ICMP (1).
+    Icmp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Any other value.
+    Unknown(u8),
+}
+
+impl From<u8> for Protocol {
+    fn from(value: u8) -> Protocol {
+        match value {
+            1 => Protocol::Icmp,
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Unknown(other),
+        }
+    }
+}
+
+impl From<Protocol> for u8 {
+    fn from(value: Protocol) -> u8 {
+        match value {
+            Protocol::Icmp => 1,
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Unknown(other) => other,
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Icmp => write!(f, "ICMP"),
+            Protocol::Tcp => write!(f, "TCP"),
+            Protocol::Udp => write!(f, "UDP"),
+            Protocol::Unknown(v) => write!(f, "proto-{v}"),
+        }
+    }
+}
+
+mod field {
+    use core::ops::Range;
+
+    pub const VER_IHL: usize = 0;
+    pub const DSCP_ECN: usize = 1;
+    pub const LENGTH: Range<usize> = 2..4;
+    pub const IDENT: Range<usize> = 4..6;
+    pub const FLG_OFF: Range<usize> = 6..8;
+    pub const TTL: usize = 8;
+    pub const PROTOCOL: usize = 9;
+    pub const CHECKSUM: Range<usize> = 10..12;
+    pub const SRC_ADDR: Range<usize> = 12..16;
+    pub const DST_ADDR: Range<usize> = 16..20;
+}
+
+/// The length of an IPv4 header without options.
+pub const HEADER_LEN: usize = 20;
+
+/// A read/write view of an IPv4 packet.
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wrap a buffer without checking its length.
+    pub const fn new_unchecked(buffer: T) -> Packet<T> {
+        Packet { buffer }
+    }
+
+    /// Wrap a buffer, validating lengths (fixed header, header length
+    /// field, total length field).
+    pub fn new_checked(buffer: T) -> Result<Packet<T>> {
+        let packet = Packet::new_unchecked(buffer);
+        packet.check_len()?;
+        Ok(packet)
+    }
+
+    /// Validate the buffer against the header's own length fields.
+    pub fn check_len(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let header_len = usize::from(self.header_len());
+        if header_len < HEADER_LEN || header_len > data.len() {
+            return Err(Error::Malformed);
+        }
+        let total_len = usize::from(self.total_len());
+        if total_len < header_len {
+            return Err(Error::Malformed);
+        }
+        if total_len > data.len() {
+            return Err(Error::Truncated);
+        }
+        Ok(())
+    }
+
+    /// Unwrap the view.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// The version field (must be 4).
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[field::VER_IHL] >> 4
+    }
+
+    /// Header length in bytes, decoded from the IHL field.
+    pub fn header_len(&self) -> u8 {
+        (self.buffer.as_ref()[field::VER_IHL] & 0x0f) * 4
+    }
+
+    /// The DSCP/ECN byte.
+    pub fn dscp_ecn(&self) -> u8 {
+        self.buffer.as_ref()[field::DSCP_ECN]
+    }
+
+    /// Total packet length (header plus payload) in bytes.
+    pub fn total_len(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), field::LENGTH.start)
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), field::IDENT.start)
+    }
+
+    /// The don't-fragment flag.
+    pub fn dont_frag(&self) -> bool {
+        get_u16(self.buffer.as_ref(), field::FLG_OFF.start) & 0x4000 != 0
+    }
+
+    /// The more-fragments flag.
+    pub fn more_frags(&self) -> bool {
+        get_u16(self.buffer.as_ref(), field::FLG_OFF.start) & 0x2000 != 0
+    }
+
+    /// Fragment offset in bytes.
+    pub fn frag_offset(&self) -> u16 {
+        (get_u16(self.buffer.as_ref(), field::FLG_OFF.start) & 0x1fff) * 8
+    }
+
+    /// Time to live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[field::TTL]
+    }
+
+    /// Payload protocol.
+    pub fn protocol(&self) -> Protocol {
+        Protocol::from(self.buffer.as_ref()[field::PROTOCOL])
+    }
+
+    /// Header checksum field.
+    pub fn checksum(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), field::CHECKSUM.start)
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Ipv4Address {
+        Ipv4Address::from_bytes(&self.buffer.as_ref()[field::SRC_ADDR])
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Ipv4Address {
+        Ipv4Address::from_bytes(&self.buffer.as_ref()[field::DST_ADDR])
+    }
+
+    /// Verify the header checksum.
+    pub fn verify_checksum(&self) -> bool {
+        let header = &self.buffer.as_ref()[..usize::from(self.header_len())];
+        checksum::verify(header)
+    }
+
+    /// The payload, bounded by the total-length field.
+    ///
+    /// Call only on views that passed [`check_len`].
+    ///
+    /// [`check_len`]: Packet::check_len
+    pub fn payload(&self) -> &[u8] {
+        let header_len = usize::from(self.header_len());
+        let total_len = usize::from(self.total_len());
+        &self.buffer.as_ref()[header_len..total_len]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    /// Set version and header length (bytes; must be a multiple of 4).
+    pub fn set_version_and_header_len(&mut self, header_len: u8) {
+        self.buffer.as_mut()[field::VER_IHL] = 0x40 | (header_len / 4);
+    }
+
+    /// Set the DSCP/ECN byte.
+    pub fn set_dscp_ecn(&mut self, value: u8) {
+        self.buffer.as_mut()[field::DSCP_ECN] = value;
+    }
+
+    /// Set the total length field.
+    pub fn set_total_len(&mut self, value: u16) {
+        set_u16(self.buffer.as_mut(), field::LENGTH.start, value);
+    }
+
+    /// Set the identification field.
+    pub fn set_ident(&mut self, value: u16) {
+        set_u16(self.buffer.as_mut(), field::IDENT.start, value);
+    }
+
+    /// Set flags and fragment offset: `dont_frag`, `more_frags`, byte offset.
+    pub fn set_flags(&mut self, dont_frag: bool, more_frags: bool, frag_offset: u16) {
+        let mut value = (frag_offset / 8) & 0x1fff;
+        if dont_frag {
+            value |= 0x4000;
+        }
+        if more_frags {
+            value |= 0x2000;
+        }
+        set_u16(self.buffer.as_mut(), field::FLG_OFF.start, value);
+    }
+
+    /// Set the time to live.
+    pub fn set_ttl(&mut self, value: u8) {
+        self.buffer.as_mut()[field::TTL] = value;
+    }
+
+    /// Set the payload protocol.
+    pub fn set_protocol(&mut self, value: Protocol) {
+        self.buffer.as_mut()[field::PROTOCOL] = value.into();
+    }
+
+    /// Set the checksum field directly.
+    pub fn set_checksum(&mut self, value: u16) {
+        set_u16(self.buffer.as_mut(), field::CHECKSUM.start, value);
+    }
+
+    /// Set the source address.
+    pub fn set_src_addr(&mut self, value: Ipv4Address) {
+        self.buffer.as_mut()[field::SRC_ADDR].copy_from_slice(value.as_bytes());
+    }
+
+    /// Set the destination address.
+    pub fn set_dst_addr(&mut self, value: Ipv4Address) {
+        self.buffer.as_mut()[field::DST_ADDR].copy_from_slice(value.as_bytes());
+    }
+
+    /// Recompute and store the header checksum.
+    pub fn fill_checksum(&mut self) {
+        self.set_checksum(0);
+        let header_len = usize::from(self.header_len());
+        let ck = checksum::checksum(&self.buffer.as_ref()[..header_len]);
+        self.set_checksum(ck);
+    }
+
+    /// Mutable access to the payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let header_len = usize::from(self.header_len());
+        let total_len = usize::from(self.total_len());
+        &mut self.buffer.as_mut()[header_len..total_len]
+    }
+
+    /// Decrement TTL and refresh the checksum, as a router does on forward.
+    ///
+    /// Returns `false` (leaving the packet unchanged) if TTL is already
+    /// zero or would reach zero, in which case the packet must be dropped.
+    pub fn decrement_ttl(&mut self) -> bool {
+        let ttl = self.ttl();
+        if ttl <= 1 {
+            return false;
+        }
+        self.set_ttl(ttl - 1);
+        self.fill_checksum();
+        true
+    }
+}
+
+/// A high-level representation of an IPv4 header (no options, no
+/// fragmentation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Source address.
+    pub src_addr: Ipv4Address,
+    /// Destination address.
+    pub dst_addr: Ipv4Address,
+    /// Payload protocol.
+    pub protocol: Protocol,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+    /// Time to live.
+    pub ttl: u8,
+    /// DSCP/ECN byte (traffic class).
+    pub dscp_ecn: u8,
+}
+
+impl Repr {
+    /// Parse a packet view, validating version and checksum.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Packet<T>) -> Result<Repr> {
+        packet.check_len()?;
+        if packet.version() != 4 {
+            return Err(Error::Malformed);
+        }
+        if !packet.verify_checksum() {
+            return Err(Error::Checksum);
+        }
+        Ok(Repr {
+            src_addr: packet.src_addr(),
+            dst_addr: packet.dst_addr(),
+            protocol: packet.protocol(),
+            payload_len: packet.payload().len(),
+            ttl: packet.ttl(),
+            dscp_ecn: packet.dscp_ecn(),
+        })
+    }
+
+    /// The emitted length: header plus payload.
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// Write this header into `packet` and fill the checksum. The payload
+    /// must be written separately (via [`Packet::payload_mut`]).
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut Packet<T>) {
+        packet.set_version_and_header_len(HEADER_LEN as u8);
+        packet.set_dscp_ecn(self.dscp_ecn);
+        packet.set_total_len((HEADER_LEN + self.payload_len) as u16);
+        packet.set_ident(0);
+        packet.set_flags(true, false, 0);
+        packet.set_ttl(self.ttl);
+        packet.set_protocol(self.protocol);
+        packet.set_src_addr(self.src_addr);
+        packet.set_dst_addr(self.dst_addr);
+        packet.fill_checksum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_repr(payload_len: usize) -> Repr {
+        Repr {
+            src_addr: Ipv4Address::new(10, 0, 0, 1),
+            dst_addr: Ipv4Address::new(10, 0, 1, 2),
+            protocol: Protocol::Udp,
+            payload_len,
+            ttl: 64,
+            dscp_ecn: 0,
+        }
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let repr = sample_repr(8);
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut packet = Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut packet);
+        packet.payload_mut().copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+
+        let packet = Packet::new_checked(&buf[..]).unwrap();
+        assert!(packet.verify_checksum());
+        let parsed = Repr::parse(&packet).unwrap();
+        assert_eq!(parsed, repr);
+        assert_eq!(packet.payload(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn corrupt_checksum_rejected() {
+        let repr = sample_repr(0);
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut Packet::new_unchecked(&mut buf[..]));
+        buf[field::TTL] ^= 0xff;
+        let packet = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(Repr::parse(&packet).unwrap_err(), Error::Checksum);
+    }
+
+    #[test]
+    fn reject_bad_version() {
+        let repr = sample_repr(0);
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut packet = Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut packet);
+        buf[field::VER_IHL] = 0x65; // version 6
+        // refill checksum so only the version is wrong
+        let mut packet = Packet::new_unchecked(&mut buf[..]);
+        packet.fill_checksum();
+        assert_eq!(
+            Repr::parse(&Packet::new_checked(&buf[..]).unwrap()).unwrap_err(),
+            Error::Malformed
+        );
+    }
+
+    #[test]
+    fn reject_total_len_past_buffer() {
+        let repr = sample_repr(4);
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut packet = Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut packet);
+        packet.set_total_len(100);
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn reject_header_len_too_small() {
+        let repr = sample_repr(0);
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut Packet::new_unchecked(&mut buf[..]));
+        buf[field::VER_IHL] = 0x42; // IHL 2 -> 8 bytes
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+    }
+
+    #[test]
+    fn payload_respects_total_len() {
+        // Frame padded beyond total_len: payload must stop at total_len.
+        let repr = sample_repr(4);
+        let mut buf = vec![0u8; repr.buffer_len() + 10];
+        let mut packet = Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut packet);
+        let packet = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(packet.payload().len(), 4);
+    }
+
+    #[test]
+    fn ttl_decrement() {
+        let repr = sample_repr(0);
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut packet = Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut packet);
+        assert!(packet.decrement_ttl());
+        assert_eq!(packet.ttl(), 63);
+        assert!(packet.verify_checksum());
+
+        packet.set_ttl(1);
+        packet.fill_checksum();
+        assert!(!packet.decrement_ttl());
+        assert_eq!(packet.ttl(), 1);
+    }
+
+    #[test]
+    fn flags_and_fragments() {
+        let mut buf = [0u8; HEADER_LEN];
+        let mut packet = Packet::new_unchecked(&mut buf[..]);
+        packet.set_flags(false, true, 1480);
+        assert!(!packet.dont_frag());
+        assert!(packet.more_frags());
+        assert_eq!(packet.frag_offset(), 1480);
+    }
+}

@@ -1,0 +1,416 @@
+//! The Transmission Control Protocol (RFC 793) — header view only.
+//!
+//! `zen` forwards TCP segments and matches on their ports and flags; it
+//! does not implement a full TCP state machine (hosts in the simulator use
+//! simpler flow generators). This module provides the header view, flags,
+//! and checksum handling needed for forwarding, classification and header
+//! rewriting.
+
+use core::fmt;
+
+use crate::address::Ipv4Address;
+use crate::{checksum, get_u16, get_u32, set_u16, set_u32, Error, Result};
+
+/// TCP header flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Flags {
+    /// FIN: no more data from sender.
+    pub fin: bool,
+    /// SYN: synchronize sequence numbers.
+    pub syn: bool,
+    /// RST: reset the connection.
+    pub rst: bool,
+    /// PSH: push function.
+    pub psh: bool,
+    /// ACK: acknowledgment field significant.
+    pub ack: bool,
+    /// URG: urgent pointer significant.
+    pub urg: bool,
+}
+
+impl Flags {
+    /// Construct from the low byte of the flags field.
+    pub fn from_byte(value: u8) -> Flags {
+        Flags {
+            fin: value & 0x01 != 0,
+            syn: value & 0x02 != 0,
+            rst: value & 0x04 != 0,
+            psh: value & 0x08 != 0,
+            ack: value & 0x10 != 0,
+            urg: value & 0x20 != 0,
+        }
+    }
+
+    /// Encode into the low byte of the flags field.
+    pub fn to_byte(self) -> u8 {
+        let mut value = 0;
+        if self.fin {
+            value |= 0x01;
+        }
+        if self.syn {
+            value |= 0x02;
+        }
+        if self.rst {
+            value |= 0x04;
+        }
+        if self.psh {
+            value |= 0x08;
+        }
+        if self.ack {
+            value |= 0x10;
+        }
+        if self.urg {
+            value |= 0x20;
+        }
+        value
+    }
+
+    /// A bare SYN.
+    pub const SYN: Flags = Flags {
+        fin: false,
+        syn: true,
+        rst: false,
+        psh: false,
+        ack: false,
+        urg: false,
+    };
+
+    /// A bare ACK.
+    pub const ACK: Flags = Flags {
+        fin: false,
+        syn: false,
+        rst: false,
+        psh: false,
+        ack: true,
+        urg: false,
+    };
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (set, ch) in [
+            (self.syn, 'S'),
+            (self.ack, 'A'),
+            (self.fin, 'F'),
+            (self.rst, 'R'),
+            (self.psh, 'P'),
+            (self.urg, 'U'),
+        ] {
+            if set {
+                write!(f, "{ch}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+mod field {
+    use core::ops::Range;
+
+    pub const SRC_PORT: Range<usize> = 0..2;
+    pub const DST_PORT: Range<usize> = 2..4;
+    pub const SEQ: Range<usize> = 4..8;
+    pub const ACK: Range<usize> = 8..12;
+    pub const DATA_OFF: usize = 12;
+    pub const FLAGS: usize = 13;
+    pub const WINDOW: Range<usize> = 14..16;
+    pub const CHECKSUM: Range<usize> = 16..18;
+    pub const URGENT: Range<usize> = 18..20;
+}
+
+/// The length of a TCP header without options.
+pub const HEADER_LEN: usize = 20;
+
+/// A read/write view of a TCP segment.
+#[derive(Debug, Clone)]
+pub struct Segment<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Segment<T> {
+    /// Wrap a buffer without checking its length.
+    pub const fn new_unchecked(buffer: T) -> Segment<T> {
+        Segment { buffer }
+    }
+
+    /// Wrap a buffer, validating the header and data-offset field.
+    pub fn new_checked(buffer: T) -> Result<Segment<T>> {
+        let segment = Segment::new_unchecked(buffer);
+        segment.check_len()?;
+        Ok(segment)
+    }
+
+    /// Validate the buffer against the data-offset field.
+    pub fn check_len(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let header_len = usize::from(self.header_len());
+        if header_len < HEADER_LEN {
+            return Err(Error::Malformed);
+        }
+        if header_len > data.len() {
+            return Err(Error::Truncated);
+        }
+        Ok(())
+    }
+
+    /// Unwrap the view.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), field::SRC_PORT.start)
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), field::DST_PORT.start)
+    }
+
+    /// Sequence number.
+    pub fn seq_number(&self) -> u32 {
+        get_u32(self.buffer.as_ref(), field::SEQ.start)
+    }
+
+    /// Acknowledgment number.
+    pub fn ack_number(&self) -> u32 {
+        get_u32(self.buffer.as_ref(), field::ACK.start)
+    }
+
+    /// Header length in bytes, decoded from the data-offset field.
+    pub fn header_len(&self) -> u8 {
+        (self.buffer.as_ref()[field::DATA_OFF] >> 4) * 4
+    }
+
+    /// Header flags.
+    pub fn flags(&self) -> Flags {
+        Flags::from_byte(self.buffer.as_ref()[field::FLAGS])
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), field::WINDOW.start)
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        get_u16(self.buffer.as_ref(), field::CHECKSUM.start)
+    }
+
+    /// The payload following the header (and options).
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[usize::from(self.header_len())..]
+    }
+
+    /// Verify the checksum with the IPv4 pseudo-header.
+    pub fn verify_checksum(&self, src: Ipv4Address, dst: Ipv4Address) -> bool {
+        checksum::pseudo_header_verify(src, dst, 6, self.buffer.as_ref())
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Segment<T> {
+    /// Set the source port.
+    pub fn set_src_port(&mut self, value: u16) {
+        set_u16(self.buffer.as_mut(), field::SRC_PORT.start, value);
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, value: u16) {
+        set_u16(self.buffer.as_mut(), field::DST_PORT.start, value);
+    }
+
+    /// Set the sequence number.
+    pub fn set_seq_number(&mut self, value: u32) {
+        set_u32(self.buffer.as_mut(), field::SEQ.start, value);
+    }
+
+    /// Set the acknowledgment number.
+    pub fn set_ack_number(&mut self, value: u32) {
+        set_u32(self.buffer.as_mut(), field::ACK.start, value);
+    }
+
+    /// Set header length in bytes (multiple of 4).
+    pub fn set_header_len(&mut self, value: u8) {
+        self.buffer.as_mut()[field::DATA_OFF] = (value / 4) << 4;
+    }
+
+    /// Set the header flags.
+    pub fn set_flags(&mut self, value: Flags) {
+        self.buffer.as_mut()[field::FLAGS] = value.to_byte();
+    }
+
+    /// Set the receive window.
+    pub fn set_window(&mut self, value: u16) {
+        set_u16(self.buffer.as_mut(), field::WINDOW.start, value);
+    }
+
+    /// Set the checksum field.
+    pub fn set_checksum(&mut self, value: u16) {
+        set_u16(self.buffer.as_mut(), field::CHECKSUM.start, value);
+    }
+
+    /// Set the urgent pointer.
+    pub fn set_urgent(&mut self, value: u16) {
+        set_u16(self.buffer.as_mut(), field::URGENT.start, value);
+    }
+
+    /// Mutable access to the payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let header_len = usize::from(self.header_len());
+        &mut self.buffer.as_mut()[header_len..]
+    }
+
+    /// Recompute and store the checksum with the IPv4 pseudo-header.
+    pub fn fill_checksum(&mut self, src: Ipv4Address, dst: Ipv4Address) {
+        self.set_checksum(0);
+        let ck = checksum::pseudo_header_checksum(src, dst, 6, self.buffer.as_ref());
+        self.set_checksum(ck);
+    }
+}
+
+/// A high-level representation of a TCP header (no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq_number: u32,
+    /// Acknowledgment number.
+    pub ack_number: u32,
+    /// Header flags.
+    pub flags: Flags,
+    /// Receive window.
+    pub window: u16,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
+impl Repr {
+    /// Parse a segment view, validating the checksum.
+    pub fn parse<T: AsRef<[u8]>>(
+        segment: &Segment<T>,
+        src: Ipv4Address,
+        dst: Ipv4Address,
+    ) -> Result<Repr> {
+        segment.check_len()?;
+        if !segment.verify_checksum(src, dst) {
+            return Err(Error::Checksum);
+        }
+        Ok(Repr {
+            src_port: segment.src_port(),
+            dst_port: segment.dst_port(),
+            seq_number: segment.seq_number(),
+            ack_number: segment.ack_number(),
+            flags: segment.flags(),
+            window: segment.window(),
+            payload_len: segment.payload().len(),
+        })
+    }
+
+    /// The emitted length.
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// Write the header into `segment` and fill the checksum. Write the
+    /// payload first (the checksum covers it).
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(
+        &self,
+        segment: &mut Segment<T>,
+        src: Ipv4Address,
+        dst: Ipv4Address,
+    ) {
+        segment.set_src_port(self.src_port);
+        segment.set_dst_port(self.dst_port);
+        segment.set_seq_number(self.seq_number);
+        segment.set_ack_number(self.ack_number);
+        segment.set_header_len(HEADER_LEN as u8);
+        segment.set_flags(self.flags);
+        segment.set_window(self.window);
+        segment.set_urgent(0);
+        segment.fill_checksum(src, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Address = Ipv4Address::new(10, 0, 0, 1);
+    const DST: Ipv4Address = Ipv4Address::new(10, 0, 0, 2);
+
+    fn sample() -> Repr {
+        Repr {
+            src_port: 50000,
+            dst_port: 80,
+            seq_number: 0x12345678,
+            ack_number: 0x9abcdef0,
+            flags: Flags::SYN,
+            window: 65535,
+            payload_len: 3,
+        }
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let repr = sample();
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut seg = Segment::new_unchecked(&mut buf[..]);
+        seg.set_header_len(HEADER_LEN as u8);
+        seg.payload_mut().copy_from_slice(b"get");
+        repr.emit(&mut seg, SRC, DST);
+
+        let seg = Segment::new_checked(&buf[..]).unwrap();
+        assert_eq!(Repr::parse(&seg, SRC, DST).unwrap(), repr);
+        assert_eq!(seg.payload(), b"get");
+    }
+
+    #[test]
+    fn corrupt_payload_rejected() {
+        let repr = sample();
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut seg = Segment::new_unchecked(&mut buf[..]);
+        seg.set_header_len(HEADER_LEN as u8);
+        repr.emit(&mut seg, SRC, DST);
+        let last = buf.len() - 1;
+        buf[last] ^= 0xff;
+        let seg = Segment::new_checked(&buf[..]).unwrap();
+        assert_eq!(Repr::parse(&seg, SRC, DST).unwrap_err(), Error::Checksum);
+    }
+
+    #[test]
+    fn flags_roundtrip() {
+        for byte in 0..0x40u8 {
+            assert_eq!(Flags::from_byte(byte).to_byte(), byte);
+        }
+    }
+
+    #[test]
+    fn flags_display() {
+        let flags = Flags {
+            syn: true,
+            ack: true,
+            ..Flags::default()
+        };
+        assert_eq!(flags.to_string(), "SA");
+    }
+
+    #[test]
+    fn reject_bad_data_offset() {
+        let mut buf = [0u8; HEADER_LEN];
+        let mut seg = Segment::new_unchecked(&mut buf[..]);
+        seg.set_header_len(16); // below minimum
+        assert_eq!(Segment::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+
+        let mut buf = [0u8; HEADER_LEN];
+        let mut seg = Segment::new_unchecked(&mut buf[..]);
+        seg.set_header_len(24); // past buffer
+        assert_eq!(Segment::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests for the wire formats: every `Repr` round-trips
+//! through emit/parse, and no parser panics on arbitrary bytes.
+
+use proptest::prelude::*;
+
+use zen_wire::{arp, ethernet, icmpv4, ipv4, lldp, tcp, udp};
+use zen_wire::{EthernetAddress, Ipv4Address};
+
+fn arb_mac() -> impl Strategy<Value = EthernetAddress> {
+    any::<[u8; 6]>().prop_map(EthernetAddress)
+}
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Address> {
+    any::<u32>().prop_map(Ipv4Address::from_u32)
+}
+
+proptest! {
+    #[test]
+    fn ethernet_roundtrip(dst in arb_mac(), src in arb_mac(), ty in any::<u16>(),
+                          payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let repr = ethernet::Repr {
+            dst_addr: dst,
+            src_addr: src,
+            ethertype: ty.into(),
+        };
+        let mut buf = vec![0u8; repr.buffer_len() + payload.len()];
+        let mut frame = ethernet::Frame::new_unchecked(&mut buf[..]);
+        repr.emit(&mut frame);
+        frame.payload_mut().copy_from_slice(&payload);
+        let frame = ethernet::Frame::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(ethernet::Repr::parse(&frame).unwrap(), repr);
+        prop_assert_eq!(frame.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn arp_roundtrip(op in prop_oneof![Just(arp::Operation::Request), Just(arp::Operation::Reply)],
+                     sha in arb_mac(), spa in arb_ip(), tha in arb_mac(), tpa in arb_ip()) {
+        let repr = arp::Repr {
+            operation: op,
+            sender_hardware_addr: sha,
+            sender_protocol_addr: spa,
+            target_hardware_addr: tha,
+            target_protocol_addr: tpa,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut arp::Packet::new_unchecked(&mut buf[..]));
+        prop_assert_eq!(arp::Repr::parse(&arp::Packet::new_checked(&buf[..]).unwrap()).unwrap(), repr);
+    }
+
+    #[test]
+    fn ipv4_roundtrip(src in arb_ip(), dst in arb_ip(), proto in any::<u8>(),
+                      ttl in 1u8.., dscp in any::<u8>(),
+                      payload in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let repr = ipv4::Repr {
+            src_addr: src,
+            dst_addr: dst,
+            protocol: proto.into(),
+            payload_len: payload.len(),
+            ttl,
+            dscp_ecn: dscp,
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut packet = ipv4::Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut packet);
+        packet.payload_mut().copy_from_slice(&payload);
+        // Payload writes after emit invalidate nothing: checksum covers
+        // the header only.
+        let packet = ipv4::Packet::new_checked(&buf[..]).unwrap();
+        prop_assert!(packet.verify_checksum());
+        prop_assert_eq!(ipv4::Repr::parse(&packet).unwrap(), repr);
+        prop_assert_eq!(packet.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn udp_roundtrip(src in arb_ip(), dst in arb_ip(), sp in any::<u16>(), dp in any::<u16>(),
+                     payload in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let repr = udp::Repr { src_port: sp, dst_port: dp, payload_len: payload.len() };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut dgram = udp::Datagram::new_unchecked(&mut buf[..]);
+        dgram.set_len_field(repr.buffer_len() as u16);
+        dgram.payload_mut().copy_from_slice(&payload);
+        repr.emit(&mut dgram, src, dst);
+        let dgram = udp::Datagram::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(udp::Repr::parse(&dgram, src, dst).unwrap(), repr);
+    }
+
+    #[test]
+    fn tcp_roundtrip(src in arb_ip(), dst in arb_ip(), sp in any::<u16>(), dp in any::<u16>(),
+                     seq in any::<u32>(), ack in any::<u32>(), flag_bits in 0u8..0x40,
+                     window in any::<u16>(),
+                     payload in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let repr = tcp::Repr {
+            src_port: sp,
+            dst_port: dp,
+            seq_number: seq,
+            ack_number: ack,
+            flags: tcp::Flags::from_byte(flag_bits),
+            window,
+            payload_len: payload.len(),
+        };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut seg = tcp::Segment::new_unchecked(&mut buf[..]);
+        seg.set_header_len(tcp::HEADER_LEN as u8);
+        seg.payload_mut().copy_from_slice(&payload);
+        repr.emit(&mut seg, src, dst);
+        let seg = tcp::Segment::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(tcp::Repr::parse(&seg, src, dst).unwrap(), repr);
+    }
+
+    #[test]
+    fn icmp_echo_roundtrip(ident in any::<u16>(), seq in any::<u16>(), request in any::<bool>(),
+                           payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let message = if request {
+            icmpv4::Message::EchoRequest { ident, seq }
+        } else {
+            icmpv4::Message::EchoReply { ident, seq }
+        };
+        let repr = icmpv4::Repr { message, payload_len: payload.len() };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut packet = icmpv4::Packet::new_unchecked(&mut buf[..]);
+        packet.payload_mut().copy_from_slice(&payload);
+        repr.emit(&mut packet);
+        let packet = icmpv4::Packet::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(icmpv4::Repr::parse(&packet).unwrap(), repr);
+    }
+
+    #[test]
+    fn lldp_roundtrip(chassis in any::<u64>(), port in any::<u32>(), ttl in any::<u16>()) {
+        let repr = lldp::Repr { chassis_id: chassis, port_id: port, ttl_secs: ttl };
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut buf);
+        prop_assert_eq!(lldp::Repr::parse(&buf).unwrap(), repr);
+    }
+
+    #[test]
+    fn parsers_never_panic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Every checked parse is total over arbitrary input.
+        if let Ok(frame) = ethernet::Frame::new_checked(&data[..]) {
+            let _ = ethernet::Repr::parse(&frame);
+        }
+        if let Ok(p) = ipv4::Packet::new_checked(&data[..]) {
+            let _ = ipv4::Repr::parse(&p);
+        }
+        if let Ok(p) = arp::Packet::new_checked(&data[..]) {
+            let _ = arp::Repr::parse(&p);
+        }
+        if let Ok(d) = udp::Datagram::new_checked(&data[..]) {
+            let _ = udp::Repr::parse(&d, Ipv4Address::UNSPECIFIED, Ipv4Address::UNSPECIFIED);
+        }
+        if let Ok(s) = tcp::Segment::new_checked(&data[..]) {
+            let _ = tcp::Repr::parse(&s, Ipv4Address::UNSPECIFIED, Ipv4Address::UNSPECIFIED);
+        }
+        if let Ok(p) = icmpv4::Packet::new_checked(&data[..]) {
+            let _ = icmpv4::Repr::parse(&p);
+        }
+        let _ = lldp::Repr::parse(&data);
+    }
+}

@@ -1,0 +1,34 @@
+//! # zen — software-defined networking in Rust
+//!
+//! A self-contained SDN platform: a programmable match-action data plane,
+//! an OpenFlow-style control protocol, a network operating system with
+//! pluggable applications, classical distributed routing baselines, and a
+//! deterministic discrete-event network simulator.
+//!
+//! This facade crate re-exports the workspace crates under stable paths:
+//!
+//! * [`wire`] — packet parsing and emission (Ethernet, ARP, IPv4, ICMPv4,
+//!   UDP, TCP, LLDP).
+//! * [`sim`] — deterministic discrete-event simulation substrate.
+//! * [`fib`] — longest-prefix-match forwarding tables.
+//! * [`graph`] — network graphs and path algorithms.
+//! * [`dataplane`] — the match-action switch (flow tables, groups, meters).
+//! * [`proto`] — the binary control protocol between switches and the
+//!   controller.
+//! * [`routing`] — distributed control-plane baselines (link-state,
+//!   distance-vector, learning switches).
+//! * [`te`] — traffic-engineering algorithms.
+//! * [`core`] — the network operating system: controller, discovery,
+//!   network view, and applications.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use zen_core as core;
+pub use zen_dataplane as dataplane;
+pub use zen_fib as fib;
+pub use zen_graph as graph;
+pub use zen_proto as proto;
+pub use zen_routing as routing;
+pub use zen_sim as sim;
+pub use zen_te as te;
+pub use zen_wire as wire;
