@@ -1,0 +1,9 @@
+#!/bin/sh
+# The repo's CI gate, runnable locally: exactly what .github/workflows/ci.yml
+# runs. Fully offline — the workspace has zero external dependencies.
+set -eux
+
+cargo build --release --workspace
+cargo test --workspace -q
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings

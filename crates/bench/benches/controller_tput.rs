@@ -8,9 +8,10 @@
 //! part of the measured controller machinery, as in real controller
 //! benchmarks the I/O stack is).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Duration as WallDuration;
 
+use zen_bench::harness::{Bench, Throughput};
 use zen_core::apps::ReactiveForwarding;
 use zen_core::harness::{build_fabric_with_hosts, default_host_ip, FabricOptions};
 use zen_core::Controller;
@@ -49,22 +50,17 @@ fn run_burst(hosts_per_leaf: usize) -> u64 {
     controller.stats.packet_ins
 }
 
-fn bench_controller(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E6/controller_throughput");
-    group
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(5));
+fn main() {
+    let mut group = Bench::group("E6/controller_throughput")
+        .samples(10)
+        .warm_up(WallDuration::from_millis(500))
+        .measurement(WallDuration::from_secs(5));
     for hosts_per_leaf in [2usize, 4] {
         let n = 4 * hosts_per_leaf;
         let pairs = (n * (n - 1)) as u64;
         group.throughput(Throughput::Elements(pairs));
-        group.bench_function(format!("all_pairs_{n}_hosts"), |b| {
-            b.iter(|| black_box(run_burst(hosts_per_leaf)));
+        group.run(&format!("all_pairs_{n}_hosts"), || {
+            black_box(run_burst(hosts_per_leaf))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_controller);
-criterion_main!(benches);

@@ -150,11 +150,20 @@ fn main() {
     for silent in [false, true] {
         let fault = if silent { "silent" } else { "detected" };
         let (lost, msgs) = run_sdn(silent);
-        println!("{:>34} {:>12} {:>16} {:>14}", "SDN proactive+failover", fault, lost, msgs);
+        println!(
+            "{:>34} {:>12} {:>16} {:>14}",
+            "SDN proactive+failover", fault, lost, msgs
+        );
         let (lost, msgs) = run_routers(Kind::Ls, silent);
-        println!("{:>34} {:>12} {:>16} {:>14}", "link-state (OSPF-style)", fault, lost, msgs);
+        println!(
+            "{:>34} {:>12} {:>16} {:>14}",
+            "link-state (OSPF-style)", fault, lost, msgs
+        );
         let (lost, msgs) = run_routers(Kind::Dv, silent);
-        println!("{:>34} {:>12} {:>16} {:>14}", "distance-vector (RIP-style)", fault, lost, msgs);
+        println!(
+            "{:>34} {:>12} {:>16} {:>14}",
+            "distance-vector (RIP-style)", fault, lost, msgs
+        );
     }
     println!();
     println!("# Shape check: detected faults heal in ~0 for all planes (local repair");

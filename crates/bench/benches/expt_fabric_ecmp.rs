@@ -27,7 +27,13 @@ impl zen_core::App for SinglePathFabric {
     fn tick(&mut self, ctl: &mut zen_core::Ctl<'_, '_>) {
         self.inner.tick(ctl);
     }
-    fn on_port_status(&mut self, ctl: &mut zen_core::Ctl<'_, '_>, dpid: Dpid, port: PortNo, up: bool) {
+    fn on_port_status(
+        &mut self,
+        ctl: &mut zen_core::Ctl<'_, '_>,
+        dpid: Dpid,
+        port: PortNo,
+        up: bool,
+    ) {
         self.inner.on_port_status(ctl, dpid, port, up);
     }
     fn as_any(&self) -> &dyn std::any::Any {
@@ -45,11 +51,10 @@ struct RunResult {
 }
 
 fn run(ecmp: bool, seed: u64) -> RunResult {
-    let topo = Topology::fat_tree(4, LinkParams::new(
-        Duration::from_micros(10),
-        1_000_000_000,
-        256 * 1024,
-    ));
+    let topo = Topology::fat_tree(
+        4,
+        LinkParams::new(Duration::from_micros(10), 1_000_000_000, 256 * 1024),
+    );
     let n = topo.host_count();
     let expected_links = 2 * topo.links.len();
     let inventory = {

@@ -50,11 +50,7 @@ fn run(hops: usize, control_latency: Duration) -> (f64, f64) {
         samples.len()
     );
     let first = samples[0] * 1e6;
-    let steady = samples[10..]
-        .iter()
-        .copied()
-        .fold(f64::MAX, f64::min)
-        * 1e6;
+    let steady = samples[10..].iter().copied().fold(f64::MAX, f64::min) * 1e6;
     (first, steady)
 }
 

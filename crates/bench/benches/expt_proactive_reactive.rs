@@ -46,7 +46,11 @@ fn run(proactive: bool, active_peers: usize) -> Outcome {
     };
     let mut world = World::new(8);
     let app: Box<dyn zen_core::App> = if proactive {
-        Box::new(ProactiveFabric::new(inventory, topo.switches, expected_links))
+        Box::new(ProactiveFabric::new(
+            inventory,
+            topo.switches,
+            expected_links,
+        ))
     } else {
         Box::new(ReactiveForwarding::new())
     };

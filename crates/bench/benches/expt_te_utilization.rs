@@ -35,13 +35,7 @@ fn main() {
     let g = wan_graph();
     let sites: Vec<u32> = (0..12).collect();
     for &scale in &[1u64, 2, 4, 8] {
-        let demands = DemandMatrix::random(
-            &sites,
-            24,
-            50_000_000 * scale,
-            250_000_000 * scale,
-            42,
-        );
+        let demands = DemandMatrix::random(&sites, 24, 50_000_000 * scale, 250_000_000 * scale, 42);
         let requested = demands.total();
         for &k in &[1usize, 3] {
             let alloc = allocate(&g, &demands, k, LINK_BPS / 200);

@@ -6,17 +6,17 @@
 //! Expected shape: DIR-24-8 fastest lookups but slowest updates; tries
 //! in between; linear scan collapses with table size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Duration;
 
+use zen_bench::harness::{Bench, Throughput};
 use zen_fib::{BinaryTrieFib, Dir24Fib, Fib, LinearFib, RadixTrieFib, SyntheticTable};
 
-fn bench_lookup(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E2/fib_lookup");
-    group
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(1));
+fn bench_lookup() {
+    let mut group = Bench::group("E2/fib_lookup")
+        .samples(20)
+        .warm_up(Duration::from_millis(300))
+        .measurement(Duration::from_secs(1));
     for &n in &[1_000usize, 10_000, 100_000] {
         let table = SyntheticTable::generate(n, 42);
         let keys = table.lookup_keys(4096, 7);
@@ -27,54 +27,44 @@ fn bench_lookup(c: &mut Criterion) {
         if n <= 10_000 {
             let mut fib = LinearFib::new();
             table.load(&mut fib);
-            group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
-                let mut i = 0;
-                b.iter(|| {
-                    i += 1;
-                    black_box(fib.lookup(keys[i % keys.len()]))
-                });
+            let mut i = 0;
+            group.run(&format!("linear/{n}"), || {
+                i += 1;
+                black_box(fib.lookup(keys[i % keys.len()]))
             });
         }
 
         let mut fib = BinaryTrieFib::new();
         table.load(&mut fib);
-        group.bench_with_input(BenchmarkId::new("binary_trie", n), &n, |b, _| {
-            let mut i = 0;
-            b.iter(|| {
-                i += 1;
-                black_box(fib.lookup(keys[i % keys.len()]))
-            });
+        let mut i = 0;
+        group.run(&format!("binary_trie/{n}"), || {
+            i += 1;
+            black_box(fib.lookup(keys[i % keys.len()]))
         });
 
         let mut fib = RadixTrieFib::new();
         table.load(&mut fib);
-        group.bench_with_input(BenchmarkId::new("radix_trie", n), &n, |b, _| {
-            let mut i = 0;
-            b.iter(|| {
-                i += 1;
-                black_box(fib.lookup(keys[i % keys.len()]))
-            });
+        let mut i = 0;
+        group.run(&format!("radix_trie/{n}"), || {
+            i += 1;
+            black_box(fib.lookup(keys[i % keys.len()]))
         });
 
         let mut fib = Dir24Fib::new();
         table.load(&mut fib);
-        group.bench_with_input(BenchmarkId::new("dir24_8", n), &n, |b, _| {
-            let mut i = 0;
-            b.iter(|| {
-                i += 1;
-                black_box(fib.lookup(keys[i % keys.len()]))
-            });
+        let mut i = 0;
+        group.run(&format!("dir24_8/{n}"), || {
+            i += 1;
+            black_box(fib.lookup(keys[i % keys.len()]))
         });
     }
-    group.finish();
 }
 
-fn bench_update(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E2/fib_update");
-    group
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(2));
+fn bench_update() {
+    let mut group = Bench::group("E2/fib_update")
+        .samples(10)
+        .warm_up(Duration::from_millis(300))
+        .measurement(Duration::from_secs(2));
     let n = 50_000;
     let table = SyntheticTable::generate(n, 42);
     // Churn set: a disjoint batch of prefixes inserted and removed.
@@ -84,69 +74,58 @@ fn bench_update(c: &mut Criterion) {
 
     let mut fib = BinaryTrieFib::new();
     table.load(&mut fib);
-    group.bench_function("binary_trie_churn", |b| {
-        b.iter(|| {
-            for &(p, nh) in &churn.entries {
-                fib.insert(p, nh);
-            }
-            for &(p, _) in &churn.entries {
-                fib.remove(p);
-            }
-        });
+    group.run("binary_trie_churn", || {
+        for &(p, nh) in &churn.entries {
+            fib.insert(p, nh);
+        }
+        for &(p, _) in &churn.entries {
+            fib.remove(p);
+        }
     });
 
     let mut fib = RadixTrieFib::new();
     table.load(&mut fib);
-    group.bench_function("radix_trie_churn", |b| {
-        b.iter(|| {
-            for &(p, nh) in &churn.entries {
-                fib.insert(p, nh);
-            }
-            for &(p, _) in &churn.entries {
-                fib.remove(p);
-            }
-        });
+    group.run("radix_trie_churn", || {
+        for &(p, nh) in &churn.entries {
+            fib.insert(p, nh);
+        }
+        for &(p, _) in &churn.entries {
+            fib.remove(p);
+        }
     });
 
     let mut fib = Dir24Fib::new();
     table.load(&mut fib);
-    group.bench_function("dir24_8_churn", |b| {
-        b.iter(|| {
-            for &(p, nh) in &churn.entries {
-                fib.insert(p, nh);
-            }
-            for &(p, _) in &churn.entries {
-                fib.remove(p);
-            }
-        });
+    group.run("dir24_8_churn", || {
+        for &(p, nh) in &churn.entries {
+            fib.insert(p, nh);
+        }
+        for &(p, _) in &churn.entries {
+            fib.remove(p);
+        }
     });
-
-    group.finish();
 }
 
-fn bench_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E2/fib_build_100k");
-    group
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(2));
+fn bench_build() {
+    let mut group = Bench::group("E2/fib_build_100k")
+        .samples(10)
+        .warm_up(Duration::from_millis(300))
+        .measurement(Duration::from_secs(2));
     let table = SyntheticTable::generate(100_000, 42);
-    group.bench_function("binary_trie", |b| {
-        b.iter(|| {
-            let mut fib = BinaryTrieFib::new();
-            table.load(&mut fib);
-            black_box(fib.len())
-        });
+    group.run("binary_trie", || {
+        let mut fib = BinaryTrieFib::new();
+        table.load(&mut fib);
+        black_box(fib.len())
     });
-    group.bench_function("radix_trie", |b| {
-        b.iter(|| {
-            let mut fib = RadixTrieFib::new();
-            table.load(&mut fib);
-            black_box(fib.len())
-        });
+    group.run("radix_trie", || {
+        let mut fib = RadixTrieFib::new();
+        table.load(&mut fib);
+        black_box(fib.len())
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_lookup, bench_update, bench_build);
-criterion_main!(benches);
+fn main() {
+    bench_lookup();
+    bench_update();
+    bench_build();
+}

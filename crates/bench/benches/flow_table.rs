@@ -6,9 +6,10 @@
 //! establishes its scaling so the pipeline experiments can be
 //! interpreted.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Duration;
 
+use zen_bench::harness::{Bench, Throughput};
 use zen_dataplane::{Action, FlowKey, FlowMatch, FlowSpec, FlowTable};
 use zen_wire::builder::PacketBuilder;
 use zen_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
@@ -60,63 +61,57 @@ fn prefix_table(n: u32) -> (FlowTable, Vec<FlowKey>) {
     (table, keys)
 }
 
-fn bench_lookup(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E1/flow_table_lookup");
-    group
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(1));
+fn bench_lookup() {
+    let mut group = Bench::group("E1/flow_table_lookup")
+        .samples(20)
+        .warm_up(Duration::from_millis(300))
+        .measurement(Duration::from_secs(1));
     for &n in &[100u32, 1_000, 10_000] {
         group.throughput(Throughput::Elements(1));
         let (mut table, keys) = exact_table(n);
-        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
-            let mut i = 0usize;
-            b.iter(|| {
-                let key = &keys[i % keys.len()];
-                i += 1;
-                black_box(table.lookup(key, 64, 1).is_some())
-            });
+        let mut i = 0usize;
+        group.run(&format!("exact/{n}"), || {
+            let key = &keys[i % keys.len()];
+            i += 1;
+            black_box(table.lookup(key, 64, 1).is_some())
         });
         let (mut table, keys) = prefix_table(n);
-        group.bench_with_input(BenchmarkId::new("prefix", n), &n, |b, _| {
-            let mut i = 0usize;
-            b.iter(|| {
-                let key = &keys[i % keys.len()];
-                i += 1;
-                black_box(table.lookup(key, 64, 1).is_some())
-            });
+        let mut i = 0usize;
+        group.run(&format!("prefix/{n}"), || {
+            let key = &keys[i % keys.len()];
+            i += 1;
+            black_box(table.lookup(key, 64, 1).is_some())
         });
         // Worst case: a key that matches nothing scans the whole table.
         let (mut table, _) = exact_table(n);
         let miss_frame = frame_for(u32::MAX - 1);
         let miss_key = FlowKey::extract(9, &miss_frame).unwrap();
-        group.bench_with_input(BenchmarkId::new("miss", n), &n, |b, _| {
-            b.iter(|| black_box(table.lookup(&miss_key, 64, 1).is_some()));
+        group.run(&format!("miss/{n}"), || {
+            black_box(table.lookup(&miss_key, 64, 1).is_some())
         });
     }
-    group.finish();
 }
 
-fn bench_key_extract(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E1/flow_key_extract");
-    group
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(1));
+fn bench_key_extract() {
+    let mut group = Bench::group("E1/flow_key_extract")
+        .samples(20)
+        .warm_up(Duration::from_millis(300))
+        .measurement(Duration::from_secs(1));
     let frame = frame_for(7);
-    group.bench_function("udp_frame", |b| {
-        b.iter(|| black_box(FlowKey::extract(1, black_box(&frame))));
+    group.run("udp_frame", || {
+        black_box(FlowKey::extract(1, black_box(&frame)))
     });
     let arp = PacketBuilder::arp_request(
         EthernetAddress::from_id(1),
         Ipv4Address::new(10, 0, 0, 1),
         Ipv4Address::new(10, 0, 0, 2),
     );
-    group.bench_function("arp_frame", |b| {
-        b.iter(|| black_box(FlowKey::extract(1, black_box(&arp))));
+    group.run("arp_frame", || {
+        black_box(FlowKey::extract(1, black_box(&arp)))
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_lookup, bench_key_extract);
-criterion_main!(benches);
+fn main() {
+    bench_lookup();
+    bench_key_extract();
+}

@@ -5,9 +5,10 @@
 //! and Yen's k-shortest paths (the TE candidate generator), across
 //! fat-tree sizes and WAN graphs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
+use zen_bench::harness::Bench;
 use zen_graph::{dijkstra, dists_to, ecmp_next_hops, k_shortest_paths, Graph};
 use zen_sim::{LinkParams, Topology};
 
@@ -19,84 +20,71 @@ fn graph_of(topo: &Topology) -> Graph {
     g
 }
 
-fn bench_dijkstra(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E4/dijkstra");
-    group
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(1));
+fn bench_dijkstra() {
+    let mut group = Bench::group("E4/dijkstra")
+        .samples(20)
+        .warm_up(Duration::from_millis(300))
+        .measurement(Duration::from_secs(1));
     for k in [4usize, 8, 16] {
         let topo = Topology::fat_tree(k, LinkParams::default());
         let graph = graph_of(&topo);
-        group.bench_with_input(
-            BenchmarkId::new("fat_tree", format!("k{k}_{}sw", topo.switches)),
-            &graph,
-            |b, g| {
-                b.iter(|| black_box(dijkstra(g, 0)));
-            },
-        );
+        group.run(&format!("fat_tree/k{k}_{}sw", topo.switches), || {
+            black_box(dijkstra(&graph, 0))
+        });
     }
     let b4 = graph_of(&Topology::b4(1_000_000_000));
-    group.bench_function("b4_wan", |b| {
-        b.iter(|| black_box(dijkstra(&b4, 0)));
-    });
+    group.run("b4_wan", || black_box(dijkstra(&b4, 0)));
     for n in [50usize, 200] {
         let topo = Topology::random_connected(n, n, LinkParams::default(), 3);
         let graph = graph_of(&topo);
-        group.bench_with_input(BenchmarkId::new("random", n), &graph, |b, g| {
-            b.iter(|| black_box(dijkstra(g, 0)));
-        });
+        group.run(&format!("random/{n}"), || black_box(dijkstra(&graph, 0)));
     }
-    group.finish();
 }
 
-fn bench_all_pairs_ecmp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E4/full_ecmp_program");
-    group
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(2));
+fn bench_all_pairs_ecmp() {
+    let mut group = Bench::group("E4/full_ecmp_program")
+        .samples(10)
+        .warm_up(Duration::from_millis(300))
+        .measurement(Duration::from_secs(2));
     // The proactive fabric's whole computation: for every destination,
     // distances + ECMP next hops at every switch.
     for k in [4usize, 8] {
         let topo = Topology::fat_tree(k, LinkParams::default());
-        let graph = graph_of(&topo);
-        group.bench_with_input(BenchmarkId::new("fat_tree", k), &graph, |b, g| {
-            b.iter(|| {
-                let mut total_hops = 0usize;
-                for dst in 0..g.node_count() as u32 {
-                    let dist = dists_to(g, dst);
-                    for sw in 0..g.node_count() as u32 {
-                        if sw != dst {
-                            total_hops += ecmp_next_hops(g, sw, &dist).len();
-                        }
+        let g = graph_of(&topo);
+        group.run(&format!("fat_tree/{k}"), || {
+            let mut total_hops = 0usize;
+            for dst in 0..g.node_count() as u32 {
+                let dist = dists_to(&g, dst);
+                for sw in 0..g.node_count() as u32 {
+                    if sw != dst {
+                        total_hops += ecmp_next_hops(&g, sw, &dist).len();
                     }
                 }
-                black_box(total_hops)
-            });
+            }
+            black_box(total_hops)
         });
     }
-    group.finish();
 }
 
-fn bench_yen(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E4/yen_k_shortest");
-    group
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(2));
+fn bench_yen() {
+    let mut group = Bench::group("E4/yen_k_shortest")
+        .samples(10)
+        .warm_up(Duration::from_millis(300))
+        .measurement(Duration::from_secs(2));
     let b4 = graph_of(&Topology::b4(1_000_000_000));
     for k in [2usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("b4_0_to_11", k), &k, |b, &k| {
-            b.iter(|| black_box(k_shortest_paths(&b4, 0, 11, k)));
+        group.run(&format!("b4_0_to_11/{k}"), || {
+            black_box(k_shortest_paths(&b4, 0, 11, k))
         });
     }
     let ft8 = graph_of(&Topology::fat_tree(8, LinkParams::default()));
-    group.bench_function("fat_tree8_edge_to_edge_k4", |b| {
-        b.iter(|| black_box(k_shortest_paths(&ft8, 0, 31, 4)));
+    group.run("fat_tree8_edge_to_edge_k4", || {
+        black_box(k_shortest_paths(&ft8, 0, 31, 4))
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_dijkstra, bench_all_pairs_ecmp, bench_yen);
-criterion_main!(benches);
+fn main() {
+    bench_dijkstra();
+    bench_all_pairs_ecmp();
+    bench_yen();
+}

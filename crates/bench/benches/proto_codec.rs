@@ -4,9 +4,10 @@
 //! (the programming path) and PACKET_IN at small and MTU frame sizes
 //! (the reactive path). Controller throughput (E6) is bounded by this.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Duration;
 
+use zen_bench::harness::{Bench, Throughput};
 use zen_dataplane::{Action, FlowMatch, FlowSpec};
 use zen_proto::{decode, encode, FlowModCmd, Message};
 use zen_wire::EthernetAddress;
@@ -39,12 +40,11 @@ fn packet_in(frame_len: usize) -> Message {
     }
 }
 
-fn bench_codec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E3/proto_codec");
-    group
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(1));
+fn main() {
+    let mut group = Bench::group("E3/proto_codec")
+        .samples(20)
+        .warm_up(Duration::from_millis(300))
+        .measurement(Duration::from_secs(1));
 
     let messages: Vec<(&str, Message)> = vec![
         ("flow_mod", flow_mod()),
@@ -56,15 +56,11 @@ fn bench_codec(c: &mut Criterion) {
     for (name, msg) in &messages {
         let bytes = encode(msg, 1);
         group.throughput(Throughput::Bytes(bytes.len() as u64));
-        group.bench_with_input(BenchmarkId::new("encode", name), msg, |b, m| {
-            b.iter(|| black_box(encode(black_box(m), 1)));
+        group.run(&format!("encode/{name}"), || {
+            black_box(encode(black_box(msg), 1))
         });
-        group.bench_with_input(BenchmarkId::new("decode", name), &bytes, |b, bytes| {
-            b.iter(|| black_box(decode(black_box(bytes)).unwrap()));
+        group.run(&format!("decode/{name}"), || {
+            black_box(decode(black_box(&bytes)).unwrap())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_codec);
-criterion_main!(benches);

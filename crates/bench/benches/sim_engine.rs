@@ -4,10 +4,11 @@
 //! topology the experiment suite can afford: raw event dispatch, link
 //! queueing arithmetic, and timer churn.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Duration as WallDuration;
 
 use std::any::Any;
+use zen_bench::harness::{Bench, Throughput};
 use zen_sim::{Context, Duration, LinkParams, Node, PortNo, World};
 
 /// A node that forwards every frame to its other port, forever.
@@ -90,29 +91,22 @@ impl Node for TimerStorm {
     }
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim/engine");
-    group
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(3));
+fn main() {
+    let mut group = Bench::group("sim/engine")
+        .samples(10)
+        .warm_up(WallDuration::from_millis(500))
+        .measurement(WallDuration::from_secs(3));
 
     let budget = 200_000u64;
     group.throughput(Throughput::Elements(budget));
-    group.bench_function("packet_ring_10relays_100inflight", |b| {
-        b.iter(|| black_box(run_ring(10, 100, budget)));
+    group.run("packet_ring_10relays_100inflight", || {
+        black_box(run_ring(10, 100, budget))
     });
 
-    group.bench_function("timer_storm_1000", |b| {
-        b.iter(|| {
-            let mut world = World::new(1);
-            world.add_node(Box::new(TimerStorm { fanout: 1000 }));
-            world.run_to_quiescence(budget);
-            black_box(world.events_processed())
-        });
+    group.run("timer_storm_1000", || {
+        let mut world = World::new(1);
+        world.add_node(Box::new(TimerStorm { fanout: 1000 }));
+        world.run_to_quiescence(budget);
+        black_box(world.events_processed())
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

@@ -11,8 +11,8 @@ use std::any::Any;
 
 use zen_dataplane::{Datapath, DatapathId, Effect, MissPolicy, PortNo};
 use zen_proto::{
-    decode, encode, CodecError, ErrorCode, FlowModCmd, GroupModCmd, Message, MeterModCmd,
-    PortDesc, StatsBody, StatsKind,
+    decode, encode, CodecError, ErrorCode, FlowModCmd, GroupModCmd, Message, MeterModCmd, PortDesc,
+    StatsBody, StatsKind,
 };
 use zen_sim::{Context, Duration, Node, NodeId};
 
@@ -259,6 +259,19 @@ impl SwitchAgent {
                     })
                     .collect(),
             ),
+            StatsKind::Cache => {
+                let s = self.dp.cache_stats();
+                StatsBody::Cache(zen_proto::CacheStatsRec {
+                    micro_hits: s.micro_hits,
+                    mega_hits: s.mega_hits,
+                    misses: s.misses,
+                    inserts: s.inserts,
+                    invalidations: s.invalidations,
+                    evictions: s.evictions,
+                    generation: self.dp.cache_generation(),
+                    entries: self.dp.cache_len() as u64,
+                })
+            }
         }
     }
 }
@@ -271,7 +284,12 @@ impl Node for SwitchAgent {
                 self.dp.set_port_up(port, false);
             }
         }
-        self.send(ctx, &Message::Hello { version: zen_proto::VERSION });
+        self.send(
+            ctx,
+            &Message::Hello {
+                version: zen_proto::VERSION,
+            },
+        );
         ctx.set_timer(self.expire_interval, TIMER_EXPIRE);
     }
 

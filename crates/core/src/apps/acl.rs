@@ -49,8 +49,7 @@ impl App for Acl {
     fn on_switch_up(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid) {
         for &matcher in &self.denies {
             self.rules_pushed += 1;
-            let spec =
-                FlowSpec::new(self.priority, matcher, vec![]).with_cookie(ACL_COOKIE);
+            let spec = FlowSpec::new(self.priority, matcher, vec![]).with_cookie(ACL_COOKIE);
             ctl.install_flow(dpid, 0, spec);
         }
     }

@@ -86,7 +86,12 @@ impl App for L2Learning {
                 )
                 .with_timeouts(self.idle_timeout, 0);
                 ctl.install_flow(dpid, 0, spec);
-                ctl.packet_out(dpid, in_port, vec![Action::Output(out_port)], frame.to_vec());
+                ctl.packet_out(
+                    dpid,
+                    in_port,
+                    vec![Action::Output(out_port)],
+                    frame.to_vec(),
+                );
             }
             _ => {
                 self.floods += 1;

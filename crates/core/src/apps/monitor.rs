@@ -9,7 +9,7 @@ use std::any::Any;
 use std::collections::BTreeMap;
 
 use zen_dataplane::PortNo;
-use zen_proto::{Message, StatsBody, StatsKind};
+use zen_proto::{CacheStatsRec, Message, StatsBody, StatsKind};
 use zen_sim::Instant;
 
 use crate::app::App;
@@ -42,6 +42,8 @@ pub struct Monitor {
     previous: BTreeMap<(Dpid, PortNo), PortSample>,
     /// Latest per-table (active entries, hits, misses) per switch.
     pub tables: BTreeMap<(Dpid, u8), (u32, u64, u64)>,
+    /// Latest flow-cache counters per switch.
+    pub caches: BTreeMap<Dpid, CacheStatsRec>,
     /// Polls issued (metric).
     pub polls: u64,
     /// Replies folded in (metric).
@@ -57,9 +59,22 @@ impl Monitor {
             latest: BTreeMap::new(),
             previous: BTreeMap::new(),
             tables: BTreeMap::new(),
+            caches: BTreeMap::new(),
             polls: 0,
             replies: 0,
         }
+    }
+
+    /// A switch's flow-cache hit rate over all traffic so far, in
+    /// `[0, 1]`. `None` before the first sample or any traffic.
+    pub fn cache_hit_rate(&self, dpid: Dpid) -> Option<f64> {
+        let s = self.caches.get(&dpid)?;
+        let hits = s.micro_hits + s.mega_hits;
+        let total = hits + s.misses;
+        if total == 0 {
+            return None;
+        }
+        Some(hits as f64 / total as f64)
     }
 
     /// The latest sample for a port.
@@ -115,7 +130,18 @@ impl App for Monitor {
                     kind: StatsKind::Port { port_no: 0 },
                 },
             );
-            ctl.send(dpid, &Message::StatsRequest { kind: StatsKind::Table });
+            ctl.send(
+                dpid,
+                &Message::StatsRequest {
+                    kind: StatsKind::Table,
+                },
+            );
+            ctl.send(
+                dpid,
+                &Message::StatsRequest {
+                    kind: StatsKind::Cache,
+                },
+            );
         }
     }
 
@@ -143,6 +169,9 @@ impl App for Monitor {
                     self.tables
                         .insert((dpid, r.table_id), (r.active, r.hits, r.misses));
                 }
+            }
+            StatsBody::Cache(rec) => {
+                self.caches.insert(dpid, *rec);
             }
             StatsBody::Flow(_) => {}
         }

@@ -133,17 +133,15 @@ impl ProactiveFabric {
         let hosts = self.hosts.clone();
         for host in &hosts {
             for &switch in &switch_list {
-                let matcher = FlowMatch::ipv4_to(
-                    Ipv4Cidr::new(host.ip, 32).expect("/32 is valid"),
-                );
+                let matcher = FlowMatch::ipv4_to(Ipv4Cidr::new(host.ip, 32).expect("/32 is valid"));
                 let actions = if switch == host.dpid {
                     vec![Action::SetEthDst(host.mac), Action::Output(host.port)]
                 } else {
                     vec![Action::Group(group_id_for(host.dpid))]
                 };
                 self.rules_pushed += 1;
-                let spec = FlowSpec::new(self.priority, matcher, actions)
-                    .with_cookie(FABRIC_COOKIE);
+                let spec =
+                    FlowSpec::new(self.priority, matcher, actions).with_cookie(FABRIC_COOKIE);
                 ctl.install_flow(switch, 0, spec);
             }
         }

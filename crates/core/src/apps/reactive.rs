@@ -42,12 +42,7 @@ impl ReactiveForwarding {
 
     /// Deliver a frame to every up edge port except the one it came in
     /// on — the controller-mediated broadcast primitive.
-    fn flood_to_edges(
-        &mut self,
-        ctl: &mut Ctl<'_, '_>,
-        ingress: (Dpid, PortNo),
-        frame: &[u8],
-    ) {
+    fn flood_to_edges(&mut self, ctl: &mut Ctl<'_, '_>, ingress: (Dpid, PortNo), frame: &[u8]) {
         self.edge_floods += 1;
         for (dpid, port) in ctl.view.edge_ports() {
             if (dpid, port) != ingress {
@@ -137,13 +132,7 @@ impl App for ReactiveForwarding {
         Disposition::Handled
     }
 
-    fn on_port_status(
-        &mut self,
-        ctl: &mut Ctl<'_, '_>,
-        _dpid: Dpid,
-        _port: PortNo,
-        _up: bool,
-    ) {
+    fn on_port_status(&mut self, ctl: &mut Ctl<'_, '_>, _dpid: Dpid, _port: PortNo, _up: bool) {
         // Topology changed: our installed paths may now traverse a dead
         // link. Purge them everywhere; traffic re-punts and re-routes
         // over the updated view (ONOS flow re-computation, simplified).

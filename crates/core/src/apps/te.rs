@@ -337,8 +337,7 @@ impl TrafficEngineering {
                 ctl.install_flow(switch, 0, spec);
             }
             for host in hosts.iter().filter(|h| h.dpid == switch) {
-                let matcher =
-                    FlowMatch::ipv4_to(Ipv4Cidr::new(host.ip, 32).expect("/32 is valid"));
+                let matcher = FlowMatch::ipv4_to(Ipv4Cidr::new(host.ip, 32).expect("/32 is valid"));
                 let spec = FlowSpec::new(
                     10,
                     matcher,

@@ -322,7 +322,12 @@ impl Controller {
         match msg {
             Message::Hello { .. } => {
                 // Learn the session, ask who they are.
-                let reply = encode(&Message::Hello { version: zen_proto::VERSION }, 0);
+                let reply = encode(
+                    &Message::Hello {
+                        version: zen_proto::VERSION,
+                    },
+                    0,
+                );
                 self.stats.msgs_sent += 2;
                 ctx.send_control(from, reply);
                 ctx.send_control(from, encode(&Message::FeaturesRequest, 0));

@@ -108,14 +108,17 @@ pub fn build_fabric_with_hosts(
     opts: FabricOptions,
     mut host_fn: impl FnMut(usize, EthernetAddress, Ipv4Address) -> Host,
 ) -> Fabric {
-    let controller = world.add_node(Box::new(Controller::with_config(
-        apps,
-        opts.controller_cfg,
-    )));
+    let controller = world.add_node(Box::new(Controller::with_config(apps, opts.controller_cfg)));
     world.set_control_latency(opts.control_latency);
 
     let switches: Vec<NodeId> = (0..topo.switches)
-        .map(|i| world.add_node(Box::new(SwitchAgent::new(i as u64, opts.n_tables, controller))))
+        .map(|i| {
+            world.add_node(Box::new(SwitchAgent::new(
+                i as u64,
+                opts.n_tables,
+                controller,
+            )))
+        })
         .collect();
 
     let switch_links: Vec<LinkId> = topo

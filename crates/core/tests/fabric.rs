@@ -331,12 +331,7 @@ fn te_tunnels_carry_site_traffic() {
         f.static_hosts()
     };
     let prefixes = (0..3u64)
-        .map(|s| {
-            (
-                s,
-                format!("10.{s}.0.0/16").parse().unwrap(),
-            )
-        })
+        .map(|s| (s, format!("10.{s}.0.0/16").parse().unwrap()))
         .collect();
     let demands = vec![
         SiteDemand {

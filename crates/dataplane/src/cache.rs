@@ -1,0 +1,308 @@
+//! The two-tier packet-classification cache (OVS-style).
+//!
+//! The slow path classifies a packet by walking every flow table with a
+//! linear priority scan. This module memoizes the *trajectory* of that
+//! walk — which entry matched in which table, and the action list it
+//! carried — behind two caches consulted in order:
+//!
+//! 1. A **microflow cache**: exact match on the full parsed [`FlowKey`]
+//!    (which includes the ingress port). One entry per active flow;
+//!    a single hash lookup on the hot path.
+//! 2. A **megaflow cache**: entries carry a [`KeyMask`] — the union of
+//!    key fields the slow-path classification actually consulted — and
+//!    match any packet that agrees on just those fields. One megaflow
+//!    covers every microflow the tables cannot distinguish.
+//!
+//! A hit replays the recorded per-table trajectory: the saved action
+//! lists are re-executed against the *current* packet and datapath
+//! state (meters, group buckets, port liveness), and the matched
+//! entries' counters are credited exactly as the slow path would.
+//! Replaying actions rather than memoized effects keeps stateful
+//! actions (meters, SELECT group hashing, TTL decrement) bit-identical
+//! to the uncached path without widening the mask.
+//!
+//! Consistency is by generation: any table/meter/port mutation clears
+//! both tiers ([`FlowCache::invalidate`]) and bumps a generation
+//! counter, so a cached trajectory's `(table, entry-index)` references
+//! are always valid when consulted.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use crate::action::Action;
+use crate::key::FlowKey;
+use crate::matching::KeyMask;
+
+/// One step of a recorded pipeline trajectory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Segment {
+    /// The scan of `table_id` matched the entry at `entry_idx`; its
+    /// action list (cloned at record time) is re-executed on replay.
+    Hit {
+        /// Which table matched.
+        table_id: usize,
+        /// Position of the matched entry within that table (stable
+        /// until the next invalidation).
+        entry_idx: usize,
+        /// The matched entry's actions, cloned at record time.
+        actions: Vec<Action>,
+    },
+    /// The scan of `table_id` matched nothing; the datapath's miss
+    /// policy applies.
+    Miss {
+        /// Which table missed.
+        table_id: usize,
+    },
+}
+
+/// A memoized classification: the table-walk trajectory for one
+/// equivalence class of packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// The recorded steps, in pipeline order.
+    pub segments: Vec<Segment>,
+}
+
+/// Observable cache counters, surfaced through datapath stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Packets answered by the exact-match microflow tier.
+    pub micro_hits: u64,
+    /// Packets answered by the wildcard megaflow tier.
+    pub mega_hits: u64,
+    /// Packets that took the slow path.
+    pub misses: u64,
+    /// Programs inserted (microflow and megaflow entries count once).
+    pub inserts: u64,
+    /// Whole-cache invalidations (flow-mod, expiry, meter, port events).
+    pub invalidations: u64,
+    /// Entries dropped by capacity eviction.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups that hit either tier.
+    pub fn hits(&self) -> u64 {
+        self.micro_hits + self.mega_hits
+    }
+}
+
+/// The two-tier flow cache. See the module docs for the design.
+#[derive(Debug, Default)]
+pub struct FlowCache {
+    /// Tier 1: exact FlowKey (includes in-port) → program.
+    micro: HashMap<FlowKey, Arc<Program>>,
+    /// Tier 2: per-mask maps of projected keys → program. Iteration
+    /// order over masks is irrelevant for correctness: all masks a
+    /// packet can hit agree on its trajectory (they were all recorded
+    /// from the same tables-generation).
+    mega: Vec<(KeyMask, HashMap<FlowKey, Arc<Program>>)>,
+    /// FIFO of microflow keys for capacity eviction.
+    micro_fifo: VecDeque<FlowKey>,
+    /// FIFO of (mask, projected key) for capacity eviction.
+    mega_fifo: VecDeque<(KeyMask, FlowKey)>,
+    /// Bumped on every invalidation; lets observers (and tests) detect
+    /// revalidation boundaries.
+    generation: u64,
+    /// Counters.
+    pub stats: CacheStats,
+}
+
+/// Microflow-tier capacity (entries).
+pub const MICRO_CAP: usize = 8192;
+/// Megaflow-tier capacity (entries across all masks).
+pub const MEGA_CAP: usize = 4096;
+
+impl FlowCache {
+    /// An empty cache.
+    pub fn new() -> FlowCache {
+        FlowCache::default()
+    }
+
+    /// The current generation (bumped by every invalidation).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Look up `key`, trying the microflow tier then the megaflow tier.
+    /// A megaflow hit promotes the program into the microflow tier so
+    /// subsequent packets of the same flow take the exact-match path.
+    pub fn lookup(&mut self, key: &FlowKey) -> Option<Arc<Program>> {
+        if let Some(program) = self.micro.get(key) {
+            self.stats.micro_hits += 1;
+            return Some(Arc::clone(program));
+        }
+        for (mask, map) in &self.mega {
+            let projected = mask.project(key);
+            if let Some(program) = map.get(&projected) {
+                self.stats.mega_hits += 1;
+                let program = Arc::clone(program);
+                self.insert_micro(*key, Arc::clone(&program));
+                return Some(program);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Record a slow-path classification: `key` (exact, for tier 1) and
+    /// its consulted-field `mask` (for tier 2) both map to `program`.
+    pub fn insert(&mut self, key: FlowKey, mask: KeyMask, program: Program) {
+        let program = Arc::new(program);
+        self.stats.inserts += 1;
+        self.insert_micro(key, Arc::clone(&program));
+
+        let projected = mask.project(&key);
+        let map = match self.mega.iter_mut().find(|(m, _)| *m == mask) {
+            Some((_, map)) => map,
+            None => {
+                self.mega.push((mask, HashMap::new()));
+                &mut self.mega.last_mut().expect("just pushed").1
+            }
+        };
+        if let Entry::Vacant(slot) = map.entry(projected) {
+            slot.insert(program);
+            self.mega_fifo.push_back((mask, projected));
+            if self.mega_fifo.len() > MEGA_CAP {
+                if let Some((old_mask, old_key)) = self.mega_fifo.pop_front() {
+                    if let Some((_, map)) = self.mega.iter_mut().find(|(m, _)| *m == old_mask) {
+                        map.remove(&old_key);
+                    }
+                    self.stats.evictions += 1;
+                }
+            }
+        }
+    }
+
+    fn insert_micro(&mut self, key: FlowKey, program: Arc<Program>) {
+        if let Entry::Vacant(slot) = self.micro.entry(key) {
+            slot.insert(program);
+            self.micro_fifo.push_back(key);
+            if self.micro_fifo.len() > MICRO_CAP {
+                if let Some(old) = self.micro_fifo.pop_front() {
+                    self.micro.remove(&old);
+                    self.stats.evictions += 1;
+                }
+            }
+        } else {
+            self.micro.insert(key, program);
+        }
+    }
+
+    /// Drop everything and bump the generation. Called on any mutation
+    /// that could change classification results: flow add/delete,
+    /// expiry, meter config, port state.
+    pub fn invalidate(&mut self) {
+        self.micro.clear();
+        self.mega.clear();
+        self.micro_fifo.clear();
+        self.mega_fifo.clear();
+        self.generation += 1;
+        self.stats.invalidations += 1;
+    }
+
+    /// Total entries across both tiers (for observability).
+    pub fn len(&self) -> usize {
+        self.micro.len() + self.mega.iter().map(|(_, m)| m.len()).sum::<usize>()
+    }
+
+    /// Whether both tiers are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zen_wire::builder::PacketBuilder;
+    use zen_wire::{EthernetAddress, Ipv4Address};
+
+    fn key(port: u16) -> FlowKey {
+        let frame = PacketBuilder::udp(
+            EthernetAddress::from_id(1),
+            Ipv4Address::new(10, 0, 0, 1),
+            1000,
+            EthernetAddress::from_id(2),
+            Ipv4Address::new(10, 0, 0, 2),
+            port,
+            b"x",
+        );
+        FlowKey::extract(1, &frame).unwrap()
+    }
+
+    fn program(tag: usize) -> Program {
+        Program {
+            segments: vec![Segment::Hit {
+                table_id: 0,
+                entry_idx: tag,
+                actions: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn micro_hit_after_insert() {
+        let mut cache = FlowCache::new();
+        assert!(cache.lookup(&key(1)).is_none());
+        cache.insert(key(1), KeyMask::default(), program(7));
+        let hit = cache.lookup(&key(1)).unwrap();
+        assert_eq!(hit.segments, program(7).segments);
+        assert_eq!(cache.stats.micro_hits, 1);
+        assert_eq!(cache.stats.misses, 1);
+    }
+
+    #[test]
+    fn mega_covers_unconsulted_fields_and_promotes() {
+        let mut cache = FlowCache::new();
+        // Mask that only consults the destination /24.
+        let mask = KeyMask {
+            ipv4_presence: true,
+            ipv4_dst_plen: 24,
+            ..KeyMask::default()
+        };
+        cache.insert(key(1), mask, program(3));
+        // Different L4 port: not in the mask, so the megaflow covers it.
+        let other = key(9);
+        assert!(cache.lookup(&other).is_some());
+        assert_eq!(cache.stats.mega_hits, 1);
+        // The hit was promoted to the microflow tier.
+        assert!(cache.lookup(&other).is_some());
+        assert_eq!(cache.stats.micro_hits, 1);
+    }
+
+    #[test]
+    fn invalidate_clears_and_bumps_generation() {
+        let mut cache = FlowCache::new();
+        cache.insert(key(1), KeyMask::default(), program(0));
+        let g = cache.generation();
+        cache.invalidate();
+        assert!(cache.is_empty());
+        assert_eq!(cache.generation(), g + 1);
+        assert!(cache.lookup(&key(1)).is_none());
+        assert_eq!(cache.stats.invalidations, 1);
+    }
+
+    #[test]
+    fn micro_capacity_evicts_fifo() {
+        let mut cache = FlowCache::new();
+        // All-wildcard masks project every key to the same megaflow, so
+        // only the microflow tier grows here.
+        for i in 0..(MICRO_CAP + 10) {
+            let frame = PacketBuilder::udp(
+                EthernetAddress::from_id(1),
+                Ipv4Address::from_u32(0x0a00_0000 + i as u32),
+                1,
+                EthernetAddress::from_id(2),
+                Ipv4Address::new(10, 0, 0, 2),
+                2,
+                b"x",
+            );
+            let k = FlowKey::extract(1, &frame).unwrap();
+            cache.insert(k, KeyMask::default(), program(i));
+        }
+        assert!(cache.micro.len() <= MICRO_CAP);
+        assert!(cache.stats.evictions >= 10);
+    }
+}

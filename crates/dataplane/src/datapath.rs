@@ -3,9 +3,10 @@
 use std::collections::BTreeMap;
 
 use crate::action::{apply_rewrite, Action, Rewrite};
+use crate::cache::{CacheStats, FlowCache, Program, Segment};
 use crate::group::GroupTable;
 use crate::key::FlowKey;
-use crate::matching::FlowMatch;
+use crate::matching::{FlowMatch, KeyMask};
 use crate::meter::Meter;
 use crate::table::{FlowEntry, FlowSpec, FlowTable, RemovedReason};
 use crate::{DatapathId, Nanos, PortNo};
@@ -84,6 +85,8 @@ pub struct Datapath {
     /// Frames dropped because no entry matched under [`MissPolicy::Drop`],
     /// a meter fired, or TTL expired.
     pub pipeline_drops: u64,
+    cache: FlowCache,
+    cache_enabled: bool,
 }
 
 impl Datapath {
@@ -100,19 +103,57 @@ impl Datapath {
             port_stats: BTreeMap::new(),
             miss_policy,
             pipeline_drops: 0,
+            cache: FlowCache::new(),
+            cache_enabled: true,
         }
+    }
+
+    /// Enable or disable the two-tier flow cache (enabled by default).
+    /// Disabling also drops all cached entries, so re-enabling starts
+    /// cold. Cached and uncached processing are behaviourally identical;
+    /// the toggle exists for benchmarking and differential testing.
+    pub fn set_flow_cache_enabled(&mut self, enabled: bool) {
+        if self.cache_enabled != enabled {
+            self.cache_enabled = enabled;
+            self.cache.invalidate();
+        }
+    }
+
+    /// Whether the flow cache is consulted by [`Datapath::process`].
+    pub fn flow_cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// Flow-cache hit/miss/invalidation counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats
+    }
+
+    /// The cache generation: bumped on every invalidation, so observers
+    /// can tell "same counters" from "cleared and refilled".
+    pub fn cache_generation(&self) -> u64 {
+        self.cache.generation()
+    }
+
+    /// Entries currently cached across both tiers.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
     }
 
     /// Register a port (initially up).
     pub fn add_port(&mut self, port: PortNo) {
         self.ports.insert(port, true);
         self.port_stats.entry(port).or_default();
+        self.cache.invalidate();
     }
 
     /// Record a port's operational state.
     pub fn set_port_up(&mut self, port: PortNo, up: bool) {
         if let Some(state) = self.ports.get_mut(&port) {
-            *state = up;
+            if *state != up {
+                *state = up;
+                self.cache.invalidate();
+            }
         }
     }
 
@@ -147,6 +188,7 @@ impl Datapath {
     /// Panics if `table_id` is out of range.
     pub fn add_flow(&mut self, table_id: u8, spec: FlowSpec, now: Nanos) {
         self.tables[table_id as usize].add(spec, now);
+        self.cache.invalidate();
     }
 
     /// Strict-delete a flow. Returns it if present.
@@ -156,7 +198,11 @@ impl Datapath {
         priority: u16,
         matcher: &FlowMatch,
     ) -> Option<FlowEntry> {
-        self.tables[table_id as usize].delete_strict(priority, matcher)
+        let removed = self.tables[table_id as usize].delete_strict(priority, matcher);
+        if removed.is_some() {
+            self.cache.invalidate();
+        }
+        removed
     }
 
     /// Delete all flows carrying `cookie`, across every table.
@@ -166,6 +212,9 @@ impl Datapath {
             for entry in table.delete_by_cookie(cookie) {
                 removed.push((id as u8, entry));
             }
+        }
+        if !removed.is_empty() {
+            self.cache.invalidate();
         }
         removed
     }
@@ -183,17 +232,25 @@ impl Datapath {
                 removed.push((id as u8, entry, reason));
             }
         }
+        if !removed.is_empty() {
+            self.cache.invalidate();
+        }
         removed
     }
 
     /// Install or replace a meter.
     pub fn set_meter(&mut self, id: u32, rate_bps: u64, burst_bytes: u64) {
         self.meters.insert(id, Meter::new(rate_bps, burst_bytes));
+        self.cache.invalidate();
     }
 
     /// Remove a meter; returns whether it existed.
     pub fn remove_meter(&mut self, id: u32) -> bool {
-        self.meters.remove(&id).is_some()
+        let existed = self.meters.remove(&id).is_some();
+        if existed {
+            self.cache.invalidate();
+        }
+        existed
     }
 
     /// Inspect a meter.
@@ -228,6 +285,15 @@ impl Datapath {
     }
 
     /// Process one received frame through the pipeline.
+    ///
+    /// With the flow cache enabled (the default), the parsed key is
+    /// first checked against the microflow and megaflow tiers; a hit
+    /// replays the memoized table-walk trajectory — re-executing the
+    /// recorded action lists against current datapath state and
+    /// crediting the matched entries' counters — which is observably
+    /// identical to walking the tables. A miss takes the slow path,
+    /// accumulating the mask of consulted key fields, and installs the
+    /// resulting trajectory into both tiers.
     pub fn process(&mut self, now: Nanos, in_port: PortNo, frame: &[u8]) -> Vec<Effect> {
         {
             let stats = self.port_stats.entry(in_port).or_default();
@@ -239,12 +305,30 @@ impl Datapath {
             return Vec::new();
         };
 
+        if self.cache_enabled {
+            if let Some(program) = self.cache.lookup(&key) {
+                let effects = self.replay(&program, &key, in_port, frame, now);
+                self.account_outputs(&effects);
+                return effects;
+            }
+        }
+
         let mut effects = Vec::new();
         let mut working = frame.to_vec();
         let mut table_id = 0u8;
+        let mut mask = KeyMask::default();
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut terminated_early = false;
         loop {
             let table = &mut self.tables[table_id as usize];
-            let Some(entry) = table.lookup(&key, frame.len(), now) else {
+            let Some((entry_idx, entry)) =
+                table.lookup_with_mask(&key, frame.len(), now, &mut mask)
+            else {
+                if self.cache_enabled {
+                    segments.push(Segment::Miss {
+                        table_id: table_id as usize,
+                    });
+                }
                 match self.miss_policy {
                     MissPolicy::Drop => {
                         self.pipeline_drops += 1;
@@ -263,9 +347,29 @@ impl Datapath {
             };
             let actions = entry.spec.actions.clone();
             let goto = entry.spec.goto_table;
-            if !self.execute_actions(&actions, &key, in_port, &mut working, &mut effects, now, table_id)
-            {
-                break; // dropped by meter or TTL
+            if self.cache_enabled {
+                segments.push(Segment::Hit {
+                    table_id: table_id as usize,
+                    entry_idx,
+                    actions: actions.clone(),
+                });
+            }
+            if !self.execute_actions(
+                &actions,
+                &key,
+                in_port,
+                &mut working,
+                &mut effects,
+                now,
+                table_id,
+            ) {
+                // Dropped mid-pipeline (meter red or TTL expired). The
+                // tables this run never reached leave no record, so the
+                // trajectory is not a faithful classification — don't
+                // cache it. The stateful check reruns on the slow path
+                // until a run completes.
+                terminated_early = true;
+                break;
             }
             match goto {
                 Some(next) if next > table_id && (next as usize) < self.tables.len() => {
@@ -274,7 +378,67 @@ impl Datapath {
                 Some(_) | None => break,
             }
         }
+        if self.cache_enabled && !terminated_early {
+            self.cache.insert(key, mask, Program { segments });
+        }
         self.account_outputs(&effects);
+        effects
+    }
+
+    /// Re-run a cached trajectory against the current frame and state.
+    /// Mirrors the slow-path loop exactly: entry and table counters are
+    /// credited as if the lookup had happened, actions execute against
+    /// live meter/group/port state, and a mid-replay drop (meter red,
+    /// TTL expired) terminates the walk just as it would uncached.
+    fn replay(
+        &mut self,
+        program: &Program,
+        key: &FlowKey,
+        in_port: PortNo,
+        frame: &[u8],
+        now: Nanos,
+    ) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        let mut working = frame.to_vec();
+        for segment in &program.segments {
+            match segment {
+                Segment::Hit {
+                    table_id,
+                    entry_idx,
+                    actions,
+                } => {
+                    self.tables[*table_id].record_hit(*entry_idx, frame.len(), now);
+                    if !self.execute_actions(
+                        actions,
+                        key,
+                        in_port,
+                        &mut working,
+                        &mut effects,
+                        now,
+                        *table_id as u8,
+                    ) {
+                        break;
+                    }
+                }
+                Segment::Miss { table_id } => {
+                    self.tables[*table_id].record_miss();
+                    match self.miss_policy {
+                        MissPolicy::Drop => {
+                            self.pipeline_drops += 1;
+                        }
+                        MissPolicy::ToController { max_len } => {
+                            let take = working.len().min(usize::from(max_len));
+                            effects.push(Effect::ToController {
+                                reason: PacketInReason::NoMatch,
+                                in_port,
+                                frame: working[..take].to_vec(),
+                                table_id: *table_id as u8,
+                            });
+                        }
+                    }
+                }
+            }
+        }
         effects
     }
 
@@ -320,11 +484,9 @@ impl Datapath {
                 }
                 Action::Group(id) => {
                     let ports_snapshot = self.ports.clone();
-                    let picks =
-                        self.groups
-                            .select_buckets(id, key.flow_hash(), |p| {
-                                ports_snapshot.get(&p).copied().unwrap_or(false)
-                            });
+                    let picks = self.groups.select_buckets(id, key.flow_hash(), |p| {
+                        ports_snapshot.get(&p).copied().unwrap_or(false)
+                    });
                     let buckets: Vec<Vec<Action>> = picks
                         .iter()
                         .filter_map(|&i| self.groups.get(id).map(|g| g.buckets[i].actions.clone()))
@@ -407,11 +569,7 @@ mod tests {
     const IP2: Ipv4Address = Ipv4Address::new(10, 0, 0, 2);
 
     fn dp(n_tables: usize) -> Datapath {
-        let mut dp = Datapath::new(
-            1,
-            n_tables,
-            MissPolicy::ToController { max_len: 128 },
-        );
+        let mut dp = Datapath::new(1, n_tables, MissPolicy::ToController { max_len: 128 });
         for p in 1..=4 {
             dp.add_port(p);
         }
@@ -497,7 +655,11 @@ mod tests {
         );
         dp.add_flow(0, FlowSpec::new(1, FlowMatch::ANY, vec![]).with_goto(1), 0);
         // Table 1: forward everything to port 2.
-        dp.add_flow(1, FlowSpec::new(1, FlowMatch::ANY, vec![Action::Output(2)]), 0);
+        dp.add_flow(
+            1,
+            FlowSpec::new(1, FlowMatch::ANY, vec![Action::Output(2)]),
+            0,
+        );
 
         assert!(dp.process(0, 1, &udp(53)).is_empty(), "denied flow leaked");
         let effects = dp.process(0, 1, &udp(80));
@@ -529,7 +691,11 @@ mod tests {
                 buckets: vec![Bucket::output(2), Bucket::output(3), Bucket::output(4)],
             },
         );
-        dp.add_flow(0, FlowSpec::new(1, FlowMatch::ANY, vec![Action::Group(7)]), 0);
+        dp.add_flow(
+            0,
+            FlowSpec::new(1, FlowMatch::ANY, vec![Action::Group(7)]),
+            0,
+        );
         let first = dp.process(0, 1, &udp(1000));
         // Same flow, later packet: same bucket.
         let second = dp.process(1, 1, &udp(1000));
@@ -556,7 +722,11 @@ mod tests {
                 buckets: vec![Bucket::output(2), Bucket::output(3)],
             },
         );
-        dp.add_flow(0, FlowSpec::new(1, FlowMatch::ANY, vec![Action::Group(9)]), 0);
+        dp.add_flow(
+            0,
+            FlowSpec::new(1, FlowMatch::ANY, vec![Action::Group(9)]),
+            0,
+        );
         let effects = dp.process(0, 1, &udp(1));
         assert!(matches!(&effects[0], Effect::Output { port: 2, .. }));
         dp.set_port_up(2, false);
@@ -570,11 +740,7 @@ mod tests {
         dp.set_meter(1, 8_000, 50); // 8 kb/s, 50-byte burst
         dp.add_flow(
             0,
-            FlowSpec::new(
-                1,
-                FlowMatch::ANY,
-                vec![Action::Meter(1), Action::Output(2)],
-            ),
+            FlowSpec::new(1, FlowMatch::ANY, vec![Action::Meter(1), Action::Output(2)]),
             0,
         );
         // One 43-byte frame fits in the burst; a second at the same
@@ -637,7 +803,11 @@ mod tests {
     #[test]
     fn output_to_down_port_filtered() {
         let mut dp = dp(1);
-        dp.add_flow(0, FlowSpec::new(1, FlowMatch::ANY, vec![Action::Output(2)]), 0);
+        dp.add_flow(
+            0,
+            FlowSpec::new(1, FlowMatch::ANY, vec![Action::Output(2)]),
+            0,
+        );
         dp.set_port_up(2, false);
         let effects = dp.process(0, 1, &udp(1));
         assert_eq!(effects.len(), 1, "process still reports the intent");
@@ -650,10 +820,16 @@ mod tests {
         let mut dp = dp(1);
         dp.add_flow(
             0,
-            FlowSpec::new(1, FlowMatch::ANY, vec![]).with_timeouts(0, 100).with_cookie(5),
+            FlowSpec::new(1, FlowMatch::ANY, vec![])
+                .with_timeouts(0, 100)
+                .with_cookie(5),
             0,
         );
-        dp.add_flow(0, FlowSpec::new(2, FlowMatch::ANY, vec![]).with_cookie(5), 0);
+        dp.add_flow(
+            0,
+            FlowSpec::new(2, FlowMatch::ANY, vec![]).with_cookie(5),
+            0,
+        );
         assert_eq!(dp.flow_count(), 2);
         let expired = dp.expire(100);
         assert_eq!(expired.len(), 1);

@@ -8,7 +8,7 @@ use zen_wire::{ipv4, tcp, udp, EthernetAddress, Ipv4Address};
 use crate::PortNo;
 
 /// IPv4-level key fields.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Ipv4Key {
     /// Source address.
     pub src: Ipv4Address,
@@ -21,7 +21,7 @@ pub struct Ipv4Key {
 }
 
 /// Transport-level key fields (TCP and UDP).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct L4Key {
     /// Source port.
     pub src_port: u16,
@@ -30,7 +30,7 @@ pub struct L4Key {
 }
 
 /// The extracted header fields of one frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlowKey {
     /// Ingress port.
     pub in_port: PortNo,

@@ -15,6 +15,8 @@
 //! * [`group::GroupTable`] — ALL (replicate), SELECT (ECMP by flow
 //!   hash), and FAST-FAILOVER (first live bucket) groups.
 //! * [`meter::Meter`] — token-bucket rate limiters.
+//! * [`cache::FlowCache`] — OVS-style two-tier (microflow/megaflow)
+//!   classification cache in front of the table walk.
 //! * [`datapath::Datapath`] — the multi-table pipeline tying it all
 //!   together: `process(now, port, frame) → effects`.
 //!
@@ -27,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod action;
+pub mod cache;
 pub mod datapath;
 pub mod group;
 pub mod key;
@@ -35,10 +38,11 @@ pub mod meter;
 pub mod table;
 
 pub use action::Action;
+pub use cache::{CacheStats, FlowCache, Program, Segment};
 pub use datapath::{Datapath, Effect, MissPolicy};
 pub use group::{Bucket, GroupDesc, GroupTable, GroupType};
 pub use key::FlowKey;
-pub use matching::FlowMatch;
+pub use matching::{FlowMatch, KeyMask};
 pub use meter::Meter;
 pub use table::{FlowEntry, FlowSpec, FlowTable, RemovedReason};
 

@@ -101,10 +101,7 @@ mod tests {
             }
         }
         let rate = passed_bytes as f64 * 8.0; // over one second
-        assert!(
-            (0.9e6..=1.2e6).contains(&rate),
-            "metered rate {rate} b/s"
-        );
+        assert!((0.9e6..=1.2e6).contains(&rate), "metered rate {rate} b/s");
     }
 
     #[test]

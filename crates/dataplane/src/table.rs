@@ -2,7 +2,7 @@
 
 use crate::action::Action;
 use crate::key::FlowKey;
-use crate::matching::FlowMatch;
+use crate::matching::{FlowMatch, KeyMask};
 use crate::Nanos;
 
 /// What a controller supplies when adding a flow.
@@ -203,6 +203,56 @@ impl FlowTable {
         }
     }
 
+    /// Like [`FlowTable::lookup`], but accumulates every key field the
+    /// scan consulted — across non-matching higher-priority entries and
+    /// the matching one — into `mask`, and also reports the matched
+    /// entry's position for cache trajectory recording. The position is
+    /// stable until the table is mutated (the flow cache invalidates on
+    /// any mutation).
+    pub fn lookup_with_mask(
+        &mut self,
+        key: &FlowKey,
+        frame_len: usize,
+        now: Nanos,
+        mask: &mut KeyMask,
+    ) -> Option<(usize, &FlowEntry)> {
+        match self
+            .entries
+            .iter()
+            .position(|e| e.spec.matcher.matches_masked(key, mask))
+        {
+            Some(idx) => {
+                let entry = &mut self.entries[idx];
+                entry.packets += 1;
+                entry.bytes += frame_len as u64;
+                entry.last_hit = now;
+                self.hits += 1;
+                Some((idx, &self.entries[idx]))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Credit a cache-replayed packet to the entry at `idx`, exactly as
+    /// a slow-path [`FlowTable::lookup`] hit would: per-entry packet and
+    /// byte counters, idle-timeout freshness, and the table hit counter.
+    pub fn record_hit(&mut self, idx: usize, frame_len: usize, now: Nanos) {
+        if let Some(entry) = self.entries.get_mut(idx) {
+            entry.packets += 1;
+            entry.bytes += frame_len as u64;
+            entry.last_hit = now;
+            self.hits += 1;
+        }
+    }
+
+    /// Credit a cache-replayed table miss, as a slow-path lookup would.
+    pub fn record_miss(&mut self) {
+        self.misses += 1;
+    }
+
     /// A read-only lookup that leaves counters untouched (for stats and
     /// conflict analysis).
     pub fn peek(&self, key: &FlowKey) -> Option<&FlowEntry> {
@@ -253,10 +303,7 @@ mod tests {
     #[test]
     fn priority_order_wins() {
         let mut table = FlowTable::new();
-        table.add(
-            FlowSpec::new(1, FlowMatch::ANY, vec![Action::Output(1)]),
-            0,
-        );
+        table.add(FlowSpec::new(1, FlowMatch::ANY, vec![Action::Output(1)]), 0);
         table.add(
             FlowSpec::new(
                 10,
@@ -289,15 +336,9 @@ mod tests {
     #[test]
     fn add_replaces_same_priority_and_match() {
         let mut table = FlowTable::new();
-        table.add(
-            FlowSpec::new(5, FlowMatch::ANY, vec![Action::Output(1)]),
-            0,
-        );
+        table.add(FlowSpec::new(5, FlowMatch::ANY, vec![Action::Output(1)]), 0);
         table.lookup(&key(1), 60, 1);
-        table.add(
-            FlowSpec::new(5, FlowMatch::ANY, vec![Action::Output(9)]),
-            2,
-        );
+        table.add(FlowSpec::new(5, FlowMatch::ANY, vec![Action::Output(9)]), 2);
         assert_eq!(table.len(), 1);
         let hit = table.lookup(&key(1), 60, 3).unwrap();
         assert_eq!(hit.spec.actions, vec![Action::Output(9)]);
@@ -307,10 +348,7 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let mut table = FlowTable::new();
-        table.add(
-            FlowSpec::new(5, FlowMatch::ANY, vec![Action::Output(1)]),
-            0,
-        );
+        table.add(FlowSpec::new(5, FlowMatch::ANY, vec![Action::Output(1)]), 0);
         table.lookup(&key(1), 100, 1);
         table.lookup(&key(2), 50, 2);
         let entry = table.entries().next().unwrap();

@@ -1,12 +1,12 @@
-//! Property tests for the data plane: flow-table semantics against a
+//! Randomized tests for the data plane: flow-table semantics against a
 //! naive model, and pipeline totality on arbitrary frames.
+//!
+//! Driven by the in-tree deterministic [`Lcg`] generator with fixed
+//! seeds, so every run exercises the same reproducible inputs.
 
-use proptest::prelude::*;
-
-use zen_dataplane::{
-    Action, Datapath, FlowKey, FlowMatch, FlowSpec, FlowTable, MissPolicy,
-};
+use zen_dataplane::{Action, Datapath, FlowKey, FlowMatch, FlowSpec, FlowTable, MissPolicy};
 use zen_wire::builder::PacketBuilder;
+use zen_wire::lcg::Lcg;
 use zen_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
 
 /// A small universe of keys so matches collide.
@@ -23,40 +23,65 @@ fn key_for(seed: u8) -> FlowKey {
     FlowKey::extract(u32::from(seed % 3) + 1, &frame).unwrap()
 }
 
-fn arb_match() -> impl Strategy<Value = FlowMatch> {
-    (
-        proptest::option::of(1u32..4),
-        proptest::option::of(0u8..8),
-        proptest::option::of(0u8..8),
-        proptest::option::of(50u16..56),
-    )
-        .prop_map(|(in_port, src_oct, dst_oct, l4)| FlowMatch {
-            in_port,
-            ipv4_src: src_oct
-                .map(|o| Ipv4Cidr::new(Ipv4Address::new(10, 0, 0, o), 32).unwrap()),
-            ipv4_dst: dst_oct
-                .map(|o| Ipv4Cidr::new(Ipv4Address::new(10, 0, 1, o), 32).unwrap()),
-            l4_dst: l4,
-            ..FlowMatch::ANY
-        })
+fn opt<T>(rng: &mut Lcg, f: impl FnOnce(&mut Lcg) -> T) -> Option<T> {
+    if rng.gen_ratio(1, 2) {
+        Some(f(rng))
+    } else {
+        None
+    }
+}
+
+fn gen_match(rng: &mut Lcg) -> FlowMatch {
+    FlowMatch {
+        in_port: opt(rng, |r| 1 + r.gen_range(3) as u32),
+        ipv4_src: opt(rng, |r| {
+            Ipv4Cidr::new(Ipv4Address::new(10, 0, 0, r.gen_range(8) as u8), 32).unwrap()
+        }),
+        ipv4_dst: opt(rng, |r| {
+            Ipv4Cidr::new(Ipv4Address::new(10, 0, 1, r.gen_range(8) as u8), 32).unwrap()
+        }),
+        l4_dst: opt(rng, |r| 50 + r.gen_range(6) as u16),
+        ..FlowMatch::ANY
+    }
 }
 
 #[derive(Debug, Clone)]
 enum Op {
-    Add { priority: u16, matcher: FlowMatch, tag: u32 },
-    DeleteStrict { priority: u16, matcher: FlowMatch },
-    Lookup { seed: u8 },
-    Expire { at: u64 },
+    Add {
+        priority: u16,
+        matcher: FlowMatch,
+        tag: u32,
+    },
+    DeleteStrict {
+        priority: u16,
+        matcher: FlowMatch,
+    },
+    Lookup {
+        seed: u8,
+    },
+    Expire {
+        at: u64,
+    },
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u16..4, arb_match(), any::<u32>())
-            .prop_map(|(priority, matcher, tag)| Op::Add { priority, matcher, tag }),
-        (0u16..4, arb_match()).prop_map(|(priority, matcher)| Op::DeleteStrict { priority, matcher }),
-        any::<u8>().prop_map(|seed| Op::Lookup { seed }),
-        (0u64..1000).prop_map(|at| Op::Expire { at }),
-    ]
+fn gen_op(rng: &mut Lcg) -> Op {
+    match rng.gen_index(4) {
+        0 => Op::Add {
+            priority: rng.gen_range(4) as u16,
+            matcher: gen_match(rng),
+            tag: rng.next_u32(),
+        },
+        1 => Op::DeleteStrict {
+            priority: rng.gen_range(4) as u16,
+            matcher: gen_match(rng),
+        },
+        2 => Op::Lookup {
+            seed: rng.next_u32() as u8,
+        },
+        _ => Op::Expire {
+            at: rng.gen_range(1000),
+        },
+    }
 }
 
 /// The executable specification of a flow table: a plain list scanned
@@ -98,14 +123,20 @@ impl ModelTable {
     }
 }
 
-proptest! {
-    #[test]
-    fn table_matches_model(ops in proptest::collection::vec(arb_op(), 1..80)) {
+#[test]
+fn table_matches_model() {
+    let mut rng = Lcg::new(0xDA7A01);
+    for _ in 0..200 {
         let mut real = FlowTable::new();
         let mut model = ModelTable::default();
-        for (i, op) in ops.into_iter().enumerate() {
-            match op {
-                Op::Add { priority, matcher, tag } => {
+        let n_ops = 1 + rng.gen_index(79);
+        for i in 0..n_ops {
+            match gen_op(&mut rng) {
+                Op::Add {
+                    priority,
+                    matcher,
+                    tag,
+                } => {
                     // Encode the tag in the cookie to compare outcomes.
                     real.add(
                         FlowSpec::new(priority, matcher, vec![Action::Output(1)])
@@ -117,52 +148,77 @@ proptest! {
                 Op::DeleteStrict { priority, matcher } => {
                     let r = real.delete_strict(priority, &matcher).is_some();
                     let m = model.delete(priority, &matcher);
-                    prop_assert_eq!(r, m, "delete mismatch at op {}", i);
+                    assert_eq!(r, m, "delete mismatch at op {i}");
                 }
                 Op::Lookup { seed } => {
                     let key = key_for(seed);
                     let r = real.lookup(&key, 64, 0).map(|e| e.spec.cookie as u32);
                     let m = model.lookup(&key);
-                    prop_assert_eq!(r, m, "lookup mismatch at op {}", i);
+                    assert_eq!(r, m, "lookup mismatch at op {i}");
                 }
                 Op::Expire { at } => {
                     // No timeouts are configured, so expiry never evicts.
-                    prop_assert!(real.expire(at).is_empty());
+                    assert!(real.expire(at).is_empty());
                 }
             }
-            prop_assert_eq!(real.len(), model.entries.len(), "len mismatch at op {}", i);
+            assert_eq!(real.len(), model.entries.len(), "len mismatch at op {i}");
         }
     }
+}
 
-    #[test]
-    fn pipeline_total_on_arbitrary_frames(frames in proptest::collection::vec(
-        proptest::collection::vec(any::<u8>(), 0..200), 1..20)) {
+#[test]
+fn pipeline_total_on_arbitrary_frames() {
+    let mut rng = Lcg::new(0xDA7A02);
+    for _ in 0..100 {
         // A datapath with a few arbitrary rules must process any byte
         // soup without panicking.
         let mut dp = Datapath::new(1, 2, MissPolicy::ToController { max_len: 64 });
         for p in 1..=4 {
             dp.add_port(p);
         }
-        dp.add_flow(0, FlowSpec::new(5, FlowMatch::ANY.with_ip_proto(17), vec![Action::Output(2)]), 0);
-        dp.add_flow(0, FlowSpec::new(1, FlowMatch::ANY, vec![Action::Flood]).with_goto(1), 0);
-        dp.add_flow(1, FlowSpec::new(1, FlowMatch::ANY, vec![Action::DecTtl, Action::Output(3)]), 0);
-        for (i, frame) in frames.iter().enumerate() {
-            let _ = dp.process(i as u64, 1 + (i as u32 % 4), frame);
+        dp.add_flow(
+            0,
+            FlowSpec::new(5, FlowMatch::ANY.with_ip_proto(17), vec![Action::Output(2)]),
+            0,
+        );
+        dp.add_flow(
+            0,
+            FlowSpec::new(1, FlowMatch::ANY, vec![Action::Flood]).with_goto(1),
+            0,
+        );
+        dp.add_flow(
+            1,
+            FlowSpec::new(1, FlowMatch::ANY, vec![Action::DecTtl, Action::Output(3)]),
+            0,
+        );
+        let n_frames = 1 + rng.gen_index(19);
+        for i in 0..n_frames {
+            let n = rng.gen_index(200);
+            let frame = rng.gen_bytes(n);
+            let _ = dp.process(i as u64, 1 + (i as u32 % 4), &frame);
         }
     }
+}
 
-    #[test]
-    fn idle_and_hard_timeouts_model(idle in 1u64..100, hard in 1u64..100, hits in proptest::collection::vec(1u64..200, 0..10)) {
+#[test]
+fn idle_and_hard_timeouts_model() {
+    let mut rng = Lcg::new(0xDA7A03);
+    'case: for _ in 0..500 {
+        let idle = 1 + rng.gen_range(99);
+        let hard = 1 + rng.gen_range(99);
+        let mut hits: Vec<u64> = (0..rng.gen_index(10))
+            .map(|_| 1 + rng.gen_range(199))
+            .collect();
+        hits.sort_unstable();
+
         let mut table = FlowTable::new();
         table.add(
             FlowSpec::new(1, FlowMatch::ANY, vec![]).with_timeouts(idle, hard),
             0,
         );
-        let mut sorted = hits.clone();
-        sorted.sort_unstable();
         let mut last_hit = 0u64;
         let mut evicted_at: Option<u64> = None;
-        for &t in &sorted {
+        for &t in &hits {
             // Model: evict when t >= last_hit + idle or t >= hard.
             if evicted_at.is_none() && (t >= last_hit + idle || t >= hard) {
                 evicted_at = Some(t);
@@ -170,15 +226,15 @@ proptest! {
             let removed = table.expire(t);
             match evicted_at {
                 Some(at) if at == t && removed.len() == 1 => {
-                    // Evicted exactly now; stop.
-                    return Ok(());
+                    // Evicted exactly now; next case.
+                    continue 'case;
                 }
                 Some(_) => {
-                    prop_assert!(removed.len() <= 1);
-                    return Ok(());
+                    assert!(removed.len() <= 1);
+                    continue 'case;
                 }
                 None => {
-                    prop_assert!(removed.is_empty(), "premature eviction at {}", t);
+                    assert!(removed.is_empty(), "premature eviction at {t}");
                     let key = key_for(0);
                     table.lookup(&key, 1, t);
                     last_hit = t;

@@ -72,11 +72,9 @@ impl Dir24Fib {
     /// The best (longest) strictly-shorter covering entry for `net`
     /// below length `plen`.
     fn cover_below(&self, net: u32, plen: u8) -> Option<(NextHop, u8)> {
-        (0..plen).rev().find_map(|l| {
-            self.master
-                .get(&(l, net_mask(net, l)))
-                .map(|&nh| (nh, l))
-        })
+        (0..plen)
+            .rev()
+            .find_map(|l| self.master.get(&(l, net_mask(net, l))).map(|&nh| (nh, l)))
     }
 
     /// Write `(value, len_code)` into a /24 cell or, if the cell chains to

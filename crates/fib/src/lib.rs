@@ -74,8 +74,9 @@ impl LinearFib {
 
     fn position(&self, prefix: &Ipv4Cidr) -> Result<usize, usize> {
         let key = (core::cmp::Reverse(prefix.prefix_len()), prefix.network());
-        self.entries
-            .binary_search_by_key(&key, |(p, _)| (core::cmp::Reverse(p.prefix_len()), p.network()))
+        self.entries.binary_search_by_key(&key, |(p, _)| {
+            (core::cmp::Reverse(p.prefix_len()), p.network())
+        })
     }
 }
 

@@ -175,11 +175,7 @@ impl Fib for RadixTrieFib {
                         node.children[b] = None;
                     } else if kids == 1 {
                         let mut boxed = node.children[b].take().unwrap();
-                        let only = boxed
-                            .children
-                            .iter_mut()
-                            .find_map(Option::take)
-                            .unwrap();
+                        let only = boxed.children.iter_mut().find_map(Option::take).unwrap();
                         node.children[b] = Some(only);
                     }
                 }

@@ -1,9 +1,11 @@
-//! Property tests: every FIB structure must agree with the linear oracle
-//! under arbitrary insert/remove/lookup sequences.
-
-use proptest::prelude::*;
+//! Randomized tests: every FIB structure must agree with the linear
+//! oracle under arbitrary insert/remove/lookup sequences.
+//!
+//! Driven by the in-tree deterministic [`Lcg`] generator with fixed
+//! seeds, so every run exercises the same reproducible sequences.
 
 use zen_fib::{BinaryTrieFib, Dir24Fib, Fib, Ipv4Address, Ipv4Cidr, LinearFib, RadixTrieFib};
+use zen_wire::lcg::Lcg;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -12,47 +14,42 @@ enum Op {
     Lookup(Ipv4Address),
 }
 
-/// Prefixes drawn from a small universe so inserts, removes, and lookups
-/// actually collide.
-fn arb_cidr_full() -> impl Strategy<Value = Ipv4Cidr> {
-    arb_cidr(prop_oneof![Just(0u8), 1u8..=32].boxed())
+/// Addresses drawn from a small universe so inserts, removes, and
+/// lookups actually collide. The few seed bits are spread across the
+/// word so different prefix lengths overlap interestingly.
+fn addr_for(seed: u32) -> Ipv4Address {
+    let addr = seed
+        .wrapping_mul(0x0101_0101)
+        .rotate_left(seed % 13)
+        .wrapping_add(0x0a00_0000);
+    Ipv4Address::from_u32(addr)
+}
+
+/// A prefix over the seed universe with any length in `[0, 32]`.
+fn gen_cidr_full(rng: &mut Lcg) -> Ipv4Cidr {
+    let plen = if rng.gen_ratio(1, 33) {
+        0
+    } else {
+        1 + rng.gen_range(32) as u8
+    };
+    Ipv4Cidr::new(addr_for(rng.gen_range(256) as u32), plen).unwrap()
 }
 
 /// DIR-24-8 updates touch one cell per covered /24, so very short
 /// prefixes (millions of cells) are excluded from its randomized suite;
 /// they are covered by unit tests instead.
-fn arb_cidr_dir() -> impl Strategy<Value = Ipv4Cidr> {
-    arb_cidr((12u8..=32).boxed())
+fn gen_cidr_dir(rng: &mut Lcg) -> Ipv4Cidr {
+    let plen = 12 + rng.gen_range(21) as u8;
+    Ipv4Cidr::new(addr_for(rng.gen_range(256) as u32), plen).unwrap()
 }
 
-fn arb_cidr(plen: BoxedStrategy<u8>) -> impl Strategy<Value = Ipv4Cidr> {
-    (0u32..=0xff, plen).prop_map(|(seed, plen)| {
-        // Spread the few seed bits across the word so different prefix
-        // lengths overlap interestingly.
-        let addr = seed
-            .wrapping_mul(0x0101_0101)
-            .rotate_left(seed % 13)
-            .wrapping_add(0x0a00_0000);
-        Ipv4Cidr::new(Ipv4Address::from_u32(addr), plen).unwrap()
-    })
-}
-
-fn arb_addr() -> impl Strategy<Value = Ipv4Address> {
-    (0u32..=0xff).prop_map(|seed| {
-        let addr = seed
-            .wrapping_mul(0x0101_0101)
-            .rotate_left(seed % 13)
-            .wrapping_add(0x0a00_0000);
-        Ipv4Address::from_u32(addr)
-    })
-}
-
-fn arb_op(cidr: BoxedStrategy<Ipv4Cidr>) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (cidr.clone(), 0u32..1000).prop_map(|(c, nh)| Op::Insert(c, nh)),
-        1 => cidr.prop_map(Op::Remove),
-        4 => arb_addr().prop_map(Op::Lookup),
-    ]
+fn gen_op(rng: &mut Lcg, cidr: impl Fn(&mut Lcg) -> Ipv4Cidr) -> Op {
+    // Weights 3:1:4 over insert/remove/lookup.
+    match rng.gen_index(8) {
+        0..=2 => Op::Insert(cidr(rng), rng.gen_range(1000) as u32),
+        3 => Op::Remove(cidr(rng)),
+        _ => Op::Lookup(addr_for(rng.gen_range(256) as u32)),
+    }
 }
 
 fn check_sequence(ops: Vec<Op>, fibs: &mut [&mut dyn Fib], oracle: &mut LinearFib) {
@@ -83,11 +80,7 @@ fn check_sequence(ops: Vec<Op>, fibs: &mut [&mut dyn Fib], oracle: &mut LinearFi
     }
     // Sweep the whole key universe at the end.
     for seed in 0u32..=0xff {
-        let addr = Ipv4Address::from_u32(
-            seed.wrapping_mul(0x0101_0101)
-                .rotate_left(seed % 13)
-                .wrapping_add(0x0a00_0000),
-        );
+        let addr = addr_for(seed);
         let expect = oracle.lookup(addr);
         for (j, f) in fibs.iter_mut().enumerate() {
             assert_eq!(f.lookup(addr), expect, "fib {j} sweep {addr}");
@@ -95,13 +88,13 @@ fn check_sequence(ops: Vec<Op>, fibs: &mut [&mut dyn Fib], oracle: &mut LinearFi
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    #[test]
-    fn tries_agree_with_oracle(
-        ops in proptest::collection::vec(arb_op(arb_cidr_full().boxed()), 1..120)
-    ) {
+#[test]
+fn tries_agree_with_oracle() {
+    let mut rng = Lcg::new(0xF1B01);
+    for _ in 0..48 {
+        let ops: Vec<Op> = (0..1 + rng.gen_index(119))
+            .map(|_| gen_op(&mut rng, gen_cidr_full))
+            .collect();
         let mut oracle = LinearFib::new();
         let mut trie = BinaryTrieFib::new();
         let mut radix = RadixTrieFib::new();
@@ -109,15 +102,15 @@ proptest! {
     }
 }
 
-proptest! {
+#[test]
+fn dir24_agrees_with_oracle() {
     // DIR-24-8 allocates ~80 MB per instance and its update cost grows
     // with covered range; keep case counts moderate.
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
-
-    #[test]
-    fn dir24_agrees_with_oracle(
-        ops in proptest::collection::vec(arb_op(arb_cidr_dir().boxed()), 1..60)
-    ) {
+    let mut rng = Lcg::new(0xF1B02);
+    for _ in 0..12 {
+        let ops: Vec<Op> = (0..1 + rng.gen_index(59))
+            .map(|_| gen_op(&mut rng, gen_cidr_dir))
+            .collect();
         let mut oracle = LinearFib::new();
         let mut trie = BinaryTrieFib::new();
         let mut dir = Dir24Fib::new();

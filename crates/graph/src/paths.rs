@@ -107,7 +107,8 @@ pub fn dijkstra_filtered(
             }
             let nd = d.saturating_add(edge.weight);
             let entry = &mut dist[edge.to as usize];
-            if nd < *entry || (nd == *entry && better_parent(graph, parent_edge[edge.to as usize], e))
+            if nd < *entry
+                || (nd == *entry && better_parent(graph, parent_edge[edge.to as usize], e))
             {
                 let improved = nd < *entry;
                 *entry = nd;
@@ -274,11 +275,9 @@ pub fn k_shortest_paths(graph: &Graph, src: NodeIx, dst: NodeIx, k: usize) -> Ve
                 }
             }
             // Ban root nodes (except the spur) to keep paths loopless.
-            let banned_nodes: BTreeSet<NodeIx> =
-                root_nodes[..i].iter().copied().collect();
+            let banned_nodes: BTreeSet<NodeIx> = root_nodes[..i].iter().copied().collect();
 
-            let spur =
-                dijkstra_filtered(graph, spur_node, &banned_edges, &banned_nodes);
+            let spur = dijkstra_filtered(graph, spur_node, &banned_edges, &banned_nodes);
             if let Some(spur_path) = spur.path_to(graph, dst) {
                 let mut nodes = root_nodes.to_vec();
                 nodes.extend_from_slice(&spur_path.nodes[1..]);

@@ -1,27 +1,32 @@
-//! Property tests for the path algorithms on random graphs.
+//! Randomized tests for the path algorithms on random graphs.
+//!
+//! Driven by the in-tree deterministic [`Lcg`] generator with fixed
+//! seeds, so every run exercises the same reproducible graphs.
 
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 use zen_graph::{
     bellman_ford, connected_components, dijkstra, dists_to, ecmp_next_hops, k_shortest_paths,
     max_flow, min_spanning_tree, Graph,
 };
+use zen_wire::lcg::Lcg;
+
+const CASES: usize = 150;
 
 /// A random graph as (node count, edge list).
-fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32, u64, u64)>)> {
-    (2usize..20).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
+fn gen_graph(rng: &mut Lcg) -> (usize, Vec<(u32, u32, u64, u64)>) {
+    let n = 2 + rng.gen_index(18);
+    let edges = (0..rng.gen_index(60))
+        .map(|_| {
             (
-                0..n as u32,
-                0..n as u32,
-                1u64..100,
-                1u64..1000,
-            ),
-            0..60,
-        );
-        (Just(n), edges)
-    })
+                rng.gen_range(n as u64) as u32,
+                rng.gen_range(n as u64) as u32,
+                1 + rng.gen_range(99),
+                1 + rng.gen_range(999),
+            )
+        })
+        .collect();
+    (n, edges)
 }
 
 fn build(n: usize, edges: &[(u32, u32, u64, u64)]) -> Graph {
@@ -34,61 +39,76 @@ fn build(n: usize, edges: &[(u32, u32, u64, u64)]) -> Graph {
     g
 }
 
-proptest! {
-    #[test]
-    fn dijkstra_matches_bellman_ford((n, edges) in arb_graph()) {
+#[test]
+fn dijkstra_matches_bellman_ford() {
+    let mut rng = Lcg::new(0x6A01);
+    for _ in 0..CASES {
+        let (n, edges) = gen_graph(&mut rng);
         let g = build(n, &edges);
         for src in 0..n as u32 {
-            prop_assert_eq!(dijkstra(&g, src).dist, bellman_ford(&g, src));
+            assert_eq!(dijkstra(&g, src).dist, bellman_ford(&g, src));
         }
     }
+}
 
-    #[test]
-    fn shortest_paths_are_consistent((n, edges) in arb_graph()) {
+#[test]
+fn shortest_paths_are_consistent() {
+    let mut rng = Lcg::new(0x6A02);
+    for _ in 0..CASES {
+        let (n, edges) = gen_graph(&mut rng);
         let g = build(n, &edges);
         let sp = dijkstra(&g, 0);
         for v in 0..n as u32 {
             if let Some(path) = sp.path_to(&g, v) {
                 // The reconstructed path is connected, starts at 0, ends
                 // at v, and its edge weights sum to dist.
-                prop_assert_eq!(path.nodes[0], 0);
-                prop_assert_eq!(*path.nodes.last().unwrap(), v);
+                assert_eq!(path.nodes[0], 0);
+                assert_eq!(*path.nodes.last().unwrap(), v);
                 let mut cost = 0;
                 for (i, &e) in path.edges.iter().enumerate() {
                     let edge = g.edge(e);
-                    prop_assert_eq!(edge.from, path.nodes[i]);
-                    prop_assert_eq!(edge.to, path.nodes[i + 1]);
+                    assert_eq!(edge.from, path.nodes[i]);
+                    assert_eq!(edge.to, path.nodes[i + 1]);
                     cost += edge.weight;
                 }
-                prop_assert_eq!(cost, sp.dist[v as usize]);
+                assert_eq!(cost, sp.dist[v as usize]);
             }
         }
     }
+}
 
-    #[test]
-    fn yen_paths_sorted_distinct_loopless((n, edges) in arb_graph(), k in 1usize..6) {
+#[test]
+fn yen_paths_sorted_distinct_loopless() {
+    let mut rng = Lcg::new(0x6A03);
+    for _ in 0..CASES {
+        let (n, edges) = gen_graph(&mut rng);
+        let k = 1 + rng.gen_index(5);
         let g = build(n, &edges);
         let dst = (n - 1) as u32;
         let paths = k_shortest_paths(&g, 0, dst, k);
-        prop_assert!(paths.len() <= k);
+        assert!(paths.len() <= k);
         // Sorted by cost.
         for w in paths.windows(2) {
-            prop_assert!(w[0].cost <= w[1].cost);
+            assert!(w[0].cost <= w[1].cost);
         }
         // Distinct and loopless; first equals Dijkstra's optimum.
         let mut seen = BTreeSet::new();
         for p in &paths {
-            prop_assert!(seen.insert(p.nodes.clone()), "duplicate path");
+            assert!(seen.insert(p.nodes.clone()), "duplicate path");
             let set: BTreeSet<_> = p.nodes.iter().collect();
-            prop_assert_eq!(set.len(), p.nodes.len(), "loop in path");
+            assert_eq!(set.len(), p.nodes.len(), "loop in path");
         }
         if let Some(first) = paths.first() {
-            prop_assert_eq!(first.cost, dijkstra(&g, 0).dist[dst as usize]);
+            assert_eq!(first.cost, dijkstra(&g, 0).dist[dst as usize]);
         }
     }
+}
 
-    #[test]
-    fn ecmp_hops_all_lie_on_shortest_paths((n, edges) in arb_graph()) {
+#[test]
+fn ecmp_hops_all_lie_on_shortest_paths() {
+    let mut rng = Lcg::new(0x6A04);
+    for _ in 0..CASES {
+        let (n, edges) = gen_graph(&mut rng);
         // Symmetrize so dists_to is valid.
         let mut g = Graph::with_nodes(n);
         for &(a, b, w, c) in &edges {
@@ -101,34 +121,44 @@ proptest! {
         for u in 0..n as u32 {
             for e in ecmp_next_hops(&g, u, &dist) {
                 let edge = g.edge(e);
-                prop_assert_eq!(
+                assert_eq!(
                     edge.weight + dist[edge.to as usize],
                     dist[u as usize],
-                    "edge {}->{} not on a shortest path", edge.from, edge.to
+                    "edge {}->{} not on a shortest path",
+                    edge.from,
+                    edge.to
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn max_flow_bounded_by_cuts((n, edges) in arb_graph()) {
+#[test]
+fn max_flow_bounded_by_cuts() {
+    let mut rng = Lcg::new(0x6A05);
+    for _ in 0..CASES {
+        let (n, edges) = gen_graph(&mut rng);
         let g = build(n, &edges);
         let dst = (n - 1) as u32;
         let flow = max_flow(&g, 0, dst);
         // Source-side and sink-side degree cuts bound the flow.
         let out_cap: u64 = g.out_edges(0).iter().map(|&e| g.edge(e).capacity).sum();
         let in_cap: u64 = g.in_edges(dst).iter().map(|&e| g.edge(e).capacity).sum();
-        prop_assert!(flow <= out_cap);
-        prop_assert!(flow <= in_cap);
+        assert!(flow <= out_cap);
+        assert!(flow <= in_cap);
         // Flow is positive iff dst is reachable with positive capacity.
         let reachable = dijkstra(&g, 0).reachable(dst);
         if !reachable {
-            prop_assert_eq!(flow, 0);
+            assert_eq!(flow, 0);
         }
     }
+}
 
-    #[test]
-    fn mst_connects_components((n, edges) in arb_graph()) {
+#[test]
+fn mst_connects_components() {
+    let mut rng = Lcg::new(0x6A06);
+    for _ in 0..CASES {
+        let (n, edges) = gen_graph(&mut rng);
         let g = build(n, &edges);
         let comps_before = {
             let ids = connected_components(&g);
@@ -136,7 +166,7 @@ proptest! {
         };
         let mst = min_spanning_tree(&g);
         // |MST| == n - #components.
-        prop_assert_eq!(mst.len(), n - comps_before);
+        assert_eq!(mst.len(), n - comps_before);
         // The MST edges alone reproduce the same components.
         let mut tree = Graph::with_nodes(n);
         for &e in &mst {
@@ -148,7 +178,7 @@ proptest! {
         // Same partition (up to renaming): equal pairs-in-same-set.
         for x in 0..n {
             for y in 0..n {
-                prop_assert_eq!(a[x] == a[y], b[x] == b[y]);
+                assert_eq!(a[x] == a[y], b[x] == b[y]);
             }
         }
     }

@@ -3,14 +3,12 @@
 //! Integers are big-endian. Decoding is bounds-checked everywhere and
 //! returns [`CodecError`] on any malformation.
 
-use bytes::{BufMut, BytesMut};
-
 use zen_dataplane::{Action, Bucket, FlowMatch, FlowSpec, GroupDesc, GroupType};
 use zen_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
 
 use crate::{
-    ErrorCode, FlowModCmd, FlowStats, GroupModCmd, Message, MeterModCmd, PortDesc, PortStatsRec,
-    RemovedReason, StatsBody, StatsKind, TableStats, VERSION,
+    CacheStatsRec, ErrorCode, FlowModCmd, FlowStats, GroupModCmd, Message, MeterModCmd, PortDesc,
+    PortStatsRec, RemovedReason, StatsBody, StatsKind, TableStats, VERSION,
 };
 
 /// The fixed message header length: version, type, length (u32), xid.
@@ -43,6 +41,36 @@ impl core::fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 type Result<T> = core::result::Result<T, CodecError>;
+
+// ---------------------------------------------------------------- writer
+
+/// Big-endian append helpers over a plain `Vec<u8>`; the encoder needs
+/// nothing more than this, so the workspace carries no buffer crate.
+trait Put {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16(&mut self, v: u16);
+    fn put_u32(&mut self, v: u32);
+    fn put_u64(&mut self, v: u64);
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl Put for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
 
 // ---------------------------------------------------------------- reader
 
@@ -106,7 +134,7 @@ impl<'a> Rd<'a> {
 
 // ------------------------------------------------------------ sub-codecs
 
-fn put_match(out: &mut BytesMut, m: &FlowMatch) {
+fn put_match(out: &mut Vec<u8>, m: &FlowMatch) {
     let mut bits = 0u16;
     for (i, present) in [
         m.in_port.is_some(),
@@ -216,7 +244,7 @@ fn get_match(rd: &mut Rd<'_>) -> Result<FlowMatch> {
     Ok(m)
 }
 
-fn put_action(out: &mut BytesMut, a: &Action) {
+fn put_action(out: &mut Vec<u8>, a: &Action) {
     match *a {
         Action::Output(p) => {
             out.put_u8(0);
@@ -268,9 +296,7 @@ fn get_action(rd: &mut Rd<'_>) -> Result<Action> {
     Ok(match rd.u8()? {
         0 => Action::Output(rd.u32()?),
         1 => Action::Flood,
-        2 => Action::ToController {
-            max_len: rd.u16()?,
-        },
+        2 => Action::ToController { max_len: rd.u16()? },
         3 => Action::SetEthSrc(rd.mac()?),
         4 => Action::SetEthDst(rd.mac()?),
         5 => Action::SetIpv4Src(rd.ip()?),
@@ -285,7 +311,7 @@ fn get_action(rd: &mut Rd<'_>) -> Result<Action> {
     })
 }
 
-fn put_actions(out: &mut BytesMut, actions: &[Action]) {
+fn put_actions(out: &mut Vec<u8>, actions: &[Action]) {
     out.put_u16(actions.len() as u16);
     for a in actions {
         put_action(out, a);
@@ -306,7 +332,7 @@ fn get_actions(rd: &mut Rd<'_>) -> Result<Vec<Action>> {
     Ok(actions)
 }
 
-fn put_spec(out: &mut BytesMut, spec: &FlowSpec) {
+fn put_spec(out: &mut Vec<u8>, spec: &FlowSpec) {
     out.put_u16(spec.priority);
     out.put_u64(spec.cookie);
     out.put_u64(spec.idle_timeout);
@@ -335,7 +361,7 @@ fn get_spec(rd: &mut Rd<'_>) -> Result<FlowSpec> {
     })
 }
 
-fn put_group(out: &mut BytesMut, desc: &GroupDesc) {
+fn put_group(out: &mut Vec<u8>, desc: &GroupDesc) {
     out.put_u8(match desc.group_type {
         GroupType::All => 0,
         GroupType::Select => 1,
@@ -374,7 +400,7 @@ fn get_group(rd: &mut Rd<'_>) -> Result<GroupDesc> {
     })
 }
 
-fn put_bytes(out: &mut BytesMut, data: &[u8]) {
+fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
     out.put_u32(data.len() as u32);
     out.put_slice(data);
 }
@@ -388,7 +414,7 @@ fn get_bytes(rd: &mut Rd<'_>) -> Result<Vec<u8>> {
 
 /// Encode `msg` with transaction id `xid` into a framed byte vector.
 pub fn encode(msg: &Message, xid: u32) -> Vec<u8> {
-    let mut out = BytesMut::with_capacity(64);
+    let mut out = Vec::with_capacity(64);
     out.put_u8(VERSION);
     out.put_u8(msg.type_id());
     out.put_u32(0); // length patched below
@@ -513,6 +539,7 @@ pub fn encode(msg: &Message, xid: u32) -> Vec<u8> {
                 out.put_u32(*port_no);
             }
             StatsKind::Table => out.put_u8(2),
+            StatsKind::Cache => out.put_u8(3),
         },
         Message::StatsReply { body } => match body {
             StatsBody::Flow(records) => {
@@ -547,11 +574,23 @@ pub fn encode(msg: &Message, xid: u32) -> Vec<u8> {
                     out.put_u64(r.misses);
                 }
             }
+            StatsBody::Cache(r) => {
+                out.put_u8(3);
+                out.put_u32(1); // record count, for framing symmetry
+                out.put_u64(r.micro_hits);
+                out.put_u64(r.mega_hits);
+                out.put_u64(r.misses);
+                out.put_u64(r.inserts);
+                out.put_u64(r.invalidations);
+                out.put_u64(r.evictions);
+                out.put_u64(r.generation);
+                out.put_u64(r.entries);
+            }
         },
     }
     let len = out.len() as u32;
     out[2..6].copy_from_slice(&len.to_be_bytes());
-    out.to_vec()
+    out
 }
 
 /// Decode one framed message from the front of `buf`. Returns the
@@ -681,6 +720,7 @@ pub fn decode(buf: &[u8]) -> Result<(Message, u32, usize)> {
                 0 => StatsKind::Flow { table_id: rd.u8()? },
                 1 => StatsKind::Port { port_no: rd.u32()? },
                 2 => StatsKind::Table,
+                3 => StatsKind::Cache,
                 _ => return Err(CodecError::Malformed),
             },
         },
@@ -728,6 +768,21 @@ pub fn decode(buf: &[u8]) -> Result<(Message, u32, usize)> {
                         });
                     }
                     StatsBody::Table(v)
+                }
+                3 => {
+                    if n != 1 {
+                        return Err(CodecError::Malformed);
+                    }
+                    StatsBody::Cache(CacheStatsRec {
+                        micro_hits: rd.u64()?,
+                        mega_hits: rd.u64()?,
+                        misses: rd.u64()?,
+                        inserts: rd.u64()?,
+                        invalidations: rd.u64()?,
+                        evictions: rd.u64()?,
+                        generation: rd.u64()?,
+                        entries: rd.u64()?,
+                    })
                 }
                 _ => return Err(CodecError::Malformed),
             };
@@ -901,6 +956,21 @@ mod tests {
                     misses: 2,
                 }]),
             },
+            Message::StatsRequest {
+                kind: StatsKind::Cache,
+            },
+            Message::StatsReply {
+                body: StatsBody::Cache(CacheStatsRec {
+                    micro_hits: 1000,
+                    mega_hits: 50,
+                    misses: 7,
+                    inserts: 7,
+                    invalidations: 2,
+                    evictions: 0,
+                    generation: 3,
+                    entries: 12,
+                }),
+            },
         ]
     }
 
@@ -991,9 +1061,6 @@ mod tests {
         assert!(matches!(asm.next(), Some(Err(CodecError::Malformed))));
         // The assembler cleared; new valid traffic parses.
         asm.push(&encode(&Message::BarrierReply, 2));
-        assert!(matches!(
-            asm.next(),
-            Some(Ok((Message::BarrierReply, 2)))
-        ));
+        assert!(matches!(asm.next(), Some(Ok((Message::BarrierReply, 2)))));
     }
 }

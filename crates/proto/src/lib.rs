@@ -104,6 +104,8 @@ pub enum StatsKind {
     },
     /// Per-table entry counts and hit/miss counters.
     Table,
+    /// Flow-cache (microflow/megaflow) effectiveness counters.
+    Cache,
 }
 
 /// One flow-stats record.
@@ -149,6 +151,27 @@ pub struct TableStats {
     pub misses: u64,
 }
 
+/// Flow-cache effectiveness counters, as carried on the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStatsRec {
+    /// Exact-match (microflow) tier hits.
+    pub micro_hits: u64,
+    /// Wildcard (megaflow) tier hits.
+    pub mega_hits: u64,
+    /// Slow-path classifications.
+    pub misses: u64,
+    /// Programs inserted.
+    pub inserts: u64,
+    /// Whole-cache invalidations.
+    pub invalidations: u64,
+    /// Capacity evictions.
+    pub evictions: u64,
+    /// Current cache generation.
+    pub generation: u64,
+    /// Entries resident across both tiers.
+    pub entries: u64,
+}
+
 /// A STATS_REPLY body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StatsBody {
@@ -158,6 +181,8 @@ pub enum StatsBody {
     Port(Vec<PortStatsRec>),
     /// Table records.
     Table(Vec<TableStats>),
+    /// Flow-cache counters.
+    Cache(CacheStatsRec),
 }
 
 /// Why a FLOW_REMOVED was sent.

@@ -1,169 +1,181 @@
-//! Property tests for the control-protocol codec: random structured
+//! Randomized tests for the control-protocol codec: random structured
 //! messages round-trip, and random bytes never panic the decoder.
-
-use proptest::prelude::*;
+//!
+//! Uses the in-tree deterministic [`Lcg`] generator, so failures are
+//! reproducible from the fixed seeds below.
 
 use zen_dataplane::{Action, Bucket, FlowMatch, FlowSpec, GroupDesc, GroupType};
 use zen_proto::{decode, encode, FlowModCmd, Message, StatsKind};
+use zen_wire::lcg::Lcg;
 use zen_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
 
-fn arb_mac() -> impl Strategy<Value = EthernetAddress> {
-    any::<[u8; 6]>().prop_map(EthernetAddress)
+fn gen_mac(rng: &mut Lcg) -> EthernetAddress {
+    let b = rng.gen_bytes(6);
+    EthernetAddress::from_bytes(&b)
 }
 
-fn arb_ip() -> impl Strategy<Value = Ipv4Address> {
-    any::<u32>().prop_map(Ipv4Address::from_u32)
+fn gen_ip(rng: &mut Lcg) -> Ipv4Address {
+    Ipv4Address::from_u32(rng.next_u32())
 }
 
-fn arb_cidr() -> impl Strategy<Value = Ipv4Cidr> {
-    (any::<u32>(), 0u8..=32)
-        .prop_map(|(a, l)| Ipv4Cidr::new(Ipv4Address::from_u32(a), l).unwrap())
+fn gen_cidr(rng: &mut Lcg) -> Ipv4Cidr {
+    Ipv4Cidr::new(gen_ip(rng), rng.gen_range(33) as u8).unwrap()
 }
 
-fn arb_action() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (1u32..100).prop_map(Action::Output),
-        Just(Action::Flood),
-        any::<u16>().prop_map(|l| Action::ToController { max_len: l }),
-        arb_mac().prop_map(Action::SetEthSrc),
-        arb_mac().prop_map(Action::SetEthDst),
-        arb_ip().prop_map(Action::SetIpv4Src),
-        arb_ip().prop_map(Action::SetIpv4Dst),
-        any::<u8>().prop_map(Action::SetDscp),
-        Just(Action::DecTtl),
-        (0u16..4096).prop_map(Action::PushVlan),
-        Just(Action::PopVlan),
-        any::<u32>().prop_map(Action::Group),
-        any::<u32>().prop_map(Action::Meter),
-    ]
+fn gen_action(rng: &mut Lcg) -> Action {
+    match rng.gen_index(13) {
+        0 => Action::Output(1 + rng.gen_range(99) as u32),
+        1 => Action::Flood,
+        2 => Action::ToController {
+            max_len: rng.next_u32() as u16,
+        },
+        3 => Action::SetEthSrc(gen_mac(rng)),
+        4 => Action::SetEthDst(gen_mac(rng)),
+        5 => Action::SetIpv4Src(gen_ip(rng)),
+        6 => Action::SetIpv4Dst(gen_ip(rng)),
+        7 => Action::SetDscp(rng.next_u32() as u8),
+        8 => Action::DecTtl,
+        9 => Action::PushVlan(rng.gen_range(4096) as u16),
+        10 => Action::PopVlan,
+        11 => Action::Group(rng.next_u32()),
+        _ => Action::Meter(rng.next_u32()),
+    }
 }
 
-fn arb_match() -> impl Strategy<Value = FlowMatch> {
-    (
-        proptest::option::of(1u32..64),
-        proptest::option::of(arb_mac()),
-        proptest::option::of(arb_mac()),
-        proptest::option::of(any::<u16>()),
-        proptest::option::of(proptest::option::of(0u16..4096)),
-        proptest::option::of(arb_cidr()),
-        proptest::option::of(arb_cidr()),
-        proptest::option::of(any::<u8>()),
-        proptest::option::of(any::<u16>()),
-        proptest::option::of(any::<u16>()),
-    )
-        .prop_map(
-            |(in_port, eth_src, eth_dst, ethertype, vlan, ipv4_src, ipv4_dst, ip_proto, l4_src, l4_dst)| {
-                FlowMatch {
-                    in_port,
-                    eth_src,
-                    eth_dst,
-                    ethertype,
-                    vlan,
-                    ipv4_src,
-                    ipv4_dst,
-                    ip_proto,
-                    l4_src,
-                    l4_dst,
-                }
-            },
-        )
+fn gen_actions(rng: &mut Lcg, max: usize) -> Vec<Action> {
+    (0..rng.gen_index(max + 1))
+        .map(|_| gen_action(rng))
+        .collect()
 }
 
-fn arb_spec() -> impl Strategy<Value = FlowSpec> {
-    (
-        any::<u16>(),
-        arb_match(),
-        proptest::collection::vec(arb_action(), 0..6),
-        proptest::option::of(0u8..=254),
-        any::<u64>(),
-        any::<u64>(),
-        any::<u64>(),
-    )
-        .prop_map(
-            |(priority, matcher, actions, goto_table, cookie, idle, hard)| FlowSpec {
-                priority,
-                matcher,
-                actions,
-                goto_table,
-                cookie,
-                idle_timeout: idle,
-                hard_timeout: hard,
-            },
-        )
+fn opt<T>(rng: &mut Lcg, f: impl FnOnce(&mut Lcg) -> T) -> Option<T> {
+    if rng.gen_ratio(1, 2) {
+        Some(f(rng))
+    } else {
+        None
+    }
 }
 
-fn arb_group() -> impl Strategy<Value = GroupDesc> {
-    (
-        prop_oneof![
-            Just(GroupType::All),
-            Just(GroupType::Select),
-            Just(GroupType::FastFailover)
-        ],
-        proptest::collection::vec(
-            ((proptest::option::of(1u32..64)), proptest::collection::vec(arb_action(), 0..4)),
-            0..5,
-        ),
-    )
-        .prop_map(|(group_type, raw)| GroupDesc {
-            group_type,
-            buckets: raw
-                .into_iter()
-                .map(|(watch_port, actions)| Bucket {
-                    actions,
-                    watch_port,
-                })
-                .collect(),
+fn gen_match(rng: &mut Lcg) -> FlowMatch {
+    FlowMatch {
+        in_port: opt(rng, |r| 1 + r.gen_range(63) as u32),
+        eth_src: opt(rng, gen_mac),
+        eth_dst: opt(rng, gen_mac),
+        ethertype: opt(rng, |r| r.next_u32() as u16),
+        vlan: opt(rng, |r| opt(r, |r| r.gen_range(4096) as u16)),
+        ipv4_src: opt(rng, gen_cidr),
+        ipv4_dst: opt(rng, gen_cidr),
+        ip_proto: opt(rng, |r| r.next_u32() as u8),
+        l4_src: opt(rng, |r| r.next_u32() as u16),
+        l4_dst: opt(rng, |r| r.next_u32() as u16),
+    }
+}
+
+fn gen_spec(rng: &mut Lcg) -> FlowSpec {
+    FlowSpec {
+        priority: rng.next_u32() as u16,
+        matcher: gen_match(rng),
+        actions: gen_actions(rng, 5),
+        goto_table: opt(rng, |r| r.gen_range(255) as u8),
+        cookie: rng.next_u64(),
+        idle_timeout: rng.next_u64(),
+        hard_timeout: rng.next_u64(),
+    }
+}
+
+fn gen_group(rng: &mut Lcg) -> GroupDesc {
+    let group_type = match rng.gen_index(3) {
+        0 => GroupType::All,
+        1 => GroupType::Select,
+        _ => GroupType::FastFailover,
+    };
+    let buckets = (0..rng.gen_index(5))
+        .map(|_| Bucket {
+            actions: gen_actions(rng, 3),
+            watch_port: opt(rng, |r| 1 + r.gen_range(63) as u32),
         })
+        .collect();
+    GroupDesc {
+        group_type,
+        buckets,
+    }
 }
 
-fn arb_message() -> impl Strategy<Value = Message> {
-    prop_oneof![
-        arb_spec().prop_map(|s| Message::FlowMod {
+fn gen_message(rng: &mut Lcg) -> Message {
+    match rng.gen_index(6) {
+        0 => Message::FlowMod {
             table_id: 0,
-            cmd: FlowModCmd::Add(s)
-        }),
-        (any::<u16>(), arb_match()).prop_map(|(priority, matcher)| Message::FlowMod {
+            cmd: FlowModCmd::Add(gen_spec(rng)),
+        },
+        1 => Message::FlowMod {
             table_id: 1,
-            cmd: FlowModCmd::DeleteStrict { priority, matcher }
-        }),
-        (any::<u32>(), arb_group()).prop_map(|(group_id, g)| Message::GroupMod {
-            group_id,
-            cmd: zen_proto::GroupModCmd::Add(g)
-        }),
-        (1u32..64, proptest::collection::vec(arb_action(), 0..4), proptest::collection::vec(any::<u8>(), 0..256))
-            .prop_map(|(in_port, actions, frame)| Message::PacketOut { in_port, actions, frame }),
-        (1u32..64, any::<u8>(), any::<bool>(), proptest::collection::vec(any::<u8>(), 0..256))
-            .prop_map(|(in_port, table_id, is_miss, frame)| Message::PacketIn {
-                in_port,
-                table_id,
-                is_miss,
-                frame
-            }),
-        Just(Message::StatsRequest { kind: StatsKind::Table }),
-    ]
+            cmd: FlowModCmd::DeleteStrict {
+                priority: rng.next_u32() as u16,
+                matcher: gen_match(rng),
+            },
+        },
+        2 => Message::GroupMod {
+            group_id: rng.next_u32(),
+            cmd: zen_proto::GroupModCmd::Add(gen_group(rng)),
+        },
+        3 => Message::PacketOut {
+            in_port: 1 + rng.gen_range(63) as u32,
+            actions: gen_actions(rng, 3),
+            frame: {
+                let n = rng.gen_index(256);
+                rng.gen_bytes(n)
+            },
+        },
+        4 => Message::PacketIn {
+            in_port: 1 + rng.gen_range(63) as u32,
+            table_id: rng.next_u32() as u8,
+            is_miss: rng.gen_ratio(1, 2),
+            frame: {
+                let n = rng.gen_index(256);
+                rng.gen_bytes(n)
+            },
+        },
+        _ => Message::StatsRequest {
+            kind: StatsKind::Table,
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn structured_roundtrip(msg in arb_message(), xid in any::<u32>()) {
+#[test]
+fn structured_roundtrip() {
+    let mut rng = Lcg::new(0xC0DEC01);
+    for _ in 0..2_000 {
+        let msg = gen_message(&mut rng);
+        let xid = rng.next_u32();
         let bytes = encode(&msg, xid);
         let (decoded, got_xid, consumed) = decode(&bytes).expect("decode");
-        prop_assert_eq!(decoded, msg);
-        prop_assert_eq!(got_xid, xid);
-        prop_assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, msg);
+        assert_eq!(got_xid, xid);
+        assert_eq!(consumed, bytes.len());
     }
+}
 
-    #[test]
-    fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn random_bytes_never_panic() {
+    let mut rng = Lcg::new(0xC0DEC02);
+    for _ in 0..2_000 {
+        let data = {
+            let n = rng.gen_index(512);
+            rng.gen_bytes(n)
+        };
         let _ = decode(&data);
     }
+}
 
-    #[test]
-    fn bitflips_never_panic(msg in arb_message(), flip in any::<(usize, u8)>()) {
+#[test]
+fn bitflips_never_panic() {
+    let mut rng = Lcg::new(0xC0DEC03);
+    for _ in 0..2_000 {
+        let msg = gen_message(&mut rng);
         let mut bytes = encode(&msg, 1);
         if !bytes.is_empty() {
-            let at = flip.0 % bytes.len();
-            bytes[at] ^= flip.1;
+            let at = rng.gen_index(bytes.len());
+            bytes[at] ^= rng.next_u32() as u8;
             let _ = decode(&bytes);
         }
     }

@@ -285,7 +285,10 @@ mod tests {
         let next_mac = EthernetAddress::from_id(0x20);
         chassis.install_routes(&[(
             Ipv4Cidr::new(FAR_IP, 32).unwrap(),
-            Adjacency { port: 1, mac: next_mac },
+            Adjacency {
+                port: 1,
+                mac: next_mac,
+            },
         )]);
         let frame = PacketBuilder::udp(HOST_MAC, HOST_IP, 1, chassis.mac, FAR_IP, 2, b"hi");
         let router_mac = chassis.mac;

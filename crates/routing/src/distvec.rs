@@ -146,7 +146,10 @@ impl DistanceVectorRouter {
             .filter_map(|(&addr, r)| {
                 let port = r.via?;
                 let mac = *self.neighbor_mac.get(&port)?;
-                Some((Ipv4Cidr::new(addr, 32).expect("/32"), Adjacency { port, mac }))
+                Some((
+                    Ipv4Cidr::new(addr, 32).expect("/32"),
+                    Adjacency { port, mac },
+                ))
             })
             .collect();
         self.chassis.install_routes(&routes);
@@ -417,7 +420,11 @@ mod tests {
             })
             .map(|(id, _)| id)
             .expect("carrying link");
-        world.schedule_link_state(carrying, false, Instant::from_secs(5) + Duration::from_millis(1));
+        world.schedule_link_state(
+            carrying,
+            false,
+            Instant::from_secs(5) + Duration::from_millis(1),
+        );
         world.run_until(Instant::from_secs(15));
 
         let after = world
@@ -443,10 +450,17 @@ mod tests {
             .is_some());
         // Cut the only link: the route must eventually vanish entirely.
         let link = world.links().next().map(|(id, _)| id).unwrap();
-        world.schedule_link_state(link, false, Instant::from_secs(3) + Duration::from_millis(1));
+        world.schedule_link_state(
+            link,
+            false,
+            Instant::from_secs(3) + Duration::from_millis(1),
+        );
         world.run_until(Instant::from_secs(12));
         let r0 = world.node_as::<DistanceVectorRouter>(routers[0]);
         assert_eq!(r0.metric_to(host), None);
-        assert!(!r0.routes.contains_key(&host), "poisoned route must be GC'd");
+        assert!(
+            !r0.routes.contains_key(&host),
+            "poisoned route must be GC'd"
+        );
     }
 }

@@ -176,8 +176,7 @@ impl Host {
         // All hosts in zen experiments share one subnet: the next hop is
         // the destination itself.
         if let Some(&dst_mac) = self.arp_cache.get(&dst_ip) {
-            let frame =
-                PacketBuilder::ethernet(self.mac, dst_mac, EtherType::Ipv4, &ip_packet);
+            let frame = PacketBuilder::ethernet(self.mac, dst_mac, EtherType::Ipv4, &ip_packet);
             ctx.transmit(HOST_PORT, frame);
         } else {
             let first_for_target = !self.pending.contains_key(&dst_ip);
@@ -478,10 +477,7 @@ mod tests {
 
         let hb = world.node_as::<Host>(b);
         assert_eq!(hb.stats.udp_rx, 20);
-        assert_eq!(
-            hb.stats.udp_rx_per_src[&Ipv4Address::new(10, 0, 0, 1)],
-            20
-        );
+        assert_eq!(hb.stats.udp_rx_per_src[&Ipv4Address::new(10, 0, 0, 1)], 20);
         assert_eq!(hb.stats.udp_max_seq[&Ipv4Address::new(10, 0, 0, 1)], 19);
         assert!(hb.stats.udp_latency.min().unwrap() > 0.0);
     }

@@ -251,7 +251,10 @@ mod tests {
             Duration::from_millis(200).as_millis()
         );
         // Saturating subtraction.
-        assert_eq!(Instant::from_secs(1) - Instant::from_secs(2), Duration::ZERO);
+        assert_eq!(
+            Instant::from_secs(1) - Instant::from_secs(2),
+            Duration::ZERO
+        );
     }
 
     #[test]
@@ -271,10 +274,7 @@ mod tests {
         // 1 byte at 1 Gb/s = 8 ns.
         assert_eq!(transmission_time(1, 1_000_000_000), Duration::from_nanos(8));
         // Rounded up.
-        assert_eq!(
-            transmission_time(1, 3_000_000_000),
-            Duration::from_nanos(3)
-        );
+        assert_eq!(transmission_time(1, 3_000_000_000), Duration::from_nanos(3));
         // Zero rate means instantaneous (infinite-capacity) links.
         assert_eq!(transmission_time(1500, 0), Duration::ZERO);
     }

@@ -174,11 +174,26 @@ pub trait Node: 'static {
 #[derive(Debug)]
 enum EventKind {
     Start,
-    Packet { port: PortNo, frame: Vec<u8> },
-    Timer { token: u64 },
-    Control { from: NodeId, bytes: Vec<u8> },
-    LinkStatus { port: PortNo, up: bool },
-    AdminLink { link: LinkId, up: bool, notify: bool },
+    Packet {
+        port: PortNo,
+        frame: Vec<u8>,
+    },
+    Timer {
+        token: u64,
+    },
+    Control {
+        from: NodeId,
+        bytes: Vec<u8>,
+    },
+    LinkStatus {
+        port: PortNo,
+        up: bool,
+    },
+    AdminLink {
+        link: LinkId,
+        up: bool,
+        notify: bool,
+    },
 }
 
 #[derive(Debug)]
@@ -263,9 +278,9 @@ impl CoreState {
         } else {
             // Backlog currently waiting in the egress queue, in bytes.
             let backlog = dir.busy_until.duration_since(self.now);
-            let backlog_bytes =
-                (backlog.as_nanos() as u128 * params.bandwidth_bps as u128 / 8 / 1_000_000_000)
-                    as usize;
+            let backlog_bytes = (backlog.as_nanos() as u128 * params.bandwidth_bps as u128
+                / 8
+                / 1_000_000_000) as usize;
             if backlog_bytes + frame.len() > params.queue_bytes {
                 dir.drops_queue += 1;
                 self.metrics.incr("sim.drops_queue");
@@ -280,14 +295,7 @@ impl CoreState {
         dir.tx_frames += 1;
         self.metrics.incr("sim.tx_frames");
         self.metrics.add("sim.tx_bytes", frame.len() as u64);
-        self.push(
-            arrival,
-            dst.0,
-            EventKind::Packet {
-                port: dst.1,
-                frame,
-            },
-        );
+        self.push(arrival, dst.0, EventKind::Packet { port: dst.1, frame });
     }
 
     fn control_latency_for(&self, from: NodeId, to: NodeId) -> Duration {
@@ -337,7 +345,7 @@ impl Context<'_> {
         let mut latency = self.core.control_latency_for(from, to);
         let jitter = self.core.control_jitter.as_nanos();
         if jitter > 0 {
-            latency = latency + Duration::from_nanos(self.core.rng.gen_range(jitter));
+            latency += Duration::from_nanos(self.core.rng.gen_range(jitter));
         }
         let at = self.core.now + latency;
         self.core.metrics.incr("sim.control_msgs");
@@ -430,7 +438,12 @@ impl World {
 
     /// Connect two nodes with a new link, auto-assigning the next free
     /// port on each. Returns `(link, port_on_a, port_on_b)`.
-    pub fn connect(&mut self, a: NodeId, b: NodeId, params: LinkParams) -> (LinkId, PortNo, PortNo) {
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        params: LinkParams,
+    ) -> (LinkId, PortNo, PortNo) {
         let pa = self.core.next_port[a.0 as usize];
         self.core.next_port[a.0 as usize] += 1;
         let pb = self.core.next_port[b.0 as usize];
@@ -522,7 +535,9 @@ impl World {
 
     /// Override control latency for a specific (from, to) pair.
     pub fn set_control_latency_between(&mut self, from: NodeId, to: NodeId, latency: Duration) {
-        self.core.control_latency_override.insert((from, to), latency);
+        self.core
+            .control_latency_override
+            .insert((from, to), latency);
     }
 
     /// Add uniform random per-message control-channel jitter in
@@ -751,17 +766,13 @@ mod tests {
         let (mut world, a, b) = two_node_world(LinkParams::default());
         world.run_until(Instant::from_secs(1));
         let pinger = world.node_as::<Pinger>(a);
-        assert_eq!(
-            pinger.rtt,
-            Some(Duration::from_nanos(2 * (10_000 + 800)))
-        );
+        assert_eq!(pinger.rtt, Some(Duration::from_nanos(2 * (10_000 + 800))));
         assert_eq!(world.node_as::<Echo>(b).rx, 1);
     }
 
     #[test]
     fn instant_links_have_latency_only() {
-        let (mut world, a, _) =
-            two_node_world(LinkParams::instant(Duration::from_millis(5)));
+        let (mut world, a, _) = two_node_world(LinkParams::instant(Duration::from_millis(5)));
         world.run_until(Instant::from_secs(1));
         assert_eq!(
             world.node_as::<Pinger>(a).rtt,

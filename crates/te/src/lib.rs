@@ -141,7 +141,14 @@ impl Allocation {
             .iter()
             .map(|(&e, &load)| {
                 let cap = graph.edge(e).capacity;
-                (e, if cap == 0 { 0.0 } else { load as f64 / cap as f64 })
+                (
+                    e,
+                    if cap == 0 {
+                        0.0
+                    } else {
+                        load as f64 / cap as f64
+                    },
+                )
             })
             .collect()
     }

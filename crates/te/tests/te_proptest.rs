@@ -1,32 +1,48 @@
-//! Property tests for the TE allocator's safety and quality invariants.
+//! Randomized tests for the TE allocator's safety and quality invariants.
+//!
+//! Driven by the in-tree deterministic [`Lcg`] generator with fixed
+//! seeds, so every run exercises the same reproducible cases.
 
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 use zen_graph::Graph;
 use zen_te::{allocate, quantize_splits, DemandMatrix};
+use zen_wire::lcg::Lcg;
 
 /// (node, node, value) triples for edges and demands.
 type Triples = Vec<(u32, u32, u64)>;
 
 /// Random symmetric graphs with capacities, plus random demands.
-fn arb_case() -> impl Strategy<Value = (usize, Triples, Triples)> {
-    (3usize..10).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 100u64..10_000),
-            n..3 * n,
-        );
-        let demands = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 1u64..20_000),
-            1..8,
-        );
-        (Just(n), edges, demands)
-    })
+fn gen_case(rng: &mut Lcg) -> (usize, Triples, Triples) {
+    let n = 3 + rng.gen_index(7);
+    let n_edges = n + rng.gen_index(2 * n);
+    let edges = (0..n_edges)
+        .map(|_| {
+            (
+                rng.gen_range(n as u64) as u32,
+                rng.gen_range(n as u64) as u32,
+                100 + rng.gen_range(9_900),
+            )
+        })
+        .collect();
+    let demands = (0..1 + rng.gen_index(7))
+        .map(|_| {
+            (
+                rng.gen_range(n as u64) as u32,
+                rng.gen_range(n as u64) as u32,
+                1 + rng.gen_range(19_999),
+            )
+        })
+        .collect();
+    (n, edges, demands)
 }
 
-proptest! {
-    #[test]
-    fn allocation_respects_capacity_and_demand((n, edges, demands) in arb_case(), k in 1usize..4) {
+#[test]
+fn allocation_respects_capacity_and_demand() {
+    let mut rng = Lcg::new(0x7E01);
+    for _ in 0..100 {
+        let (n, edges, demands) = gen_case(&mut rng);
+        let k = 1 + rng.gen_index(3);
         let mut g = Graph::with_nodes(n);
         for &(a, b, c) in &edges {
             if a != b {
@@ -40,17 +56,17 @@ proptest! {
             }
         }
         if m.demands.is_empty() {
-            return Ok(());
+            continue;
         }
         let alloc = allocate(&g, &m, k, 50);
 
         // Never grant more than requested.
         for (d, &r) in m.demands.iter().zip(&alloc.rates) {
-            prop_assert!(r <= d.rate_bps, "overgrant {r} > {}", d.rate_bps);
+            assert!(r <= d.rate_bps, "overgrant {r} > {}", d.rate_bps);
         }
         // Never exceed any link capacity.
         for (&e, &load) in &alloc.link_load {
-            prop_assert!(
+            assert!(
                 load <= g.edge(e).capacity,
                 "edge {e} overloaded: {load} > {}",
                 g.edge(e).capacity
@@ -59,21 +75,25 @@ proptest! {
         // Per-demand path rates sum to the granted rate.
         for (i, paths) in alloc.paths.iter().enumerate() {
             let sum: u64 = paths.iter().map(|(_, r)| r).sum();
-            prop_assert_eq!(sum, alloc.rates[i]);
+            assert_eq!(sum, alloc.rates[i]);
             // Paths actually connect the demand endpoints.
             for (p, _) in paths {
-                prop_assert_eq!(p.nodes[0], m.demands[i].src);
-                prop_assert_eq!(*p.nodes.last().unwrap(), m.demands[i].dst);
+                assert_eq!(p.nodes[0], m.demands[i].src);
+                assert_eq!(*p.nodes.last().unwrap(), m.demands[i].dst);
             }
         }
     }
+}
 
-    #[test]
-    fn more_candidates_never_hurt_a_single_demand((n, edges, demands) in arb_case()) {
-        // NOTE: with *multiple* demands, greedy water-filling over more
-        // candidates can admit less total traffic (one demand's detour
-        // may starve another) — that is a real property of greedy TE,
-        // so monotonicity is only asserted per single demand.
+#[test]
+fn more_candidates_never_hurt_a_single_demand() {
+    // NOTE: with *multiple* demands, greedy water-filling over more
+    // candidates can admit less total traffic (one demand's detour
+    // may starve another) — that is a real property of greedy TE,
+    // so monotonicity is only asserted per single demand.
+    let mut rng = Lcg::new(0x7E02);
+    for _ in 0..100 {
+        let (n, edges, demands) = gen_case(&mut rng);
         let mut g = Graph::with_nodes(n);
         for &(a, b, c) in &edges {
             if a != b {
@@ -81,46 +101,59 @@ proptest! {
             }
         }
         let Some(&(s, t, r)) = demands.iter().find(|(s, t, _)| s != t) else {
-            return Ok(());
+            continue;
         };
         let mut m = DemandMatrix::new();
         m.push(s, t, r);
         let k1 = allocate(&g, &m, 1, 50).total();
         let k3 = allocate(&g, &m, 3, 50).total();
-        prop_assert!(k3 + 50 >= k1, "k=3 total {k3} worse than k=1 total {k1}");
+        assert!(k3 + 50 >= k1, "k=3 total {k3} worse than k=1 total {k1}");
         // And never above the max-flow bound.
-        prop_assert!(k3 <= zen_graph::max_flow(&g, s, t).max(k3.min(r)));
+        assert!(k3 <= zen_graph::max_flow(&g, s, t).max(k3.min(r)));
     }
+}
 
-    #[test]
-    fn quantize_preserves_total_and_order(rates in proptest::collection::vec(0u64..1_000_000, 1..8),
-                                          buckets in 1u32..64) {
+#[test]
+fn quantize_preserves_total_and_order() {
+    let mut rng = Lcg::new(0x7E03);
+    for _ in 0..500 {
+        let rates: Vec<u64> = (0..1 + rng.gen_index(7))
+            .map(|_| rng.gen_range(1_000_000))
+            .collect();
+        let buckets = 1 + rng.gen_range(63) as u32;
         let w = quantize_splits(&rates, buckets);
-        prop_assert_eq!(w.len(), rates.len());
+        assert_eq!(w.len(), rates.len());
         let total: u64 = rates.iter().sum();
         let wsum: u32 = w.iter().sum();
         if total == 0 {
-            prop_assert_eq!(wsum, 0);
+            assert_eq!(wsum, 0);
         } else {
-            prop_assert_eq!(wsum, buckets);
+            assert_eq!(wsum, buckets);
             // Weight error is at most 1 bucket from the exact share.
             for (i, &r) in rates.iter().enumerate() {
                 let exact = r as f64 * buckets as f64 / total as f64;
-                prop_assert!((w[i] as f64 - exact).abs() <= 1.0,
-                    "weight {} for exact {exact}", w[i]);
+                assert!(
+                    (w[i] as f64 - exact).abs() <= 1.0,
+                    "weight {} for exact {exact}",
+                    w[i]
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn random_demand_matrix_well_formed(seed in any::<u64>()) {
+#[test]
+fn random_demand_matrix_well_formed() {
+    let mut rng = Lcg::new(0x7E04);
+    for _ in 0..100 {
+        let seed = rng.next_u64();
         let sites: Vec<u32> = (0..6).collect();
         let m = DemandMatrix::random(&sites, 12, 10, 100, seed);
-        prop_assert_eq!(m.demands.len(), 12);
+        assert_eq!(m.demands.len(), 12);
         for d in &m.demands {
-            prop_assert!(d.src != d.dst);
-            prop_assert!((10..=100).contains(&d.rate_bps));
-            prop_assert!(sites.contains(&d.src) && sites.contains(&d.dst));
+            assert!(d.src != d.dst);
+            assert!((10..=100).contains(&d.rate_bps));
+            assert!(sites.contains(&d.src) && sites.contains(&d.dst));
         }
     }
 }

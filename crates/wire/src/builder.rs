@@ -209,7 +209,12 @@ impl PacketBuilder {
         let repr = arp::Repr::request(src_mac, src_ip, target_ip);
         let mut arp_buf = vec![0u8; repr.buffer_len()];
         repr.emit(&mut arp::Packet::new_unchecked(&mut arp_buf[..]));
-        Self::ethernet(src_mac, EthernetAddress::BROADCAST, EtherType::Arp, &arp_buf)
+        Self::ethernet(
+            src_mac,
+            EthernetAddress::BROADCAST,
+            EtherType::Arp,
+            &arp_buf,
+        )
     }
 
     /// A unicast ARP is-at reply answering `request`.

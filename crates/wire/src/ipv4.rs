@@ -365,7 +365,9 @@ mod tests {
         let mut buf = vec![0u8; repr.buffer_len()];
         let mut packet = Packet::new_unchecked(&mut buf[..]);
         repr.emit(&mut packet);
-        packet.payload_mut().copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        packet
+            .payload_mut()
+            .copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
 
         let packet = Packet::new_checked(&buf[..]).unwrap();
         assert!(packet.verify_checksum());
@@ -391,7 +393,7 @@ mod tests {
         let mut packet = Packet::new_unchecked(&mut buf[..]);
         repr.emit(&mut packet);
         buf[field::VER_IHL] = 0x65; // version 6
-        // refill checksum so only the version is wrong
+                                    // refill checksum so only the version is wrong
         let mut packet = Packet::new_unchecked(&mut buf[..]);
         packet.fill_checksum();
         assert_eq!(

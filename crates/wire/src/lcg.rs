@@ -1,0 +1,126 @@
+//! A tiny deterministic LCG for randomized tests and benchmarks.
+//!
+//! The workspace builds with no external crates, so the property-style
+//! tests and benchmark traffic generators share this generator instead of
+//! `rand`/`proptest`. It is a 64-bit MMIX-constant linear congruential
+//! generator with an output-mixing step; fast, seedable, and identical on
+//! every platform. Not for cryptography or for the simulator core (which
+//! carries its own `zen-sim` xoshiro generator).
+
+/// A seeded linear congruential generator.
+#[derive(Debug, Clone)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// A generator seeded with `seed`. Any seed is valid.
+    pub fn new(seed: u64) -> Lcg {
+        // Avoid the short-lived all-zero prefix by stepping once.
+        let mut lcg = Lcg {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        };
+        lcg.next_u64();
+        lcg
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // MMIX constants (Knuth), plus a xorshift-multiply output mix so
+        // low bits are usable.
+        self.state = self
+            .state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let mut z = self.state;
+        z = (z ^ (z >> 32)).wrapping_mul(0xd6e8_feb8_6659_fd93);
+        z ^ (z >> 32)
+    }
+
+    /// The next 32 pseudo-random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in `[0, bound)`; 0 when `bound` is 0.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift; bias is < 2^-32 for the small bounds tests use.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A uniform `usize` in `[0, bound)`.
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        self.gen_range(bound as u64) as usize
+    }
+
+    /// A Bernoulli trial that succeeds with probability `num / den`.
+    pub fn gen_ratio(&mut self, num: u64, den: u64) -> bool {
+        self.gen_range(den) < num
+    }
+
+    /// A uniformly random byte vector of length `len`.
+    pub fn gen_bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next_u64() as u8).collect()
+    }
+
+    /// A uniformly random element, or `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.gen_index(slice.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = (0..8)
+            .map({
+                let mut r = Lcg::new(1);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map({
+                let mut r = Lcg::new(1);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let c: Vec<u64> = (0..8)
+            .map({
+                let mut r = Lcg::new(2);
+                move |_| r.next_u64()
+            })
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn range_bounds_hold_and_cover() {
+        let mut rng = Lcg::new(7);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = rng.gen_index(8);
+            assert!(v < 8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(rng.gen_range(0), 0);
+    }
+
+    #[test]
+    fn ratio_is_roughly_fair() {
+        let mut rng = Lcg::new(3);
+        let hits = (0..10_000).filter(|_| rng.gen_ratio(1, 4)).count();
+        assert!((2_000..3_000).contains(&hits), "hits {hits}");
+    }
+}

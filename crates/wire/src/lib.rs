@@ -32,6 +32,7 @@ pub mod checksum;
 pub mod ethernet;
 pub mod icmpv4;
 pub mod ipv4;
+pub mod lcg;
 pub mod lldp;
 pub mod tcp;
 pub mod udp;

@@ -406,11 +406,17 @@ mod tests {
         let mut buf = [0u8; HEADER_LEN];
         let mut seg = Segment::new_unchecked(&mut buf[..]);
         seg.set_header_len(16); // below minimum
-        assert_eq!(Segment::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            Segment::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
 
         let mut buf = [0u8; HEADER_LEN];
         let mut seg = Segment::new_unchecked(&mut buf[..]);
         seg.set_header_len(24); // past buffer
-        assert_eq!(Segment::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Segment::new_checked(&buf[..]).unwrap_err(),
+            Error::Truncated
+        );
     }
 }

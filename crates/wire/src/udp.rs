@@ -240,12 +240,18 @@ mod tests {
         let mut buf = [0u8; HEADER_LEN + 2];
         let mut dgram = Datagram::new_unchecked(&mut buf[..]);
         dgram.set_len_field(4); // below header size
-        assert_eq!(Datagram::new_checked(&buf[..]).unwrap_err(), Error::Malformed);
+        assert_eq!(
+            Datagram::new_checked(&buf[..]).unwrap_err(),
+            Error::Malformed
+        );
 
         let mut buf = [0u8; HEADER_LEN];
         let mut dgram = Datagram::new_unchecked(&mut buf[..]);
         dgram.set_len_field(100); // past buffer
-        assert_eq!(Datagram::new_checked(&buf[..]).unwrap_err(), Error::Truncated);
+        assert_eq!(
+            Datagram::new_checked(&buf[..]).unwrap_err(),
+            Error::Truncated
+        );
     }
 
     #[test]

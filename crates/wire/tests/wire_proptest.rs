@@ -1,63 +1,85 @@
-//! Property tests for the wire formats: every `Repr` round-trips
+//! Randomized tests for the wire formats: every `Repr` round-trips
 //! through emit/parse, and no parser panics on arbitrary bytes.
+//!
+//! Driven by the in-tree deterministic [`Lcg`] generator with fixed
+//! seeds, so every run exercises the same reproducible inputs.
 
-use proptest::prelude::*;
-
+use zen_wire::lcg::Lcg;
 use zen_wire::{arp, ethernet, icmpv4, ipv4, lldp, tcp, udp};
 use zen_wire::{EthernetAddress, Ipv4Address};
 
-fn arb_mac() -> impl Strategy<Value = EthernetAddress> {
-    any::<[u8; 6]>().prop_map(EthernetAddress)
+const ITERS: usize = 1_000;
+
+fn gen_mac(rng: &mut Lcg) -> EthernetAddress {
+    EthernetAddress::from_bytes(&rng.gen_bytes(6))
 }
 
-fn arb_ip() -> impl Strategy<Value = Ipv4Address> {
-    any::<u32>().prop_map(Ipv4Address::from_u32)
+fn gen_ip(rng: &mut Lcg) -> Ipv4Address {
+    Ipv4Address::from_u32(rng.next_u32())
 }
 
-proptest! {
-    #[test]
-    fn ethernet_roundtrip(dst in arb_mac(), src in arb_mac(), ty in any::<u16>(),
-                          payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn ethernet_roundtrip() {
+    let mut rng = Lcg::new(0xE7E0);
+    for _ in 0..ITERS {
         let repr = ethernet::Repr {
-            dst_addr: dst,
-            src_addr: src,
-            ethertype: ty.into(),
+            dst_addr: gen_mac(&mut rng),
+            src_addr: gen_mac(&mut rng),
+            ethertype: (rng.next_u32() as u16).into(),
+        };
+        let payload = {
+            let n = rng.gen_index(64);
+            rng.gen_bytes(n)
         };
         let mut buf = vec![0u8; repr.buffer_len() + payload.len()];
         let mut frame = ethernet::Frame::new_unchecked(&mut buf[..]);
         repr.emit(&mut frame);
         frame.payload_mut().copy_from_slice(&payload);
         let frame = ethernet::Frame::new_checked(&buf[..]).unwrap();
-        prop_assert_eq!(ethernet::Repr::parse(&frame).unwrap(), repr);
-        prop_assert_eq!(frame.payload(), &payload[..]);
+        assert_eq!(ethernet::Repr::parse(&frame).unwrap(), repr);
+        assert_eq!(frame.payload(), &payload[..]);
     }
+}
 
-    #[test]
-    fn arp_roundtrip(op in prop_oneof![Just(arp::Operation::Request), Just(arp::Operation::Reply)],
-                     sha in arb_mac(), spa in arb_ip(), tha in arb_mac(), tpa in arb_ip()) {
+#[test]
+fn arp_roundtrip() {
+    let mut rng = Lcg::new(0xA4B0);
+    for _ in 0..ITERS {
         let repr = arp::Repr {
-            operation: op,
-            sender_hardware_addr: sha,
-            sender_protocol_addr: spa,
-            target_hardware_addr: tha,
-            target_protocol_addr: tpa,
+            operation: if rng.gen_ratio(1, 2) {
+                arp::Operation::Request
+            } else {
+                arp::Operation::Reply
+            },
+            sender_hardware_addr: gen_mac(&mut rng),
+            sender_protocol_addr: gen_ip(&mut rng),
+            target_hardware_addr: gen_mac(&mut rng),
+            target_protocol_addr: gen_ip(&mut rng),
         };
         let mut buf = vec![0u8; repr.buffer_len()];
         repr.emit(&mut arp::Packet::new_unchecked(&mut buf[..]));
-        prop_assert_eq!(arp::Repr::parse(&arp::Packet::new_checked(&buf[..]).unwrap()).unwrap(), repr);
+        assert_eq!(
+            arp::Repr::parse(&arp::Packet::new_checked(&buf[..]).unwrap()).unwrap(),
+            repr
+        );
     }
+}
 
-    #[test]
-    fn ipv4_roundtrip(src in arb_ip(), dst in arb_ip(), proto in any::<u8>(),
-                      ttl in 1u8.., dscp in any::<u8>(),
-                      payload in proptest::collection::vec(any::<u8>(), 0..128)) {
+#[test]
+fn ipv4_roundtrip() {
+    let mut rng = Lcg::new(0x1974);
+    for _ in 0..ITERS {
+        let payload = {
+            let n = rng.gen_index(128);
+            rng.gen_bytes(n)
+        };
         let repr = ipv4::Repr {
-            src_addr: src,
-            dst_addr: dst,
-            protocol: proto.into(),
+            src_addr: gen_ip(&mut rng),
+            dst_addr: gen_ip(&mut rng),
+            protocol: (rng.next_u32() as u8).into(),
             payload_len: payload.len(),
-            ttl,
-            dscp_ecn: dscp,
+            ttl: 1 + rng.gen_range(255) as u8,
+            dscp_ecn: rng.next_u32() as u8,
         };
         let mut buf = vec![0u8; repr.buffer_len()];
         let mut packet = ipv4::Packet::new_unchecked(&mut buf[..]);
@@ -66,36 +88,54 @@ proptest! {
         // Payload writes after emit invalidate nothing: checksum covers
         // the header only.
         let packet = ipv4::Packet::new_checked(&buf[..]).unwrap();
-        prop_assert!(packet.verify_checksum());
-        prop_assert_eq!(ipv4::Repr::parse(&packet).unwrap(), repr);
-        prop_assert_eq!(packet.payload(), &payload[..]);
+        assert!(packet.verify_checksum());
+        assert_eq!(ipv4::Repr::parse(&packet).unwrap(), repr);
+        assert_eq!(packet.payload(), &payload[..]);
     }
+}
 
-    #[test]
-    fn udp_roundtrip(src in arb_ip(), dst in arb_ip(), sp in any::<u16>(), dp in any::<u16>(),
-                     payload in proptest::collection::vec(any::<u8>(), 0..128)) {
-        let repr = udp::Repr { src_port: sp, dst_port: dp, payload_len: payload.len() };
+#[test]
+fn udp_roundtrip() {
+    let mut rng = Lcg::new(0x0D90);
+    for _ in 0..ITERS {
+        let src = gen_ip(&mut rng);
+        let dst = gen_ip(&mut rng);
+        let payload = {
+            let n = rng.gen_index(128);
+            rng.gen_bytes(n)
+        };
+        let repr = udp::Repr {
+            src_port: rng.next_u32() as u16,
+            dst_port: rng.next_u32() as u16,
+            payload_len: payload.len(),
+        };
         let mut buf = vec![0u8; repr.buffer_len()];
         let mut dgram = udp::Datagram::new_unchecked(&mut buf[..]);
         dgram.set_len_field(repr.buffer_len() as u16);
         dgram.payload_mut().copy_from_slice(&payload);
         repr.emit(&mut dgram, src, dst);
         let dgram = udp::Datagram::new_checked(&buf[..]).unwrap();
-        prop_assert_eq!(udp::Repr::parse(&dgram, src, dst).unwrap(), repr);
+        assert_eq!(udp::Repr::parse(&dgram, src, dst).unwrap(), repr);
     }
+}
 
-    #[test]
-    fn tcp_roundtrip(src in arb_ip(), dst in arb_ip(), sp in any::<u16>(), dp in any::<u16>(),
-                     seq in any::<u32>(), ack in any::<u32>(), flag_bits in 0u8..0x40,
-                     window in any::<u16>(),
-                     payload in proptest::collection::vec(any::<u8>(), 0..128)) {
+#[test]
+fn tcp_roundtrip() {
+    let mut rng = Lcg::new(0x7C90);
+    for _ in 0..ITERS {
+        let src = gen_ip(&mut rng);
+        let dst = gen_ip(&mut rng);
+        let payload = {
+            let n = rng.gen_index(128);
+            rng.gen_bytes(n)
+        };
         let repr = tcp::Repr {
-            src_port: sp,
-            dst_port: dp,
-            seq_number: seq,
-            ack_number: ack,
-            flags: tcp::Flags::from_byte(flag_bits),
-            window,
+            src_port: rng.next_u32() as u16,
+            dst_port: rng.next_u32() as u16,
+            seq_number: rng.next_u32(),
+            ack_number: rng.next_u32(),
+            flags: tcp::Flags::from_byte(rng.gen_range(0x40) as u8),
+            window: rng.next_u32() as u16,
             payload_len: payload.len(),
         };
         let mut buf = vec![0u8; repr.buffer_len()];
@@ -104,36 +144,61 @@ proptest! {
         seg.payload_mut().copy_from_slice(&payload);
         repr.emit(&mut seg, src, dst);
         let seg = tcp::Segment::new_checked(&buf[..]).unwrap();
-        prop_assert_eq!(tcp::Repr::parse(&seg, src, dst).unwrap(), repr);
+        assert_eq!(tcp::Repr::parse(&seg, src, dst).unwrap(), repr);
     }
+}
 
-    #[test]
-    fn icmp_echo_roundtrip(ident in any::<u16>(), seq in any::<u16>(), request in any::<bool>(),
-                           payload in proptest::collection::vec(any::<u8>(), 0..64)) {
-        let message = if request {
+#[test]
+fn icmp_echo_roundtrip() {
+    let mut rng = Lcg::new(0x1C3B);
+    for _ in 0..ITERS {
+        let ident = rng.next_u32() as u16;
+        let seq = rng.next_u32() as u16;
+        let message = if rng.gen_ratio(1, 2) {
             icmpv4::Message::EchoRequest { ident, seq }
         } else {
             icmpv4::Message::EchoReply { ident, seq }
         };
-        let repr = icmpv4::Repr { message, payload_len: payload.len() };
+        let payload = {
+            let n = rng.gen_index(64);
+            rng.gen_bytes(n)
+        };
+        let repr = icmpv4::Repr {
+            message,
+            payload_len: payload.len(),
+        };
         let mut buf = vec![0u8; repr.buffer_len()];
         let mut packet = icmpv4::Packet::new_unchecked(&mut buf[..]);
         packet.payload_mut().copy_from_slice(&payload);
         repr.emit(&mut packet);
         let packet = icmpv4::Packet::new_checked(&buf[..]).unwrap();
-        prop_assert_eq!(icmpv4::Repr::parse(&packet).unwrap(), repr);
+        assert_eq!(icmpv4::Repr::parse(&packet).unwrap(), repr);
     }
+}
 
-    #[test]
-    fn lldp_roundtrip(chassis in any::<u64>(), port in any::<u32>(), ttl in any::<u16>()) {
-        let repr = lldp::Repr { chassis_id: chassis, port_id: port, ttl_secs: ttl };
+#[test]
+fn lldp_roundtrip() {
+    let mut rng = Lcg::new(0x11D9);
+    for _ in 0..ITERS {
+        let repr = lldp::Repr {
+            chassis_id: rng.next_u64(),
+            port_id: rng.next_u32(),
+            ttl_secs: rng.next_u32() as u16,
+        };
         let mut buf = vec![0u8; repr.buffer_len()];
         repr.emit(&mut buf);
-        prop_assert_eq!(lldp::Repr::parse(&buf).unwrap(), repr);
+        assert_eq!(lldp::Repr::parse(&buf).unwrap(), repr);
     }
+}
 
-    #[test]
-    fn parsers_never_panic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn parsers_never_panic() {
+    let mut rng = Lcg::new(0xF00D);
+    for _ in 0..ITERS {
+        let data = {
+            let n = rng.gen_index(256);
+            rng.gen_bytes(n)
+        };
         // Every checked parse is total over arbitrary input.
         if let Ok(frame) = ethernet::Frame::new_checked(&data[..]) {
             let _ = ethernet::Repr::parse(&frame);

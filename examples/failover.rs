@@ -105,8 +105,8 @@ fn run_routers(kind: RouterKind, silent: bool) -> u64 {
     let mut hosts = Vec::new();
     for (i, &sw) in topo.hosts.iter().enumerate() {
         let ip = Ipv4Address::new(10, 0, 0, (i + 1) as u8);
-        let mut host = Host::new(EthernetAddress::from_id(0x50_0000 + i as u64), ip)
-            .with_gratuitous_arp();
+        let mut host =
+            Host::new(EthernetAddress::from_id(0x50_0000 + i as u64), ip).with_gratuitous_arp();
         if i == 0 {
             host = host.with_workload(probe_workload(Ipv4Address::new(10, 0, 0, 2)));
         }
@@ -138,8 +138,14 @@ fn main() {
 
     println!("detected failure (carrier drop):");
     report("SDN fast-failover groups:", run_sdn(false));
-    report("link-state (OSPF-style):", run_routers(RouterKind::LinkState, false));
-    report("distance-vector (RIP-style):", run_routers(RouterKind::DistVec, false));
+    report(
+        "link-state (OSPF-style):",
+        run_routers(RouterKind::LinkState, false),
+    );
+    report(
+        "distance-vector (RIP-style):",
+        run_routers(RouterKind::DistVec, false),
+    );
 
     println!("\nsilent failure (blackhole, no carrier event):");
     let sdn_lost = run_sdn(true);

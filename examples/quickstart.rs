@@ -60,10 +60,7 @@ fn main() {
 
     let h0 = world.node_as::<Host>(fabric.hosts[0]);
     let rtts = &h0.stats.ping_rtts;
-    println!(
-        "  ping 10.0.0.1 -> 10.0.0.3: {}/10 replies",
-        rtts.count()
-    );
+    println!("  ping 10.0.0.1 -> 10.0.0.3: {}/10 replies", rtts.count());
     let mut rtts = h0.stats.ping_rtts.clone();
     if let (Some(first), Some(min)) = (rtts.samples().first().copied(), rtts.min()) {
         println!(

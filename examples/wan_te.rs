@@ -87,14 +87,29 @@ fn run(k: usize, demands: &[SiteDemand]) -> (u64, u64) {
 }
 
 fn main() {
-    println!("zen WAN TE — B4-style 12-site backbone, {} Gb/s links", LINK_BPS / 1_000_000_000);
+    println!(
+        "zen WAN TE — B4-style 12-site backbone, {} Gb/s links",
+        LINK_BPS / 1_000_000_000
+    );
 
     // A hot demand set: the three transoceanic pairs each want 2.5 Gb/s
     // (more than any single path), plus regional chatter.
     let mut demands = vec![
-        SiteDemand { src: 0, dst: 9, rate_bps: 2_500_000_000 },
-        SiteDemand { src: 1, dst: 10, rate_bps: 2_500_000_000 },
-        SiteDemand { src: 4, dst: 6, rate_bps: 2_500_000_000 },
+        SiteDemand {
+            src: 0,
+            dst: 9,
+            rate_bps: 2_500_000_000,
+        },
+        SiteDemand {
+            src: 1,
+            dst: 10,
+            rate_bps: 2_500_000_000,
+        },
+        SiteDemand {
+            src: 4,
+            dst: 6,
+            rate_bps: 2_500_000_000,
+        },
     ];
     for (a, b) in [(0, 3), (2, 5), (6, 8), (9, 11)] {
         demands.push(SiteDemand {
@@ -104,16 +119,25 @@ fn main() {
         });
     }
 
-    println!("  demands: {} pairs, {:.1} Gb/s total requested", demands.len(),
-        demands.iter().map(|d| d.rate_bps).sum::<u64>() as f64 / 1e9);
+    println!(
+        "  demands: {} pairs, {:.1} Gb/s total requested",
+        demands.len(),
+        demands.iter().map(|d| d.rate_bps).sum::<u64>() as f64 / 1e9
+    );
 
     let (sp_granted, requested) = run(1, &demands);
     let (te_granted, _) = run(3, &demands);
 
-    println!("  shortest-path only (k=1): {:.2} Gb/s granted ({:.0}% of demand)",
-        sp_granted as f64 / 1e9, 100.0 * sp_granted as f64 / requested as f64);
-    println!("  traffic engineering (k=3): {:.2} Gb/s granted ({:.0}% of demand)",
-        te_granted as f64 / 1e9, 100.0 * te_granted as f64 / requested as f64);
+    println!(
+        "  shortest-path only (k=1): {:.2} Gb/s granted ({:.0}% of demand)",
+        sp_granted as f64 / 1e9,
+        100.0 * sp_granted as f64 / requested as f64
+    );
+    println!(
+        "  traffic engineering (k=3): {:.2} Gb/s granted ({:.0}% of demand)",
+        te_granted as f64 / 1e9,
+        100.0 * te_granted as f64 / requested as f64
+    );
     println!("  TE gain: {:.2}x", te_granted as f64 / sp_granted as f64);
     assert!(te_granted > sp_granted, "TE must beat single shortest path");
     println!("ok.");
