@@ -17,6 +17,7 @@ use zen_proto::{
 use zen_sim::{Context, Duration, Node, NodeId};
 
 const TIMER_EXPIRE: u64 = 1;
+const TIMER_ECHO: u64 = 2;
 
 /// Agent counters, read by experiments.
 #[derive(Debug, Default, Clone, Copy)]
@@ -29,6 +30,10 @@ pub struct AgentStats {
     pub packet_outs: u64,
     /// Protocol decode errors.
     pub decode_errors: u64,
+    /// ECHO_REQUESTs sent to the controller (liveness probes).
+    pub echo_sent: u64,
+    /// ECHO_REPLYs received from the controller.
+    pub echo_replies: u64,
 }
 
 /// The switch-side control agent.
@@ -37,6 +42,8 @@ pub struct SwitchAgent {
     pub dp: Datapath,
     controller: NodeId,
     expire_interval: Duration,
+    echo_interval: Duration,
+    echo_token: u64,
     xid: u32,
     /// Counters.
     pub stats: AgentStats,
@@ -50,6 +57,8 @@ impl SwitchAgent {
             dp: Datapath::new(dpid, n_tables, MissPolicy::ToController { max_len: 2048 }),
             controller,
             expire_interval: Duration::from_millis(10),
+            echo_interval: Duration::from_millis(50),
+            echo_token: 0,
             xid: 1,
             stats: AgentStats::default(),
         }
@@ -111,6 +120,9 @@ impl SwitchAgent {
             }
             Message::EchoRequest { token } => {
                 self.send_with_xid(ctx, &Message::EchoReply { token }, xid);
+            }
+            Message::EchoReply { .. } => {
+                self.stats.echo_replies += 1;
             }
             Message::FeaturesRequest => {
                 let reply = Message::FeaturesReply {
@@ -291,6 +303,7 @@ impl Node for SwitchAgent {
             },
         );
         ctx.set_timer(self.expire_interval, TIMER_EXPIRE);
+        ctx.set_timer(self.echo_interval, TIMER_ECHO);
     }
 
     fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortNo, frame: &[u8]) {
@@ -314,6 +327,14 @@ impl Node for SwitchAgent {
                 self.send(ctx, &note);
             }
             ctx.set_timer(self.expire_interval, TIMER_EXPIRE);
+        } else if token == TIMER_ECHO {
+            self.echo_token += 1;
+            self.stats.echo_sent += 1;
+            let probe = Message::EchoRequest {
+                token: self.echo_token,
+            };
+            self.send(ctx, &probe);
+            ctx.set_timer(self.echo_interval, TIMER_ECHO);
         }
     }
 

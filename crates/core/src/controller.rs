@@ -61,6 +61,10 @@ pub struct CtlStats {
     pub msgs_received: u64,
     /// Protocol decode errors.
     pub decode_errors: u64,
+    /// ECHO_REQUEST liveness probes sent to agents.
+    pub echo_probes: u64,
+    /// ECHO_REPLYs received from agents.
+    pub echo_replies: u64,
 }
 
 /// The services handle passed to applications: the network view plus
@@ -238,6 +242,18 @@ impl Controller {
         ctx.send_control(node, encode(msg, xid));
     }
 
+    /// Probe every registered agent's control-channel liveness with an
+    /// ECHO_REQUEST (the token encodes the send time, so a reply dates
+    /// the probe it answers).
+    fn echo_round(&mut self, ctx: &mut Context<'_>) {
+        let targets: Vec<Dpid> = self.registry.keys().copied().collect();
+        let token = ctx.now().as_nanos();
+        for dpid in targets {
+            self.stats.echo_probes += 1;
+            self.send_direct(ctx, dpid, &Message::EchoRequest { token });
+        }
+    }
+
     /// Send one LLDP probe out of every known up port of every switch.
     fn discovery_round(&mut self, ctx: &mut Context<'_>) {
         let targets: Vec<(Dpid, PortNo)> = self
@@ -386,6 +402,9 @@ impl Controller {
                 self.stats.msgs_sent += 1;
                 ctx.send_control(from, encode(&Message::EchoReply { token }, 0));
             }
+            Message::EchoReply { .. } => {
+                self.stats.echo_replies += 1;
+            }
             Message::StatsReply { body } => {
                 let Some(&dpid) = self.rev_registry.get(&from) else {
                     return;
@@ -421,6 +440,7 @@ impl Node for Controller {
                 });
             }
             self.discovery_round(ctx);
+            self.echo_round(ctx);
             self.with_apps(ctx, |apps, ctl| {
                 for app in apps.iter_mut() {
                     app.tick(ctl);
