@@ -1,0 +1,240 @@
+//! Deterministic fault injection: a seeded, schedulable plan of
+//! control-channel and data-plane impairments.
+//!
+//! A [`FaultPlan`] is a declarative list of rules, each active during a
+//! time [`Window`]: control-message loss probability (per node pair or
+//! global), hard partitions (blackholes between a node pair, with the
+//! heal implied by the window's end), message duplication, and lossy
+//! data-plane links. The world consults the plan on every send; all
+//! randomness comes from the world's own [`crate::rng::Rng`], so a chaos
+//! run is a pure function of topology + plan + seed and replays
+//! bit-for-bit. Dropped, blackholed, and duplicated messages are counted
+//! in [`crate::stats::Metrics`] under `fault.*` keys.
+
+use crate::time::Instant;
+use crate::world::{LinkId, NodeId};
+
+/// A half-open interval of simulated time `[from, until)` during which a
+/// fault rule is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// First instant the rule applies.
+    pub from: Instant,
+    /// First instant the rule no longer applies (the heal time).
+    pub until: Instant,
+}
+
+impl Window {
+    /// The window `[from, until)`.
+    pub fn new(from: Instant, until: Instant) -> Window {
+        Window { from, until }
+    }
+
+    /// A window covering all of simulated time.
+    pub fn always() -> Window {
+        Window {
+            from: Instant::ZERO,
+            until: Instant::from_nanos(u64::MAX),
+        }
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: Instant) -> bool {
+        self.from <= t && t < self.until
+    }
+}
+
+/// Which control-channel conversations a rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Every sender/receiver pair.
+    All,
+    /// Both directions between a specific pair of nodes.
+    Pair(NodeId, NodeId),
+}
+
+impl Scope {
+    fn matches(&self, from: NodeId, to: NodeId) -> bool {
+        match *self {
+            Scope::All => true,
+            Scope::Pair(a, b) => (a == from && b == to) || (a == to && b == from),
+        }
+    }
+}
+
+/// A schedulable, replayable set of fault rules.
+///
+/// Build one with the chainable constructors, then install it with
+/// [`crate::world::World::set_fault_plan`]. Rules compose: when several
+/// loss rules cover the same message the highest probability wins, and a
+/// partition always wins over probabilistic loss.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    control_loss: Vec<(Scope, Window, f64)>,
+    control_dup: Vec<(Scope, Window, f64)>,
+    partitions: Vec<(NodeId, NodeId, Window)>,
+    link_loss: Vec<(Option<LinkId>, Window, f64)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Drop each control message with probability `p` during `window`,
+    /// on every conversation.
+    pub fn control_loss(mut self, p: f64, window: Window) -> FaultPlan {
+        self.control_loss.push((Scope::All, window, p));
+        self
+    }
+
+    /// Drop each control message between `a` and `b` (both directions)
+    /// with probability `p` during `window`.
+    pub fn control_loss_between(
+        mut self,
+        a: NodeId,
+        b: NodeId,
+        p: f64,
+        window: Window,
+    ) -> FaultPlan {
+        self.control_loss.push((Scope::Pair(a, b), window, p));
+        self
+    }
+
+    /// Drop *every* control message between `a` and `b` during `window`
+    /// — a burst loss, equivalent to `control_loss_between(a, b, 1.0, w)`.
+    pub fn control_burst(self, a: NodeId, b: NodeId, window: Window) -> FaultPlan {
+        self.control_loss_between(a, b, 1.0, window)
+    }
+
+    /// Blackhole all control traffic between `a` and `b` during `window`
+    /// (a hard partition; heals when the window closes). Unlike a burst
+    /// it is counted separately, so experiments can tell partition drops
+    /// from random loss.
+    pub fn partition(mut self, a: NodeId, b: NodeId, window: Window) -> FaultPlan {
+        self.partitions.push((a, b, window));
+        self
+    }
+
+    /// Deliver each control message twice with probability `p` during
+    /// `window` (the duplicate takes an independent latency draw, so the
+    /// copies may be reordered).
+    pub fn duplicate(mut self, p: f64, window: Window) -> FaultPlan {
+        self.control_dup.push((Scope::All, window, p));
+        self
+    }
+
+    /// Drop each data-plane frame entering `link` with probability `p`
+    /// during `window`. Pass `None` to apply to every link.
+    pub fn link_loss(mut self, link: Option<LinkId>, p: f64, window: Window) -> FaultPlan {
+        self.link_loss.push((link, window, p));
+        self
+    }
+
+    /// Whether any rule is present at all (lets the hot path skip the
+    /// scan entirely for fault-free runs).
+    pub fn is_empty(&self) -> bool {
+        self.control_loss.is_empty()
+            && self.control_dup.is_empty()
+            && self.partitions.is_empty()
+            && self.link_loss.is_empty()
+    }
+
+    /// Whether `from` ↔ `to` is hard-partitioned at time `t`.
+    pub fn is_partitioned(&self, from: NodeId, to: NodeId, t: Instant) -> bool {
+        self.partitions
+            .iter()
+            .any(|&(a, b, w)| w.contains(t) && Scope::Pair(a, b).matches(from, to))
+    }
+
+    /// The control-loss probability for a message `from` → `to` at `t`
+    /// (the max over matching rules; 0 if none match).
+    pub fn control_loss_prob(&self, from: NodeId, to: NodeId, t: Instant) -> f64 {
+        max_prob(&self.control_loss, |s| s.matches(from, to), t)
+    }
+
+    /// The duplication probability for a message `from` → `to` at `t`.
+    pub fn control_dup_prob(&self, from: NodeId, to: NodeId, t: Instant) -> f64 {
+        max_prob(&self.control_dup, |s| s.matches(from, to), t)
+    }
+
+    /// The loss probability for a frame entering `link` at `t`.
+    pub fn link_loss_prob(&self, link: LinkId, t: Instant) -> f64 {
+        max_prob(
+            &self.link_loss,
+            |l: &Option<LinkId>| l.map(|id| id == link).unwrap_or(true),
+            t,
+        )
+    }
+}
+
+fn max_prob<S>(rules: &[(S, Window, f64)], matches: impl Fn(&S) -> bool, t: Instant) -> f64 {
+    rules
+        .iter()
+        .filter(|(s, w, _)| w.contains(t) && matches(s))
+        .map(|&(_, _, p)| p)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    fn ms(n: u64) -> Instant {
+        Instant::ZERO + Duration::from_millis(n)
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let w = Window::new(ms(10), ms(20));
+        assert!(!w.contains(ms(9)));
+        assert!(w.contains(ms(10)));
+        assert!(w.contains(ms(19)));
+        assert!(!w.contains(ms(20)));
+        assert!(Window::always().contains(ms(0)));
+    }
+
+    #[test]
+    fn pair_scope_is_unordered() {
+        let plan =
+            FaultPlan::new().control_loss_between(NodeId(1), NodeId(2), 0.5, Window::always());
+        assert_eq!(plan.control_loss_prob(NodeId(1), NodeId(2), ms(0)), 0.5);
+        assert_eq!(plan.control_loss_prob(NodeId(2), NodeId(1), ms(0)), 0.5);
+        assert_eq!(plan.control_loss_prob(NodeId(1), NodeId(3), ms(0)), 0.0);
+    }
+
+    #[test]
+    fn overlapping_rules_take_max() {
+        let plan = FaultPlan::new()
+            .control_loss(0.1, Window::always())
+            .control_loss_between(NodeId(0), NodeId(1), 0.9, Window::new(ms(5), ms(10)));
+        assert_eq!(plan.control_loss_prob(NodeId(0), NodeId(1), ms(0)), 0.1);
+        assert_eq!(plan.control_loss_prob(NodeId(0), NodeId(1), ms(7)), 0.9);
+        assert_eq!(plan.control_loss_prob(NodeId(0), NodeId(2), ms(7)), 0.1);
+    }
+
+    #[test]
+    fn partitions_heal_at_window_end() {
+        let plan = FaultPlan::new().partition(NodeId(3), NodeId(4), Window::new(ms(1), ms(2)));
+        assert!(!plan.is_partitioned(NodeId(3), NodeId(4), ms(0)));
+        assert!(plan.is_partitioned(NodeId(4), NodeId(3), ms(1)));
+        assert!(!plan.is_partitioned(NodeId(3), NodeId(4), ms(2)));
+    }
+
+    #[test]
+    fn link_loss_matches_specific_or_all() {
+        let plan = FaultPlan::new()
+            .link_loss(Some(LinkId(7)), 0.25, Window::always())
+            .link_loss(None, 0.01, Window::always());
+        assert_eq!(plan.link_loss_prob(LinkId(7), ms(0)), 0.25);
+        assert_eq!(plan.link_loss_prob(LinkId(8), ms(0)), 0.01);
+    }
+
+    #[test]
+    fn empty_plan_reports_empty() {
+        assert!(FaultPlan::new().is_empty());
+        assert!(!FaultPlan::new().duplicate(0.1, Window::always()).is_empty());
+    }
+}

@@ -224,7 +224,10 @@ impl Host {
         };
         match spec {
             Workload::Ping { dst, .. } => {
-                let ident = self.next_ping_ident;
+                // Each workload needs its own ident: seq numbers are
+                // per-workload, so a shared ident would collide in
+                // `ping_sent_at` when several ping workloads run at once.
+                let ident = self.next_ping_ident.wrapping_add(idx as u16);
                 let seq16 = (seq & 0xffff) as u16;
                 self.ping_sent_at.insert((ident, seq16), now);
                 self.stats.ping_tx += 1;

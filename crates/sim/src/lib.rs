@@ -14,6 +14,9 @@
 //!   seed; the event queue breaks ties by sequence number and the crate
 //!   ships its own PRNG ([`rng::Rng`]) so results cannot drift with
 //!   dependency upgrades.
+//! * **Deterministic fault injection** — a seeded, schedulable
+//!   [`fault::FaultPlan`] of control-channel loss, partitions, message
+//!   duplication and lossy links, replayable from the world seed.
 //! * **Standard topologies** — fat-trees, leaf–spine fabrics, the Abilene
 //!   and B4-style WANs, rings, meshes and seeded random graphs
 //!   ([`topo::Topology`]).
@@ -27,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod host;
 pub mod rng;
 pub mod stats;
@@ -34,6 +38,7 @@ pub mod time;
 pub mod topo;
 pub mod world;
 
+pub use fault::{FaultPlan, Scope, Window};
 pub use host::{Host, Workload};
 pub use rng::Rng;
 pub use stats::{Counter, Histogram, Metrics, TimeSeries};

@@ -26,6 +26,7 @@ use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
+use crate::fault::FaultPlan;
 use crate::rng::Rng;
 use crate::stats::Metrics;
 use crate::time::{transmission_time, Duration, Instant};
@@ -236,6 +237,7 @@ struct CoreState {
     control_latency: Duration,
     control_latency_override: BTreeMap<(NodeId, NodeId), Duration>,
     control_jitter: Duration,
+    faults: FaultPlan,
     events_processed: u64,
 }
 
@@ -256,6 +258,15 @@ impl CoreState {
             self.metrics.incr("sim.tx_no_link");
             return;
         };
+        // Fault plan: lossy links. Checked before queueing, so a dropped
+        // frame consumes no line time (loss at the ingress transceiver).
+        if !self.faults.is_empty() && self.links[link_id.0 as usize].up {
+            let p = self.faults.link_loss_prob(link_id, self.now);
+            if p > 0.0 && self.rng.gen_bool(p) {
+                self.metrics.incr("fault.data_dropped");
+                return;
+            }
+        }
         let link = &mut self.links[link_id.0 as usize];
         if !link.up {
             let dir = if link.a == (from, port) {
@@ -342,17 +353,51 @@ impl Context<'_> {
     /// literature.
     pub fn send_control(&mut self, to: NodeId, bytes: Vec<u8>) {
         let from = self.self_id;
-        let mut latency = self.core.control_latency_for(from, to);
-        let jitter = self.core.control_jitter.as_nanos();
-        if jitter > 0 {
-            latency += Duration::from_nanos(self.core.rng.gen_range(jitter));
+        let mut copies = 1;
+        if !self.core.faults.is_empty() {
+            let now = self.core.now;
+            if self.core.faults.is_partitioned(from, to, now) {
+                self.core.metrics.incr("fault.control_partitioned");
+                return;
+            }
+            let loss = self.core.faults.control_loss_prob(from, to, now);
+            if loss > 0.0 && self.core.rng.gen_bool(loss) {
+                self.core.metrics.incr("fault.control_dropped");
+                return;
+            }
+            let dup = self.core.faults.control_dup_prob(from, to, now);
+            if dup > 0.0 && self.core.rng.gen_bool(dup) {
+                self.core.metrics.incr("fault.control_duplicated");
+                copies = 2;
+            }
         }
-        let at = self.core.now + latency;
         self.core.metrics.incr("sim.control_msgs");
         self.core
             .metrics
             .add("sim.control_bytes", bytes.len() as u64);
-        self.core.push(at, to, EventKind::Control { from, bytes });
+        let mut remaining = Some(bytes);
+        for copy in 0..copies {
+            let mut latency = self.core.control_latency_for(from, to);
+            let jitter = self.core.control_jitter.as_nanos();
+            if jitter > 0 {
+                // Each copy draws its own jitter, so duplicates reorder.
+                latency += Duration::from_nanos(self.core.rng.gen_range(jitter));
+            }
+            let at = self.core.now + latency;
+            let payload = if copy + 1 < copies {
+                remaining.clone().unwrap()
+            } else {
+                remaining.take().unwrap()
+            };
+            self.core.push(
+                at,
+                to,
+                EventKind::Control {
+                    from,
+                    bytes: payload,
+                },
+            );
+        }
     }
 
     /// This node's ports, in ascending order.
@@ -420,6 +465,7 @@ impl World {
                 control_latency: Duration::from_micros(50),
                 control_latency_override: BTreeMap::new(),
                 control_jitter: Duration::ZERO,
+                faults: FaultPlan::default(),
                 events_processed: 0,
             },
             started: false,
@@ -538,6 +584,19 @@ impl World {
         self.core
             .control_latency_override
             .insert((from, to), latency);
+    }
+
+    /// Install a fault plan; subsequent control sends and data-plane
+    /// transmissions consult it. Replaces any previous plan. Combined
+    /// with a fixed seed this makes chaos runs replayable: the same
+    /// plan + seed reproduces the identical event trace.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.core.faults = plan;
+    }
+
+    /// The currently installed fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.core.faults
     }
 
     /// Add uniform random per-message control-channel jitter in
@@ -1049,6 +1108,133 @@ mod tests {
         let b = world.add_node(Box::new(Dummy));
         world.connect_ports(a, 1, b, 1, LinkParams::default());
         world.connect_ports(a, 1, b, 2, LinkParams::default());
+    }
+
+    /// Sends a control message to `peer` every millisecond.
+    struct Chatter {
+        peer: NodeId,
+        got: u64,
+    }
+
+    impl Node for Chatter {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(Duration::from_millis(1), 0);
+        }
+        fn on_packet(&mut self, _: &mut Context<'_>, _: PortNo, _: &[u8]) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _: u64) {
+            ctx.send_control(self.peer, vec![0xAB]);
+            ctx.set_timer(Duration::from_millis(1), 0);
+        }
+        fn on_control(&mut self, _: &mut Context<'_>, _: NodeId, _: &[u8]) {
+            self.got += 1;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn fault_partition_blackholes_control() {
+        use crate::fault::{FaultPlan, Window};
+        let mut world = World::new(1);
+        let a = world.add_node(Box::new(Chatter {
+            peer: NodeId(1),
+            got: 0,
+        }));
+        let b = world.add_node(Box::new(Chatter { peer: a, got: 0 }));
+        // Partition for the first half of the run; ~50 of 100 messages
+        // blackholed, the rest delivered after the heal.
+        world.set_fault_plan(FaultPlan::new().partition(
+            a,
+            b,
+            Window::new(Instant::ZERO, Instant::from_millis(50)),
+        ));
+        world.run_until(Instant::from_millis(100));
+        let delivered = world.node_as::<Chatter>(b).got;
+        assert!((45..=55).contains(&delivered), "delivered {delivered}");
+        assert!(world.metrics().counter("fault.control_partitioned") >= 90);
+    }
+
+    #[test]
+    fn fault_loss_and_duplication_are_counted() {
+        use crate::fault::{FaultPlan, Window};
+        let mut world = World::new(2);
+        let a = world.add_node(Box::new(Chatter {
+            peer: NodeId(1),
+            got: 0,
+        }));
+        let b = world.add_node(Box::new(Chatter { peer: a, got: 0 }));
+        world.set_fault_plan(
+            FaultPlan::new()
+                .control_loss(0.5, Window::always())
+                .duplicate(0.5, Window::always()),
+        );
+        world.run_until(Instant::from_millis(1000));
+        let m = world.metrics();
+        let dropped = m.counter("fault.control_dropped");
+        let duplicated = m.counter("fault.control_duplicated");
+        // ~2000 sends: about half dropped, half the survivors doubled.
+        assert!((800..=1200).contains(&dropped), "dropped {dropped}");
+        assert!((350..=650).contains(&duplicated), "duplicated {duplicated}");
+        // Everything sent either arrived or was dropped, modulo the few
+        // messages still in flight at the deadline.
+        let got = world.node_as::<Chatter>(a).got + world.node_as::<Chatter>(b).got;
+        let expected = 2000 - dropped + duplicated;
+        assert!(expected - got <= 4, "got {got}, expected ~{expected}");
+    }
+
+    #[test]
+    fn fault_lossy_link_drops_data() {
+        use crate::fault::{FaultPlan, Window};
+        let mut world = World::new(3);
+        let a = world.add_node(Box::new(Burst { n: 1000, size: 100 }));
+        let b = world.add_node(Box::new(Sink {
+            rx: 0,
+            last_at: None,
+        }));
+        let (link, _, _) = world.connect(a, b, LinkParams::instant(Duration::from_micros(1)));
+        world.set_fault_plan(FaultPlan::new().link_loss(Some(link), 0.3, Window::always()));
+        world.run_until(Instant::from_secs(1));
+        let rx = world.node_as::<Sink>(b).rx;
+        assert!((620..=780).contains(&rx), "delivered {rx}");
+        assert_eq!(world.metrics().counter("fault.data_dropped"), 1000 - rx);
+    }
+
+    #[test]
+    fn chaos_replay_is_deterministic() {
+        use crate::fault::{FaultPlan, Window};
+        fn run() -> (u64, u64, u64) {
+            let mut world = World::new(77);
+            let a = world.add_node(Box::new(Chatter {
+                peer: NodeId(1),
+                got: 0,
+            }));
+            let b = world.add_node(Box::new(Chatter { peer: a, got: 0 }));
+            world.set_control_jitter(Duration::from_micros(30));
+            world.set_fault_plan(
+                FaultPlan::new()
+                    .control_loss(0.2, Window::always())
+                    .duplicate(
+                        0.1,
+                        Window::new(Instant::from_millis(10), Instant::from_millis(40)),
+                    )
+                    .partition(
+                        a,
+                        b,
+                        Window::new(Instant::from_millis(50), Instant::from_millis(60)),
+                    ),
+            );
+            world.run_until(Instant::from_millis(100));
+            (
+                world.node_as::<Chatter>(a).got,
+                world.node_as::<Chatter>(b).got,
+                world.events_processed(),
+            )
+        }
+        assert_eq!(run(), run());
     }
 
     #[test]
