@@ -12,12 +12,23 @@
 //!
 //! Reported: lost probes (≈ black-hole milliseconds at 1 kHz) and
 //! control messages exchanged in the 2 s window around the failure.
+//!
+//! E13 — the same failure under a *lossy control channel*: every
+//! control frame is dropped with probability p while the link is cut
+//! and the fabric reconverges. Reliable (barrier-acknowledged) flow-mod
+//! delivery retransmits what the channel eats; reported are the lost
+//! probes, control messages, and retransmissions for proactive vs
+//! reactive programming at each loss rate.
 
 use zen_core::apps::proactive::FABRIC_MAC;
-use zen_core::apps::ProactiveFabric;
+use zen_core::apps::{ProactiveFabric, ReactiveForwarding};
 use zen_core::harness::{build_fabric, build_fabric_with_hosts, default_host_ip, FabricOptions};
+use zen_core::Controller;
 use zen_routing::{DistanceVectorRouter, LinkStateRouter};
-use zen_sim::{Duration, Host, Instant, LinkId, LinkParams, NodeId, Topology, Workload, World};
+use zen_sim::{
+    Duration, FaultPlan, Host, Instant, LinkId, LinkParams, NodeId, Topology, Window, Workload,
+    World,
+};
 use zen_wire::{EthernetAddress, Ipv4Address};
 
 const PROBES: u64 = 4000;
@@ -92,6 +103,64 @@ fn run_sdn(silent: bool) -> (u64, u64) {
     let msgs = world.metrics().counter("sim.control_msgs") - msgs_before;
     let lost = PROBES - world.node_as::<Host>(fabric.hosts[1]).stats.udp_rx;
     (lost, msgs)
+}
+
+/// E13: detected link cut while every control frame is lost with
+/// probability `loss`. Returns (lost probes, control msgs, mod
+/// retransmissions).
+fn run_sdn_lossy(loss: f64, reactive: bool) -> (u64, u64, u64) {
+    let topo = topo();
+    let inventory = {
+        let mut scratch = World::new(3);
+        build_fabric(&mut scratch, &topo, vec![], FabricOptions::default()).static_hosts()
+    };
+    let mut world = World::new(3);
+    let apps: Vec<Box<dyn zen_core::App>> = if reactive {
+        vec![Box::new(ReactiveForwarding::new())]
+    } else {
+        vec![Box::new(ProactiveFabric::new(
+            inventory,
+            topo.switches,
+            2 * topo.links.len(),
+        ))]
+    };
+    let fabric = build_fabric_with_hosts(
+        &mut world,
+        &topo,
+        apps,
+        FabricOptions::default(),
+        move |i, mac, ip| {
+            // The proactive fabric routes to its anycast gateway MAC;
+            // reactive forwarding learns real MACs from ARP.
+            let host = if reactive {
+                Host::new(mac, ip).with_gratuitous_arp()
+            } else {
+                Host::new(mac, ip).with_static_arp(default_host_ip(1 - i), FABRIC_MAC)
+            };
+            if i == 0 {
+                host.with_workload(probe(default_host_ip(1)))
+            } else {
+                host
+            }
+        },
+    );
+    // Loss starts only after initial programming is done, so every run
+    // measures reconvergence (not bring-up) under the faulty channel.
+    world.set_fault_plan(
+        FaultPlan::default().control_loss(loss, Window::new(Instant::from_millis(1500), END)),
+    );
+    world.run_until(Instant::from_millis(1500));
+    let victim = loaded_link(&world, &fabric.switch_links);
+    let msgs_before = world.metrics().counter("sim.control_msgs");
+    world.schedule_link_state(victim, false, CUT_AT);
+    world.run_until(END);
+    let msgs = world.metrics().counter("sim.control_msgs") - msgs_before;
+    let lost = PROBES - world.node_as::<Host>(fabric.hosts[1]).stats.udp_rx;
+    let retx = world
+        .node_as::<Controller>(fabric.controller)
+        .stats
+        .mods_retransmitted;
+    (lost, msgs, retx)
 }
 
 enum Kind {
@@ -169,4 +238,36 @@ fn main() {
     println!("# Shape check: detected faults heal in ~0 for all planes (local repair");
     println!("# / immediate flooding); silent faults rank SDN-LLDP < LS dead-interval");
     println!("# < DV route timeout.");
+
+    println!();
+    println!("# E13 — reconvergence under a lossy control channel");
+    println!("# detected link cut at t=2s; every control frame dropped with prob p");
+    println!();
+    println!(
+        "{:>24} {:>8} {:>16} {:>12} {:>10}",
+        "programming", "loss", "lost (≈ms hole)", "ctl msgs", "mod retx"
+    );
+    for loss in [0.0, 0.01, 0.05, 0.10] {
+        for reactive in [false, true] {
+            let (lost, msgs, retx) = run_sdn_lossy(loss, reactive);
+            println!(
+                "{:>24} {:>7.0}% {:>16} {:>12} {:>10}",
+                if reactive {
+                    "SDN reactive"
+                } else {
+                    "SDN proactive"
+                },
+                loss * 100.0,
+                lost,
+                msgs,
+                retx
+            );
+        }
+    }
+    println!();
+    println!("# Shape check: reliable delivery keeps the hole small at moderate loss");
+    println!("# while retransmissions rise with p. Proactive reprograms the whole");
+    println!("# fabric on a topology change — a large mod burst exposed to the lossy");
+    println!("# channel — whereas the reactive stream only needs its one path");
+    println!("# reinstalled, so high loss rates hurt the proactive reprogram more.");
 }

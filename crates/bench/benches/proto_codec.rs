@@ -50,7 +50,7 @@ fn main() {
         ("flow_mod", flow_mod()),
         ("packet_in_64", packet_in(64)),
         ("packet_in_1500", packet_in(1500)),
-        ("barrier", Message::BarrierRequest),
+        ("barrier", Message::BarrierRequest { xids: vec![] }),
     ];
 
     for (name, msg) in &messages {

@@ -19,6 +19,57 @@ use zen_sim::{Context, Duration, Node, NodeId};
 const TIMER_EXPIRE: u64 = 1;
 const TIMER_ECHO: u64 = 2;
 
+/// What the agent does with table-miss traffic while it believes the
+/// controller is unreachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConnLossPolicy {
+    /// Keep installed flows and flood unmatched edge traffic out every
+    /// up port — the switch degrades to a learning-less hub rather than
+    /// a black hole (OpenFlow's fail-standalone mode).
+    #[default]
+    FailStandalone,
+    /// Keep installed flows but drop table-miss packets — no traffic
+    /// moves without controller say-so (fail-secure mode).
+    FailSecure,
+}
+
+/// The agent's view of its control session, driven by echo keepalives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConnState {
+    /// Replies arriving normally.
+    #[default]
+    Connected,
+    /// At least one probe outstanding past its interval.
+    Degraded,
+    /// `miss_limit` consecutive probes unanswered; the conn-loss policy
+    /// governs miss traffic until the controller is heard from again.
+    Disconnected,
+}
+
+/// Tunables for the switch agent.
+#[derive(Debug, Clone, Copy)]
+pub struct AgentConfig {
+    /// How often to scan tables for idle/hard timeouts.
+    pub expire_interval: Duration,
+    /// Keepalive probe interval.
+    pub echo_interval: Duration,
+    /// Consecutive unanswered probes before `Disconnected`.
+    pub miss_limit: u32,
+    /// Behaviour for miss traffic while disconnected.
+    pub policy: ConnLossPolicy,
+}
+
+impl Default for AgentConfig {
+    fn default() -> AgentConfig {
+        AgentConfig {
+            expire_interval: Duration::from_millis(10),
+            echo_interval: Duration::from_millis(50),
+            miss_limit: 4,
+            policy: ConnLossPolicy::FailStandalone,
+        }
+    }
+}
+
 /// Agent counters, read by experiments.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct AgentStats {
@@ -34,6 +85,12 @@ pub struct AgentStats {
     pub echo_sent: u64,
     /// ECHO_REPLYs received from the controller.
     pub echo_replies: u64,
+    /// Miss packets flooded while disconnected (fail-standalone).
+    pub standalone_floods: u64,
+    /// Punted packets dropped while disconnected.
+    pub disconnected_drops: u64,
+    /// Transitions out of `Disconnected` (each sends a HELLO_RESYNC).
+    pub reconnects: u64,
 }
 
 /// The switch-side control agent.
@@ -41,8 +98,16 @@ pub struct SwitchAgent {
     /// The embedded forwarding plane.
     pub dp: Datapath,
     controller: NodeId,
-    expire_interval: Duration,
-    echo_interval: Duration,
+    cfg: AgentConfig,
+    conn: ConnState,
+    /// Probes sent since the last message heard from the controller.
+    outstanding: u32,
+    /// Monotonic count of state-mutating mods applied (flow/group/meter).
+    generation: u64,
+    /// Xids of recently applied state mods, answered back in
+    /// BARRIER_REPLYs so the controller learns which mods survived the
+    /// channel (bounded; xids are monotonic, so the smallest are oldest).
+    applied_xids: std::collections::BTreeSet<u32>,
     echo_token: u64,
     xid: u32,
     /// Counters.
@@ -53,15 +118,82 @@ impl SwitchAgent {
     /// An agent for a switch with `dpid`, `n_tables` tables, punting
     /// misses (truncated to 2 KiB) to `controller`.
     pub fn new(dpid: DatapathId, n_tables: usize, controller: NodeId) -> SwitchAgent {
+        SwitchAgent::with_config(dpid, n_tables, controller, AgentConfig::default())
+    }
+
+    /// As [`SwitchAgent::new`], with explicit tunables.
+    pub fn with_config(
+        dpid: DatapathId,
+        n_tables: usize,
+        controller: NodeId,
+        cfg: AgentConfig,
+    ) -> SwitchAgent {
         SwitchAgent {
             dp: Datapath::new(dpid, n_tables, MissPolicy::ToController { max_len: 2048 }),
             controller,
-            expire_interval: Duration::from_millis(10),
-            echo_interval: Duration::from_millis(50),
+            cfg,
+            conn: ConnState::Connected,
+            outstanding: 0,
+            generation: 0,
+            applied_xids: std::collections::BTreeSet::new(),
             echo_token: 0,
             xid: 1,
             stats: AgentStats::default(),
         }
+    }
+
+    /// The agent's current view of the control session.
+    pub fn conn_state(&self) -> ConnState {
+        self.conn
+    }
+
+    /// The state-mutation generation (see [`Message::HelloResync`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Remember a state mod's xid for barrier acknowledgement, bounding
+    /// the memory (monotonic xids make the smallest entries the oldest).
+    fn note_applied(&mut self, xid: u32) {
+        self.applied_xids.insert(xid);
+        while self.applied_xids.len() > 4096 {
+            self.applied_xids.pop_first();
+        }
+    }
+
+    /// Per-cookie installed flow-entry counts across all tables,
+    /// ascending by cookie — the digest reported in HELLO_RESYNC.
+    pub fn flow_digest(&self) -> Vec<zen_proto::CookieCount> {
+        let mut counts = std::collections::BTreeMap::new();
+        for tid in 0..self.dp.table_count() as u8 {
+            for entry in self.dp.table(tid).entries() {
+                *counts.entry(entry.spec.cookie).or_insert(0u32) += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .map(|(cookie, count)| zen_proto::CookieCount { cookie, count })
+            .collect()
+    }
+
+    fn send_resync(&mut self, ctx: &mut Context<'_>) {
+        let msg = Message::HelloResync {
+            generation: self.generation,
+            cookies: self.flow_digest(),
+        };
+        self.send(ctx, &msg);
+    }
+
+    /// Any message from the controller proves the channel works: clear
+    /// the outstanding-probe count and, when coming back from
+    /// `Disconnected`, start the resync handshake.
+    fn note_controller_alive(&mut self, ctx: &mut Context<'_>) {
+        self.outstanding = 0;
+        if self.conn == ConnState::Disconnected {
+            self.stats.reconnects += 1;
+            self.send_resync(ctx);
+        }
+        self.conn = ConnState::Connected;
     }
 
     fn send(&mut self, ctx: &mut Context<'_>, msg: &Message) {
@@ -98,11 +230,28 @@ impl SwitchAgent {
                     frame,
                     table_id,
                 } => {
+                    let is_miss = reason == zen_dataplane::datapath::PacketInReason::NoMatch;
+                    if self.conn == ConnState::Disconnected {
+                        // The controller is unreachable as far as we can
+                        // tell; the conn-loss policy decides the fate of
+                        // punted traffic.
+                        if is_miss && self.cfg.policy == ConnLossPolicy::FailStandalone {
+                            self.stats.standalone_floods += 1;
+                            for port in ctx.ports() {
+                                if port != in_port && ctx.port_up(port) && self.dp.port_up(port) {
+                                    ctx.transmit(port, frame.clone());
+                                }
+                            }
+                        } else {
+                            self.stats.disconnected_drops += 1;
+                        }
+                        continue;
+                    }
                     self.stats.packet_ins += 1;
                     let msg = Message::PacketIn {
                         in_port,
                         table_id,
-                        is_miss: reason == zen_dataplane::datapath::PacketInReason::NoMatch,
+                        is_miss,
                         frame,
                     };
                     self.send(ctx, &msg);
@@ -153,6 +302,8 @@ impl SwitchAgent {
                     return;
                 }
                 self.stats.flow_mods += 1;
+                self.generation += 1;
+                self.note_applied(xid);
                 match cmd {
                     FlowModCmd::Add(spec) => self.dp.add_flow(table_id, spec, now),
                     FlowModCmd::DeleteStrict { priority, matcher } => {
@@ -185,25 +336,42 @@ impl SwitchAgent {
                     }
                 }
             }
-            Message::GroupMod { group_id, cmd } => match cmd {
-                GroupModCmd::Add(desc) => self.dp.groups.add(group_id, desc),
-                GroupModCmd::Delete => {
-                    self.dp.groups.remove(group_id);
+            Message::GroupMod { group_id, cmd } => {
+                self.generation += 1;
+                self.note_applied(xid);
+                match cmd {
+                    GroupModCmd::Add(desc) => self.dp.groups.add(group_id, desc),
+                    GroupModCmd::Delete => {
+                        self.dp.groups.remove(group_id);
+                    }
                 }
-            },
-            Message::MeterMod { meter_id, cmd } => match cmd {
-                MeterModCmd::Add {
-                    rate_bps,
-                    burst_bytes,
-                } => self.dp.set_meter(meter_id, rate_bps, burst_bytes),
-                MeterModCmd::Delete => {
-                    self.dp.remove_meter(meter_id);
+            }
+            Message::MeterMod { meter_id, cmd } => {
+                self.generation += 1;
+                self.note_applied(xid);
+                match cmd {
+                    MeterModCmd::Add {
+                        rate_bps,
+                        burst_bytes,
+                    } => self.dp.set_meter(meter_id, rate_bps, burst_bytes),
+                    MeterModCmd::Delete => {
+                        self.dp.remove_meter(meter_id);
+                    }
                 }
-            },
-            Message::BarrierRequest => {
-                // The simulator applies messages synchronously, so the
-                // fence holds by construction; acknowledge it.
-                self.send_with_xid(ctx, &Message::BarrierReply, xid);
+            }
+            Message::BarrierRequest { xids } => {
+                // Messages apply synchronously here, so ordering holds
+                // by construction — but on a lossy channel the fence
+                // must also say *which* of the covered mods arrived.
+                let applied: Vec<u32> = xids
+                    .iter()
+                    .copied()
+                    .filter(|x| self.applied_xids.contains(x))
+                    .collect();
+                self.send_with_xid(ctx, &Message::BarrierReply { applied }, xid);
+            }
+            Message::ResyncRequest => {
+                self.send_resync(ctx);
             }
             Message::StatsRequest { kind } => {
                 let body = self.collect_stats(ctx, kind);
@@ -302,8 +470,8 @@ impl Node for SwitchAgent {
                 version: zen_proto::VERSION,
             },
         );
-        ctx.set_timer(self.expire_interval, TIMER_EXPIRE);
-        ctx.set_timer(self.echo_interval, TIMER_ECHO);
+        ctx.set_timer(self.cfg.expire_interval, TIMER_EXPIRE);
+        ctx.set_timer(self.cfg.echo_interval, TIMER_ECHO);
     }
 
     fn on_packet(&mut self, ctx: &mut Context<'_>, port: PortNo, frame: &[u8]) {
@@ -326,19 +494,31 @@ impl Node for SwitchAgent {
                 };
                 self.send(ctx, &note);
             }
-            ctx.set_timer(self.expire_interval, TIMER_EXPIRE);
+            ctx.set_timer(self.cfg.expire_interval, TIMER_EXPIRE);
         } else if token == TIMER_ECHO {
+            // Judge the session by probes still unanswered, then probe
+            // again. Only receipt of a controller message (any message,
+            // not just an echo reply) restores `Connected`.
+            if self.outstanding >= self.cfg.miss_limit {
+                self.conn = ConnState::Disconnected;
+            } else if self.outstanding > 0 && self.conn == ConnState::Connected {
+                self.conn = ConnState::Degraded;
+            }
             self.echo_token += 1;
             self.stats.echo_sent += 1;
+            self.outstanding += 1;
             let probe = Message::EchoRequest {
                 token: self.echo_token,
             };
             self.send(ctx, &probe);
-            ctx.set_timer(self.echo_interval, TIMER_ECHO);
+            ctx.set_timer(self.cfg.echo_interval, TIMER_ECHO);
         }
     }
 
-    fn on_control(&mut self, ctx: &mut Context<'_>, _from: NodeId, bytes: &[u8]) {
+    fn on_control(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]) {
+        if from == self.controller {
+            self.note_controller_alive(ctx);
+        }
         let mut at = 0;
         while at < bytes.len() {
             match decode(&bytes[at..]) {

@@ -58,6 +58,13 @@ pub trait App: 'static {
     /// A statistics reply arrived.
     fn on_stats(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid, body: &StatsBody) {}
 
+    /// A switch reconnected after a control-channel outage and its
+    /// reported flow state diverged from what the controller believes
+    /// (see [`zen_proto::Message::HelloResync`]). Apps owning proactive
+    /// state on the switch should reprogram it; the view has already
+    /// been unquarantined.
+    fn on_switch_resync(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid) {}
+
     /// The periodic controller tick (also the discovery cadence).
     fn tick(&mut self, ctl: &mut Ctl<'_, '_>) {}
 

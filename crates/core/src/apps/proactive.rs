@@ -86,10 +86,66 @@ impl ProactiveFabric {
             && ctl.view.links.len() >= self.expected_links
     }
 
+    /// Reprogram a single switch from the current view: wipe our cookie,
+    /// reinstall its SELECT groups and per-host rules. Used for the
+    /// diff-resync of one returning switch.
+    fn program_switch(&mut self, ctl: &mut Ctl<'_, '_>, switch: Dpid) {
+        let (graph, dpids, index) = ctl.view.graph(0);
+        ctl.delete_flows_by_cookie(switch, FABRIC_COOKIE);
+        let Some(&my_ix) = index.get(&switch) else {
+            return;
+        };
+        for (dst_pos, &dst_dpid) in dpids.iter().enumerate() {
+            if dst_dpid == switch {
+                continue;
+            }
+            let dist = dists_to(&graph, dst_pos as u32);
+            let hops = ecmp_next_hops(&graph, my_ix, &dist);
+            let mut buckets = Vec::new();
+            for edge_ix in hops {
+                let next_dpid = dpids[graph.edge(edge_ix).to as usize];
+                for port in ctl.view.ports_toward(switch, next_dpid) {
+                    buckets.push(Bucket::output(port));
+                }
+            }
+            if buckets.is_empty() {
+                continue;
+            }
+            ctl.install_group(
+                switch,
+                group_id_for(dst_dpid),
+                GroupDesc {
+                    group_type: GroupType::Select,
+                    buckets,
+                },
+            );
+        }
+        let hosts = self.hosts.clone();
+        for host in &hosts {
+            let matcher = FlowMatch::ipv4_to(Ipv4Cidr::new(host.ip, 32).expect("/32 is valid"));
+            let actions = if switch == host.dpid {
+                vec![Action::SetEthDst(host.mac), Action::Output(host.port)]
+            } else {
+                vec![Action::Group(group_id_for(host.dpid))]
+            };
+            self.rules_pushed += 1;
+            let spec = FlowSpec::new(self.priority, matcher, actions).with_cookie(FABRIC_COOKIE);
+            ctl.install_flow(switch, 0, spec);
+        }
+    }
+
     fn install_all(&mut self, ctl: &mut Ctl<'_, '_>) {
         self.installs += 1;
         let (graph, dpids, index) = ctl.view.graph(0);
-        let switch_list: Vec<Dpid> = ctl.view.switches.keys().copied().collect();
+        // Quarantined switches are unreachable; they get their state via
+        // the resync handshake when they return.
+        let switch_list: Vec<Dpid> = ctl
+            .view
+            .switches
+            .keys()
+            .copied()
+            .filter(|&d| !ctl.view.is_quarantined(d))
+            .collect();
 
         for &switch in &switch_list {
             // Wipe our previous generation on this switch.
@@ -182,6 +238,14 @@ impl App for ProactiveFabric {
         // The view version bump makes the next tick reprogram; SELECT
         // group liveness already bypasses the dead port in the meantime.
         self.stable_ticks = 1; // accelerate reprogramming
+    }
+
+    fn on_switch_resync(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid) {
+        // A returning switch's state diverged from ours: rebuild just
+        // that switch now instead of waiting out the stability window.
+        if self.installed_version.is_some() {
+            self.program_switch(ctl, dpid);
+        }
     }
 
     fn as_any(&self) -> &dyn Any {

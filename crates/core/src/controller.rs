@@ -7,7 +7,7 @@
 //! dispatches everything else to the application chain.
 
 use std::any::Any;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use zen_dataplane::{FlowSpec, GroupDesc, PortNo};
 use zen_proto::{decode, encode, CodecError, FlowModCmd, GroupModCmd, Message, MeterModCmd};
@@ -30,6 +30,15 @@ pub struct ControllerConfig {
     /// Age after which an unconfirmed link is declared dead (silent
     /// failure detection). Should be several tick intervals.
     pub link_max_age: Duration,
+    /// Silence from an agent (no message of any kind, echo replies
+    /// included) before it is quarantined in the view. Should be
+    /// several echo intervals.
+    pub agent_dead_after: Duration,
+    /// Age of an unacknowledged flow/group/meter mod before it is
+    /// retransmitted.
+    pub mod_timeout: Duration,
+    /// Retransmission attempts before a mod is counted as failed.
+    pub mod_max_retries: u32,
 }
 
 impl Default for ControllerConfig {
@@ -38,6 +47,9 @@ impl Default for ControllerConfig {
             tick_interval: Duration::from_millis(50),
             lldp_ttl_secs: 120,
             link_max_age: Duration::from_millis(175),
+            agent_dead_after: Duration::from_millis(300),
+            mod_timeout: Duration::from_millis(150),
+            mod_max_retries: 8,
         }
     }
 }
@@ -65,6 +77,32 @@ pub struct CtlStats {
     pub echo_probes: u64,
     /// ECHO_REPLYs received from agents.
     pub echo_replies: u64,
+    /// Mods confirmed applied by a barrier acknowledgement.
+    pub mods_acked: u64,
+    /// Mods resent after their barrier ack timed out.
+    pub mods_retransmitted: u64,
+    /// Mods abandoned after exhausting retransmissions.
+    pub mods_failed: u64,
+    /// Pending mods discarded because a resync replaced them.
+    pub mods_superseded: u64,
+    /// Agents quarantined for silence.
+    pub quarantines: u64,
+    /// Reconnect resyncs where the reported state matched ours.
+    pub resyncs_clean: u64,
+    /// Reconnect resyncs that diverged and triggered reprogramming.
+    pub resyncs_dirty: u64,
+}
+
+/// A flow/group/meter mod awaiting barrier acknowledgement.
+struct PendingMod {
+    node: NodeId,
+    dpid: Dpid,
+    /// The encoded frame (original xid), resent verbatim on timeout.
+    bytes: Vec<u8>,
+    /// The decoded form, applied to the cookie shadow once acked.
+    msg: Message,
+    sent_at: Instant,
+    retries: u32,
 }
 
 /// The services handle passed to applications: the network view plus
@@ -77,6 +115,8 @@ pub struct Ctl<'a, 'w> {
     registry: &'a BTreeMap<Dpid, NodeId>,
     xid: &'a mut u32,
     stats: &'a mut CtlStats,
+    pending: &'a mut BTreeMap<u32, PendingMod>,
+    dirty: &'a mut BTreeSet<NodeId>,
 }
 
 impl Ctl<'_, '_> {
@@ -87,6 +127,11 @@ impl Ctl<'_, '_> {
 
     /// Send a raw protocol message to a switch. Unknown dpids are
     /// silently dropped (the switch may have disconnected).
+    ///
+    /// State-programming messages (flow/group/meter mods) are tracked
+    /// until a barrier acknowledges them, and retransmitted on timeout —
+    /// mods are idempotent by cookie, so a duplicate is harmless while a
+    /// loss would silently diverge switch state from the controller's.
     pub fn send(&mut self, dpid: Dpid, msg: &Message) {
         let Some(&node) = self.registry.get(&dpid) else {
             return;
@@ -100,7 +145,25 @@ impl Ctl<'_, '_> {
             Message::PacketOut { .. } => self.stats.packet_outs += 1,
             _ => {}
         }
-        self.ctx.send_control(node, encode(msg, xid));
+        let bytes = encode(msg, xid);
+        if matches!(
+            msg,
+            Message::FlowMod { .. } | Message::GroupMod { .. } | Message::MeterMod { .. }
+        ) {
+            self.pending.insert(
+                xid,
+                PendingMod {
+                    node,
+                    dpid,
+                    bytes: bytes.clone(),
+                    msg: msg.clone(),
+                    sent_at: self.ctx.now(),
+                    retries: 0,
+                },
+            );
+            self.dirty.insert(node);
+        }
+        self.ctx.send_control(node, bytes);
     }
 
     /// Install a flow.
@@ -168,9 +231,10 @@ impl Ctl<'_, '_> {
         );
     }
 
-    /// Fence a switch (answered asynchronously).
+    /// Fence a switch (answered asynchronously). App-issued fences
+    /// cover no mod xids — delivery tracking uses its own barriers.
     pub fn barrier(&mut self, dpid: Dpid) {
-        self.send(dpid, &Message::BarrierRequest);
+        self.send(dpid, &Message::BarrierRequest { xids: Vec::new() });
     }
 }
 
@@ -182,6 +246,25 @@ pub struct Controller {
     pub view: NetworkView,
     registry: BTreeMap<Dpid, NodeId>,
     rev_registry: BTreeMap<NodeId, Dpid>,
+    /// Last time anything was heard from each agent.
+    liveness: BTreeMap<NodeId, Instant>,
+    /// Unacked mods keyed by xid.
+    pending: BTreeMap<u32, PendingMod>,
+    /// Outstanding barriers: barrier xid → (node, covered mod xids).
+    barriers: BTreeMap<u32, (NodeId, Vec<u32>)>,
+    /// Nodes with newly pending mods, awaiting a covering barrier.
+    dirty: BTreeSet<NodeId>,
+    /// What we believe each switch has installed: cookie → entry count,
+    /// maintained from barrier-acked mods and FLOW_REMOVED notices, and
+    /// diffed against HELLO_RESYNC digests on reconnect.
+    shadow: BTreeMap<Dpid, BTreeMap<u64, u32>>,
+    /// Throttle: last RESYNC_REQUEST sent per quarantined switch.
+    resync_requested: BTreeMap<Dpid, Instant>,
+    /// Throttle: last FEATURES_REQUEST re-solicitation per unregistered
+    /// node (the handshake itself can be lost on a faulty channel).
+    features_requested: BTreeMap<NodeId, Instant>,
+    /// Latest generation each agent reported in HELLO_RESYNC.
+    agent_generations: BTreeMap<Dpid, u64>,
     xid: u32,
     /// Counters.
     pub stats: CtlStats,
@@ -201,9 +284,27 @@ impl Controller {
             view: NetworkView::new(),
             registry: BTreeMap::new(),
             rev_registry: BTreeMap::new(),
+            liveness: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            barriers: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            shadow: BTreeMap::new(),
+            resync_requested: BTreeMap::new(),
+            features_requested: BTreeMap::new(),
+            agent_generations: BTreeMap::new(),
             xid: 1,
             stats: CtlStats::default(),
         }
+    }
+
+    /// Mods sent but not yet barrier-acknowledged.
+    pub fn pending_mods(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The latest HELLO_RESYNC generation reported by a switch.
+    pub fn agent_generation(&self, dpid: Dpid) -> Option<u64> {
+        self.agent_generations.get(&dpid).copied()
     }
 
     /// Access an application by index (post-run inspection).
@@ -226,6 +327,8 @@ impl Controller {
                 registry: &self.registry,
                 xid: &mut self.xid,
                 stats: &mut self.stats,
+                pending: &mut self.pending,
+                dirty: &mut self.dirty,
             };
             f(&mut apps, &mut ctl);
         }
@@ -240,6 +343,136 @@ impl Controller {
         self.xid += 1;
         self.stats.msgs_sent += 1;
         ctx.send_control(node, encode(msg, xid));
+    }
+
+    /// Fold an acked mod into the cookie shadow for `dpid`.
+    ///
+    /// The shadow is an approximation — strict deletes and replacing
+    /// adds can drift it — but drift only ever causes a *dirty* resync
+    /// verdict, which reprograms the switch: safe, merely less frugal.
+    fn apply_to_shadow(&mut self, dpid: Dpid, msg: &Message) {
+        if let Message::FlowMod { cmd, .. } = msg {
+            let shadow = self.shadow.entry(dpid).or_default();
+            match cmd {
+                FlowModCmd::Add(spec) => {
+                    *shadow.entry(spec.cookie).or_insert(0) += 1;
+                }
+                FlowModCmd::DeleteByCookie { cookie } => {
+                    shadow.remove(cookie);
+                }
+                FlowModCmd::DeleteStrict { .. } => {}
+            }
+        }
+    }
+
+    /// Quarantine agents that have been silent past the deadline. Apps
+    /// see the view-version bump and route around them.
+    fn quarantine_scan(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let stale: Vec<Dpid> = self
+            .registry
+            .iter()
+            .filter(|&(_, node)| {
+                let last = self.liveness.get(node).copied().unwrap_or(now);
+                now.duration_since(last) >= self.cfg.agent_dead_after
+            })
+            .map(|(&dpid, _)| dpid)
+            .collect();
+        for dpid in stale {
+            if self.view.quarantine(dpid) {
+                self.stats.quarantines += 1;
+            }
+        }
+    }
+
+    /// Resend unacked mods past their timeout; abandon ones out of
+    /// retries. Mods to quarantined switches wait (the resync handshake
+    /// decides their fate when the switch returns).
+    fn retransmit_scan(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let mut failed = Vec::new();
+        let mut resend = Vec::new();
+        for (&xid, p) in &self.pending {
+            if now.duration_since(p.sent_at) < self.cfg.mod_timeout
+                || self.view.is_quarantined(p.dpid)
+            {
+                continue;
+            }
+            if p.retries >= self.cfg.mod_max_retries {
+                failed.push(xid);
+            } else {
+                resend.push(xid);
+            }
+        }
+        for xid in failed {
+            self.pending.remove(&xid);
+            self.stats.mods_failed += 1;
+        }
+        for xid in resend {
+            let p = self.pending.get_mut(&xid).expect("collected above");
+            p.retries += 1;
+            p.sent_at = now;
+            let (node, bytes) = (p.node, p.bytes.clone());
+            self.stats.mods_retransmitted += 1;
+            self.stats.msgs_sent += 1;
+            ctx.send_control(node, bytes);
+            self.dirty.insert(node);
+        }
+        // Drop barriers whose covered mods are all resolved; a reply to
+        // one would find nothing to ack anyway.
+        let dead: Vec<u32> = self
+            .barriers
+            .iter()
+            .filter(|(_, (_, xids))| !xids.iter().any(|x| self.pending.contains_key(x)))
+            .map(|(&b, _)| b)
+            .collect();
+        for b in dead {
+            self.barriers.remove(&b);
+        }
+    }
+
+    /// Fence every node that acquired pending mods since the last flush:
+    /// one BARRIER_REQUEST covering all its currently unacked mods. The
+    /// reply proves everything before it was applied.
+    fn flush_barriers(&mut self, ctx: &mut Context<'_>) {
+        let dirty = std::mem::take(&mut self.dirty);
+        for node in dirty {
+            let covered: Vec<u32> = self
+                .pending
+                .iter()
+                .filter(|(_, p)| p.node == node)
+                .map(|(&x, _)| x)
+                .collect();
+            if covered.is_empty() {
+                continue;
+            }
+            let xid = self.xid;
+            self.xid += 1;
+            self.stats.msgs_sent += 1;
+            ctx.send_control(
+                node,
+                encode(
+                    &Message::BarrierRequest {
+                        xids: covered.clone(),
+                    },
+                    xid,
+                ),
+            );
+            self.barriers.insert(xid, (node, covered));
+        }
+    }
+
+    /// Ask a quarantined switch that spoke to us for its state digest,
+    /// at most once per tick interval.
+    fn maybe_request_resync(&mut self, ctx: &mut Context<'_>, dpid: Dpid) {
+        let now = ctx.now();
+        if let Some(&last) = self.resync_requested.get(&dpid) {
+            if now.duration_since(last) < self.cfg.tick_interval {
+                return;
+            }
+        }
+        self.resync_requested.insert(dpid, now);
+        self.send_direct(ctx, dpid, &Message::ResyncRequest);
     }
 
     /// Probe every registered agent's control-channel liveness with an
@@ -334,7 +567,29 @@ impl Controller {
         });
     }
 
-    fn handle_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Message, _xid: u32) {
+    fn handle_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Message, xid: u32) {
+        // Any frame from a quarantined switch means the channel is back;
+        // ask for its state digest (quarantine lifts only on HelloResync,
+        // so routing stays conservative until state is reconciled).
+        if let Some(&dpid) = self.rev_registry.get(&from) {
+            if self.view.is_quarantined(dpid) && !matches!(msg, Message::HelloResync { .. }) {
+                self.maybe_request_resync(ctx, dpid);
+            }
+        } else if !matches!(msg, Message::Hello { .. } | Message::FeaturesReply { .. }) {
+            // A node we never completed the handshake with is talking to
+            // us — the Hello exchange was lost in transit. Re-solicit
+            // (throttled) so a faulty channel can't orphan a switch.
+            let now = ctx.now();
+            let due = self
+                .features_requested
+                .get(&from)
+                .is_none_or(|&last| now.duration_since(last) >= self.cfg.tick_interval);
+            if due {
+                self.features_requested.insert(from, now);
+                self.stats.msgs_sent += 1;
+                ctx.send_control(from, encode(&Message::FeaturesRequest, 0));
+            }
+        }
         match msg {
             Message::Hello { .. } => {
                 // Learn the session, ask who they are.
@@ -355,6 +610,8 @@ impl Controller {
             } => {
                 self.registry.insert(dpid, from);
                 self.rev_registry.insert(from, dpid);
+                self.liveness.insert(from, ctx.now());
+                self.features_requested.remove(&from);
                 let port_list: Vec<(PortNo, bool)> =
                     ports.iter().map(|p| (p.port_no, p.up)).collect();
                 self.view.add_switch(dpid, n_tables, &port_list);
@@ -387,11 +644,24 @@ impl Controller {
                 table_id,
                 priority,
                 cookie,
+                reason,
                 ..
             } => {
                 let Some(&dpid) = self.rev_registry.get(&from) else {
                     return;
                 };
+                // Keep the cookie shadow honest for timeouts; deletions
+                // we ordered ourselves are folded in at barrier-ack time.
+                if reason != zen_proto::RemovedReason::Delete {
+                    if let Some(shadow) = self.shadow.get_mut(&dpid) {
+                        if let Some(count) = shadow.get_mut(&cookie) {
+                            *count = count.saturating_sub(1);
+                            if *count == 0 {
+                                shadow.remove(&cookie);
+                            }
+                        }
+                    }
+                }
                 self.with_apps(ctx, |apps, ctl| {
                     for app in apps.iter_mut() {
                         app.on_flow_removed(ctl, dpid, table_id, priority, cookie);
@@ -415,8 +685,64 @@ impl Controller {
                     }
                 });
             }
-            // BarrierReply, EchoReply, Error: surfaced to apps as needed;
-            // currently informational.
+            Message::BarrierReply { applied } => {
+                // Retire exactly the covered mods the switch confirmed;
+                // anything it never saw stays pending and retransmits.
+                if let Some((_, xids)) = self.barriers.remove(&xid) {
+                    for mx in xids {
+                        if !applied.contains(&mx) {
+                            continue;
+                        }
+                        if let Some(p) = self.pending.remove(&mx) {
+                            self.stats.mods_acked += 1;
+                            self.apply_to_shadow(p.dpid, &p.msg);
+                        }
+                    }
+                }
+            }
+            Message::HelloResync {
+                generation,
+                cookies,
+            } => {
+                let Some(&dpid) = self.rev_registry.get(&from) else {
+                    return;
+                };
+                self.agent_generations.insert(dpid, generation);
+                let reported: BTreeMap<u64, u32> =
+                    cookies.iter().map(|c| (c.cookie, c.count)).collect();
+                let expected = self.shadow.get(&dpid).cloned().unwrap_or_default();
+                if reported == expected {
+                    // The switch kept exactly the state we believe it
+                    // has; unacked mods stay pending and retransmit.
+                    self.stats.resyncs_clean += 1;
+                    self.view.unquarantine(dpid);
+                } else {
+                    // Diverged: in-flight mods were computed against a
+                    // stale world — drop them and let the owning apps
+                    // reprogram from the reported truth.
+                    self.stats.resyncs_dirty += 1;
+                    let superseded: Vec<u32> = self
+                        .pending
+                        .iter()
+                        .filter(|(_, p)| p.dpid == dpid)
+                        .map(|(&x, _)| x)
+                        .collect();
+                    for x in superseded {
+                        self.pending.remove(&x);
+                        self.stats.mods_superseded += 1;
+                    }
+                    self.shadow.insert(dpid, reported);
+                    // Unquarantine *before* notifying apps so their
+                    // reprogramming sees the switch in the graph.
+                    self.view.unquarantine(dpid);
+                    self.with_apps(ctx, |apps, ctl| {
+                        for app in apps.iter_mut() {
+                            app.on_switch_resync(ctl, dpid);
+                        }
+                    });
+                }
+            }
+            // Error, ResyncRequest (agent-bound): informational.
             _ => {}
         }
     }
@@ -439,6 +765,8 @@ impl Node for Controller {
                     }
                 });
             }
+            self.quarantine_scan(ctx);
+            self.retransmit_scan(ctx);
             self.discovery_round(ctx);
             self.echo_round(ctx);
             self.with_apps(ctx, |apps, ctl| {
@@ -446,6 +774,7 @@ impl Node for Controller {
                     app.tick(ctl);
                 }
             });
+            self.flush_barriers(ctx);
             ctx.set_timer(self.cfg.tick_interval, TIMER_TICK);
         }
     }
@@ -455,6 +784,8 @@ impl Node for Controller {
     }
 
     fn on_control(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]) {
+        // Any bytes at all prove the agent's channel works.
+        self.liveness.insert(from, ctx.now());
         let mut at = 0;
         while at < bytes.len() {
             match decode(&bytes[at..]) {
@@ -470,6 +801,7 @@ impl Node for Controller {
                 }
             }
         }
+        self.flush_barriers(ctx);
     }
 
     fn as_any(&self) -> &dyn Any {

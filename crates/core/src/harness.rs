@@ -8,7 +8,7 @@ use zen_dataplane::PortNo;
 use zen_sim::{Duration, Host, LinkId, LinkParams, NodeId, Topology, World};
 use zen_wire::{EthernetAddress, Ipv4Address};
 
-use crate::agent::SwitchAgent;
+use crate::agent::{AgentConfig, SwitchAgent};
 use crate::app::App;
 use crate::apps::proactive::StaticHost;
 use crate::controller::{Controller, ControllerConfig};
@@ -22,6 +22,8 @@ pub struct FabricOptions {
     pub control_latency: Duration,
     /// Controller timer configuration.
     pub controller_cfg: ControllerConfig,
+    /// Switch-agent keepalive/policy configuration.
+    pub agent_cfg: AgentConfig,
     /// Link parameters for host attachment links.
     pub host_link: LinkParams,
 }
@@ -32,6 +34,7 @@ impl Default for FabricOptions {
             n_tables: 2,
             control_latency: Duration::from_micros(50),
             controller_cfg: ControllerConfig::default(),
+            agent_cfg: AgentConfig::default(),
             host_link: LinkParams::default(),
         }
     }
@@ -113,10 +116,11 @@ pub fn build_fabric_with_hosts(
 
     let switches: Vec<NodeId> = (0..topo.switches)
         .map(|i| {
-            world.add_node(Box::new(SwitchAgent::new(
+            world.add_node(Box::new(SwitchAgent::with_config(
                 i as u64,
                 opts.n_tables,
                 controller,
+                opts.agent_cfg,
             )))
         })
         .collect();

@@ -30,7 +30,7 @@ pub mod controller;
 pub mod harness;
 pub mod view;
 
-pub use agent::SwitchAgent;
+pub use agent::{AgentConfig, ConnLossPolicy, ConnState, SwitchAgent};
 pub use app::{App, Disposition};
 pub use controller::{Controller, ControllerConfig, Ctl, CtlStats};
 pub use harness::{build_fabric, build_fabric_with_hosts, Fabric, FabricOptions};

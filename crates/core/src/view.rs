@@ -4,7 +4,7 @@
 //! links from LLDP round trips, hosts from the source addresses of
 //! punted edge-port traffic — never taken from simulator ground truth.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use zen_dataplane::PortNo;
 use zen_graph::Graph;
@@ -47,6 +47,10 @@ pub struct NetworkView {
     pub link_seen: BTreeMap<(Dpid, PortNo), Instant>,
     /// Learned hosts keyed by MAC.
     pub hosts: BTreeMap<EthernetAddress, HostEntry>,
+    /// Switches whose control session is presumed dead. They stay in
+    /// `switches` (their last-known shape is still useful) but routing
+    /// helpers and the graph route around them.
+    quarantined: BTreeSet<Dpid>,
     /// Bumped on every structural change; apps compare against it to
     /// know when to recompute.
     pub version: u64,
@@ -175,6 +179,52 @@ impl NetworkView {
         }
     }
 
+    /// Mark a switch's control session dead: routing helpers and the
+    /// graph skip it until [`NetworkView::unquarantine`]. Returns `true`
+    /// if newly quarantined.
+    pub fn quarantine(&mut self, dpid: Dpid) -> bool {
+        let new = self.quarantined.insert(dpid);
+        if new {
+            self.bump();
+        }
+        new
+    }
+
+    /// Lift a quarantine (the switch answered again). Returns `true` if
+    /// it was quarantined.
+    pub fn unquarantine(&mut self, dpid: Dpid) -> bool {
+        let was = self.quarantined.remove(&dpid);
+        if was {
+            self.bump();
+        }
+        was
+    }
+
+    /// The currently quarantined switches.
+    pub fn quarantined(&self) -> &BTreeSet<Dpid> {
+        &self.quarantined
+    }
+
+    /// Whether a switch is quarantined.
+    pub fn is_quarantined(&self, dpid: Dpid) -> bool {
+        self.quarantined.contains(&dpid)
+    }
+
+    /// All discovered directed links from `a` to `b`, as
+    /// `((a, a_port), (b, b_port))`. Empty when either endpoint is
+    /// quarantined — a dead switch is not a usable hop.
+    #[allow(clippy::type_complexity)]
+    pub fn links_between(&self, a: Dpid, b: Dpid) -> Vec<((Dpid, PortNo), (Dpid, PortNo))> {
+        if self.is_quarantined(a) || self.is_quarantined(b) {
+            return Vec::new();
+        }
+        self.links
+            .iter()
+            .filter(|(&(src, _), &(dst, _))| src == a && dst == b)
+            .map(|(&from, &to)| (from, to))
+            .collect()
+    }
+
     /// Whether a port currently has no discovered switch link (i.e. may
     /// face hosts).
     pub fn is_edge_port(&self, dpid: Dpid, port: PortNo) -> bool {
@@ -190,10 +240,14 @@ impl NetworkView {
             .unwrap_or(false)
     }
 
-    /// All (dpid, port) edge ports that are up.
+    /// All (dpid, port) edge ports that are up, on live (unquarantined)
+    /// switches.
     pub fn edge_ports(&self) -> Vec<(Dpid, PortNo)> {
         let mut out = Vec::new();
         for (&dpid, info) in &self.switches {
+            if self.is_quarantined(dpid) {
+                continue;
+            }
             for (&port, &up) in &info.ports {
                 if up && self.is_edge_port(dpid, port) {
                     out.push((dpid, port));
@@ -212,8 +266,11 @@ impl NetworkView {
     }
 
     /// The egress port on `from` of the first discovered link toward
-    /// `to`, considering only up ports.
+    /// `to`, considering only up ports on live switches.
     pub fn port_toward(&self, from: Dpid, to: Dpid) -> Option<PortNo> {
+        if self.is_quarantined(from) || self.is_quarantined(to) {
+            return None;
+        }
         self.links
             .iter()
             .find(|(&(src, sp), &(dst, _))| src == from && dst == to && self.port_up(src, sp))
@@ -221,8 +278,11 @@ impl NetworkView {
     }
 
     /// All egress ports on `from` leading directly to `to` (parallel
-    /// links), up only.
+    /// links), up only, on live switches.
     pub fn ports_toward(&self, from: Dpid, to: Dpid) -> Vec<PortNo> {
+        if self.is_quarantined(from) || self.is_quarantined(to) {
+            return Vec::new();
+        }
         self.links
             .iter()
             .filter(|(&(src, sp), &(dst, _))| src == from && dst == to && self.port_up(src, sp))
@@ -244,7 +304,7 @@ impl NetworkView {
             .collect();
         let mut graph = Graph::with_nodes(dpids.len());
         for (&(src, sp), &(dst, _)) in &self.links {
-            if !self.port_up(src, sp) {
+            if !self.port_up(src, sp) || self.is_quarantined(src) || self.is_quarantined(dst) {
                 continue;
             }
             if let (Some(&a), Some(&b)) = (index.get(&src), index.get(&dst)) {
@@ -282,6 +342,32 @@ mod tests {
         v.set_port(1, 2, false);
         assert!(v.links.is_empty(), "both directions removed");
         assert!(!v.port_up(1, 2));
+    }
+
+    #[test]
+    fn quarantine_hides_switch_from_routing() {
+        let mut v = two_switch_view();
+        assert_eq!(v.links_between(1, 2), vec![((1, 2), (2, 1))]);
+        let before = v.version;
+        assert!(v.quarantine(2));
+        assert!(v.version > before, "quarantine is a structural change");
+        assert!(!v.quarantine(2), "already quarantined");
+        assert_eq!(v.quarantined().iter().copied().collect::<Vec<_>>(), [2]);
+
+        // Routing helpers route around the dead switch; the raw link
+        // tables are untouched (discovery state is still real).
+        assert!(v.links_between(1, 2).is_empty());
+        assert_eq!(v.port_toward(1, 2), None);
+        assert!(v.ports_toward(1, 2).is_empty());
+        assert_eq!(v.edge_ports(), vec![(1, 1)]);
+        let (g, _, _) = v.graph(0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(v.links.len() == 2, "discovery state preserved");
+
+        assert!(v.unquarantine(2));
+        assert!(!v.is_quarantined(2));
+        assert_eq!(v.links_between(1, 2).len(), 1);
+        assert_eq!(v.port_toward(1, 2), Some(2));
     }
 
     #[test]

@@ -7,8 +7,8 @@ use zen_dataplane::{Action, Bucket, FlowMatch, FlowSpec, GroupDesc, GroupType};
 use zen_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
 
 use crate::{
-    CacheStatsRec, ErrorCode, FlowModCmd, FlowStats, GroupModCmd, Message, MeterModCmd, PortDesc,
-    PortStatsRec, RemovedReason, StatsBody, StatsKind, TableStats, VERSION,
+    CacheStatsRec, CookieCount, ErrorCode, FlowModCmd, FlowStats, GroupModCmd, Message,
+    MeterModCmd, PortDesc, PortStatsRec, RemovedReason, StatsBody, StatsKind, TableStats, VERSION,
 };
 
 /// The fixed message header length: version, type, length (u32), xid.
@@ -430,7 +430,19 @@ pub fn encode(msg: &Message, xid: u32) -> Vec<u8> {
             put_bytes(&mut out, data);
         }
         Message::EchoRequest { token } | Message::EchoReply { token } => out.put_u64(*token),
-        Message::FeaturesRequest | Message::BarrierRequest | Message::BarrierReply => {}
+        Message::FeaturesRequest => {}
+        Message::BarrierRequest { xids } => {
+            out.put_u32(xids.len() as u32);
+            for &x in xids {
+                out.put_u32(x);
+            }
+        }
+        Message::BarrierReply { applied } => {
+            out.put_u32(applied.len() as u32);
+            for &x in applied {
+                out.put_u32(x);
+            }
+        }
         Message::FeaturesReply {
             dpid,
             n_tables,
@@ -587,6 +599,18 @@ pub fn encode(msg: &Message, xid: u32) -> Vec<u8> {
                 out.put_u64(r.entries);
             }
         },
+        Message::HelloResync {
+            generation,
+            cookies,
+        } => {
+            out.put_u64(*generation);
+            out.put_u32(cookies.len() as u32);
+            for c in cookies {
+                out.put_u64(c.cookie);
+                out.put_u32(c.count);
+            }
+        }
+        Message::ResyncRequest => {}
     }
     let len = out.len() as u32;
     out[2..6].copy_from_slice(&len.to_be_bytes());
@@ -713,8 +737,28 @@ pub fn decode(buf: &[u8]) -> Result<(Message, u32, usize)> {
             packets: rd.u64()?,
             bytes: rd.u64()?,
         },
-        13 => Message::BarrierRequest,
-        14 => Message::BarrierReply,
+        13 => {
+            let n = rd.u32()? as usize;
+            if n > rd.buf.len() {
+                return Err(CodecError::Truncated);
+            }
+            let mut xids = Vec::with_capacity(n);
+            for _ in 0..n {
+                xids.push(rd.u32()?);
+            }
+            Message::BarrierRequest { xids }
+        }
+        14 => {
+            let n = rd.u32()? as usize;
+            if n > rd.buf.len() {
+                return Err(CodecError::Truncated);
+            }
+            let mut applied = Vec::with_capacity(n);
+            for _ in 0..n {
+                applied.push(rd.u32()?);
+            }
+            Message::BarrierReply { applied }
+        }
         15 => Message::StatsRequest {
             kind: match rd.u8()? {
                 0 => StatsKind::Flow { table_id: rd.u8()? },
@@ -788,6 +832,25 @@ pub fn decode(buf: &[u8]) -> Result<(Message, u32, usize)> {
             };
             Message::StatsReply { body }
         }
+        17 => {
+            let generation = rd.u64()?;
+            let n = rd.u32()? as usize;
+            if n > rd.buf.len() {
+                return Err(CodecError::Truncated);
+            }
+            let mut cookies = Vec::with_capacity(n);
+            for _ in 0..n {
+                cookies.push(CookieCount {
+                    cookie: rd.u64()?,
+                    count: rd.u32()?,
+                });
+            }
+            Message::HelloResync {
+                generation,
+                cookies,
+            }
+        }
+        18 => Message::ResyncRequest,
         other => return Err(CodecError::UnknownType(other)),
     };
     rd.finish()?;
@@ -940,8 +1003,13 @@ mod tests {
                 packets: 100,
                 bytes: 6400,
             },
-            Message::BarrierRequest,
-            Message::BarrierReply,
+            Message::BarrierRequest { xids: vec![] },
+            Message::BarrierRequest {
+                xids: vec![7, 8, 9],
+            },
+            Message::BarrierReply {
+                applied: vec![7, 9],
+            },
             Message::StatsRequest {
                 kind: StatsKind::Flow { table_id: 0xff },
             },
@@ -971,6 +1039,24 @@ mod tests {
                     entries: 12,
                 }),
             },
+            Message::HelloResync {
+                generation: 41,
+                cookies: vec![
+                    CookieCount {
+                        cookie: 0xfab0_0001,
+                        count: 18,
+                    },
+                    CookieCount {
+                        cookie: 0xbeef,
+                        count: 1,
+                    },
+                ],
+            },
+            Message::HelloResync {
+                generation: 0,
+                cookies: vec![],
+            },
+            Message::ResyncRequest,
         ]
     }
 
@@ -989,14 +1075,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_version() {
-        let mut bytes = encode(&Message::BarrierRequest, 1);
+        let mut bytes = encode(&Message::BarrierRequest { xids: vec![] }, 1);
         bytes[0] = 99;
         assert_eq!(decode(&bytes).unwrap_err(), CodecError::BadVersion(99));
     }
 
     #[test]
     fn rejects_unknown_type() {
-        let mut bytes = encode(&Message::BarrierRequest, 1);
+        let mut bytes = encode(&Message::BarrierRequest { xids: vec![] }, 1);
         bytes[1] = 200;
         assert_eq!(decode(&bytes).unwrap_err(), CodecError::UnknownType(200));
     }
@@ -1020,7 +1106,7 @@ mod tests {
 
     #[test]
     fn rejects_trailing_garbage_inside_frame() {
-        let mut bytes = encode(&Message::BarrierRequest, 1);
+        let mut bytes = encode(&Message::BarrierRequest { xids: vec![] }, 1);
         // Claim a longer body than the message has.
         bytes.extend_from_slice(&[0; 4]);
         let len = bytes.len() as u32;
@@ -1055,12 +1141,14 @@ mod tests {
     #[test]
     fn assembler_recovers_frame_length_errors() {
         let mut asm = FrameAssembler::new();
-        let mut bad = encode(&Message::BarrierRequest, 1);
+        let mut bad = encode(&Message::BarrierRequest { xids: vec![] }, 1);
         bad[2..6].copy_from_slice(&3u32.to_be_bytes()); // length < header
         asm.push(&bad);
         assert!(matches!(asm.next(), Some(Err(CodecError::Malformed))));
         // The assembler cleared; new valid traffic parses.
-        asm.push(&encode(&Message::BarrierReply, 2));
-        assert!(matches!(asm.next(), Some(Ok((Message::BarrierReply, 2)))));
+        asm.push(&encode(&Message::BarrierReply { applied: vec![] }, 2));
+        assert!(
+            matches!(asm.next(), Some(Ok((Message::BarrierReply { applied }, 2))) if applied.is_empty())
+        );
     }
 }

@@ -172,6 +172,17 @@ pub struct CacheStatsRec {
     pub entries: u64,
 }
 
+/// One entry of the installed-state digest carried by
+/// [`Message::HelloResync`]: a cookie and how many flow entries carry it
+/// (summed across all tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CookieCount {
+    /// The flow cookie.
+    pub cookie: u64,
+    /// Installed entries carrying it.
+    pub count: u32,
+}
+
 /// A STATS_REPLY body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StatsBody {
@@ -315,9 +326,21 @@ pub enum Message {
         bytes: u64,
     },
     /// Fence: the switch answers after all prior messages took effect.
-    BarrierRequest,
+    ///
+    /// Carries the xids of the state mods the fence covers: on an
+    /// unreliable channel, "the barrier came back" does not prove the
+    /// mods sent before it arrived, so the reply reports which of the
+    /// covered xids the switch actually applied.
+    BarrierRequest {
+        /// Xids of the unacknowledged mods this fence covers.
+        xids: Vec<u32>,
+    },
     /// Fence acknowledgement.
-    BarrierReply,
+    BarrierReply {
+        /// The subset of the request's xids the switch has applied.
+        /// Anything missing was lost in transit and needs resending.
+        applied: Vec<u32>,
+    },
     /// Ask for statistics.
     StatsRequest {
         /// Which statistics.
@@ -328,6 +351,20 @@ pub enum Message {
         /// The records.
         body: StatsBody,
     },
+    /// Reconnect handshake: after a control-channel outage the switch
+    /// reports a digest of its installed flow state (per-cookie entry
+    /// counts plus a mutation generation) so the controller can
+    /// diff-resync instead of blindly reinstalling everything.
+    HelloResync {
+        /// Monotonic count of state-mutating mods the switch has
+        /// applied since boot; two digests with equal generations
+        /// describe identical state.
+        generation: u64,
+        /// Per-cookie installed flow-entry counts, ascending by cookie.
+        cookies: Vec<CookieCount>,
+    },
+    /// Controller asks a switch for a fresh [`Message::HelloResync`].
+    ResyncRequest,
 }
 
 impl Message {
@@ -347,10 +384,12 @@ impl Message {
             Message::MeterMod { .. } => 10,
             Message::PortStatus { .. } => 11,
             Message::FlowRemoved { .. } => 12,
-            Message::BarrierRequest => 13,
-            Message::BarrierReply => 14,
+            Message::BarrierRequest { .. } => 13,
+            Message::BarrierReply { .. } => 14,
             Message::StatsRequest { .. } => 15,
             Message::StatsReply { .. } => 16,
+            Message::HelloResync { .. } => 17,
+            Message::ResyncRequest => 18,
         }
     }
 }

@@ -102,7 +102,7 @@ fn gen_group(rng: &mut Lcg) -> GroupDesc {
 }
 
 fn gen_message(rng: &mut Lcg) -> Message {
-    match rng.gen_index(6) {
+    match rng.gen_index(8) {
         0 => Message::FlowMod {
             table_id: 0,
             cmd: FlowModCmd::Add(gen_spec(rng)),
@@ -134,6 +134,18 @@ fn gen_message(rng: &mut Lcg) -> Message {
                 let n = rng.gen_index(256);
                 rng.gen_bytes(n)
             },
+        },
+        5 => Message::HelloResync {
+            generation: rng.next_u64(),
+            cookies: (0..rng.gen_index(8))
+                .map(|_| zen_proto::CookieCount {
+                    cookie: rng.next_u64(),
+                    count: rng.next_u32(),
+                })
+                .collect(),
+        },
+        6 => Message::BarrierRequest {
+            xids: (0..rng.gen_index(16)).map(|_| rng.next_u32()).collect(),
         },
         _ => Message::StatsRequest {
             kind: StatsKind::Table,
