@@ -7,3 +7,8 @@ cargo build --release --workspace
 cargo test --workspace -q
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Chaos soak: fixed-seed fault-injection run on a fat-tree; ignored in
+# the normal test pass because it simulates ~10 s of fabric time twice.
+# On failure the seed is printed in the assertion message.
+cargo test --release -p zen-core --test chaos -- --ignored --nocapture
