@@ -12,3 +12,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 # the normal test pass because it simulates ~10 s of fabric time twice.
 # On failure the seed is printed in the assertion message.
 cargo test --release -p zen-core --test chaos -- --ignored --nocapture
+
+# Telemetry determinism gate: the same seeded scenario run twice must
+# produce byte-identical JSONL exports (metrics, controller counters,
+# monitor state, trace ring), in release mode where any UB or
+# iteration-order dependence is most likely to surface.
+cargo test --release -p zen-core --test telemetry -- --nocapture

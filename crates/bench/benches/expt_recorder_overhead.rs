@@ -1,0 +1,165 @@
+//! E14 — Flight-recorder overhead on the datapath hot path.
+//!
+//! The recorder's contract is that observability is free until asked
+//! for: a disabled recorder must cost within noise of no recorder at
+//! all (one shared-flag load per packet), and even a fully enabled
+//! recorder tracing every probe must stay within the same order of
+//! magnitude. This bench reuses the E12 cached-pipeline Zipf workload
+//! — the regime where per-packet cost is smallest and any added
+//! bookkeeping is most visible — with probe-formatted payloads so the
+//! enabled run actually records cache-tier match events.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use zen_bench::harness::{Bench, Throughput};
+use zen_dataplane::{Action, Datapath, FlowMatch, FlowSpec, MissPolicy};
+use zen_telemetry::Recorder;
+use zen_wire::builder::PacketBuilder;
+use zen_wire::lcg::Lcg;
+use zen_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
+
+const ACL_RULES: u32 = 128;
+const FORWARD_RULES: u16 = 512;
+const FLOWS: usize = 1024;
+const WORKLOAD: usize = 65_536;
+
+/// Decorrelate flow popularity from rule position (see E12).
+fn port_for_flow(i: usize) -> u16 {
+    1000 + ((i as u16).wrapping_mul(193) % FORWARD_RULES)
+}
+
+/// The E12 two-table pipeline with the flow cache on.
+fn build_dp() -> Datapath {
+    let mut dp = Datapath::new(1, 2, MissPolicy::Drop);
+    dp.set_flow_cache_enabled(true);
+    for p in 1..=4 {
+        dp.add_port(p);
+    }
+    for i in 0..ACL_RULES {
+        let src = Ipv4Address::from_u32(0x0a09_0000 | i);
+        dp.add_flow(
+            0,
+            FlowSpec::new(
+                1000 + i as u16,
+                FlowMatch {
+                    ipv4_src: Some(Ipv4Cidr::new(src, 32).unwrap()),
+                    ..FlowMatch::ANY
+                },
+                vec![],
+            ),
+            0,
+        );
+    }
+    dp.add_flow(0, FlowSpec::new(1, FlowMatch::ANY, vec![]).with_goto(1), 0);
+    for d in 0..FORWARD_RULES {
+        dp.add_flow(
+            1,
+            FlowSpec::new(
+                10,
+                FlowMatch::ANY.with_ip_proto(17).with_l4_dst(1000 + d),
+                vec![Action::Output(2 + u32::from(d % 3))],
+            ),
+            0,
+        );
+    }
+    dp.add_flow(1, FlowSpec::new(1, FlowMatch::ANY, vec![Action::Flood]), 0);
+    dp
+}
+
+fn zipfish_index(rng: &mut Lcg, n: usize) -> usize {
+    let mut hi = n;
+    while hi > 1 && rng.gen_ratio(1, 2) {
+        hi = hi.div_ceil(8);
+    }
+    rng.gen_index(hi)
+}
+
+/// The E12 Zipf workload, but every frame is a telemetry probe
+/// (magic + seq + timestamp payload) so the enabled recorder assigns
+/// a trace id and records a dp_match per packet.
+fn build_workload() -> Vec<(u32, Vec<u8>)> {
+    let mut rng = Lcg::new(0x21BFCAC4E);
+    let flows: Vec<(u32, Vec<u8>)> = (0..FLOWS)
+        .map(|i| {
+            let mut payload = Vec::with_capacity(20);
+            payload.extend_from_slice(&zen_telemetry::PROBE_MAGIC.to_be_bytes());
+            payload.extend_from_slice(&(i as u64).to_be_bytes());
+            payload.extend_from_slice(&0u64.to_be_bytes());
+            let in_port = 1 + (i as u32 % 4);
+            let frame = PacketBuilder::udp(
+                EthernetAddress::from_id(i as u64 + 1),
+                Ipv4Address::from_u32(0x0a00_0000 | (i as u32)),
+                2000 + (i % 512) as u16,
+                EthernetAddress::from_id(99),
+                Ipv4Address::from_u32(0x0b00_0000 | (i as u32)),
+                port_for_flow(i),
+                &payload,
+            );
+            (in_port, frame)
+        })
+        .collect();
+    (0..WORKLOAD)
+        .map(|_| flows[zipfish_index(&mut rng, FLOWS)].clone())
+        .collect()
+}
+
+fn main() {
+    let workload = build_workload();
+    let mut group = Bench::group("E14/recorder_overhead")
+        .samples(15)
+        .warm_up(Duration::from_millis(300))
+        .measurement(Duration::from_secs(1));
+    group.throughput(Throughput::Elements(1));
+
+    // Baseline: the datapath's own default recorder handle, never
+    // shared and never enabled — what every run before this PR paid.
+    let mut baseline_dp = build_dp();
+    let mut i = 0usize;
+    let baseline_ns = group.run("no_recorder", || {
+        let (in_port, frame) = &workload[i % workload.len()];
+        i += 1;
+        black_box(baseline_dp.process(i as u64, *in_port, frame).len())
+    });
+
+    // Disabled: a shared recorder is installed (as the harness does for
+    // every switch) but left off. This is the configuration the ≤3%
+    // acceptance bound applies to.
+    let mut disabled_dp = build_dp();
+    disabled_dp.set_recorder(Recorder::new());
+    let mut i = 0usize;
+    let disabled_ns = group.run("recorder_disabled", || {
+        let (in_port, frame) = &workload[i % workload.len()];
+        i += 1;
+        black_box(disabled_dp.process(i as u64, *in_port, frame).len())
+    });
+
+    // Enabled: every packet is a probe, so each one parses a trace id
+    // and appends a dp_match record to the bounded ring.
+    let mut enabled_dp = build_dp();
+    let recorder = Recorder::new();
+    recorder.set_enabled(true);
+    enabled_dp.set_recorder(recorder.clone());
+    let mut i = 0usize;
+    let enabled_ns = group.run("recorder_enabled", || {
+        let (in_port, frame) = &workload[i % workload.len()];
+        i += 1;
+        black_box(enabled_dp.process(i as u64, *in_port, frame).len())
+    });
+
+    let overhead = (disabled_ns / baseline_ns - 1.0) * 100.0;
+    println!(
+        "E14/recorder_overhead/disabled   {overhead:+.2}% \
+         (baseline {baseline_ns:.1} ns/pkt → disabled {disabled_ns:.1} ns/pkt)"
+    );
+    println!(
+        "E14/recorder_overhead/enabled    {:+.1}% (enabled {enabled_ns:.1} ns/pkt, {} events, {} dropped)",
+        (enabled_ns / baseline_ns - 1.0) * 100.0,
+        recorder.records().len() as u64 + recorder.dropped(),
+        recorder.dropped()
+    );
+    assert!(
+        overhead <= 3.0,
+        "disabled recorder costs more than 3%: {overhead:.2}%"
+    );
+}

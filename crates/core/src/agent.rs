@@ -15,6 +15,7 @@ use zen_proto::{
     StatsBody, StatsKind,
 };
 use zen_sim::{Context, Duration, Node, NodeId};
+use zen_telemetry::{trace_id_for_frame, TraceEvent};
 
 const TIMER_EXPIRE: u64 = 1;
 const TIMER_ECHO: u64 = 2;
@@ -248,6 +249,21 @@ impl SwitchAgent {
                         continue;
                     }
                     self.stats.packet_ins += 1;
+                    {
+                        let rec = ctx.recorder();
+                        if rec.is_enabled() {
+                            if let Some(tid) = trace_id_for_frame(&frame) {
+                                rec.record(
+                                    ctx.now().as_nanos(),
+                                    tid,
+                                    TraceEvent::Punt {
+                                        dpid: self.dp.dpid,
+                                        table_id,
+                                    },
+                                );
+                            }
+                        }
+                    }
                     let msg = Message::PacketIn {
                         in_port,
                         table_id,
@@ -304,6 +320,21 @@ impl SwitchAgent {
                 self.stats.flow_mods += 1;
                 self.generation += 1;
                 self.note_applied(xid);
+                {
+                    let rec = ctx.recorder();
+                    if rec.is_enabled() {
+                        if let Some(trace) = rec.xid_trace(xid) {
+                            rec.record(
+                                now,
+                                trace,
+                                TraceEvent::FlowModApplied {
+                                    dpid: self.dp.dpid,
+                                    xid,
+                                },
+                            );
+                        }
+                    }
+                }
                 match cmd {
                     FlowModCmd::Add(spec) => self.dp.add_flow(table_id, spec, now),
                     FlowModCmd::DeleteStrict { priority, matcher } => {
@@ -458,6 +489,9 @@ impl SwitchAgent {
 
 impl Node for SwitchAgent {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
+        // Share the world's flight recorder with the embedded datapath
+        // so cache-tier, group, and meter events carry trace ids.
+        self.dp.set_recorder(ctx.recorder().clone());
         for port in ctx.ports() {
             self.dp.add_port(port);
             if !ctx.port_up(port) {

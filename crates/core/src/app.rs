@@ -2,7 +2,7 @@
 //! apps dispatched in chain order (Ryu/ONOS style).
 
 use zen_dataplane::PortNo;
-use zen_proto::StatsBody;
+use zen_proto::{CacheStatsRec, FlowStats, PortStatsRec, TableStats};
 
 use crate::controller::Ctl;
 use crate::view::Dpid;
@@ -55,8 +55,17 @@ pub trait App: 'static {
     ) {
     }
 
-    /// A statistics reply arrived.
-    fn on_stats(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid, body: &StatsBody) {}
+    /// A port-statistics reply arrived.
+    fn on_port_stats(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid, records: &[PortStatsRec]) {}
+
+    /// A table-statistics reply arrived.
+    fn on_table_stats(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid, records: &[TableStats]) {}
+
+    /// A flow-statistics reply arrived (per-entry packet/byte counters).
+    fn on_flow_stats(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid, records: &[FlowStats]) {}
+
+    /// A datapath-cache statistics reply arrived.
+    fn on_cache_stats(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid, record: &CacheStatsRec) {}
 
     /// A switch reconnected after a control-channel outage and its
     /// reported flow state diverged from what the controller believes

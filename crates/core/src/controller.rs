@@ -12,6 +12,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use zen_dataplane::{FlowSpec, GroupDesc, PortNo};
 use zen_proto::{decode, encode, CodecError, FlowModCmd, GroupModCmd, Message, MeterModCmd};
 use zen_sim::{Context, Duration, Instant, Node, NodeId};
+use zen_telemetry::{trace_id_for_frame, TraceEvent};
 use zen_wire::ethernet::{EtherType, Frame};
 use zen_wire::{arp, ipv4, lldp};
 
@@ -163,6 +164,34 @@ impl Ctl<'_, '_> {
             );
             self.dirty.insert(node);
         }
+        {
+            // Flight recorder: attribute control messages sent while an
+            // app chain is processing a traced PACKET_IN.
+            let rec = self.ctx.recorder();
+            if rec.is_enabled() {
+                if let Some(trace) = rec.current_trace() {
+                    let at = self.ctx.now().as_nanos();
+                    match msg {
+                        Message::FlowMod { cmd, .. } => {
+                            let cookie = match cmd {
+                                FlowModCmd::Add(spec) => spec.cookie,
+                                FlowModCmd::DeleteByCookie { cookie } => *cookie,
+                                FlowModCmd::DeleteStrict { .. } => 0,
+                            };
+                            rec.record(at, trace, TraceEvent::FlowModSent { dpid, xid, cookie });
+                            rec.bind_xid(xid, trace);
+                        }
+                        Message::GroupMod { .. } | Message::MeterMod { .. } => {
+                            rec.bind_xid(xid, trace);
+                        }
+                        Message::PacketOut { .. } => {
+                            rec.record(at, trace, TraceEvent::PacketOutSent { dpid });
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
         self.ctx.send_control(node, bytes);
     }
 
@@ -310,6 +339,14 @@ impl Controller {
     /// Access an application by index (post-run inspection).
     pub fn app(&self, index: usize) -> &dyn App {
         self.apps[index].as_ref()
+    }
+
+    /// Find the first app of concrete type `T` (post-run inspection,
+    /// snapshot export).
+    pub fn find_app<T: App>(&self) -> Option<&T> {
+        self.apps
+            .iter()
+            .find_map(|a| a.as_any().downcast_ref::<T>())
     }
 
     /// Run `f` with the services handle and the app list temporarily
@@ -557,12 +594,38 @@ impl Controller {
             self.view.learn_host(eth.src_addr(), dpid, in_port, ip, now);
         }
 
-        // Application chain.
+        // Application chain. While the recorder is enabled and the frame
+        // is a traced probe, the chain runs under that trace: flow-mods
+        // and packet-outs the apps issue are attributed to it, and the
+        // dispatch itself is recorded with the claiming app.
+        let trace = if ctx.recorder().is_enabled() {
+            trace_id_for_frame(&frame)
+        } else {
+            None
+        };
         self.with_apps(ctx, |apps, ctl| {
+            if trace.is_some() {
+                ctl.ctx.recorder().begin_trace(trace);
+            }
+            let mut claimed: Option<&'static str> = None;
             for app in apps.iter_mut() {
                 if app.on_packet_in(ctl, dpid, in_port, &frame) == Disposition::Handled {
+                    claimed = Some(app.name());
                     break;
                 }
+            }
+            if let Some(t) = trace {
+                let at = ctl.ctx.now().as_nanos();
+                let rec = ctl.ctx.recorder();
+                rec.record(
+                    at,
+                    t,
+                    TraceEvent::AppDispatch {
+                        app: claimed.unwrap_or("none"),
+                        claimed: claimed.is_some(),
+                    },
+                );
+                rec.end_trace();
             }
         });
     }
@@ -681,7 +744,20 @@ impl Controller {
                 };
                 self.with_apps(ctx, |apps, ctl| {
                     for app in apps.iter_mut() {
-                        app.on_stats(ctl, dpid, &body);
+                        match &body {
+                            zen_proto::StatsBody::Port(records) => {
+                                app.on_port_stats(ctl, dpid, records)
+                            }
+                            zen_proto::StatsBody::Table(records) => {
+                                app.on_table_stats(ctl, dpid, records)
+                            }
+                            zen_proto::StatsBody::Flow(records) => {
+                                app.on_flow_stats(ctl, dpid, records)
+                            }
+                            zen_proto::StatsBody::Cache(record) => {
+                                app.on_cache_stats(ctl, dpid, record)
+                            }
+                        }
                     }
                 });
             }
@@ -695,6 +771,19 @@ impl Controller {
                         }
                         if let Some(p) = self.pending.remove(&mx) {
                             self.stats.mods_acked += 1;
+                            let rec = ctx.recorder();
+                            if rec.is_enabled() {
+                                if let Some(trace) = rec.take_xid(mx) {
+                                    rec.record(
+                                        ctx.now().as_nanos(),
+                                        trace,
+                                        TraceEvent::FlowModAcked {
+                                            dpid: p.dpid,
+                                            xid: mx,
+                                        },
+                                    );
+                                }
+                            }
                             self.apply_to_shadow(p.dpid, &p.msg);
                         }
                     }

@@ -28,10 +28,12 @@ pub mod app;
 pub mod apps;
 pub mod controller;
 pub mod harness;
+pub mod snapshot;
 pub mod view;
 
 pub use agent::{AgentConfig, ConnLossPolicy, ConnState, SwitchAgent};
 pub use app::{App, Disposition};
 pub use controller::{Controller, ControllerConfig, Ctl, CtlStats};
 pub use harness::{build_fabric, build_fabric_with_hosts, Fabric, FabricOptions};
+pub use snapshot::export_jsonl;
 pub use view::{Dpid, HostEntry, NetworkView, SwitchInfo};

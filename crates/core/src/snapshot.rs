@@ -1,0 +1,83 @@
+//! End-of-run telemetry export: one deterministic JSON-lines document
+//! capturing the world's metrics registry, the controller's counters,
+//! the [`Monitor`] app's folded statistics, and the flight recorder's
+//! trace ring.
+//!
+//! Determinism is the contract: two runs of the same seeded scenario
+//! must produce byte-identical output (the CI gate diffs them), so
+//! nothing wall-clock-derived is ever written and all collections are
+//! iterated in key order.
+
+use zen_sim::{NodeId, World};
+use zen_telemetry::json::Line;
+
+use crate::apps::Monitor;
+use crate::controller::Controller;
+
+/// Serialize the end-of-run state of `world` and its `controller` node
+/// to JSON lines. Includes, in order: a `meta` line, every metric
+/// (counters then histograms, name order), the controller's protocol
+/// counters, the Monitor app's statistics if one is installed, and the
+/// flight recorder's span profile and trace ring.
+pub fn export_jsonl(world: &mut World, controller: NodeId) -> String {
+    let mut out = String::new();
+    Line::new("meta")
+        .u64("now_nanos", world.now().as_nanos())
+        .u64("events", world.events_processed())
+        .finish(&mut out);
+    world.metrics_mut().write_jsonl(&mut out);
+
+    let ctl = world.node_as::<Controller>(controller);
+    let s = &ctl.stats;
+    Line::new("controller")
+        .u64("packet_ins", s.packet_ins)
+        .u64("lldp_ins", s.lldp_ins)
+        .u64("flow_mods", s.flow_mods)
+        .u64("group_mods", s.group_mods)
+        .u64("packet_outs", s.packet_outs)
+        .u64("msgs_sent", s.msgs_sent)
+        .u64("msgs_received", s.msgs_received)
+        .u64("decode_errors", s.decode_errors)
+        .u64("mods_acked", s.mods_acked)
+        .u64("mods_retransmitted", s.mods_retransmitted)
+        .u64("mods_failed", s.mods_failed)
+        .u64("quarantines", s.quarantines)
+        .finish(&mut out);
+
+    if let Some(mon) = ctl.find_app::<Monitor>() {
+        Line::new("monitor")
+            .u64("polls", mon.polls)
+            .u64("replies", mon.replies)
+            .u64("total_tx_bytes", mon.total_tx_bytes())
+            .finish(&mut out);
+        for (&(dpid, table_id), &(active, hits, misses)) in &mon.tables {
+            Line::new("monitor_table")
+                .u64("dpid", dpid)
+                .u64("table", u64::from(table_id))
+                .u64("active", u64::from(active))
+                .u64("hits", hits)
+                .u64("misses", misses)
+                .finish(&mut out);
+        }
+        for (&(dpid, cookie), sample) in &mon.flows {
+            Line::new("monitor_flow")
+                .u64("dpid", dpid)
+                .u64("cookie", cookie)
+                .u64("packets", sample.packets)
+                .u64("bytes", sample.bytes)
+                .finish(&mut out);
+        }
+        for (&dpid, rec) in &mon.caches {
+            Line::new("monitor_cache")
+                .u64("dpid", dpid)
+                .u64("micro_hits", rec.micro_hits)
+                .u64("mega_hits", rec.mega_hits)
+                .u64("misses", rec.misses)
+                .u64("entries", rec.entries)
+                .finish(&mut out);
+        }
+    }
+
+    world.recorder().write_jsonl(&mut out);
+    out
+}

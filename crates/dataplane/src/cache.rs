@@ -88,6 +88,16 @@ impl CacheStats {
     }
 }
 
+/// Which cache tier answered a lookup (for stats attribution and the
+/// flight recorder's per-packet match events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitTier {
+    /// Exact-match microflow tier.
+    Micro,
+    /// Masked megaflow tier.
+    Mega,
+}
+
 /// The two-tier flow cache. See the module docs for the design.
 #[derive(Debug, Default)]
 pub struct FlowCache {
@@ -129,9 +139,15 @@ impl FlowCache {
     /// A megaflow hit promotes the program into the microflow tier so
     /// subsequent packets of the same flow take the exact-match path.
     pub fn lookup(&mut self, key: &FlowKey) -> Option<Arc<Program>> {
+        self.lookup_tiered(key).map(|(_, program)| program)
+    }
+
+    /// Like [`FlowCache::lookup`], additionally reporting which tier
+    /// answered.
+    pub fn lookup_tiered(&mut self, key: &FlowKey) -> Option<(HitTier, Arc<Program>)> {
         if let Some(program) = self.micro.get(key) {
             self.stats.micro_hits += 1;
-            return Some(Arc::clone(program));
+            return Some((HitTier::Micro, Arc::clone(program)));
         }
         for (mask, map) in &self.mega {
             let projected = mask.project(key);
@@ -139,7 +155,7 @@ impl FlowCache {
                 self.stats.mega_hits += 1;
                 let program = Arc::clone(program);
                 self.insert_micro(*key, Arc::clone(&program));
-                return Some(program);
+                return Some((HitTier::Mega, program));
             }
         }
         self.stats.misses += 1;

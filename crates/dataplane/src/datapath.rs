@@ -2,8 +2,10 @@
 
 use std::collections::BTreeMap;
 
+use zen_telemetry::{trace_id_for_frame, CacheTier, Recorder, TraceEvent, TraceId};
+
 use crate::action::{apply_rewrite, Action, Rewrite};
-use crate::cache::{CacheStats, FlowCache, Program, Segment};
+use crate::cache::{CacheStats, FlowCache, HitTier, Program, Segment};
 use crate::group::GroupTable;
 use crate::key::FlowKey;
 use crate::matching::{FlowMatch, KeyMask};
@@ -87,6 +89,12 @@ pub struct Datapath {
     pub pipeline_drops: u64,
     cache: FlowCache,
     cache_enabled: bool,
+    /// Shared flight recorder (disabled instance by default). Tap points
+    /// cost one enabled-check when recording is off.
+    recorder: Recorder,
+    /// Trace of the frame currently in the pipeline, set only while the
+    /// recorder is enabled; lets group/meter taps attribute events.
+    current_trace: Option<TraceId>,
 }
 
 impl Datapath {
@@ -105,7 +113,15 @@ impl Datapath {
             pipeline_drops: 0,
             cache: FlowCache::new(),
             cache_enabled: true,
+            recorder: Recorder::new(),
+            current_trace: None,
         }
+    }
+
+    /// Install a shared flight recorder handle. The datapath records
+    /// per-packet match/group/meter events into it while it is enabled.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Enable or disable the two-tier flow cache (enabled by default).
@@ -277,10 +293,16 @@ impl Datapath {
             ipv4: None,
             l4: None,
         });
+        self.current_trace = if self.recorder.is_enabled() {
+            trace_id_for_frame(frame)
+        } else {
+            None
+        };
         let mut working = frame.to_vec();
         let mut effects = Vec::new();
         self.execute_actions(actions, &key, in_port, &mut working, &mut effects, now, 0);
         self.account_outputs(&effects);
+        self.current_trace = None;
         effects
     }
 
@@ -304,13 +326,43 @@ impl Datapath {
             self.pipeline_drops += 1;
             return Vec::new();
         };
+        self.current_trace = if self.recorder.is_enabled() {
+            trace_id_for_frame(frame)
+        } else {
+            None
+        };
 
         if self.cache_enabled {
-            if let Some(program) = self.cache.lookup(&key) {
+            if let Some((tier, program)) = self.cache.lookup_tiered(&key) {
+                if let Some(trace) = self.current_trace {
+                    let tier = match tier {
+                        HitTier::Micro => CacheTier::Micro,
+                        HitTier::Mega => CacheTier::Mega,
+                    };
+                    self.recorder.record(
+                        now,
+                        trace,
+                        TraceEvent::DpMatch {
+                            dpid: self.dpid,
+                            tier,
+                        },
+                    );
+                }
                 let effects = self.replay(&program, &key, in_port, frame, now);
                 self.account_outputs(&effects);
+                self.current_trace = None;
                 return effects;
             }
+        }
+        if let Some(trace) = self.current_trace {
+            self.recorder.record(
+                now,
+                trace,
+                TraceEvent::DpMatch {
+                    dpid: self.dpid,
+                    tier: CacheTier::Slow,
+                },
+            );
         }
 
         let mut effects = Vec::new();
@@ -382,6 +434,7 @@ impl Datapath {
             self.cache.insert(key, mask, Program { segments });
         }
         self.account_outputs(&effects);
+        self.current_trace = None;
         effects
     }
 
@@ -483,6 +536,16 @@ impl Datapath {
                     });
                 }
                 Action::Group(id) => {
+                    if let Some(trace) = self.current_trace {
+                        self.recorder.record(
+                            now,
+                            trace,
+                            TraceEvent::DpGroup {
+                                dpid: self.dpid,
+                                group_id: id,
+                            },
+                        );
+                    }
                     let ports_snapshot = self.ports.clone();
                     let picks = self.groups.select_buckets(id, key.flow_hash(), |p| {
                         ports_snapshot.get(&p).copied().unwrap_or(false)
@@ -510,7 +573,19 @@ impl Datapath {
                 Action::Meter(id) => {
                     let len = working.len();
                     if let Some(meter) = self.meters.get_mut(&id) {
-                        if !meter.allow(now, len) {
+                        let passed = meter.allow(now, len);
+                        if let Some(trace) = self.current_trace {
+                            self.recorder.record(
+                                now,
+                                trace,
+                                TraceEvent::DpMeter {
+                                    dpid: self.dpid,
+                                    meter_id: id,
+                                    passed,
+                                },
+                            );
+                        }
+                        if !passed {
                             self.pipeline_drops += 1;
                             return false;
                         }

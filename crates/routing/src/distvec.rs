@@ -10,7 +10,7 @@ use std::any::Any;
 use std::collections::BTreeMap;
 
 use zen_fib::Ipv4Cidr;
-use zen_sim::{Context, Duration, Instant, Node, PortNo};
+use zen_sim::{Context, CounterId, Duration, Instant, Node, PortNo};
 use zen_wire::builder::PacketBuilder;
 use zen_wire::ethernet::{EtherType, Frame};
 use zen_wire::{EthernetAddress, Ipv4Address};
@@ -65,6 +65,9 @@ pub struct DistanceVectorRouter {
     /// learned there).
     neighbor_mac: BTreeMap<PortNo, EthernetAddress>,
     triggered_pending: bool,
+    /// Typed handle for the shared `routing.msgs` counter, registered
+    /// at start so the send path never does a string lookup.
+    msgs_id: Option<CounterId>,
     /// Routing-protocol messages sent (experiment metric).
     pub control_msgs_sent: u64,
 }
@@ -83,6 +86,7 @@ impl DistanceVectorRouter {
             routes: BTreeMap::new(),
             neighbor_mac: BTreeMap::new(),
             triggered_pending: false,
+            msgs_id: None,
             control_msgs_sent: 0,
         }
     }
@@ -126,7 +130,10 @@ impl DistanceVectorRouter {
                 &msg.encode(),
             );
             self.control_msgs_sent += 1;
-            ctx.metrics().incr("routing.msgs");
+            let id = *self
+                .msgs_id
+                .get_or_insert_with(|| ctx.metrics().register_counter("routing.msgs"));
+            ctx.metrics().incr(id);
             ctx.transmit(port, frame);
         }
     }

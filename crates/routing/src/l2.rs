@@ -9,7 +9,7 @@
 use std::any::Any;
 use std::collections::BTreeMap;
 
-use zen_sim::{Context, Duration, Instant, Node, PortNo};
+use zen_sim::{Context, CounterId, Duration, Instant, Node, PortNo};
 use zen_wire::builder::PacketBuilder;
 use zen_wire::ethernet::{EtherType, Frame};
 use zen_wire::EthernetAddress;
@@ -62,6 +62,9 @@ pub struct LearningSwitch {
     mac_table: BTreeMap<EthernetAddress, (PortNo, Instant)>,
     /// Best BPDU heard per port, with receipt time.
     heard: BTreeMap<PortNo, (Bpdu, Instant)>,
+    /// Typed handle for the shared `stp.bpdus` counter, registered
+    /// lazily so the hello path never does a string lookup.
+    bpdus_id: Option<CounterId>,
     /// Frames flooded (experiment metric).
     pub floods: u64,
     /// Frames forwarded to a learned port.
@@ -79,6 +82,7 @@ impl LearningSwitch {
             stp_enabled: true,
             mac_table: BTreeMap::new(),
             heard: BTreeMap::new(),
+            bpdus_id: None,
             floods: 0,
             directed: 0,
             blocked_drops: 0,
@@ -151,8 +155,11 @@ impl LearningSwitch {
             EtherType::Unknown(ROUTING_ETHERTYPE),
             &bpdu.encode(),
         );
+        let id = *self
+            .bpdus_id
+            .get_or_insert_with(|| ctx.metrics().register_counter("stp.bpdus"));
         for port in ctx.ports() {
-            ctx.metrics().incr("stp.bpdus");
+            ctx.metrics().incr(id);
             ctx.transmit(port, frame.clone());
         }
     }

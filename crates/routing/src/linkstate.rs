@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 
 use zen_fib::Ipv4Cidr;
 use zen_graph::{dijkstra, Graph};
-use zen_sim::{Context, Duration, Instant, Node, PortNo};
+use zen_sim::{Context, CounterId, Duration, Instant, Node, PortNo};
 use zen_wire::builder::PacketBuilder;
 use zen_wire::ethernet::{EtherType, Frame};
 use zen_wire::{EthernetAddress, Ipv4Address};
@@ -65,6 +65,9 @@ pub struct LinkStateRouter {
     neighbors: BTreeMap<PortNo, Neighbor>,
     lsdb: BTreeMap<u64, LsaRecord>,
     my_seq: u64,
+    /// Typed handle for the shared `routing.msgs` counter, registered
+    /// lazily so the send path never does a string lookup.
+    msgs_id: Option<CounterId>,
     /// Number of SPF runs (experiment metric).
     pub spf_runs: u64,
     /// Routing-protocol messages sent (experiment metric).
@@ -85,6 +88,7 @@ impl LinkStateRouter {
             neighbors: BTreeMap::new(),
             lsdb: BTreeMap::new(),
             my_seq: 0,
+            msgs_id: None,
             spf_runs: 0,
             control_msgs_sent: 0,
         }
@@ -103,7 +107,10 @@ impl LinkStateRouter {
             &msg.encode(),
         );
         self.control_msgs_sent += 1;
-        ctx.metrics().incr("routing.msgs");
+        let id = *self
+            .msgs_id
+            .get_or_insert_with(|| ctx.metrics().register_counter("routing.msgs"));
+        ctx.metrics().incr(id);
         ctx.transmit(port, frame);
     }
 

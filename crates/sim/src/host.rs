@@ -11,19 +11,18 @@
 use std::any::Any;
 use std::collections::BTreeMap;
 
+use zen_telemetry::{probe_trace_id, TraceEvent, PROBE_MAGIC};
 use zen_wire::builder::PacketBuilder;
 use zen_wire::ethernet::{EtherType, Frame};
 use zen_wire::{arp, icmpv4, ipv4, udp};
 use zen_wire::{EthernetAddress, Ipv4Address};
 
-use crate::stats::Histogram;
+use crate::stats::{Histogram, HistogramId};
 use crate::time::{Duration, Instant};
 use crate::world::{Context, Node, PortNo};
 
 /// The single port a host owns.
 pub const HOST_PORT: PortNo = 1;
-
-const PROBE_MAGIC: u32 = 0x5a45_4e21; // "ZEN!"
 
 /// Timer token for gratuitous-ARP re-announcements.
 const ANNOUNCE_TOKEN: u64 = u64::MAX;
@@ -99,6 +98,9 @@ pub struct Host {
     workloads: Vec<WorkloadState>,
     ping_sent_at: BTreeMap<(u16, u16), Instant>,
     next_ping_ident: u16,
+    /// Typed handle for the shared `host.udp_latency_secs` histogram,
+    /// registered lazily so the receive path never does a string lookup.
+    latency_hid: Option<HistogramId>,
     /// Measured statistics.
     pub stats: HostStats,
 }
@@ -122,6 +124,7 @@ impl Host {
             workloads: Vec::new(),
             ping_sent_at: BTreeMap::new(),
             next_ping_ident: 1,
+            latency_hid: None,
             stats: HostStats::default(),
         }
     }
@@ -263,6 +266,12 @@ impl Host {
                 dgram.payload_mut().copy_from_slice(&payload);
                 repr.emit(&mut dgram, self.ip, dst);
                 self.stats.udp_tx += 1;
+                if ctx.recorder().is_enabled() {
+                    let tid = probe_trace_id(self.ip.to_u32(), dst.to_u32(), seq, now.as_nanos());
+                    let node = ctx.self_id.0;
+                    ctx.recorder()
+                        .record(now.as_nanos(), tid, TraceEvent::HostEmit { node });
+                }
                 let packet = self.build_ip(dst, ipv4::Protocol::Udp, &dgram_buf);
                 self.send_ip(ctx, dst, packet);
             }
@@ -365,6 +374,16 @@ impl Host {
             let sent_nanos = u64::from_be_bytes(data[12..20].try_into().unwrap());
             let latency = ctx.now().as_nanos().saturating_sub(sent_nanos);
             self.stats.udp_latency.record(latency as f64 / 1e9);
+            let hid = *self
+                .latency_hid
+                .get_or_insert_with(|| ctx.metrics().register_histogram("host.udp_latency_secs"));
+            ctx.metrics().record(hid, latency as f64 / 1e9);
+            if ctx.recorder().is_enabled() {
+                let tid = probe_trace_id(src_ip.to_u32(), self.ip.to_u32(), seq, sent_nanos);
+                let node = ctx.self_id.0;
+                ctx.recorder()
+                    .record(ctx.now().as_nanos(), tid, TraceEvent::HostRecv { node });
+            }
             let max = self.stats.udp_max_seq.entry(src_ip).or_insert(0);
             *max = (*max).max(seq);
             *self.stats.udp_rx_per_src.entry(src_ip).or_insert(0) += 1;

@@ -41,7 +41,7 @@ pub mod world;
 pub use fault::{FaultPlan, Scope, Window};
 pub use host::{Host, Workload};
 pub use rng::Rng;
-pub use stats::{Counter, Histogram, Metrics, TimeSeries};
+pub use stats::{Counter, CounterId, Histogram, HistogramId, Metrics, TimeSeries};
 pub use time::{Duration, Instant};
 pub use topo::{FatTreeIndex, Topology};
 pub use world::{Context, Link, LinkId, LinkParams, Node, NodeId, PortNo, World};

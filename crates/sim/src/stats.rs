@@ -36,10 +36,14 @@ impl Counter {
 ///
 /// Retains every recorded value (the simulator's sample counts are modest),
 /// so quantiles are exact rather than bucketed approximations.
+///
+/// [`Histogram::samples`] always returns samples in recording order;
+/// quantile queries maintain a separate lazily-rebuilt sorted copy and
+/// never disturb it.
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
     samples: Vec<f64>,
-    sorted: bool,
+    sorted: Vec<f64>,
 }
 
 impl Histogram {
@@ -51,7 +55,6 @@ impl Histogram {
     /// Record a sample.
     pub fn record(&mut self, value: f64) {
         self.samples.push(value);
-        self.sorted = false;
     }
 
     /// Number of samples recorded.
@@ -83,22 +86,23 @@ impl Histogram {
     }
 
     fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples
+        if self.sorted.len() != self.samples.len() {
+            self.sorted.clear();
+            self.sorted.extend_from_slice(&self.samples);
+            self.sorted
                 .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-            self.sorted = true;
         }
     }
 
     /// The `q`-quantile (`0.0..=1.0`) by the nearest-rank method, or `None`
-    /// if empty.
+    /// if empty. Sorts into a side buffer; `samples()` is unaffected.
     pub fn quantile(&mut self, q: f64) -> Option<f64> {
         if self.samples.is_empty() {
             return None;
         }
         self.ensure_sorted();
-        let rank = ((q.clamp(0.0, 1.0)) * (self.samples.len() - 1) as f64).round() as usize;
-        Some(self.samples[rank])
+        let rank = ((q.clamp(0.0, 1.0)) * (self.sorted.len() - 1) as f64).round() as usize;
+        Some(self.sorted[rank])
     }
 
     /// Convenience: the median.
@@ -111,8 +115,8 @@ impl Histogram {
         self.quantile(0.99)
     }
 
-    /// All samples, unsorted, in recording order... unless quantiles were
-    /// queried (which sorts in place).
+    /// All samples in recording order. Quantile queries do not perturb
+    /// this: sorting happens in a separate cached buffer.
     pub fn samples(&self) -> &[f64] {
         &self.samples
     }
@@ -160,11 +164,30 @@ impl TimeSeries {
     }
 }
 
+/// Typed handle to a pre-registered counter: an O(1) array index.
+///
+/// Obtain one with [`Metrics::register_counter`] at setup time and use it
+/// on the hot path instead of a string name — no map lookup, no hashing,
+/// no allocation per increment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CounterId(u32);
+
+/// Typed handle to a pre-registered histogram. See [`CounterId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HistogramId(u32);
+
 /// A registry of named metrics, used by nodes and experiment harnesses.
+///
+/// The write path is typed: callers register names once (setup time) and
+/// receive [`CounterId`] / [`HistogramId`] handles that index directly
+/// into dense storage. The read path stays name-based — reports, tests,
+/// and the snapshot exporter iterate `(name, value)` pairs in name order.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    counters: BTreeMap<String, Counter>,
-    histograms: BTreeMap<String, Histogram>,
+    counters: Vec<Counter>,
+    histograms: Vec<Histogram>,
+    counter_index: BTreeMap<String, u32>,
+    histogram_index: BTreeMap<String, u32>,
 }
 
 impl Metrics {
@@ -173,38 +196,121 @@ impl Metrics {
         Metrics::default()
     }
 
-    /// Add `n` to the named counter, creating it at zero if absent.
-    pub fn add(&mut self, name: &str, n: u64) {
-        self.counters.entry(name.to_string()).or_default().add(n);
+    /// Register (or look up) the counter `name`, returning its typed
+    /// handle. Registering the same name twice returns the same handle.
+    pub fn register_counter(&mut self, name: &str) -> CounterId {
+        if let Some(&idx) = self.counter_index.get(name) {
+            return CounterId(idx);
+        }
+        let idx = u32::try_from(self.counters.len()).expect("too many counters");
+        self.counters.push(Counter::new());
+        self.counter_index.insert(name.to_string(), idx);
+        CounterId(idx)
     }
 
-    /// Add one to the named counter.
-    pub fn incr(&mut self, name: &str) {
-        self.add(name, 1);
+    /// Register (or look up) the histogram `name`, returning its typed
+    /// handle. Registering the same name twice returns the same handle.
+    pub fn register_histogram(&mut self, name: &str) -> HistogramId {
+        if let Some(&idx) = self.histogram_index.get(name) {
+            return HistogramId(idx);
+        }
+        let idx = u32::try_from(self.histograms.len()).expect("too many histograms");
+        self.histograms.push(Histogram::new());
+        self.histogram_index.insert(name.to_string(), idx);
+        HistogramId(idx)
     }
 
-    /// Read a counter (zero if never written).
+    /// Add `n` to a registered counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0 as usize].add(n);
+    }
+
+    /// Add one to a registered counter.
+    #[inline]
+    pub fn incr(&mut self, id: CounterId) {
+        self.counters[id.0 as usize].incr();
+    }
+
+    /// Read a registered counter by handle.
+    #[inline]
+    pub fn get(&self, id: CounterId) -> u64 {
+        self.counters[id.0 as usize].get()
+    }
+
+    /// Record a sample in a registered histogram.
+    #[inline]
+    pub fn record(&mut self, id: HistogramId, value: f64) {
+        self.histograms[id.0 as usize].record(value);
+    }
+
+    /// Read a counter by name (zero if never registered). Report-path
+    /// only — hot paths should hold a [`CounterId`].
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).map_or(0, |c| c.get())
+        self.counter_index
+            .get(name)
+            .map_or(0, |&idx| self.counters[idx as usize].get())
     }
 
-    /// Record a sample in the named histogram.
-    pub fn record(&mut self, name: &str, value: f64) {
-        self.histograms
-            .entry(name.to_string())
-            .or_default()
-            .record(value);
-    }
-
-    /// Access a histogram mutably (quantiles need `&mut`), creating it if
-    /// absent.
+    /// Access a histogram mutably by name (quantiles need `&mut`),
+    /// registering it if absent. Report-path only.
     pub fn histogram(&mut self, name: &str) -> &mut Histogram {
-        self.histograms.entry(name.to_string()).or_default()
+        let id = self.register_histogram(name);
+        &mut self.histograms[id.0 as usize]
+    }
+
+    /// Access a registered histogram mutably by handle.
+    #[inline]
+    pub fn histogram_mut(&mut self, id: HistogramId) -> &mut Histogram {
+        &mut self.histograms[id.0 as usize]
     }
 
     /// Iterate counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
+        self.counter_index
+            .iter()
+            .map(|(k, &idx)| (k.as_str(), self.counters[idx as usize].get()))
+    }
+
+    /// Iterate histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histogram_index
+            .iter()
+            .map(move |(k, &idx)| (k.as_str(), &self.histograms[idx as usize]))
+    }
+
+    /// Serialize every counter and histogram as deterministic JSON-lines,
+    /// in name order. Takes `&mut self` because quantile queries build the
+    /// histogram sort caches.
+    pub fn write_jsonl(&mut self, out: &mut String) {
+        use zen_telemetry::json::Line;
+        for (name, value) in self.counters() {
+            Line::new("counter")
+                .str("name", name)
+                .u64("value", value)
+                .finish(out);
+        }
+        let names: Vec<String> = self.histogram_index.keys().cloned().collect();
+        for name in names {
+            let h = self.histogram(&name);
+            let (count, mean, min, max, p50, p99) = (
+                h.count() as u64,
+                h.mean(),
+                h.min(),
+                h.max(),
+                h.median(),
+                h.p99(),
+            );
+            Line::new("histogram")
+                .str("name", &name)
+                .u64("count", count)
+                .f64("mean", mean.unwrap_or(0.0))
+                .f64("min", min.unwrap_or(0.0))
+                .f64("max", max.unwrap_or(0.0))
+                .f64("p50", p50.unwrap_or(0.0))
+                .f64("p99", p99.unwrap_or(0.0))
+                .finish(out);
+        }
     }
 }
 
@@ -266,14 +372,54 @@ mod tests {
     #[test]
     fn metrics_registry() {
         let mut m = Metrics::new();
-        m.incr("pkts");
-        m.add("pkts", 2);
+        let pkts = m.register_counter("pkts");
+        m.incr(pkts);
+        m.add(pkts, 2);
+        assert_eq!(m.get(pkts), 3);
         assert_eq!(m.counter("pkts"), 3);
         assert_eq!(m.counter("missing"), 0);
-        m.record("latency", 1.5);
-        m.record("latency", 2.5);
+        let latency = m.register_histogram("latency");
+        m.record(latency, 1.5);
+        m.record(latency, 2.5);
         assert_eq!(m.histogram("latency").mean(), Some(2.0));
         let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["pkts"]);
+    }
+
+    #[test]
+    fn metrics_registration_is_idempotent() {
+        let mut m = Metrics::new();
+        let a = m.register_counter("x");
+        let b = m.register_counter("x");
+        assert_eq!(a, b);
+        m.incr(a);
+        m.incr(b);
+        assert_eq!(m.counter("x"), 2);
+    }
+
+    #[test]
+    fn counters_iterate_in_name_order() {
+        let mut m = Metrics::new();
+        // Register out of name order; iteration must still be sorted.
+        let z = m.register_counter("zeta");
+        let a = m.register_counter("alpha");
+        m.add(z, 1);
+        m.add(a, 2);
+        let got: Vec<(&str, u64)> = m.counters().collect();
+        assert_eq!(got, vec![("alpha", 2), ("zeta", 1)]);
+    }
+
+    #[test]
+    fn quantiles_do_not_perturb_recording_order() {
+        let mut h = Histogram::new();
+        for v in [5.0, 1.0, 3.0] {
+            h.record(v);
+        }
+        assert_eq!(h.median(), Some(3.0));
+        assert_eq!(h.samples(), &[5.0, 1.0, 3.0]);
+        // Recording after a quantile query invalidates the sorted cache.
+        h.record(0.0);
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.samples(), &[5.0, 1.0, 3.0, 0.0]);
     }
 }

@@ -26,9 +26,11 @@ use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
+use zen_telemetry::{trace_id_for_frame, Recorder, TraceEvent};
+
 use crate::fault::FaultPlan;
 use crate::rng::Rng;
-use crate::stats::Metrics;
+use crate::stats::{CounterId, Metrics};
 use crate::time::{transmission_time, Duration, Instant};
 
 /// Identifies a node in the world.
@@ -197,6 +199,20 @@ enum EventKind {
     },
 }
 
+impl EventKind {
+    /// Stable name used for event-loop span accounting.
+    fn name(&self) -> &'static str {
+        match self {
+            EventKind::Start => "start",
+            EventKind::Packet { .. } => "packet",
+            EventKind::Timer { .. } => "timer",
+            EventKind::Control { .. } => "control",
+            EventKind::LinkStatus { .. } => "link_status",
+            EventKind::AdminLink { .. } => "admin_link",
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Event {
     at: Instant,
@@ -222,6 +238,42 @@ impl Ord for Event {
     }
 }
 
+/// Typed handles to the simulator's own counters, registered once at
+/// world construction so the hot paths never do string lookups.
+struct SimCounters {
+    tx_no_link: CounterId,
+    tx_frames: CounterId,
+    tx_bytes: CounterId,
+    drops_down: CounterId,
+    drops_queue: CounterId,
+    drops_in_flight: CounterId,
+    control_msgs: CounterId,
+    control_bytes: CounterId,
+    fault_data_dropped: CounterId,
+    fault_control_partitioned: CounterId,
+    fault_control_dropped: CounterId,
+    fault_control_duplicated: CounterId,
+}
+
+impl SimCounters {
+    fn register(m: &mut Metrics) -> SimCounters {
+        SimCounters {
+            tx_no_link: m.register_counter("sim.tx_no_link"),
+            tx_frames: m.register_counter("sim.tx_frames"),
+            tx_bytes: m.register_counter("sim.tx_bytes"),
+            drops_down: m.register_counter("sim.drops_down"),
+            drops_queue: m.register_counter("sim.drops_queue"),
+            drops_in_flight: m.register_counter("sim.drops_in_flight"),
+            control_msgs: m.register_counter("sim.control_msgs"),
+            control_bytes: m.register_counter("sim.control_bytes"),
+            fault_data_dropped: m.register_counter("fault.data_dropped"),
+            fault_control_partitioned: m.register_counter("fault.control_partitioned"),
+            fault_control_dropped: m.register_counter("fault.control_dropped"),
+            fault_control_duplicated: m.register_counter("fault.control_duplicated"),
+        }
+    }
+}
+
 /// Everything a node may touch while handling an event.
 struct CoreState {
     now: Instant,
@@ -234,6 +286,8 @@ struct CoreState {
     next_port: Vec<PortNo>,
     rng: Rng,
     metrics: Metrics,
+    ids: SimCounters,
+    recorder: Recorder,
     control_latency: Duration,
     control_latency_override: BTreeMap<(NodeId, NodeId), Duration>,
     control_jitter: Duration,
@@ -255,7 +309,7 @@ impl CoreState {
 
     fn transmit(&mut self, from: NodeId, port: PortNo, frame: Vec<u8>) {
         let Some(&link_id) = self.ports.get(&(from, port)) else {
-            self.metrics.incr("sim.tx_no_link");
+            self.metrics.incr(self.ids.tx_no_link);
             return;
         };
         // Fault plan: lossy links. Checked before queueing, so a dropped
@@ -263,7 +317,7 @@ impl CoreState {
         if !self.faults.is_empty() && self.links[link_id.0 as usize].up {
             let p = self.faults.link_loss_prob(link_id, self.now);
             if p > 0.0 && self.rng.gen_bool(p) {
-                self.metrics.incr("fault.data_dropped");
+                self.metrics.incr(self.ids.fault_data_dropped);
                 return;
             }
         }
@@ -275,7 +329,7 @@ impl CoreState {
                 &mut link.ba
             };
             dir.drops_down += 1;
-            self.metrics.incr("sim.drops_down");
+            self.metrics.incr(self.ids.drops_down);
             return;
         }
         let (dst, dir) = if link.a == (from, port) {
@@ -294,7 +348,7 @@ impl CoreState {
                 / 1_000_000_000) as usize;
             if backlog_bytes + frame.len() > params.queue_bytes {
                 dir.drops_queue += 1;
-                self.metrics.incr("sim.drops_queue");
+                self.metrics.incr(self.ids.drops_queue);
                 return;
             }
             let tx_start = dir.busy_until.max(self.now);
@@ -304,8 +358,17 @@ impl CoreState {
         };
         dir.tx_bytes += frame.len() as u64;
         dir.tx_frames += 1;
-        self.metrics.incr("sim.tx_frames");
-        self.metrics.add("sim.tx_bytes", frame.len() as u64);
+        self.metrics.incr(self.ids.tx_frames);
+        self.metrics.add(self.ids.tx_bytes, frame.len() as u64);
+        if self.recorder.is_enabled() {
+            if let Some(tid) = trace_id_for_frame(&frame) {
+                self.recorder.record(
+                    self.now.as_nanos(),
+                    tid,
+                    TraceEvent::LinkTx { node: from.0, port },
+                );
+            }
+        }
         self.push(arrival, dst.0, EventKind::Packet { port: dst.1, frame });
     }
 
@@ -357,24 +420,28 @@ impl Context<'_> {
         if !self.core.faults.is_empty() {
             let now = self.core.now;
             if self.core.faults.is_partitioned(from, to, now) {
-                self.core.metrics.incr("fault.control_partitioned");
+                self.core
+                    .metrics
+                    .incr(self.core.ids.fault_control_partitioned);
                 return;
             }
             let loss = self.core.faults.control_loss_prob(from, to, now);
             if loss > 0.0 && self.core.rng.gen_bool(loss) {
-                self.core.metrics.incr("fault.control_dropped");
+                self.core.metrics.incr(self.core.ids.fault_control_dropped);
                 return;
             }
             let dup = self.core.faults.control_dup_prob(from, to, now);
             if dup > 0.0 && self.core.rng.gen_bool(dup) {
-                self.core.metrics.incr("fault.control_duplicated");
+                self.core
+                    .metrics
+                    .incr(self.core.ids.fault_control_duplicated);
                 copies = 2;
             }
         }
-        self.core.metrics.incr("sim.control_msgs");
+        self.core.metrics.incr(self.core.ids.control_msgs);
         self.core
             .metrics
-            .add("sim.control_bytes", bytes.len() as u64);
+            .add(self.core.ids.control_bytes, bytes.len() as u64);
         let mut remaining = Some(bytes);
         for copy in 0..copies {
             let mut latency = self.core.control_latency_for(from, to);
@@ -439,6 +506,12 @@ impl Context<'_> {
     pub fn metrics(&mut self) -> &mut Metrics {
         &mut self.core.metrics
     }
+
+    /// The world's shared flight recorder. Tap points must guard per-event
+    /// work behind [`Recorder::is_enabled`].
+    pub fn recorder(&self) -> &Recorder {
+        &self.core.recorder
+    }
 }
 
 /// The simulation world: nodes, links, and the event queue.
@@ -451,6 +524,8 @@ pub struct World {
 impl World {
     /// Create an empty world with the given RNG seed.
     pub fn new(seed: u64) -> World {
+        let mut metrics = Metrics::new();
+        let ids = SimCounters::register(&mut metrics);
         World {
             nodes: Vec::new(),
             core: CoreState {
@@ -461,7 +536,9 @@ impl World {
                 ports: BTreeMap::new(),
                 next_port: Vec::new(),
                 rng: Rng::new(seed),
-                metrics: Metrics::new(),
+                metrics,
+                ids,
+                recorder: Recorder::new(),
                 control_latency: Duration::from_micros(50),
                 control_latency_override: BTreeMap::new(),
                 control_jitter: Duration::ZERO,
@@ -629,6 +706,14 @@ impl World {
         &mut self.core.metrics
     }
 
+    /// The world's shared flight recorder. Disabled by default; enable
+    /// with `world.recorder().set_enabled(true)`. Components that hold a
+    /// clone (datapaths, controller, hosts) observe the shared state, so
+    /// enabling after the fabric is built still takes effect everywhere.
+    pub fn recorder(&self) -> &Recorder {
+        &self.core.recorder
+    }
+
     /// Inspect a link.
     pub fn link(&self, id: LinkId) -> &Link {
         &self.core.links[id.0 as usize]
@@ -668,12 +753,32 @@ impl World {
 
     /// Process a single event. Returns the time it occurred, or `None` if
     /// the queue is empty.
+    ///
+    /// When the flight recorder is enabled, each dispatch is accounted to
+    /// its event type: wall-clock cost (profiling only) and how far
+    /// simulated time advanced to reach it (part of the deterministic
+    /// export).
     pub fn step(&mut self) -> Option<Instant> {
         let Reverse(event) = self.core.queue.pop()?;
         debug_assert!(event.at >= self.core.now, "time went backwards");
+        let advance = event.at.duration_since(self.core.now);
         self.core.now = event.at;
         self.core.events_processed += 1;
+        let at = event.at;
+        if !self.core.recorder.is_enabled() {
+            self.dispatch(event);
+            return Some(at);
+        }
+        let kind = event.kind.name();
+        let t0 = std::time::Instant::now();
+        self.dispatch(event);
+        let wall = t0.elapsed().as_nanos() as u64;
+        self.core.recorder.note_loop(kind, wall, advance.as_nanos());
+        Some(at)
+    }
 
+    /// Deliver one already-dequeued event to its target.
+    fn dispatch(&mut self, event: Event) {
         if let EventKind::AdminLink { link, up, notify } = event.kind {
             let l = &mut self.core.links[link.0 as usize];
             if l.up != up {
@@ -686,7 +791,7 @@ impl World {
                         .push(self.core.now, b.0, EventKind::LinkStatus { port: b.1, up });
                 }
             }
-            return Some(event.at);
+            return;
         }
 
         // Frames still propagating when their link went down are lost
@@ -699,15 +804,15 @@ impl World {
                 .map(|l| self.core.links[l.0 as usize].up)
                 .unwrap_or(false);
             if !alive {
-                self.core.metrics.incr("sim.drops_in_flight");
-                return Some(event.at);
+                self.core.metrics.incr(self.core.ids.drops_in_flight);
+                return;
             }
         }
 
         let idx = event.node.0 as usize;
         let mut node = match self.nodes.get_mut(idx).and_then(Option::take) {
             Some(node) => node,
-            None => return Some(event.at), // node removed or never existed
+            None => return, // node removed or never existed
         };
         {
             let mut ctx = Context {
@@ -724,7 +829,6 @@ impl World {
             }
         }
         self.nodes[idx] = Some(node);
-        Some(event.at)
     }
 
     /// Run until the queue is empty or simulated time would exceed

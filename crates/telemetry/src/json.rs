@@ -1,0 +1,137 @@
+//! Minimal deterministic JSON-lines emission.
+//!
+//! The exporters in this workspace write JSON by hand rather than through a
+//! serialization framework: the output must be byte-identical across runs
+//! and across toolchain updates, so every formatting decision is pinned
+//! here. Fields are emitted in the order the caller writes them; callers
+//! are responsible for choosing a deterministic order (sorted names,
+//! insertion order of a `BTreeMap`, …).
+
+use core::fmt::Write as _;
+
+/// Append `s` to `out` as a JSON string literal (with surrounding quotes).
+///
+/// Escapes the two mandatory characters (`"` and `\`) and all control
+/// characters below 0x20 using `\u00XX`; everything else is passed through
+/// as UTF-8.
+pub fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builder for a single JSON object emitted as one line.
+///
+/// ```
+/// use zen_telemetry::json::Line;
+/// let mut out = String::new();
+/// Line::new("counter")
+///     .str("name", "sim.tx_frames")
+///     .u64("value", 42)
+///     .finish(&mut out);
+/// assert_eq!(out, "{\"type\":\"counter\",\"name\":\"sim.tx_frames\",\"value\":42}\n");
+/// ```
+#[derive(Debug)]
+pub struct Line {
+    buf: String,
+}
+
+impl Line {
+    /// Start a line whose first field is `"type":"<ty>"`.
+    pub fn new(ty: &str) -> Line {
+        let mut buf = String::with_capacity(96);
+        buf.push_str("{\"type\":");
+        push_str_literal(&mut buf, ty);
+        Line { buf }
+    }
+
+    fn key(&mut self, k: &str) {
+        self.buf.push(',');
+        push_str_literal(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    /// Append a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Line {
+        self.key(k);
+        push_str_literal(&mut self.buf, v);
+        self
+    }
+
+    /// Append an unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> Line {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Append a float field.
+    ///
+    /// Rust's `Display` for `f64` is deterministic (shortest round-trip
+    /// representation), which is what makes float export diffable. Non-finite
+    /// values are not valid JSON numbers and are emitted as `null`.
+    pub fn f64(mut self, k: &str, v: f64) -> Line {
+        self.key(k);
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Append a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> Line {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Close the object and append it (plus a newline) to `out`.
+    pub fn finish(mut self, out: &mut String) {
+        self.buf.push('}');
+        self.buf.push('\n');
+        out.push_str(&self.buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_controls_and_quotes() {
+        let mut out = String::new();
+        push_str_literal(&mut out, "a\"b\\c\nd\u{1}e");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001e\"");
+    }
+
+    #[test]
+    fn line_field_order_is_caller_order() {
+        let mut out = String::new();
+        Line::new("t").u64("b", 2).u64("a", 1).finish(&mut out);
+        assert_eq!(out, "{\"type\":\"t\",\"b\":2,\"a\":1}\n");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        Line::new("t")
+            .f64("x", f64::NAN)
+            .f64("y", 0.5)
+            .finish(&mut out);
+        assert_eq!(out, "{\"type\":\"t\",\"x\":null,\"y\":0.5}\n");
+    }
+}

@@ -18,6 +18,8 @@
 //! * [`routing`] — distributed control-plane baselines (link-state,
 //!   distance-vector, learning switches).
 //! * [`te`] — traffic-engineering algorithms.
+//! * [`telemetry`] — the causal flight recorder and deterministic
+//!   JSON-lines telemetry export.
 //! * [`core`] — the network operating system: controller, discovery,
 //!   network view, and applications.
 //!
@@ -31,4 +33,5 @@ pub use zen_proto as proto;
 pub use zen_routing as routing;
 pub use zen_sim as sim;
 pub use zen_te as te;
+pub use zen_telemetry as telemetry;
 pub use zen_wire as wire;
