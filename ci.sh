@@ -18,3 +18,9 @@ cargo test --release -p zen-core --test chaos -- --ignored --nocapture
 # monitor state, trace ring), in release mode where any UB or
 # iteration-order dependence is most likely to surface.
 cargo test --release -p zen-core --test telemetry -- --nocapture
+
+# Cluster failover soak: fixed-seed kill-and-heal of a master replica,
+# run twice, asserting byte-identical mastership, tables, and stats;
+# ignored in the normal pass because it simulates ~6 s of fabric time
+# per run.
+cargo test --release -p zen-core --test cluster -- --ignored --nocapture

@@ -1,0 +1,522 @@
+//! # zen-cluster — distributed control-plane substrate
+//!
+//! The mechanisms a controller replica needs to be part of an
+//! ONOS-style cluster, independent of the controller itself:
+//!
+//! * [`Membership`] — lease-based liveness over east-west heartbeats
+//!   plus a deterministic per-switch mastership function. There is no
+//!   separate election protocol: every replica computes the same
+//!   `master(dpid) = live_replicas[dpid % n_live]` assignment from its
+//!   own live set, and divergent live sets (partitions) are resolved at
+//!   the switch by comparing `(term, replica)` claims — the mastership
+//!   **term** grows by the number of membership changes a replica has
+//!   observed, so the replica that lost *more* peers (the minority side
+//!   of a partition) always presents the strictly higher term.
+//! * [`EwStore`] — a per-replica monotonic event log with anti-entropy
+//!   sync. Each replica gossips only its own origin's entries; peers
+//!   acknowledge per-origin high-water marks in every heartbeat, and
+//!   the origin resends the unacknowledged contiguous suffix. Writes to
+//!   the same logical key resolve last-writer-wins on
+//!   `(term, seq, origin)`, like ONOS's eventually-consistent maps.
+//!
+//! Everything is deterministic: no wall-clock time, no randomness, all
+//! maps ordered.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use zen_proto::{EwEntry, ViewEvent};
+use zen_sim::{Duration, Instant, NodeId};
+
+/// Static description of a cluster from one replica's point of view.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Node ids of every replica, in replica-index order. All replicas
+    /// must agree on this vector.
+    pub replicas: Vec<NodeId>,
+    /// This replica's index into `replicas`.
+    pub index: usize,
+    /// Silence threshold: a peer unheard from for this long is presumed
+    /// dead and its switches are taken over.
+    pub lease_timeout: Duration,
+}
+
+impl ClusterConfig {
+    /// A config with the default 300 ms mastership lease.
+    pub fn new(replicas: Vec<NodeId>, index: usize) -> ClusterConfig {
+        ClusterConfig {
+            replicas,
+            index,
+            lease_timeout: Duration::from_millis(300),
+        }
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether the cluster is a single replica (degenerate).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// The replica index of `node`, if it is a replica.
+    pub fn index_of(&self, node: NodeId) -> Option<usize> {
+        self.replicas.iter().position(|&n| n == node)
+    }
+}
+
+/// Lease-based membership and the deterministic mastership function.
+#[derive(Debug)]
+pub struct Membership {
+    cfg: ClusterConfig,
+    /// Last heartbeat per replica index; our own slot tracks `now`.
+    last_heard: Vec<Instant>,
+    alive: Vec<bool>,
+    term: u64,
+}
+
+impl Membership {
+    /// A membership view that starts with every replica presumed alive
+    /// (bring-up grace: nobody has heartbeated yet at t=0).
+    pub fn new(cfg: ClusterConfig, now: Instant) -> Membership {
+        let n = cfg.replicas.len();
+        Membership {
+            cfg,
+            last_heard: vec![now; n],
+            alive: vec![true; n],
+            term: 1,
+        }
+    }
+
+    /// The cluster config.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// This replica's index.
+    pub fn index(&self) -> usize {
+        self.cfg.index
+    }
+
+    /// The current mastership term.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Record a heartbeat from `replica` carrying its `term`. Terms
+    /// merge by max, so a healed partition converges on the highest
+    /// term either side reached.
+    pub fn note_heartbeat(&mut self, replica: u32, term: u64, now: Instant) {
+        if let Some(slot) = self.last_heard.get_mut(replica as usize) {
+            *slot = now;
+        }
+        self.term = self.term.max(term);
+    }
+
+    /// Re-evaluate peer liveness against the lease. Each peer that
+    /// flips (alive→dead or dead→alive) bumps the term by one, so the
+    /// side of a partition that lost more peers claims with a strictly
+    /// higher term. Returns `true` if any peer flipped.
+    pub fn scan(&mut self, now: Instant) -> bool {
+        let mut changed = false;
+        for i in 0..self.cfg.replicas.len() {
+            if i == self.cfg.index {
+                self.last_heard[i] = now;
+                continue;
+            }
+            let live = now.duration_since(self.last_heard[i]) < self.cfg.lease_timeout;
+            if live != self.alive[i] {
+                self.alive[i] = live;
+                self.term += 1;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Whether replica `i` is currently presumed alive.
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.alive.get(i).copied().unwrap_or(false)
+    }
+
+    /// Indices of replicas currently presumed alive (always includes
+    /// self), ascending.
+    pub fn live(&self) -> Vec<usize> {
+        (0..self.cfg.replicas.len())
+            .filter(|&i| i == self.cfg.index || self.alive[i])
+            .collect()
+    }
+
+    /// The replica index every replica with this live set would elect
+    /// as master of `dpid`.
+    pub fn master_index(&self, dpid: u64) -> usize {
+        let live = self.live();
+        live[(dpid % live.len() as u64) as usize]
+    }
+
+    /// Whether this replica's own assignment says it masters `dpid`.
+    /// (A stronger claim observed at the switch may still override —
+    /// that bookkeeping lives with the connection owner.)
+    pub fn assigned_master(&self, dpid: u64) -> bool {
+        self.master_index(dpid) == self.cfg.index
+    }
+
+    /// This replica's mastership claim, ordered lexicographically:
+    /// the higher `(term, replica)` wins a contested switch.
+    pub fn claim(&self) -> (u64, u32) {
+        (self.term, self.cfg.index as u32)
+    }
+}
+
+/// The logical key a [`ViewEvent`] writes, for last-writer-wins
+/// resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKey {
+    /// A directed link, keyed by its source endpoint.
+    Link(u64, u32),
+    /// A host, keyed by MAC (as u64).
+    Host(u64),
+    /// One switch's cookie shadow.
+    Shadow(u64),
+    /// One (switch, app-cookie) program stamp.
+    Stamp(u64, u64),
+}
+
+/// The key `event` writes.
+pub fn event_key(event: &ViewEvent) -> EventKey {
+    match event {
+        ViewEvent::LinkAdd {
+            from_dpid,
+            from_port,
+            ..
+        }
+        | ViewEvent::LinkDel {
+            from_dpid,
+            from_port,
+        } => EventKey::Link(*from_dpid, *from_port),
+        ViewEvent::HostLearned { mac, .. } => {
+            let b = mac.as_bytes();
+            let mut v = 0u64;
+            for &x in b {
+                v = (v << 8) | u64::from(x);
+            }
+            EventKey::Host(v)
+        }
+        ViewEvent::ShadowSet { dpid, .. } => EventKey::Shadow(*dpid),
+        ViewEvent::ProgramStamp { dpid, cookie, .. } => EventKey::Stamp(*dpid, *cookie),
+    }
+}
+
+/// What [`EwStore::admit`] decided about a received entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// New and the latest writer for its key: apply it.
+    Apply,
+    /// New but an already-applied write to the same key outranks it:
+    /// record it, skip application.
+    Stale,
+    /// Already seen (duplicate delivery): ignore.
+    Duplicate,
+    /// Out of order (a gap before it): ignore; the origin resends the
+    /// contiguous suffix on the next anti-entropy round.
+    Gap,
+}
+
+/// Per-replica monotonic event log with anti-entropy metadata. See the
+/// crate docs for the protocol.
+#[derive(Debug)]
+pub struct EwStore {
+    origin: u32,
+    n_replicas: usize,
+    /// Our own entries not yet acknowledged by every peer, by seq.
+    log: BTreeMap<u64, EwEntry>,
+    next_seq: u64,
+    /// Highest contiguous seq applied locally, per origin. Our own slot
+    /// is `next_seq - 1`.
+    applied: BTreeMap<u32, u64>,
+    /// Highest of *our* seqs each peer has acknowledged.
+    peer_acked: BTreeMap<u32, u64>,
+    /// Winning `(term, seq, origin)` stamp per logical key.
+    stamps: BTreeMap<EventKey, (u64, u64, u32)>,
+}
+
+impl EwStore {
+    /// An empty store for replica `origin` of `n_replicas`.
+    pub fn new(origin: u32, n_replicas: usize) -> EwStore {
+        let mut applied = BTreeMap::new();
+        let mut peer_acked = BTreeMap::new();
+        for i in 0..n_replicas as u32 {
+            applied.insert(i, 0);
+            if i != origin {
+                peer_acked.insert(i, 0);
+            }
+        }
+        EwStore {
+            origin,
+            n_replicas,
+            log: BTreeMap::new(),
+            next_seq: 1,
+            applied,
+            peer_acked,
+            stamps: BTreeMap::new(),
+        }
+    }
+
+    /// Log a local mutation under `term`, stamping its key. The caller
+    /// has already applied it to local state (local observations are
+    /// first-hand and always applied).
+    pub fn append(&mut self, term: u64, event: ViewEvent) -> &EwEntry {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.applied.insert(self.origin, seq);
+        self.stamps
+            .insert(event_key(&event), (term, seq, self.origin));
+        let entry = EwEntry {
+            origin: self.origin,
+            seq,
+            term,
+            event,
+        };
+        self.log.insert(seq, entry);
+        &self.log[&seq]
+    }
+
+    /// Decide what to do with a received entry and update the log
+    /// metadata. On [`Admit::Apply`] the caller applies `entry.event`
+    /// to its local state.
+    pub fn admit(&mut self, entry: &EwEntry) -> Admit {
+        if entry.origin == self.origin || entry.origin as usize >= self.n_replicas {
+            return Admit::Duplicate;
+        }
+        let high = self.applied.get(&entry.origin).copied().unwrap_or(0);
+        if entry.seq <= high {
+            return Admit::Duplicate;
+        }
+        if entry.seq != high + 1 {
+            return Admit::Gap;
+        }
+        self.applied.insert(entry.origin, entry.seq);
+        let key = event_key(&entry.event);
+        let stamp = (entry.term, entry.seq, entry.origin);
+        match self.stamps.get(&key) {
+            Some(&existing) if existing > stamp => Admit::Stale,
+            _ => {
+                self.stamps.insert(key, stamp);
+                Admit::Apply
+            }
+        }
+    }
+
+    /// Per-origin applied high-water marks to carry in a heartbeat,
+    /// ascending by origin.
+    pub fn acks(&self) -> Vec<(u32, u64)> {
+        self.applied.iter().map(|(&o, &s)| (o, s)).collect()
+    }
+
+    /// Record the acks a peer's heartbeat carried and prune log entries
+    /// every peer has acknowledged.
+    pub fn note_peer_acks(&mut self, peer: u32, acks: &[(u32, u64)]) {
+        if peer == self.origin {
+            return;
+        }
+        for &(origin, seq) in acks {
+            if origin == self.origin {
+                if let Some(slot) = self.peer_acked.get_mut(&peer) {
+                    *slot = (*slot).max(seq);
+                }
+            }
+        }
+        let min_acked = self.peer_acked.values().copied().min().unwrap_or(u64::MAX);
+        self.log.retain(|&seq, _| seq > min_acked);
+    }
+
+    /// Our entries `peer` has not yet acknowledged: the contiguous
+    /// suffix starting after its ack, capped at `max` entries.
+    pub fn pending_for(&self, peer: u32, max: usize) -> Vec<EwEntry> {
+        let from = self.peer_acked.get(&peer).copied().unwrap_or(0);
+        self.log
+            .range(from + 1..)
+            .take(max)
+            .map(|(_, e)| e.clone())
+            .collect()
+    }
+
+    /// Entries still retained (unacknowledged by at least one peer).
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Highest contiguous seq applied from `origin`.
+    pub fn applied_high(&self, origin: u32) -> u64 {
+        self.applied.get(&origin).copied().unwrap_or(0)
+    }
+
+    /// The winning stamp recorded for `key`, if any.
+    pub fn stamp(&self, key: EventKey) -> Option<(u64, u64, u32)> {
+        self.stamps.get(&key).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize, index: usize) -> ClusterConfig {
+        ClusterConfig::new((0..n).map(|i| NodeId(i as u32)).collect(), index)
+    }
+
+    fn link_add(from: u64, port: u32) -> ViewEvent {
+        ViewEvent::LinkAdd {
+            from_dpid: from,
+            from_port: port,
+            to_dpid: from + 1,
+            to_port: 1,
+        }
+    }
+
+    #[test]
+    fn mastership_spreads_over_live_replicas() {
+        let m = Membership::new(cfg(3, 0), Instant::ZERO);
+        assert_eq!(m.master_index(0), 0);
+        assert_eq!(m.master_index(1), 1);
+        assert_eq!(m.master_index(2), 2);
+        assert_eq!(m.master_index(3), 0);
+        assert!(m.assigned_master(0));
+        assert!(!m.assigned_master(1));
+    }
+
+    #[test]
+    fn lease_lapse_bumps_term_and_reassigns() {
+        let mut m = Membership::new(cfg(3, 0), Instant::ZERO);
+        // Peer 1 keeps heartbeating, peer 2 goes silent.
+        m.note_heartbeat(1, 1, Instant::from_millis(250));
+        assert!(m.scan(Instant::from_millis(400)));
+        assert_eq!(m.term(), 2);
+        assert_eq!(m.live(), vec![0, 1]);
+        // dpid 2 falls back to the survivors.
+        assert_eq!(m.master_index(2), 0);
+        // Revival flips it back and bumps the term again.
+        m.note_heartbeat(2, 1, Instant::from_millis(500));
+        assert!(m.scan(Instant::from_millis(510)));
+        assert_eq!(m.term(), 3);
+        assert_eq!(m.live(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn isolated_minority_claims_higher_term() {
+        // Replica 2 loses both peers: +2. Replicas 0/1 lose one: +1.
+        let mut minority = Membership::new(cfg(3, 2), Instant::ZERO);
+        let mut majority = Membership::new(cfg(3, 0), Instant::ZERO);
+        majority.note_heartbeat(1, 1, Instant::from_millis(400));
+        minority.scan(Instant::from_millis(400));
+        majority.scan(Instant::from_millis(400));
+        assert!(minority.claim() > majority.claim());
+        assert_eq!(minority.term(), 3);
+        assert_eq!(majority.term(), 2);
+    }
+
+    #[test]
+    fn store_gossip_roundtrip_with_dedup() {
+        let mut a = EwStore::new(0, 2);
+        let mut b = EwStore::new(1, 2);
+        a.append(1, link_add(0, 1));
+        a.append(1, link_add(1, 1));
+        let batch = a.pending_for(1, 16);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(b.admit(&batch[0]), Admit::Apply);
+        assert_eq!(b.admit(&batch[1]), Admit::Apply);
+        // Redelivery is a no-op.
+        assert_eq!(b.admit(&batch[0]), Admit::Duplicate);
+        // b's acks let a prune.
+        a.note_peer_acks(1, &b.acks());
+        assert_eq!(a.log_len(), 0);
+        assert!(a.pending_for(1, 16).is_empty());
+    }
+
+    #[test]
+    fn store_rejects_gaps_until_suffix_resent() {
+        let mut a = EwStore::new(0, 2);
+        let mut b = EwStore::new(1, 2);
+        a.append(1, link_add(0, 1));
+        a.append(1, link_add(1, 1));
+        let batch = a.pending_for(1, 16);
+        // Entry 2 arrives first (reordered): held back.
+        assert_eq!(b.admit(&batch[1]), Admit::Gap);
+        assert_eq!(b.applied_high(0), 0);
+        assert_eq!(b.admit(&batch[0]), Admit::Apply);
+        assert_eq!(b.admit(&batch[1]), Admit::Apply);
+        assert_eq!(b.applied_high(0), 2);
+    }
+
+    #[test]
+    fn last_writer_wins_on_term_then_seq() {
+        let mut c = EwStore::new(2, 3);
+        // Origin 0 wrote the key at term 2.
+        let e0 = EwEntry {
+            origin: 0,
+            seq: 1,
+            term: 2,
+            event: link_add(5, 1),
+        };
+        assert_eq!(c.admit(&e0), Admit::Apply);
+        // Origin 1's older-term write to the same key loses.
+        let e1 = EwEntry {
+            origin: 1,
+            seq: 1,
+            term: 1,
+            event: ViewEvent::LinkDel {
+                from_dpid: 5,
+                from_port: 1,
+            },
+        };
+        assert_eq!(c.admit(&e1), Admit::Stale);
+        // A higher-term write wins.
+        let e2 = EwEntry {
+            origin: 1,
+            seq: 2,
+            term: 3,
+            event: ViewEvent::LinkDel {
+                from_dpid: 5,
+                from_port: 1,
+            },
+        };
+        assert_eq!(c.admit(&e2), Admit::Apply);
+        assert_eq!(c.stamp(EventKey::Link(5, 1)), Some((3, 2, 1)));
+    }
+
+    #[test]
+    fn local_appends_stamp_keys() {
+        let mut a = EwStore::new(0, 2);
+        a.append(4, link_add(7, 2));
+        assert_eq!(a.stamp(EventKey::Link(7, 2)), Some((4, 1, 0)));
+        // A remote lower-term write to the same key is stale.
+        let e = EwEntry {
+            origin: 1,
+            seq: 1,
+            term: 3,
+            event: ViewEvent::LinkDel {
+                from_dpid: 7,
+                from_port: 2,
+            },
+        };
+        assert_eq!(a.admit(&e), Admit::Stale);
+    }
+
+    #[test]
+    fn partition_blocks_pruning_then_drains() {
+        let mut a = EwStore::new(0, 3);
+        a.append(1, link_add(0, 1));
+        a.append(1, link_add(1, 1));
+        // Peer 1 acks everything; peer 2 is partitioned (acks nothing).
+        a.note_peer_acks(1, &[(0, 2)]);
+        assert_eq!(a.log_len(), 2);
+        assert_eq!(a.pending_for(2, 16).len(), 2);
+        // Heal: peer 2 catches up.
+        a.note_peer_acks(2, &[(0, 2)]);
+        assert_eq!(a.log_len(), 0);
+    }
+}

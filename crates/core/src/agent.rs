@@ -12,7 +12,7 @@ use std::any::Any;
 use zen_dataplane::{Datapath, DatapathId, Effect, MissPolicy, PortNo};
 use zen_proto::{
     decode, encode, CodecError, ErrorCode, FlowModCmd, GroupModCmd, Message, MeterModCmd, PortDesc,
-    StatsBody, StatsKind,
+    Role, StatsBody, StatsKind,
 };
 use zen_sim::{Context, Duration, Node, NodeId};
 use zen_telemetry::{trace_id_for_frame, TraceEvent};
@@ -92,17 +92,56 @@ pub struct AgentStats {
     pub disconnected_drops: u64,
     /// Transitions out of `Disconnected` (each sends a HELLO_RESYNC).
     pub reconnects: u64,
+    /// State mods rejected because the sending connection did not hold
+    /// the Master role (each answered with a NOT_MASTER error frame).
+    pub nonmaster_rejected: u64,
+}
+
+/// One control connection of a (possibly multi-homed) agent.
+#[derive(Debug, Clone, Copy)]
+struct Conn {
+    node: NodeId,
+    state: ConnState,
+    /// Probes sent on this connection since it was last heard from.
+    outstanding: u32,
+    role: Role,
+}
+
+impl Conn {
+    fn new(node: NodeId, role: Role) -> Conn {
+        Conn {
+            node,
+            state: ConnState::Connected,
+            outstanding: 0,
+            role,
+        }
+    }
 }
 
 /// The switch-side control agent.
+///
+/// An agent holds one control connection per controller replica. In the
+/// single-controller configuration ([`SwitchAgent::new`] /
+/// [`SwitchAgent::with_config`]) that sole connection is born holding
+/// the Master role and behaviour is exactly the classic one. With
+/// [`SwitchAgent::with_controllers`] every connection starts as Equal
+/// and mastership is granted through OpenFlow-style ROLE_REQUESTs: a
+/// Master claim carries a `(term, replica)` pair and wins only if it is
+/// lexicographically `>=` the highest claim granted so far — the
+/// monotonic floor that keeps a partitioned stale master from clawing
+/// the switch back after the majority side has moved on.
 pub struct SwitchAgent {
     /// The embedded forwarding plane.
     pub dp: Datapath,
-    controller: NodeId,
     cfg: AgentConfig,
-    conn: ConnState,
-    /// Probes sent since the last message heard from the controller.
-    outstanding: u32,
+    /// Control connections, one per controller replica.
+    conns: Vec<Conn>,
+    /// Index into `conns` of the current master, if any.
+    master: Option<usize>,
+    /// Highest `(term, replica)` Master claim ever granted — the floor
+    /// new claims must meet. Survives the master role being vacated so
+    /// a stale claim cannot regress mastership.
+    master_claim: (u64, u32),
     /// Monotonic count of state-mutating mods applied (flow/group/meter).
     generation: u64,
     /// Xids of recently applied state mods, answered back in
@@ -122,19 +161,43 @@ impl SwitchAgent {
         SwitchAgent::with_config(dpid, n_tables, controller, AgentConfig::default())
     }
 
-    /// As [`SwitchAgent::new`], with explicit tunables.
+    /// As [`SwitchAgent::new`], with explicit tunables. The single
+    /// connection is born Master, so no role negotiation is needed and
+    /// behaviour matches the classic single-controller agent exactly.
     pub fn with_config(
         dpid: DatapathId,
         n_tables: usize,
         controller: NodeId,
         cfg: AgentConfig,
     ) -> SwitchAgent {
+        let mut agent = SwitchAgent::with_controllers(dpid, n_tables, vec![controller], cfg);
+        agent.conns[0].role = Role::Master;
+        agent.master = Some(0);
+        agent
+    }
+
+    /// A multi-homed agent holding one connection per controller
+    /// replica. All connections start Equal with no master; the cluster
+    /// elects one via ROLE_REQUEST after the features handshake.
+    pub fn with_controllers(
+        dpid: DatapathId,
+        n_tables: usize,
+        controllers: Vec<NodeId>,
+        cfg: AgentConfig,
+    ) -> SwitchAgent {
+        assert!(
+            !controllers.is_empty(),
+            "agent needs at least one controller"
+        );
         SwitchAgent {
             dp: Datapath::new(dpid, n_tables, MissPolicy::ToController { max_len: 2048 }),
-            controller,
             cfg,
-            conn: ConnState::Connected,
-            outstanding: 0,
+            conns: controllers
+                .into_iter()
+                .map(|n| Conn::new(n, Role::Equal))
+                .collect(),
+            master: None,
+            master_claim: (0, 0),
             generation: 0,
             applied_xids: std::collections::BTreeSet::new(),
             echo_token: 0,
@@ -143,9 +206,20 @@ impl SwitchAgent {
         }
     }
 
-    /// The agent's current view of the control session.
+    /// The agent's view of its primary control session: the master
+    /// connection when one exists, the first connection otherwise.
     pub fn conn_state(&self) -> ConnState {
-        self.conn
+        self.conns[self.master.unwrap_or(0)].state
+    }
+
+    /// The controller node currently holding the Master role, if any.
+    pub fn master_node(&self) -> Option<NodeId> {
+        self.master.map(|mi| self.conns[mi].node)
+    }
+
+    /// The highest `(term, replica)` Master claim granted so far.
+    pub fn master_claim(&self) -> (u64, u32) {
+        self.master_claim
     }
 
     /// The state-mutation generation (see [`Message::HelloResync`]).
@@ -177,34 +251,55 @@ impl SwitchAgent {
             .collect()
     }
 
-    fn send_resync(&mut self, ctx: &mut Context<'_>) {
+    fn send_resync(&mut self, ctx: &mut Context<'_>, ci: usize) {
         let msg = Message::HelloResync {
             generation: self.generation,
             cookies: self.flow_digest(),
         };
-        self.send(ctx, &msg);
+        self.send_to(ctx, ci, &msg);
     }
 
-    /// Any message from the controller proves the channel works: clear
-    /// the outstanding-probe count and, when coming back from
-    /// `Disconnected`, start the resync handshake.
-    fn note_controller_alive(&mut self, ctx: &mut Context<'_>) {
-        self.outstanding = 0;
-        if self.conn == ConnState::Disconnected {
+    /// Any message from a controller proves that channel works: clear
+    /// its outstanding-probe count and, when coming back from
+    /// `Disconnected`, start the resync handshake on that connection.
+    fn note_controller_alive(&mut self, ctx: &mut Context<'_>, ci: usize) {
+        self.conns[ci].outstanding = 0;
+        if self.conns[ci].state == ConnState::Disconnected {
             self.stats.reconnects += 1;
-            self.send_resync(ctx);
+            self.send_resync(ctx, ci);
         }
-        self.conn = ConnState::Connected;
+        self.conns[ci].state = ConnState::Connected;
     }
 
-    fn send(&mut self, ctx: &mut Context<'_>, msg: &Message) {
+    /// Send on one connection with a fresh xid.
+    fn send_to(&mut self, ctx: &mut Context<'_>, ci: usize, msg: &Message) {
         let xid = self.xid;
         self.xid += 1;
-        ctx.send_control(self.controller, encode(msg, xid));
+        ctx.send_control(self.conns[ci].node, encode(msg, xid));
     }
 
-    fn send_with_xid(&mut self, ctx: &mut Context<'_>, msg: &Message, xid: u32) {
-        ctx.send_control(self.controller, encode(msg, xid));
+    /// Send to the master connection, if one is assigned. Asynchronous
+    /// switch-originated reports (FLOW_REMOVED) go here; with no master
+    /// assigned they are dropped — the incoming master's resync digest
+    /// will reconcile the difference.
+    fn send_master(&mut self, ctx: &mut Context<'_>, msg: &Message) {
+        if let Some(mi) = self.master {
+            self.send_to(ctx, mi, msg);
+        }
+    }
+
+    /// Broadcast to every connection (HELLO, PORT_STATUS): topology
+    /// events must reach standby replicas too, or their replicated view
+    /// would go stale the moment they take over.
+    fn send_all(&mut self, ctx: &mut Context<'_>, msg: &Message) {
+        for ci in 0..self.conns.len() {
+            self.send_to(ctx, ci, msg);
+        }
+    }
+
+    /// Reply on the connection the request arrived on, echoing its xid.
+    fn reply(&mut self, ctx: &mut Context<'_>, ci: usize, msg: &Message, xid: u32) {
+        ctx.send_control(self.conns[ci].node, encode(msg, xid));
     }
 
     fn port_descs(&self, ctx: &Context<'_>) -> Vec<PortDesc> {
@@ -232,11 +327,22 @@ impl SwitchAgent {
                     table_id,
                 } => {
                     let is_miss = reason == zen_dataplane::datapath::PacketInReason::NoMatch;
-                    if self.conn == ConnState::Disconnected {
-                        // The controller is unreachable as far as we can
-                        // tell; the conn-loss policy decides the fate of
-                        // punted traffic.
-                        if is_miss && self.cfg.policy == ConnLossPolicy::FailStandalone {
+                    // Punts go to the master only. A usable master is
+                    // one that is assigned and not judged Disconnected.
+                    let usable_master = self
+                        .master
+                        .filter(|&mi| self.conns[mi].state != ConnState::Disconnected);
+                    if usable_master.is_none() {
+                        // Single-controller agents honour the conn-loss
+                        // policy as before. Multi-homed agents always
+                        // drop (fail-secure): flooding during a
+                        // mastership gap would hand standby replicas
+                        // LLDP and host frames out of order and corrupt
+                        // their replicated view.
+                        if is_miss
+                            && self.conns.len() == 1
+                            && self.cfg.policy == ConnLossPolicy::FailStandalone
+                        {
                             self.stats.standalone_floods += 1;
                             for port in ctx.ports() {
                                 if port != in_port && ctx.port_up(port) && self.dp.port_up(port) {
@@ -270,21 +376,87 @@ impl SwitchAgent {
                         is_miss,
                         frame,
                     };
-                    self.send(ctx, &msg);
+                    self.send_master(ctx, &msg);
                 }
             }
         }
     }
 
-    fn handle_message(&mut self, ctx: &mut Context<'_>, msg: Message, xid: u32) {
+    fn handle_message(&mut self, ctx: &mut Context<'_>, ci: usize, msg: Message, xid: u32) {
         let now = ctx.now().as_nanos();
+        // State mods are a Master-only privilege. A replica that lost
+        // mastership mid-flight (its RoleReply may still be in the air)
+        // gets an explicit NOT_MASTER error carrying the rejected xid,
+        // so it can either re-assert its claim or retire the mod —
+        // silence would leave it retransmitting forever.
+        if matches!(
+            msg,
+            Message::FlowMod { .. } | Message::GroupMod { .. } | Message::MeterMod { .. }
+        ) && self.conns[ci].role != Role::Master
+        {
+            self.stats.nonmaster_rejected += 1;
+            let counter = ctx
+                .metrics()
+                .register_counter("fault.nonmaster_mod_rejected");
+            ctx.metrics().incr(counter);
+            let err = Message::Error {
+                code: ErrorCode::NotMaster,
+                data: xid.to_be_bytes().to_vec(),
+            };
+            self.reply(ctx, ci, &err, xid);
+            return;
+        }
         match msg {
             Message::Hello { .. } => {
                 // Each side sends HELLO exactly once (ours went out at
                 // start); answering here would ping-pong forever.
             }
+            Message::RoleRequest {
+                role,
+                term,
+                replica,
+            } => {
+                let granted = match role {
+                    Role::Master => {
+                        let claim = (term, replica);
+                        if claim >= self.master_claim {
+                            if let Some(old) = self.master {
+                                if old != ci {
+                                    self.conns[old].role = Role::Equal;
+                                }
+                            }
+                            self.master = Some(ci);
+                            self.master_claim = claim;
+                            self.conns[ci].role = Role::Master;
+                            Role::Master
+                        } else {
+                            // Stale claim: the floor stands. Reply with
+                            // the winning claim so the loser knows whom
+                            // to defer to.
+                            self.conns[ci].role
+                        }
+                    }
+                    other => {
+                        // Voluntary step-down (Equal) or standby
+                        // (Slave). The claim floor survives so the
+                        // vacated mastership cannot be re-taken by a
+                        // claim older than the one that vacated it.
+                        self.conns[ci].role = other;
+                        if self.master == Some(ci) {
+                            self.master = None;
+                        }
+                        other
+                    }
+                };
+                let reply = Message::RoleReply {
+                    role: granted,
+                    term: self.master_claim.0,
+                    replica: self.master_claim.1,
+                };
+                self.reply(ctx, ci, &reply, xid);
+            }
             Message::EchoRequest { token } => {
-                self.send_with_xid(ctx, &Message::EchoReply { token }, xid);
+                self.reply(ctx, ci, &Message::EchoReply { token }, xid);
             }
             Message::EchoReply { .. } => {
                 self.stats.echo_replies += 1;
@@ -295,7 +467,7 @@ impl SwitchAgent {
                     n_tables: self.dp.table_count() as u8,
                     ports: self.port_descs(ctx),
                 };
-                self.send_with_xid(ctx, &reply, xid);
+                self.reply(ctx, ci, &reply, xid);
             }
             Message::PacketOut {
                 in_port,
@@ -314,7 +486,7 @@ impl SwitchAgent {
                         code: ErrorCode::BadRequest,
                         data: vec![table_id],
                     };
-                    self.send_with_xid(ctx, &err, xid);
+                    self.reply(ctx, ci, &err, xid);
                     return;
                 }
                 self.stats.flow_mods += 1;
@@ -349,7 +521,7 @@ impl SwitchAgent {
                                 packets: entry.packets,
                                 bytes: entry.bytes,
                             };
-                            self.send(ctx, &note);
+                            self.send_to(ctx, ci, &note);
                         }
                     }
                     FlowModCmd::DeleteByCookie { cookie } => {
@@ -362,7 +534,7 @@ impl SwitchAgent {
                                 packets: entry.packets,
                                 bytes: entry.bytes,
                             };
-                            self.send(ctx, &note);
+                            self.send_to(ctx, ci, &note);
                         }
                     }
                 }
@@ -399,14 +571,14 @@ impl SwitchAgent {
                     .copied()
                     .filter(|x| self.applied_xids.contains(x))
                     .collect();
-                self.send_with_xid(ctx, &Message::BarrierReply { applied }, xid);
+                self.reply(ctx, ci, &Message::BarrierReply { applied }, xid);
             }
             Message::ResyncRequest => {
-                self.send_resync(ctx);
+                self.send_resync(ctx, ci);
             }
             Message::StatsRequest { kind } => {
                 let body = self.collect_stats(ctx, kind);
-                self.send_with_xid(ctx, &Message::StatsReply { body }, xid);
+                self.reply(ctx, ci, &Message::StatsReply { body }, xid);
             }
             // Symmetric / controller-bound messages are ignored here.
             _ => {}
@@ -498,7 +670,7 @@ impl Node for SwitchAgent {
                 self.dp.set_port_up(port, false);
             }
         }
-        self.send(
+        self.send_all(
             ctx,
             &Message::Hello {
                 version: zen_proto::VERSION,
@@ -526,39 +698,47 @@ impl Node for SwitchAgent {
                     packets: entry.packets,
                     bytes: entry.bytes,
                 };
-                self.send(ctx, &note);
+                self.send_master(ctx, &note);
             }
             ctx.set_timer(self.cfg.expire_interval, TIMER_EXPIRE);
         } else if token == TIMER_ECHO {
-            // Judge the session by probes still unanswered, then probe
-            // again. Only receipt of a controller message (any message,
-            // not just an echo reply) restores `Connected`.
-            if self.outstanding >= self.cfg.miss_limit {
-                self.conn = ConnState::Disconnected;
-            } else if self.outstanding > 0 && self.conn == ConnState::Connected {
-                self.conn = ConnState::Degraded;
+            // Judge each session by probes still unanswered on it, then
+            // probe every controller again. Only receipt of a message
+            // from that controller (any message, not just an echo
+            // reply) restores its connection to `Connected`.
+            for ci in 0..self.conns.len() {
+                if self.conns[ci].outstanding >= self.cfg.miss_limit {
+                    self.conns[ci].state = ConnState::Disconnected;
+                } else if self.conns[ci].outstanding > 0
+                    && self.conns[ci].state == ConnState::Connected
+                {
+                    self.conns[ci].state = ConnState::Degraded;
+                }
+                self.echo_token += 1;
+                self.stats.echo_sent += 1;
+                self.conns[ci].outstanding += 1;
+                let probe = Message::EchoRequest {
+                    token: self.echo_token,
+                };
+                self.send_to(ctx, ci, &probe);
             }
-            self.echo_token += 1;
-            self.stats.echo_sent += 1;
-            self.outstanding += 1;
-            let probe = Message::EchoRequest {
-                token: self.echo_token,
-            };
-            self.send(ctx, &probe);
             ctx.set_timer(self.cfg.echo_interval, TIMER_ECHO);
         }
     }
 
     fn on_control(&mut self, ctx: &mut Context<'_>, from: NodeId, bytes: &[u8]) {
-        if from == self.controller {
-            self.note_controller_alive(ctx);
-        }
+        // Frames from nodes that are not our controllers are ignored —
+        // an agent only speaks to the replicas it was homed to.
+        let Some(ci) = self.conns.iter().position(|c| c.node == from) else {
+            return;
+        };
+        self.note_controller_alive(ctx, ci);
         let mut at = 0;
         while at < bytes.len() {
             match decode(&bytes[at..]) {
                 Ok((msg, xid, consumed)) => {
                     at += consumed;
-                    self.handle_message(ctx, msg, xid);
+                    self.handle_message(ctx, ci, msg, xid);
                 }
                 Err(CodecError::Truncated) if at > 0 => break,
                 Err(_) => {
@@ -574,7 +754,7 @@ impl Node for SwitchAgent {
         let msg = Message::PortStatus {
             port: PortDesc { port_no: port, up },
         };
-        self.send(ctx, &msg);
+        self.send_all(ctx, &msg);
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -74,6 +74,15 @@ pub trait App: 'static {
     /// been unquarantined.
     fn on_switch_resync(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid) {}
 
+    /// This replica's mastership over a switch changed (clustered
+    /// controllers only). On gain, the replica has already re-asserted
+    /// its role at the switch and requested a resync; apps owning
+    /// proactive state should compare their desired program against the
+    /// replicated program stamp ([`Ctl::program_stamp`]) and reprogram
+    /// only on mismatch — an unconditional reprogram would re-flood
+    /// every orphaned switch on failover.
+    fn on_mastership_change(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid, is_master: bool) {}
+
     /// The periodic controller tick (also the discovery cadence).
     fn tick(&mut self, ctl: &mut Ctl<'_, '_>) {}
 

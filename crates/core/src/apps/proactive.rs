@@ -86,82 +86,21 @@ impl ProactiveFabric {
             && ctl.view.links.len() >= self.expected_links
     }
 
-    /// Reprogram a single switch from the current view: wipe our cookie,
-    /// reinstall its SELECT groups and per-host rules. Used for the
-    /// diff-resync of one returning switch.
-    fn program_switch(&mut self, ctl: &mut Ctl<'_, '_>, switch: Dpid) {
+    /// The forwarding program this app wants on `switch` given the
+    /// current view: SELECT groups toward every other switch, then the
+    /// per-host rules, in deterministic install order.
+    fn desired_program(&self, ctl: &Ctl<'_, '_>, switch: Dpid) -> SwitchProgram {
         let (graph, dpids, index) = ctl.view.graph(0);
-        ctl.delete_flows_by_cookie(switch, FABRIC_COOKIE);
-        let Some(&my_ix) = index.get(&switch) else {
-            return;
+        let mut program = SwitchProgram {
+            groups: Vec::new(),
+            flows: Vec::new(),
         };
-        for (dst_pos, &dst_dpid) in dpids.iter().enumerate() {
-            if dst_dpid == switch {
-                continue;
-            }
-            let dist = dists_to(&graph, dst_pos as u32);
-            let hops = ecmp_next_hops(&graph, my_ix, &dist);
-            let mut buckets = Vec::new();
-            for edge_ix in hops {
-                let next_dpid = dpids[graph.edge(edge_ix).to as usize];
-                for port in ctl.view.ports_toward(switch, next_dpid) {
-                    buckets.push(Bucket::output(port));
-                }
-            }
-            if buckets.is_empty() {
-                continue;
-            }
-            ctl.install_group(
-                switch,
-                group_id_for(dst_dpid),
-                GroupDesc {
-                    group_type: GroupType::Select,
-                    buckets,
-                },
-            );
-        }
-        let hosts = self.hosts.clone();
-        for host in &hosts {
-            let matcher = FlowMatch::ipv4_to(Ipv4Cidr::new(host.ip, 32).expect("/32 is valid"));
-            let actions = if switch == host.dpid {
-                vec![Action::SetEthDst(host.mac), Action::Output(host.port)]
-            } else {
-                vec![Action::Group(group_id_for(host.dpid))]
-            };
-            self.rules_pushed += 1;
-            let spec = FlowSpec::new(self.priority, matcher, actions).with_cookie(FABRIC_COOKIE);
-            ctl.install_flow(switch, 0, spec);
-        }
-    }
-
-    fn install_all(&mut self, ctl: &mut Ctl<'_, '_>) {
-        self.installs += 1;
-        let (graph, dpids, index) = ctl.view.graph(0);
-        // Quarantined switches are unreachable; they get their state via
-        // the resync handshake when they return.
-        let switch_list: Vec<Dpid> = ctl
-            .view
-            .switches
-            .keys()
-            .copied()
-            .filter(|&d| !ctl.view.is_quarantined(d))
-            .collect();
-
-        for &switch in &switch_list {
-            // Wipe our previous generation on this switch.
-            ctl.delete_flows_by_cookie(switch, FABRIC_COOKIE);
-        }
-
-        // One SELECT group per (switch, destination switch).
-        for (dst_pos, &dst_dpid) in dpids.iter().enumerate() {
-            let dist = dists_to(&graph, dst_pos as u32);
-            for &switch in &switch_list {
-                if switch == dst_dpid {
+        if let Some(&my_ix) = index.get(&switch) {
+            for (dst_pos, &dst_dpid) in dpids.iter().enumerate() {
+                if dst_dpid == switch {
                     continue;
                 }
-                let Some(&my_ix) = index.get(&switch) else {
-                    continue;
-                };
+                let dist = dists_to(&graph, dst_pos as u32);
                 let hops = ecmp_next_hops(&graph, my_ix, &dist);
                 let mut buckets = Vec::new();
                 for edge_ix in hops {
@@ -173,36 +112,85 @@ impl ProactiveFabric {
                 if buckets.is_empty() {
                     continue;
                 }
-                let group_id = group_id_for(dst_dpid);
-                ctl.install_group(
-                    switch,
-                    group_id,
+                program.groups.push((
+                    group_id_for(dst_dpid),
                     GroupDesc {
                         group_type: GroupType::Select,
                         buckets,
                     },
-                );
+                ));
             }
         }
+        for host in &self.hosts {
+            let matcher = FlowMatch::ipv4_to(Ipv4Cidr::new(host.ip, 32).expect("/32 is valid"));
+            let actions = if switch == host.dpid {
+                vec![Action::SetEthDst(host.mac), Action::Output(host.port)]
+            } else {
+                vec![Action::Group(group_id_for(host.dpid))]
+            };
+            program
+                .flows
+                .push(FlowSpec::new(self.priority, matcher, actions).with_cookie(FABRIC_COOKIE));
+        }
+        program
+    }
 
-        // Per-host rules.
-        let hosts = self.hosts.clone();
-        for host in &hosts {
-            for &switch in &switch_list {
-                let matcher = FlowMatch::ipv4_to(Ipv4Cidr::new(host.ip, 32).expect("/32 is valid"));
-                let actions = if switch == host.dpid {
-                    vec![Action::SetEthDst(host.mac), Action::Output(host.port)]
-                } else {
-                    vec![Action::Group(group_id_for(host.dpid))]
-                };
-                self.rules_pushed += 1;
-                let spec =
-                    FlowSpec::new(self.priority, matcher, actions).with_cookie(FABRIC_COOKIE);
-                ctl.install_flow(switch, 0, spec);
-            }
+    /// Reprogram a single switch from the current view: wipe our cookie,
+    /// reinstall its SELECT groups and per-host rules, and stamp the
+    /// program hash into the replicated view so peer replicas can tell
+    /// whether a takeover needs to reprogram at all.
+    fn program_switch(&mut self, ctl: &mut Ctl<'_, '_>, switch: Dpid) {
+        let program = self.desired_program(ctl, switch);
+        let hash = program_hash(&program);
+        ctl.delete_flows_by_cookie(switch, FABRIC_COOKIE);
+        for (group_id, desc) in program.groups {
+            ctl.install_group(switch, group_id, desc);
+        }
+        for spec in program.flows {
+            self.rules_pushed += 1;
+            ctl.install_flow(switch, 0, spec);
+        }
+        ctl.set_program_stamp(switch, FABRIC_COOKIE, hash);
+    }
+
+    fn install_all(&mut self, ctl: &mut Ctl<'_, '_>) {
+        self.installs += 1;
+        // Quarantined switches are unreachable; they get their state via
+        // the resync handshake when they return. Switches mastered by a
+        // peer replica are that replica's to program — our mods would be
+        // filtered (and rejected by the agent) anyway.
+        let switch_list: Vec<Dpid> = ctl
+            .view
+            .switches
+            .keys()
+            .copied()
+            .filter(|&d| !ctl.view.is_quarantined(d) && ctl.is_master(d))
+            .collect();
+        for switch in switch_list {
+            self.program_switch(ctl, switch);
         }
         self.installed_version = Some(ctl.view.version);
     }
+}
+
+/// The desired forwarding program for one switch, in install order.
+struct SwitchProgram {
+    groups: Vec<(u32, GroupDesc)>,
+    flows: Vec<FlowSpec>,
+}
+
+/// FNV-1a over the program's Debug rendering: cheap, deterministic
+/// across replicas (both derive it from the same replicated view), and
+/// sensitive to every field that shapes forwarding behaviour. This is
+/// the hash stamped into the replicated view via
+/// [`Ctl::set_program_stamp`].
+fn program_hash(program: &SwitchProgram) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{:?}|{:?}", program.groups, program.flows).bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// The group id used for routes toward `dst_dpid`.
@@ -244,6 +232,26 @@ impl App for ProactiveFabric {
         // A returning switch's state diverged from ours: rebuild just
         // that switch now instead of waiting out the stability window.
         if self.installed_version.is_some() {
+            self.program_switch(ctl, dpid);
+        }
+    }
+
+    fn on_mastership_change(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid, is_master: bool) {
+        if !is_master {
+            return;
+        }
+        if self.installed_version.is_none() {
+            // Not yet programmed anywhere; the regular tick path will
+            // pick this switch up once discovery stabilizes.
+            return;
+        }
+        // Adopted an orphaned switch. If the previous master's stamped
+        // program (replicated through the east-west store) already
+        // matches what we would install, the takeover moves no flow
+        // state at all; only a genuine divergence — the old master died
+        // mid-convergence, or the topology changed since — reprograms.
+        let desired = program_hash(&self.desired_program(ctl, dpid));
+        if ctl.program_stamp(dpid, FABRIC_COOKIE) != Some(desired) {
             self.program_switch(ctl, dpid);
         }
     }

@@ -9,10 +9,14 @@
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
 
+use zen_cluster::{Admit, ClusterConfig, EwStore, Membership};
 use zen_dataplane::{FlowSpec, GroupDesc, PortNo};
-use zen_proto::{decode, encode, CodecError, FlowModCmd, GroupModCmd, Message, MeterModCmd};
+use zen_proto::{
+    decode, encode, CodecError, CookieCount, ErrorCode, FlowModCmd, GroupModCmd, Message,
+    MeterModCmd, Role, ViewEvent,
+};
 use zen_sim::{Context, Duration, Instant, Node, NodeId};
-use zen_telemetry::{trace_id_for_frame, TraceEvent};
+use zen_telemetry::{control_trace, trace_id_for_frame, TraceEvent};
 use zen_wire::ethernet::{EtherType, Frame};
 use zen_wire::{arp, ipv4, lldp};
 
@@ -20,6 +24,10 @@ use crate::app::{App, Disposition};
 use crate::view::{Dpid, NetworkView};
 
 const TIMER_TICK: u64 = 1;
+
+/// Cap on east-west entries gossiped to one peer per tick; the rest go
+/// out on following ticks (the ack-driven suffix resend makes this safe).
+const EW_BATCH: usize = 64;
 
 /// Controller configuration.
 #[derive(Debug, Clone, Copy)]
@@ -92,6 +100,37 @@ pub struct CtlStats {
     pub resyncs_clean: u64,
     /// Reconnect resyncs that diverged and triggered reprogramming.
     pub resyncs_dirty: u64,
+    /// East-west heartbeats sent to peer replicas.
+    pub ew_heartbeats: u64,
+    /// East-west events applied from peer replicas.
+    pub ew_events_applied: u64,
+    /// East-west events skipped (duplicate, out of order, or losing a
+    /// last-writer-wins race).
+    pub ew_events_skipped: u64,
+    /// Switches this replica took mastership of.
+    pub masterships_gained: u64,
+    /// Switches this replica relinquished (a peer revived, or a stronger
+    /// claim was observed at the switch).
+    pub masterships_lost: u64,
+    /// NOT_MASTER errors received for mods that crossed a mastership
+    /// change in flight.
+    pub nonmaster_errors: u64,
+}
+
+/// Runtime state of one replica in a controller cluster.
+struct ClusterState {
+    membership: Membership,
+    store: EwStore,
+    /// Switches this replica currently exercises mastership over.
+    my_masters: BTreeSet<Dpid>,
+    /// Claims observed at switches that outrank ours: dpid → the
+    /// `(term, replica)` that won. Cleared once our own claim grows
+    /// past the recorded one.
+    deferred: BTreeMap<Dpid, (u64, u32)>,
+    /// Replicated program stamps: (dpid, app cookie) → content hash of
+    /// the owning app's desired program. A replica gaining mastership
+    /// reprograms only when its own desired hash disagrees.
+    program_stamps: BTreeMap<(Dpid, u64), u64>,
 }
 
 /// A flow/group/meter mod awaiting barrier acknowledgement.
@@ -118,12 +157,51 @@ pub struct Ctl<'a, 'w> {
     stats: &'a mut CtlStats,
     pending: &'a mut BTreeMap<u32, PendingMod>,
     dirty: &'a mut BTreeSet<NodeId>,
+    cluster: Option<&'a mut ClusterState>,
 }
 
 impl Ctl<'_, '_> {
     /// Current simulated time.
     pub fn now(&self) -> Instant {
         self.ctx.now()
+    }
+
+    /// Whether this controller currently exercises mastership over
+    /// `dpid`. A non-clustered controller masters every switch it
+    /// knows; a clustered replica masters its deterministic share.
+    /// State mods to non-mastered switches are silently filtered (the
+    /// agent would reject them anyway), so apps can stay
+    /// cluster-oblivious and program the whole view.
+    pub fn is_master(&self, dpid: Dpid) -> bool {
+        self.cluster
+            .as_ref()
+            .is_none_or(|cl| cl.my_masters.contains(&dpid))
+    }
+
+    /// The replicated program stamp for `(dpid, cookie)`: the content
+    /// hash the last master recorded for its installed program. `None`
+    /// when never programmed or not clustered.
+    pub fn program_stamp(&self, dpid: Dpid, cookie: u64) -> Option<u64> {
+        self.cluster
+            .as_ref()
+            .and_then(|cl| cl.program_stamps.get(&(dpid, cookie)).copied())
+    }
+
+    /// Record (and replicate east-west) the content hash of this app's
+    /// program on `dpid`. Apps call this right after programming a
+    /// switch; a standby that later takes the switch over compares the
+    /// stamp against its own desired hash and reprograms only on
+    /// mismatch. No-op when not clustered or unchanged.
+    pub fn set_program_stamp(&mut self, dpid: Dpid, cookie: u64, hash: u64) {
+        if let Some(cl) = self.cluster.as_mut() {
+            if cl.program_stamps.get(&(dpid, cookie)) == Some(&hash) {
+                return;
+            }
+            cl.program_stamps.insert((dpid, cookie), hash);
+            let term = cl.membership.term();
+            cl.store
+                .append(term, ViewEvent::ProgramStamp { dpid, cookie, hash });
+        }
     }
 
     /// Send a raw protocol message to a switch. Unknown dpids are
@@ -137,6 +215,15 @@ impl Ctl<'_, '_> {
         let Some(&node) = self.registry.get(&dpid) else {
             return;
         };
+        // Clustered: only the master programs a switch. Packet-outs and
+        // stats requests pass (Equal connections may inject and read).
+        if matches!(
+            msg,
+            Message::FlowMod { .. } | Message::GroupMod { .. } | Message::MeterMod { .. }
+        ) && !self.is_master(dpid)
+        {
+            return;
+        }
         let xid = *self.xid;
         *self.xid += 1;
         self.stats.msgs_sent += 1;
@@ -294,6 +381,8 @@ pub struct Controller {
     features_requested: BTreeMap<NodeId, Instant>,
     /// Latest generation each agent reported in HELLO_RESYNC.
     agent_generations: BTreeMap<Dpid, u64>,
+    /// Present when this controller is a replica in a cluster.
+    cluster: Option<ClusterState>,
     xid: u32,
     /// Counters.
     pub stats: CtlStats,
@@ -321,9 +410,54 @@ impl Controller {
             resync_requested: BTreeMap::new(),
             features_requested: BTreeMap::new(),
             agent_generations: BTreeMap::new(),
+            cluster: None,
             xid: 1,
             stats: CtlStats::default(),
         }
+    }
+
+    /// Turn this controller into replica `cfg.index` of a cluster. Call
+    /// before the simulation starts. The xid space is namespaced by
+    /// replica index so xid-keyed telemetry (flow-mod trace bindings)
+    /// from different replicas cannot collide in the shared recorder.
+    pub fn enable_cluster(&mut self, cfg: ClusterConfig) {
+        self.xid = ((cfg.index as u32) + 1) << 24;
+        self.cluster = Some(ClusterState {
+            store: EwStore::new(cfg.index as u32, cfg.len()),
+            membership: Membership::new(cfg, Instant::ZERO),
+            my_masters: BTreeSet::new(),
+            deferred: BTreeMap::new(),
+            program_stamps: BTreeMap::new(),
+        });
+    }
+
+    /// Whether this replica currently exercises mastership over `dpid`.
+    /// Non-clustered controllers master everything they know.
+    pub fn is_master_of(&self, dpid: Dpid) -> bool {
+        self.cluster
+            .as_ref()
+            .is_none_or(|cl| cl.my_masters.contains(&dpid))
+    }
+
+    /// The switches this controller currently masters.
+    pub fn mastered(&self) -> Vec<Dpid> {
+        match &self.cluster {
+            Some(cl) => cl.my_masters.iter().copied().collect(),
+            None => self.registry.keys().copied().collect(),
+        }
+    }
+
+    /// The cluster mastership term, if clustered.
+    pub fn cluster_term(&self) -> Option<u64> {
+        self.cluster.as_ref().map(|cl| cl.membership.term())
+    }
+
+    /// The replicated program stamp for `(dpid, cookie)` (post-run
+    /// inspection; see [`Ctl::program_stamp`]).
+    pub fn program_stamp_of(&self, dpid: Dpid, cookie: u64) -> Option<u64> {
+        self.cluster
+            .as_ref()
+            .and_then(|cl| cl.program_stamps.get(&(dpid, cookie)).copied())
     }
 
     /// Mods sent but not yet barrier-acknowledged.
@@ -366,6 +500,7 @@ impl Controller {
                 stats: &mut self.stats,
                 pending: &mut self.pending,
                 dirty: &mut self.dirty,
+                cluster: self.cluster.as_mut(),
             };
             f(&mut apps, &mut ctl);
         }
@@ -399,6 +534,267 @@ impl Controller {
                 }
                 FlowModCmd::DeleteStrict { .. } => {}
             }
+        }
+    }
+
+    /// Log a local view mutation into the east-west store for
+    /// replication. No-op when not clustered.
+    fn log_event(&mut self, event: ViewEvent) {
+        if let Some(cl) = self.cluster.as_mut() {
+            let term = cl.membership.term();
+            cl.store.append(term, event);
+        }
+    }
+
+    /// The current cookie shadow of `dpid` in wire form.
+    fn shadow_cookies(&self, dpid: Dpid) -> Vec<CookieCount> {
+        self.shadow
+            .get(&dpid)
+            .map(|m| {
+                m.iter()
+                    .map(|(&cookie, &count)| CookieCount { cookie, count })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Apply a replicated view mutation a peer observed first-hand.
+    fn apply_view_event(&mut self, event: ViewEvent, now: Instant) {
+        match event {
+            ViewEvent::LinkAdd {
+                from_dpid,
+                from_port,
+                to_dpid,
+                to_port,
+            } => {
+                self.view
+                    .add_link_at((from_dpid, from_port), (to_dpid, to_port), now);
+            }
+            ViewEvent::LinkDel {
+                from_dpid,
+                from_port,
+            } => {
+                self.view.remove_link((from_dpid, from_port));
+            }
+            ViewEvent::HostLearned {
+                mac,
+                dpid,
+                port,
+                ip,
+            } => {
+                self.view.learn_host(mac, dpid, port, ip, now);
+            }
+            ViewEvent::ShadowSet { dpid, cookies } => {
+                // Our own barrier acks are authoritative for switches we
+                // master; a peer's digest matters for a future takeover.
+                if !self.is_master_of(dpid) {
+                    self.shadow
+                        .insert(dpid, cookies.iter().map(|c| (c.cookie, c.count)).collect());
+                }
+            }
+            ViewEvent::ProgramStamp { dpid, cookie, hash } => {
+                if let Some(cl) = self.cluster.as_mut() {
+                    cl.program_stamps.insert((dpid, cookie), hash);
+                }
+            }
+        }
+    }
+
+    /// East-west traffic from a peer replica (already routed past the
+    /// switch-session machinery).
+    fn handle_peer_message(&mut self, ctx: &mut Context<'_>, msg: Message) {
+        match msg {
+            Message::EwHeartbeat {
+                replica,
+                term,
+                acks,
+            } => {
+                if let Some(cl) = self.cluster.as_mut() {
+                    cl.membership.note_heartbeat(replica, term, ctx.now());
+                    cl.store.note_peer_acks(replica, &acks);
+                }
+            }
+            Message::EwEvents { entries, .. } => {
+                let now = ctx.now();
+                for entry in entries {
+                    let verdict = match self.cluster.as_mut() {
+                        Some(cl) => cl.store.admit(&entry),
+                        None => return,
+                    };
+                    if verdict == Admit::Apply {
+                        self.stats.ew_events_applied += 1;
+                        self.apply_view_event(entry.event, now);
+                    } else {
+                        self.stats.ew_events_skipped += 1;
+                    }
+                }
+            }
+            // Peers speak only the east-west subset.
+            _ => {}
+        }
+    }
+
+    fn note_mastership_trace(&mut self, ctx: &mut Context<'_>, dpid: Dpid, gained: bool) {
+        let Some(cl) = self.cluster.as_ref() else {
+            return;
+        };
+        let replica = cl.membership.index() as u32;
+        let rec = ctx.recorder();
+        if rec.is_enabled() {
+            rec.record(
+                ctx.now().as_nanos(),
+                control_trace(dpid),
+                TraceEvent::MastershipChange {
+                    dpid,
+                    replica,
+                    gained,
+                },
+            );
+        }
+    }
+
+    /// Take over `dpid`: claim the Master role at the switch, give its
+    /// inbound links one discovery round of grace (we have not been the
+    /// one watching their LLDP confirmations), and reconcile installed
+    /// state through the resync digest. Apps then compare their desired
+    /// program against the replicated stamp and reprogram only on
+    /// mismatch — a clean takeover moves zero flow state.
+    fn mastership_gained(&mut self, ctx: &mut Context<'_>, dpid: Dpid) {
+        let Some(cl) = self.cluster.as_ref() else {
+            return;
+        };
+        let (term, replica) = cl.membership.claim();
+        self.stats.masterships_gained += 1;
+        self.send_direct(
+            ctx,
+            dpid,
+            &Message::RoleRequest {
+                role: Role::Master,
+                term,
+                replica,
+            },
+        );
+        self.view.refresh_links_to(dpid, ctx.now());
+        self.send_direct(ctx, dpid, &Message::ResyncRequest);
+        self.note_mastership_trace(ctx, dpid, true);
+        self.with_apps(ctx, |apps, ctl| {
+            for app in apps.iter_mut() {
+                app.on_mastership_change(ctl, dpid, true);
+            }
+        });
+    }
+
+    /// Relinquish `dpid`. In-flight mods were issued under the lapsed
+    /// mastership — the new master owns the switch's program now, so
+    /// they are dropped rather than retransmitted. `announce` steps the
+    /// connection down to Equal at the switch (skipped when the switch
+    /// itself told us we were outranked).
+    fn mastership_lost(&mut self, ctx: &mut Context<'_>, dpid: Dpid, announce: bool) {
+        let Some(cl) = self.cluster.as_ref() else {
+            return;
+        };
+        let (term, replica) = cl.membership.claim();
+        self.stats.masterships_lost += 1;
+        if announce {
+            self.send_direct(
+                ctx,
+                dpid,
+                &Message::RoleRequest {
+                    role: Role::Equal,
+                    term,
+                    replica,
+                },
+            );
+        }
+        let superseded: Vec<u32> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.dpid == dpid)
+            .map(|(&x, _)| x)
+            .collect();
+        for x in superseded {
+            self.pending.remove(&x);
+            self.stats.mods_superseded += 1;
+        }
+        self.note_mastership_trace(ctx, dpid, false);
+        self.with_apps(ctx, |apps, ctl| {
+            for app in apps.iter_mut() {
+                app.on_mastership_change(ctl, dpid, false);
+            }
+        });
+    }
+
+    /// One east-west round: refresh peer liveness, heartbeat + gossip to
+    /// every peer, and reconcile this replica's mastership set against
+    /// the deterministic assignment.
+    fn cluster_tick(&mut self, ctx: &mut Context<'_>) {
+        let Some(mut cl) = self.cluster.take() else {
+            return;
+        };
+        let now = ctx.now();
+        cl.membership.scan(now);
+        let me = cl.membership.index();
+        let term = cl.membership.term();
+        let claim = cl.membership.claim();
+
+        // Heartbeat + anti-entropy to every peer, every tick. The
+        // heartbeat carries our per-origin applied marks; the events
+        // batch is the peer's unacknowledged suffix of our own log.
+        let acks = cl.store.acks();
+        let replicas = cl.membership.config().replicas.clone();
+        for (i, &node) in replicas.iter().enumerate() {
+            if i == me {
+                continue;
+            }
+            self.stats.msgs_sent += 1;
+            self.stats.ew_heartbeats += 1;
+            ctx.send_control(
+                node,
+                encode(
+                    &Message::EwHeartbeat {
+                        replica: me as u32,
+                        term,
+                        acks: acks.clone(),
+                    },
+                    0,
+                ),
+            );
+            let batch = cl.store.pending_for(i as u32, EW_BATCH);
+            if !batch.is_empty() {
+                self.stats.msgs_sent += 1;
+                ctx.send_control(
+                    node,
+                    encode(
+                        &Message::EwEvents {
+                            replica: me as u32,
+                            entries: batch,
+                        },
+                        0,
+                    ),
+                );
+            }
+        }
+
+        // Deferred overrides die once our claim outgrows them (a healed
+        // partition converges on the merged term, and the canonical
+        // assignment reasserts itself).
+        cl.deferred.retain(|_, o| *o >= claim);
+        let desired: BTreeSet<Dpid> = self
+            .registry
+            .keys()
+            .copied()
+            .filter(|&d| cl.membership.assigned_master(d) && !cl.deferred.contains_key(&d))
+            .collect();
+        let gained: Vec<Dpid> = desired.difference(&cl.my_masters).copied().collect();
+        let lost: Vec<Dpid> = cl.my_masters.difference(&desired).copied().collect();
+        cl.my_masters = desired;
+        self.cluster = Some(cl);
+
+        for &dpid in &lost {
+            self.mastership_lost(ctx, dpid, true);
+        }
+        for &dpid in &gained {
+            self.mastership_gained(ctx, dpid);
         }
     }
 
@@ -525,11 +921,17 @@ impl Controller {
     }
 
     /// Send one LLDP probe out of every known up port of every switch.
+    /// Clustered, each replica probes only the switches it masters —
+    /// every switch has exactly one master, so every port is still
+    /// probed exactly once per round cluster-wide, and each probe's
+    /// punt lands at the *destination* switch's master (which is why
+    /// link expiry is filtered to destination-mastered links).
     fn discovery_round(&mut self, ctx: &mut Context<'_>) {
         let targets: Vec<(Dpid, PortNo)> = self
             .view
             .switches
             .iter()
+            .filter(|&(&dpid, _)| self.is_master_of(dpid))
             .flat_map(|(&dpid, info)| {
                 info.ports
                     .iter()
@@ -569,8 +971,17 @@ impl Controller {
             self.stats.lldp_ins += 1;
             if let Ok(repr) = lldp::Repr::parse(eth.payload()) {
                 let now = ctx.now();
-                self.view
-                    .add_link_at((repr.chassis_id, repr.port_id), (dpid, in_port), now);
+                let new =
+                    self.view
+                        .add_link_at((repr.chassis_id, repr.port_id), (dpid, in_port), now);
+                if new {
+                    self.log_event(ViewEvent::LinkAdd {
+                        from_dpid: repr.chassis_id,
+                        from_port: repr.port_id,
+                        to_dpid: dpid,
+                        to_port: in_port,
+                    });
+                }
             }
             return;
         }
@@ -591,7 +1002,25 @@ impl Controller {
                 _ => None,
             };
             let now = ctx.now();
-            self.view.learn_host(eth.src_addr(), dpid, in_port, ip, now);
+            let mac = eth.src_addr();
+            let ip_before = self.view.hosts.get(&mac).map(|e| e.ip);
+            let changed = self.view.learn_host(mac, dpid, in_port, ip, now);
+            let ip_after = self.view.hosts.get(&mac).map(|e| e.ip);
+            if changed || ip_before != ip_after {
+                self.log_event(ViewEvent::HostLearned {
+                    mac,
+                    dpid,
+                    port: in_port,
+                    ip: ip_after.flatten(),
+                });
+            }
+        }
+
+        // Stragglers: punts routed here while mastership was in flight
+        // are still good observations (learned above), but only the
+        // master drives the datapath in response.
+        if !self.is_master_of(dpid) {
+            return;
         }
 
         // Application chain. While the recorder is enabled and the frame
@@ -631,6 +1060,18 @@ impl Controller {
     }
 
     fn handle_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Message, xid: u32) {
+        // East-west traffic from a peer replica bypasses the switch-
+        // session machinery below (quarantine, handshake re-solicit).
+        let is_peer = self.cluster.as_ref().is_some_and(|cl| {
+            cl.membership
+                .config()
+                .index_of(from)
+                .is_some_and(|i| i != cl.membership.index())
+        });
+        if is_peer {
+            self.handle_peer_message(ctx, msg);
+            return;
+        }
         // Any frame from a quarantined switch means the channel is back;
         // ask for its state digest (quarantine lifts only on HelloResync,
         // so routing stays conservative until state is reconciled).
@@ -678,6 +1119,40 @@ impl Controller {
                 let port_list: Vec<(PortNo, bool)> =
                     ports.iter().map(|p| (p.port_no, p.up)).collect();
                 self.view.add_switch(dpid, n_tables, &port_list);
+                // Clustered: settle the connection's role before any app
+                // traffic, so the agent routes punts (and accepts mods)
+                // from the first packet. The deterministic assignment
+                // needs no negotiation — everyone computes the same one.
+                if self.cluster.is_some() {
+                    let (claim_master, term, replica) = {
+                        let cl = self.cluster.as_mut().expect("checked above");
+                        let claim =
+                            cl.membership.assigned_master(dpid) && !cl.deferred.contains_key(&dpid);
+                        if claim {
+                            cl.my_masters.insert(dpid);
+                        }
+                        let (term, replica) = cl.membership.claim();
+                        (claim, term, replica)
+                    };
+                    let role = if claim_master {
+                        self.stats.masterships_gained += 1;
+                        Role::Master
+                    } else {
+                        Role::Equal
+                    };
+                    self.send_direct(
+                        ctx,
+                        dpid,
+                        &Message::RoleRequest {
+                            role,
+                            term,
+                            replica,
+                        },
+                    );
+                    if claim_master {
+                        self.note_mastership_trace(ctx, dpid, true);
+                    }
+                }
                 self.with_apps(ctx, |apps, ctl| {
                     for app in apps.iter_mut() {
                         app.on_switch_up(ctl, dpid);
@@ -716,13 +1191,19 @@ impl Controller {
                 // Keep the cookie shadow honest for timeouts; deletions
                 // we ordered ourselves are folded in at barrier-ack time.
                 if reason != zen_proto::RemovedReason::Delete {
+                    let mut shrunk = false;
                     if let Some(shadow) = self.shadow.get_mut(&dpid) {
                         if let Some(count) = shadow.get_mut(&cookie) {
                             *count = count.saturating_sub(1);
                             if *count == 0 {
                                 shadow.remove(&cookie);
                             }
+                            shrunk = true;
                         }
+                    }
+                    if shrunk && self.cluster.is_some() && self.is_master_of(dpid) {
+                        let cookies = self.shadow_cookies(dpid);
+                        self.log_event(ViewEvent::ShadowSet { dpid, cookies });
                     }
                 }
                 self.with_apps(ctx, |apps, ctl| {
@@ -764,6 +1245,7 @@ impl Controller {
             Message::BarrierReply { applied } => {
                 // Retire exactly the covered mods the switch confirmed;
                 // anything it never saw stays pending and retransmits.
+                let mut shadow_touched: BTreeSet<Dpid> = BTreeSet::new();
                 if let Some((_, xids)) = self.barriers.remove(&xid) {
                     for mx in xids {
                         if !applied.contains(&mx) {
@@ -785,7 +1267,17 @@ impl Controller {
                                 }
                             }
                             self.apply_to_shadow(p.dpid, &p.msg);
+                            shadow_touched.insert(p.dpid);
                         }
+                    }
+                }
+                // Replicate the updated digests so a standby that later
+                // takes these switches over inherits an accurate shadow
+                // (one event per switch per barrier, not per mod).
+                if self.cluster.is_some() {
+                    for dpid in shadow_touched {
+                        let cookies = self.shadow_cookies(dpid);
+                        self.log_event(ViewEvent::ShadowSet { dpid, cookies });
                     }
                 }
             }
@@ -821,6 +1313,10 @@ impl Controller {
                         self.stats.mods_superseded += 1;
                     }
                     self.shadow.insert(dpid, reported);
+                    if self.cluster.is_some() && self.is_master_of(dpid) {
+                        let cookies = self.shadow_cookies(dpid);
+                        self.log_event(ViewEvent::ShadowSet { dpid, cookies });
+                    }
                     // Unquarantine *before* notifying apps so their
                     // reprogramming sees the switch in the graph.
                     self.view.unquarantine(dpid);
@@ -831,7 +1327,71 @@ impl Controller {
                     });
                 }
             }
-            // Error, ResyncRequest (agent-bound): informational.
+            Message::RoleReply {
+                role,
+                term,
+                replica,
+            } => {
+                // Only losing claims need bookkeeping: the switch names
+                // the `(term, replica)` that outranked us, and we defer
+                // to it until our own claim grows past it.
+                let Some(&dpid) = self.rev_registry.get(&from) else {
+                    return;
+                };
+                let stepped_down = {
+                    let Some(cl) = self.cluster.as_mut() else {
+                        return;
+                    };
+                    if role == Role::Master || replica == cl.membership.index() as u32 {
+                        return;
+                    }
+                    cl.deferred.insert(dpid, (term, replica));
+                    cl.my_masters.remove(&dpid)
+                };
+                if stepped_down {
+                    self.mastership_lost(ctx, dpid, false);
+                }
+            }
+            Message::Error {
+                code: ErrorCode::NotMaster,
+                data,
+            } => {
+                // A mod crossed a mastership change in flight. The
+                // diagnostic bytes carry the rejected request's xid.
+                self.stats.nonmaster_errors += 1;
+                let Some(&dpid) = self.rev_registry.get(&from) else {
+                    return;
+                };
+                let mod_xid = (data.len() == 4)
+                    .then(|| u32::from_be_bytes([data[0], data[1], data[2], data[3]]));
+                if self.cluster.is_some() && self.is_master_of(dpid) {
+                    // We still believe we are master: our RoleRequest may
+                    // have been lost, or the RoleReply demoting us is in
+                    // flight. Re-assert; the mod stays pending and the
+                    // retransmit path retries it under the settled role.
+                    let (term, replica) = self
+                        .cluster
+                        .as_ref()
+                        .map(|cl| cl.membership.claim())
+                        .expect("checked above");
+                    self.send_direct(
+                        ctx,
+                        dpid,
+                        &Message::RoleRequest {
+                            role: Role::Master,
+                            term,
+                            replica,
+                        },
+                    );
+                } else if let Some(mx) = mod_xid {
+                    // We already stepped down: the mod belongs to the new
+                    // master's world now.
+                    if self.pending.remove(&mx).is_some() {
+                        self.stats.mods_superseded += 1;
+                    }
+                }
+            }
+            // Other errors, ResyncRequest (agent-bound): informational.
             _ => {}
         }
     }
@@ -845,9 +1405,40 @@ impl Node for Controller {
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
         if token == TIMER_TICK {
             // Silent-failure detection: drop links whose LLDP confirmations
-            // stopped arriving.
-            let removed = self.view.expire_links(ctx.now(), self.cfg.link_max_age);
+            // stopped arriving. Clustered, a replica only ages links whose
+            // *destination* it masters — confirmations arrive at the
+            // destination's master, so everyone else's staleness clock
+            // says nothing (and would false-expire every link the moment
+            // a master dies, since the lease outlives link_max_age).
+            // Links whose *source* is a peer's switch get a full extra
+            // lease of grace: the source's master sends the probes, and
+            // if it just died, probing only resumes after its lease
+            // lapses and the takeover re-solicits — expiring at the
+            // plain max-age would tear down every link out of a dead
+            // master's switches before failover can even start.
+            let now = ctx.now();
+            let removed = if let Some(cl) = &self.cluster {
+                let lease = cl.membership.config().lease_timeout;
+                let masters = cl.my_masters.clone();
+                let mut removed = self.view.expire_links_filtered(
+                    now,
+                    self.cfg.link_max_age,
+                    |(from, _), (to, _)| masters.contains(&to) && masters.contains(&from),
+                );
+                removed.extend(self.view.expire_links_filtered(
+                    now,
+                    self.cfg.link_max_age + lease,
+                    |(from, _), (to, _)| masters.contains(&to) && !masters.contains(&from),
+                ));
+                removed
+            } else {
+                self.view.expire_links(now, self.cfg.link_max_age)
+            };
             for ((dpid, port), _) in removed {
+                self.log_event(ViewEvent::LinkDel {
+                    from_dpid: dpid,
+                    from_port: port,
+                });
                 self.with_apps(ctx, |apps, ctl| {
                     for app in apps.iter_mut() {
                         app.on_port_status(ctl, dpid, port, false);
@@ -856,6 +1447,7 @@ impl Node for Controller {
             }
             self.quarantine_scan(ctx);
             self.retransmit_scan(ctx);
+            self.cluster_tick(ctx);
             self.discovery_round(ctx);
             self.echo_round(ctx);
             self.with_apps(ctx, |apps, ctl| {

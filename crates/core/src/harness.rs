@@ -8,6 +8,8 @@ use zen_dataplane::PortNo;
 use zen_sim::{Duration, Host, LinkId, LinkParams, NodeId, Topology, World};
 use zen_wire::{EthernetAddress, Ipv4Address};
 
+use zen_cluster::ClusterConfig;
+
 use crate::agent::{AgentConfig, SwitchAgent};
 use crate::app::App;
 use crate::apps::proactive::StaticHost;
@@ -26,6 +28,14 @@ pub struct FabricOptions {
     pub agent_cfg: AgentConfig,
     /// Link parameters for host attachment links.
     pub host_link: LinkParams,
+    /// Number of controller replicas. The default of 1 builds the
+    /// classic single-controller fabric; values above 1 require
+    /// [`build_cluster_fabric`] / [`build_cluster_fabric_with_hosts`]
+    /// (each replica needs its own app instances).
+    pub n_controllers: usize,
+    /// Mastership lease for multi-controller fabrics: a replica silent
+    /// for this long is presumed dead and its switches taken over.
+    pub cluster_lease: Duration,
 }
 
 impl Default for FabricOptions {
@@ -36,14 +46,19 @@ impl Default for FabricOptions {
             controller_cfg: ControllerConfig::default(),
             agent_cfg: AgentConfig::default(),
             host_link: LinkParams::default(),
+            n_controllers: 1,
+            cluster_lease: Duration::from_millis(300),
         }
     }
 }
 
 /// A constructed fabric: node ids and host addressing.
 pub struct Fabric {
-    /// The controller node.
+    /// The first (or only) controller node.
     pub controller: NodeId,
+    /// Every controller replica, in replica-index order. Length 1 for
+    /// single-controller fabrics; `controllers[0] == controller`.
+    pub controllers: Vec<NodeId>,
     /// Switch agents, indexed by topology switch index (== dpid).
     pub switches: Vec<NodeId>,
     /// Host nodes, indexed like `topo.hosts`.
@@ -109,19 +124,86 @@ pub fn build_fabric_with_hosts(
     topo: &Topology,
     apps: Vec<Box<dyn App>>,
     opts: FabricOptions,
+    host_fn: impl FnMut(usize, EthernetAddress, Ipv4Address) -> Host,
+) -> Fabric {
+    assert!(
+        opts.n_controllers <= 1,
+        "multi-controller fabrics need per-replica app instances; \
+         use build_cluster_fabric_with_hosts"
+    );
+    let mut apps = Some(apps);
+    build_cluster_fabric_with_hosts(
+        world,
+        topo,
+        |_i| apps.take().expect("single controller builds apps once"),
+        opts,
+        host_fn,
+    )
+}
+
+/// Build an SDN fabric with `opts.n_controllers` controller replicas
+/// and default hosts. `app_fn(i)` builds replica `i`'s app stack —
+/// every replica must run the same apps for takeover to be seamless.
+pub fn build_cluster_fabric(
+    world: &mut World,
+    topo: &Topology,
+    app_fn: impl FnMut(usize) -> Vec<Box<dyn App>>,
+    opts: FabricOptions,
+) -> Fabric {
+    build_cluster_fabric_with_hosts(world, topo, app_fn, opts, |_i, mac, ip| {
+        Host::new(mac, ip).with_gratuitous_arp()
+    })
+}
+
+/// Build an SDN fabric with `opts.n_controllers` controller replicas
+/// and custom host construction. With one replica this is byte-for-byte
+/// the classic fabric: a lone `Controller` with no cluster state and
+/// single-homed agents. With more, every replica is wired into the
+/// cluster, every agent is homed to all of them, and mastership is
+/// negotiated at the features handshake.
+pub fn build_cluster_fabric_with_hosts(
+    world: &mut World,
+    topo: &Topology,
+    mut app_fn: impl FnMut(usize) -> Vec<Box<dyn App>>,
+    opts: FabricOptions,
     mut host_fn: impl FnMut(usize, EthernetAddress, Ipv4Address) -> Host,
 ) -> Fabric {
-    let controller = world.add_node(Box::new(Controller::with_config(apps, opts.controller_cfg)));
+    let n_controllers = opts.n_controllers.max(1);
+    let controllers: Vec<NodeId> = (0..n_controllers)
+        .map(|i| {
+            world.add_node(Box::new(Controller::with_config(
+                app_fn(i),
+                opts.controller_cfg,
+            )))
+        })
+        .collect();
+    if n_controllers > 1 {
+        for (i, &id) in controllers.iter().enumerate() {
+            let mut cfg = ClusterConfig::new(controllers.clone(), i);
+            cfg.lease_timeout = opts.cluster_lease;
+            world.node_as_mut::<Controller>(id).enable_cluster(cfg);
+        }
+    }
+    let controller = controllers[0];
     world.set_control_latency(opts.control_latency);
 
     let switches: Vec<NodeId> = (0..topo.switches)
         .map(|i| {
-            world.add_node(Box::new(SwitchAgent::with_config(
-                i as u64,
-                opts.n_tables,
-                controller,
-                opts.agent_cfg,
-            )))
+            if n_controllers == 1 {
+                world.add_node(Box::new(SwitchAgent::with_config(
+                    i as u64,
+                    opts.n_tables,
+                    controller,
+                    opts.agent_cfg,
+                )))
+            } else {
+                world.add_node(Box::new(SwitchAgent::with_controllers(
+                    i as u64,
+                    opts.n_tables,
+                    controllers.clone(),
+                    opts.agent_cfg,
+                )))
+            }
         })
         .collect();
 
@@ -151,6 +233,7 @@ pub fn build_fabric_with_hosts(
 
     Fabric {
         controller,
+        controllers,
         switches,
         hosts,
         host_macs,

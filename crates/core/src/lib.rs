@@ -34,6 +34,9 @@ pub mod view;
 pub use agent::{AgentConfig, ConnLossPolicy, ConnState, SwitchAgent};
 pub use app::{App, Disposition};
 pub use controller::{Controller, ControllerConfig, Ctl, CtlStats};
-pub use harness::{build_fabric, build_fabric_with_hosts, Fabric, FabricOptions};
+pub use harness::{
+    build_cluster_fabric, build_cluster_fabric_with_hosts, build_fabric, build_fabric_with_hosts,
+    Fabric, FabricOptions,
+};
 pub use snapshot::export_jsonl;
 pub use view::{Dpid, HostEntry, NetworkView, SwitchInfo};

@@ -117,14 +117,29 @@ impl NetworkView {
         now: Instant,
         max_age: Duration,
     ) -> Vec<((Dpid, PortNo), (Dpid, PortNo))> {
+        self.expire_links_filtered(now, max_age, |_, _| true)
+    }
+
+    /// [`NetworkView::expire_links`] restricted to links accepted by
+    /// `pred(from, to)`. A clustered controller only ages links whose
+    /// *destination* switch it masters: LLDP confirmations arrive at the
+    /// destination's master, so everyone else's staleness clock says
+    /// nothing about the link.
+    #[allow(clippy::type_complexity)]
+    pub fn expire_links_filtered(
+        &mut self,
+        now: Instant,
+        max_age: Duration,
+        pred: impl Fn((Dpid, PortNo), (Dpid, PortNo)) -> bool,
+    ) -> Vec<((Dpid, PortNo), (Dpid, PortNo))> {
         let stale: Vec<(Dpid, PortNo)> = self
             .links
-            .keys()
-            .filter(|k| {
-                let seen = self.link_seen.get(k).copied().unwrap_or(Instant::ZERO);
-                now.duration_since(seen) >= max_age
+            .iter()
+            .filter(|(&from, &to)| {
+                let seen = self.link_seen.get(&from).copied().unwrap_or(Instant::ZERO);
+                now.duration_since(seen) >= max_age && pred(from, to)
             })
-            .copied()
+            .map(|(&from, _)| from)
             .collect();
         let mut removed = Vec::new();
         for key in stale {
@@ -139,8 +154,42 @@ impl NetworkView {
         removed
     }
 
+    /// Reset the staleness clock of every link *into* `dpid` to `now`.
+    /// Called on gaining mastership of `dpid`: the new master has not
+    /// been receiving that switch's LLDP punts, so each link gets one
+    /// full discovery round of grace before it can expire.
+    pub fn refresh_links_to(&mut self, dpid: Dpid, now: Instant) {
+        let into: Vec<(Dpid, PortNo)> = self
+            .links
+            .iter()
+            .filter(|(_, &(to, _))| to == dpid)
+            .map(|(&from, _)| from)
+            .collect();
+        for key in into {
+            self.link_seen.insert(key, now);
+        }
+    }
+
+    /// Remove one directed link (a replicated `LinkDel` observed by a
+    /// peer replica). Returns its former destination, if present.
+    pub fn remove_link(&mut self, from: (Dpid, PortNo)) -> Option<(Dpid, PortNo)> {
+        self.link_seen.remove(&from);
+        let to = self.links.remove(&from);
+        if to.is_some() {
+            self.bump();
+        }
+        to
+    }
+
     /// Record a host sighting. Returns `true` if the host is new or
     /// moved (location change), which callers propagate to apps.
+    ///
+    /// A sighting that carries an IP also evicts *stale* entries: other
+    /// MACs still claiming the same IP from an earlier attachment. Left
+    /// in place they shadow the fresh entry in [`NetworkView::host_by_ip`]
+    /// (first match by MAC order) — a latent single-controller bug that
+    /// mastership handoff would amplify, since a new master re-learns
+    /// hosts from resync-era traffic.
     pub fn learn_host(
         &mut self,
         mac: EthernetAddress,
@@ -149,6 +198,18 @@ impl NetworkView {
         ip: Option<Ipv4Address>,
         now: Instant,
     ) -> bool {
+        if let Some(addr) = ip {
+            let stale: Vec<EthernetAddress> = self
+                .hosts
+                .iter()
+                .filter(|(&m, e)| m != mac && e.ip == Some(addr))
+                .map(|(&m, _)| m)
+                .collect();
+            for m in stale {
+                self.hosts.remove(&m);
+                self.bump();
+            }
+        }
         match self.hosts.get_mut(&mac) {
             Some(entry) => {
                 let moved = entry.dpid != dpid || entry.port != port;
@@ -387,6 +448,59 @@ mod tests {
         assert_eq!(v.hosts[&mac].dpid, 2);
         // The IP survives the move.
         assert_eq!(v.hosts[&mac].ip, Some(Ipv4Address::new(10, 0, 0, 1)));
+    }
+
+    #[test]
+    fn ip_sighting_evicts_stale_claimants() {
+        let mut v = two_switch_view();
+        let old_mac = EthernetAddress::from_id(5);
+        let new_mac = EthernetAddress::from_id(6);
+        let ip = Ipv4Address::new(10, 0, 0, 1);
+        let t = Instant::from_millis(1);
+        v.learn_host(old_mac, 1, 1, Some(ip), t);
+        // Same IP shows up under a different MAC (NIC swap, resync-era
+        // re-learning after handoff): the stale entry must go, or
+        // host_by_ip keeps answering with the dead attachment.
+        let before = v.version;
+        assert!(v.learn_host(new_mac, 2, 2, Some(ip), t));
+        assert!(v.version > before);
+        assert!(!v.hosts.contains_key(&old_mac), "stale claimant evicted");
+        assert_eq!(
+            v.host_by_ip(ip).map(|(m, e)| (m, e.dpid)),
+            Some((new_mac, 2))
+        );
+        // An IP-less sighting never evicts (no claim to arbitrate).
+        v.learn_host(old_mac, 1, 1, None, t);
+        assert_eq!(v.hosts.len(), 2);
+    }
+
+    #[test]
+    fn filtered_expiry_and_refresh() {
+        let mut v = two_switch_view();
+        let late = Instant::from_millis(500);
+        let age = Duration::from_millis(100);
+        // Only links *into* dpid 2 may expire: (1,2)->(2,1) goes, the
+        // reverse direction stays even though it is just as stale.
+        let removed = v.expire_links_filtered(late, age, |_, (to, _)| to == 2);
+        assert_eq!(removed, vec![((1, 2), (2, 1))]);
+        assert!(v.links.contains_key(&(2, 1)));
+
+        // refresh_links_to resets the staleness clock for inbound links.
+        let mut v2 = two_switch_view();
+        v2.refresh_links_to(1, late);
+        let removed = v2.expire_links(late, age);
+        assert_eq!(removed, vec![((1, 2), (2, 1))], "refreshed link survives");
+        assert_eq!(v2.link_seen[&(2, 1)], late);
+    }
+
+    #[test]
+    fn remove_link_is_directional() {
+        let mut v = two_switch_view();
+        let before = v.version;
+        assert_eq!(v.remove_link((1, 2)), Some((2, 1)));
+        assert!(v.version > before);
+        assert!(v.links.contains_key(&(2, 1)), "reverse direction kept");
+        assert_eq!(v.remove_link((1, 2)), None, "idempotent");
     }
 
     #[test]

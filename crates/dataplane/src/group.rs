@@ -84,6 +84,12 @@ impl GroupTable {
         self.groups.is_empty()
     }
 
+    /// Iterate installed groups in id order (deterministic — used by
+    /// tests that digest whole-switch forwarding state).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &GroupDesc)> {
+        self.groups.iter().map(|(&id, desc)| (id, desc))
+    }
+
     /// Select the bucket(s) to execute for a frame with `flow_hash`,
     /// given a port-liveness oracle. Returns indices into the group's
     /// bucket list.

@@ -7,8 +7,9 @@ use zen_dataplane::{Action, Bucket, FlowMatch, FlowSpec, GroupDesc, GroupType};
 use zen_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
 
 use crate::{
-    CacheStatsRec, CookieCount, ErrorCode, FlowModCmd, FlowStats, GroupModCmd, Message,
-    MeterModCmd, PortDesc, PortStatsRec, RemovedReason, StatsBody, StatsKind, TableStats, VERSION,
+    CacheStatsRec, CookieCount, ErrorCode, EwEntry, FlowModCmd, FlowStats, GroupModCmd, Message,
+    MeterModCmd, PortDesc, PortStatsRec, RemovedReason, Role, StatsBody, StatsKind, TableStats,
+    ViewEvent, VERSION,
 };
 
 /// The fixed message header length: version, type, length (u32), xid.
@@ -400,6 +401,149 @@ fn get_group(rd: &mut Rd<'_>) -> Result<GroupDesc> {
     })
 }
 
+fn put_role(out: &mut Vec<u8>, role: Role) {
+    out.put_u8(match role {
+        Role::Master => 0,
+        Role::Equal => 1,
+        Role::Slave => 2,
+    });
+}
+
+fn get_role(rd: &mut Rd<'_>) -> Result<Role> {
+    Ok(match rd.u8()? {
+        0 => Role::Master,
+        1 => Role::Equal,
+        2 => Role::Slave,
+        _ => return Err(CodecError::Malformed),
+    })
+}
+
+fn put_view_event(out: &mut Vec<u8>, event: &ViewEvent) {
+    match event {
+        ViewEvent::LinkAdd {
+            from_dpid,
+            from_port,
+            to_dpid,
+            to_port,
+        } => {
+            out.put_u8(0);
+            out.put_u64(*from_dpid);
+            out.put_u32(*from_port);
+            out.put_u64(*to_dpid);
+            out.put_u32(*to_port);
+        }
+        ViewEvent::LinkDel {
+            from_dpid,
+            from_port,
+        } => {
+            out.put_u8(1);
+            out.put_u64(*from_dpid);
+            out.put_u32(*from_port);
+        }
+        ViewEvent::HostLearned {
+            mac,
+            dpid,
+            port,
+            ip,
+        } => {
+            out.put_u8(2);
+            out.put_slice(mac.as_bytes());
+            out.put_u64(*dpid);
+            out.put_u32(*port);
+            match ip {
+                Some(addr) => {
+                    out.put_u8(1);
+                    out.put_slice(addr.as_bytes());
+                }
+                None => out.put_u8(0),
+            }
+        }
+        ViewEvent::ShadowSet { dpid, cookies } => {
+            out.put_u8(3);
+            out.put_u64(*dpid);
+            out.put_u32(cookies.len() as u32);
+            for c in cookies {
+                out.put_u64(c.cookie);
+                out.put_u32(c.count);
+            }
+        }
+        ViewEvent::ProgramStamp { dpid, cookie, hash } => {
+            out.put_u8(4);
+            out.put_u64(*dpid);
+            out.put_u64(*cookie);
+            out.put_u64(*hash);
+        }
+    }
+}
+
+fn get_view_event(rd: &mut Rd<'_>) -> Result<ViewEvent> {
+    Ok(match rd.u8()? {
+        0 => ViewEvent::LinkAdd {
+            from_dpid: rd.u64()?,
+            from_port: rd.u32()?,
+            to_dpid: rd.u64()?,
+            to_port: rd.u32()?,
+        },
+        1 => ViewEvent::LinkDel {
+            from_dpid: rd.u64()?,
+            from_port: rd.u32()?,
+        },
+        2 => {
+            let mac = rd.mac()?;
+            let dpid = rd.u64()?;
+            let port = rd.u32()?;
+            let ip = match rd.u8()? {
+                0 => None,
+                1 => Some(rd.ip()?),
+                _ => return Err(CodecError::Malformed),
+            };
+            ViewEvent::HostLearned {
+                mac,
+                dpid,
+                port,
+                ip,
+            }
+        }
+        3 => {
+            let dpid = rd.u64()?;
+            let n = rd.u32()? as usize;
+            if n > rd.buf.len() {
+                return Err(CodecError::Truncated);
+            }
+            let mut cookies = Vec::with_capacity(n);
+            for _ in 0..n {
+                cookies.push(CookieCount {
+                    cookie: rd.u64()?,
+                    count: rd.u32()?,
+                });
+            }
+            ViewEvent::ShadowSet { dpid, cookies }
+        }
+        4 => ViewEvent::ProgramStamp {
+            dpid: rd.u64()?,
+            cookie: rd.u64()?,
+            hash: rd.u64()?,
+        },
+        _ => return Err(CodecError::Malformed),
+    })
+}
+
+fn put_ew_entry(out: &mut Vec<u8>, entry: &EwEntry) {
+    out.put_u32(entry.origin);
+    out.put_u64(entry.seq);
+    out.put_u64(entry.term);
+    put_view_event(out, &entry.event);
+}
+
+fn get_ew_entry(rd: &mut Rd<'_>) -> Result<EwEntry> {
+    Ok(EwEntry {
+        origin: rd.u32()?,
+        seq: rd.u64()?,
+        term: rd.u64()?,
+        event: get_view_event(rd)?,
+    })
+}
+
 fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
     out.put_u32(data.len() as u32);
     out.put_slice(data);
@@ -426,6 +570,7 @@ pub fn encode(msg: &Message, xid: u32) -> Vec<u8> {
                 ErrorCode::HelloFailed => 0,
                 ErrorCode::BadRequest => 1,
                 ErrorCode::TableFull => 2,
+                ErrorCode::NotMaster => 3,
             });
             put_bytes(&mut out, data);
         }
@@ -611,6 +756,40 @@ pub fn encode(msg: &Message, xid: u32) -> Vec<u8> {
             }
         }
         Message::ResyncRequest => {}
+        Message::RoleRequest {
+            role,
+            term,
+            replica,
+        }
+        | Message::RoleReply {
+            role,
+            term,
+            replica,
+        } => {
+            put_role(&mut out, *role);
+            out.put_u64(*term);
+            out.put_u32(*replica);
+        }
+        Message::EwHeartbeat {
+            replica,
+            term,
+            acks,
+        } => {
+            out.put_u32(*replica);
+            out.put_u64(*term);
+            out.put_u32(acks.len() as u32);
+            for &(origin, seq) in acks {
+                out.put_u32(origin);
+                out.put_u64(seq);
+            }
+        }
+        Message::EwEvents { replica, entries } => {
+            out.put_u32(*replica);
+            out.put_u32(entries.len() as u32);
+            for entry in entries {
+                put_ew_entry(&mut out, entry);
+            }
+        }
     }
     let len = out.len() as u32;
     out[2..6].copy_from_slice(&len.to_be_bytes());
@@ -644,6 +823,7 @@ pub fn decode(buf: &[u8]) -> Result<(Message, u32, usize)> {
                 0 => ErrorCode::HelloFailed,
                 1 => ErrorCode::BadRequest,
                 2 => ErrorCode::TableFull,
+                3 => ErrorCode::NotMaster,
                 _ => return Err(CodecError::Malformed),
             };
             Message::Error {
@@ -851,6 +1031,47 @@ pub fn decode(buf: &[u8]) -> Result<(Message, u32, usize)> {
             }
         }
         18 => Message::ResyncRequest,
+        19 => Message::RoleRequest {
+            role: get_role(&mut rd)?,
+            term: rd.u64()?,
+            replica: rd.u32()?,
+        },
+        20 => Message::RoleReply {
+            role: get_role(&mut rd)?,
+            term: rd.u64()?,
+            replica: rd.u32()?,
+        },
+        21 => {
+            let replica = rd.u32()?;
+            let term = rd.u64()?;
+            let n = rd.u32()? as usize;
+            if n > rd.buf.len() {
+                return Err(CodecError::Truncated);
+            }
+            let mut acks = Vec::with_capacity(n);
+            for _ in 0..n {
+                let origin = rd.u32()?;
+                let seq = rd.u64()?;
+                acks.push((origin, seq));
+            }
+            Message::EwHeartbeat {
+                replica,
+                term,
+                acks,
+            }
+        }
+        22 => {
+            let replica = rd.u32()?;
+            let n = rd.u32()? as usize;
+            if n > rd.buf.len() {
+                return Err(CodecError::Truncated);
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(get_ew_entry(&mut rd)?);
+            }
+            Message::EwEvents { replica, entries }
+        }
         other => return Err(CodecError::UnknownType(other)),
     };
     rd.finish()?;
@@ -1057,6 +1278,103 @@ mod tests {
                 cookies: vec![],
             },
             Message::ResyncRequest,
+            Message::Error {
+                code: ErrorCode::NotMaster,
+                data: 7u32.to_be_bytes().to_vec(),
+            },
+            Message::RoleRequest {
+                role: Role::Master,
+                term: 3,
+                replica: 1,
+            },
+            Message::RoleReply {
+                role: Role::Slave,
+                term: 4,
+                replica: 2,
+            },
+            Message::EwHeartbeat {
+                replica: 0,
+                term: 2,
+                acks: vec![(0, 17), (1, 0), (2, 5)],
+            },
+            Message::EwHeartbeat {
+                replica: 2,
+                term: 1,
+                acks: vec![],
+            },
+            Message::EwEvents {
+                replica: 1,
+                entries: vec![
+                    EwEntry {
+                        origin: 1,
+                        seq: 1,
+                        term: 1,
+                        event: ViewEvent::LinkAdd {
+                            from_dpid: 0,
+                            from_port: 2,
+                            to_dpid: 1,
+                            to_port: 3,
+                        },
+                    },
+                    EwEntry {
+                        origin: 1,
+                        seq: 2,
+                        term: 1,
+                        event: ViewEvent::LinkDel {
+                            from_dpid: 0,
+                            from_port: 2,
+                        },
+                    },
+                    EwEntry {
+                        origin: 1,
+                        seq: 3,
+                        term: 2,
+                        event: ViewEvent::HostLearned {
+                            mac: EthernetAddress::from_id(0x50_0001),
+                            dpid: 3,
+                            port: 4,
+                            ip: Some(Ipv4Address::new(10, 0, 0, 2)),
+                        },
+                    },
+                    EwEntry {
+                        origin: 1,
+                        seq: 4,
+                        term: 2,
+                        event: ViewEvent::HostLearned {
+                            mac: EthernetAddress::from_id(0x50_0002),
+                            dpid: 3,
+                            port: 5,
+                            ip: None,
+                        },
+                    },
+                    EwEntry {
+                        origin: 1,
+                        seq: 5,
+                        term: 2,
+                        event: ViewEvent::ShadowSet {
+                            dpid: 2,
+                            cookies: vec![CookieCount {
+                                cookie: 0xfab0_0001,
+                                count: 6,
+                            }],
+                        },
+                    },
+                    EwEntry {
+                        origin: 1,
+                        seq: 6,
+                        term: 2,
+                        event: ViewEvent::ProgramStamp {
+                            dpid: 2,
+                            cookie: 0xfab0_0001,
+                            hash: 0x1234_5678_9abc_def0,
+                        },
+                    },
+                ],
+            },
+            Message::EwEvents {
+                replica: 0,
+                entries: vec![],
+            },
         ]
     }
 

@@ -226,6 +226,99 @@ pub enum ErrorCode {
     BadRequest,
     /// The switch cannot satisfy the request (table full).
     TableFull,
+    /// A state mod arrived on a connection that does not hold the
+    /// Master role for this switch. The diagnostic bytes carry the
+    /// offending request's xid (big-endian u32) so the sender can
+    /// reconcile its pending-mod table.
+    NotMaster,
+}
+
+/// The role a controller connection holds toward a switch, as in
+/// OpenFlow's OFPT_ROLE_REQUEST. Exactly one connection may be Master;
+/// Equals receive asynchronous messages and may inject packets but may
+/// not mutate state; Slaves get synchronous replies only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Role {
+    /// Full control: state mods accepted, async messages delivered.
+    Master,
+    /// Read-mostly: stats and packet-out allowed, mods rejected.
+    Equal,
+    /// Standby: synchronous request/reply only.
+    Slave,
+}
+
+/// One replicated network-view mutation, gossiped between controller
+/// replicas (the east-west interface). Events carry enough to rebuild
+/// the shared portions of a [`NetworkView`]-like store; switch liveness
+/// and port state are *not* replicated because every replica observes
+/// them first-hand over its own switch connections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewEvent {
+    /// A directed link was discovered (LLDP confirmed).
+    LinkAdd {
+        /// Source datapath id.
+        from_dpid: u64,
+        /// Source port.
+        from_port: PortNo,
+        /// Destination datapath id.
+        to_dpid: u64,
+        /// Destination port.
+        to_port: PortNo,
+    },
+    /// A directed link lapsed or was torn down.
+    LinkDel {
+        /// Source datapath id.
+        from_dpid: u64,
+        /// Source port.
+        from_port: PortNo,
+    },
+    /// A host was located at an edge port.
+    HostLearned {
+        /// Host MAC.
+        mac: zen_wire::EthernetAddress,
+        /// Attachment switch.
+        dpid: u64,
+        /// Attachment port.
+        port: PortNo,
+        /// Host IP, if observed.
+        ip: Option<zen_wire::Ipv4Address>,
+    },
+    /// The master's cookie shadow for one switch (full replacement), so
+    /// a standby taking over can diff-resync without re-flooding.
+    ShadowSet {
+        /// The switch.
+        dpid: u64,
+        /// Per-cookie installed flow-entry counts, ascending by cookie.
+        cookies: Vec<CookieCount>,
+    },
+    /// A content stamp for one application's programming of one switch
+    /// (a hash of the desired flow/group state). A replica gaining
+    /// mastership compares the stamp against its own computed desired
+    /// state and reprograms only on mismatch.
+    ProgramStamp {
+        /// The switch.
+        dpid: u64,
+        /// The application cookie the stamp belongs to.
+        cookie: u64,
+        /// Hash of the desired per-switch program.
+        hash: u64,
+    },
+}
+
+/// One entry of a replica's monotonic event log: the origin replica,
+/// its per-origin sequence number, and the mastership term it was
+/// logged under. `(term, seq, origin)` orders concurrent writes to the
+/// same key last-writer-wins, as in ONOS's eventually-consistent maps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EwEntry {
+    /// Index of the replica that logged the event.
+    pub origin: u32,
+    /// Position in the origin's log (1-based, contiguous).
+    pub seq: u64,
+    /// Mastership term at the origin when logged.
+    pub term: u64,
+    /// The mutation itself.
+    pub event: ViewEvent,
 }
 
 /// A control-channel message.
@@ -365,6 +458,48 @@ pub enum Message {
     },
     /// Controller asks a switch for a fresh [`Message::HelloResync`].
     ResyncRequest,
+    /// A controller claims a role for this switch connection, carrying
+    /// its mastership term and replica index; the highest `(term,
+    /// replica)` claim wins a contested mastership.
+    RoleRequest {
+        /// The requested role.
+        role: Role,
+        /// The claimant's mastership term.
+        term: u64,
+        /// The claimant's replica index.
+        replica: u32,
+    },
+    /// The switch's answer to a [`Message::RoleRequest`]: the role
+    /// actually granted and the `(term, replica)` of the connection
+    /// currently holding Master, so a losing claimant learns who
+    /// outranked it.
+    RoleReply {
+        /// The granted role.
+        role: Role,
+        /// Current master's term.
+        term: u64,
+        /// Current master's replica index.
+        replica: u32,
+    },
+    /// East-west liveness + anti-entropy summary between replicas: the
+    /// sender's identity, mastership term, and per-origin applied
+    /// high-water marks, from which a peer computes what to resend.
+    EwHeartbeat {
+        /// Sender's replica index.
+        replica: u32,
+        /// Sender's mastership term.
+        term: u64,
+        /// `(origin, highest contiguous seq applied)` pairs, ascending
+        /// by origin.
+        acks: Vec<(u32, u64)>,
+    },
+    /// A batch of east-west log entries, contiguous per origin.
+    EwEvents {
+        /// Sender's replica index.
+        replica: u32,
+        /// The entries, ascending by seq.
+        entries: Vec<EwEntry>,
+    },
 }
 
 impl Message {
@@ -390,6 +525,10 @@ impl Message {
             Message::StatsReply { .. } => 16,
             Message::HelloResync { .. } => 17,
             Message::ResyncRequest => 18,
+            Message::RoleRequest { .. } => 19,
+            Message::RoleReply { .. } => 20,
+            Message::EwHeartbeat { .. } => 21,
+            Message::EwEvents { .. } => 22,
         }
     }
 }

@@ -73,6 +73,7 @@ pub struct FaultPlan {
     control_loss: Vec<(Scope, Window, f64)>,
     control_dup: Vec<(Scope, Window, f64)>,
     partitions: Vec<(NodeId, NodeId, Window)>,
+    isolations: Vec<(NodeId, Window)>,
     link_loss: Vec<(Option<LinkId>, Window, f64)>,
 }
 
@@ -117,6 +118,15 @@ impl FaultPlan {
         self
     }
 
+    /// Blackhole all control traffic between `node` and *everyone else*
+    /// during `window`. For a node with no data ports (a controller
+    /// replica), this is indistinguishable from a crash-and-restart:
+    /// the process keeps its state but the world cannot reach it.
+    pub fn isolate(mut self, node: NodeId, window: Window) -> FaultPlan {
+        self.isolations.push((node, window));
+        self
+    }
+
     /// Deliver each control message twice with probability `p` during
     /// `window` (the duplicate takes an independent latency draw, so the
     /// copies may be reordered).
@@ -138,6 +148,7 @@ impl FaultPlan {
         self.control_loss.is_empty()
             && self.control_dup.is_empty()
             && self.partitions.is_empty()
+            && self.isolations.is_empty()
             && self.link_loss.is_empty()
     }
 
@@ -146,6 +157,10 @@ impl FaultPlan {
         self.partitions
             .iter()
             .any(|&(a, b, w)| w.contains(t) && Scope::Pair(a, b).matches(from, to))
+            || self
+                .isolations
+                .iter()
+                .any(|&(n, w)| w.contains(t) && (n == from || n == to))
     }
 
     /// The control-loss probability for a message `from` → `to` at `t`
@@ -221,6 +236,18 @@ mod tests {
         assert!(!plan.is_partitioned(NodeId(3), NodeId(4), ms(0)));
         assert!(plan.is_partitioned(NodeId(4), NodeId(3), ms(1)));
         assert!(!plan.is_partitioned(NodeId(3), NodeId(4), ms(2)));
+    }
+
+    #[test]
+    fn isolation_cuts_node_from_everyone() {
+        let plan = FaultPlan::new().isolate(NodeId(2), Window::new(ms(1), ms(3)));
+        assert!(plan.is_partitioned(NodeId(2), NodeId(0), ms(1)));
+        assert!(plan.is_partitioned(NodeId(5), NodeId(2), ms(2)));
+        assert!(!plan.is_partitioned(NodeId(0), NodeId(1), ms(2)));
+        assert!(!plan.is_partitioned(NodeId(2), NodeId(0), ms(3)));
+        assert!(!FaultPlan::new()
+            .isolate(NodeId(2), Window::always())
+            .is_empty());
     }
 
     #[test]

@@ -28,4 +28,4 @@ pub mod recorder;
 pub mod trace;
 
 pub use recorder::{CacheTier, LoopSpan, Recorder, TraceEvent, TraceRecord};
-pub use trace::{probe_trace_id, trace_id_for_frame, TraceId, PROBE_MAGIC};
+pub use trace::{control_trace, probe_trace_id, trace_id_for_frame, TraceId, PROBE_MAGIC};

@@ -142,6 +142,17 @@ pub enum TraceEvent {
         /// Simulator node ID of the receiving host.
         node: u32,
     },
+    /// A controller replica gained or relinquished mastership of a
+    /// switch (recorded under the switch's control trace, see
+    /// [`crate::trace::control_trace`]).
+    MastershipChange {
+        /// The switch whose mastership changed.
+        dpid: u64,
+        /// Replica index of the controller reporting the change.
+        replica: u32,
+        /// `true` when the replica took mastership, `false` on release.
+        gained: bool,
+    },
 }
 
 impl TraceEvent {
@@ -160,6 +171,7 @@ impl TraceEvent {
             TraceEvent::FlowModAcked { .. } => "flow_mod_acked",
             TraceEvent::PacketOutSent { .. } => "packet_out_sent",
             TraceEvent::HostRecv { .. } => "host_recv",
+            TraceEvent::MastershipChange { .. } => "mastership_change",
         }
     }
 }
@@ -441,6 +453,14 @@ fn write_record(rec: &TraceRecord, out: &mut String) {
             line.u64("dpid", *dpid).u64("xid", u64::from(*xid))
         }
         TraceEvent::PacketOutSent { dpid } => line.u64("dpid", *dpid),
+        TraceEvent::MastershipChange {
+            dpid,
+            replica,
+            gained,
+        } => line
+            .u64("dpid", *dpid)
+            .u64("replica", u64::from(*replica))
+            .bool("gained", *gained),
     };
     line.finish(out);
 }

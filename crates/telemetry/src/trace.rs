@@ -55,6 +55,15 @@ pub fn probe_trace_id(src: u32, dst: u32, seq: u64, sent_nanos: u64) -> TraceId 
     TraceId(h)
 }
 
+/// The per-switch control-plane trace: mastership changes and other
+/// switch-scoped control events share one timeline per dpid, so a reader
+/// can follow a switch across controller failovers. The fixed prefix
+/// keeps these IDs out of the way of probe-derived hashes (a probe would
+/// have to hash into this exact 48-bit-keyed band to collide).
+pub fn control_trace(dpid: u64) -> TraceId {
+    TraceId(0xc0de_0000_0000_0000 | (dpid & 0x0000_ffff_ffff_ffff))
+}
+
 /// Derive the trace ID of a raw Ethernet frame, if it carries a workload
 /// probe (Ethernet → IPv4 → UDP with a `PROBE_MAGIC`-tagged payload).
 ///

@@ -15,6 +15,9 @@
 //! * [`dataplane`] — the match-action switch (flow tables, groups, meters).
 //! * [`proto`] — the binary control protocol between switches and the
 //!   controller.
+//! * [`cluster`] — distributed control-plane substrate: membership,
+//!   per-switch mastership, and the eventually-consistent east-west
+//!   event store.
 //! * [`routing`] — distributed control-plane baselines (link-state,
 //!   distance-vector, learning switches).
 //! * [`te`] — traffic-engineering algorithms.
@@ -25,6 +28,7 @@
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+pub use zen_cluster as cluster;
 pub use zen_core as core;
 pub use zen_dataplane as dataplane;
 pub use zen_fib as fib;
