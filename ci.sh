@@ -24,3 +24,9 @@ cargo test --release -p zen-core --test telemetry -- --nocapture
 # ignored in the normal pass because it simulates ~6 s of fabric time
 # per run.
 cargo test --release -p zen-core --test cluster -- --ignored --nocapture
+
+# Table-pressure soak: fixed-seed churn against 256-entry tables under
+# the evict policy, run twice; asserts occupancy never exceeds the
+# bound, every eviction reaches the master, zero lost acks, and a
+# byte-identical replay.
+cargo test --release -p zen-core --test pressure -- --ignored --nocapture

@@ -9,7 +9,7 @@
 
 use std::any::Any;
 
-use zen_dataplane::{Datapath, DatapathId, Effect, MissPolicy, PortNo};
+use zen_dataplane::{AddOutcome, Datapath, DatapathId, Effect, MissPolicy, OverflowPolicy, PortNo};
 use zen_proto::{
     decode, encode, CodecError, ErrorCode, FlowModCmd, GroupModCmd, Message, MeterModCmd, PortDesc,
     Role, StatsBody, StatsKind,
@@ -58,6 +58,10 @@ pub struct AgentConfig {
     pub miss_limit: u32,
     /// Behaviour for miss traffic while disconnected.
     pub policy: ConnLossPolicy,
+    /// Capacity bound applied to every flow table at construction, with
+    /// the overflow policy a full table follows. `None` = unbounded
+    /// (the classic behaviour).
+    pub table_limit: Option<(usize, OverflowPolicy)>,
 }
 
 impl Default for AgentConfig {
@@ -67,6 +71,7 @@ impl Default for AgentConfig {
             echo_interval: Duration::from_millis(50),
             miss_limit: 4,
             policy: ConnLossPolicy::FailStandalone,
+            table_limit: None,
         }
     }
 }
@@ -95,6 +100,11 @@ pub struct AgentStats {
     /// State mods rejected because the sending connection did not hold
     /// the Master role (each answered with a NOT_MASTER error frame).
     pub nonmaster_rejected: u64,
+    /// Flow adds bounced with a TABLE_FULL error frame (refuse policy).
+    pub table_full_rejected: u64,
+    /// Capacity evictions reported to the master as
+    /// `FlowRemoved { reason: Eviction }` (evict policy).
+    pub evictions_reported: u64,
 }
 
 /// One control connection of a (possibly multi-homed) agent.
@@ -189,8 +199,14 @@ impl SwitchAgent {
             !controllers.is_empty(),
             "agent needs at least one controller"
         );
+        let mut dp = Datapath::new(dpid, n_tables, MissPolicy::ToController { max_len: 2048 });
+        if let Some((max_entries, policy)) = cfg.table_limit {
+            for tid in 0..n_tables as u8 {
+                dp.set_table_limit(tid, max_entries, policy);
+            }
+        }
         SwitchAgent {
-            dp: Datapath::new(dpid, n_tables, MissPolicy::ToController { max_len: 2048 }),
+            dp,
             cfg,
             conns: controllers
                 .into_iter()
@@ -489,26 +505,62 @@ impl SwitchAgent {
                     self.reply(ctx, ci, &err, xid);
                     return;
                 }
-                self.stats.flow_mods += 1;
-                self.generation += 1;
-                self.note_applied(xid);
-                {
-                    let rec = ctx.recorder();
-                    if rec.is_enabled() {
-                        if let Some(trace) = rec.xid_trace(xid) {
-                            rec.record(
-                                now,
-                                trace,
-                                TraceEvent::FlowModApplied {
-                                    dpid: self.dp.dpid,
-                                    xid,
-                                },
-                            );
+                // Adds are attempted *before* the applied bookkeeping: a
+                // table-full refusal must not enter `applied_xids` (or a
+                // later barrier would ack a mod that never took effect)
+                // and must not bump the state generation.
+                if let FlowModCmd::Add(spec) = cmd {
+                    match self.dp.add_flow(table_id, spec, now) {
+                        AddOutcome::Refused => {
+                            self.stats.table_full_rejected += 1;
+                            let counter = ctx
+                                .metrics()
+                                .register_counter("pressure.table_full_rejected");
+                            ctx.metrics().incr(counter);
+                            let err = Message::Error {
+                                code: ErrorCode::TableFull,
+                                data: xid.to_be_bytes().to_vec(),
+                            };
+                            self.reply(ctx, ci, &err, xid);
+                        }
+                        AddOutcome::Added => self.note_flow_mod_applied(ctx, now, xid),
+                        AddOutcome::Evicted(victims) => {
+                            self.note_flow_mod_applied(ctx, now, xid);
+                            for victim in victims {
+                                self.stats.evictions_reported += 1;
+                                {
+                                    let rec = ctx.recorder();
+                                    if rec.is_enabled() {
+                                        if let Some(trace) = rec.xid_trace(xid) {
+                                            rec.record(
+                                                now,
+                                                trace,
+                                                TraceEvent::FlowEvicted {
+                                                    dpid: self.dp.dpid,
+                                                    table_id,
+                                                    cookie: victim.spec.cookie,
+                                                },
+                                            );
+                                        }
+                                    }
+                                }
+                                let note = Message::FlowRemoved {
+                                    table_id,
+                                    priority: victim.spec.priority,
+                                    cookie: victim.spec.cookie,
+                                    reason: zen_proto::RemovedReason::Eviction,
+                                    packets: victim.packets,
+                                    bytes: victim.bytes,
+                                };
+                                self.send_master(ctx, &note);
+                            }
                         }
                     }
+                    return;
                 }
+                self.note_flow_mod_applied(ctx, now, xid);
                 match cmd {
-                    FlowModCmd::Add(spec) => self.dp.add_flow(table_id, spec, now),
+                    FlowModCmd::Add(_) => unreachable!("handled above"),
                     FlowModCmd::DeleteStrict { priority, matcher } => {
                         if let Some(entry) =
                             self.dp.delete_flow_strict(table_id, priority, &matcher)
@@ -585,6 +637,28 @@ impl SwitchAgent {
         }
     }
 
+    /// The bookkeeping shared by every flow-mod that took effect: it
+    /// counts, bumps the state generation, becomes barrier-ackable, and
+    /// is traced. Refused adds must never reach this.
+    fn note_flow_mod_applied(&mut self, ctx: &mut Context<'_>, now: u64, xid: u32) {
+        self.stats.flow_mods += 1;
+        self.generation += 1;
+        self.note_applied(xid);
+        let rec = ctx.recorder();
+        if rec.is_enabled() {
+            if let Some(trace) = rec.xid_trace(xid) {
+                rec.record(
+                    now,
+                    trace,
+                    TraceEvent::FlowModApplied {
+                        dpid: self.dp.dpid,
+                        xid,
+                    },
+                );
+            }
+        }
+    }
+
     fn collect_stats(&self, ctx: &Context<'_>, kind: StatsKind) -> StatsBody {
         match kind {
             StatsKind::Flow { table_id } => {
@@ -636,8 +710,11 @@ impl SwitchAgent {
                         zen_proto::TableStats {
                             table_id: tid,
                             active: t.len() as u32,
+                            max_entries: t.max_entries().unwrap_or(0) as u32,
                             hits: t.hits,
                             misses: t.misses,
+                            evictions: t.evictions,
+                            refusals: t.refusals,
                         }
                     })
                     .collect(),
@@ -650,7 +727,8 @@ impl SwitchAgent {
                     misses: s.misses,
                     inserts: s.inserts,
                     invalidations: s.invalidations,
-                    evictions: s.evictions,
+                    micro_evictions: s.micro_evictions,
+                    mega_evictions: s.mega_evictions,
                     generation: self.dp.cache_generation(),
                     entries: self.dp.cache_len() as u64,
                 })

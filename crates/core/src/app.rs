@@ -44,6 +44,13 @@ pub trait App: 'static {
     /// A switch port changed state (the view is already updated).
     fn on_port_status(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid, port: PortNo, up: bool) {}
 
+    /// A switch bounced one of this controller's flow adds with a
+    /// TABLE_FULL error (refuse overflow policy). The offending mod has
+    /// already been retired from the pending table; reactive apps
+    /// should back off installs toward `dpid` and/or shorten timeouts
+    /// so the table drains.
+    fn on_table_full(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid) {}
+
     /// A flow entry was evicted or deleted.
     fn on_flow_removed(
         &mut self,

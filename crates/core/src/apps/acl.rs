@@ -15,6 +15,10 @@ use crate::view::Dpid;
 /// Cookie marking ACL flows.
 pub const ACL_COOKIE: u64 = 0xac1c_0001;
 
+/// Eviction importance of ACL deny rules: a security boundary outranks
+/// everything else a table holds.
+pub const ACL_IMPORTANCE: u16 = 200;
+
 /// The ACL application.
 pub struct Acl {
     denies: Vec<FlowMatch>,
@@ -49,7 +53,11 @@ impl App for Acl {
     fn on_switch_up(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid) {
         for &matcher in &self.denies {
             self.rules_pushed += 1;
-            let spec = FlowSpec::new(self.priority, matcher, vec![]).with_cookie(ACL_COOKIE);
+            // Deny rules are a security boundary: never the first thing
+            // a full table sheds.
+            let spec = FlowSpec::new(self.priority, matcher, vec![])
+                .with_cookie(ACL_COOKIE)
+                .with_importance(ACL_IMPORTANCE);
             ctl.install_flow(dpid, 0, spec);
         }
     }

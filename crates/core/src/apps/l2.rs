@@ -10,6 +10,7 @@ use std::any::Any;
 use std::collections::BTreeMap;
 
 use zen_dataplane::{Action, FlowMatch, FlowSpec, PortNo};
+use zen_sim::{Duration, Instant};
 use zen_wire::ethernet::Frame;
 use zen_wire::EthernetAddress;
 
@@ -25,10 +26,24 @@ pub struct L2Learning {
     pub idle_timeout: u64,
     /// Priority of installed flows.
     pub priority: u16,
+    /// After a TABLE_FULL from a switch, suppress installs there for
+    /// this long; frames still move via PACKET_OUT.
+    pub pressure_backoff: Duration,
+    /// After a TABLE_FULL, install with a shortened idle timeout for
+    /// this long, so the congested table drains on its own.
+    pub pressure_window: Duration,
+    /// Divider applied to `idle_timeout` inside the pressure window.
+    pub pressure_idle_divisor: u64,
+    /// Last TABLE_FULL heard per switch.
+    table_full_at: BTreeMap<Dpid, Instant>,
     /// Flows installed (metric).
     pub flows_installed: u64,
     /// Floods performed (metric).
     pub floods: u64,
+    /// TABLE_FULL bounces heard (metric).
+    pub table_full_events: u64,
+    /// Installs skipped while a switch was backing off (metric).
+    pub installs_suppressed: u64,
 }
 
 impl L2Learning {
@@ -38,8 +53,14 @@ impl L2Learning {
             tables: BTreeMap::new(),
             idle_timeout: 5_000_000_000,
             priority: 10,
+            pressure_backoff: Duration::from_millis(200),
+            pressure_window: Duration::from_secs(2),
+            pressure_idle_divisor: 4,
+            table_full_at: BTreeMap::new(),
             flows_installed: 0,
             floods: 0,
+            table_full_events: 0,
+            installs_suppressed: 0,
         }
     }
 
@@ -77,15 +98,34 @@ impl App for L2Learning {
         let dst = eth.dst_addr();
         match table.get(&dst).copied() {
             Some(out_port) if !dst.is_multicast() => {
-                // Install the forward flow, then release the packet.
-                self.flows_installed += 1;
-                let spec = FlowSpec::new(
-                    self.priority,
-                    FlowMatch::eth_to(dst),
-                    vec![Action::Output(out_port)],
-                )
-                .with_timeouts(self.idle_timeout, 0);
-                ctl.install_flow(dpid, 0, spec);
+                // Install the forward flow (unless the switch is inside
+                // its table-full backoff), then release the packet.
+                let now = ctl.now();
+                let backing_off = self
+                    .table_full_at
+                    .get(&dpid)
+                    .is_some_and(|&at| now.duration_since(at) < self.pressure_backoff);
+                if backing_off {
+                    self.installs_suppressed += 1;
+                } else {
+                    let pressured = self
+                        .table_full_at
+                        .get(&dpid)
+                        .is_some_and(|&at| now.duration_since(at) < self.pressure_window);
+                    let idle = if pressured {
+                        self.idle_timeout / self.pressure_idle_divisor.max(1)
+                    } else {
+                        self.idle_timeout
+                    };
+                    self.flows_installed += 1;
+                    let spec = FlowSpec::new(
+                        self.priority,
+                        FlowMatch::eth_to(dst),
+                        vec![Action::Output(out_port)],
+                    )
+                    .with_timeouts(idle, 0);
+                    ctl.install_flow(dpid, 0, spec);
+                }
                 ctl.packet_out(
                     dpid,
                     in_port,
@@ -99,6 +139,12 @@ impl App for L2Learning {
             }
         }
         Disposition::Handled
+    }
+
+    fn on_table_full(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid) {
+        self.table_full_events += 1;
+        let now = ctl.now();
+        self.table_full_at.insert(dpid, now);
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -21,7 +21,7 @@ pub mod te;
 
 pub use acl::Acl;
 pub use l2::L2Learning;
-pub use monitor::Monitor;
+pub use monitor::{Monitor, TableSample};
 pub use proactive::{ProactiveFabric, StaticHost};
 pub use reactive::ReactiveForwarding;
 pub use te::TrafficEngineering;

@@ -35,6 +35,25 @@ pub struct PortSample {
     pub tx_bytes: u64,
 }
 
+/// A per-table occupancy/pressure snapshot with its arrival time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableSample {
+    /// When the sample arrived at the controller.
+    pub at_nanos: u64,
+    /// Installed entries.
+    pub active: u32,
+    /// Configured capacity bound; 0 = unbounded.
+    pub max_entries: u32,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Entries displaced by capacity eviction since table creation.
+    pub evictions: u64,
+    /// Adds bounced with `TABLE_FULL` under the refuse policy.
+    pub refusals: u64,
+}
+
 /// Cumulative per-cookie traffic, aggregated over every table of one
 /// switch from its latest flow-stats reply.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -54,8 +73,10 @@ pub struct Monitor {
     /// estimation.
     latest: BTreeMap<(Dpid, PortNo), PortSample>,
     previous: BTreeMap<(Dpid, PortNo), PortSample>,
-    /// Latest per-table (active entries, hits, misses) per switch.
-    pub tables: BTreeMap<(Dpid, u8), (u32, u64, u64)>,
+    /// Latest per-table occupancy/pressure sample per switch, plus the
+    /// previous one for eviction-rate estimation.
+    pub tables: BTreeMap<(Dpid, u8), TableSample>,
+    tables_prev: BTreeMap<(Dpid, u8), TableSample>,
     /// Latest per-cookie counters per switch (all tables aggregated).
     pub flows: BTreeMap<(Dpid, u64), FlowSample>,
     /// Latest flow-cache counters per switch.
@@ -75,6 +96,7 @@ impl Monitor {
             latest: BTreeMap::new(),
             previous: BTreeMap::new(),
             tables: BTreeMap::new(),
+            tables_prev: BTreeMap::new(),
             flows: BTreeMap::new(),
             caches: BTreeMap::new(),
             polls: 0,
@@ -97,6 +119,43 @@ impl Monitor {
     /// The latest sample for a port.
     pub fn port_sample(&self, dpid: Dpid, port: PortNo) -> Option<PortSample> {
         self.latest.get(&(dpid, port)).copied()
+    }
+
+    /// The latest sample for a flow table.
+    pub fn table_sample(&self, dpid: Dpid, table_id: u8) -> Option<TableSample> {
+        self.tables.get(&(dpid, table_id)).copied()
+    }
+
+    /// A table's occupancy as a fraction of its capacity bound, in
+    /// `[0, 1]`. `None` before the first sample or when unbounded.
+    pub fn table_occupancy(&self, dpid: Dpid, table_id: u8) -> Option<f64> {
+        let s = self.tables.get(&(dpid, table_id))?;
+        if s.max_entries == 0 {
+            return None;
+        }
+        Some(f64::from(s.active) / f64::from(s.max_entries))
+    }
+
+    /// Estimated capacity-eviction rate of a table in evictions/sec,
+    /// from the last two samples. `None` until two samples exist.
+    pub fn eviction_rate(&self, dpid: Dpid, table_id: u8) -> Option<f64> {
+        let new = self.tables.get(&(dpid, table_id))?;
+        let old = self.tables_prev.get(&(dpid, table_id))?;
+        let dt = new.at_nanos.saturating_sub(old.at_nanos);
+        if dt == 0 {
+            return None;
+        }
+        Some(new.evictions.saturating_sub(old.evictions) as f64 * 1e9 / dt as f64)
+    }
+
+    /// Capacity evictions network-wide (sum over latest table samples).
+    pub fn total_evictions(&self) -> u64 {
+        self.tables.values().map(|s| s.evictions).sum()
+    }
+
+    /// TABLE_FULL refusals network-wide (sum over latest table samples).
+    pub fn total_refusals(&self) -> u64 {
+        self.tables.values().map(|s| s.refusals).sum()
     }
 
     /// Estimated transmit rate of a port in bits/sec, from the last two
@@ -156,12 +215,23 @@ impl Monitor {
         }
     }
 
-    /// Fold a table-stats reply.
-    pub fn fold_table_stats(&mut self, dpid: Dpid, records: &[TableStats]) {
+    /// Fold a table-stats reply that arrived at `at`.
+    pub fn fold_table_stats(&mut self, at: Instant, dpid: Dpid, records: &[TableStats]) {
         self.replies += 1;
         for r in records {
-            self.tables
-                .insert((dpid, r.table_id), (r.active, r.hits, r.misses));
+            let key = (dpid, r.table_id);
+            let sample = TableSample {
+                at_nanos: at.as_nanos(),
+                active: r.active,
+                max_entries: r.max_entries,
+                hits: r.hits,
+                misses: r.misses,
+                evictions: r.evictions,
+                refusals: r.refusals,
+            };
+            if let Some(old) = self.tables.insert(key, sample) {
+                self.tables_prev.insert(key, old);
+            }
         }
     }
 
@@ -230,8 +300,9 @@ impl App for Monitor {
         self.fold_port_stats(now, dpid, records);
     }
 
-    fn on_table_stats(&mut self, _ctl: &mut Ctl<'_, '_>, dpid: Dpid, records: &[TableStats]) {
-        self.fold_table_stats(dpid, records);
+    fn on_table_stats(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid, records: &[TableStats]) {
+        let now = ctl.now();
+        self.fold_table_stats(now, dpid, records);
     }
 
     fn on_flow_stats(&mut self, _ctl: &mut Ctl<'_, '_>, dpid: Dpid, records: &[FlowStats]) {
@@ -326,7 +397,8 @@ mod tests {
             misses: 0,
             inserts: 0,
             invalidations: 0,
-            evictions: 0,
+            micro_evictions: 0,
+            mega_evictions: 0,
             generation: 0,
             entries: 0,
         };
@@ -338,6 +410,45 @@ mod tests {
         rec.misses = 2;
         m.fold_cache_stats(1, &rec);
         assert!((m.cache_hit_rate(1).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_occupancy_and_eviction_rate() {
+        let mut m = Monitor::new(1);
+        let rec = |active, evictions| TableStats {
+            table_id: 0,
+            active,
+            max_entries: 256,
+            hits: 0,
+            misses: 0,
+            evictions,
+            refusals: 0,
+        };
+        // One sample: occupancy known, rate unknown.
+        m.fold_table_stats(Instant::from_secs(1), 1, &[rec(64, 0)]);
+        assert!((m.table_occupancy(1, 0).unwrap() - 0.25).abs() < 1e-12);
+        assert_eq!(m.eviction_rate(1, 0), None);
+        // Second sample 1 s later with 10 more evictions: 10/s.
+        m.fold_table_stats(Instant::from_secs(2), 1, &[rec(256, 10)]);
+        assert!((m.table_occupancy(1, 0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((m.eviction_rate(1, 0).unwrap() - 10.0).abs() < 1e-9);
+        assert_eq!(m.total_evictions(), 10);
+        // An unbounded table (max_entries = 0) has no occupancy.
+        m.fold_table_stats(
+            Instant::from_secs(2),
+            2,
+            &[TableStats {
+                table_id: 0,
+                active: 5,
+                max_entries: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                refusals: 3,
+            }],
+        );
+        assert_eq!(m.table_occupancy(2, 0), None);
+        assert_eq!(m.total_refusals(), 3);
     }
 
     #[test]

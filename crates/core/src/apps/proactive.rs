@@ -27,6 +27,10 @@ pub const FABRIC_MAC: EthernetAddress = EthernetAddress([0x02, 0xfa, 0xb0, 0x00,
 /// Cookie marking fabric flows.
 pub const FABRIC_COOKIE: u64 = 0xfab0_0001;
 
+/// Eviction importance of proactive fabric rules: standing
+/// infrastructure outranks reactive churn under capacity pressure.
+pub const FABRIC_IMPORTANCE: u16 = 100;
+
 /// One entry of the host inventory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StaticHost {
@@ -128,9 +132,14 @@ impl ProactiveFabric {
             } else {
                 vec![Action::Group(group_id_for(host.dpid))]
             };
-            program
-                .flows
-                .push(FlowSpec::new(self.priority, matcher, actions).with_cookie(FABRIC_COOKIE));
+            program.flows.push(
+                // Fabric rules are the network's standing program:
+                // mark them important so capacity eviction always
+                // prefers reactive churn over infrastructure.
+                FlowSpec::new(self.priority, matcher, actions)
+                    .with_cookie(FABRIC_COOKIE)
+                    .with_importance(FABRIC_IMPORTANCE),
+            );
         }
         program
     }

@@ -8,9 +8,11 @@
 //! which is loop-free on any topology without needing a spanning tree.
 
 use std::any::Any;
+use std::collections::BTreeMap;
 
 use zen_dataplane::{Action, FlowMatch, FlowSpec, PortNo};
 use zen_graph::dijkstra;
+use zen_sim::{Duration, Instant};
 use zen_wire::ethernet::Frame;
 
 use crate::app::{App, Disposition};
@@ -23,10 +25,26 @@ pub struct ReactiveForwarding {
     pub idle_timeout: u64,
     /// Priority of installed flows.
     pub priority: u16,
+    /// After a TABLE_FULL from a switch, suppress installs toward it
+    /// for this long (traffic still moves via PACKET_OUT) — the
+    /// backpressure half of the table-full loop.
+    pub pressure_backoff: Duration,
+    /// After a TABLE_FULL, install with a shortened idle timeout for
+    /// this long, so the congested table drains on its own.
+    pub pressure_window: Duration,
+    /// Divider applied to `idle_timeout` while a switch is inside its
+    /// pressure window.
+    pub pressure_idle_divisor: u64,
+    /// Last TABLE_FULL heard per switch.
+    table_full_at: BTreeMap<Dpid, Instant>,
     /// Paths installed (metric).
     pub paths_installed: u64,
     /// Edge floods performed (metric).
     pub edge_floods: u64,
+    /// TABLE_FULL bounces heard (metric).
+    pub table_full_events: u64,
+    /// Per-hop installs skipped while a switch was backing off (metric).
+    pub installs_suppressed: u64,
 }
 
 impl ReactiveForwarding {
@@ -35,8 +53,35 @@ impl ReactiveForwarding {
         ReactiveForwarding {
             idle_timeout: 5_000_000_000,
             priority: 100,
+            pressure_backoff: Duration::from_millis(200),
+            pressure_window: Duration::from_secs(2),
+            pressure_idle_divisor: 4,
+            table_full_at: BTreeMap::new(),
             paths_installed: 0,
             edge_floods: 0,
+            table_full_events: 0,
+            installs_suppressed: 0,
+        }
+    }
+
+    /// Whether installs toward `dpid` are currently suppressed.
+    fn backing_off(&self, dpid: Dpid, now: Instant) -> bool {
+        self.table_full_at
+            .get(&dpid)
+            .is_some_and(|&at| now.duration_since(at) < self.pressure_backoff)
+    }
+
+    /// The idle timeout to install on `dpid` right now: shortened while
+    /// the switch is inside its pressure window so the table drains.
+    fn idle_for(&self, dpid: Dpid, now: Instant) -> u64 {
+        let pressured = self
+            .table_full_at
+            .get(&dpid)
+            .is_some_and(|&at| now.duration_since(at) < self.pressure_window);
+        if pressured {
+            self.idle_timeout / self.pressure_idle_divisor.max(1)
+        } else {
+            self.idle_timeout
         }
     }
 
@@ -100,8 +145,12 @@ impl App for ReactiveForwarding {
             path.nodes.iter().map(|&ix| dpids[ix as usize]).collect()
         };
 
-        // Install (eth_src, eth_dst) flows hop by hop.
+        // Install (eth_src, eth_dst) flows hop by hop. Switches inside
+        // their table-full backoff window are skipped — the packet is
+        // still released, so traffic keeps moving controller-mediated,
+        // and the skipped hop re-punts once its table has drained.
         self.paths_installed += 1;
+        let now = ctl.now();
         let matcher = FlowMatch {
             eth_src: Some(eth.src_addr()),
             eth_dst: Some(dst),
@@ -120,8 +169,12 @@ impl App for ReactiveForwarding {
             if i == 0 {
                 first_out_port = Some(out_port);
             }
+            if self.backing_off(hop, now) {
+                self.installs_suppressed += 1;
+                continue;
+            }
             let spec = FlowSpec::new(self.priority, matcher, vec![Action::Output(out_port)])
-                .with_timeouts(self.idle_timeout, 0)
+                .with_timeouts(self.idle_for(hop, now), 0)
                 .with_cookie(REACTIVE_COOKIE);
             ctl.install_flow(hop, 0, spec);
         }
@@ -130,6 +183,12 @@ impl App for ReactiveForwarding {
             ctl.packet_out(dpid, in_port, vec![Action::Output(port)], frame.to_vec());
         }
         Disposition::Handled
+    }
+
+    fn on_table_full(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid) {
+        self.table_full_events += 1;
+        let now = ctl.now();
+        self.table_full_at.insert(dpid, now);
     }
 
     fn on_port_status(&mut self, ctl: &mut Ctl<'_, '_>, _dpid: Dpid, _port: PortNo, _up: bool) {

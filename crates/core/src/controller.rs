@@ -115,6 +115,13 @@ pub struct CtlStats {
     /// NOT_MASTER errors received for mods that crossed a mastership
     /// change in flight.
     pub nonmaster_errors: u64,
+    /// TABLE_FULL errors received: flow adds a switch refused for lack
+    /// of capacity (refuse overflow policy). Each retires its pending
+    /// mod as failed — retransmitting cannot create capacity.
+    pub table_full_errors: u64,
+    /// FLOW_REMOVED notices with reason Eviction: entries a switch
+    /// displaced to make room under the evict overflow policy.
+    pub evictions_noted: u64,
 }
 
 /// Runtime state of one replica in a controller cluster.
@@ -1188,6 +1195,9 @@ impl Controller {
                 let Some(&dpid) = self.rev_registry.get(&from) else {
                     return;
                 };
+                if reason == zen_proto::RemovedReason::Eviction {
+                    self.stats.evictions_noted += 1;
+                }
                 // Keep the cookie shadow honest for timeouts; deletions
                 // we ordered ourselves are folded in at barrier-ack time.
                 if reason != zen_proto::RemovedReason::Delete {
@@ -1390,6 +1400,31 @@ impl Controller {
                         self.stats.mods_superseded += 1;
                     }
                 }
+            }
+            Message::Error {
+                code: ErrorCode::TableFull,
+                data,
+            } => {
+                // A switch bounced a flow add for lack of table capacity
+                // (refuse overflow policy). The diagnostic bytes carry
+                // the refused mod's xid: retire it from the pending set
+                // as failed rather than letting it burn its whole
+                // retransmit budget — resending cannot create capacity.
+                self.stats.table_full_errors += 1;
+                let Some(&dpid) = self.rev_registry.get(&from) else {
+                    return;
+                };
+                if data.len() == 4 {
+                    let mx = u32::from_be_bytes([data[0], data[1], data[2], data[3]]);
+                    if self.pending.remove(&mx).is_some() {
+                        self.stats.mods_failed += 1;
+                    }
+                }
+                self.with_apps(ctx, |apps, ctl| {
+                    for app in apps.iter_mut() {
+                        app.on_table_full(ctl, dpid);
+                    }
+                });
             }
             // Other errors, ResyncRequest (agent-bound): informational.
             _ => {}

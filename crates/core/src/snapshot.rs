@@ -41,6 +41,8 @@ pub fn export_jsonl(world: &mut World, controller: NodeId) -> String {
         .u64("mods_acked", s.mods_acked)
         .u64("mods_retransmitted", s.mods_retransmitted)
         .u64("mods_failed", s.mods_failed)
+        .u64("table_full_errors", s.table_full_errors)
+        .u64("evictions_noted", s.evictions_noted)
         .u64("quarantines", s.quarantines)
         .finish(&mut out);
 
@@ -50,13 +52,16 @@ pub fn export_jsonl(world: &mut World, controller: NodeId) -> String {
             .u64("replies", mon.replies)
             .u64("total_tx_bytes", mon.total_tx_bytes())
             .finish(&mut out);
-        for (&(dpid, table_id), &(active, hits, misses)) in &mon.tables {
+        for (&(dpid, table_id), sample) in &mon.tables {
             Line::new("monitor_table")
                 .u64("dpid", dpid)
                 .u64("table", u64::from(table_id))
-                .u64("active", u64::from(active))
-                .u64("hits", hits)
-                .u64("misses", misses)
+                .u64("active", u64::from(sample.active))
+                .u64("max_entries", u64::from(sample.max_entries))
+                .u64("hits", sample.hits)
+                .u64("misses", sample.misses)
+                .u64("evictions", sample.evictions)
+                .u64("refusals", sample.refusals)
                 .finish(&mut out);
         }
         for (&(dpid, cookie), sample) in &mon.flows {

@@ -536,7 +536,7 @@ fn monitor_app_collects_port_and_table_stats() {
         .tables
         .iter()
         .filter(|((_, table), _)| *table == 0)
-        .map(|(_, &(active, _, _))| active)
+        .map(|(_, sample)| sample.active)
         .sum();
     assert!(active_total > 0, "no flows visible through stats");
     // The middle switch's transit ports carried the stream.

@@ -77,14 +77,24 @@ pub struct CacheStats {
     pub inserts: u64,
     /// Whole-cache invalidations (flow-mod, expiry, meter, port events).
     pub invalidations: u64,
-    /// Entries dropped by capacity eviction.
-    pub evictions: u64,
+    /// Microflow entries recycled by capacity eviction. Includes
+    /// megaflow promotions cycling back out of tier 1, so this is
+    /// turnover, not pressure.
+    pub micro_evictions: u64,
+    /// Megaflow entries dropped by capacity eviction — the real
+    /// wildcard-tier pressure signal.
+    pub mega_evictions: u64,
 }
 
 impl CacheStats {
     /// Total lookups that hit either tier.
     pub fn hits(&self) -> u64 {
         self.micro_hits + self.mega_hits
+    }
+
+    /// Capacity evictions across both tiers.
+    pub fn evictions(&self) -> u64 {
+        self.micro_evictions + self.mega_evictions
     }
 }
 
@@ -182,10 +192,16 @@ impl FlowCache {
             self.mega_fifo.push_back((mask, projected));
             if self.mega_fifo.len() > MEGA_CAP {
                 if let Some((old_mask, old_key)) = self.mega_fifo.pop_front() {
-                    if let Some((_, map)) = self.mega.iter_mut().find(|(m, _)| *m == old_mask) {
-                        map.remove(&old_key);
+                    if let Some(pos) = self.mega.iter().position(|(m, _)| *m == old_mask) {
+                        self.mega[pos].1.remove(&old_key);
+                        // Prune the bucket once its last entry is gone,
+                        // or every subsequent miss keeps scanning a
+                        // dead mask until the next invalidation.
+                        if self.mega[pos].1.is_empty() {
+                            self.mega.remove(pos);
+                        }
                     }
-                    self.stats.evictions += 1;
+                    self.stats.mega_evictions += 1;
                 }
             }
         }
@@ -198,11 +214,18 @@ impl FlowCache {
             if self.micro_fifo.len() > MICRO_CAP {
                 if let Some(old) = self.micro_fifo.pop_front() {
                     self.micro.remove(&old);
-                    self.stats.evictions += 1;
+                    self.stats.micro_evictions += 1;
                 }
             }
         } else {
             self.micro.insert(key, program);
+            // An overwrite is a re-insert: move the key to the back of
+            // the FIFO so it is not evicted on the schedule of the
+            // stale slot it would otherwise inherit.
+            if let Some(pos) = self.micro_fifo.iter().position(|k| *k == key) {
+                self.micro_fifo.remove(pos);
+            }
+            self.micro_fifo.push_back(key);
         }
     }
 
@@ -216,6 +239,12 @@ impl FlowCache {
         self.mega_fifo.clear();
         self.generation += 1;
         self.stats.invalidations += 1;
+    }
+
+    /// Number of distinct megaflow masks currently installed (every
+    /// miss scans all of them, so this is the wildcard-tier scan cost).
+    pub fn mask_count(&self) -> usize {
+        self.mega.len()
     }
 
     /// Total entries across both tiers (for observability).
@@ -319,6 +348,86 @@ mod tests {
             cache.insert(k, KeyMask::default(), program(i));
         }
         assert!(cache.micro.len() <= MICRO_CAP);
-        assert!(cache.stats.evictions >= 10);
+        assert!(cache.stats.micro_evictions >= 10);
+        assert_eq!(cache.stats.mega_evictions, 0);
+    }
+
+    /// A key whose IPv4 destination is `dst` (other fields fixed).
+    fn key_to(dst: u32) -> FlowKey {
+        let frame = PacketBuilder::udp(
+            EthernetAddress::from_id(1),
+            Ipv4Address::new(10, 0, 0, 1),
+            1000,
+            EthernetAddress::from_id(2),
+            Ipv4Address::from_u32(dst),
+            2,
+            b"x",
+        );
+        FlowKey::extract(1, &frame).unwrap()
+    }
+
+    #[test]
+    fn mega_eviction_prunes_empty_mask_buckets() {
+        let mut cache = FlowCache::new();
+        let mask_a = KeyMask {
+            ipv4_presence: true,
+            ipv4_dst_plen: 32,
+            ..KeyMask::default()
+        };
+        let mask_b = KeyMask {
+            ipv4_presence: true,
+            ipv4_dst_plen: 24,
+            ..KeyMask::default()
+        };
+        // Fill the megaflow tier exactly with mask-A entries, then churn
+        // a full capacity of mask-B entries (distinct /24s) through it.
+        for i in 0..MEGA_CAP {
+            cache.insert(key_to(0x0a00_0000 + i as u32), mask_a, program(i));
+        }
+        assert_eq!(cache.mask_count(), 1);
+        for i in 0..MEGA_CAP {
+            cache.insert(key_to(0x3000_0000 + ((i as u32) << 8)), mask_b, program(i));
+        }
+        // Every mask-A entry was FIFO-evicted, so its bucket must be
+        // pruned — not left behind as a dead mask every miss rescans.
+        assert_eq!(cache.mask_count(), 1);
+        assert_eq!(cache.stats.mega_evictions, MEGA_CAP as u64);
+    }
+
+    #[test]
+    fn micro_overwrite_refreshes_fifo_position() {
+        let mut cache = FlowCache::new();
+        // Two resident keys, inserted in order k0 then k1.
+        cache.insert(key(10), KeyMask::default(), program(0));
+        cache.insert(key(11), KeyMask::default(), program(1));
+        // Overwrite k0: it must move to the back of the FIFO.
+        cache.insert(key(10), KeyMask::default(), program(2));
+        assert_eq!(cache.micro.len(), cache.micro_fifo.len(), "no FIFO drift");
+        // Churn distinct keys until exactly one eviction happens; the
+        // victim must be k1 (now oldest), not the refreshed k0.
+        for i in 0..(MICRO_CAP - 2) {
+            cache.insert(
+                key_to(0x0b00_0000 + i as u32),
+                KeyMask::default(),
+                program(i),
+            );
+        }
+        assert_eq!(cache.stats.micro_evictions, 0);
+        cache.insert(key_to(0x0c00_0000), KeyMask::default(), program(9));
+        assert_eq!(cache.stats.micro_evictions, 1, "exactly one eviction");
+        assert!(
+            cache.micro.contains_key(&key(10)),
+            "overwritten key must survive (FIFO position refreshed)"
+        );
+        assert!(
+            !cache.micro.contains_key(&key(11)),
+            "oldest un-refreshed key must be the victim"
+        );
+        assert_eq!(cache.micro.len(), cache.micro_fifo.len(), "no FIFO drift");
+        // The overwrite installed the new program, not the stale one.
+        assert_eq!(
+            cache.lookup(&key(10)).unwrap().segments,
+            program(2).segments
+        );
     }
 }

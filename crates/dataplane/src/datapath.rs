@@ -10,7 +10,7 @@ use crate::group::GroupTable;
 use crate::key::FlowKey;
 use crate::matching::{FlowMatch, KeyMask};
 use crate::meter::Meter;
-use crate::table::{FlowEntry, FlowSpec, FlowTable, RemovedReason};
+use crate::table::{AddOutcome, FlowEntry, FlowSpec, FlowTable, OverflowPolicy, RemovedReason};
 use crate::{DatapathId, Nanos, PortNo};
 
 /// What to do with frames no table entry matches.
@@ -198,13 +198,26 @@ impl Datapath {
         &self.tables[id as usize]
     }
 
-    /// Install a flow in a table.
+    /// Bound table `table_id` at `max_entries` under `policy`.
     ///
     /// # Panics
     /// Panics if `table_id` is out of range.
-    pub fn add_flow(&mut self, table_id: u8, spec: FlowSpec, now: Nanos) {
-        self.tables[table_id as usize].add(spec, now);
-        self.cache.invalidate();
+    pub fn set_table_limit(&mut self, table_id: u8, max_entries: usize, policy: OverflowPolicy) {
+        self.tables[table_id as usize].set_limit(max_entries, policy);
+    }
+
+    /// Install a flow in a table, reporting what the table did with it
+    /// (capacity refusal or eviction included). A refused add leaves
+    /// the pipeline untouched, so the cache stays valid.
+    ///
+    /// # Panics
+    /// Panics if `table_id` is out of range.
+    pub fn add_flow(&mut self, table_id: u8, spec: FlowSpec, now: Nanos) -> AddOutcome {
+        let outcome = self.tables[table_id as usize].add(spec, now);
+        if !matches!(outcome, AddOutcome::Refused) {
+            self.cache.invalidate();
+        }
+        outcome
     }
 
     /// Strict-delete a flow. Returns it if present.

@@ -44,7 +44,7 @@ pub use group::{Bucket, GroupDesc, GroupTable, GroupType};
 pub use key::FlowKey;
 pub use matching::{FlowMatch, KeyMask};
 pub use meter::Meter;
-pub use table::{FlowEntry, FlowSpec, FlowTable, RemovedReason};
+pub use table::{AddOutcome, FlowEntry, FlowSpec, FlowTable, OverflowPolicy, RemovedReason};
 
 /// A switch port number (1-based; 0 is reserved).
 pub type PortNo = u32;

@@ -22,6 +22,10 @@ pub struct FlowSpec {
     pub idle_timeout: Nanos,
     /// Evict this long after installation regardless of use. `0` = never.
     pub hard_timeout: Nanos,
+    /// Eviction weight under [`OverflowPolicy::Evict`]: when the table is
+    /// full, the entry with the lowest `(importance, last_hit)` goes
+    /// first. Default 0 (evicted before anything marked important).
+    pub importance: u16,
 }
 
 impl FlowSpec {
@@ -36,6 +40,7 @@ impl FlowSpec {
             cookie: 0,
             idle_timeout: 0,
             hard_timeout: 0,
+            importance: 0,
         }
     }
 
@@ -57,10 +62,16 @@ impl FlowSpec {
         self.goto_table = Some(table);
         self
     }
+
+    /// Builder: set the eviction importance.
+    pub fn with_importance(mut self, importance: u16) -> FlowSpec {
+        self.importance = importance;
+        self
+    }
 }
 
 /// An installed entry: the spec plus its counters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlowEntry {
     /// The controller-supplied parameters.
     pub spec: FlowSpec,
@@ -86,6 +97,30 @@ pub enum RemovedReason {
     HardTimeout,
     /// Deleted by a controller request.
     Delete,
+    /// Displaced by a capacity eviction ([`OverflowPolicy::Evict`]).
+    Eviction,
+}
+
+/// What a full table does with a new install.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Bounce the add; the agent reports `TABLE_FULL` to the controller.
+    Refuse,
+    /// Make room by evicting the entry with the lowest
+    /// `(importance, last_hit)` — oldest install breaks remaining ties.
+    Evict,
+}
+
+/// What [`FlowTable::add`] did with the spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AddOutcome {
+    /// Installed (or replaced an identical `(priority, match)` entry).
+    Added,
+    /// Table full under [`OverflowPolicy::Refuse`]; nothing changed.
+    Refused,
+    /// Installed after evicting the returned victims (normally one;
+    /// more only if the limit was tightened below current occupancy).
+    Evicted(Vec<FlowEntry>),
 }
 
 /// A single flow table.
@@ -94,16 +129,33 @@ pub struct FlowTable {
     /// Sorted by (priority desc, seq asc).
     entries: Vec<FlowEntry>,
     next_seq: u64,
+    /// Capacity bound and overflow policy; `None` = unbounded.
+    limit: Option<(usize, OverflowPolicy)>,
     /// Lookups that matched no entry.
     pub misses: u64,
     /// Lookups that matched an entry.
     pub hits: u64,
+    /// Entries displaced by capacity eviction since creation.
+    pub evictions: u64,
+    /// Adds bounced by [`OverflowPolicy::Refuse`] since creation.
+    pub refusals: u64,
 }
 
 impl FlowTable {
     /// An empty table.
     pub fn new() -> FlowTable {
         FlowTable::default()
+    }
+
+    /// Bound the table at `max_entries` (clamped to ≥ 1) under `policy`.
+    /// Existing excess entries stay until the next add forces the issue.
+    pub fn set_limit(&mut self, max_entries: usize, policy: OverflowPolicy) {
+        self.limit = Some((max_entries.max(1), policy));
+    }
+
+    /// The configured capacity bound, if any. `None` = unbounded.
+    pub fn max_entries(&self) -> Option<usize> {
+        self.limit.map(|(max, _)| max)
     }
 
     /// Number of installed entries.
@@ -122,8 +174,11 @@ impl FlowTable {
     }
 
     /// Install `spec`. An entry with identical (priority, match) is
-    /// replaced, preserving OpenFlow ADD semantics (counters reset).
-    pub fn add(&mut self, spec: FlowSpec, now: Nanos) {
+    /// replaced in place, preserving OpenFlow ADD semantics (counters
+    /// reset) — replacement never counts against capacity. A fresh
+    /// insert into a full table follows the configured
+    /// [`OverflowPolicy`]; see [`AddOutcome`].
+    pub fn add(&mut self, spec: FlowSpec, now: Nanos) -> AddOutcome {
         if let Some(existing) = self
             .entries
             .iter_mut()
@@ -138,7 +193,25 @@ impl FlowTable {
                 bytes: 0,
                 seq,
             };
-            return;
+            return AddOutcome::Added;
+        }
+        let mut victims = Vec::new();
+        if let Some((max, policy)) = self.limit {
+            while self.entries.len() >= max {
+                match policy {
+                    OverflowPolicy::Refuse => {
+                        self.refusals += 1;
+                        return AddOutcome::Refused;
+                    }
+                    OverflowPolicy::Evict => match self.pick_victim() {
+                        Some(idx) => {
+                            victims.push(self.entries.remove(idx));
+                            self.evictions += 1;
+                        }
+                        None => break,
+                    },
+                }
+            }
         }
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -155,6 +228,20 @@ impl FlowTable {
             .entries
             .partition_point(|e| e.spec.priority >= entry.spec.priority);
         self.entries.insert(pos, entry);
+        if victims.is_empty() {
+            AddOutcome::Added
+        } else {
+            AddOutcome::Evicted(victims)
+        }
+    }
+
+    /// The eviction victim: lowest `(importance, last_hit, seq)`.
+    fn pick_victim(&self) -> Option<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.spec.importance, e.last_hit, e.seq))
+            .map(|(idx, _)| idx)
     }
 
     /// Delete the entry with exactly this (priority, match). Returns it if
@@ -413,5 +500,90 @@ mod tests {
         assert!(table.peek(&key(1)).is_some());
         assert_eq!(table.hits, 0);
         assert_eq!(table.entries().next().unwrap().packets, 0);
+    }
+
+    /// A spec distinguished by destination UDP port, so each is a fresh
+    /// (priority, match) identity.
+    fn port_spec(port: u16) -> FlowSpec {
+        FlowSpec::new(
+            5,
+            FlowMatch::ANY.with_ip_proto(17).with_l4_dst(port),
+            vec![Action::Output(1)],
+        )
+    }
+
+    #[test]
+    fn refuse_policy_bounces_add_and_counts() {
+        let mut table = FlowTable::new();
+        table.set_limit(2, OverflowPolicy::Refuse);
+        assert_eq!(table.add(port_spec(1), 0), AddOutcome::Added);
+        assert_eq!(table.add(port_spec(2), 1), AddOutcome::Added);
+        assert_eq!(table.add(port_spec(3), 2), AddOutcome::Refused);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.refusals, 1);
+        // A replace of an existing identity still goes through when full.
+        assert_eq!(table.add(port_spec(2), 3), AddOutcome::Added);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn evict_policy_removes_lowest_importance_then_coldest() {
+        let mut table = FlowTable::new();
+        table.set_limit(3, OverflowPolicy::Evict);
+        table.add(port_spec(1).with_importance(7), 0);
+        table.add(port_spec(2), 0);
+        table.add(port_spec(3), 0);
+        // Warm up entry 2 so entry 3 is the coldest importance-0 entry.
+        table.lookup(&key(2), 60, 50);
+        match table.add(port_spec(4), 100) {
+            AddOutcome::Evicted(victims) => {
+                assert_eq!(victims.len(), 1);
+                assert_eq!(
+                    victims[0].spec.matcher,
+                    port_spec(3).matcher,
+                    "coldest importance-0 entry must go first"
+                );
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.evictions, 1);
+        // The importance-7 entry survives further churn over importance-0
+        // peers even though it is the coldest overall.
+        table.add(port_spec(5), 200);
+        table.add(port_spec(6), 300);
+        assert!(table
+            .entries()
+            .any(|e| e.spec.importance == 7 && e.spec.matcher == port_spec(1).matcher));
+        assert_eq!(table.evictions, 3);
+    }
+
+    #[test]
+    fn evict_ties_break_by_oldest_install() {
+        let mut table = FlowTable::new();
+        table.set_limit(2, OverflowPolicy::Evict);
+        table.add(port_spec(1), 10);
+        table.add(port_spec(2), 10);
+        match table.add(port_spec(3), 20) {
+            AddOutcome::Evicted(victims) => {
+                assert_eq!(victims[0].spec.matcher, port_spec(1).matcher);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tightened_limit_evicts_down_to_bound() {
+        let mut table = FlowTable::new();
+        table.add(port_spec(1), 0);
+        table.add(port_spec(2), 1);
+        table.add(port_spec(3), 2);
+        table.set_limit(2, OverflowPolicy::Evict);
+        match table.add(port_spec(4), 3) {
+            AddOutcome::Evicted(victims) => assert_eq!(victims.len(), 2),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.max_entries(), Some(2));
     }
 }

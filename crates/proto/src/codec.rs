@@ -335,6 +335,7 @@ fn get_actions(rd: &mut Rd<'_>) -> Result<Vec<Action>> {
 
 fn put_spec(out: &mut Vec<u8>, spec: &FlowSpec) {
     out.put_u16(spec.priority);
+    out.put_u16(spec.importance);
     out.put_u64(spec.cookie);
     out.put_u64(spec.idle_timeout);
     out.put_u64(spec.hard_timeout);
@@ -345,6 +346,7 @@ fn put_spec(out: &mut Vec<u8>, spec: &FlowSpec) {
 
 fn get_spec(rd: &mut Rd<'_>) -> Result<FlowSpec> {
     let priority = rd.u16()?;
+    let importance = rd.u16()?;
     let cookie = rd.u64()?;
     let idle_timeout = rd.u64()?;
     let hard_timeout = rd.u64()?;
@@ -359,6 +361,7 @@ fn get_spec(rd: &mut Rd<'_>) -> Result<FlowSpec> {
         cookie,
         idle_timeout,
         hard_timeout,
+        importance,
     })
 }
 
@@ -682,6 +685,7 @@ pub fn encode(msg: &Message, xid: u32) -> Vec<u8> {
                 RemovedReason::IdleTimeout => 0,
                 RemovedReason::HardTimeout => 1,
                 RemovedReason::Delete => 2,
+                RemovedReason::Eviction => 3,
             });
             out.put_u64(*packets);
             out.put_u64(*bytes);
@@ -727,8 +731,11 @@ pub fn encode(msg: &Message, xid: u32) -> Vec<u8> {
                 for r in records {
                     out.put_u8(r.table_id);
                     out.put_u32(r.active);
+                    out.put_u32(r.max_entries);
                     out.put_u64(r.hits);
                     out.put_u64(r.misses);
+                    out.put_u64(r.evictions);
+                    out.put_u64(r.refusals);
                 }
             }
             StatsBody::Cache(r) => {
@@ -739,7 +746,8 @@ pub fn encode(msg: &Message, xid: u32) -> Vec<u8> {
                 out.put_u64(r.misses);
                 out.put_u64(r.inserts);
                 out.put_u64(r.invalidations);
-                out.put_u64(r.evictions);
+                out.put_u64(r.micro_evictions);
+                out.put_u64(r.mega_evictions);
                 out.put_u64(r.generation);
                 out.put_u64(r.entries);
             }
@@ -912,6 +920,7 @@ pub fn decode(buf: &[u8]) -> Result<(Message, u32, usize)> {
                 0 => RemovedReason::IdleTimeout,
                 1 => RemovedReason::HardTimeout,
                 2 => RemovedReason::Delete,
+                3 => RemovedReason::Eviction,
                 _ => return Err(CodecError::Malformed),
             },
             packets: rd.u64()?,
@@ -987,8 +996,11 @@ pub fn decode(buf: &[u8]) -> Result<(Message, u32, usize)> {
                         v.push(TableStats {
                             table_id: rd.u8()?,
                             active: rd.u32()?,
+                            max_entries: rd.u32()?,
                             hits: rd.u64()?,
                             misses: rd.u64()?,
+                            evictions: rd.u64()?,
+                            refusals: rd.u64()?,
                         });
                     }
                     StatsBody::Table(v)
@@ -1003,7 +1015,8 @@ pub fn decode(buf: &[u8]) -> Result<(Message, u32, usize)> {
                         misses: rd.u64()?,
                         inserts: rd.u64()?,
                         invalidations: rd.u64()?,
-                        evictions: rd.u64()?,
+                        micro_evictions: rd.u64()?,
+                        mega_evictions: rd.u64()?,
                         generation: rd.u64()?,
                         entries: rd.u64()?,
                     })
@@ -1140,6 +1153,7 @@ mod tests {
         .with_timeouts(1_000_000, 2_000_000)
         .with_cookie(0xfeed)
         .with_goto(1)
+        .with_importance(40)
     }
 
     fn samples() -> Vec<Message> {
@@ -1224,6 +1238,14 @@ mod tests {
                 packets: 100,
                 bytes: 6400,
             },
+            Message::FlowRemoved {
+                table_id: 1,
+                priority: 100,
+                cookie: 0x5eac_0001,
+                reason: RemovedReason::Eviction,
+                packets: 12,
+                bytes: 768,
+            },
             Message::BarrierRequest { xids: vec![] },
             Message::BarrierRequest {
                 xids: vec![7, 8, 9],
@@ -1241,8 +1263,11 @@ mod tests {
                 body: StatsBody::Table(vec![TableStats {
                     table_id: 0,
                     active: 3,
+                    max_entries: 256,
                     hits: 10,
                     misses: 2,
+                    evictions: 4,
+                    refusals: 1,
                 }]),
             },
             Message::StatsRequest {
@@ -1255,7 +1280,8 @@ mod tests {
                     misses: 7,
                     inserts: 7,
                     invalidations: 2,
-                    evictions: 0,
+                    micro_evictions: 5,
+                    mega_evictions: 1,
                     generation: 3,
                     entries: 12,
                 }),
@@ -1281,6 +1307,10 @@ mod tests {
             Message::Error {
                 code: ErrorCode::NotMaster,
                 data: 7u32.to_be_bytes().to_vec(),
+            },
+            Message::Error {
+                code: ErrorCode::TableFull,
+                data: 0xdead_beefu32.to_be_bytes().to_vec(),
             },
             Message::RoleRequest {
                 role: Role::Master,
@@ -1420,6 +1450,96 @@ mod tests {
                 "decode succeeded at cut {cut}"
             );
         }
+    }
+
+    /// Fuzz-style truncation sweep over the new table-pressure frames:
+    /// every proper prefix of a TABLE_FULL error, an Eviction
+    /// FLOW_REMOVED, and the split-eviction cache stats reply must
+    /// decode to an error, never a panic or a bogus success.
+    #[test]
+    fn rejects_truncated_table_pressure_frames() {
+        let frames = [
+            encode(
+                &Message::Error {
+                    code: ErrorCode::TableFull,
+                    data: 41u32.to_be_bytes().to_vec(),
+                },
+                41,
+            ),
+            encode(
+                &Message::FlowRemoved {
+                    table_id: 0,
+                    priority: 100,
+                    cookie: 0x5eac_0001,
+                    reason: RemovedReason::Eviction,
+                    packets: 3,
+                    bytes: 180,
+                },
+                42,
+            ),
+            encode(
+                &Message::StatsReply {
+                    body: StatsBody::Table(vec![TableStats {
+                        table_id: 0,
+                        active: 256,
+                        max_entries: 256,
+                        hits: 9,
+                        misses: 1,
+                        evictions: 17,
+                        refusals: 0,
+                    }]),
+                },
+                43,
+            ),
+            encode(
+                &Message::StatsReply {
+                    body: StatsBody::Cache(CacheStatsRec {
+                        micro_hits: 1,
+                        mega_hits: 2,
+                        misses: 3,
+                        inserts: 4,
+                        invalidations: 5,
+                        micro_evictions: 6,
+                        mega_evictions: 7,
+                        generation: 8,
+                        entries: 9,
+                    }),
+                },
+                44,
+            ),
+        ];
+        for (i, bytes) in frames.iter().enumerate() {
+            for cut in 0..bytes.len() {
+                assert!(
+                    decode(&bytes[..cut]).is_err(),
+                    "frame {i}: decode succeeded at cut {cut}"
+                );
+            }
+            // The intact frame still parses (the sweep is not vacuous).
+            assert!(decode(bytes).is_ok(), "frame {i}: intact decode failed");
+        }
+    }
+
+    /// An unknown FLOW_REMOVED reason byte must be rejected, not mapped
+    /// onto some near miss.
+    #[test]
+    fn rejects_unknown_removed_reason() {
+        let mut bytes = encode(
+            &Message::FlowRemoved {
+                table_id: 0,
+                priority: 1,
+                cookie: 0,
+                reason: RemovedReason::Eviction,
+                packets: 0,
+                bytes: 0,
+            },
+            1,
+        );
+        // reason byte sits after header + table_id(1) + priority(2) + cookie(8)
+        let at = HEADER_LEN + 1 + 2 + 8;
+        assert_eq!(bytes[at], 3, "layout assumption");
+        bytes[at] = 4;
+        assert_eq!(decode(&bytes).unwrap_err(), CodecError::Malformed);
     }
 
     #[test]

@@ -145,10 +145,16 @@ pub struct TableStats {
     pub table_id: u8,
     /// Installed entries.
     pub active: u32,
+    /// Configured capacity bound; 0 = unbounded.
+    pub max_entries: u32,
     /// Lookup hits.
     pub hits: u64,
     /// Lookup misses.
     pub misses: u64,
+    /// Entries displaced by capacity eviction.
+    pub evictions: u64,
+    /// Adds bounced with `TABLE_FULL` under the refuse policy.
+    pub refusals: u64,
 }
 
 /// Flow-cache effectiveness counters, as carried on the wire.
@@ -164,8 +170,11 @@ pub struct CacheStatsRec {
     pub inserts: u64,
     /// Whole-cache invalidations.
     pub invalidations: u64,
-    /// Capacity evictions.
-    pub evictions: u64,
+    /// Microflow-tier capacity evictions (turnover, including megaflow
+    /// promotions cycling back out of tier 1).
+    pub micro_evictions: u64,
+    /// Megaflow-tier capacity evictions (wildcard-tier pressure).
+    pub mega_evictions: u64,
     /// Current cache generation.
     pub generation: u64,
     /// Entries resident across both tiers.
@@ -205,6 +214,8 @@ pub enum RemovedReason {
     HardTimeout,
     /// Controller delete.
     Delete,
+    /// Displaced by a capacity eviction (table-full, evict policy).
+    Eviction,
 }
 
 impl From<zen_dataplane::RemovedReason> for RemovedReason {
@@ -213,6 +224,7 @@ impl From<zen_dataplane::RemovedReason> for RemovedReason {
             zen_dataplane::RemovedReason::IdleTimeout => RemovedReason::IdleTimeout,
             zen_dataplane::RemovedReason::HardTimeout => RemovedReason::HardTimeout,
             zen_dataplane::RemovedReason::Delete => RemovedReason::Delete,
+            zen_dataplane::RemovedReason::Eviction => RemovedReason::Eviction,
         }
     }
 }
@@ -224,7 +236,10 @@ pub enum ErrorCode {
     HelloFailed,
     /// The request was understood but invalid (bad table, bad group...).
     BadRequest,
-    /// The switch cannot satisfy the request (table full).
+    /// The switch cannot satisfy the request (table full under the
+    /// refuse overflow policy). The diagnostic bytes carry the bounced
+    /// flow-mod's xid (big-endian u32) so the sender can retire it from
+    /// its pending-mod table instead of retransmitting forever.
     TableFull,
     /// A state mod arrived on a connection that does not hold the
     /// Master role for this switch. The diagnostic bytes carry the

@@ -80,6 +80,7 @@ fn gen_spec(rng: &mut Lcg) -> FlowSpec {
         cookie: rng.next_u64(),
         idle_timeout: rng.next_u64(),
         hard_timeout: rng.next_u64(),
+        importance: rng.next_u32() as u16,
     }
 }
 

@@ -125,6 +125,16 @@ pub enum TraceEvent {
         /// Transaction ID of the mod.
         xid: u32,
     },
+    /// A table-full capacity eviction displaced an installed entry
+    /// while a flow-mod belonging to this trace was applied.
+    FlowEvicted {
+        /// Datapath that evicted the entry.
+        dpid: u64,
+        /// Table the victim lived in.
+        table_id: u8,
+        /// The victim's cookie.
+        cookie: u64,
+    },
     /// The controller saw the barrier ack retiring the flow-mod.
     FlowModAcked {
         /// Datapath that acked.
@@ -168,6 +178,7 @@ impl TraceEvent {
             TraceEvent::AppDispatch { .. } => "app_dispatch",
             TraceEvent::FlowModSent { .. } => "flow_mod_sent",
             TraceEvent::FlowModApplied { .. } => "flow_mod_applied",
+            TraceEvent::FlowEvicted { .. } => "flow_evicted",
             TraceEvent::FlowModAcked { .. } => "flow_mod_acked",
             TraceEvent::PacketOutSent { .. } => "packet_out_sent",
             TraceEvent::HostRecv { .. } => "host_recv",
@@ -452,6 +463,14 @@ fn write_record(rec: &TraceRecord, out: &mut String) {
         TraceEvent::FlowModApplied { dpid, xid } | TraceEvent::FlowModAcked { dpid, xid } => {
             line.u64("dpid", *dpid).u64("xid", u64::from(*xid))
         }
+        TraceEvent::FlowEvicted {
+            dpid,
+            table_id,
+            cookie,
+        } => line
+            .u64("dpid", *dpid)
+            .u64("table", u64::from(*table_id))
+            .u64("cookie", *cookie),
         TraceEvent::PacketOutSent { dpid } => line.u64("dpid", *dpid),
         TraceEvent::MastershipChange {
             dpid,
