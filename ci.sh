@@ -1,6 +1,7 @@
 #!/bin/sh
-# The repo's CI gate, runnable locally: exactly what .github/workflows/ci.yml
-# runs. Fully offline — the workspace has zero external dependencies.
+# The repo's CI gate, runnable locally: the union of what the parallel
+# jobs in .github/workflows/ci.yml run, serialized. Fully offline — the
+# workspace has zero external dependencies.
 set -eux
 
 cargo build --release --workspace
@@ -30,3 +31,16 @@ cargo test --release -p zen-core --test cluster -- --ignored --nocapture
 # bound, every eviction reaches the master, zero lost acks, and a
 # byte-identical replay.
 cargo test --release -p zen-core --test pressure -- --ignored --nocapture
+
+# Saturation smoke: a 200 ms fixed-seed cbench run against the
+# controller, run twice; asserts a conservative wall-clock setups/sec
+# floor and a byte-identical replay of every deterministic observable.
+cargo test --release -p zen-core --test saturation -- --ignored --nocapture
+
+# E17 saturation bench, quick matrix: writes target/BENCH_E17.json
+# (uploaded as a CI artifact) and fails if peak closed-loop setups/sec
+# regresses more than 20% below the committed baseline. The baseline
+# path must be absolute: cargo runs bench binaries with CWD set to the
+# package directory.
+BENCH_E17_QUICK=1 BENCH_E17_BASELINE="$(pwd)/ci/BENCH_E17.baseline.json" \
+    cargo bench -p zen-bench --bench expt_saturation

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Run a CI step and append its wall time to the GitHub step summary:
+#
+#   ci/timed.sh <label> <command...>
+#
+# Appends "| <label> | <seconds>s | ok/FAIL |" to $GITHUB_STEP_SUMMARY
+# (the jobs write the table header first) and propagates the command's
+# exit code. Outside Actions the summary append is skipped, so the
+# wrapper is a no-op shim around the command.
+set -eu
+label="$1"
+shift
+start=$(date +%s)
+rc=0
+"$@" || rc=$?
+end=$(date +%s)
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    if [ "$rc" -eq 0 ]; then result=ok; else result=FAIL; fi
+    printf '| %s | %ss | %s |\n' "$label" "$((end - start))" "$result" \
+        >>"$GITHUB_STEP_SUMMARY"
+fi
+exit "$rc"

@@ -11,8 +11,8 @@ use std::any::Any;
 
 use zen_dataplane::{AddOutcome, Datapath, DatapathId, Effect, MissPolicy, OverflowPolicy, PortNo};
 use zen_proto::{
-    decode, encode, CodecError, ErrorCode, FlowModCmd, GroupModCmd, Message, MeterModCmd, PortDesc,
-    Role, StatsBody, StatsKind,
+    decode_view, encode, ErrorCode, FlowModCmd, GroupModCmd, Message, MessageView, MeterModCmd,
+    PortDesc, Role, StatsBody, StatsKind,
 };
 use zen_sim::{Context, Duration, Node, NodeId};
 use zen_telemetry::{trace_id_for_frame, TraceEvent};
@@ -813,12 +813,26 @@ impl Node for SwitchAgent {
         self.note_controller_alive(ctx, ci);
         let mut at = 0;
         while at < bytes.len() {
-            match decode(&bytes[at..]) {
-                Ok((msg, xid, consumed)) => {
+            match decode_view(&bytes[at..]) {
+                Ok((view, xid, consumed)) => {
                     at += consumed;
-                    self.handle_message(ctx, ci, msg, xid);
+                    match view {
+                        // Hot path: inject straight from the receive
+                        // buffer, no owned copy of the frame.
+                        MessageView::PacketOut {
+                            in_port,
+                            actions,
+                            frame,
+                        } => {
+                            self.stats.packet_outs += 1;
+                            let now = ctx.now().as_nanos();
+                            let effects = self.dp.inject(now, in_port, &actions, frame);
+                            self.run_effects(ctx, effects);
+                        }
+                        other => self.handle_message(ctx, ci, other.into_message(), xid),
+                    }
                 }
-                Err(CodecError::Truncated) if at > 0 => break,
+                Err(e) if e.is_truncated() && at > 0 => break,
                 Err(_) => {
                     self.stats.decode_errors += 1;
                     break;

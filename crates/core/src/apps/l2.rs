@@ -126,16 +126,11 @@ impl App for L2Learning {
                     .with_timeouts(idle, 0);
                     ctl.install_flow(dpid, 0, spec);
                 }
-                ctl.packet_out(
-                    dpid,
-                    in_port,
-                    vec![Action::Output(out_port)],
-                    frame.to_vec(),
-                );
+                ctl.packet_out(dpid, in_port, &[Action::Output(out_port)], frame);
             }
             _ => {
                 self.floods += 1;
-                ctl.packet_out(dpid, in_port, vec![Action::Flood], frame.to_vec());
+                ctl.packet_out(dpid, in_port, &[Action::Flood], frame);
             }
         }
         Disposition::Handled

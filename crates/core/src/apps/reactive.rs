@@ -91,7 +91,7 @@ impl ReactiveForwarding {
         self.edge_floods += 1;
         for (dpid, port) in ctl.view.edge_ports() {
             if (dpid, port) != ingress {
-                ctl.packet_out(dpid, 0, vec![Action::Output(port)], frame.to_vec());
+                ctl.packet_out(dpid, 0, &[Action::Output(port)], frame);
             }
         }
     }
@@ -180,7 +180,7 @@ impl App for ReactiveForwarding {
         }
         // Release the trigger packet along the fresh path.
         if let Some(port) = first_out_port {
-            ctl.packet_out(dpid, in_port, vec![Action::Output(port)], frame.to_vec());
+            ctl.packet_out(dpid, in_port, &[Action::Output(port)], frame);
         }
         Disposition::Handled
     }

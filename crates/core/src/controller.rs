@@ -12,11 +12,11 @@ use std::collections::{BTreeMap, BTreeSet};
 use zen_cluster::{Admit, ClusterConfig, EwStore, Membership};
 use zen_dataplane::{FlowSpec, GroupDesc, PortNo};
 use zen_proto::{
-    decode, encode, CodecError, CookieCount, ErrorCode, FlowModCmd, GroupModCmd, Message,
-    MeterModCmd, Role, ViewEvent,
+    decode_view, encode, encode_packet_out, CookieCount, ErrorCode, FlowModCmd, GroupModCmd,
+    Message, MessageView, MeterModCmd, Role, ViewEvent,
 };
 use zen_sim::{Context, Duration, Instant, Node, NodeId};
-use zen_telemetry::{control_trace, trace_id_for_frame, TraceEvent};
+use zen_telemetry::{control_trace, trace_id_for_frame, TraceEvent, TraceId};
 use zen_wire::ethernet::{EtherType, Frame};
 use zen_wire::{arp, ipv4, lldp};
 
@@ -337,21 +337,33 @@ impl Ctl<'_, '_> {
     }
 
     /// Inject a frame at a switch with the given actions.
+    ///
+    /// The frame is borrowed: it is copied exactly once, straight into
+    /// the wire buffer. PACKET_OUT is fire-and-forget (never tracked
+    /// for retransmission), so no owned [`Message`] is ever built.
     pub fn packet_out(
         &mut self,
         dpid: Dpid,
         in_port: PortNo,
-        actions: Vec<zen_dataplane::Action>,
-        frame: Vec<u8>,
+        actions: &[zen_dataplane::Action],
+        frame: &[u8],
     ) {
-        self.send(
-            dpid,
-            &Message::PacketOut {
-                in_port,
-                actions,
-                frame,
-            },
-        );
+        let Some(&node) = self.registry.get(&dpid) else {
+            return;
+        };
+        let xid = *self.xid;
+        *self.xid += 1;
+        self.stats.msgs_sent += 1;
+        self.stats.packet_outs += 1;
+        let rec = self.ctx.recorder();
+        if rec.is_enabled() {
+            if let Some(trace) = rec.current_trace() {
+                let at = self.ctx.now().as_nanos();
+                rec.record(at, trace, TraceEvent::PacketOutSent { dpid });
+            }
+        }
+        self.ctx
+            .send_control(node, encode_packet_out(in_port, actions, frame, xid));
     }
 
     /// Fence a switch (answered asynchronously). App-issued fences
@@ -963,15 +975,18 @@ impl Controller {
         }
     }
 
-    fn handle_packet_in(
+    /// Per-punt observation: LLDP discovery return path and host
+    /// learning. Returns whether the frame should go on to the app
+    /// chain (discovery probes and unparsable frames stop here).
+    fn observe_packet_in(
         &mut self,
         ctx: &mut Context<'_>,
         dpid: Dpid,
         in_port: PortNo,
-        frame: Vec<u8>,
-    ) {
-        let Ok(eth) = Frame::new_checked(&frame[..]) else {
-            return;
+        frame: &[u8],
+    ) -> bool {
+        let Ok(eth) = Frame::new_checked(frame) else {
+            return false;
         };
         // Discovery return path.
         if eth.ethertype() == EtherType::Lldp {
@@ -990,7 +1005,7 @@ impl Controller {
                     });
                 }
             }
-            return;
+            return false;
         }
         self.stats.packet_ins += 1;
 
@@ -1022,46 +1037,98 @@ impl Controller {
                 });
             }
         }
+        true
+    }
 
-        // Stragglers: punts routed here while mastership was in flight
-        // are still good observations (learned above), but only the
-        // master drives the datapath in response.
-        if !self.is_master_of(dpid) {
+    /// Dispatch a batch of PACKET_INs from one control delivery into
+    /// the app chain. Frames are borrowed straight from the receive
+    /// buffer; the per-dispatch overhead (session checks, mastership
+    /// lookup, app-vector swap) is paid once per batch instead of once
+    /// per punt.
+    fn handle_packet_in_batch(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        punts: &[(PortNo, &[u8])],
+    ) {
+        // Session preamble, once per batch. Peer replicas never punt;
+        // drop rather than re-solicit a handshake from one.
+        if self.cluster.as_ref().is_some_and(|cl| {
+            cl.membership
+                .config()
+                .index_of(from)
+                .is_some_and(|i| i != cl.membership.index())
+        }) {
             return;
         }
-
-        // Application chain. While the recorder is enabled and the frame
-        // is a traced probe, the chain runs under that trace: flow-mods
-        // and packet-outs the apps issue are attributed to it, and the
-        // dispatch itself is recorded with the claiming app.
-        let trace = if ctx.recorder().is_enabled() {
-            trace_id_for_frame(&frame)
-        } else {
-            None
+        let Some(&dpid) = self.rev_registry.get(&from) else {
+            let now = ctx.now();
+            let due = self
+                .features_requested
+                .get(&from)
+                .is_none_or(|&last| now.duration_since(last) >= self.cfg.tick_interval);
+            if due {
+                self.features_requested.insert(from, now);
+                self.stats.msgs_sent += 1;
+                ctx.send_control(from, encode(&Message::FeaturesRequest, 0));
+            }
+            return;
         };
+        if self.view.is_quarantined(dpid) {
+            self.maybe_request_resync(ctx, dpid);
+        }
+        // Stragglers: punts routed here while mastership was in flight
+        // are still good observations (learned below), but only the
+        // master drives the datapath in response.
+        let master = self.is_master_of(dpid);
+        let recording = ctx.recorder().is_enabled();
+        let mut dispatch: Vec<(PortNo, &[u8], Option<TraceId>)> = Vec::with_capacity(punts.len());
+        for &(in_port, frame) in punts {
+            if !self.observe_packet_in(ctx, dpid, in_port, frame) {
+                continue;
+            }
+            if !master {
+                continue;
+            }
+            // While the recorder is enabled and the frame is a traced
+            // probe, its dispatch runs under that trace: flow-mods and
+            // packet-outs the apps issue are attributed to it, and the
+            // dispatch itself is recorded with the claiming app.
+            let trace = if recording {
+                trace_id_for_frame(frame)
+            } else {
+                None
+            };
+            dispatch.push((in_port, frame, trace));
+        }
+        if dispatch.is_empty() {
+            return;
+        }
         self.with_apps(ctx, |apps, ctl| {
-            if trace.is_some() {
-                ctl.ctx.recorder().begin_trace(trace);
-            }
-            let mut claimed: Option<&'static str> = None;
-            for app in apps.iter_mut() {
-                if app.on_packet_in(ctl, dpid, in_port, &frame) == Disposition::Handled {
-                    claimed = Some(app.name());
-                    break;
+            for &(in_port, frame, trace) in &dispatch {
+                if trace.is_some() {
+                    ctl.ctx.recorder().begin_trace(trace);
                 }
-            }
-            if let Some(t) = trace {
-                let at = ctl.ctx.now().as_nanos();
-                let rec = ctl.ctx.recorder();
-                rec.record(
-                    at,
-                    t,
-                    TraceEvent::AppDispatch {
-                        app: claimed.unwrap_or("none"),
-                        claimed: claimed.is_some(),
-                    },
-                );
-                rec.end_trace();
+                let mut claimed: Option<&'static str> = None;
+                for app in apps.iter_mut() {
+                    if app.on_packet_in(ctl, dpid, in_port, frame) == Disposition::Handled {
+                        claimed = Some(app.name());
+                        break;
+                    }
+                }
+                if let Some(t) = trace {
+                    let at = ctl.ctx.now().as_nanos();
+                    let rec = ctl.ctx.recorder();
+                    rec.record(
+                        at,
+                        t,
+                        TraceEvent::AppDispatch {
+                            app: claimed.unwrap_or("none"),
+                            claimed: claimed.is_some(),
+                        },
+                    );
+                    rec.end_trace();
+                }
             }
         });
     }
@@ -1169,10 +1236,9 @@ impl Controller {
                 self.discovery_round(ctx);
             }
             Message::PacketIn { in_port, frame, .. } => {
-                let Some(&dpid) = self.rev_registry.get(&from) else {
-                    return;
-                };
-                self.handle_packet_in(ctx, dpid, in_port, frame);
+                // Normally intercepted as a view in `on_control`; this
+                // arm only serves direct owned-message injection.
+                self.handle_packet_in_batch(ctx, from, &[(in_port, &frame)]);
             }
             Message::PortStatus { port } => {
                 let Some(&dpid) = self.rev_registry.get(&from) else {
@@ -1253,12 +1319,26 @@ impl Controller {
                 });
             }
             Message::BarrierReply { applied } => {
-                // Retire exactly the covered mods the switch confirmed;
-                // anything it never saw stays pending and retransmits.
+                // Retire the covered mods the switch confirmed — but
+                // only as an in-order prefix. Mods apply in
+                // transmission order, so if an earlier mod is still in
+                // flight (say a lost cookie-delete), a later
+                // already-applied mod must stay pending: the
+                // retransmit path then replays it *after* the missing
+                // one. Retiring it here would let the delete land last
+                // and silently wipe state the shadow believes
+                // installed.
                 let mut shadow_touched: BTreeSet<Dpid> = BTreeSet::new();
                 if let Some((_, xids)) = self.barriers.remove(&xid) {
                     for mx in xids {
                         if !applied.contains(&mx) {
+                            if self.pending.contains_key(&mx) {
+                                // Gap: everything after `mx` must be
+                                // replayed in order behind it.
+                                break;
+                            }
+                            // Resolved elsewhere (failed, superseded,
+                            // bounced): not a gap.
                             continue;
                         }
                         if let Some(p) = self.pending.remove(&mx) {
@@ -1503,19 +1583,37 @@ impl Node for Controller {
         // Any bytes at all prove the agent's channel works.
         self.liveness.insert(from, ctx.now());
         let mut at = 0;
+        // PACKET_INs decode to borrowed views over `bytes` and are
+        // collected for one batched app dispatch. Any other message
+        // flushes the batch first, preserving relative order.
+        let mut punts: Vec<(PortNo, &[u8])> = Vec::new();
         while at < bytes.len() {
-            match decode(&bytes[at..]) {
-                Ok((msg, xid, consumed)) => {
+            match decode_view(&bytes[at..]) {
+                Ok((view, xid, consumed)) => {
                     at += consumed;
                     self.stats.msgs_received += 1;
-                    self.handle_message(ctx, from, msg, xid);
+                    match view {
+                        MessageView::PacketIn { in_port, frame, .. } => {
+                            punts.push((in_port, frame));
+                        }
+                        other => {
+                            if !punts.is_empty() {
+                                let batch = std::mem::take(&mut punts);
+                                self.handle_packet_in_batch(ctx, from, &batch);
+                            }
+                            self.handle_message(ctx, from, other.into_message(), xid);
+                        }
+                    }
                 }
-                Err(CodecError::Truncated) if at > 0 => break,
+                Err(e) if e.is_truncated() && at > 0 => break,
                 Err(_) => {
                     self.stats.decode_errors += 1;
                     break;
                 }
             }
+        }
+        if !punts.is_empty() {
+            self.handle_packet_in_batch(ctx, from, &punts);
         }
         self.flush_barriers(ctx);
     }

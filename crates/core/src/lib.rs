@@ -26,6 +26,7 @@
 pub mod agent;
 pub mod app;
 pub mod apps;
+pub mod cbench;
 pub mod controller;
 pub mod harness;
 pub mod snapshot;
@@ -33,6 +34,7 @@ pub mod view;
 
 pub use agent::{AgentConfig, ConnLossPolicy, ConnState, SwitchAgent};
 pub use app::{App, Disposition};
+pub use cbench::{CbenchConfig, CbenchMode, CbenchStats, CbenchSwitch};
 pub use controller::{Controller, ControllerConfig, Ctl, CtlStats};
 pub use harness::{
     build_cluster_fabric, build_cluster_fabric_with_hosts, build_fabric, build_fabric_with_hosts,

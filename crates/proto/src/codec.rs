@@ -1,9 +1,20 @@
 //! Binary encoding and decoding of control messages.
 //!
 //! Integers are big-endian. Decoding is bounds-checked everywhere and
-//! returns [`CodecError`] on any malformation.
+//! returns [`CodecError`] on any malformation; every error names the
+//! field and byte offset that failed, so a corrupt frame is debuggable
+//! from the error alone.
+//!
+//! Decoding is zero-copy on the hot path: [`decode_view`] yields a
+//! [`MessageView`] whose bulk byte payloads (PACKET_IN / PACKET_OUT
+//! frames, ERROR data) are slices **borrowing the receive buffer** —
+//! no allocation, no memcpy. Structured messages (flow mods, stats,
+//! …) decode to owned values inside [`MessageView::Owned`]: they carry
+//! no bulk bytes, and their consumers need ownership anyway. The
+//! compatibility wrapper [`decode`] materializes a fully owned
+//! [`Message`] when the caller wants to keep it past the buffer.
 
-use zen_dataplane::{Action, Bucket, FlowMatch, FlowSpec, GroupDesc, GroupType};
+use zen_dataplane::{Action, Bucket, FlowMatch, FlowSpec, GroupDesc, GroupType, PortNo};
 use zen_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
 
 use crate::{
@@ -15,26 +26,116 @@ use crate::{
 /// The fixed message header length: version, type, length (u32), xid.
 pub const HEADER_LEN: usize = 1 + 1 + 4 + 4;
 
-/// Decoding errors.
+/// Decoding errors. Offsets are absolute frame offsets (0 = the
+/// version byte), so an error locates the exact bad byte on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CodecError {
-    /// Not enough bytes for the claimed structure.
-    Truncated,
+    /// Fewer bytes than the structure requires.
+    Truncated {
+        /// Frame offset where the read started.
+        offset: usize,
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes actually available from `offset`.
+        available: usize,
+    },
     /// The version byte is not [`VERSION`].
-    BadVersion(u8),
+    BadVersion {
+        /// The version byte found.
+        found: u8,
+    },
     /// Unknown message type tag.
-    UnknownType(u8),
-    /// A field held an invalid value.
-    Malformed,
+    UnknownType {
+        /// The type byte found.
+        found: u8,
+    },
+    /// The header's length field claims less than the fixed header.
+    BadLength {
+        /// The claimed total frame length.
+        claimed: usize,
+    },
+    /// An enum discriminant held an undefined value.
+    BadTag {
+        /// Which field (dotted path, e.g. `"flow_mod.cmd"`).
+        field: &'static str,
+        /// The undefined value found.
+        value: u32,
+        /// Frame offset of the discriminant.
+        offset: usize,
+    },
+    /// A structurally valid field held a semantically invalid value.
+    BadField {
+        /// Which field.
+        field: &'static str,
+        /// Frame offset where the field starts.
+        offset: usize,
+    },
+    /// A count field exceeds what the remaining body could possibly
+    /// hold — rejected before allocating.
+    CountOverflow {
+        /// Which repeated field.
+        field: &'static str,
+        /// The claimed element count.
+        count: usize,
+        /// Upper bound on elements the remaining bytes could hold.
+        capacity: usize,
+    },
+    /// Body bytes left over after the typed payload was fully decoded.
+    TrailingBytes {
+        /// Frame offset where the unconsumed bytes start.
+        offset: usize,
+        /// How many bytes are left over.
+        trailing: usize,
+    },
+}
+
+impl CodecError {
+    /// Whether this error means "feed me more bytes" (a frame cut off
+    /// mid-stream) rather than "this frame is garbage". Stream
+    /// consumers retry truncation once more bytes arrive and treat
+    /// everything else as a protocol error.
+    pub fn is_truncated(&self) -> bool {
+        matches!(self, CodecError::Truncated { .. })
+    }
 }
 
 impl core::fmt::Display for CodecError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            CodecError::Truncated => write!(f, "truncated message"),
-            CodecError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
-            CodecError::UnknownType(t) => write!(f, "unknown message type {t}"),
-            CodecError::Malformed => write!(f, "malformed field"),
+        match *self {
+            CodecError::Truncated {
+                offset,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated at offset {offset}: needed {needed} bytes, {available} available"
+            ),
+            CodecError::BadVersion { found } => {
+                write!(f, "unsupported protocol version {found}")
+            }
+            CodecError::UnknownType { found } => write!(f, "unknown message type {found}"),
+            CodecError::BadLength { claimed } => {
+                write!(f, "header claims impossible frame length {claimed}")
+            }
+            CodecError::BadTag {
+                field,
+                value,
+                offset,
+            } => write!(f, "undefined {field} tag {value} at offset {offset}"),
+            CodecError::BadField { field, offset } => {
+                write!(f, "invalid {field} at offset {offset}")
+            }
+            CodecError::CountOverflow {
+                field,
+                count,
+                capacity,
+            } => write!(
+                f,
+                "{field} count {count} exceeds remaining capacity {capacity}"
+            ),
+            CodecError::TrailingBytes { offset, trailing } => {
+                write!(f, "{trailing} unconsumed body bytes at offset {offset}")
+            }
         }
     }
 }
@@ -75,19 +176,31 @@ impl Put for Vec<u8> {
 
 // ---------------------------------------------------------------- reader
 
+/// A bounds-checked cursor over a message body. `base` is the body's
+/// absolute offset within the frame, so errors report frame offsets.
 struct Rd<'a> {
     buf: &'a [u8],
     at: usize,
+    base: usize,
 }
 
 impl<'a> Rd<'a> {
-    fn new(buf: &'a [u8]) -> Rd<'a> {
-        Rd { buf, at: 0 }
+    fn new(buf: &'a [u8], base: usize) -> Rd<'a> {
+        Rd { buf, at: 0, base }
+    }
+
+    /// Absolute frame offset of the next unread byte.
+    fn pos(&self) -> usize {
+        self.base + self.at
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.at + n > self.buf.len() {
-            return Err(CodecError::Truncated);
+            return Err(CodecError::Truncated {
+                offset: self.pos(),
+                needed: n,
+                available: self.buf.len() - self.at,
+            });
         }
         let s = &self.buf[self.at..self.at + n];
         self.at += n;
@@ -118,17 +231,21 @@ impl<'a> Rd<'a> {
         Ok(Ipv4Address::from_bytes(self.take(4)?))
     }
 
-    fn cidr(&mut self) -> Result<Ipv4Cidr> {
+    fn cidr(&mut self, field: &'static str) -> Result<Ipv4Cidr> {
+        let offset = self.pos();
         let addr = self.ip()?;
         let plen = self.u8()?;
-        Ipv4Cidr::new(addr, plen).map_err(|_| CodecError::Malformed)
+        Ipv4Cidr::new(addr, plen).map_err(|_| CodecError::BadField { field, offset })
     }
 
     fn finish(&self) -> Result<()> {
         if self.at == self.buf.len() {
             Ok(())
         } else {
-            Err(CodecError::Malformed)
+            Err(CodecError::TrailingBytes {
+                offset: self.pos(),
+                trailing: self.buf.len() - self.at,
+            })
         }
     }
 }
@@ -201,9 +318,14 @@ fn put_match(out: &mut Vec<u8>, m: &FlowMatch) {
 }
 
 fn get_match(rd: &mut Rd<'_>) -> Result<FlowMatch> {
+    let bits_at = rd.pos();
     let bits = rd.u16()?;
     if bits >> 10 != 0 {
-        return Err(CodecError::Malformed);
+        return Err(CodecError::BadTag {
+            field: "match.fields",
+            value: bits as u32,
+            offset: bits_at,
+        });
     }
     let mut m = FlowMatch::ANY;
     if bits & (1 << 0) != 0 {
@@ -219,19 +341,26 @@ fn get_match(rd: &mut Rd<'_>) -> Result<FlowMatch> {
         m.ethertype = Some(rd.u16()?);
     }
     if bits & (1 << 4) != 0 {
+        let tagged_at = rd.pos();
         let tagged = rd.u8()?;
         let vid = rd.u16()?;
         m.vlan = Some(match tagged {
             0 => None,
             1 => Some(vid),
-            _ => return Err(CodecError::Malformed),
+            other => {
+                return Err(CodecError::BadTag {
+                    field: "match.vlan_tagged",
+                    value: other as u32,
+                    offset: tagged_at,
+                })
+            }
         });
     }
     if bits & (1 << 5) != 0 {
-        m.ipv4_src = Some(rd.cidr()?);
+        m.ipv4_src = Some(rd.cidr("match.ipv4_src")?);
     }
     if bits & (1 << 6) != 0 {
-        m.ipv4_dst = Some(rd.cidr()?);
+        m.ipv4_dst = Some(rd.cidr("match.ipv4_dst")?);
     }
     if bits & (1 << 7) != 0 {
         m.ip_proto = Some(rd.u8()?);
@@ -294,6 +423,7 @@ fn put_action(out: &mut Vec<u8>, a: &Action) {
 }
 
 fn get_action(rd: &mut Rd<'_>) -> Result<Action> {
+    let tag_at = rd.pos();
     Ok(match rd.u8()? {
         0 => Action::Output(rd.u32()?),
         1 => Action::Flood,
@@ -308,7 +438,13 @@ fn get_action(rd: &mut Rd<'_>) -> Result<Action> {
         10 => Action::PopVlan,
         11 => Action::Group(rd.u32()?),
         12 => Action::Meter(rd.u32()?),
-        _ => return Err(CodecError::Malformed),
+        other => {
+            return Err(CodecError::BadTag {
+                field: "action.kind",
+                value: other as u32,
+                offset: tag_at,
+            })
+        }
     })
 }
 
@@ -319,13 +455,23 @@ fn put_actions(out: &mut Vec<u8>, actions: &[Action]) {
     }
 }
 
+/// Reject a claimed element count the remaining body cannot possibly
+/// hold (every element is at least one byte) — before allocating.
+fn check_count(rd: &Rd<'_>, field: &'static str, n: usize) -> Result<()> {
+    let capacity = rd.buf.len() - rd.at;
+    if n > capacity {
+        return Err(CodecError::CountOverflow {
+            field,
+            count: n,
+            capacity,
+        });
+    }
+    Ok(())
+}
+
 fn get_actions(rd: &mut Rd<'_>) -> Result<Vec<Action>> {
     let n = rd.u16()? as usize;
-    // Bound allocations by what the buffer could possibly hold (the
-    // smallest action is one byte).
-    if n > rd.buf.len() {
-        return Err(CodecError::Truncated);
-    }
+    check_count(rd, "actions", n)?;
     let mut actions = Vec::with_capacity(n);
     for _ in 0..n {
         actions.push(get_action(rd)?);
@@ -379,16 +525,21 @@ fn put_group(out: &mut Vec<u8>, desc: &GroupDesc) {
 }
 
 fn get_group(rd: &mut Rd<'_>) -> Result<GroupDesc> {
+    let tag_at = rd.pos();
     let group_type = match rd.u8()? {
         0 => GroupType::All,
         1 => GroupType::Select,
         2 => GroupType::FastFailover,
-        _ => return Err(CodecError::Malformed),
+        other => {
+            return Err(CodecError::BadTag {
+                field: "group.type",
+                value: other as u32,
+                offset: tag_at,
+            })
+        }
     };
     let n = rd.u16()? as usize;
-    if n > rd.buf.len() {
-        return Err(CodecError::Truncated);
-    }
+    check_count(rd, "group.buckets", n)?;
     let mut buckets = Vec::with_capacity(n);
     for _ in 0..n {
         let watch = rd.u32()?;
@@ -413,11 +564,18 @@ fn put_role(out: &mut Vec<u8>, role: Role) {
 }
 
 fn get_role(rd: &mut Rd<'_>) -> Result<Role> {
+    let tag_at = rd.pos();
     Ok(match rd.u8()? {
         0 => Role::Master,
         1 => Role::Equal,
         2 => Role::Slave,
-        _ => return Err(CodecError::Malformed),
+        other => {
+            return Err(CodecError::BadTag {
+                field: "role",
+                value: other as u32,
+                offset: tag_at,
+            })
+        }
     })
 }
 
@@ -480,6 +638,7 @@ fn put_view_event(out: &mut Vec<u8>, event: &ViewEvent) {
 }
 
 fn get_view_event(rd: &mut Rd<'_>) -> Result<ViewEvent> {
+    let tag_at = rd.pos();
     Ok(match rd.u8()? {
         0 => ViewEvent::LinkAdd {
             from_dpid: rd.u64()?,
@@ -495,10 +654,17 @@ fn get_view_event(rd: &mut Rd<'_>) -> Result<ViewEvent> {
             let mac = rd.mac()?;
             let dpid = rd.u64()?;
             let port = rd.u32()?;
+            let flag_at = rd.pos();
             let ip = match rd.u8()? {
                 0 => None,
                 1 => Some(rd.ip()?),
-                _ => return Err(CodecError::Malformed),
+                other => {
+                    return Err(CodecError::BadTag {
+                        field: "view_event.ip_present",
+                        value: other as u32,
+                        offset: flag_at,
+                    })
+                }
             };
             ViewEvent::HostLearned {
                 mac,
@@ -510,9 +676,7 @@ fn get_view_event(rd: &mut Rd<'_>) -> Result<ViewEvent> {
         3 => {
             let dpid = rd.u64()?;
             let n = rd.u32()? as usize;
-            if n > rd.buf.len() {
-                return Err(CodecError::Truncated);
-            }
+            check_count(rd, "view_event.cookies", n)?;
             let mut cookies = Vec::with_capacity(n);
             for _ in 0..n {
                 cookies.push(CookieCount {
@@ -527,7 +691,13 @@ fn get_view_event(rd: &mut Rd<'_>) -> Result<ViewEvent> {
             cookie: rd.u64()?,
             hash: rd.u64()?,
         },
-        _ => return Err(CodecError::Malformed),
+        other => {
+            return Err(CodecError::BadTag {
+                field: "view_event.kind",
+                value: other as u32,
+                offset: tag_at,
+            })
+        }
     })
 }
 
@@ -552,9 +722,11 @@ fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
     out.put_slice(data);
 }
 
-fn get_bytes(rd: &mut Rd<'_>) -> Result<Vec<u8>> {
+/// Length-prefixed bytes as a borrowed slice of the receive buffer —
+/// the zero-copy primitive behind [`MessageView`].
+fn get_bytes_view<'a>(rd: &mut Rd<'a>) -> Result<&'a [u8]> {
     let n = rd.u32()? as usize;
-    Ok(rd.take(n)?.to_vec())
+    rd.take(n)
 }
 
 // ------------------------------------------------------------- messages
@@ -804,40 +976,172 @@ pub fn encode(msg: &Message, xid: u32) -> Vec<u8> {
     out
 }
 
-/// Decode one framed message from the front of `buf`. Returns the
-/// message, its xid, and the bytes consumed.
+/// Encode a PACKET_OUT directly from a borrowed frame.
+///
+/// The general [`encode`] takes a [`Message`], whose `PacketOut`
+/// variant owns its frame — so releasing a borrowed frame would force
+/// a `to_vec` just to throw the copy away after serializing. This fast
+/// path writes the wire form straight from the slice; it is
+/// byte-identical to `encode(&Message::PacketOut { .. }, xid)`.
+pub fn encode_packet_out(in_port: PortNo, actions: &[Action], frame: &[u8], xid: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + 4 + 2 + 4 + frame.len() + 8);
+    out.put_u8(VERSION);
+    out.put_u8(7); // Message::PacketOut type id
+    out.put_u32(0); // length patched below
+    out.put_u32(xid);
+    out.put_u32(in_port);
+    put_actions(&mut out, actions);
+    put_bytes(&mut out, frame);
+    let len = out.len() as u32;
+    out[2..6].copy_from_slice(&len.to_be_bytes());
+    out
+}
+
+/// A decoded message whose bulk byte payloads borrow the receive
+/// buffer (the `BinaryDecoder` idiom: typed views over wire bytes).
+///
+/// Only the message types that carry an opaque byte blob get a
+/// borrowed variant — PACKET_IN and PACKET_OUT (the punted/released
+/// frame) and ERROR (its diagnostic data). These are the control
+/// plane's hot path, and the blob is the bulk of the frame; borrowing
+/// it makes decode allocation-free where it matters. Every other
+/// message decodes to an owned [`Message`] inside
+/// [`MessageView::Owned`]: their payloads are structured fields the
+/// consumer must own to apply anyway, so a borrowed form would buy
+/// nothing but lifetime friction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MessageView<'a> {
+    /// A punted frame; `frame` borrows the receive buffer.
+    PacketIn {
+        /// Ingress port.
+        in_port: PortNo,
+        /// Table that punted it.
+        table_id: u8,
+        /// `true` if punted by table miss, `false` if by action.
+        is_miss: bool,
+        /// The frame, borrowed from the receive buffer.
+        frame: &'a [u8],
+    },
+    /// A frame release; `frame` borrows the receive buffer.
+    PacketOut {
+        /// Treat the frame as if received on this port (0 = none).
+        in_port: PortNo,
+        /// Actions to run on it.
+        actions: Vec<Action>,
+        /// The frame, borrowed from the receive buffer.
+        frame: &'a [u8],
+    },
+    /// An error notification; `data` borrows the receive buffer.
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Offending-request context, borrowed from the receive buffer.
+        data: &'a [u8],
+    },
+    /// Any other message, fully owned.
+    Owned(Message),
+}
+
+impl MessageView<'_> {
+    /// Materialize an owned [`Message`], copying any borrowed payload.
+    pub fn into_message(self) -> Message {
+        match self {
+            MessageView::PacketIn {
+                in_port,
+                table_id,
+                is_miss,
+                frame,
+            } => Message::PacketIn {
+                in_port,
+                table_id,
+                is_miss,
+                frame: frame.to_vec(),
+            },
+            MessageView::PacketOut {
+                in_port,
+                actions,
+                frame,
+            } => Message::PacketOut {
+                in_port,
+                actions,
+                frame: frame.to_vec(),
+            },
+            MessageView::Error { code, data } => Message::Error {
+                code,
+                data: data.to_vec(),
+            },
+            MessageView::Owned(msg) => msg,
+        }
+    }
+}
+
+/// Decode one framed message from the front of `buf` into an owned
+/// [`Message`]. Returns the message, its xid, and the bytes consumed.
+///
+/// Compatibility wrapper over [`decode_view`]: byte payloads are
+/// copied out of the buffer. Hot paths should use [`decode_view`].
 pub fn decode(buf: &[u8]) -> Result<(Message, u32, usize)> {
+    let (view, xid, consumed) = decode_view(buf)?;
+    Ok((view.into_message(), xid, consumed))
+}
+
+/// Decode one framed message from the front of `buf` as a
+/// [`MessageView`] borrowing `buf`. Returns the view, its xid, and the
+/// bytes consumed.
+///
+/// The view (and anything holding its `frame`/`data` slices) must be
+/// dropped before the receive buffer can be reused; the borrow checker
+/// enforces this. Use [`MessageView::into_message`] to outlive the
+/// buffer.
+pub fn decode_view(buf: &[u8]) -> Result<(MessageView<'_>, u32, usize)> {
     if buf.len() < HEADER_LEN {
-        return Err(CodecError::Truncated);
+        return Err(CodecError::Truncated {
+            offset: 0,
+            needed: HEADER_LEN,
+            available: buf.len(),
+        });
     }
     let version = buf[0];
     if version != VERSION {
-        return Err(CodecError::BadVersion(version));
+        return Err(CodecError::BadVersion { found: version });
     }
     let type_id = buf[1];
     let length = u32::from_be_bytes(buf[2..6].try_into().unwrap()) as usize;
     if length < HEADER_LEN {
-        return Err(CodecError::Malformed);
+        return Err(CodecError::BadLength { claimed: length });
     }
     if buf.len() < length {
-        return Err(CodecError::Truncated);
+        return Err(CodecError::Truncated {
+            offset: 0,
+            needed: length,
+            available: buf.len(),
+        });
     }
     let xid = u32::from_be_bytes(buf[6..10].try_into().unwrap());
-    let mut rd = Rd::new(&buf[HEADER_LEN..length]);
+    let mut rd = Rd::new(&buf[HEADER_LEN..length], HEADER_LEN);
     let msg = match type_id {
         0 => Message::Hello { version: rd.u8()? },
         1 => {
+            let code_at = rd.pos();
             let code = match rd.u16()? {
                 0 => ErrorCode::HelloFailed,
                 1 => ErrorCode::BadRequest,
                 2 => ErrorCode::TableFull,
                 3 => ErrorCode::NotMaster,
-                _ => return Err(CodecError::Malformed),
+                other => {
+                    return Err(CodecError::BadTag {
+                        field: "error.code",
+                        value: other as u32,
+                        offset: code_at,
+                    })
+                }
             };
-            Message::Error {
+            let view = MessageView::Error {
                 code,
-                data: get_bytes(&mut rd)?,
-            }
+                data: get_bytes_view(&mut rd)?,
+            };
+            rd.finish()?;
+            return Ok((view, xid, length));
         }
         2 => Message::EchoRequest { token: rd.u64()? },
         3 => Message::EchoReply { token: rd.u64()? },
@@ -846,9 +1150,7 @@ pub fn decode(buf: &[u8]) -> Result<(Message, u32, usize)> {
             let dpid = rd.u64()?;
             let n_tables = rd.u8()?;
             let n = rd.u16()? as usize;
-            if n > rd.buf.len() {
-                return Err(CodecError::Truncated);
-            }
+            check_count(&rd, "features.ports", n)?;
             let mut ports = Vec::with_capacity(n);
             for _ in 0..n {
                 let port_no = rd.u32()?;
@@ -861,19 +1163,28 @@ pub fn decode(buf: &[u8]) -> Result<(Message, u32, usize)> {
                 ports,
             }
         }
-        6 => Message::PacketIn {
-            in_port: rd.u32()?,
-            table_id: rd.u8()?,
-            is_miss: rd.u8()? != 0,
-            frame: get_bytes(&mut rd)?,
-        },
-        7 => Message::PacketOut {
-            in_port: rd.u32()?,
-            actions: get_actions(&mut rd)?,
-            frame: get_bytes(&mut rd)?,
-        },
+        6 => {
+            let view = MessageView::PacketIn {
+                in_port: rd.u32()?,
+                table_id: rd.u8()?,
+                is_miss: rd.u8()? != 0,
+                frame: get_bytes_view(&mut rd)?,
+            };
+            rd.finish()?;
+            return Ok((view, xid, length));
+        }
+        7 => {
+            let view = MessageView::PacketOut {
+                in_port: rd.u32()?,
+                actions: get_actions(&mut rd)?,
+                frame: get_bytes_view(&mut rd)?,
+            };
+            rd.finish()?;
+            return Ok((view, xid, length));
+        }
         8 => {
             let table_id = rd.u8()?;
+            let tag_at = rd.pos();
             let cmd = match rd.u8()? {
                 0 => FlowModCmd::Add(get_spec(&mut rd)?),
                 1 => FlowModCmd::DeleteStrict {
@@ -881,28 +1192,48 @@ pub fn decode(buf: &[u8]) -> Result<(Message, u32, usize)> {
                     matcher: get_match(&mut rd)?,
                 },
                 2 => FlowModCmd::DeleteByCookie { cookie: rd.u64()? },
-                _ => return Err(CodecError::Malformed),
+                other => {
+                    return Err(CodecError::BadTag {
+                        field: "flow_mod.cmd",
+                        value: other as u32,
+                        offset: tag_at,
+                    })
+                }
             };
             Message::FlowMod { table_id, cmd }
         }
         9 => {
             let group_id = rd.u32()?;
+            let tag_at = rd.pos();
             let cmd = match rd.u8()? {
                 0 => GroupModCmd::Add(get_group(&mut rd)?),
                 1 => GroupModCmd::Delete,
-                _ => return Err(CodecError::Malformed),
+                other => {
+                    return Err(CodecError::BadTag {
+                        field: "group_mod.cmd",
+                        value: other as u32,
+                        offset: tag_at,
+                    })
+                }
             };
             Message::GroupMod { group_id, cmd }
         }
         10 => {
             let meter_id = rd.u32()?;
+            let tag_at = rd.pos();
             let cmd = match rd.u8()? {
                 0 => MeterModCmd::Add {
                     rate_bps: rd.u64()?,
                     burst_bytes: rd.u64()?,
                 },
                 1 => MeterModCmd::Delete,
-                _ => return Err(CodecError::Malformed),
+                other => {
+                    return Err(CodecError::BadTag {
+                        field: "meter_mod.cmd",
+                        value: other as u32,
+                        offset: tag_at,
+                    })
+                }
             };
             Message::MeterMod { meter_id, cmd }
         }
@@ -912,25 +1243,36 @@ pub fn decode(buf: &[u8]) -> Result<(Message, u32, usize)> {
                 up: rd.u8()? != 0,
             },
         },
-        12 => Message::FlowRemoved {
-            table_id: rd.u8()?,
-            priority: rd.u16()?,
-            cookie: rd.u64()?,
-            reason: match rd.u8()? {
+        12 => {
+            let table_id = rd.u8()?;
+            let priority = rd.u16()?;
+            let cookie = rd.u64()?;
+            let reason_at = rd.pos();
+            let reason = match rd.u8()? {
                 0 => RemovedReason::IdleTimeout,
                 1 => RemovedReason::HardTimeout,
                 2 => RemovedReason::Delete,
                 3 => RemovedReason::Eviction,
-                _ => return Err(CodecError::Malformed),
-            },
-            packets: rd.u64()?,
-            bytes: rd.u64()?,
-        },
+                other => {
+                    return Err(CodecError::BadTag {
+                        field: "flow_removed.reason",
+                        value: other as u32,
+                        offset: reason_at,
+                    })
+                }
+            };
+            Message::FlowRemoved {
+                table_id,
+                priority,
+                cookie,
+                reason,
+                packets: rd.u64()?,
+                bytes: rd.u64()?,
+            }
+        }
         13 => {
             let n = rd.u32()? as usize;
-            if n > rd.buf.len() {
-                return Err(CodecError::Truncated);
-            }
+            check_count(&rd, "barrier.xids", n)?;
             let mut xids = Vec::with_capacity(n);
             for _ in 0..n {
                 xids.push(rd.u32()?);
@@ -939,30 +1281,37 @@ pub fn decode(buf: &[u8]) -> Result<(Message, u32, usize)> {
         }
         14 => {
             let n = rd.u32()? as usize;
-            if n > rd.buf.len() {
-                return Err(CodecError::Truncated);
-            }
+            check_count(&rd, "barrier.applied", n)?;
             let mut applied = Vec::with_capacity(n);
             for _ in 0..n {
                 applied.push(rd.u32()?);
             }
             Message::BarrierReply { applied }
         }
-        15 => Message::StatsRequest {
-            kind: match rd.u8()? {
-                0 => StatsKind::Flow { table_id: rd.u8()? },
-                1 => StatsKind::Port { port_no: rd.u32()? },
-                2 => StatsKind::Table,
-                3 => StatsKind::Cache,
-                _ => return Err(CodecError::Malformed),
-            },
-        },
-        16 => {
-            let tag = rd.u8()?;
-            let n = rd.u32()? as usize;
-            if n > rd.buf.len() {
-                return Err(CodecError::Truncated);
+        15 => {
+            let tag_at = rd.pos();
+            Message::StatsRequest {
+                kind: match rd.u8()? {
+                    0 => StatsKind::Flow { table_id: rd.u8()? },
+                    1 => StatsKind::Port { port_no: rd.u32()? },
+                    2 => StatsKind::Table,
+                    3 => StatsKind::Cache,
+                    other => {
+                        return Err(CodecError::BadTag {
+                            field: "stats_request.kind",
+                            value: other as u32,
+                            offset: tag_at,
+                        })
+                    }
+                },
             }
+        }
+        16 => {
+            let tag_at = rd.pos();
+            let tag = rd.u8()?;
+            let count_at = rd.pos();
+            let n = rd.u32()? as usize;
+            check_count(&rd, "stats_reply.records", n)?;
             let body = match tag {
                 0 => {
                     let mut v = Vec::with_capacity(n);
@@ -1007,7 +1356,11 @@ pub fn decode(buf: &[u8]) -> Result<(Message, u32, usize)> {
                 }
                 3 => {
                     if n != 1 {
-                        return Err(CodecError::Malformed);
+                        return Err(CodecError::BadTag {
+                            field: "stats_reply.cache_count",
+                            value: n as u32,
+                            offset: count_at,
+                        });
                     }
                     StatsBody::Cache(CacheStatsRec {
                         micro_hits: rd.u64()?,
@@ -1021,16 +1374,20 @@ pub fn decode(buf: &[u8]) -> Result<(Message, u32, usize)> {
                         entries: rd.u64()?,
                     })
                 }
-                _ => return Err(CodecError::Malformed),
+                other => {
+                    return Err(CodecError::BadTag {
+                        field: "stats_reply.kind",
+                        value: other as u32,
+                        offset: tag_at,
+                    })
+                }
             };
             Message::StatsReply { body }
         }
         17 => {
             let generation = rd.u64()?;
             let n = rd.u32()? as usize;
-            if n > rd.buf.len() {
-                return Err(CodecError::Truncated);
-            }
+            check_count(&rd, "resync.cookies", n)?;
             let mut cookies = Vec::with_capacity(n);
             for _ in 0..n {
                 cookies.push(CookieCount {
@@ -1058,9 +1415,7 @@ pub fn decode(buf: &[u8]) -> Result<(Message, u32, usize)> {
             let replica = rd.u32()?;
             let term = rd.u64()?;
             let n = rd.u32()? as usize;
-            if n > rd.buf.len() {
-                return Err(CodecError::Truncated);
-            }
+            check_count(&rd, "ew.acks", n)?;
             let mut acks = Vec::with_capacity(n);
             for _ in 0..n {
                 let origin = rd.u32()?;
@@ -1076,19 +1431,17 @@ pub fn decode(buf: &[u8]) -> Result<(Message, u32, usize)> {
         22 => {
             let replica = rd.u32()?;
             let n = rd.u32()? as usize;
-            if n > rd.buf.len() {
-                return Err(CodecError::Truncated);
-            }
+            check_count(&rd, "ew.entries", n)?;
             let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
                 entries.push(get_ew_entry(&mut rd)?);
             }
             Message::EwEvents { replica, entries }
         }
-        other => return Err(CodecError::UnknownType(other)),
+        other => return Err(CodecError::UnknownType { found: other }),
     };
     rd.finish()?;
-    Ok((msg, xid, length))
+    Ok((MessageView::Owned(msg), xid, length))
 }
 
 /// Reassembles framed messages from an arbitrary-boundary byte stream.
@@ -1119,7 +1472,7 @@ impl FrameAssembler {
         let length = u32::from_be_bytes(self.buf[2..6].try_into().unwrap()) as usize;
         if length < HEADER_LEN {
             self.buf.clear(); // unrecoverable framing error
-            return Some(Err(CodecError::Malformed));
+            return Some(Err(CodecError::BadLength { claimed: length }));
         }
         if self.buf.len() < length {
             return None;
@@ -1421,18 +1774,130 @@ mod tests {
         }
     }
 
+    /// The borrowed view's payload slices alias the receive buffer —
+    /// the zero-copy contract — and agree with the owned decode.
+    #[test]
+    fn view_borrows_receive_buffer() {
+        let frame: Vec<u8> = (0..200u8).collect();
+        let bytes = encode(
+            &Message::PacketIn {
+                in_port: 9,
+                table_id: 1,
+                is_miss: false,
+                frame: frame.clone(),
+            },
+            55,
+        );
+        let (view, xid, consumed) = decode_view(&bytes).unwrap();
+        assert_eq!(xid, 55);
+        assert_eq!(consumed, bytes.len());
+        let MessageView::PacketIn {
+            in_port,
+            table_id,
+            is_miss,
+            frame: got,
+        } = &view
+        else {
+            panic!("expected a PacketIn view");
+        };
+        assert_eq!((*in_port, *table_id, *is_miss), (9, 1, false));
+        assert_eq!(*got, &frame[..]);
+        // Same allocation: the slice points into `bytes`, not a copy.
+        let buf_range = bytes.as_ptr() as usize..bytes.as_ptr() as usize + bytes.len();
+        assert!(buf_range.contains(&(got.as_ptr() as usize)));
+        assert_eq!(
+            view.into_message(),
+            Message::PacketIn {
+                in_port: 9,
+                table_id: 1,
+                is_miss: false,
+                frame,
+            }
+        );
+    }
+
+    /// Every sample decodes to a view that materializes back to the
+    /// original message, and hot types actually get borrowed variants.
+    #[test]
+    fn view_roundtrip_every_message() {
+        for (i, msg) in samples().into_iter().enumerate() {
+            let bytes = encode(&msg, i as u32);
+            let (view, _, _) = decode_view(&bytes).unwrap_or_else(|e| panic!("msg {i}: {e}"));
+            match (&view, &msg) {
+                (MessageView::Owned(_), Message::PacketIn { .. })
+                | (MessageView::Owned(_), Message::PacketOut { .. })
+                | (MessageView::Owned(_), Message::Error { .. }) => {
+                    panic!("msg {i}: hot type decoded to an owned view")
+                }
+                _ => {}
+            }
+            assert_eq!(view.into_message(), msg, "message {i}");
+        }
+    }
+
+    /// The borrowed-frame PACKET_OUT encoder is byte-identical to the
+    /// general encoder.
+    #[test]
+    fn packet_out_fast_path_matches_encode() {
+        let actions = vec![Action::Output(3), Action::DecTtl];
+        let frame = vec![7u8; 90];
+        let via_msg = encode(
+            &Message::PacketOut {
+                in_port: 2,
+                actions: actions.clone(),
+                frame: frame.clone(),
+            },
+            1234,
+        );
+        assert_eq!(encode_packet_out(2, &actions, &frame, 1234), via_msg);
+    }
+
+    #[test]
+    fn truncation_errors_carry_offsets() {
+        let bytes = encode(&Message::EchoRequest { token: 7 }, 1);
+        // A stream cut mid-frame reports the whole-frame shortfall.
+        let err = decode(&bytes[..HEADER_LEN + 3]).unwrap_err();
+        assert!(err.is_truncated());
+        assert_eq!(
+            err,
+            CodecError::Truncated {
+                offset: 0,
+                needed: bytes.len(),
+                available: HEADER_LEN + 3,
+            }
+        );
+        // A corrupted length field that cuts the body mid-token
+        // reports the absolute offset of the failing read.
+        let mut short = bytes.clone();
+        short[2..6].copy_from_slice(&((HEADER_LEN + 3) as u32).to_be_bytes());
+        assert_eq!(
+            decode(&short).unwrap_err(),
+            CodecError::Truncated {
+                offset: HEADER_LEN,
+                needed: 8,
+                available: 3,
+            }
+        );
+    }
+
     #[test]
     fn rejects_bad_version() {
         let mut bytes = encode(&Message::BarrierRequest { xids: vec![] }, 1);
         bytes[0] = 99;
-        assert_eq!(decode(&bytes).unwrap_err(), CodecError::BadVersion(99));
+        assert_eq!(
+            decode(&bytes).unwrap_err(),
+            CodecError::BadVersion { found: 99 }
+        );
     }
 
     #[test]
     fn rejects_unknown_type() {
         let mut bytes = encode(&Message::BarrierRequest { xids: vec![] }, 1);
         bytes[1] = 200;
-        assert_eq!(decode(&bytes).unwrap_err(), CodecError::UnknownType(200));
+        assert_eq!(
+            decode(&bytes).unwrap_err(),
+            CodecError::UnknownType { found: 200 }
+        );
     }
 
     #[test]
@@ -1539,7 +2004,14 @@ mod tests {
         let at = HEADER_LEN + 1 + 2 + 8;
         assert_eq!(bytes[at], 3, "layout assumption");
         bytes[at] = 4;
-        assert_eq!(decode(&bytes).unwrap_err(), CodecError::Malformed);
+        assert_eq!(
+            decode(&bytes).unwrap_err(),
+            CodecError::BadTag {
+                field: "flow_removed.reason",
+                value: 4,
+                offset: at,
+            }
+        );
     }
 
     #[test]
@@ -1549,7 +2021,10 @@ mod tests {
         bytes.extend_from_slice(&[0; 4]);
         let len = bytes.len() as u32;
         bytes[2..6].copy_from_slice(&len.to_be_bytes());
-        assert_eq!(decode(&bytes).unwrap_err(), CodecError::Malformed);
+        assert!(matches!(
+            decode(&bytes).unwrap_err(),
+            CodecError::TrailingBytes { trailing: 4, .. }
+        ));
     }
 
     #[test]
@@ -1582,7 +2057,10 @@ mod tests {
         let mut bad = encode(&Message::BarrierRequest { xids: vec![] }, 1);
         bad[2..6].copy_from_slice(&3u32.to_be_bytes()); // length < header
         asm.push(&bad);
-        assert!(matches!(asm.next(), Some(Err(CodecError::Malformed))));
+        assert!(matches!(
+            asm.next(),
+            Some(Err(CodecError::BadLength { claimed: 3 }))
+        ));
         // The assembler cleared; new valid traffic parses.
         asm.push(&encode(&Message::BarrierReply { applied: vec![] }, 2));
         assert!(

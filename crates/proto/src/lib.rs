@@ -31,7 +31,10 @@
 
 pub mod codec;
 
-pub use codec::{decode, encode, CodecError, FrameAssembler};
+pub use codec::{
+    decode, decode_view, encode, encode_packet_out, CodecError, FrameAssembler, MessageView,
+    HEADER_LEN,
+};
 
 use zen_dataplane::{FlowMatch, FlowSpec, GroupDesc, PortNo};
 

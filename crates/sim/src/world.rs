@@ -293,6 +293,13 @@ struct CoreState {
     control_jitter: Duration,
     faults: FaultPlan,
     events_processed: u64,
+    /// Control writes buffered during the event currently dispatching,
+    /// keyed by (destination, delivery latency in ns). Flushed at the
+    /// end of the dispatch as one concatenated Control event per key —
+    /// the write coalescing a stream socket gives back-to-back sends.
+    /// Fault-duplicated copies bypass the buffer (each is its own
+    /// delivery, so duplicates can still reorder under jitter).
+    pending_control: BTreeMap<(NodeId, u64), (NodeId, Vec<u8>)>,
 }
 
 impl CoreState {
@@ -305,6 +312,19 @@ impl CoreState {
             node,
             kind,
         }));
+    }
+
+    /// Deliver the control writes buffered during the event just
+    /// handled: one concatenated Control event per (destination,
+    /// latency) key, in deterministic key order.
+    fn flush_control(&mut self) {
+        if self.pending_control.is_empty() {
+            return;
+        }
+        for ((to, latency_ns), (from, bytes)) in std::mem::take(&mut self.pending_control) {
+            let at = self.now + Duration::from_nanos(latency_ns);
+            self.push(at, to, EventKind::Control { from, bytes });
+        }
     }
 
     fn transmit(&mut self, from: NodeId, port: PortNo, frame: Vec<u8>) {
@@ -409,6 +429,14 @@ impl Context<'_> {
 
     /// Send an out-of-band control message to another node.
     ///
+    /// Messages sent to the same peer while handling a single event are
+    /// *coalesced*: all writes that drew the same delivery latency
+    /// arrive as one concatenated `on_control` delivery, the way a
+    /// stream socket batches back-to-back writes. Receivers must
+    /// loop-decode (every protocol endpoint in this workspace does).
+    /// Fault draws (loss, duplication) still happen per logical
+    /// message.
+    ///
     /// When control jitter is configured (see
     /// [`World::set_control_jitter`]) each message independently draws a
     /// uniform extra delay, so messages may be *reordered* — the
@@ -442,28 +470,38 @@ impl Context<'_> {
         self.core
             .metrics
             .add(self.core.ids.control_bytes, bytes.len() as u64);
-        let mut remaining = Some(bytes);
-        for copy in 0..copies {
-            let mut latency = self.core.control_latency_for(from, to);
-            let jitter = self.core.control_jitter.as_nanos();
+        let draw_latency = |core: &mut CoreState| {
+            let mut latency = core.control_latency_for(from, to);
+            let jitter = core.control_jitter.as_nanos();
             if jitter > 0 {
                 // Each copy draws its own jitter, so duplicates reorder.
-                latency += Duration::from_nanos(self.core.rng.gen_range(jitter));
+                latency += Duration::from_nanos(core.rng.gen_range(jitter));
             }
-            let at = self.core.now + latency;
-            let payload = if copy + 1 < copies {
-                remaining.clone().unwrap()
-            } else {
-                remaining.take().unwrap()
-            };
+            latency
+        };
+        // Fault-duplicated copies are their own deliveries.
+        for _ in 1..copies {
+            let at = self.core.now + draw_latency(self.core);
             self.core.push(
                 at,
                 to,
                 EventKind::Control {
                     from,
-                    bytes: payload,
+                    bytes: bytes.clone(),
                 },
             );
+        }
+        // Primary copy: coalesced with every other write this handler
+        // makes to `to` at the same latency; delivered as one Control
+        // event when the handler returns.
+        let latency = draw_latency(self.core);
+        match self.core.pending_control.entry((to, latency.as_nanos())) {
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert((from, bytes));
+            }
+            std::collections::btree_map::Entry::Occupied(mut slot) => {
+                slot.get_mut().1.extend_from_slice(&bytes);
+            }
         }
     }
 
@@ -544,6 +582,7 @@ impl World {
                 control_jitter: Duration::ZERO,
                 faults: FaultPlan::default(),
                 events_processed: 0,
+                pending_control: BTreeMap::new(),
             },
             started: false,
         }
@@ -829,6 +868,7 @@ impl World {
             }
         }
         self.nodes[idx] = Some(node);
+        self.core.flush_control();
     }
 
     /// Run until the queue is empty or simulated time would exceed
