@@ -37,6 +37,12 @@ cargo test --release -p zen-core --test pressure -- --ignored --nocapture
 # floor and a byte-identical replay of every deterministic observable.
 cargo test --release -p zen-core --test saturation -- --ignored --nocapture
 
+# Defense soak: fixed-seed 10x PACKET_IN flood from one rogue edge port
+# against the defended fabric (agent punt meter + controller admission
+# + push-back), asserting bounded innocent black-hole time, zero lost
+# acks, a starving undefended contrast, and a byte-identical replay.
+cargo test --release -p zen-core --test defense -- --ignored --nocapture
+
 # E17 saturation bench, quick matrix: writes target/BENCH_E17.json
 # (uploaded as a CI artifact) and fails if peak closed-loop setups/sec
 # regresses more than 20% below the committed baseline. The baseline
@@ -44,3 +50,9 @@ cargo test --release -p zen-core --test saturation -- --ignored --nocapture
 # package directory.
 BENCH_E17_QUICK=1 BENCH_E17_BASELINE="$(pwd)/ci/BENCH_E17.baseline.json" \
     cargo bench -p zen-bench --bench expt_saturation
+
+# E18 storm bench, quick matrix: writes target/BENCH_E18.json (uploaded
+# as a CI artifact) and fails if the attack-mode defended innocent
+# setups/sec regresses more than 20% below the committed baseline.
+BENCH_E18_QUICK=1 BENCH_E18_BASELINE="$(pwd)/ci/BENCH_E18.baseline.json" \
+    cargo bench -p zen-bench --bench expt_storm

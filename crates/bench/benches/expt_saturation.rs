@@ -128,6 +128,7 @@ fn build(n_switches: usize, mode: CbenchMode) -> (World, NodeId, Vec<NodeId>) {
         mode,
         sources: SOURCES,
         payload_len: 64,
+        ..CbenchConfig::default()
     };
     let switches = (0..n_switches)
         .map(|dpid| world.add_node(Box::new(CbenchSwitch::new(dpid as u64, controller, cfg))))

@@ -62,6 +62,21 @@ pub struct AgentConfig {
     /// the overflow policy a full table follows. `None` = unbounded
     /// (the classic behaviour).
     pub table_limit: Option<(usize, OverflowPolicy)>,
+    /// Punt-path self-defense: a token bucket on PACKET_INs toward the
+    /// master. Punts over the budget are shed *at the switch* — they
+    /// never cross the control channel, so a local PACKET_IN storm
+    /// cannot monopolize the controller. `None` = unmetered (the
+    /// classic behaviour).
+    pub punt_meter: Option<PuntMeterConfig>,
+}
+
+/// Budget for the agent's punt-path meter ([`AgentConfig::punt_meter`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PuntMeterConfig {
+    /// Sustained PACKET_INs per second toward the master.
+    pub rate_pps: u64,
+    /// Burst allowance, in PACKET_INs.
+    pub burst: u64,
 }
 
 impl Default for AgentConfig {
@@ -72,6 +87,7 @@ impl Default for AgentConfig {
             miss_limit: 4,
             policy: ConnLossPolicy::FailStandalone,
             table_limit: None,
+            punt_meter: None,
         }
     }
 }
@@ -105,6 +121,9 @@ pub struct AgentStats {
     /// Capacity evictions reported to the master as
     /// `FlowRemoved { reason: Eviction }` (evict policy).
     pub evictions_reported: u64,
+    /// PACKET_INs shed at the agent's punt-path meter before
+    /// transmission ([`AgentConfig::punt_meter`]).
+    pub punts_metered: u64,
 }
 
 /// One control connection of a (possibly multi-homed) agent.
@@ -160,6 +179,10 @@ pub struct SwitchAgent {
     applied_xids: std::collections::BTreeSet<u32>,
     echo_token: u64,
     xid: u32,
+    /// Token bucket gating PACKET_INs, when configured.
+    punt_meter: Option<zen_dataplane::Meter>,
+    /// Cached metric handle for `defense.agent_punts_shed`.
+    punt_shed_cid: Option<zen_sim::CounterId>,
     /// Counters.
     pub stats: AgentStats,
 }
@@ -218,6 +241,10 @@ impl SwitchAgent {
             applied_xids: std::collections::BTreeSet::new(),
             echo_token: 0,
             xid: 1,
+            punt_meter: cfg
+                .punt_meter
+                .map(|m| zen_dataplane::Meter::per_packet(m.rate_pps, m.burst)),
+            punt_shed_cid: None,
             stats: AgentStats::default(),
         }
     }
@@ -369,6 +396,33 @@ impl SwitchAgent {
                             self.stats.disconnected_drops += 1;
                         }
                         continue;
+                    }
+                    if let Some(meter) = self.punt_meter.as_mut() {
+                        if !meter.allow_one(ctx.now().as_nanos()) {
+                            // Over the punt budget: shed locally. The
+                            // frame was already forwarded/dropped by the
+                            // datapath's miss policy; only the
+                            // controller notification is suppressed.
+                            self.stats.punts_metered += 1;
+                            let cid = *self.punt_shed_cid.get_or_insert_with(|| {
+                                ctx.metrics().register_counter("defense.agent_punts_shed")
+                            });
+                            ctx.metrics().incr(cid);
+                            let rec = ctx.recorder();
+                            if rec.is_enabled() {
+                                if let Some(tid) = trace_id_for_frame(&frame) {
+                                    rec.record(
+                                        ctx.now().as_nanos(),
+                                        tid,
+                                        TraceEvent::PuntShed {
+                                            dpid: self.dp.dpid,
+                                            at_agent: true,
+                                        },
+                                    );
+                                }
+                            }
+                            continue;
+                        }
                     }
                     self.stats.packet_ins += 1;
                     {

@@ -71,6 +71,13 @@ pub struct CbenchConfig {
     pub sources: usize,
     /// UDP payload bytes per punted frame.
     pub payload_len: usize,
+    /// Most punts allowed to await their FLOW_MOD at once. In open-loop
+    /// mode against a controller that falls behind — or one that sheds
+    /// punts by design (admission control) — the FIFO would otherwise
+    /// grow without bound and pair shed punts' timestamps with later
+    /// FLOW_MODs, poisoning the latency series. Overflow evicts the
+    /// oldest punt and counts it in [`CbenchStats::setups_lost`].
+    pub in_flight_cap: usize,
 }
 
 impl Default for CbenchConfig {
@@ -79,6 +86,7 @@ impl Default for CbenchConfig {
             mode: CbenchMode::Closed { outstanding: 8 },
             sources: 64,
             payload_len: 64,
+            in_flight_cap: 4096,
         }
     }
 }
@@ -101,6 +109,12 @@ pub struct CbenchStats {
     pub echoes: u64,
     /// Messages that failed to decode (always 0 on a healthy channel).
     pub decode_errors: u64,
+    /// Punts whose FLOW_MOD never arrived before
+    /// [`CbenchConfig::in_flight_cap`] later punts were sent — shed by
+    /// controller admission control or left behind by a saturated
+    /// controller. Their ages are excluded from both latency series so
+    /// defended runs report honest percentiles.
+    pub setups_lost: u64,
 }
 
 /// An emulated switch that floods a controller with PACKET_INs.
@@ -194,6 +208,13 @@ impl CbenchSwitch {
         self.stats.punts_sent += 1;
         self.in_flight
             .push_back((ctx.now(), std::time::Instant::now()));
+        if self.in_flight.len() > self.cfg.in_flight_cap.max(1) {
+            // The oldest punt's FLOW_MOD evidently isn't coming: count
+            // it as a lost setup instead of letting FIFO pairing hand
+            // its age to a later completion.
+            self.in_flight.pop_front();
+            self.stats.setups_lost += 1;
+        }
         self.send(
             ctx,
             &Message::PacketIn {

@@ -7,10 +7,10 @@
 //! dispatches everything else to the application chain.
 
 use std::any::Any;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use zen_cluster::{Admit, ClusterConfig, EwStore, Membership};
-use zen_dataplane::{FlowSpec, GroupDesc, PortNo};
+use zen_dataplane::{FlowMatch, FlowSpec, GroupDesc, Meter, PortNo};
 use zen_proto::{
     decode_view, encode, encode_packet_out, CookieCount, ErrorCode, FlowModCmd, GroupModCmd,
     Message, MessageView, MeterModCmd, Role, ViewEvent,
@@ -18,12 +18,28 @@ use zen_proto::{
 use zen_sim::{Context, Duration, Instant, Node, NodeId};
 use zen_telemetry::{control_trace, trace_id_for_frame, TraceEvent, TraceId};
 use zen_wire::ethernet::{EtherType, Frame};
-use zen_wire::{arp, ipv4, lldp};
+use zen_wire::{arp, ipv4, lldp, EthernetAddress};
 
 use crate::app::{App, Disposition};
 use crate::view::{Dpid, NetworkView};
 
 const TIMER_TICK: u64 = 1;
+/// Fair-queue drain timer for deferred PACKET_INs (admission control).
+const TIMER_ADMIT: u64 = 2;
+
+/// Cookie carried by push-back drop rules so they are recognizable in
+/// flow dumps, FLOW_REMOVED notices, and per-cookie stats.
+pub const PUSHBACK_COOKIE: u64 = 0xDEFE_2E00;
+
+/// Priority of push-back drop rules: above every forwarding app (L2
+/// learning and the reactive/proactive fabrics install below 100),
+/// below explicit ACL denies (200) so operator policy still wins.
+pub const PUSHBACK_PRIORITY: u16 = 190;
+
+/// Eviction importance of push-back rules: a loaded table sheds churn
+/// flows (importance 0) and even fabric rules (100) before it sheds
+/// its own defenses, but operator ACLs (200) outrank them.
+pub const PUSHBACK_IMPORTANCE: u16 = 150;
 
 /// Cap on east-west entries gossiped to one peer per tick; the rest go
 /// out on following ticks (the ack-driven suffix resend makes this safe).
@@ -48,6 +64,9 @@ pub struct ControllerConfig {
     pub mod_timeout: Duration,
     /// Retransmission attempts before a mod is counted as failed.
     pub mod_max_retries: u32,
+    /// Controller-side PACKET_IN admission control. `None` = every
+    /// punt is dispatched immediately (the classic behaviour).
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for ControllerConfig {
@@ -59,6 +78,62 @@ impl Default for ControllerConfig {
             agent_dead_after: Duration::from_millis(300),
             mod_timeout: Duration::from_millis(150),
             mod_max_retries: 8,
+            admission: None,
+        }
+    }
+}
+
+/// Controller-side PACKET_IN admission control: per-switch token
+/// buckets with fair-queued overflow, so one switch's punt storm can
+/// neither starve the other switches nor monopolize the controller.
+///
+/// Punts within a switch's budget dispatch immediately. Over-budget
+/// punts are *deferred* into that switch's bounded queue and released
+/// by a round-robin drain timer — every switch gets an equal share of
+/// leftover capacity regardless of who is noisiest. When a queue
+/// overflows, the excess is *shed*, and each shed or deferred punt is
+/// charged to its `(ingress port, source MAC)`; past
+/// [`AdmissionConfig::pushback_threshold`] the controller *pushes
+/// back*, installing a targeted drop rule (cookie
+/// [`PUSHBACK_COOKIE`]) on the offending ingress so the storm dies at
+/// the edge instead of in the control plane. LLDP discovery returns
+/// bypass the meter entirely: topology must stay alive precisely when
+/// the fleet is under attack.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Sustained PACKET_INs per second admitted directly, per switch.
+    pub rate_pps: u64,
+    /// Burst allowance per switch, in PACKET_INs.
+    pub burst: u64,
+    /// Per-switch deferred-punt queue capacity; overflow is shed.
+    pub queue_cap: usize,
+    /// Period of the fair-queue drain timer.
+    pub drain_interval: Duration,
+    /// Deferred punts released per drain, round-robin across switches.
+    pub drain_batch: usize,
+    /// Deferred-or-shed punts charged to one `(ingress, source MAC)`
+    /// within [`AdmissionConfig::pushback_window`] before a drop rule
+    /// is installed there. `0` disables push-back.
+    pub pushback_threshold: u64,
+    /// Offender accounting window (counts reset at this period).
+    pub pushback_window: Duration,
+    /// Hard timeout of installed push-back drop rules; a persistent
+    /// attacker is re-pinned when the rule lapses and the storm
+    /// resumes.
+    pub pushback_hold: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            rate_pps: 2_000,
+            burst: 256,
+            queue_cap: 512,
+            drain_interval: Duration::from_millis(1),
+            drain_batch: 64,
+            pushback_threshold: 200,
+            pushback_window: Duration::from_millis(1_000),
+            pushback_hold: Duration::from_millis(2_000),
         }
     }
 }
@@ -122,6 +197,17 @@ pub struct CtlStats {
     /// FLOW_REMOVED notices with reason Eviction: entries a switch
     /// displaced to make room under the evict overflow policy.
     pub evictions_noted: u64,
+    /// PACKET_INs admitted directly by admission control (within the
+    /// per-switch budget; stays 0 when admission is disabled).
+    pub punts_admitted: u64,
+    /// PACKET_INs deferred into the per-switch fair queue.
+    pub punts_deferred: u64,
+    /// Deferred PACKET_INs later dispatched by the drain timer.
+    pub punts_drained: u64,
+    /// PACKET_INs shed because the per-switch queue was full.
+    pub punts_shed: u64,
+    /// Push-back drop rules installed on offending ingress ports.
+    pub pushbacks_installed: u64,
 }
 
 /// Runtime state of one replica in a controller cluster.
@@ -138,6 +224,61 @@ struct ClusterState {
     /// the owning app's desired program. A replica gaining mastership
     /// reprograms only when its own desired hash disagrees.
     program_stamps: BTreeMap<(Dpid, u64), u64>,
+}
+
+/// Runtime state of PACKET_IN admission control
+/// ([`ControllerConfig::admission`]).
+struct AdmissionState {
+    cfg: AdmissionConfig,
+    /// Per-switch punt meters (packet-rate token buckets), keyed by
+    /// control-channel peer so unmetered traffic cannot hide behind a
+    /// not-yet-registered dpid.
+    meters: BTreeMap<NodeId, Meter>,
+    /// Per-switch deferred punts: (ingress port, owned frame).
+    queues: BTreeMap<NodeId, VecDeque<(PortNo, Vec<u8>)>>,
+    /// Round-robin position: the switch served last; the drain resumes
+    /// after it.
+    cursor: Option<NodeId>,
+    /// Deferred-or-shed punt counts per (switch, ingress, source MAC)
+    /// in the current push-back window.
+    offenders: BTreeMap<(NodeId, PortNo, [u8; 6]), u64>,
+    /// When the current offender window opened.
+    window_started: Instant,
+    /// Push-back rules believed live: (switch, ingress, source MAC) →
+    /// install time. An entry lapses with the rule's hard timeout, so
+    /// a persistent offender is re-pinned on its next threshold cross.
+    active_pushbacks: BTreeMap<(NodeId, PortNo, [u8; 6]), Instant>,
+    /// Cached metric handles: [admitted, deferred, drained, shed].
+    cids: Option<[zen_sim::CounterId; 4]>,
+}
+
+impl AdmissionState {
+    fn new(cfg: AdmissionConfig) -> AdmissionState {
+        AdmissionState {
+            cfg,
+            meters: BTreeMap::new(),
+            queues: BTreeMap::new(),
+            cursor: None,
+            offenders: BTreeMap::new(),
+            window_started: Instant::ZERO,
+            active_pushbacks: BTreeMap::new(),
+            cids: None,
+        }
+    }
+
+    /// The typed counters, registered on first use: [admitted,
+    /// deferred, drained, shed].
+    fn counters(&mut self, ctx: &mut Context<'_>) -> [zen_sim::CounterId; 4] {
+        *self.cids.get_or_insert_with(|| {
+            let m = ctx.metrics();
+            [
+                m.register_counter("defense.ctl_punts_admitted"),
+                m.register_counter("defense.ctl_punts_deferred"),
+                m.register_counter("defense.ctl_punts_drained"),
+                m.register_counter("defense.ctl_punts_shed"),
+            ]
+        })
+    }
 }
 
 /// A flow/group/meter mod awaiting barrier acknowledgement.
@@ -402,6 +543,8 @@ pub struct Controller {
     agent_generations: BTreeMap<Dpid, u64>,
     /// Present when this controller is a replica in a cluster.
     cluster: Option<ClusterState>,
+    /// Present when `cfg.admission` is set.
+    admission: Option<AdmissionState>,
     xid: u32,
     /// Counters.
     pub stats: CtlStats,
@@ -430,6 +573,7 @@ impl Controller {
             features_requested: BTreeMap::new(),
             agent_generations: BTreeMap::new(),
             cluster: None,
+            admission: cfg.admission.map(AdmissionState::new),
             xid: 1,
             stats: CtlStats::default(),
         }
@@ -1077,6 +1221,83 @@ impl Controller {
         if self.view.is_quarantined(dpid) {
             self.maybe_request_resync(ctx, dpid);
         }
+        // Admission control: charge the per-switch punt budget before
+        // anything downstream costs a cycle. Over-budget punts are
+        // deferred to this switch's fair queue; queue overflow is shed
+        // and charged to the offending (ingress, source MAC).
+        let mut offenders_over: Vec<(PortNo, [u8; 6])> = Vec::new();
+        let admitted: Vec<(PortNo, &[u8])> = if let Some(adm) = self.admission.as_mut() {
+            let now = ctx.now();
+            let cids = adm.counters(ctx);
+            let recording = ctx.recorder().is_enabled();
+            let meter = adm
+                .meters
+                .entry(from)
+                .or_insert_with(|| Meter::per_packet(adm.cfg.rate_pps, adm.cfg.burst));
+            let mut admitted = Vec::with_capacity(punts.len());
+            for &(in_port, frame) in punts {
+                // Discovery returns bypass the meter: losing topology
+                // under attack would turn one hostile port into a
+                // fabric-wide outage.
+                let is_lldp = frame.len() >= 14 && frame[12..14] == [0x88, 0xcc];
+                if is_lldp {
+                    admitted.push((in_port, frame));
+                    continue;
+                }
+                if meter.allow_one(now.as_nanos()) {
+                    admitted.push((in_port, frame));
+                    self.stats.punts_admitted += 1;
+                    ctx.metrics().incr(cids[0]);
+                    continue;
+                }
+                // Over budget: defer or shed, and charge the offender.
+                let src_mac: [u8; 6] = frame
+                    .get(6..12)
+                    .and_then(|b| b.try_into().ok())
+                    .unwrap_or([0u8; 6]);
+                let queue = adm.queues.entry(from).or_default();
+                let deferred = queue.len() < adm.cfg.queue_cap;
+                if deferred {
+                    queue.push_back((in_port, frame.to_vec()));
+                    self.stats.punts_deferred += 1;
+                    ctx.metrics().incr(cids[1]);
+                } else {
+                    self.stats.punts_shed += 1;
+                    ctx.metrics().incr(cids[3]);
+                }
+                if recording {
+                    let tid = trace_id_for_frame(frame).unwrap_or_else(|| control_trace(dpid));
+                    let event = if deferred {
+                        TraceEvent::PuntDeferred { dpid }
+                    } else {
+                        TraceEvent::PuntShed {
+                            dpid,
+                            at_agent: false,
+                        }
+                    };
+                    ctx.recorder().record(now.as_nanos(), tid, event);
+                }
+                if adm.cfg.pushback_threshold > 0 {
+                    let count = adm.offenders.entry((from, in_port, src_mac)).or_insert(0);
+                    *count += 1;
+                    if *count == adm.cfg.pushback_threshold {
+                        offenders_over.push((in_port, src_mac));
+                    }
+                }
+            }
+            admitted
+        } else {
+            punts.to_vec()
+        };
+        if !offenders_over.is_empty() {
+            self.install_pushbacks(ctx, from, dpid, offenders_over);
+        }
+        self.deliver_punts(ctx, dpid, &admitted);
+    }
+
+    /// Dispatch already-admitted punts from `dpid`: fold them into the
+    /// view (LLDP, host learning) and hand survivors to the app chain.
+    fn deliver_punts(&mut self, ctx: &mut Context<'_>, dpid: Dpid, punts: &[(PortNo, &[u8])]) {
         // Stragglers: punts routed here while mastership was in flight
         // are still good observations (learned below), but only the
         // master drives the datapath in response.
@@ -1131,6 +1352,135 @@ impl Controller {
                 }
             }
         });
+    }
+
+    /// Push back: install a targeted drop rule for each offender that
+    /// crossed the admission threshold, pinning its (ingress port,
+    /// source MAC) at the switch for `pushback_hold`. The rule rides
+    /// the normal tracked send path, so it is barrier-acked,
+    /// retransmitted on loss, and visible in the cookie shadow.
+    fn install_pushbacks(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        dpid: Dpid,
+        offenders: Vec<(PortNo, [u8; 6])>,
+    ) {
+        if !self.is_master_of(dpid) {
+            return;
+        }
+        let now = ctx.now();
+        let (hold, threshold) = match self.admission.as_ref() {
+            Some(adm) => (adm.cfg.pushback_hold, adm.cfg.pushback_threshold),
+            None => return,
+        };
+        if threshold == 0 {
+            return;
+        }
+        for (port, mac) in offenders {
+            // Debounce: skip offenders whose drop rule should still be
+            // live (the agent hard-expires it at `hold`, and our
+            // bookkeeping lapses on the same clock).
+            let adm = self.admission.as_mut().expect("checked");
+            let live = adm
+                .active_pushbacks
+                .get(&(from, port, mac))
+                .is_some_and(|&at| now.duration_since(at) < hold);
+            if live {
+                continue;
+            }
+            adm.active_pushbacks.insert((from, port, mac), now);
+            self.stats.pushbacks_installed += 1;
+            let cid = ctx
+                .metrics()
+                .register_counter("defense.pushbacks_installed");
+            ctx.metrics().incr(cid);
+            if ctx.recorder().is_enabled() {
+                ctx.recorder().record(
+                    now.as_nanos(),
+                    control_trace(dpid),
+                    TraceEvent::PushbackInstalled { dpid, port },
+                );
+            }
+            let spec = FlowSpec::new(
+                PUSHBACK_PRIORITY,
+                FlowMatch {
+                    in_port: Some(port),
+                    eth_src: Some(EthernetAddress(mac)),
+                    ..FlowMatch::ANY
+                },
+                Vec::new(), // no actions = drop
+            )
+            .with_timeouts(0, hold.as_nanos())
+            .with_cookie(PUSHBACK_COOKIE)
+            .with_importance(PUSHBACK_IMPORTANCE);
+            self.with_apps(ctx, |_, ctl| {
+                ctl.install_flow(dpid, 0, spec);
+            });
+        }
+    }
+
+    /// Release deferred punts, one per switch per round (round-robin
+    /// from the cursor), up to `drain_batch` per firing — the fair
+    /// share of leftover controller capacity. Also rolls the offender
+    /// window.
+    fn admission_drain(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let drained: Vec<(NodeId, PortNo, Vec<u8>)> = {
+            let Some(adm) = self.admission.as_mut() else {
+                return;
+            };
+            if now.duration_since(adm.window_started) >= adm.cfg.pushback_window {
+                adm.offenders.clear();
+                adm.window_started = now;
+            }
+            let mut budget = adm.cfg.drain_batch;
+            let mut drained = Vec::new();
+            while budget > 0 {
+                let keys: Vec<NodeId> = adm
+                    .queues
+                    .iter()
+                    .filter(|(_, q)| !q.is_empty())
+                    .map(|(&k, _)| k)
+                    .collect();
+                if keys.is_empty() {
+                    break;
+                }
+                let start = match adm.cursor {
+                    Some(c) => keys.iter().position(|&k| k > c).unwrap_or(0),
+                    None => 0,
+                };
+                for i in 0..keys.len() {
+                    if budget == 0 {
+                        break;
+                    }
+                    let k = keys[(start + i) % keys.len()];
+                    if let Some((port, frame)) = adm.queues.get_mut(&k).and_then(|q| q.pop_front())
+                    {
+                        drained.push((k, port, frame));
+                        budget -= 1;
+                        adm.cursor = Some(k);
+                    }
+                }
+            }
+            adm.queues.retain(|_, q| !q.is_empty());
+            drained
+        };
+        if drained.is_empty() {
+            return;
+        }
+        let cids = match self.admission.as_mut() {
+            Some(adm) => adm.counters(ctx),
+            None => return,
+        };
+        for (node, in_port, frame) in drained {
+            let Some(&dpid) = self.rev_registry.get(&node) else {
+                continue;
+            };
+            self.stats.punts_drained += 1;
+            ctx.metrics().incr(cids[2]);
+            self.deliver_punts(ctx, dpid, &[(in_port, &frame[..])]);
+        }
     }
 
     fn handle_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Message, xid: u32) {
@@ -1515,9 +1865,19 @@ impl Controller {
 impl Node for Controller {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         ctx.set_timer(self.cfg.tick_interval, TIMER_TICK);
+        if let Some(adm) = &self.admission {
+            ctx.set_timer(adm.cfg.drain_interval, TIMER_ADMIT);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        if token == TIMER_ADMIT {
+            self.admission_drain(ctx);
+            self.flush_barriers(ctx);
+            if let Some(adm) = &self.admission {
+                ctx.set_timer(adm.cfg.drain_interval, TIMER_ADMIT);
+            }
+        }
         if token == TIMER_TICK {
             // Silent-failure detection: drop links whose LLDP confirmations
             // stopped arriving. Clustered, a replica only ages links whose

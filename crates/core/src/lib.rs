@@ -32,10 +32,13 @@ pub mod harness;
 pub mod snapshot;
 pub mod view;
 
-pub use agent::{AgentConfig, ConnLossPolicy, ConnState, SwitchAgent};
+pub use agent::{AgentConfig, ConnLossPolicy, ConnState, PuntMeterConfig, SwitchAgent};
 pub use app::{App, Disposition};
 pub use cbench::{CbenchConfig, CbenchMode, CbenchStats, CbenchSwitch};
-pub use controller::{Controller, ControllerConfig, Ctl, CtlStats};
+pub use controller::{
+    AdmissionConfig, Controller, ControllerConfig, Ctl, CtlStats, PUSHBACK_COOKIE,
+    PUSHBACK_IMPORTANCE, PUSHBACK_PRIORITY,
+};
 pub use harness::{
     build_cluster_fabric, build_cluster_fabric_with_hosts, build_fabric, build_fabric_with_hosts,
     Fabric, FabricOptions,

@@ -71,6 +71,7 @@ fn run_once() -> RunOutcome {
         },
         sources: 64,
         payload_len: 64,
+        ..CbenchConfig::default()
     };
     let switches: Vec<NodeId> = (0..SWITCHES)
         .map(|dpid| world.add_node(Box::new(CbenchSwitch::new(dpid as u64, controller, cfg))))

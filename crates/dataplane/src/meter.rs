@@ -11,6 +11,11 @@ pub struct Meter {
     burst_bytes: u64,
     /// Token level in *bits*, scaled to avoid rounding drift.
     tokens_bits: u64,
+    /// Sub-bit refill remainder in bit-nanoseconds (`elapsed * rate`
+    /// modulo 1e9), carried across refills so high-frequency polling
+    /// of a low-rate meter still accrues the configured rate instead
+    /// of truncating every partial bit to zero.
+    frac_bitnanos: u64,
     last_update: Nanos,
     /// Frames admitted.
     pub passed: u64,
@@ -25,10 +30,20 @@ impl Meter {
             rate_bps,
             burst_bytes,
             tokens_bits: burst_bytes * 8,
+            frac_bitnanos: 0,
             last_update: 0,
             passed: 0,
             dropped: 0,
         }
+    }
+
+    /// A meter counting *frames* instead of bytes: `rate_pps` frames
+    /// per second sustained with `burst_frames` of slack. Internally
+    /// one frame costs one bucket byte (8 bits); pair with
+    /// [`Meter::allow_one`]. Used on the punt path, where the cost of
+    /// a PACKET_IN is per-message, not per-byte.
+    pub fn per_packet(rate_pps: u64, burst_frames: u64) -> Meter {
+        Meter::new(rate_pps.saturating_mul(8), burst_frames)
     }
 
     /// The configured rate in bits/sec.
@@ -42,8 +57,22 @@ impl Meter {
         }
         let elapsed = now - self.last_update;
         self.last_update = now;
-        let add = (elapsed as u128 * self.rate_bps as u128 / 1_000_000_000) as u64;
-        self.tokens_bits = (self.tokens_bits + add).min(self.burst_bytes * 8);
+        let cap = self.burst_bytes * 8;
+        if self.tokens_bits >= cap {
+            // Already full: idle time must not bank a remainder, or a
+            // quiet period would mint a larger-than-burst first wave.
+            self.frac_bitnanos = 0;
+            return;
+        }
+        let total = elapsed as u128 * self.rate_bps as u128 + self.frac_bitnanos as u128;
+        let add = (total / 1_000_000_000).min(cap as u128) as u64;
+        self.tokens_bits = self.tokens_bits.saturating_add(add);
+        if self.tokens_bits >= cap {
+            self.tokens_bits = cap;
+            self.frac_bitnanos = 0;
+        } else {
+            self.frac_bitnanos = (total % 1_000_000_000) as u64;
+        }
     }
 
     /// Offer a frame of `len` bytes at time `now`; `true` admits it.
@@ -58,6 +87,12 @@ impl Meter {
             self.dropped += 1;
             false
         }
+    }
+
+    /// Offer one frame at `now`, charging a single packet token (for
+    /// meters built with [`Meter::per_packet`]).
+    pub fn allow_one(&mut self, now: Nanos) -> bool {
+        self.allow(now, 1)
     }
 }
 
@@ -110,5 +145,58 @@ mod tests {
         assert!(meter.allow(1_000_000_000, 100));
         // An out-of-order timestamp must not mint tokens.
         assert!(!meter.allow(500_000_000, 100));
+    }
+
+    #[test]
+    fn high_frequency_polls_do_not_starve() {
+        // Regression: refill used to truncate `elapsed * rate / 1e9`
+        // per call. An 8 kb/s meter polled every 100 µs earns 0.8 bits
+        // per refill — truncated to zero forever, so nothing after the
+        // initial burst ever passed. The carried remainder fixes it.
+        let mut meter = Meter::new(8_000, 125);
+        let mut passed = 0u64;
+        for i in 0..20_000u64 {
+            // One 125-byte (1000-bit) frame offered every 100 µs for 2 s.
+            if meter.allow(i * 100_000, 125) {
+                passed += 1;
+            }
+        }
+        // 8 kb/s admits one 1000-bit frame per 125 ms: 16 over 2 s,
+        // plus the initial 125-byte burst. Starvation admits just 1.
+        assert!((15..=18).contains(&passed), "passed {passed} frames");
+    }
+
+    #[test]
+    fn remainder_does_not_inflate_burst() {
+        // At 1 kb/s each 1 µs poll accrues 0.001 bit of remainder; the
+        // byte must complete at exactly 8000 µs, never earlier, and a
+        // full bucket must forget the remainder.
+        let mut meter = Meter::new(1_000, 1); // 1 kb/s, 1-byte burst
+        assert!(meter.allow(0, 1)); // drain the 8-bit burst
+        for i in 1..=7_999u64 {
+            // 8000 µs at 1 kb/s = exactly 8 bits = 1 byte.
+            assert!(!meter.allow(i * 1_000, 1), "refilled early at {i} µs");
+        }
+        assert!(meter.allow(8_000_000, 1));
+        // Long idle: bucket caps at burst and the remainder resets.
+        assert!(!meter.allow(8_000_001, 1));
+        assert!(meter.allow(60_000_000_000, 1));
+        assert!(!meter.allow(60_000_000_000, 1));
+    }
+
+    #[test]
+    fn packet_meter_counts_frames() {
+        // 100 punts/sec, burst of 10 — frame length is irrelevant.
+        let mut meter = Meter::per_packet(100, 10);
+        let mut passed = 0u64;
+        for _ in 0..100 {
+            if meter.allow_one(0) {
+                passed += 1;
+            }
+        }
+        assert_eq!(passed, 10, "burst admits exactly burst_frames");
+        // 10 ms later one more token (100/s) has accrued.
+        assert!(meter.allow_one(10_000_000));
+        assert!(!meter.allow_one(10_000_000));
     }
 }

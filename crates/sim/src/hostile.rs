@@ -1,0 +1,531 @@
+//! Hostile and production-shaped workload generation.
+//!
+//! Every workload the stack faced before this module was benign probe
+//! traffic. A [`HostileHost`] is a single-port edge node (like
+//! [`crate::host::Host`]) that generates the traffic production
+//! controllers actually see:
+//!
+//! * **Production-shaped background load** ([`TrafficProfile`]):
+//!   flow-switched UDP probe traffic with Zipf-distributed destination
+//!   popularity and heavy-tailed (Pareto) elephant/mice flow lengths.
+//! * **Host churn** ([`Churn`]): the node periodically abandons its
+//!   (MAC, IP) identity and adopts a fresh one from a pool, announcing
+//!   it with a gratuitous ARP — tenant VMs coming and going on an edge
+//!   port.
+//! * **Seeded attacks** ([`Attack`]): PACKET_IN floods from a
+//!   compromised host, ARP broadcast storms, and MAC-flapping rogues
+//!   that claim a victim's source address from the wrong port.
+//!
+//! Everything is driven by the world's seeded [`crate::rng::Rng`], so
+//! hostile scenarios replay bit-identically — the property the defense
+//! soaks in `zen-core` assert on.
+//!
+//! The module is deliberately self-contained below `zen-core`: it knows
+//! nothing about controllers or agents. It just emits frames; whether
+//! the control plane melts is the system under test's problem.
+
+use zen_telemetry::PROBE_MAGIC;
+use zen_wire::builder::PacketBuilder;
+use zen_wire::{EthernetAddress, Ipv4Address};
+
+use crate::rng::Rng;
+use crate::time::{Duration, Instant};
+use crate::world::{Context, Node, NodeId, PortNo};
+
+/// The single port a hostile host owns (mirrors [`crate::host::HOST_PORT`]).
+pub const HOSTILE_PORT: PortNo = 1;
+
+/// Timer token driving the benign traffic profile.
+const TOKEN_PROFILE: u64 = 1;
+/// Timer token driving the attack scenario.
+const TOKEN_ATTACK: u64 = 2;
+/// Timer token driving identity churn.
+const TOKEN_CHURN: u64 = 3;
+
+/// A bounded discrete Zipf sampler over ranks `0..n`: rank `k` is drawn
+/// with probability proportional to `1 / (k + 1)^s`. Built once
+/// (inverse-CDF table), sampled in `O(log n)` per draw.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n` ranks with skew `s` (`s = 0` is uniform;
+    /// `s ≈ 1` is the classic web/host-popularity shape).
+    pub fn new(n: usize, s: f64) -> Zipf {
+        let n = n.max(1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for w in &mut cdf {
+            *w /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.gen_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// A bounded Pareto draw with scale `xm` and shape `alpha`: the
+/// heavy-tailed distribution behind elephant/mice flow-length mixes.
+/// Smaller `alpha` means heavier tails; the draw is capped at
+/// `64 * xm` to keep a single flow from dominating a bounded run.
+pub fn pareto(rng: &mut Rng, xm: f64, alpha: f64) -> f64 {
+    let u = 1.0 - rng.gen_f64(); // (0, 1]
+    (xm / u.powf(1.0 / alpha)).min(xm * 64.0)
+}
+
+/// Production-shaped background traffic: flows of timestamped UDP
+/// probe datagrams (receivable by [`crate::host::Host`], which folds
+/// them into latency/loss stats) whose destinations follow a Zipf
+/// popularity law and whose lengths follow a Pareto elephant/mice mix.
+#[derive(Debug, Clone)]
+pub struct TrafficProfile {
+    /// Candidate destinations, most popular first ((MAC, IP) pairs —
+    /// the generator skips ARP and addresses frames directly).
+    pub peers: Vec<(EthernetAddress, Ipv4Address)>,
+    /// Zipf skew across `peers` (0 = uniform, ~1 = web-shaped).
+    pub zipf_s: f64,
+    /// Median mice-flow length in frames (Pareto scale, shape 2.5).
+    pub mice_frames: u64,
+    /// Median elephant-flow length in frames (Pareto scale, shape 1.2).
+    pub elephant_frames: u64,
+    /// Probability a new flow is an elephant.
+    pub elephant_fraction: f64,
+    /// Gap between frames within a flow.
+    pub frame_gap: Duration,
+    /// Mean (exponential) think time between flows.
+    pub flow_gap: Duration,
+    /// UDP payload bytes per frame (min 20 for the probe header).
+    pub payload_len: usize,
+}
+
+impl Default for TrafficProfile {
+    fn default() -> TrafficProfile {
+        TrafficProfile {
+            peers: Vec::new(),
+            zipf_s: 1.0,
+            mice_frames: 4,
+            elephant_frames: 200,
+            elephant_fraction: 0.05,
+            frame_gap: Duration::from_micros(500),
+            flow_gap: Duration::from_millis(20),
+            payload_len: 64,
+        }
+    }
+}
+
+/// Identity churn: the node periodically becomes a "new tenant" by
+/// adopting the next (MAC, IP) from `pool` and announcing it with a
+/// gratuitous ARP. Learned state for the abandoned identity goes
+/// silent and must age out — a steady source of table churn even
+/// before any attack starts.
+#[derive(Debug, Clone)]
+pub struct Churn {
+    /// Identities cycled through (the node starts on its configured
+    /// identity and moves to `pool[0]` at the first churn).
+    pub pool: Vec<(EthernetAddress, Ipv4Address)>,
+    /// Time between identity changes.
+    pub interval: Duration,
+}
+
+/// A seeded attack scenario.
+#[derive(Debug, Clone)]
+pub enum Attack {
+    /// No attack: profile traffic and churn only.
+    None,
+    /// PACKET_IN flood from a compromised host: UDP frames whose
+    /// destination MAC rotates on every frame, so no learned entry or
+    /// installed flow ever matches — every frame punts to the
+    /// controller (and, under L2 learning, floods the fabric).
+    PacketInFlood {
+        /// Inter-frame gap (the flood rate).
+        interval: Duration,
+        /// Also rotate the *source* MAC per frame. A fixed source
+        /// models a compromised-but-honest NIC that targeted push-back
+        /// rules can pin; a rotating source evades per-MAC push-back
+        /// and must be caught by the agent's punt meter instead.
+        rotate_src: bool,
+        /// UDP payload bytes per flood frame.
+        payload_len: usize,
+    },
+    /// ARP broadcast storm: who-has requests for rotating target IPs
+    /// at a fixed rate. Every broadcast floods to every edge port, so
+    /// a single storm port can saturate innocent access links.
+    ArpStorm {
+        /// Inter-request gap (the storm rate).
+        interval: Duration,
+        /// Also rotate the claimed sender MAC per request, polluting
+        /// L2 learning tables as a side effect.
+        spoof_sources: bool,
+    },
+    /// MAC-flapping rogue: frames whose *source* MAC is the victim's,
+    /// sent from this (wrong) port, bouncing the victim's learned
+    /// location back and forth until the L2 flap damper pins it.
+    MacFlap {
+        /// The MAC being claimed.
+        victim_mac: EthernetAddress,
+        /// Inter-frame gap (the flap rate).
+        interval: Duration,
+    },
+}
+
+/// Configuration for a [`HostileHost`].
+#[derive(Debug, Clone)]
+pub struct HostileConfig {
+    /// Initial MAC address.
+    pub mac: EthernetAddress,
+    /// Initial IPv4 address.
+    pub ip: Ipv4Address,
+    /// Benign production-shaped load, if any.
+    pub profile: Option<TrafficProfile>,
+    /// Identity churn, if any.
+    pub churn: Option<Churn>,
+    /// Attack scenario.
+    pub attack: Attack,
+    /// When the attack begins.
+    pub attack_start: Instant,
+    /// When the attack stops (`None` = runs until the world halts).
+    pub attack_stop: Option<Instant>,
+}
+
+impl HostileConfig {
+    /// A quiet host with identity (`mac`, `ip`) and no traffic; layer
+    /// on a profile, churn, or an attack by setting fields.
+    pub fn new(mac: EthernetAddress, ip: Ipv4Address) -> HostileConfig {
+        HostileConfig {
+            mac,
+            ip,
+            profile: None,
+            churn: None,
+            attack: Attack::None,
+            attack_start: Instant::ZERO,
+            attack_stop: None,
+        }
+    }
+}
+
+/// Deterministic counters for a [`HostileHost`] — pure functions of the
+/// world seed, safe to fold into replay digests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostileStats {
+    /// Benign profile frames sent.
+    pub profile_frames: u64,
+    /// Benign flows started.
+    pub flows_started: u64,
+    /// Flows that drew the elephant length distribution.
+    pub elephants: u64,
+    /// Attack frames sent.
+    pub attack_frames: u64,
+    /// Identity changes performed.
+    pub churns: u64,
+}
+
+/// A single-port edge node generating production-shaped and/or hostile
+/// traffic per [`HostileConfig`]. See the module docs.
+pub struct HostileHost {
+    cfg: HostileConfig,
+    mac: EthernetAddress,
+    ip: Ipv4Address,
+    zipf: Option<Zipf>,
+    /// Remaining frames in the current benign flow.
+    flow_remaining: u64,
+    /// Destination index of the current benign flow.
+    flow_dst: usize,
+    /// Per-destination probe sequence counter (shared across flows so
+    /// receivers see a monotone sequence per source IP).
+    seq: u64,
+    /// Rotation counter for attack-frame address synthesis.
+    attack_nonce: u64,
+    /// Next churn-pool index to adopt.
+    churn_next: usize,
+    /// Deterministic counters.
+    pub stats: HostileStats,
+}
+
+impl HostileHost {
+    /// A hostile host driven by `cfg`.
+    pub fn new(cfg: HostileConfig) -> HostileHost {
+        let zipf = cfg
+            .profile
+            .as_ref()
+            .filter(|p| !p.peers.is_empty())
+            .map(|p| Zipf::new(p.peers.len(), p.zipf_s));
+        let (mac, ip) = (cfg.mac, cfg.ip);
+        HostileHost {
+            cfg,
+            mac,
+            ip,
+            zipf,
+            flow_remaining: 0,
+            flow_dst: 0,
+            seq: 0,
+            attack_nonce: 0,
+            churn_next: 0,
+            stats: HostileStats::default(),
+        }
+    }
+
+    /// The node's current MAC (changes under churn).
+    pub fn mac(&self) -> EthernetAddress {
+        self.mac
+    }
+
+    /// The node's current IP (changes under churn).
+    pub fn ip(&self) -> Ipv4Address {
+        self.ip
+    }
+
+    /// One benign profile frame: a timestamped UDP probe to the current
+    /// flow's destination, starting a new flow first if the last one
+    /// finished.
+    fn fire_profile(&mut self, ctx: &mut Context<'_>) {
+        let Some(profile) = self.cfg.profile.clone() else {
+            return;
+        };
+        let Some(zipf) = self.zipf.as_ref() else {
+            return;
+        };
+        if self.flow_remaining == 0 {
+            self.flow_dst = zipf.sample(ctx.rng());
+            let elephant = ctx.rng().gen_bool(profile.elephant_fraction);
+            let (scale, alpha) = if elephant {
+                (profile.elephant_frames, 1.2)
+            } else {
+                (profile.mice_frames, 2.5)
+            };
+            self.flow_remaining = pareto(ctx.rng(), scale.max(1) as f64, alpha).ceil() as u64;
+            self.flow_remaining = self.flow_remaining.max(1);
+            self.stats.flows_started += 1;
+            if elephant {
+                self.stats.elephants += 1;
+            }
+        }
+        let (dst_mac, dst_ip) = profile.peers[self.flow_dst];
+        let size = profile.payload_len.max(20);
+        let mut payload = vec![0u8; size];
+        payload[0..4].copy_from_slice(&PROBE_MAGIC.to_be_bytes());
+        payload[4..12].copy_from_slice(&self.seq.to_be_bytes());
+        payload[12..20].copy_from_slice(&ctx.now().as_nanos().to_be_bytes());
+        self.seq += 1;
+        let frame =
+            PacketBuilder::udp(self.mac, self.ip, 20_000, dst_mac, dst_ip, 20_000, &payload);
+        ctx.transmit(HOSTILE_PORT, frame);
+        self.stats.profile_frames += 1;
+        self.flow_remaining -= 1;
+        let delay = if self.flow_remaining > 0 {
+            profile.frame_gap
+        } else {
+            let mean = profile.flow_gap.as_nanos() as f64;
+            Duration::from_nanos(ctx.rng().gen_exp(mean).round().max(1.0) as u64)
+        };
+        ctx.set_timer(delay, TOKEN_PROFILE);
+    }
+
+    /// One attack frame per the configured scenario.
+    fn fire_attack(&mut self, ctx: &mut Context<'_>) {
+        self.attack_nonce += 1;
+        let nonce = self.attack_nonce;
+        let interval = match self.cfg.attack {
+            Attack::None => return,
+            Attack::PacketInFlood {
+                interval,
+                rotate_src,
+                payload_len,
+            } => {
+                // Rotating destination MACs are never learned, so every
+                // frame misses every installed flow and punts.
+                let dst_mac = EthernetAddress::from_id(0x6D_0000_0000 + nonce);
+                let dst_ip = Ipv4Address::new(
+                    172,
+                    16,
+                    ((nonce >> 8) & 0xff) as u8,
+                    (nonce & 0xff).max(1) as u8,
+                );
+                let src_mac = if rotate_src {
+                    EthernetAddress::from_id(0x6C_0000_0000 + nonce)
+                } else {
+                    self.mac
+                };
+                let payload = vec![0u8; payload_len];
+                let frame = PacketBuilder::udp(
+                    src_mac,
+                    self.ip,
+                    (4000 + (nonce & 0xfff)) as u16,
+                    dst_mac,
+                    dst_ip,
+                    (4000 + ((nonce >> 12) & 0xfff)) as u16,
+                    &payload,
+                );
+                ctx.transmit(HOSTILE_PORT, frame);
+                interval
+            }
+            Attack::ArpStorm {
+                interval,
+                spoof_sources,
+            } => {
+                let src_mac = if spoof_sources {
+                    EthernetAddress::from_id(0x6B_0000_0000 + nonce)
+                } else {
+                    self.mac
+                };
+                let target = Ipv4Address::new(
+                    10,
+                    250,
+                    ((nonce >> 8) & 0xff) as u8,
+                    (nonce & 0xff).max(1) as u8,
+                );
+                let frame = PacketBuilder::arp_request(src_mac, self.ip, target);
+                ctx.transmit(HOSTILE_PORT, frame);
+                interval
+            }
+            Attack::MacFlap {
+                victim_mac,
+                interval,
+            } => {
+                // Claim the victim's source MAC from this port. The
+                // destination is a fixed unknown unicast so the frame
+                // itself goes nowhere interesting; the damage is done
+                // by the L2 source-learning flap.
+                let payload = [0u8; 20];
+                let frame = PacketBuilder::udp(
+                    victim_mac,
+                    self.ip,
+                    4001,
+                    EthernetAddress::from_id(0x6E_0000_0001),
+                    Ipv4Address::new(172, 31, 0, 1),
+                    4001,
+                    &payload,
+                );
+                ctx.transmit(HOSTILE_PORT, frame);
+                interval
+            }
+        };
+        self.stats.attack_frames += 1;
+        let now = ctx.now();
+        if self
+            .cfg
+            .attack_stop
+            .is_none_or(|stop| now + interval < stop)
+        {
+            ctx.set_timer(interval, TOKEN_ATTACK);
+        }
+    }
+
+    /// Adopt the next identity from the churn pool and announce it.
+    fn fire_churn(&mut self, ctx: &mut Context<'_>) {
+        let Some(churn) = self.cfg.churn.clone() else {
+            return;
+        };
+        if churn.pool.is_empty() {
+            return;
+        }
+        let (mac, ip) = churn.pool[self.churn_next % churn.pool.len()];
+        self.churn_next += 1;
+        self.mac = mac;
+        self.ip = ip;
+        self.stats.churns += 1;
+        // Gratuitous ARP: who-has our own IP, announcing the new MAC.
+        let garp = PacketBuilder::arp_request(self.mac, self.ip, self.ip);
+        ctx.transmit(HOSTILE_PORT, garp);
+        ctx.set_timer(churn.interval, TOKEN_CHURN);
+    }
+}
+
+impl Node for HostileHost {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if self.cfg.profile.is_some() && self.zipf.is_some() {
+            ctx.set_timer(Duration::from_nanos(0), TOKEN_PROFILE);
+        }
+        if !matches!(self.cfg.attack, Attack::None) {
+            let delay = self.cfg.attack_start.duration_since(ctx.now());
+            ctx.set_timer(delay, TOKEN_ATTACK);
+        }
+        if self.cfg.churn.is_some() {
+            if let Some(churn) = self.cfg.churn.as_ref() {
+                ctx.set_timer(churn.interval, TOKEN_CHURN);
+            }
+        }
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, _port: PortNo, _frame: &[u8]) {
+        // Hostile hosts are write-only: they never answer ARP or ICMP,
+        // and they ignore whatever the fabric delivers (including their
+        // own floods echoed back).
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        match token {
+            TOKEN_PROFILE => self.fire_profile(ctx),
+            TOKEN_ATTACK => self.fire_attack(ctx),
+            TOKEN_CHURN => self.fire_churn(ctx),
+            _ => {}
+        }
+    }
+
+    fn on_control(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _bytes: &[u8]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_bounded() {
+        let zipf = Zipf::new(16, 1.0);
+        let mut rng = Rng::new(7);
+        let mut counts = [0u64; 16];
+        for _ in 0..10_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        // Rank 0 dominates rank 15 decisively under s = 1.
+        assert!(counts[0] > counts[15] * 4, "counts {counts:?}");
+        assert!(counts.iter().all(|&c| c < 10_000));
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_roughly_uniform() {
+        let zipf = Zipf::new(8, 0.0);
+        let mut rng = Rng::new(11);
+        let mut counts = [0u64; 8];
+        for _ in 0..8_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..=1300).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed_but_capped() {
+        let mut rng = Rng::new(3);
+        let mut max = 0.0f64;
+        let mut sum = 0.0f64;
+        for _ in 0..10_000 {
+            let x = pareto(&mut rng, 4.0, 1.2);
+            assert!((4.0..=4.0 * 64.0).contains(&x));
+            max = max.max(x);
+            sum += x;
+        }
+        // The tail reaches the cap region and the mean sits well above
+        // the scale — the elephant signature.
+        assert!(max > 100.0, "max {max}");
+        assert!(sum / 10_000.0 > 8.0, "mean {}", sum / 10_000.0);
+    }
+}

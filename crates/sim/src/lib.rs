@@ -22,6 +22,10 @@
 //!   ([`topo::Topology`]).
 //! * **Instrumented hosts** — ARP, ICMP echo, and timestamped UDP probe
 //!   flows that measure one-way latency and loss in-band ([`host::Host`]).
+//! * **Hostile workloads** — production-shaped traffic (Zipf host
+//!   popularity, heavy-tailed elephant/mice flows, identity churn) and
+//!   seeded attack scenarios: PACKET_IN floods, ARP broadcast storms,
+//!   MAC-flapping rogues ([`hostile::HostileHost`]).
 //!
 //! Nodes implement [`world::Node`] and interact with the world only
 //! through [`world::Context`], which keeps every interaction observable
@@ -32,6 +36,7 @@
 
 pub mod fault;
 pub mod host;
+pub mod hostile;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -40,6 +45,7 @@ pub mod world;
 
 pub use fault::{FaultPlan, Scope, Window};
 pub use host::{Host, Workload};
+pub use hostile::{Attack, Churn, HostileConfig, HostileHost, HostileStats, TrafficProfile, Zipf};
 pub use rng::Rng;
 pub use stats::{Counter, CounterId, Histogram, HistogramId, Metrics, TimeSeries};
 pub use time::{Duration, Instant};

@@ -163,6 +163,30 @@ pub enum TraceEvent {
         /// `true` when the replica took mastership, `false` on release.
         gained: bool,
     },
+    /// A PACKET_IN was shed by the control-plane self-defense layer —
+    /// either at the switch agent's punt meter or by controller-side
+    /// admission control — and never reached the app chain.
+    PuntShed {
+        /// The switch whose punt was shed.
+        dpid: u64,
+        /// `true` when shed at the agent's punt meter (before the wire);
+        /// `false` when shed by controller admission (after the wire).
+        at_agent: bool,
+    },
+    /// Admission control deferred a PACKET_IN into the per-switch fair
+    /// queue; it is dispatched later by the drain timer.
+    PuntDeferred {
+        /// The switch whose punt was deferred.
+        dpid: u64,
+    },
+    /// The controller installed a push-back drop rule pinning an
+    /// offending (ingress port, source MAC) at the switch.
+    PushbackInstalled {
+        /// The switch receiving the drop rule.
+        dpid: u64,
+        /// The offending ingress port.
+        port: u32,
+    },
 }
 
 impl TraceEvent {
@@ -183,6 +207,9 @@ impl TraceEvent {
             TraceEvent::PacketOutSent { .. } => "packet_out_sent",
             TraceEvent::HostRecv { .. } => "host_recv",
             TraceEvent::MastershipChange { .. } => "mastership_change",
+            TraceEvent::PuntShed { .. } => "punt_shed",
+            TraceEvent::PuntDeferred { .. } => "punt_deferred",
+            TraceEvent::PushbackInstalled { .. } => "pushback_installed",
         }
     }
 }
@@ -480,6 +507,13 @@ fn write_record(rec: &TraceRecord, out: &mut String) {
             .u64("dpid", *dpid)
             .u64("replica", u64::from(*replica))
             .bool("gained", *gained),
+        TraceEvent::PuntShed { dpid, at_agent } => {
+            line.u64("dpid", *dpid).bool("at_agent", *at_agent)
+        }
+        TraceEvent::PuntDeferred { dpid } => line.u64("dpid", *dpid),
+        TraceEvent::PushbackInstalled { dpid, port } => {
+            line.u64("dpid", *dpid).u64("port", u64::from(*port))
+        }
     };
     line.finish(out);
 }
