@@ -43,6 +43,13 @@ cargo test --release -p zen-core --test saturation -- --ignored --nocapture
 # acks, a starving undefended contrast, and a byte-identical replay.
 cargo test --release -p zen-core --test defense -- --ignored --nocapture
 
+# Consistency soak: fixed-seed epoch-update churn on the diamond fabric
+# (control jitter, a controller-switch partition, control-plane loss,
+# and a link flap), run twice, asserting the planner converges, both
+# hosts keep receiving, and the full counter digest replays
+# byte-identical.
+cargo test --release -p zen-core --test consistency -- --ignored --nocapture
+
 # E17 saturation bench, quick matrix: writes target/BENCH_E17.json
 # (uploaded as a CI artifact) and fails if peak closed-loop setups/sec
 # regresses more than 20% below the committed baseline. The baseline
@@ -56,3 +63,10 @@ BENCH_E17_QUICK=1 BENCH_E17_BASELINE="$(pwd)/ci/BENCH_E17.baseline.json" \
 # setups/sec regresses more than 20% below the committed baseline.
 BENCH_E18_QUICK=1 BENCH_E18_BASELINE="$(pwd)/ci/BENCH_E18.baseline.json" \
     cargo bench -p zen-bench --bench expt_storm
+
+# E19 consistent-update bench, quick matrix: writes target/BENCH_E19.json
+# (uploaded as a CI artifact), asserts the two-phase rewrite loses zero
+# packets while the naive burst does not, and fails if the two-phase
+# commit latency regresses more than 20% above the committed baseline.
+BENCH_E19_QUICK=1 BENCH_E19_BASELINE="$(pwd)/ci/BENCH_E19.baseline.json" \
+    cargo bench -p zen-bench --bench expt_consistent_update

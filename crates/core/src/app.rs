@@ -90,6 +90,18 @@ pub trait App: 'static {
     /// every orphaned switch on failover.
     fn on_mastership_change(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid, is_master: bool) {}
 
+    /// A two-phase [`crate::txn::NetworkUpdate`] this app committed
+    /// (identified by the `owner`/`token` it passed to
+    /// [`crate::txn::NetworkUpdate::owned_by`]) finished its drain wave:
+    /// every packet now traverses the new configuration.
+    fn on_update_committed(&mut self, ctl: &mut Ctl<'_, '_>, owner: &'static str, token: u64) {}
+
+    /// A two-phase [`crate::txn::NetworkUpdate`] was aborted (staging
+    /// failure or deadline): its staged rules have been deleted and the
+    /// old configuration still carries all traffic. The owner may
+    /// re-stage.
+    fn on_update_aborted(&mut self, ctl: &mut Ctl<'_, '_>, owner: &'static str, token: u64) {}
+
     /// The periodic controller tick (also the discovery cadence).
     fn tick(&mut self, ctl: &mut Ctl<'_, '_>) {}
 

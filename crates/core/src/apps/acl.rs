@@ -12,12 +12,7 @@ use crate::app::App;
 use crate::controller::Ctl;
 use crate::view::Dpid;
 
-/// Cookie marking ACL flows.
-pub const ACL_COOKIE: u64 = 0xac1c_0001;
-
-/// Eviction importance of ACL deny rules: a security boundary outranks
-/// everything else a table holds.
-pub const ACL_IMPORTANCE: u16 = 200;
+pub use crate::policy::{ACL_COOKIE, ACL_IMPORTANCE};
 
 /// The ACL application.
 pub struct Acl {
@@ -51,6 +46,7 @@ impl App for Acl {
     }
 
     fn on_switch_up(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid) {
+        let mut txn = ctl.txn();
         for &matcher in &self.denies {
             self.rules_pushed += 1;
             // Deny rules are a security boundary: never the first thing
@@ -58,8 +54,9 @@ impl App for Acl {
             let spec = FlowSpec::new(self.priority, matcher, vec![])
                 .with_cookie(ACL_COOKIE)
                 .with_importance(ACL_IMPORTANCE);
-            ctl.install_flow(dpid, 0, spec);
+            txn.flow(dpid, 0, spec);
         }
+        txn.commit(ctl);
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -244,7 +244,9 @@ impl App for L2Learning {
                         vec![Action::Output(out_port)],
                     )
                     .with_timeouts(idle, 0);
-                    ctl.install_flow(dpid, 0, spec);
+                    let mut txn = ctl.txn();
+                    txn.flow(dpid, 0, spec);
+                    txn.commit(ctl);
                 }
                 ctl.packet_out(dpid, in_port, &[Action::Output(out_port)], frame);
             }

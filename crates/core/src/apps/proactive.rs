@@ -15,21 +15,18 @@ use std::any::Any;
 
 use zen_dataplane::{Action, Bucket, FlowMatch, FlowSpec, GroupDesc, GroupType, PortNo};
 use zen_graph::{dists_to, ecmp_next_hops};
+use zen_sim::Instant;
 use zen_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
 
 use crate::app::App;
 use crate::controller::Ctl;
+use crate::txn::Consistency;
 use crate::view::Dpid;
+
+pub use crate::policy::{FABRIC_COOKIE, FABRIC_EPOCH_COOKIE, FABRIC_IMPORTANCE};
 
 /// The virtual gateway MAC hosts send to.
 pub const FABRIC_MAC: EthernetAddress = EthernetAddress([0x02, 0xfa, 0xb0, 0x00, 0x00, 0x01]);
-
-/// Cookie marking fabric flows.
-pub const FABRIC_COOKIE: u64 = 0xfab0_0001;
-
-/// Eviction importance of proactive fabric rules: standing
-/// infrastructure outranks reactive churn under capacity pressure.
-pub const FABRIC_IMPORTANCE: u16 = 100;
 
 /// One entry of the host inventory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,12 +50,32 @@ pub struct ProactiveFabric {
     pub expected_links: usize,
     /// Priority of installed rules.
     pub priority: u16,
+    /// How reprograms take effect: [`Consistency::Relaxed`] reinstalls
+    /// in place (the classic delete-then-add burst), per-packet stages
+    /// the whole fabric as one epoch-versioned two-phase update.
+    pub consistency: Consistency,
+    /// Decrement the IPv4 TTL on every transit hop, so packets caught
+    /// in a transient forwarding loop self-terminate instead of
+    /// circulating forever.
+    pub dec_ttl: bool,
+    /// A scheduled inventory change: at the given time, the host with
+    /// the given IP moves to a new attachment point and the fabric
+    /// reprograms (the update-consistency experiment's trigger).
+    rehome: Option<(Instant, Ipv4Address, Dpid, PortNo)>,
     installed_version: Option<u64>,
     stable_ticks: u32,
+    /// Parity-namespaced groups installed by the last epoch-mode
+    /// reprogram, retired by the next one after its drain wave.
+    epoch_groups: Vec<(Dpid, u32)>,
     /// Full reprogram passes performed (metric).
     pub installs: u64,
     /// Rules pushed in total (metric).
     pub rules_pushed: u64,
+    /// Two-phase fabric updates committed (metric).
+    pub txn_commits: u64,
+    /// Two-phase fabric updates aborted (metric); each schedules a
+    /// re-stage on the next tick.
+    pub txn_aborts: u64,
 }
 
 impl ProactiveFabric {
@@ -73,11 +90,36 @@ impl ProactiveFabric {
             expected_switches,
             expected_links,
             priority: 200,
+            consistency: Consistency::Relaxed,
+            dec_ttl: false,
+            rehome: None,
             installed_version: None,
             stable_ticks: 0,
+            epoch_groups: Vec::new(),
             installs: 0,
             rules_pushed: 0,
+            txn_commits: 0,
+            txn_aborts: 0,
         }
+    }
+
+    /// Roll reprograms out as epoch-versioned two-phase updates.
+    pub fn per_packet(mut self) -> ProactiveFabric {
+        self.consistency = Consistency::PerPacket;
+        self
+    }
+
+    /// Schedule a host re-home: at `at`, the host owning `ip` moves to
+    /// `(dpid, port)` and the fabric reprograms.
+    pub fn with_rehome(
+        mut self,
+        at: Instant,
+        ip: Ipv4Address,
+        dpid: Dpid,
+        port: PortNo,
+    ) -> ProactiveFabric {
+        self.rehome = Some((at, ip, dpid, port));
+        self
     }
 
     /// Whether the fabric has been programmed for the current topology.
@@ -130,7 +172,12 @@ impl ProactiveFabric {
             let actions = if switch == host.dpid {
                 vec![Action::SetEthDst(host.mac), Action::Output(host.port)]
             } else {
-                vec![Action::Group(group_id_for(host.dpid))]
+                let mut fwd = Vec::new();
+                if self.dec_ttl {
+                    fwd.push(Action::DecTtl);
+                }
+                fwd.push(Action::Group(group_id_for(host.dpid)));
+                fwd
             };
             program.flows.push(
                 // Fabric rules are the network's standing program:
@@ -151,14 +198,19 @@ impl ProactiveFabric {
     fn program_switch(&mut self, ctl: &mut Ctl<'_, '_>, switch: Dpid) {
         let program = self.desired_program(ctl, switch);
         let hash = program_hash(&program);
-        ctl.delete_flows_by_cookie(switch, FABRIC_COOKIE);
+        // A single-switch transaction: even under per-packet
+        // consistency this takes the planner's fast path (one switch
+        // applies its mods in order).
+        let mut txn = ctl.txn();
+        txn.delete_flows_by_cookie(switch, FABRIC_COOKIE);
         for (group_id, desc) in program.groups {
-            ctl.install_group(switch, group_id, desc);
+            txn.group(switch, group_id, desc);
         }
         for spec in program.flows {
             self.rules_pushed += 1;
-            ctl.install_flow(switch, 0, spec);
+            txn.flow(switch, 0, spec);
         }
+        txn.commit(ctl);
         ctl.set_program_stamp(switch, FABRIC_COOKIE, hash);
     }
 
@@ -175,10 +227,121 @@ impl ProactiveFabric {
             .copied()
             .filter(|&d| !ctl.view.is_quarantined(d) && ctl.is_master(d))
             .collect();
-        for switch in switch_list {
-            self.program_switch(ctl, switch);
+        if self.consistency == Consistency::PerPacket {
+            self.install_all_epoch(ctl, &switch_list);
+        } else {
+            for switch in switch_list {
+                self.program_switch(ctl, switch);
+            }
         }
         self.installed_version = Some(ctl.view.version);
+    }
+
+    /// Stage the whole fabric as one epoch-versioned two-phase update.
+    ///
+    /// The program is a single table with two rules per destination on
+    /// every switch (the datapath extracts its flow key once at
+    /// ingress, so stamping and matching the stamp must happen on
+    /// *different* switches — not in different tables of the same one):
+    ///
+    /// * an **internal** rule matching packets already stamped with
+    ///   this epoch (the planner injects the qualifier), forwarding via
+    ///   the parity-namespaced ECMP group or delivering locally with
+    ///   the tag stripped;
+    /// * an **edge** rule matching *unstamped* IPv4 from attached
+    ///   hosts, with the same forwarding actions behind a `SetEpoch`
+    ///   stamp the planner prepends at flip time. Its (priority, match)
+    ///   is epoch-independent, so the flip replaces the previous
+    ///   epoch's stamper in place — the per-switch atomic switchover.
+    ///
+    /// Cookies and group ids alternate by epoch parity, so the lame
+    /// configuration stays addressable and is garbage-collected by the
+    /// planner's retire wave after packets of its epoch have drained.
+    fn install_all_epoch(&mut self, ctl: &mut Ctl<'_, '_>, switch_list: &[Dpid]) {
+        let epoch = ctl.staged_epoch();
+        let parity = (epoch % 2) as u32;
+        let (cookie, old_cookie) = if parity == 0 {
+            (FABRIC_COOKIE, FABRIC_EPOCH_COOKIE)
+        } else {
+            (FABRIC_EPOCH_COOKIE, FABRIC_COOKIE)
+        };
+        let old_groups = std::mem::take(&mut self.epoch_groups);
+        let mut txn = ctl.txn().per_packet().owned_by("proactive-fabric", epoch);
+        let (graph, dpids, index) = ctl.view.graph(0);
+        for &switch in switch_list {
+            txn.retire_flows_by_cookie(switch, old_cookie);
+            if let Some(&my_ix) = index.get(&switch) {
+                for (dst_pos, &dst_dpid) in dpids.iter().enumerate() {
+                    if dst_dpid == switch {
+                        continue;
+                    }
+                    let dist = dists_to(&graph, dst_pos as u32);
+                    let hops = ecmp_next_hops(&graph, my_ix, &dist);
+                    let mut buckets = Vec::new();
+                    for edge_ix in hops {
+                        let next_dpid = dpids[graph.edge(edge_ix).to as usize];
+                        for port in ctl.view.ports_toward(switch, next_dpid) {
+                            buckets.push(Bucket::output(port));
+                        }
+                    }
+                    if buckets.is_empty() {
+                        continue;
+                    }
+                    let gid = group_id_for_epoch(dst_dpid, parity);
+                    txn.group(
+                        switch,
+                        gid,
+                        GroupDesc {
+                            group_type: GroupType::Select,
+                            buckets,
+                        },
+                    );
+                    self.epoch_groups.push((switch, gid));
+                }
+            }
+            for host in &self.hosts {
+                let matcher = FlowMatch::ipv4_to(Ipv4Cidr::new(host.ip, 32).expect("/32 is valid"));
+                let actions = if switch == host.dpid {
+                    vec![
+                        Action::PopEpoch,
+                        Action::SetEthDst(host.mac),
+                        Action::Output(host.port),
+                    ]
+                } else {
+                    let mut fwd = Vec::new();
+                    if self.dec_ttl {
+                        fwd.push(Action::DecTtl);
+                    }
+                    fwd.push(Action::Group(group_id_for_epoch(host.dpid, parity)));
+                    fwd
+                };
+                self.rules_pushed += 2;
+                txn.internal_flow(
+                    switch,
+                    0,
+                    FlowSpec::new(self.priority, matcher, actions.clone())
+                        .with_cookie(cookie)
+                        .with_importance(FABRIC_IMPORTANCE),
+                );
+                // The edge rule matches specifically un-stamped IPv4 —
+                // traffic entering from attached hosts.
+                let edge_matcher = FlowMatch {
+                    epoch: Some(None),
+                    ..matcher
+                };
+                txn.edge_flow(
+                    switch,
+                    0,
+                    FlowSpec::new(self.priority, edge_matcher, actions)
+                        .with_cookie(cookie)
+                        .with_importance(FABRIC_IMPORTANCE),
+                );
+            }
+        }
+        for (dpid, gid) in old_groups {
+            txn.retire_group(dpid, gid);
+        }
+        txn.commit(ctl);
     }
 }
 
@@ -207,12 +370,36 @@ pub fn group_id_for(dst_dpid: Dpid) -> u32 {
     0x1000 + dst_dpid as u32
 }
 
+/// The epoch-mode group id toward `dst_dpid`: namespaced by epoch
+/// parity so consecutive configurations' groups coexist during a
+/// two-phase update.
+pub fn group_id_for_epoch(dst_dpid: Dpid, parity: u32) -> u32 {
+    0x1000 + dst_dpid as u32 + parity * 0x4000
+}
+
 impl App for ProactiveFabric {
     fn name(&self) -> &'static str {
         "proactive-fabric"
     }
 
     fn tick(&mut self, ctl: &mut Ctl<'_, '_>) {
+        // A scheduled re-home fires exactly once: mutate the inventory
+        // and reprogram immediately (deterministically, on this tick).
+        if let Some((at, ip, dpid, port)) = self.rehome {
+            if ctl.now() >= at {
+                self.rehome = None;
+                for host in &mut self.hosts {
+                    if host.ip == ip {
+                        host.dpid = dpid;
+                        host.port = port;
+                    }
+                }
+                if self.installed_version.is_some() {
+                    self.install_all(ctl);
+                    return;
+                }
+            }
+        }
         // `ready` gates only the *initial* programming; once programmed,
         // any topology change (including lost links) must reprogram.
         if self.installed_version.is_none() && !self.ready(ctl) {
@@ -240,9 +427,34 @@ impl App for ProactiveFabric {
     fn on_switch_resync(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid) {
         // A returning switch's state diverged from ours: rebuild just
         // that switch now instead of waiting out the stability window.
+        // Epoch mode has no per-switch program (configurations are
+        // network-wide); re-stage the whole fabric on the next tick.
         if self.installed_version.is_some() {
-            self.program_switch(ctl, dpid);
+            if self.consistency == Consistency::PerPacket {
+                self.installed_version = None;
+                self.stable_ticks = 1;
+            } else {
+                self.program_switch(ctl, dpid);
+            }
         }
+    }
+
+    fn on_update_committed(&mut self, _ctl: &mut Ctl<'_, '_>, owner: &'static str, _token: u64) {
+        if owner == "proactive-fabric" {
+            self.txn_commits += 1;
+        }
+    }
+
+    fn on_update_aborted(&mut self, _ctl: &mut Ctl<'_, '_>, owner: &'static str, _token: u64) {
+        if owner != "proactive-fabric" {
+            return;
+        }
+        // The staged epoch was torn down (a touched switch died or
+        // never acked). The old configuration still carries traffic;
+        // re-stage against the current view on the next tick.
+        self.txn_aborts += 1;
+        self.installed_version = None;
+        self.stable_ticks = 1;
     }
 
     fn on_mastership_change(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid, is_master: bool) {
@@ -252,6 +464,12 @@ impl App for ProactiveFabric {
         if self.installed_version.is_none() {
             // Not yet programmed anywhere; the regular tick path will
             // pick this switch up once discovery stabilizes.
+            return;
+        }
+        if self.consistency == Consistency::PerPacket {
+            // Epoch configurations are network-wide; re-stage fully.
+            self.installed_version = None;
+            self.stable_ticks = 1;
             return;
         }
         // Adopted an orphaned switch. If the previous master's stamped

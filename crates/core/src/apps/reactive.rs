@@ -157,6 +157,9 @@ impl App for ReactiveForwarding {
             ..FlowMatch::ANY
         };
         let mut first_out_port = None;
+        // One transaction per path: the whole hop-by-hop program is
+        // declared (and sent) as a unit.
+        let mut txn = ctl.txn();
         for (i, &hop) in hops.iter().enumerate() {
             let out_port = if i + 1 < hops.len() {
                 match ctl.view.port_toward(hop, hops[i + 1]) {
@@ -176,8 +179,9 @@ impl App for ReactiveForwarding {
             let spec = FlowSpec::new(self.priority, matcher, vec![Action::Output(out_port)])
                 .with_timeouts(self.idle_for(hop, now), 0)
                 .with_cookie(REACTIVE_COOKIE);
-            ctl.install_flow(hop, 0, spec);
+            txn.flow(hop, 0, spec);
         }
+        txn.commit(ctl);
         // Release the trigger packet along the fresh path.
         if let Some(port) = first_out_port {
             ctl.packet_out(dpid, in_port, &[Action::Output(port)], frame);
@@ -206,5 +210,4 @@ impl App for ReactiveForwarding {
     }
 }
 
-/// Cookie marking reactive-forwarding flows.
-pub const REACTIVE_COOKIE: u64 = 0x5eac_0001;
+pub use crate::policy::REACTIVE_COOKIE;

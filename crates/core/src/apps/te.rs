@@ -45,15 +45,7 @@ use crate::apps::proactive::StaticHost;
 use crate::controller::Ctl;
 use crate::view::Dpid;
 
-/// Cookie marking static TE flows (local delivery, own-site shortcut) —
-/// never torn down by reconfiguration.
-pub const TE_STATIC_COOKIE: u64 = 0x7e7e_0001;
-
-/// Cookie for generation-0 tunnel state.
-pub const TE_GEN0_COOKIE: u64 = 0x7e7e_0010;
-
-/// Cookie for generation-1 tunnel state.
-pub const TE_GEN1_COOKIE: u64 = 0x7e7e_0011;
+pub use crate::policy::{TE_GEN0_COOKIE, TE_GEN1_COOKIE, TE_STATIC_COOKIE};
 
 /// How reconfigurations are rolled out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -223,19 +215,17 @@ impl TrafficEngineering {
         let old_cookie = gen_cookie(self.generation);
         let old_groups = std::mem::take(&mut self.installed_groups);
 
+        // The whole generation rollout is declared as one relaxed
+        // transaction: operations go out in staging order, exactly as
+        // the loose calls used to.
+        let mut txn = ctl.txn();
         if self.strategy == UpdateStrategy::TearDownFirst {
             // Tear down the previous generation before building the new.
             for &switch in &switch_list {
-                ctl.delete_flows_by_cookie(switch, old_cookie);
+                txn.delete_flows_by_cookie(switch, old_cookie);
             }
             for &(switch, gid) in &old_groups {
-                ctl.send(
-                    switch,
-                    &zen_proto::Message::GroupMod {
-                        group_id: gid,
-                        cmd: zen_proto::GroupModCmd::Delete,
-                    },
-                );
+                txn.delete_group(switch, gid);
             }
         }
 
@@ -287,13 +277,13 @@ impl TrafficEngineering {
                         };
                         let spec = FlowSpec::new(80, matcher, vec![Action::Output(port)])
                             .with_cookie(cookie);
-                        ctl.install_flow(here, 0, spec);
+                        txn.flow(here, 0, spec);
                     } else {
                         // Egress: untag and deliver locally.
                         let spec = FlowSpec::new(80, matcher, vec![Action::PopVlan])
                             .with_goto(1)
                             .with_cookie(cookie);
-                        ctl.install_flow(here, 0, spec);
+                        txn.flow(here, 0, spec);
                     }
                 }
                 for _ in 0..weight {
@@ -307,7 +297,7 @@ impl TrafficEngineering {
                 continue;
             }
             let gid = gen_gid_base(new_gen) + di as u32;
-            ctl.install_group(
+            txn.group(
                 demand.src,
                 gid,
                 GroupDesc {
@@ -334,7 +324,7 @@ impl TrafficEngineering {
                 let spec = FlowSpec::new(75, FlowMatch::ipv4_to(prefix), vec![])
                     .with_goto(1)
                     .with_cookie(TE_STATIC_COOKIE);
-                ctl.install_flow(switch, 0, spec);
+                txn.flow(switch, 0, spec);
             }
             for host in hosts.iter().filter(|h| h.dpid == switch) {
                 let matcher = FlowMatch::ipv4_to(Ipv4Cidr::new(host.ip, 32).expect("/32 is valid"));
@@ -344,7 +334,7 @@ impl TrafficEngineering {
                     vec![Action::SetEthDst(host.mac), Action::Output(host.port)],
                 )
                 .with_cookie(TE_STATIC_COOKIE);
-                ctl.install_flow(switch, 1, spec);
+                txn.flow(switch, 1, spec);
             }
         }
 
@@ -352,13 +342,15 @@ impl TrafficEngineering {
             UpdateStrategy::TearDownFirst => {
                 // Swap immediately; old state is already gone.
                 for (dpid, spec) in ingress_rules {
-                    ctl.install_flow(dpid, 0, spec);
+                    txn.flow(dpid, 0, spec);
                 }
+                txn.commit(ctl);
             }
             UpdateStrategy::MakeBeforeBreak => {
                 // Fence phase 1, then defer the swap and the garbage
                 // collection to the next two ticks, leaving room for
                 // jittered installs to land everywhere first.
+                txn.commit(ctl);
                 for &switch in &switch_list {
                     ctl.barrier(switch);
                 }
@@ -381,27 +373,26 @@ impl TrafficEngineering {
         };
         if !pending.swap_sent {
             // Phase 2: atomic ingress swap.
-            for (dpid, spec) in std::mem::take(&mut pending.ingress) {
-                ctl.install_flow(dpid, 0, spec);
-            }
+            let ingress = std::mem::take(&mut pending.ingress);
             pending.swap_sent = true;
+            let mut txn = ctl.txn();
+            for (dpid, spec) in ingress {
+                txn.flow(dpid, 0, spec);
+            }
+            txn.commit(ctl);
             return;
         }
         // Phase 3: garbage-collect the old generation.
         let pending = self.pending.take().expect("checked above");
         let switches: Vec<Dpid> = ctl.view.switches.keys().copied().collect();
+        let mut txn = ctl.txn();
         for dpid in switches {
-            ctl.delete_flows_by_cookie(dpid, pending.old_cookie);
+            txn.delete_flows_by_cookie(dpid, pending.old_cookie);
         }
         for (dpid, gid) in pending.old_groups {
-            ctl.send(
-                dpid,
-                &zen_proto::Message::GroupMod {
-                    group_id: gid,
-                    cmd: zen_proto::GroupModCmd::Delete,
-                },
-            );
+            txn.delete_group(dpid, gid);
         }
+        txn.commit(ctl);
     }
 }
 

@@ -10,7 +10,7 @@ use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use zen_cluster::{Admit, ClusterConfig, EwStore, Membership};
-use zen_dataplane::{FlowMatch, FlowSpec, GroupDesc, Meter, PortNo};
+use zen_dataplane::{epoch_tag, Action, FlowMatch, FlowSpec, GroupDesc, Meter, PortNo};
 use zen_proto::{
     decode_view, encode, encode_packet_out, CookieCount, ErrorCode, FlowModCmd, GroupModCmd,
     Message, MessageView, MeterModCmd, Role, ViewEvent,
@@ -21,25 +21,16 @@ use zen_wire::ethernet::{EtherType, Frame};
 use zen_wire::{arp, ipv4, lldp, EthernetAddress};
 
 use crate::app::{App, Disposition};
+use crate::txn::{
+    ActiveTxn, Consistency, FlowRole, NetworkUpdate, TxnPhase, UpdateOp, UpdatePlanner,
+};
 use crate::view::{Dpid, NetworkView};
 
 const TIMER_TICK: u64 = 1;
 /// Fair-queue drain timer for deferred PACKET_INs (admission control).
 const TIMER_ADMIT: u64 = 2;
 
-/// Cookie carried by push-back drop rules so they are recognizable in
-/// flow dumps, FLOW_REMOVED notices, and per-cookie stats.
-pub const PUSHBACK_COOKIE: u64 = 0xDEFE_2E00;
-
-/// Priority of push-back drop rules: above every forwarding app (L2
-/// learning and the reactive/proactive fabrics install below 100),
-/// below explicit ACL denies (200) so operator policy still wins.
-pub const PUSHBACK_PRIORITY: u16 = 190;
-
-/// Eviction importance of push-back rules: a loaded table sheds churn
-/// flows (importance 0) and even fabric rules (100) before it sheds
-/// its own defenses, but operator ACLs (200) outrank them.
-pub const PUSHBACK_IMPORTANCE: u16 = 150;
+pub use crate::policy::{PUSHBACK_COOKIE, PUSHBACK_IMPORTANCE, PUSHBACK_PRIORITY};
 
 /// Cap on east-west entries gossiped to one peer per tick; the rest go
 /// out on following ticks (the ack-driven suffix resend makes this safe).
@@ -67,6 +58,16 @@ pub struct ControllerConfig {
     /// Controller-side PACKET_IN admission control. `None` = every
     /// punt is dispatched immediately (the classic behaviour).
     pub admission: Option<AdmissionConfig>,
+    /// Drain wave after a two-phase update flips its edge rules:
+    /// packets stamped with the old epoch get this long to exit the
+    /// network before its rules are garbage-collected.
+    pub txn_drain: Duration,
+    /// Give-up budget per two-phase transaction phase. A staging
+    /// transaction past its deadline aborts (a touched switch may be
+    /// dead and its acks will never come); a flipping one
+    /// force-advances and leaves the straggler to the resync
+    /// machinery.
+    pub txn_deadline: Duration,
 }
 
 impl Default for ControllerConfig {
@@ -79,6 +80,8 @@ impl Default for ControllerConfig {
             mod_timeout: Duration::from_millis(150),
             mod_max_retries: 8,
             admission: None,
+            txn_drain: Duration::from_millis(100),
+            txn_deadline: Duration::from_secs(2),
         }
     }
 }
@@ -208,6 +211,15 @@ pub struct CtlStats {
     pub punts_shed: u64,
     /// Push-back drop rules installed on offending ingress ports.
     pub pushbacks_installed: u64,
+    /// Network updates committed (all consistency levels).
+    pub txns_committed: u64,
+    /// Two-phase updates aborted (staging failure or deadline).
+    pub txns_aborted: u64,
+    /// Per-packet updates that took the single-switch fast path.
+    pub txns_fast: u64,
+    /// Edge-flip mods that failed mid-transaction; the transaction
+    /// completed and the straggler switch was left to resync repair.
+    pub epoch_flip_failures: u64,
 }
 
 /// Runtime state of one replica in a controller cluster.
@@ -306,6 +318,7 @@ pub struct Ctl<'a, 'w> {
     pending: &'a mut BTreeMap<u32, PendingMod>,
     dirty: &'a mut BTreeSet<NodeId>,
     cluster: Option<&'a mut ClusterState>,
+    planner: &'a mut UpdatePlanner,
 }
 
 impl Ctl<'_, '_> {
@@ -430,7 +443,130 @@ impl Ctl<'_, '_> {
         self.ctx.send_control(node, bytes);
     }
 
+    /// Open a network update transaction. Stage flow/group/meter ops on
+    /// the returned [`NetworkUpdate`], then [`NetworkUpdate::commit`] it
+    /// back through this handle — the whole batch lands atomically
+    /// (immediately for relaxed/single-switch updates, via an
+    /// epoch-versioned two-phase commit for multi-switch per-packet
+    /// ones).
+    pub fn txn(&mut self) -> NetworkUpdate {
+        NetworkUpdate::default()
+    }
+
+    /// The configuration epoch a transaction staged *now* would commit
+    /// as: current epoch + 1 + every transaction already in flight or
+    /// queued ahead of it. Apps use the parity to pick alternating
+    /// cookies/group ids so the lame epoch stays addressable for GC.
+    pub fn staged_epoch(&self) -> u64 {
+        self.planner.staged_epoch()
+    }
+
+    /// The currently committed configuration epoch.
+    pub fn config_epoch(&self) -> u64 {
+        self.planner.config_epoch()
+    }
+
+    /// The xid the next [`Ctl::send`] would allocate. The planner
+    /// brackets sends with this to learn which xids a batch actually
+    /// consumed (sends to unknown or non-mastered switches allocate
+    /// none).
+    pub(crate) fn peek_xid(&self) -> u32 {
+        *self.xid
+    }
+
+    /// Commit a staged network update (the target of
+    /// [`NetworkUpdate::commit`]).
+    ///
+    /// Relaxed updates — and per-packet updates that touch a single
+    /// switch, where the agent's own barrier ordering already gives
+    /// per-packet semantics — are sent immediately, in staging order.
+    /// Multi-switch per-packet updates are queued for the controller's
+    /// epoch planner, which runs them through the two-phase protocol
+    /// from its timer.
+    pub(crate) fn commit_update(&mut self, update: NetworkUpdate) {
+        if update.is_empty() {
+            return;
+        }
+        let two_phase =
+            update.consistency == Consistency::PerPacket && update.switches_touched() > 1;
+        if !two_phase {
+            if update.consistency == Consistency::PerPacket {
+                self.stats.txns_fast += 1;
+            }
+            for op in &update.ops {
+                self.send_op(op);
+            }
+            self.stats.txns_committed += 1;
+        } else {
+            self.planner.queue.push_back(update);
+        }
+    }
+
+    /// Translate one staged op into its wire message. Retire ops have
+    /// no special meaning outside a two-phase commit: they execute as
+    /// plain deletes in staging order.
+    fn send_op(&mut self, op: &UpdateOp) {
+        match op {
+            UpdateOp::Flow {
+                dpid,
+                table_id,
+                spec,
+                ..
+            } => self.send(
+                *dpid,
+                &Message::FlowMod {
+                    table_id: *table_id,
+                    cmd: FlowModCmd::Add(spec.clone()),
+                },
+            ),
+            UpdateOp::DeleteFlowsByCookie { dpid, cookie }
+            | UpdateOp::RetireFlowsByCookie { dpid, cookie } => self.send(
+                *dpid,
+                &Message::FlowMod {
+                    table_id: 0,
+                    cmd: FlowModCmd::DeleteByCookie { cookie: *cookie },
+                },
+            ),
+            UpdateOp::Group {
+                dpid,
+                group_id,
+                desc,
+            } => self.send(
+                *dpid,
+                &Message::GroupMod {
+                    group_id: *group_id,
+                    cmd: GroupModCmd::Add(desc.clone()),
+                },
+            ),
+            UpdateOp::DeleteGroup { dpid, group_id } | UpdateOp::RetireGroup { dpid, group_id } => {
+                self.send(
+                    *dpid,
+                    &Message::GroupMod {
+                        group_id: *group_id,
+                        cmd: GroupModCmd::Delete,
+                    },
+                )
+            }
+            UpdateOp::Meter {
+                dpid,
+                meter_id,
+                rate_bps,
+                burst_bytes,
+            } => self.send(
+                *dpid,
+                &Message::MeterMod {
+                    meter_id: *meter_id,
+                    cmd: MeterModCmd::Add {
+                        rate_bps: *rate_bps,
+                        burst_bytes: *burst_bytes,
+                    },
+                },
+            ),
+        }
+    }
+
     /// Install a flow.
+    #[deprecated(note = "stage through a transaction: ctl.txn() + NetworkUpdate::commit")]
     pub fn install_flow(&mut self, dpid: Dpid, table_id: u8, spec: FlowSpec) {
         self.send(
             dpid,
@@ -453,6 +589,7 @@ impl Ctl<'_, '_> {
     }
 
     /// Install or replace a group.
+    #[deprecated(note = "stage through a transaction: ctl.txn() + NetworkUpdate::commit")]
     pub fn install_group(&mut self, dpid: Dpid, group_id: u32, desc: GroupDesc) {
         self.send(
             dpid,
@@ -464,6 +601,7 @@ impl Ctl<'_, '_> {
     }
 
     /// Install or replace a meter.
+    #[deprecated(note = "stage through a transaction: ctl.txn() + NetworkUpdate::commit")]
     pub fn install_meter(&mut self, dpid: Dpid, meter_id: u32, rate_bps: u64, burst_bytes: u64) {
         self.send(
             dpid,
@@ -545,6 +683,8 @@ pub struct Controller {
     cluster: Option<ClusterState>,
     /// Present when `cfg.admission` is set.
     admission: Option<AdmissionState>,
+    /// Epoch-versioned two-phase update planner.
+    planner: UpdatePlanner,
     xid: u32,
     /// Counters.
     pub stats: CtlStats,
@@ -574,9 +714,20 @@ impl Controller {
             agent_generations: BTreeMap::new(),
             cluster: None,
             admission: cfg.admission.map(AdmissionState::new),
+            planner: UpdatePlanner::default(),
             xid: 1,
             stats: CtlStats::default(),
         }
+    }
+
+    /// The committed configuration epoch (post-run inspection).
+    pub fn config_epoch(&self) -> u64 {
+        self.planner.config_epoch()
+    }
+
+    /// Whether a two-phase network update is active or queued.
+    pub fn txn_busy(&self) -> bool {
+        self.planner.is_busy()
     }
 
     /// Turn this controller into replica `cfg.index` of a cluster. Call
@@ -664,6 +815,7 @@ impl Controller {
                 pending: &mut self.pending,
                 dirty: &mut self.dirty,
                 cluster: self.cluster.as_mut(),
+                planner: &mut self.planner,
             };
             f(&mut apps, &mut ctl);
         }
@@ -878,6 +1030,7 @@ impl Controller {
         for x in superseded {
             self.pending.remove(&x);
             self.stats.mods_superseded += 1;
+            self.planner.note_xid(x, false);
         }
         self.note_mastership_trace(ctx, dpid, false);
         self.with_apps(ctx, |apps, ctl| {
@@ -1003,6 +1156,7 @@ impl Controller {
         for xid in failed {
             self.pending.remove(&xid);
             self.stats.mods_failed += 1;
+            self.planner.note_xid(xid, false);
         }
         for xid in resend {
             let p = self.pending.get_mut(&xid).expect("collected above");
@@ -1415,8 +1569,331 @@ impl Controller {
             .with_cookie(PUSHBACK_COOKIE)
             .with_importance(PUSHBACK_IMPORTANCE);
             self.with_apps(ctx, |_, ctl| {
-                ctl.install_flow(dpid, 0, spec);
+                let mut txn = ctl.txn();
+                txn.flow(dpid, 0, spec);
+                txn.commit(ctl);
             });
+        }
+    }
+
+    /// Drive the epoch-versioned two-phase update planner: activate the
+    /// next queued [`NetworkUpdate`] when idle, and advance the active
+    /// transaction through staging → flipping → draining as its barrier
+    /// acks arrive. Called from the tick timer and after every control
+    /// batch (acks resolve there), so phase transitions happen promptly.
+    fn planner_pump(&mut self, ctx: &mut Context<'_>) {
+        if !self.planner.is_busy() {
+            return;
+        }
+        // The standard take/put dance: the planner must be out of
+        // `self` while we call `with_apps` (callbacks get a fresh
+        // default planner). Mirror the epoch into the stand-in so
+        // callbacks that consult `staged_epoch` pick the right parity.
+        let mut planner = std::mem::take(&mut self.planner);
+        self.planner.config_epoch = planner.config_epoch;
+        loop {
+            if planner.active.is_none() {
+                let Some(update) = planner.queue.pop_front() else {
+                    break;
+                };
+                planner.active = Some(self.activate_txn(ctx, &planner, update));
+                continue;
+            }
+            let now = ctx.now();
+            let txn = planner.active.as_mut().expect("checked above");
+            match txn.phase {
+                TxnPhase::Staging => {
+                    if txn.failed || now >= txn.deadline {
+                        // A staged mod failed or a touched switch never
+                        // acked: the new epoch is not fully installed
+                        // anywhere packets could reach it, so undo the
+                        // footprint and report the abort.
+                        let txn = planner.active.take().expect("checked above");
+                        self.abort_txn(ctx, txn);
+                        continue;
+                    }
+                    if !txn.outstanding.is_empty() {
+                        break;
+                    }
+                    // Every internal rule is acked: flip the edge.
+                    txn.phase = TxnPhase::Flipping;
+                    txn.deadline = now + self.cfg.txn_deadline;
+                    let epoch = txn.epoch;
+                    let msgs = std::mem::take(&mut txn.flip_msgs);
+                    let mut outstanding = BTreeSet::new();
+                    self.record_epoch_phase(ctx, epoch, TxnPhase::Flipping.name());
+                    self.send_tracked_batch(ctx, &msgs, &mut outstanding);
+                    txn.outstanding = outstanding;
+                    if !txn.outstanding.is_empty() {
+                        break;
+                    }
+                }
+                TxnPhase::Flipping => {
+                    if txn.failed {
+                        // A flip mod failed. The new epoch is fully
+                        // staged and other edges already stamp it, so
+                        // aborting now would be worse than finishing:
+                        // count it and leave the straggler edge to the
+                        // quarantine/resync machinery.
+                        self.stats.epoch_flip_failures += 1;
+                        txn.failed = false;
+                    }
+                    if txn.outstanding.is_empty() || now >= txn.deadline {
+                        txn.phase = TxnPhase::Draining;
+                        txn.drain_until = now + self.cfg.txn_drain;
+                        let epoch = txn.epoch;
+                        self.record_epoch_phase(ctx, epoch, TxnPhase::Draining.name());
+                    }
+                    break;
+                }
+                TxnPhase::Draining => {
+                    if now < txn.drain_until {
+                        break;
+                    }
+                    // Old-epoch packets have drained: the epoch is
+                    // committed. Send the old configuration's retire
+                    // wave, but keep the transaction open until it is
+                    // acked — the next epoch reuses this parity's
+                    // cookies and group ids, and a retire retransmitted
+                    // after a lost ack must never land on top of them.
+                    txn.phase = TxnPhase::Retiring;
+                    txn.deadline = now + self.cfg.txn_deadline;
+                    let epoch = txn.epoch;
+                    let owner = txn.owner;
+                    let token = txn.token;
+                    let msgs = std::mem::take(&mut txn.retire_msgs);
+                    self.record_epoch_phase(ctx, epoch, "committed");
+                    let mut retired = BTreeSet::new();
+                    self.send_tracked_batch(ctx, &msgs, &mut retired);
+                    let txn = planner.active.as_mut().expect("checked above");
+                    txn.outstanding = retired;
+                    txn.failed = false;
+                    planner.config_epoch = epoch;
+                    self.planner.config_epoch = epoch;
+                    self.stats.txns_committed += 1;
+                    self.with_apps(ctx, |apps, ctl| {
+                        for app in apps.iter_mut() {
+                            app.on_update_committed(ctl, owner, token);
+                        }
+                    });
+                    continue;
+                }
+                TxnPhase::Retiring => {
+                    // Retires are best-effort garbage collection: a
+                    // failed one (switch died, resync superseded it)
+                    // stops retransmitting and leaves stale rules only
+                    // a resync will rebuild anyway — keep waiting for
+                    // the rest, they are still on the wire.
+                    txn.failed = false;
+                    if txn.outstanding.is_empty() || now >= txn.deadline {
+                        planner.active = None;
+                        continue;
+                    }
+                    break;
+                }
+            }
+        }
+        // Updates committed by callbacks during the pump landed in the
+        // stand-in's queue: carry them over.
+        planner.queue.extend(self.planner.queue.drain(..));
+        self.planner = planner;
+    }
+
+    /// Stage a committed update under the next epoch: decorate and send
+    /// everything except the edge flips (held back for the flip) and
+    /// the retire ops (held back for after the drain).
+    fn activate_txn(
+        &mut self,
+        ctx: &mut Context<'_>,
+        planner: &UpdatePlanner,
+        update: NetworkUpdate,
+    ) -> ActiveTxn {
+        let epoch = planner.config_epoch + 1;
+        let tag = epoch_tag(epoch);
+        let mut stage_msgs: Vec<(Dpid, Message)> = Vec::new();
+        let mut flip_msgs: Vec<(Dpid, Message)> = Vec::new();
+        let mut retire_msgs: Vec<(Dpid, Message)> = Vec::new();
+        let mut staged_cookies = BTreeSet::new();
+        let mut staged_groups = BTreeSet::new();
+        for op in update.ops {
+            match op {
+                UpdateOp::Flow {
+                    dpid,
+                    table_id,
+                    mut spec,
+                    role,
+                } => match role {
+                    FlowRole::Edge => {
+                        // The flip: the rule starts stamping the new
+                        // epoch the moment it replaces its predecessor
+                        // (same priority + match).
+                        spec.actions.insert(0, Action::SetEpoch(tag));
+                        flip_msgs.push((
+                            dpid,
+                            Message::FlowMod {
+                                table_id,
+                                cmd: FlowModCmd::Add(spec),
+                            },
+                        ));
+                    }
+                    FlowRole::Internal | FlowRole::Plain => {
+                        if role == FlowRole::Internal {
+                            spec.matcher.epoch = Some(Some(tag));
+                        }
+                        staged_cookies.insert((dpid, spec.cookie));
+                        stage_msgs.push((
+                            dpid,
+                            Message::FlowMod {
+                                table_id,
+                                cmd: FlowModCmd::Add(spec),
+                            },
+                        ));
+                    }
+                },
+                UpdateOp::DeleteFlowsByCookie { dpid, cookie } => stage_msgs.push((
+                    dpid,
+                    Message::FlowMod {
+                        table_id: 0,
+                        cmd: FlowModCmd::DeleteByCookie { cookie },
+                    },
+                )),
+                UpdateOp::Group {
+                    dpid,
+                    group_id,
+                    desc,
+                } => {
+                    staged_groups.insert((dpid, group_id));
+                    stage_msgs.push((
+                        dpid,
+                        Message::GroupMod {
+                            group_id,
+                            cmd: GroupModCmd::Add(desc),
+                        },
+                    ));
+                }
+                UpdateOp::DeleteGroup { dpid, group_id } => stage_msgs.push((
+                    dpid,
+                    Message::GroupMod {
+                        group_id,
+                        cmd: GroupModCmd::Delete,
+                    },
+                )),
+                UpdateOp::Meter {
+                    dpid,
+                    meter_id,
+                    rate_bps,
+                    burst_bytes,
+                } => stage_msgs.push((
+                    dpid,
+                    Message::MeterMod {
+                        meter_id,
+                        cmd: MeterModCmd::Add {
+                            rate_bps,
+                            burst_bytes,
+                        },
+                    },
+                )),
+                UpdateOp::RetireFlowsByCookie { dpid, cookie } => retire_msgs.push((
+                    dpid,
+                    Message::FlowMod {
+                        table_id: 0,
+                        cmd: FlowModCmd::DeleteByCookie { cookie },
+                    },
+                )),
+                UpdateOp::RetireGroup { dpid, group_id } => retire_msgs.push((
+                    dpid,
+                    Message::GroupMod {
+                        group_id,
+                        cmd: GroupModCmd::Delete,
+                    },
+                )),
+            }
+        }
+        self.record_epoch_phase(ctx, epoch, TxnPhase::Staging.name());
+        let mut outstanding = BTreeSet::new();
+        self.send_tracked_batch(ctx, &stage_msgs, &mut outstanding);
+        ActiveTxn {
+            epoch,
+            phase: TxnPhase::Staging,
+            owner: update.owner,
+            token: update.token,
+            outstanding,
+            failed: false,
+            deadline: ctx.now() + self.cfg.txn_deadline,
+            drain_until: Instant::ZERO,
+            flip_msgs,
+            retire_msgs,
+            staged_cookies,
+            staged_groups,
+        }
+    }
+
+    /// Send a batch over the tracked path, recording which xids it
+    /// actually consumed. Sends to unknown or non-mastered switches
+    /// allocate no xid and therefore join no wait set — a dead switch
+    /// fails a transaction by deadline, never by wedging it.
+    fn send_tracked_batch(
+        &mut self,
+        ctx: &mut Context<'_>,
+        msgs: &[(Dpid, Message)],
+        outstanding: &mut BTreeSet<u32>,
+    ) {
+        self.with_apps(ctx, |_, ctl| {
+            for (dpid, msg) in msgs {
+                let x = ctl.peek_xid();
+                ctl.send(*dpid, msg);
+                if ctl.peek_xid() != x {
+                    outstanding.insert(x);
+                }
+            }
+        });
+    }
+
+    /// Tear down an active transaction that cannot complete: delete the
+    /// staged new-epoch footprint (no packet is stamped with that epoch
+    /// yet, so this is invisible to traffic) and notify the owner.
+    fn abort_txn(&mut self, ctx: &mut Context<'_>, txn: ActiveTxn) {
+        self.record_epoch_phase(ctx, txn.epoch, "aborted");
+        self.stats.txns_aborted += 1;
+        let mut deletes: Vec<(Dpid, Message)> = Vec::new();
+        for &(dpid, cookie) in &txn.staged_cookies {
+            deletes.push((
+                dpid,
+                Message::FlowMod {
+                    table_id: 0,
+                    cmd: FlowModCmd::DeleteByCookie { cookie },
+                },
+            ));
+        }
+        for &(dpid, group_id) in &txn.staged_groups {
+            deletes.push((
+                dpid,
+                Message::GroupMod {
+                    group_id,
+                    cmd: GroupModCmd::Delete,
+                },
+            ));
+        }
+        let mut scratch = BTreeSet::new();
+        self.send_tracked_batch(ctx, &deletes, &mut scratch);
+        self.with_apps(ctx, |apps, ctl| {
+            for app in apps.iter_mut() {
+                app.on_update_aborted(ctl, txn.owner, txn.token);
+            }
+        });
+    }
+
+    /// Flight-record a two-phase transaction phase transition on the
+    /// network-wide control timeline.
+    fn record_epoch_phase(&mut self, ctx: &mut Context<'_>, epoch: u64, phase: &'static str) {
+        let now = ctx.now();
+        let rec = ctx.recorder();
+        if rec.is_enabled() {
+            rec.record(
+                now.as_nanos(),
+                control_trace(0),
+                TraceEvent::EpochPhase { epoch, phase },
+            );
         }
     }
 
@@ -1693,6 +2170,7 @@ impl Controller {
                         }
                         if let Some(p) = self.pending.remove(&mx) {
                             self.stats.mods_acked += 1;
+                            self.planner.note_xid(mx, true);
                             let rec = ctx.recorder();
                             if rec.is_enabled() {
                                 if let Some(trace) = rec.take_xid(mx) {
@@ -1751,6 +2229,7 @@ impl Controller {
                     for x in superseded {
                         self.pending.remove(&x);
                         self.stats.mods_superseded += 1;
+                        self.planner.note_xid(x, false);
                     }
                     self.shadow.insert(dpid, reported);
                     if self.cluster.is_some() && self.is_master_of(dpid) {
@@ -1828,6 +2307,7 @@ impl Controller {
                     // master's world now.
                     if self.pending.remove(&mx).is_some() {
                         self.stats.mods_superseded += 1;
+                        self.planner.note_xid(mx, false);
                     }
                 }
             }
@@ -1848,6 +2328,7 @@ impl Controller {
                     let mx = u32::from_be_bytes([data[0], data[1], data[2], data[3]]);
                     if self.pending.remove(&mx).is_some() {
                         self.stats.mods_failed += 1;
+                        self.planner.note_xid(mx, false);
                     }
                 }
                 self.with_apps(ctx, |apps, ctl| {
@@ -1930,6 +2411,7 @@ impl Node for Controller {
                     app.tick(ctl);
                 }
             });
+            self.planner_pump(ctx);
             self.flush_barriers(ctx);
             ctx.set_timer(self.cfg.tick_interval, TIMER_TICK);
         }
@@ -1975,6 +2457,7 @@ impl Node for Controller {
         if !punts.is_empty() {
             self.handle_packet_in_batch(ctx, from, &punts);
         }
+        self.planner_pump(ctx);
         self.flush_barriers(ctx);
     }
 

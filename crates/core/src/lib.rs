@@ -29,7 +29,9 @@ pub mod apps;
 pub mod cbench;
 pub mod controller;
 pub mod harness;
+pub mod policy;
 pub mod snapshot;
+pub mod txn;
 pub mod view;
 
 pub use agent::{AgentConfig, ConnLossPolicy, ConnState, PuntMeterConfig, SwitchAgent};
@@ -44,4 +46,5 @@ pub use harness::{
     Fabric, FabricOptions,
 };
 pub use snapshot::export_jsonl;
+pub use txn::{Consistency, NetworkUpdate, UpdatePlanner};
 pub use view::{Dpid, HostEntry, NetworkView, SwitchInfo};

@@ -33,6 +33,12 @@ pub enum Action {
     PushVlan(u16),
     /// Pop the outer 802.1Q tag (no-op on untagged frames).
     PopVlan,
+    /// Stamp the frame with a configuration-epoch tag (a reserved-range
+    /// 802.1Q tag, see [`crate::epoch`]). If an epoch tag is already
+    /// present it is rewritten in place; otherwise one is pushed.
+    SetEpoch(u16),
+    /// Strip the epoch tag, if the outer tag is one (no-op otherwise).
+    PopEpoch,
     /// Process through a group.
     Group(u32),
     /// Apply a meter; the frame is dropped if the meter is red.
@@ -95,6 +101,14 @@ pub fn apply_rewrite(action: Action, frame: &mut Vec<u8>) -> Rewrite {
         }
         Action::PopVlan => {
             pop_vlan(frame);
+            Rewrite::Continue
+        }
+        Action::SetEpoch(tag) => {
+            set_epoch(frame, tag);
+            Rewrite::Continue
+        }
+        Action::PopEpoch => {
+            pop_epoch(frame);
             Rewrite::Continue
         }
         _ => Rewrite::Continue,
@@ -185,6 +199,37 @@ fn pop_vlan(frame: &mut Vec<u8>) {
     }
 }
 
+/// The VLAN id of the outer 802.1Q tag, if the frame wears one.
+fn outer_vid(frame: &[u8]) -> Option<u16> {
+    if frame.len() < ethernet::HEADER_LEN + 4 {
+        return None;
+    }
+    if u16::from_be_bytes([frame[12], frame[13]]) != 0x8100 {
+        return None;
+    }
+    Some(u16::from_be_bytes([frame[14], frame[15]]) & 0x0fff)
+}
+
+/// Stamp `tag` (an epoch-range VLAN id) onto the frame: rewrite an
+/// existing epoch tag in place, else push a fresh 802.1Q tag.
+fn set_epoch(frame: &mut Vec<u8>, tag: u16) {
+    let tag = tag & 0x0fff;
+    match outer_vid(frame) {
+        Some(vid) if crate::epoch::is_epoch_tag(vid) => {
+            frame[14..16].copy_from_slice(&tag.to_be_bytes());
+        }
+        _ => push_vlan(frame, tag),
+    }
+}
+
+/// Remove the outer tag only if it is an epoch tag, so plain VLANs
+/// survive an edge rule that unconditionally strips epochs.
+fn pop_epoch(frame: &mut Vec<u8>) {
+    if outer_vid(frame).is_some_and(crate::epoch::is_epoch_tag) {
+        frame.drain(12..16);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +307,44 @@ mod tests {
         let mut frame = original.clone();
         apply_rewrite(Action::PopVlan, &mut frame);
         assert_eq!(frame, original);
+    }
+
+    #[test]
+    fn epoch_stamp_rewrite_and_strip() {
+        let original = udp_frame();
+        let mut frame = original.clone();
+        let t1 = crate::epoch::epoch_tag(1);
+        let t2 = crate::epoch::epoch_tag(2);
+
+        // Stamp pushes a tag; the key surfaces it as epoch, not vlan.
+        apply_rewrite(Action::SetEpoch(t1), &mut frame);
+        assert_eq!(frame.len(), original.len() + 4);
+        let key = FlowKey::extract(1, &frame).unwrap();
+        assert_eq!((key.epoch, key.vlan), (Some(t1), None));
+
+        // Re-stamping rewrites in place (no double tag).
+        apply_rewrite(Action::SetEpoch(t2), &mut frame);
+        assert_eq!(frame.len(), original.len() + 4);
+        let key = FlowKey::extract(1, &frame).unwrap();
+        assert_eq!(key.epoch, Some(t2));
+
+        // Stripping restores the original frame exactly.
+        apply_rewrite(Action::PopEpoch, &mut frame);
+        assert_eq!(frame, original);
+    }
+
+    #[test]
+    fn pop_epoch_leaves_plain_vlan_alone() {
+        let mut frame = udp_frame();
+        apply_rewrite(Action::PushVlan(42), &mut frame);
+        let tagged = frame.clone();
+        apply_rewrite(Action::PopEpoch, &mut frame);
+        assert_eq!(frame, tagged);
+
+        let untagged = udp_frame();
+        let mut frame = untagged.clone();
+        apply_rewrite(Action::PopEpoch, &mut frame);
+        assert_eq!(frame, untagged);
     }
 
     #[test]

@@ -303,6 +303,7 @@ impl Datapath {
             eth_dst: zen_wire::EthernetAddress::ZERO,
             ethertype: 0,
             vlan: None,
+            epoch: None,
             ipv4: None,
             l4: None,
         });

@@ -1,0 +1,58 @@
+//! Configuration-epoch tagging for per-packet consistent updates.
+//!
+//! Two-phase updates (Reitblatt et al.) need packets to carry the
+//! configuration version they entered the network under, so internal
+//! rules can match "entirely old" or "entirely new" state and never a
+//! mix. We carry the epoch in a reserved slice of the 802.1Q VLAN-id
+//! space: edge rules stamp `epoch_tag(epoch)` onto untagged frames,
+//! internal rules match it, and the egress edge strips it before
+//! delivery. The reserved range is disjoint from the tag bases the TE
+//! app allocates (100 and 2100), so epoch tags and TE tunnel tags never
+//! collide; a frame wears at most one of them.
+//!
+//! [`crate::key::FlowKey::extract`] recognises the reserved range and
+//! surfaces the tag as [`crate::key::FlowKey::epoch`] instead of
+//! `vlan`, so epoch-qualified rules and plain VLAN rules live in
+//! disjoint match dimensions and megaflow masks stay sound.
+
+/// First VLAN id of the reserved epoch-tag range.
+pub const EPOCH_TAG_BASE: u16 = 0x0e00;
+
+/// Number of VLAN ids reserved for epoch tags. Epochs wrap modulo this
+/// span; with two-phase commit at most two epochs are ever live at once,
+/// so 256 distinct tags give a comfortable reuse distance.
+pub const EPOCH_TAG_SPAN: u16 = 0x0100;
+
+/// The VLAN-id encoding of a configuration epoch.
+pub fn epoch_tag(epoch: u64) -> u16 {
+    EPOCH_TAG_BASE + (epoch % u64::from(EPOCH_TAG_SPAN)) as u16
+}
+
+/// Whether a VLAN id falls in the reserved epoch-tag range.
+pub fn is_epoch_tag(vid: u16) -> bool {
+    (EPOCH_TAG_BASE..EPOCH_TAG_BASE + EPOCH_TAG_SPAN).contains(&vid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_wrap_inside_reserved_range() {
+        assert_eq!(epoch_tag(0), EPOCH_TAG_BASE);
+        assert_eq!(epoch_tag(1), EPOCH_TAG_BASE + 1);
+        assert_eq!(epoch_tag(u64::from(EPOCH_TAG_SPAN)), EPOCH_TAG_BASE);
+        for e in 0..1024u64 {
+            assert!(is_epoch_tag(epoch_tag(e)));
+        }
+    }
+
+    #[test]
+    fn te_tag_bases_are_outside_the_range() {
+        assert!(!is_epoch_tag(100));
+        assert!(!is_epoch_tag(2100));
+        assert!(!is_epoch_tag(0));
+        assert!(!is_epoch_tag(EPOCH_TAG_BASE - 1));
+        assert!(!is_epoch_tag(EPOCH_TAG_BASE + EPOCH_TAG_SPAN));
+    }
+}

@@ -40,8 +40,12 @@ pub struct FlowKey {
     pub eth_dst: EthernetAddress,
     /// The *inner* EtherType (past any single 802.1Q tag).
     pub ethertype: u16,
-    /// The VLAN id if the frame is tagged.
+    /// The VLAN id if the frame is tagged (excluding epoch tags).
     pub vlan: Option<u16>,
+    /// The configuration-epoch tag, if the outer 802.1Q tag falls in the
+    /// reserved epoch range (see [`crate::epoch`]). Such frames report
+    /// `vlan: None`: epoch tags and plain VLANs are disjoint dimensions.
+    pub epoch: Option<u16>,
     /// IPv4 fields if the frame carries IPv4.
     pub ipv4: Option<Ipv4Key>,
     /// L4 ports if the frame carries TCP or UDP over IPv4.
@@ -60,6 +64,7 @@ impl FlowKey {
             eth_dst: eth.dst_addr(),
             ethertype: eth.ethertype().into(),
             vlan: None,
+            epoch: None,
             ipv4: None,
             l4: None,
         };
@@ -69,7 +74,12 @@ impl FlowKey {
             if payload.len() < 4 {
                 return Some(key);
             }
-            key.vlan = Some(u16::from_be_bytes([payload[0], payload[1]]) & 0x0fff);
+            let vid = u16::from_be_bytes([payload[0], payload[1]]) & 0x0fff;
+            if crate::epoch::is_epoch_tag(vid) {
+                key.epoch = Some(vid);
+            } else {
+                key.vlan = Some(vid);
+            }
             key.ethertype = u16::from_be_bytes([payload[2], payload[3]]);
             payload = &payload[4..];
         }
@@ -203,6 +213,21 @@ mod tests {
         frame.extend_from_slice(&inner[12..]); // ethertype + payload
         let key = FlowKey::extract(1, &frame).unwrap();
         assert_eq!(key.vlan, Some(100));
+        assert_eq!(key.epoch, None);
+        assert_eq!(key.ethertype, 0x0800);
+        assert!(key.ipv4.is_some());
+    }
+
+    #[test]
+    fn epoch_range_tag_surfaces_as_epoch_not_vlan() {
+        let inner = PacketBuilder::udp(M1, IP1, 1, M2, IP2, 2, b"x");
+        let mut frame = inner[..12].to_vec();
+        frame.extend_from_slice(&0x8100u16.to_be_bytes());
+        frame.extend_from_slice(&crate::epoch::epoch_tag(3).to_be_bytes());
+        frame.extend_from_slice(&inner[12..]);
+        let key = FlowKey::extract(1, &frame).unwrap();
+        assert_eq!(key.vlan, None);
+        assert_eq!(key.epoch, Some(crate::epoch::epoch_tag(3)));
         assert_eq!(key.ethertype, 0x0800);
         assert!(key.ipv4.is_some());
     }

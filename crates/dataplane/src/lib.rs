@@ -31,6 +31,7 @@
 pub mod action;
 pub mod cache;
 pub mod datapath;
+pub mod epoch;
 pub mod group;
 pub mod key;
 pub mod matching;
@@ -40,6 +41,7 @@ pub mod table;
 pub use action::Action;
 pub use cache::{CacheStats, FlowCache, Program, Segment};
 pub use datapath::{Datapath, Effect, MissPolicy};
+pub use epoch::{epoch_tag, is_epoch_tag, EPOCH_TAG_BASE, EPOCH_TAG_SPAN};
 pub use group::{Bucket, GroupDesc, GroupTable, GroupType};
 pub use key::FlowKey;
 pub use matching::{FlowMatch, KeyMask};

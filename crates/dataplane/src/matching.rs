@@ -29,6 +29,8 @@ pub struct KeyMask {
     pub ethertype: bool,
     /// VLAN tag (presence and id) was consulted.
     pub vlan: bool,
+    /// Configuration-epoch tag (presence and id) was consulted.
+    pub epoch: bool,
     /// Whether the frame carries IPv4 was consulted.
     pub ipv4_presence: bool,
     /// Longest source-prefix length consulted (0 = none).
@@ -68,6 +70,7 @@ impl KeyMask {
             },
             ethertype: if self.ethertype { key.ethertype } else { 0 },
             vlan: if self.vlan { key.vlan } else { None },
+            epoch: if self.epoch { key.epoch } else { None },
             ipv4: if wants_ipv4 {
                 key.ipv4.map(|ip| Ipv4Key {
                     src: mask_addr(ip.src, self.ipv4_src_plen),
@@ -115,6 +118,9 @@ pub struct FlowMatch {
     pub ethertype: Option<u16>,
     /// VLAN id; `Some(None)` matches untagged frames specifically.
     pub vlan: Option<Option<u16>>,
+    /// Configuration-epoch tag; `Some(None)` matches un-stamped frames
+    /// specifically, `Some(Some(tag))` requires the given epoch tag.
+    pub epoch: Option<Option<u16>>,
     /// IPv4 source prefix. Implies the frame must carry IPv4.
     pub ipv4_src: Option<Ipv4Cidr>,
     /// IPv4 destination prefix. Implies the frame must carry IPv4.
@@ -135,6 +141,7 @@ impl FlowMatch {
         eth_dst: None,
         ethertype: None,
         vlan: None,
+        epoch: None,
         ipv4_src: None,
         ipv4_dst: None,
         ip_proto: None,
@@ -151,6 +158,7 @@ impl FlowMatch {
             eth_dst: Some(key.eth_dst),
             ethertype: Some(key.ethertype),
             vlan: Some(key.vlan),
+            epoch: Some(key.epoch),
             ipv4_src: key
                 .ipv4
                 .map(|ip| Ipv4Cidr::new(ip.src, 32).expect("32 is valid")),
@@ -223,6 +231,11 @@ impl FlowMatch {
         }
         if let Some(v) = self.vlan {
             if key.vlan != v {
+                return false;
+            }
+        }
+        if let Some(e) = self.epoch {
+            if key.epoch != e {
                 return false;
             }
         }
@@ -300,6 +313,12 @@ impl FlowMatch {
                 return false;
             }
         }
+        if let Some(e) = self.epoch {
+            mask.epoch = true;
+            if key.epoch != e {
+                return false;
+            }
+        }
         if self.ipv4_src.is_some() || self.ipv4_dst.is_some() || self.ip_proto.is_some() {
             mask.ipv4_presence = true;
             let Some(ip) = key.ipv4 else {
@@ -355,6 +374,7 @@ impl FlowMatch {
         s += u32::from(self.eth_dst.is_some());
         s += u32::from(self.ethertype.is_some());
         s += u32::from(self.vlan.is_some());
+        s += u32::from(self.epoch.is_some());
         s += self.ipv4_src.map_or(0, |c| 1 + u32::from(c.prefix_len()));
         s += self.ipv4_dst.map_or(0, |c| 1 + u32::from(c.prefix_len()));
         s += u32::from(self.ip_proto.is_some());
@@ -434,6 +454,42 @@ mod tests {
             ..FlowMatch::ANY
         };
         assert!(!m.matches(&key));
+    }
+
+    #[test]
+    fn epoch_match_is_disjoint_from_vlan() {
+        let tag = crate::epoch::epoch_tag(7);
+        let mut stamped = udp_key();
+        stamped.epoch = Some(tag);
+        let unstamped = udp_key();
+
+        let wants_epoch = FlowMatch {
+            epoch: Some(Some(tag)),
+            ..FlowMatch::ANY
+        };
+        assert!(wants_epoch.matches(&stamped));
+        assert!(!wants_epoch.matches(&unstamped));
+
+        let wants_unstamped = FlowMatch {
+            epoch: Some(None),
+            ..FlowMatch::ANY
+        };
+        assert!(wants_unstamped.matches(&unstamped));
+        assert!(!wants_unstamped.matches(&stamped));
+
+        // An epoch tag is not a VLAN: untagged-VLAN rules still apply.
+        let untagged_vlan = FlowMatch {
+            vlan: Some(None),
+            ..FlowMatch::ANY
+        };
+        assert!(untagged_vlan.matches(&stamped));
+
+        // The mask records the consult, so cached megaflows from one
+        // epoch cannot swallow the other epoch's packets.
+        let mut mask = KeyMask::default();
+        assert!(wants_epoch.matches_masked(&stamped, &mut mask));
+        assert!(mask.epoch);
+        assert_ne!(mask.project(&stamped), mask.project(&unstamped));
     }
 
     #[test]

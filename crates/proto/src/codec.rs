@@ -265,6 +265,7 @@ fn put_match(out: &mut Vec<u8>, m: &FlowMatch) {
         m.ip_proto.is_some(),
         m.l4_src.is_some(),
         m.l4_dst.is_some(),
+        m.epoch.is_some(),
     ]
     .into_iter()
     .enumerate()
@@ -315,12 +316,24 @@ fn put_match(out: &mut Vec<u8>, m: &FlowMatch) {
     if let Some(p) = m.l4_dst {
         out.put_u16(p);
     }
+    if let Some(e) = m.epoch {
+        match e {
+            Some(tag) => {
+                out.put_u8(1);
+                out.put_u16(tag);
+            }
+            None => {
+                out.put_u8(0);
+                out.put_u16(0);
+            }
+        }
+    }
 }
 
 fn get_match(rd: &mut Rd<'_>) -> Result<FlowMatch> {
     let bits_at = rd.pos();
     let bits = rd.u16()?;
-    if bits >> 10 != 0 {
+    if bits >> 11 != 0 {
         return Err(CodecError::BadTag {
             field: "match.fields",
             value: bits as u32,
@@ -371,6 +384,22 @@ fn get_match(rd: &mut Rd<'_>) -> Result<FlowMatch> {
     if bits & (1 << 9) != 0 {
         m.l4_dst = Some(rd.u16()?);
     }
+    if bits & (1 << 10) != 0 {
+        let stamped_at = rd.pos();
+        let stamped = rd.u8()?;
+        let tag = rd.u16()?;
+        m.epoch = Some(match stamped {
+            0 => None,
+            1 => Some(tag),
+            other => {
+                return Err(CodecError::BadTag {
+                    field: "match.epoch_stamped",
+                    value: other as u32,
+                    offset: stamped_at,
+                })
+            }
+        });
+    }
     Ok(m)
 }
 
@@ -419,6 +448,11 @@ fn put_action(out: &mut Vec<u8>, a: &Action) {
             out.put_u8(12);
             out.put_u32(id);
         }
+        Action::SetEpoch(tag) => {
+            out.put_u8(13);
+            out.put_u16(tag);
+        }
+        Action::PopEpoch => out.put_u8(14),
     }
 }
 
@@ -438,6 +472,8 @@ fn get_action(rd: &mut Rd<'_>) -> Result<Action> {
         10 => Action::PopVlan,
         11 => Action::Group(rd.u32()?),
         12 => Action::Meter(rd.u32()?),
+        13 => Action::SetEpoch(rd.u16()?),
+        14 => Action::PopEpoch,
         other => {
             return Err(CodecError::BadTag {
                 field: "action.kind",
@@ -1547,6 +1583,31 @@ mod tests {
             Message::FlowMod {
                 table_id: 0,
                 cmd: FlowModCmd::Add(spec_sample()),
+            },
+            Message::FlowMod {
+                table_id: 0,
+                cmd: FlowModCmd::Add(FlowSpec::new(
+                    60,
+                    FlowMatch {
+                        epoch: Some(Some(zen_dataplane::epoch_tag(5))),
+                        ..FlowMatch::ipv4_to("10.2.0.0/16".parse().unwrap())
+                    },
+                    vec![
+                        Action::SetEpoch(zen_dataplane::epoch_tag(6)),
+                        Action::PopEpoch,
+                        Action::Output(2),
+                    ],
+                )),
+            },
+            Message::FlowMod {
+                table_id: 0,
+                cmd: FlowModCmd::DeleteStrict {
+                    priority: 7,
+                    matcher: FlowMatch {
+                        epoch: Some(None),
+                        ..FlowMatch::ANY
+                    },
+                },
             },
             Message::FlowMod {
                 table_id: 1,

@@ -23,7 +23,7 @@ fn gen_cidr(rng: &mut Lcg) -> Ipv4Cidr {
 }
 
 fn gen_action(rng: &mut Lcg) -> Action {
-    match rng.gen_index(13) {
+    match rng.gen_index(15) {
         0 => Action::Output(1 + rng.gen_range(99) as u32),
         1 => Action::Flood,
         2 => Action::ToController {
@@ -38,7 +38,9 @@ fn gen_action(rng: &mut Lcg) -> Action {
         9 => Action::PushVlan(rng.gen_range(4096) as u16),
         10 => Action::PopVlan,
         11 => Action::Group(rng.next_u32()),
-        _ => Action::Meter(rng.next_u32()),
+        12 => Action::Meter(rng.next_u32()),
+        13 => Action::SetEpoch(zen_dataplane::epoch_tag(rng.next_u64())),
+        _ => Action::PopEpoch,
     }
 }
 
@@ -63,6 +65,7 @@ fn gen_match(rng: &mut Lcg) -> FlowMatch {
         eth_dst: opt(rng, gen_mac),
         ethertype: opt(rng, |r| r.next_u32() as u16),
         vlan: opt(rng, |r| opt(r, |r| r.gen_range(4096) as u16)),
+        epoch: opt(rng, |r| opt(r, |r| zen_dataplane::epoch_tag(r.next_u64()))),
         ipv4_src: opt(rng, gen_cidr),
         ipv4_dst: opt(rng, gen_cidr),
         ip_proto: opt(rng, |r| r.next_u32() as u8),

@@ -439,10 +439,10 @@ fn corruption_table() -> Vec<Corruption> {
             // after in_port(4) + action count(2)
             patch_at: HEADER_LEN + 6,
             clean: 1,
-            patch_to: 13,
+            patch_to: 15,
             expect: CodecError::BadTag {
                 field: "action.kind",
-                value: 13,
+                value: 15,
                 offset: HEADER_LEN + 6,
             },
         },
@@ -458,10 +458,10 @@ fn corruption_table() -> Vec<Corruption> {
             // after table_id(1) + cmd(1) + priority(2): bitmap high byte.
             patch_at: HEADER_LEN + 4,
             clean: 0,
-            patch_to: 0x04,
+            patch_to: 0x08,
             expect: CodecError::BadTag {
                 field: "match.fields",
-                value: 0x0400,
+                value: 0x0800,
                 offset: HEADER_LEN + 4,
             },
         },

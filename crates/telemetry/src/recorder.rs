@@ -187,6 +187,14 @@ pub enum TraceEvent {
         /// The offending ingress port.
         port: u32,
     },
+    /// A consistent-update transaction changed phase (staging, flip,
+    /// draining, committed, aborted).
+    EpochPhase {
+        /// The configuration epoch being installed.
+        epoch: u64,
+        /// The phase entered.
+        phase: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -210,6 +218,7 @@ impl TraceEvent {
             TraceEvent::PuntShed { .. } => "punt_shed",
             TraceEvent::PuntDeferred { .. } => "punt_deferred",
             TraceEvent::PushbackInstalled { .. } => "pushback_installed",
+            TraceEvent::EpochPhase { .. } => "epoch_phase",
         }
     }
 }
@@ -514,6 +523,7 @@ fn write_record(rec: &TraceRecord, out: &mut String) {
         TraceEvent::PushbackInstalled { dpid, port } => {
             line.u64("dpid", *dpid).u64("port", u64::from(*port))
         }
+        TraceEvent::EpochPhase { epoch, phase } => line.u64("epoch", *epoch).str("phase", phase),
     };
     line.finish(out);
 }
