@@ -7,7 +7,7 @@ set -eux
 cargo build --release --workspace
 cargo test --workspace -q
 cargo fmt --all --check
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings -D deprecated
 
 # Chaos soak: fixed-seed fault-injection run on a fat-tree; ignored in
 # the normal test pass because it simulates ~10 s of fabric time twice.
@@ -50,23 +50,23 @@ cargo test --release -p zen-core --test defense -- --ignored --nocapture
 # byte-identical.
 cargo test --release -p zen-core --test consistency -- --ignored --nocapture
 
-# E17 saturation bench, quick matrix: writes target/BENCH_E17.json
-# (uploaded as a CI artifact) and fails if peak closed-loop setups/sec
-# regresses more than 20% below the committed baseline. The baseline
-# path must be absolute: cargo runs bench binaries with CWD set to the
-# package directory.
-BENCH_E17_QUICK=1 BENCH_E17_BASELINE="$(pwd)/ci/BENCH_E17.baseline.json" \
-    cargo bench -p zen-bench --bench expt_saturation
+# Consensus soak: ACL intents and a mastership pin ride the replicated
+# log while the consensus leader is killed and healed, run twice from
+# the same seed, asserting byte-identical end states (election, log
+# replication, snapshot catch-up, digest anti-entropy, intent dispatch).
+cargo test --release -p zen-core --test consensus -- --ignored --nocapture
 
-# E18 storm bench, quick matrix: writes target/BENCH_E18.json (uploaded
-# as a CI artifact) and fails if the attack-mode defended innocent
-# setups/sec regresses more than 20% below the committed baseline.
-BENCH_E18_QUICK=1 BENCH_E18_BASELINE="$(pwd)/ci/BENCH_E18.baseline.json" \
-    cargo bench -p zen-bench --bench expt_storm
-
-# E19 consistent-update bench, quick matrix: writes target/BENCH_E19.json
-# (uploaded as a CI artifact), asserts the two-phase rewrite loses zero
-# packets while the naive burst does not, and fails if the two-phase
-# commit latency regresses more than 20% above the committed baseline.
-BENCH_E19_QUICK=1 BENCH_E19_BASELINE="$(pwd)/ci/BENCH_E19.baseline.json" \
-    cargo bench -p zen-bench --bench expt_consistent_update
+# Perf-regression gates: each runs one experiment bench in quick mode
+# against its committed baseline (ci/BENCH_<ID>.baseline.json), writes
+# target/BENCH_<ID>.json (uploaded as a CI artifact), and fails past
+# the regression threshold.
+#   E17: peak closed-loop setups/sec (floor)
+#   E18: attack-mode defended innocent setups/sec (floor)
+#   E19: two-phase rewrite commit latency (ceiling); also asserts the
+#        rewrite loses zero packets while the naive burst does not
+#   E20: digest-mode east-west entries at 5 replicas (ceiling); also
+#        asserts zero intents lost across a leader kill
+ci/bench_gate.sh E17 20
+ci/bench_gate.sh E18 20
+ci/bench_gate.sh E19 20
+ci/bench_gate.sh E20 20

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Run one experiment bench in quick mode against its committed baseline:
+#
+#   ci/bench_gate.sh <ID> [pct]
+#
+# <ID> is the experiment id (E17, E18, E19, E20); [pct] is the allowed
+# regression percentage against ci/BENCH_<ID>.baseline.json (default 20).
+# The bench writes target/BENCH_<ID>.json (uploaded as a CI artifact)
+# and exits non-zero past the threshold. The baseline path is passed
+# absolute: cargo runs bench binaries with CWD set to the package
+# directory.
+set -eu
+
+ID="${1:?usage: ci/bench_gate.sh <ID> [pct]}"
+PCT="${2:-20}"
+
+case "$ID" in
+E17) BENCH=expt_saturation ;;
+E18) BENCH=expt_storm ;;
+E19) BENCH=expt_consistent_update ;;
+E20) BENCH=expt_consensus ;;
+*)
+    echo "bench_gate: unknown experiment id '$ID'" >&2
+    exit 2
+    ;;
+esac
+
+CI_DIR=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+BASELINE="$CI_DIR/BENCH_$ID.baseline.json"
+if [ ! -f "$BASELINE" ]; then
+    echo "bench_gate: missing baseline $BASELINE" >&2
+    exit 2
+fi
+
+env "BENCH_${ID}_QUICK=1" \
+    "BENCH_${ID}_BASELINE=$BASELINE" \
+    "BENCH_${ID}_PCT=$PCT" \
+    cargo bench -p zen-bench --bench "$BENCH"

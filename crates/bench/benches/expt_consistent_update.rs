@@ -251,6 +251,10 @@ fn baseline_commit_ms(path: &str) -> Option<f64> {
 
 fn main() {
     let quick = std::env::var("BENCH_E19_QUICK").is_ok_and(|v| v == "1");
+    let pct: f64 = std::env::var("BENCH_E19_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20.0);
     let mut json = String::new();
 
     println!("# E19 — consistent updates: two-phase epoch rewrite vs naive burst");
@@ -362,7 +366,7 @@ fn main() {
     match std::env::var("BENCH_E19_BASELINE") {
         Ok(path) => match baseline_commit_ms(&path) {
             Some(base) => {
-                let ceiling = 1.2 * base;
+                let ceiling = base * (1.0 + pct / 100.0);
                 let measured = tp.commit_ms;
                 println!(
                     "# baseline {base:.2} ms ({path}); ceiling {ceiling:.2}, measured {measured:.2}"
@@ -370,7 +374,7 @@ fn main() {
                 if measured > ceiling {
                     eprintln!(
                         "E19 REGRESSION: two-phase rewrite commit {measured:.2} ms is more than \
-                         20% above baseline {base:.2} ms ({path})"
+                         {pct}% above baseline {base:.2} ms ({path})"
                     );
                     std::process::exit(1);
                 }

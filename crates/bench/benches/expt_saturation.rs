@@ -335,6 +335,10 @@ fn baseline_peak(path: &str) -> Option<f64> {
 
 fn main() {
     let quick = std::env::var("BENCH_E17_QUICK").is_ok_and(|v| v == "1");
+    let pct: f64 = std::env::var("BENCH_E17_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20.0);
     let target = target_setups(quick);
     let mut json = String::new();
 
@@ -457,13 +461,13 @@ fn main() {
     match std::env::var("BENCH_E17_BASELINE") {
         Ok(path) => match baseline_peak(&path) {
             Some(base) => {
-                let floor = 0.8 * base;
+                let floor = base * (1.0 - pct / 100.0);
                 println!(
                     "# baseline peak {base:.0} setups/s ({path}); floor {floor:.0}, measured {peak:.0}"
                 );
                 if peak < floor {
                     eprintln!(
-                        "E17 REGRESSION: peak {peak:.0} setups/s is more than 20% below \
+                        "E17 REGRESSION: peak {peak:.0} setups/s is more than {pct}% below \
                          baseline {base:.0} ({path})"
                     );
                     std::process::exit(1);

@@ -375,6 +375,10 @@ fn baseline_rate(path: &str) -> Option<f64> {
 
 fn main() {
     let quick = std::env::var("BENCH_E18_QUICK").is_ok_and(|v| v == "1");
+    let pct: f64 = std::env::var("BENCH_E18_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20.0);
     let mut json = String::new();
 
     println!("# E18 — storm survival (hostile workloads vs control-plane self-defense)");
@@ -536,14 +540,14 @@ fn main() {
     match std::env::var("BENCH_E18_BASELINE") {
         Ok(path) => match baseline_rate(&path) {
             Some(base) => {
-                let floor = 0.8 * base;
+                let floor = base * (1.0 - pct / 100.0);
                 println!(
                     "# baseline {base:.0} setups/s ({path}); floor {floor:.0}, measured {rate:.0}"
                 );
                 if rate < floor {
                     eprintln!(
                         "E18 REGRESSION: attack-mode defended innocent rate {rate:.0} setups/s \
-                         is more than 20% below baseline {base:.0} ({path})"
+                         is more than {pct}% below baseline {base:.0} ({path})"
                     );
                     std::process::exit(1);
                 }

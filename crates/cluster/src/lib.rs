@@ -12,12 +12,18 @@
 //!   **term** grows by the number of membership changes a replica has
 //!   observed, so the replica that lost *more* peers (the minority side
 //!   of a partition) always presents the strictly higher term.
-//! * [`EwStore`] — a per-replica monotonic event log with anti-entropy
-//!   sync. Each replica gossips only its own origin's entries; peers
-//!   acknowledge per-origin high-water marks in every heartbeat, and
-//!   the origin resends the unacknowledged contiguous suffix. Writes to
-//!   the same logical key resolve last-writer-wins on
-//!   `(term, seq, origin)`, like ONOS's eventually-consistent maps.
+//! * [`EwStore`] — per-origin monotonic event logs with digest-based
+//!   anti-entropy. Every replica retains entries from **all** origins
+//!   (so any live peer can repair any other), summarises each origin
+//!   log as an [`OriginHead`] — retention floor, applied head, and a
+//!   rolling chain hash over the entries — and peers compare digests to
+//!   fetch exactly the missing ranges. A replica that has fallen behind
+//!   a retention floor bootstraps from a checksummed snapshot of the
+//!   winning entry per key instead of replaying the full log. The
+//!   legacy suffix-resend mode ([`GossipMode::Suffix`]) is kept for
+//!   comparison benchmarks. Writes to the same logical key resolve
+//!   last-writer-wins on `(term, seq, origin)`, like ONOS's eventually
+//!   consistent maps.
 //!
 //! Everything is deterministic: no wall-clock time, no randomness, all
 //! maps ordered.
@@ -27,8 +33,23 @@
 
 use std::collections::BTreeMap;
 
-use zen_proto::{EwEntry, ViewEvent};
+use zen_consensus::{chain_ew, CHAIN_SEED};
+use zen_proto::{EwEntry, OriginHead, ViewEvent};
 use zen_sim::{Duration, Instant, NodeId};
+
+/// How replicas reconcile their east-west stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GossipMode {
+    /// Blind suffix resend: each origin pushes its unacknowledged
+    /// contiguous suffix to every peer each round. O(log length) per
+    /// reconciliation; kept as the benchmark baseline.
+    Suffix,
+    /// Digest anti-entropy: heartbeats carry per-origin
+    /// `(floor, head, hash)` summaries and peers fetch exactly the
+    /// missing ranges, falling back to a checksummed snapshot below
+    /// the retention floor.
+    Digest,
+}
 
 /// Static description of a cluster from one replica's point of view.
 #[derive(Debug, Clone)]
@@ -41,15 +62,19 @@ pub struct ClusterConfig {
     /// Silence threshold: a peer unheard from for this long is presumed
     /// dead and its switches are taken over.
     pub lease_timeout: Duration,
+    /// How the east-west store reconciles with peers.
+    pub gossip: GossipMode,
 }
 
 impl ClusterConfig {
-    /// A config with the default 300 ms mastership lease.
+    /// A config with the default 300 ms mastership lease and digest
+    /// anti-entropy.
     pub fn new(replicas: Vec<NodeId>, index: usize) -> ClusterConfig {
         ClusterConfig {
             replicas,
             index,
             lease_timeout: Duration::from_millis(300),
+            gossip: GossipMode::Digest,
         }
     }
 
@@ -226,63 +251,84 @@ pub enum Admit {
     Gap,
 }
 
-/// Per-replica monotonic event log with anti-entropy metadata. See the
-/// crate docs for the protocol.
+/// Per-origin monotonic event logs with digest anti-entropy metadata.
+/// See the crate docs for the protocol.
 #[derive(Debug)]
 pub struct EwStore {
     origin: u32,
     n_replicas: usize,
-    /// Our own entries not yet acknowledged by every peer, by seq.
-    log: BTreeMap<u64, EwEntry>,
+    /// Retained entries per origin, by seq. All origins are kept (not
+    /// just our own) so any live replica can repair any other.
+    logs: BTreeMap<u32, BTreeMap<u64, EwEntry>>,
+    /// Retention floor per origin: seqs at or below it are pruned and
+    /// only reachable through a snapshot.
+    floors: BTreeMap<u32, u64>,
+    /// Rolling chain hash per origin over entries `1..=applied_high`.
+    hashes: BTreeMap<u32, u64>,
     next_seq: u64,
     /// Highest contiguous seq applied locally, per origin. Our own slot
     /// is `next_seq - 1`.
     applied: BTreeMap<u32, u64>,
-    /// Highest of *our* seqs each peer has acknowledged.
-    peer_acked: BTreeMap<u32, u64>,
+    /// Per-origin high-water marks each peer has acknowledged.
+    peer_acks: BTreeMap<u32, BTreeMap<u32, u64>>,
     /// Winning `(term, seq, origin)` stamp per logical key.
     stamps: BTreeMap<EventKey, (u64, u64, u32)>,
+    /// The winning entry per logical key — the snapshot base.
+    winners: BTreeMap<EventKey, EwEntry>,
 }
 
 impl EwStore {
     /// An empty store for replica `origin` of `n_replicas`.
     pub fn new(origin: u32, n_replicas: usize) -> EwStore {
         let mut applied = BTreeMap::new();
-        let mut peer_acked = BTreeMap::new();
+        let mut peer_acks = BTreeMap::new();
         for i in 0..n_replicas as u32 {
             applied.insert(i, 0);
             if i != origin {
-                peer_acked.insert(i, 0);
+                peer_acks.insert(i, BTreeMap::new());
             }
         }
         EwStore {
             origin,
             n_replicas,
-            log: BTreeMap::new(),
+            logs: BTreeMap::new(),
+            floors: BTreeMap::new(),
+            hashes: BTreeMap::new(),
             next_seq: 1,
             applied,
-            peer_acked,
+            peer_acks,
             stamps: BTreeMap::new(),
+            winners: BTreeMap::new(),
         }
+    }
+
+    fn retain(&mut self, entry: EwEntry) {
+        let h = self.hashes.entry(entry.origin).or_insert(CHAIN_SEED);
+        *h = chain_ew(*h, &entry);
+        self.logs
+            .entry(entry.origin)
+            .or_default()
+            .insert(entry.seq, entry);
     }
 
     /// Log a local mutation under `term`, stamping its key. The caller
     /// has already applied it to local state (local observations are
     /// first-hand and always applied).
-    pub fn append(&mut self, term: u64, event: ViewEvent) -> &EwEntry {
+    pub fn append(&mut self, term: u64, event: ViewEvent) -> EwEntry {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.applied.insert(self.origin, seq);
-        self.stamps
-            .insert(event_key(&event), (term, seq, self.origin));
+        let key = event_key(&event);
+        self.stamps.insert(key, (term, seq, self.origin));
         let entry = EwEntry {
             origin: self.origin,
             seq,
             term,
             event,
         };
-        self.log.insert(seq, entry);
-        &self.log[&seq]
+        self.winners.insert(key, entry.clone());
+        self.retain(entry.clone());
+        entry
     }
 
     /// Decide what to do with a received entry and update the log
@@ -300,12 +346,14 @@ impl EwStore {
             return Admit::Gap;
         }
         self.applied.insert(entry.origin, entry.seq);
+        self.retain(entry.clone());
         let key = event_key(&entry.event);
         let stamp = (entry.term, entry.seq, entry.origin);
         match self.stamps.get(&key) {
             Some(&existing) if existing > stamp => Admit::Stale,
             _ => {
                 self.stamps.insert(key, stamp);
+                self.winners.insert(key, entry.clone());
                 Admit::Apply
             }
         }
@@ -317,37 +365,212 @@ impl EwStore {
         self.applied.iter().map(|(&o, &s)| (o, s)).collect()
     }
 
-    /// Record the acks a peer's heartbeat carried and prune log entries
-    /// every peer has acknowledged.
+    /// Record the acks a peer's heartbeat carried. Pruning is a
+    /// separate, liveness-aware step — [`prune_acked`](Self::prune_acked)
+    /// — so a dead replica cannot pin the log forever.
     pub fn note_peer_acks(&mut self, peer: u32, acks: &[(u32, u64)]) {
         if peer == self.origin {
             return;
         }
+        let slot = self.peer_acks.entry(peer).or_default();
         for &(origin, seq) in acks {
-            if origin == self.origin {
-                if let Some(slot) = self.peer_acked.get_mut(&peer) {
-                    *slot = (*slot).max(seq);
-                }
+            let e = slot.entry(origin).or_insert(0);
+            if seq > *e {
+                *e = seq;
             }
         }
-        let min_acked = self.peer_acked.values().copied().min().unwrap_or(u64::MAX);
-        self.log.retain(|&seq, _| seq > min_acked);
     }
 
-    /// Our entries `peer` has not yet acknowledged: the contiguous
-    /// suffix starting after its ack, capped at `max` entries.
+    /// Prune every origin log up to the minimum applied mark across
+    /// `live` replicas (self included). Dead replicas stop counting:
+    /// when one returns below a retention floor it bootstraps from a
+    /// snapshot instead of a replayed suffix.
+    pub fn prune_acked(&mut self, live: &[usize]) {
+        let origins: Vec<u32> = self.logs.keys().copied().collect();
+        for o in origins {
+            let mut min = self.applied_high(o);
+            for &p in live {
+                let p = p as u32;
+                if p == self.origin {
+                    continue;
+                }
+                let acked = self
+                    .peer_acks
+                    .get(&p)
+                    .and_then(|m| m.get(&o).copied())
+                    .unwrap_or(0);
+                min = min.min(acked);
+            }
+            if min == 0 {
+                continue;
+            }
+            if let Some(log) = self.logs.get_mut(&o) {
+                log.retain(|&seq, _| seq > min);
+            }
+            let floor = self.floors.entry(o).or_insert(0);
+            *floor = (*floor).max(min);
+        }
+    }
+
+    /// Our own entries `peer` has not yet acknowledged: the contiguous
+    /// suffix starting after its ack, capped at `max` entries. The
+    /// [`GossipMode::Suffix`] push path.
     pub fn pending_for(&self, peer: u32, max: usize) -> Vec<EwEntry> {
-        let from = self.peer_acked.get(&peer).copied().unwrap_or(0);
-        self.log
-            .range(from + 1..)
-            .take(max)
-            .map(|(_, e)| e.clone())
+        let from = self
+            .peer_acks
+            .get(&peer)
+            .and_then(|m| m.get(&self.origin).copied())
+            .unwrap_or(0);
+        match self.logs.get(&self.origin) {
+            Some(log) => log
+                .range(from + 1..)
+                .take(max)
+                .map(|(_, e)| e.clone())
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Per-origin summaries (floor, applied head, chain hash) to carry
+    /// in a heartbeat, ascending by origin. Two replicas with equal
+    /// heads and hashes hold identical logs and exchange nothing.
+    pub fn digest(&self) -> Vec<OriginHead> {
+        (0..self.n_replicas as u32)
+            .map(|o| OriginHead {
+                origin: o,
+                floor: self.floors.get(&o).copied().unwrap_or(0),
+                head: self.applied_high(o),
+                hash: self.hashes.get(&o).copied().unwrap_or(CHAIN_SEED),
+            })
             .collect()
     }
 
-    /// Entries still retained (unacknowledged by at least one peer).
+    /// Compare a peer's digest to ours and compute the fetch request:
+    /// `(origin, from, to)` for each range we are missing, or the
+    /// `(origin, 0, 0)` snapshot sentinel when we are behind the peer's
+    /// retention floor (or our chains diverged at an equal head).
+    pub fn missing_ranges(&self, peer_heads: &[OriginHead]) -> Vec<(u32, u64, u64)> {
+        let mut out = Vec::new();
+        for h in peer_heads {
+            if h.origin == self.origin || h.origin as usize >= self.n_replicas {
+                continue;
+            }
+            let mine = self.applied_high(h.origin);
+            if h.head > mine {
+                if mine < h.floor {
+                    out.push((h.origin, 0, 0));
+                } else {
+                    out.push((h.origin, mine + 1, h.head));
+                }
+            } else if h.head == mine && h.head > 0 {
+                let my_hash = self.hashes.get(&h.origin).copied().unwrap_or(CHAIN_SEED);
+                if my_hash != h.hash {
+                    out.push((h.origin, 0, 0));
+                }
+            }
+        }
+        out
+    }
+
+    /// Serve a peer's fetch request: the retained entries in each
+    /// requested range, plus whether any `(origin, 0, 0)` sentinel
+    /// asked for a full snapshot.
+    pub fn serve_ranges(&self, ranges: &[(u32, u64, u64)]) -> (Vec<EwEntry>, bool) {
+        let mut entries = Vec::new();
+        let mut snapshot = false;
+        for &(o, from, to) in ranges {
+            if from == 0 && to == 0 {
+                snapshot = true;
+                continue;
+            }
+            if let Some(log) = self.logs.get(&o) {
+                entries.extend(log.range(from..=to).map(|(_, e)| e.clone()));
+            }
+        }
+        (entries, snapshot)
+    }
+
+    /// A checksummed snapshot: our digest heads, the winning entry per
+    /// logical key, and a chain hash over those entries in key order.
+    pub fn snapshot(&self) -> (Vec<OriginHead>, Vec<EwEntry>, u64) {
+        let heads = self.digest();
+        let entries: Vec<EwEntry> = self.winners.values().cloned().collect();
+        let mut checksum = CHAIN_SEED;
+        for e in &entries {
+            checksum = chain_ew(checksum, e);
+        }
+        (heads, entries, checksum)
+    }
+
+    /// Install a peer's snapshot: merge each entry last-writer-wins and
+    /// adopt the peer's heads (and chain state) for origins it is ahead
+    /// on. Returns the entries that won and must be applied to local
+    /// state, or `None` if the checksum does not match (frame dropped).
+    pub fn install_snapshot(
+        &mut self,
+        heads: &[OriginHead],
+        entries: Vec<EwEntry>,
+        checksum: u64,
+    ) -> Option<Vec<EwEntry>> {
+        let mut c = CHAIN_SEED;
+        for e in &entries {
+            c = chain_ew(c, e);
+        }
+        if c != checksum {
+            return None;
+        }
+        let mut to_apply = Vec::new();
+        for e in entries {
+            if e.origin as usize >= self.n_replicas {
+                continue;
+            }
+            let key = event_key(&e.event);
+            let stamp = (e.term, e.seq, e.origin);
+            let outranks = match self.stamps.get(&key) {
+                Some(&existing) => stamp > existing,
+                None => true,
+            };
+            if outranks {
+                self.stamps.insert(key, stamp);
+                self.winners.insert(key, e.clone());
+                if e.origin != self.origin {
+                    to_apply.push(e);
+                }
+            }
+        }
+        for h in heads {
+            if h.origin as usize >= self.n_replicas {
+                continue;
+            }
+            if h.origin == self.origin {
+                // A wiped replica resumes its own log after its prior
+                // head instead of colliding with retired seqs.
+                if h.head >= self.next_seq {
+                    self.next_seq = h.head + 1;
+                    self.applied.insert(self.origin, h.head);
+                    self.hashes.insert(self.origin, h.hash);
+                    let floor = self.floors.entry(self.origin).or_insert(0);
+                    *floor = (*floor).max(h.head);
+                }
+                continue;
+            }
+            let mine = self.applied_high(h.origin);
+            if h.head > mine {
+                self.applied.insert(h.origin, h.head);
+                self.hashes.insert(h.origin, h.hash);
+                let floor = self.floors.entry(h.origin).or_insert(0);
+                *floor = (*floor).max(h.head);
+                if let Some(log) = self.logs.get_mut(&h.origin) {
+                    log.retain(|&seq, _| seq > h.head);
+                }
+            }
+        }
+        Some(to_apply)
+    }
+
+    /// Total entries retained across all origin logs.
     pub fn log_len(&self) -> usize {
-        self.log.len()
+        self.logs.values().map(BTreeMap::len).sum()
     }
 
     /// Highest contiguous seq applied from `origin`.
@@ -355,9 +578,31 @@ impl EwStore {
         self.applied.get(&origin).copied().unwrap_or(0)
     }
 
+    /// The retention floor for `origin`.
+    pub fn floor_of(&self, origin: u32) -> u64 {
+        self.floors.get(&origin).copied().unwrap_or(0)
+    }
+
+    /// `peer`'s highest acknowledged seq for our own origin log (0 when
+    /// it has never acked). A peer whose ack sits below our retention
+    /// floor can no longer be repaired by suffix replay — the entries
+    /// it needs are pruned — and must bootstrap from a snapshot.
+    pub fn peer_ack(&self, peer: u32) -> u64 {
+        self.peer_acks
+            .get(&peer)
+            .and_then(|m| m.get(&self.origin).copied())
+            .unwrap_or(0)
+    }
+
     /// The winning stamp recorded for `key`, if any.
     pub fn stamp(&self, key: EventKey) -> Option<(u64, u64, u32)> {
         self.stamps.get(&key).copied()
+    }
+
+    /// All per-key winning stamps, for convergence assertions in tests
+    /// and benches.
+    pub fn stamps(&self) -> &BTreeMap<EventKey, (u64, u64, u32)> {
+        &self.stamps
     }
 }
 
@@ -433,6 +678,7 @@ mod tests {
         assert_eq!(b.admit(&batch[0]), Admit::Duplicate);
         // b's acks let a prune.
         a.note_peer_acks(1, &b.acks());
+        a.prune_acked(&[0, 1]);
         assert_eq!(a.log_len(), 0);
         assert!(a.pending_for(1, 16).is_empty());
     }
@@ -511,12 +757,135 @@ mod tests {
         let mut a = EwStore::new(0, 3);
         a.append(1, link_add(0, 1));
         a.append(1, link_add(1, 1));
-        // Peer 1 acks everything; peer 2 is partitioned (acks nothing).
+        // Peer 1 acks everything; peer 2 is partitioned (acks nothing)
+        // but still counts as live, so nothing is pruned.
         a.note_peer_acks(1, &[(0, 2)]);
+        a.prune_acked(&[0, 1, 2]);
         assert_eq!(a.log_len(), 2);
         assert_eq!(a.pending_for(2, 16).len(), 2);
         // Heal: peer 2 catches up.
         a.note_peer_acks(2, &[(0, 2)]);
+        a.prune_acked(&[0, 1, 2]);
         assert_eq!(a.log_len(), 0);
+    }
+
+    #[test]
+    fn dead_replica_no_longer_pins_log() {
+        // Regression: retention used to take the min over *all* peers'
+        // acks, so one permanently dead replica pinned the log forever.
+        let mut a = EwStore::new(0, 3);
+        a.append(1, link_add(0, 1));
+        a.append(1, link_add(1, 1));
+        a.note_peer_acks(1, &[(0, 2)]);
+        // Replica 2 is expelled from the live set: pruning proceeds.
+        a.prune_acked(&[0, 1]);
+        assert_eq!(a.log_len(), 0);
+        assert_eq!(a.floor_of(0), 2);
+        // When 2 returns below the floor, the digest steers it to a
+        // snapshot instead of an unavailable suffix.
+        let late = EwStore::new(2, 3);
+        assert_eq!(late.missing_ranges(&a.digest()), vec![(0, 0, 0)]);
+    }
+
+    #[test]
+    fn digest_fetch_repairs_exact_gap() {
+        let mut a = EwStore::new(0, 2);
+        let mut b = EwStore::new(1, 2);
+        for i in 0..10 {
+            a.append(1, link_add(i, 1));
+        }
+        for e in a.pending_for(1, 4) {
+            assert_eq!(b.admit(&e), Admit::Apply);
+        }
+        // b compares digests and asks for exactly seqs 5..=10.
+        let want = b.missing_ranges(&a.digest());
+        assert_eq!(want, vec![(0, 5, 10)]);
+        let (entries, snapshot) = a.serve_ranges(&want);
+        assert!(!snapshot);
+        assert_eq!(entries.len(), 6);
+        for e in entries {
+            assert_eq!(b.admit(&e), Admit::Apply);
+        }
+        // Converged: equal heads and hashes, nothing more to fetch.
+        assert_eq!(b.digest()[0].head, 10);
+        assert_eq!(b.digest()[0].hash, a.digest()[0].hash);
+        assert!(b.missing_ranges(&a.digest()).is_empty());
+        assert!(a.missing_ranges(&b.digest()).is_empty());
+    }
+
+    #[test]
+    fn third_party_serves_anothers_origin() {
+        // b holds origin-0 entries and can repair c even with a gone.
+        let mut a = EwStore::new(0, 3);
+        let mut b = EwStore::new(1, 3);
+        let mut c = EwStore::new(2, 3);
+        for i in 0..4 {
+            a.append(1, link_add(i, 1));
+        }
+        for e in a.pending_for(1, 16) {
+            b.admit(&e);
+        }
+        let want = c.missing_ranges(&b.digest());
+        assert_eq!(want, vec![(0, 1, 4)]);
+        let (entries, _) = b.serve_ranges(&want);
+        assert_eq!(entries.len(), 4);
+        for e in entries {
+            assert_eq!(c.admit(&e), Admit::Apply);
+        }
+        assert_eq!(c.applied_high(0), 4);
+    }
+
+    #[test]
+    fn snapshot_bootstraps_fresh_replica() {
+        let mut a = EwStore::new(0, 3);
+        let mut b = EwStore::new(1, 3);
+        for i in 0..6 {
+            a.append(1, link_add(i, 1));
+        }
+        for e in a.pending_for(1, 16) {
+            b.admit(&e);
+        }
+        // Everyone live acked; a prunes everything.
+        a.note_peer_acks(1, &[(0, 6)]);
+        a.note_peer_acks(2, &[(0, 6)]);
+        a.prune_acked(&[0, 1, 2]);
+        assert_eq!(a.log_len(), 0);
+        // A fresh replica 2 is behind the floor: snapshot requested.
+        let mut c = EwStore::new(2, 3);
+        assert!(c.missing_ranges(&a.digest()).contains(&(0, 0, 0)));
+        let (heads, entries, checksum) = a.snapshot();
+        let applied = c
+            .install_snapshot(&heads, entries, checksum)
+            .expect("checksum verifies");
+        assert_eq!(applied.len(), 6);
+        assert_eq!(c.applied_high(0), 6);
+        assert_eq!(c.stamps(), a.stamps());
+        // Converged: c asks for nothing further.
+        assert!(c.missing_ranges(&a.digest()).is_empty());
+        // A corrupt checksum is rejected outright.
+        let (heads, entries, checksum) = a.snapshot();
+        let mut d = EwStore::new(2, 3);
+        assert!(d.install_snapshot(&heads, entries, checksum ^ 1).is_none());
+    }
+
+    #[test]
+    fn chain_divergence_flags_resync() {
+        // Two stores with equal heads but different histories for an
+        // origin disagree on the chain hash, which requests a snapshot.
+        let mut b = EwStore::new(1, 3);
+        let mut c = EwStore::new(2, 3);
+        b.admit(&EwEntry {
+            origin: 0,
+            seq: 1,
+            term: 1,
+            event: link_add(1, 1),
+        });
+        c.admit(&EwEntry {
+            origin: 0,
+            seq: 1,
+            term: 1,
+            event: link_add(2, 1),
+        });
+        assert_eq!(c.missing_ranges(&b.digest()), vec![(0, 0, 0)]);
     }
 }

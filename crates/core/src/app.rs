@@ -2,7 +2,7 @@
 //! apps dispatched in chain order (Ryu/ONOS style).
 
 use zen_dataplane::PortNo;
-use zen_proto::{CacheStatsRec, FlowStats, PortStatsRec, TableStats};
+use zen_proto::{CacheStatsRec, FlowStats, Intent, PortStatsRec, TableStats};
 
 use crate::controller::Ctl;
 use crate::view::Dpid;
@@ -89,6 +89,15 @@ pub trait App: 'static {
     /// only on mismatch — an unconditional reprogram would re-flood
     /// every orphaned switch on failover.
     fn on_mastership_change(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid, is_master: bool) {}
+
+    /// A cluster-wide intent committed through the replicated log (or
+    /// locally when not clustered) — the linearizable counterpart to
+    /// the eventually consistent view replication. Fires exactly once
+    /// per intent on every replica, in commit order; apps holding
+    /// switch state derived from intents (network-wide ACL rules,
+    /// pinned mastership) materialize it here. Proposed via
+    /// [`Ctl::propose_intent`].
+    fn on_intent_committed(&mut self, ctl: &mut Ctl<'_, '_>, intent: &Intent) {}
 
     /// A two-phase [`crate::txn::NetworkUpdate`] this app committed
     /// (identified by the `owner`/`token` it passed to

@@ -1,12 +1,21 @@
-//! Network-wide access control: drop rules pushed at handshake.
+//! Network-wide access control, committed through the replicated
+//! intent log.
 //!
-//! Deny rules are plain high-priority flow entries with an empty action
-//! list — matching traffic dies in the data plane of the first switch
-//! it touches, with zero controller involvement after installation.
+//! Deny rules are a security boundary, so they take the linearizable
+//! path: a rule queued here is proposed as an [`Intent::AclDeny`] and
+//! installed only once the cluster commits it — every replica then
+//! materializes the same rule set in the same order, and a failover
+//! can never resurrect a withdrawn deny. Standalone controllers commit
+//! locally on the next tick, preserving the same observable sequence.
+//!
+//! Installed denies are plain high-priority flow entries with an empty
+//! action list — matching traffic dies in the data plane of the first
+//! switch it touches, with zero controller involvement afterwards.
 
 use std::any::Any;
 
 use zen_dataplane::{FlowMatch, FlowSpec};
+use zen_proto::Intent;
 
 use crate::app::App;
 use crate::controller::Ctl;
@@ -16,38 +25,54 @@ pub use crate::policy::{ACL_COOKIE, ACL_IMPORTANCE};
 
 /// The ACL application.
 pub struct Acl {
-    denies: Vec<FlowMatch>,
+    /// Rules awaiting proposal (drained into the intent log on tick).
+    queued: Vec<(FlowMatch, bool)>,
+    /// Rules the cluster has committed, in commit order.
+    committed: Vec<FlowMatch>,
     /// Priority of deny rules (must beat forwarding apps).
     pub priority: u16,
-    /// Rules pushed (metric).
+    /// Rules pushed to switches (metric).
     pub rules_pushed: u64,
+    /// Intents proposed (metric).
+    pub intents_proposed: u64,
 }
 
 impl Acl {
     /// An ACL denying the given matches everywhere.
     pub fn new(denies: Vec<FlowMatch>) -> Acl {
         Acl {
-            denies,
+            queued: denies.into_iter().map(|m| (m, true)).collect(),
+            committed: Vec::new(),
             priority: 900,
             rules_pushed: 0,
+            intents_proposed: 0,
         }
     }
 
-    /// Add a deny rule (applies to switches joining afterwards; call
-    /// before the run starts for global coverage).
+    /// Queue a deny rule for commitment through the intent log. It
+    /// takes effect network-wide once committed (next tick standalone,
+    /// one consensus round clustered).
     pub fn deny(&mut self, matcher: FlowMatch) {
-        self.denies.push(matcher);
-    }
-}
-
-impl App for Acl {
-    fn name(&self) -> &'static str {
-        "acl"
+        self.queued.push((matcher, true));
     }
 
-    fn on_switch_up(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid) {
+    /// Queue the withdrawal of a previously committed deny rule.
+    pub fn allow(&mut self, matcher: FlowMatch) {
+        self.queued.push((matcher, false));
+    }
+
+    /// The committed deny set (post-run inspection).
+    pub fn committed(&self) -> &[FlowMatch] {
+        &self.committed
+    }
+
+    /// Push every committed rule to `dpid` in one transaction.
+    fn program_switch(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid) {
+        if self.committed.is_empty() || !ctl.is_master(dpid) {
+            return;
+        }
         let mut txn = ctl.txn();
-        for &matcher in &self.denies {
+        for &matcher in &self.committed {
             self.rules_pushed += 1;
             // Deny rules are a security boundary: never the first thing
             // a full table sheds.
@@ -57,6 +82,80 @@ impl App for Acl {
             txn.flow(dpid, 0, spec);
         }
         txn.commit(ctl);
+    }
+}
+
+impl App for Acl {
+    fn name(&self) -> &'static str {
+        "acl"
+    }
+
+    fn tick(&mut self, ctl: &mut Ctl<'_, '_>) {
+        for (matcher, install) in std::mem::take(&mut self.queued) {
+            self.intents_proposed += 1;
+            ctl.propose_intent(
+                "acl",
+                Intent::AclDeny {
+                    priority: self.priority,
+                    matcher,
+                    install,
+                },
+            );
+        }
+    }
+
+    fn on_intent_committed(&mut self, ctl: &mut Ctl<'_, '_>, intent: &Intent) {
+        let Intent::AclDeny {
+            priority,
+            matcher,
+            install,
+        } = *intent
+        else {
+            return;
+        };
+        if install {
+            if self.priority == priority && !self.committed.contains(&matcher) {
+                self.committed.push(matcher);
+                let dpids: Vec<Dpid> = ctl.view.switches.keys().copied().collect();
+                for dpid in dpids {
+                    if !ctl.is_master(dpid) {
+                        continue;
+                    }
+                    self.rules_pushed += 1;
+                    let spec = FlowSpec::new(self.priority, matcher, vec![])
+                        .with_cookie(ACL_COOKIE)
+                        .with_importance(ACL_IMPORTANCE);
+                    let mut txn = ctl.txn();
+                    txn.flow(dpid, 0, spec);
+                    txn.commit(ctl);
+                }
+            }
+        } else if let Some(pos) = self.committed.iter().position(|m| *m == matcher) {
+            self.committed.remove(pos);
+            // Cookie-scoped delete drops every ACL rule; the survivors
+            // are re-pushed from the committed set, so the withdrawn
+            // matcher is the only observable change.
+            let dpids: Vec<Dpid> = ctl.view.switches.keys().copied().collect();
+            for dpid in dpids {
+                if !ctl.is_master(dpid) {
+                    continue;
+                }
+                ctl.delete_flows_by_cookie(dpid, ACL_COOKIE);
+                self.program_switch(ctl, dpid);
+            }
+        }
+    }
+
+    fn on_switch_up(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid) {
+        self.program_switch(ctl, dpid);
+    }
+
+    fn on_mastership_change(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid, is_master: bool) {
+        // A takeover re-asserts the committed denies; the duplicate
+        // adds are idempotent by cookie and spec.
+        if is_master {
+            self.program_switch(ctl, dpid);
+        }
     }
 
     fn as_any(&self) -> &dyn Any {

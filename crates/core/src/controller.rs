@@ -9,11 +9,12 @@
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use zen_cluster::{Admit, ClusterConfig, EwStore, Membership};
-use zen_dataplane::{epoch_tag, Action, FlowMatch, FlowSpec, GroupDesc, Meter, PortNo};
+use zen_cluster::{Admit, ClusterConfig, EwStore, GossipMode, Membership};
+use zen_consensus::{fnv1a, fnv1a_fold, Applied, IntentReplica, Outbound, KEEP_TAIL};
+use zen_dataplane::{epoch_tag, Action, FlowMatch, FlowSpec, Meter, PortNo};
 use zen_proto::{
-    decode_view, encode, encode_packet_out, CookieCount, ErrorCode, FlowModCmd, GroupModCmd,
-    Message, MessageView, MeterModCmd, Role, ViewEvent,
+    decode_view, encode, encode_packet_out, intent_entry_bytes, CookieCount, ErrorCode, FlowModCmd,
+    GroupModCmd, Intent, IntentEntry, Message, MessageView, MeterModCmd, Role, ViewEvent,
 };
 use zen_sim::{Context, Duration, Instant, Node, NodeId};
 use zen_telemetry::{control_trace, trace_id_for_frame, TraceEvent, TraceId};
@@ -220,6 +221,25 @@ pub struct CtlStats {
     /// Edge-flip mods that failed mid-transaction; the transaction
     /// completed and the straggler switch was left to resync repair.
     pub epoch_flip_failures: u64,
+    /// East-west log entries pushed or served to peer replicas.
+    pub ew_entries_sent: u64,
+    /// East-west digest frames sent to peer replicas.
+    pub ew_digests_sent: u64,
+    /// East-west fetch requests sent after a digest showed us behind.
+    pub ew_fetches_sent: u64,
+    /// East-west snapshots served to peers too far behind to repair
+    /// from retained log ranges.
+    pub ew_snapshots_sent: u64,
+    /// East-west snapshots installed from a peer (fresh bootstrap or
+    /// divergence repair).
+    pub ew_snapshots_installed: u64,
+    /// Intents proposed by this replica (local applications).
+    pub intents_proposed: u64,
+    /// Intents observed committed (applied from the replicated log).
+    pub intents_committed: u64,
+    /// Consensus protocol messages sent (propose/append/ack/fetch/
+    /// catchup frames between replicas).
+    pub intent_msgs_sent: u64,
 }
 
 /// Runtime state of one replica in a controller cluster.
@@ -236,6 +256,28 @@ struct ClusterState {
     /// the owning app's desired program. A replica gaining mastership
     /// reprograms only when its own desired hash disagrees.
     program_stamps: BTreeMap<(Dpid, u64), u64>,
+    /// Replicated intent log: leader election, append/ack replication,
+    /// and snapshot catch-up for linearizable control intents.
+    intents: IntentReplica,
+    /// Committed mastership pins: dpid → replica index. Overrides the
+    /// hash-based assignment while the pinned replica is alive.
+    pins: BTreeMap<Dpid, u32>,
+    /// Per-peer high-water mark of own-origin entries eagerly pushed
+    /// (digest gossip mode): peer → highest own seq already sent.
+    pushed_high: BTreeMap<u32, u64>,
+}
+
+impl ClusterState {
+    /// Whether this replica should exercise mastership over `dpid`:
+    /// a live committed pin wins, otherwise the hash assignment.
+    fn wants_mastership(&self, dpid: Dpid) -> bool {
+        if let Some(&r) = self.pins.get(&dpid) {
+            if self.membership.is_alive(r as usize) {
+                return r as usize == self.membership.config().index;
+            }
+        }
+        self.membership.assigned_master(dpid)
+    }
 }
 
 /// Runtime state of PACKET_IN admission control
@@ -319,6 +361,8 @@ pub struct Ctl<'a, 'w> {
     dirty: &'a mut BTreeSet<NodeId>,
     cluster: Option<&'a mut ClusterState>,
     planner: &'a mut UpdatePlanner,
+    intent_owners: &'a mut BTreeMap<u64, &'static str>,
+    local_intents: &'a mut Vec<(u64, Intent)>,
 }
 
 impl Ctl<'_, '_> {
@@ -565,18 +609,6 @@ impl Ctl<'_, '_> {
         }
     }
 
-    /// Install a flow.
-    #[deprecated(note = "stage through a transaction: ctl.txn() + NetworkUpdate::commit")]
-    pub fn install_flow(&mut self, dpid: Dpid, table_id: u8, spec: FlowSpec) {
-        self.send(
-            dpid,
-            &Message::FlowMod {
-                table_id,
-                cmd: FlowModCmd::Add(spec),
-            },
-        );
-    }
-
     /// Delete all flows carrying `cookie` on a switch.
     pub fn delete_flows_by_cookie(&mut self, dpid: Dpid, cookie: u64) {
         self.send(
@@ -584,33 +616,6 @@ impl Ctl<'_, '_> {
             &Message::FlowMod {
                 table_id: 0,
                 cmd: FlowModCmd::DeleteByCookie { cookie },
-            },
-        );
-    }
-
-    /// Install or replace a group.
-    #[deprecated(note = "stage through a transaction: ctl.txn() + NetworkUpdate::commit")]
-    pub fn install_group(&mut self, dpid: Dpid, group_id: u32, desc: GroupDesc) {
-        self.send(
-            dpid,
-            &Message::GroupMod {
-                group_id,
-                cmd: GroupModCmd::Add(desc),
-            },
-        );
-    }
-
-    /// Install or replace a meter.
-    #[deprecated(note = "stage through a transaction: ctl.txn() + NetworkUpdate::commit")]
-    pub fn install_meter(&mut self, dpid: Dpid, meter_id: u32, rate_bps: u64, burst_bytes: u64) {
-        self.send(
-            dpid,
-            &Message::MeterMod {
-                meter_id,
-                cmd: MeterModCmd::Add {
-                    rate_bps,
-                    burst_bytes,
-                },
             },
         );
     }
@@ -650,6 +655,60 @@ impl Ctl<'_, '_> {
     pub fn barrier(&mut self, dpid: Dpid) {
         self.send(dpid, &Message::BarrierRequest { xids: Vec::new() });
     }
+
+    /// Propose a cluster-wide intent for linearizable commitment and
+    /// return its token.
+    ///
+    /// Clustered, the intent enters the replicated log: it is forwarded
+    /// to the current leader and resent until a quorum commits it.
+    /// Standalone, it commits locally on the next timer tick. Either
+    /// way every app's [`App::on_intent_committed`] hook fires exactly
+    /// once per commit, and the proposing app additionally gets
+    /// [`App::on_update_committed`] with the returned token.
+    pub fn propose_intent(&mut self, owner: &'static str, intent: Intent) -> u64 {
+        // Token: content hash salted with the monotone xid counter, so
+        // a withdraw/re-install cycle of identical content still gets a
+        // fresh identity (committed tokens deduplicate forever).
+        let salt = *self.xid;
+        *self.xid += 1;
+        let mut h = fnv1a(owner.as_bytes());
+        h = fnv1a_fold(h, &salt.to_le_bytes());
+        h = fnv1a_fold(
+            h,
+            &intent_entry_bytes(&IntentEntry {
+                index: 0,
+                term: 0,
+                origin: 0,
+                token: 0,
+                intent: intent.clone(),
+            }),
+        );
+        let token = h.max(1); // zero is the reserved no-op token
+        self.stats.intents_proposed += 1;
+        self.intent_owners.insert(token, owner);
+        if let Some(cl) = self.cluster.as_mut() {
+            cl.intents.propose_local(token, intent);
+        } else {
+            self.local_intents.push((token, intent));
+        }
+        token
+    }
+
+    /// Whether this replica currently leads the intent log (always true
+    /// standalone). Proposals work from any replica; this is for
+    /// observability and tests.
+    pub fn is_intent_leader(&self) -> bool {
+        self.cluster
+            .as_ref()
+            .is_none_or(|cl| cl.intents.is_leader())
+    }
+
+    /// The committed mastership pin for `dpid`, if any.
+    pub fn pinned_master(&self, dpid: Dpid) -> Option<u32> {
+        self.cluster
+            .as_ref()
+            .and_then(|cl| cl.pins.get(&dpid).copied())
+    }
 }
 
 /// The controller node.
@@ -677,6 +736,10 @@ pub struct Controller {
     /// Throttle: last FEATURES_REQUEST re-solicitation per unregistered
     /// node (the handshake itself can be lost on a faulty channel).
     features_requested: BTreeMap<NodeId, Instant>,
+    /// Switches whose next FEATURES_REPLY is a port-map refresh (sent
+    /// after takeovers and healed partitions), not a new handshake —
+    /// the reply updates the view and nothing else.
+    port_refresh: BTreeSet<Dpid>,
     /// Latest generation each agent reported in HELLO_RESYNC.
     agent_generations: BTreeMap<Dpid, u64>,
     /// Present when this controller is a replica in a cluster.
@@ -685,6 +748,12 @@ pub struct Controller {
     admission: Option<AdmissionState>,
     /// Epoch-versioned two-phase update planner.
     planner: UpdatePlanner,
+    /// Proposed-intent tokens → owning app name, consumed when the
+    /// intent commits to route the `on_update_committed` callback.
+    intent_owners: BTreeMap<u64, &'static str>,
+    /// Standalone-mode intent queue: commits on the next timer tick
+    /// without a cluster round.
+    local_intents: Vec<(u64, Intent)>,
     xid: u32,
     /// Counters.
     pub stats: CtlStats,
@@ -711,10 +780,13 @@ impl Controller {
             shadow: BTreeMap::new(),
             resync_requested: BTreeMap::new(),
             features_requested: BTreeMap::new(),
+            port_refresh: BTreeSet::new(),
             agent_generations: BTreeMap::new(),
             cluster: None,
             admission: cfg.admission.map(AdmissionState::new),
             planner: UpdatePlanner::default(),
+            intent_owners: BTreeMap::new(),
+            local_intents: Vec::new(),
             xid: 1,
             stats: CtlStats::default(),
         }
@@ -738,10 +810,13 @@ impl Controller {
         self.xid = ((cfg.index as u32) + 1) << 24;
         self.cluster = Some(ClusterState {
             store: EwStore::new(cfg.index as u32, cfg.len()),
+            intents: IntentReplica::new(cfg.index as u32, cfg.len() as u32),
             membership: Membership::new(cfg, Instant::ZERO),
             my_masters: BTreeSet::new(),
             deferred: BTreeMap::new(),
             program_stamps: BTreeMap::new(),
+            pins: BTreeMap::new(),
+            pushed_high: BTreeMap::new(),
         });
     }
 
@@ -816,6 +891,8 @@ impl Controller {
                 dirty: &mut self.dirty,
                 cluster: self.cluster.as_mut(),
                 planner: &mut self.planner,
+                intent_owners: &mut self.intent_owners,
+                local_intents: &mut self.local_intents,
             };
             f(&mut apps, &mut ctl);
         }
@@ -944,8 +1021,301 @@ impl Controller {
                     }
                 }
             }
+            Message::EwDigest {
+                replica,
+                term,
+                heads,
+            } => {
+                let now = ctx.now();
+                let Some(cl) = self.cluster.as_mut() else {
+                    return;
+                };
+                cl.membership.note_heartbeat(replica, term, now);
+                // A digest head doubles as an applied-mark ack: the
+                // chain hash guarantees the peer holds everything up
+                // to it contiguously.
+                let acks: Vec<(u32, u64)> = heads.iter().map(|h| (h.origin, h.head)).collect();
+                cl.store.note_peer_acks(replica, &acks);
+                let ranges = cl.store.missing_ranges(&heads);
+                if ranges.is_empty() {
+                    return;
+                }
+                let me = cl.membership.index() as u32;
+                let Some(&node) = cl.membership.config().replicas.get(replica as usize) else {
+                    return;
+                };
+                self.stats.msgs_sent += 1;
+                self.stats.ew_fetches_sent += 1;
+                ctx.send_control(
+                    node,
+                    encode(
+                        &Message::EwFetch {
+                            replica: me,
+                            ranges,
+                        },
+                        0,
+                    ),
+                );
+            }
+            Message::EwFetch { replica, ranges } => {
+                let Some(cl) = self.cluster.as_mut() else {
+                    return;
+                };
+                let me = cl.membership.index() as u32;
+                let Some(&node) = cl.membership.config().replicas.get(replica as usize) else {
+                    return;
+                };
+                let (entries, want_snapshot) = cl.store.serve_ranges(&ranges);
+                if want_snapshot {
+                    let (heads, snap_entries, checksum) = cl.store.snapshot();
+                    self.stats.msgs_sent += 1;
+                    self.stats.ew_snapshots_sent += 1;
+                    ctx.send_control(
+                        node,
+                        encode(
+                            &Message::EwSnapshot {
+                                replica: me,
+                                heads,
+                                entries: snap_entries,
+                                checksum,
+                            },
+                            0,
+                        ),
+                    );
+                }
+                for chunk in entries.chunks(EW_BATCH) {
+                    self.stats.msgs_sent += 1;
+                    self.stats.ew_entries_sent += chunk.len() as u64;
+                    ctx.send_control(
+                        node,
+                        encode(
+                            &Message::EwEvents {
+                                replica: me,
+                                entries: chunk.to_vec(),
+                            },
+                            0,
+                        ),
+                    );
+                }
+            }
+            Message::EwSnapshot {
+                replica,
+                heads,
+                entries,
+                checksum,
+            } => {
+                let now = ctx.now();
+                let carried = entries.len() as u64;
+                let installed = match self.cluster.as_mut() {
+                    Some(cl) => cl.store.install_snapshot(&heads, entries, checksum),
+                    None => return,
+                };
+                // A checksum mismatch drops the snapshot; the next
+                // digest round re-requests it.
+                let Some(to_apply) = installed else {
+                    return;
+                };
+                self.stats.ew_snapshots_installed += 1;
+                {
+                    let rec = ctx.recorder();
+                    if rec.is_enabled() {
+                        rec.record(
+                            now.as_nanos(),
+                            control_trace(0),
+                            TraceEvent::EwSnapshotInstalled {
+                                from_replica: replica,
+                                entries: carried,
+                            },
+                        );
+                    }
+                }
+                for e in to_apply {
+                    self.stats.ew_events_applied += 1;
+                    self.apply_view_event(e.event, now);
+                }
+            }
+            Message::IntentPropose {
+                replica,
+                token,
+                intent,
+            } => {
+                if let Some(cl) = self.cluster.as_mut() {
+                    cl.intents.on_propose(replica, token, intent);
+                }
+            }
+            Message::IntentAppend {
+                leader,
+                term,
+                prev_index,
+                prev_term,
+                commit,
+                entries,
+            } => {
+                let outs = match self.cluster.as_mut() {
+                    Some(cl) => cl
+                        .intents
+                        .on_append(leader, term, prev_index, prev_term, commit, entries),
+                    None => return,
+                };
+                self.send_intent_outs(ctx, outs);
+                self.dispatch_committed_intents(ctx);
+            }
+            Message::IntentAck {
+                replica,
+                term,
+                match_index,
+                success,
+            } => {
+                let outs = match self.cluster.as_mut() {
+                    Some(cl) => cl.intents.on_ack(replica, term, match_index, success),
+                    None => return,
+                };
+                self.send_intent_outs(ctx, outs);
+                self.dispatch_committed_intents(ctx);
+            }
+            Message::IntentFetch {
+                replica,
+                term,
+                from_index,
+            } => {
+                let outs = match self.cluster.as_mut() {
+                    Some(cl) => cl.intents.on_fetch(replica, term, from_index),
+                    None => return,
+                };
+                self.send_intent_outs(ctx, outs);
+            }
+            Message::IntentCatchup {
+                replica,
+                term,
+                snap_index,
+                snap_term,
+                snap_state,
+                entries,
+                commit,
+                checksum,
+            } => {
+                let outs = match self.cluster.as_mut() {
+                    Some(cl) => cl.intents.on_catchup(
+                        replica, term, snap_index, snap_term, snap_state, entries, commit, checksum,
+                    ),
+                    None => return,
+                };
+                self.send_intent_outs(ctx, outs);
+                self.dispatch_committed_intents(ctx);
+            }
             // Peers speak only the east-west subset.
             _ => {}
+        }
+    }
+
+    /// Encode and route consensus frames to their target replicas.
+    fn send_intent_outs(&mut self, ctx: &mut Context<'_>, outs: Vec<Outbound>) {
+        let Some(cl) = self.cluster.as_ref() else {
+            return;
+        };
+        let replicas = &cl.membership.config().replicas;
+        for out in outs {
+            let Some(&node) = replicas.get(out.to as usize) else {
+                continue;
+            };
+            self.stats.msgs_sent += 1;
+            self.stats.intent_msgs_sent += 1;
+            ctx.send_control(node, encode(&out.msg, 0));
+        }
+    }
+
+    /// Surface intents committed since the last round: update pinned
+    /// mastership, fire every app's [`App::on_intent_committed`] hook,
+    /// and complete the proposer's `on_update_committed`.
+    fn dispatch_committed_intents(&mut self, ctx: &mut Context<'_>) {
+        let me = self.cluster.as_ref().map(|cl| cl.membership.index() as u32);
+        let applied: Vec<Applied> = match self.cluster.as_mut() {
+            Some(cl) => cl.intents.take_applied(),
+            None => {
+                if self.local_intents.is_empty() {
+                    return;
+                }
+                // Standalone: commit locally, same observable order.
+                std::mem::take(&mut self.local_intents)
+                    .into_iter()
+                    .map(|(token, intent)| {
+                        Applied::Entry(IntentEntry {
+                            index: 0,
+                            term: 0,
+                            origin: 0,
+                            token,
+                            intent,
+                        })
+                    })
+                    .collect()
+            }
+        };
+        for a in applied {
+            match a {
+                Applied::Snapshot(entries) => {
+                    // A snapshot replaces the materialized state: drop
+                    // derived pins, then replay the committed entries.
+                    if let Some(cl) = self.cluster.as_mut() {
+                        cl.pins.clear();
+                    }
+                    for e in entries {
+                        self.apply_committed_intent(ctx, e, me);
+                    }
+                }
+                Applied::Entry(e) => self.apply_committed_intent(ctx, e, me),
+            }
+        }
+    }
+
+    fn apply_committed_intent(&mut self, ctx: &mut Context<'_>, e: IntentEntry, me: Option<u32>) {
+        self.stats.intents_committed += 1;
+        {
+            let rec = ctx.recorder();
+            if rec.is_enabled() {
+                rec.record(
+                    ctx.now().as_nanos(),
+                    control_trace(0),
+                    TraceEvent::IntentCommitted {
+                        index: e.index,
+                        term: e.term,
+                        origin: e.origin,
+                    },
+                );
+            }
+        }
+        if let Intent::MastershipPin {
+            dpid,
+            replica,
+            pinned,
+        } = e.intent
+        {
+            if let Some(cl) = self.cluster.as_mut() {
+                if pinned {
+                    cl.pins.insert(dpid, replica);
+                } else {
+                    cl.pins.remove(&dpid);
+                }
+            }
+        }
+        if matches!(e.intent, Intent::Noop) {
+            return; // leader activation barrier, invisible to apps
+        }
+        let intent = e.intent;
+        self.with_apps(ctx, |apps, ctl| {
+            for app in apps.iter_mut() {
+                app.on_intent_committed(ctl, &intent);
+            }
+        });
+        // The proposing replica also completes the owner's
+        // update-committed callback, mirroring the two-phase planner.
+        if me.is_none_or(|m| m == e.origin) {
+            if let Some(owner) = self.intent_owners.remove(&e.token) {
+                self.with_apps(ctx, |apps, ctl| {
+                    for app in apps.iter_mut() {
+                        app.on_update_committed(ctl, owner, e.token);
+                    }
+                });
+            }
         }
     }
 
@@ -991,6 +1361,13 @@ impl Controller {
         );
         self.view.refresh_links_to(dpid, ctx.now());
         self.send_direct(ctx, dpid, &Message::ResyncRequest);
+        // PORT_STATUS is broadcast, so an isolation window may have
+        // left us with stale port state — and discovery never probes a
+        // "down" port, so a stale entry would silence the LLDP
+        // confirmations for its links and age them out cluster-wide.
+        // The features reply replaces the port map wholesale.
+        self.port_refresh.insert(dpid);
+        self.send_direct(ctx, dpid, &Message::FeaturesRequest);
         self.note_mastership_trace(ctx, dpid, true);
         self.with_apps(ctx, |apps, ctl| {
             for app in apps.iter_mut() {
@@ -1048,15 +1425,32 @@ impl Controller {
             return;
         };
         let now = ctx.now();
+        let live_before = cl.membership.live();
         cl.membership.scan(now);
+        // A peer coming back from the dead usually means a partition
+        // healed — and if *we* were the isolated side, we missed every
+        // PORT_STATUS broadcast in the window (we kept mastering our
+        // switches throughout, so the takeover-path refresh never
+        // runs). Stale "down" ports silence discovery probes, so
+        // refresh the port map of everything we master.
+        let peer_revived = cl
+            .membership
+            .live()
+            .iter()
+            .any(|i| !live_before.contains(i));
         let me = cl.membership.index();
         let term = cl.membership.term();
         let claim = cl.membership.claim();
 
         // Heartbeat + anti-entropy to every peer, every tick. The
-        // heartbeat carries our per-origin applied marks; the events
-        // batch is the peer's unacknowledged suffix of our own log.
+        // heartbeat carries our per-origin applied marks. Suffix mode
+        // then blindly resends the peer's unacknowledged suffix of our
+        // own log; digest mode pushes each new own-origin entry once
+        // and repairs losses (and remote-origin gaps) through the
+        // digest / fetch exchange.
         let acks = cl.store.acks();
+        let gossip = cl.membership.config().gossip;
+        let me32 = me as u32;
         let replicas = cl.membership.config().replicas.clone();
         for (i, &node) in replicas.iter().enumerate() {
             if i == me {
@@ -1068,28 +1462,104 @@ impl Controller {
                 node,
                 encode(
                     &Message::EwHeartbeat {
-                        replica: me as u32,
+                        replica: me32,
                         term,
                         acks: acks.clone(),
                     },
                     0,
                 ),
             );
-            let batch = cl.store.pending_for(i as u32, EW_BATCH);
-            if !batch.is_empty() {
-                self.stats.msgs_sent += 1;
-                ctx.send_control(
-                    node,
-                    encode(
-                        &Message::EwEvents {
-                            replica: me as u32,
-                            entries: batch,
-                        },
-                        0,
-                    ),
-                );
+            match gossip {
+                GossipMode::Suffix => {
+                    if cl.membership.is_alive(i)
+                        && cl.store.peer_ack(i as u32) < cl.store.floor_of(me32)
+                    {
+                        // The peer fell below our retention floor (it
+                        // was dead while the live set pruned); no
+                        // suffix replay can reach it. Bootstrap it from
+                        // a checksummed snapshot, as digest mode would.
+                        let (heads, entries, checksum) = cl.store.snapshot();
+                        self.stats.msgs_sent += 1;
+                        self.stats.ew_snapshots_sent += 1;
+                        ctx.send_control(
+                            node,
+                            encode(
+                                &Message::EwSnapshot {
+                                    replica: me32,
+                                    heads,
+                                    entries,
+                                    checksum,
+                                },
+                                0,
+                            ),
+                        );
+                        continue;
+                    }
+                    let batch = cl.store.pending_for(i as u32, EW_BATCH);
+                    if !batch.is_empty() {
+                        self.stats.msgs_sent += 1;
+                        self.stats.ew_entries_sent += batch.len() as u64;
+                        ctx.send_control(
+                            node,
+                            encode(
+                                &Message::EwEvents {
+                                    replica: me32,
+                                    entries: batch,
+                                },
+                                0,
+                            ),
+                        );
+                    }
+                }
+                GossipMode::Digest => {
+                    let head = cl.store.applied_high(me32);
+                    let pushed = cl.pushed_high.entry(i as u32).or_insert(0);
+                    if head > *pushed {
+                        let lo = (*pushed + 1).max(cl.store.floor_of(me32) + 1);
+                        let hi = head.min(lo + EW_BATCH as u64 - 1);
+                        let (batch, _) = cl.store.serve_ranges(&[(me32, lo, hi)]);
+                        if !batch.is_empty() {
+                            self.stats.msgs_sent += 1;
+                            self.stats.ew_entries_sent += batch.len() as u64;
+                            ctx.send_control(
+                                node,
+                                encode(
+                                    &Message::EwEvents {
+                                        replica: me32,
+                                        entries: batch,
+                                    },
+                                    0,
+                                ),
+                            );
+                        }
+                        *pushed = hi;
+                    }
+                    self.stats.msgs_sent += 1;
+                    self.stats.ew_digests_sent += 1;
+                    ctx.send_control(
+                        node,
+                        encode(
+                            &Message::EwDigest {
+                                replica: me32,
+                                term,
+                                heads: cl.store.digest(),
+                            },
+                            0,
+                        ),
+                    );
+                }
             }
         }
+        // Retention: prune only what every *live* replica has applied,
+        // so one dead replica cannot pin the log forever (a revived one
+        // bootstraps from a snapshot instead).
+        cl.store.prune_acked(&cl.membership.live());
+
+        // Intent-log round: deterministic leader election over the live
+        // set, replication heartbeats, proposal retries, compaction.
+        let live: Vec<u32> = cl.membership.live().iter().map(|&i| i as u32).collect();
+        let intent_outs = cl.intents.tick(term, &live);
+        cl.intents.compact(KEEP_TAIL);
 
         // Deferred overrides die once our claim outgrows them (a healed
         // partition converges on the merged term, and the canonical
@@ -1099,13 +1569,29 @@ impl Controller {
             .registry
             .keys()
             .copied()
-            .filter(|&d| cl.membership.assigned_master(d) && !cl.deferred.contains_key(&d))
+            .filter(|&d| cl.wants_mastership(d) && !cl.deferred.contains_key(&d))
             .collect();
         let gained: Vec<Dpid> = desired.difference(&cl.my_masters).copied().collect();
         let lost: Vec<Dpid> = cl.my_masters.difference(&desired).copied().collect();
+        let refresh: Vec<Dpid> = if peer_revived {
+            // Skip the freshly gained (their takeover path refreshes).
+            desired
+                .iter()
+                .copied()
+                .filter(|d| cl.my_masters.contains(d))
+                .collect()
+        } else {
+            Vec::new()
+        };
         cl.my_masters = desired;
         self.cluster = Some(cl);
 
+        for &dpid in &refresh {
+            self.port_refresh.insert(dpid);
+            self.send_direct(ctx, dpid, &Message::FeaturesRequest);
+        }
+        self.send_intent_outs(ctx, intent_outs);
+        self.dispatch_committed_intents(ctx);
         for &dpid in &lost {
             self.mastership_lost(ctx, dpid, true);
         }
@@ -2020,23 +2506,31 @@ impl Controller {
                 let port_list: Vec<(PortNo, bool)> =
                     ports.iter().map(|p| (p.port_no, p.up)).collect();
                 self.view.add_switch(dpid, n_tables, &port_list);
+                if self.port_refresh.remove(&dpid) {
+                    // A solicited port-map refresh, not a handshake:
+                    // the session, role, and app state are all live.
+                    // Discovery picks the fresh ports up next tick.
+                    return;
+                }
                 // Clustered: settle the connection's role before any app
                 // traffic, so the agent routes punts (and accepts mods)
                 // from the first packet. The deterministic assignment
                 // needs no negotiation — everyone computes the same one.
                 if self.cluster.is_some() {
-                    let (claim_master, term, replica) = {
+                    let (claim_master, newly, term, replica) = {
                         let cl = self.cluster.as_mut().expect("checked above");
-                        let claim =
-                            cl.membership.assigned_master(dpid) && !cl.deferred.contains_key(&dpid);
-                        if claim {
-                            cl.my_masters.insert(dpid);
-                        }
+                        let claim = cl.wants_mastership(dpid) && !cl.deferred.contains_key(&dpid);
+                        // A reply can also be a mid-mastership refresh
+                        // (the takeover path re-solicits features for
+                        // port state); only a first claim is a handover.
+                        let newly = claim && cl.my_masters.insert(dpid);
                         let (term, replica) = cl.membership.claim();
-                        (claim, term, replica)
+                        (claim, newly, term, replica)
                     };
                     let role = if claim_master {
-                        self.stats.masterships_gained += 1;
+                        if newly {
+                            self.stats.masterships_gained += 1;
+                        }
                         Role::Master
                     } else {
                         Role::Equal
@@ -2050,7 +2544,7 @@ impl Controller {
                             replica,
                         },
                     );
-                    if claim_master {
+                    if newly {
                         self.note_mastership_trace(ctx, dpid, true);
                     }
                 }
@@ -2404,6 +2898,11 @@ impl Node for Controller {
             self.quarantine_scan(ctx);
             self.retransmit_scan(ctx);
             self.cluster_tick(ctx);
+            if self.cluster.is_none() {
+                // Standalone intents commit on the tick, skipping the
+                // cluster round cluster_tick would have run.
+                self.dispatch_committed_intents(ctx);
+            }
             self.discovery_round(ctx);
             self.echo_round(ctx);
             self.with_apps(ctx, |apps, ctl| {

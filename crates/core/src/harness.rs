@@ -8,7 +8,7 @@ use zen_dataplane::PortNo;
 use zen_sim::{Duration, Host, LinkId, LinkParams, NodeId, Topology, World};
 use zen_wire::{EthernetAddress, Ipv4Address};
 
-use zen_cluster::ClusterConfig;
+use zen_cluster::{ClusterConfig, GossipMode};
 
 use crate::agent::{AgentConfig, SwitchAgent};
 use crate::app::App;
@@ -36,6 +36,9 @@ pub struct FabricOptions {
     /// Mastership lease for multi-controller fabrics: a replica silent
     /// for this long is presumed dead and its switches taken over.
     pub cluster_lease: Duration,
+    /// East-west anti-entropy strategy for multi-controller fabrics
+    /// (digest exchange by default; suffix resend for comparison).
+    pub cluster_gossip: GossipMode,
 }
 
 impl Default for FabricOptions {
@@ -48,6 +51,7 @@ impl Default for FabricOptions {
             host_link: LinkParams::default(),
             n_controllers: 1,
             cluster_lease: Duration::from_millis(300),
+            cluster_gossip: GossipMode::Digest,
         }
     }
 }
@@ -181,6 +185,7 @@ pub fn build_cluster_fabric_with_hosts(
         for (i, &id) in controllers.iter().enumerate() {
             let mut cfg = ClusterConfig::new(controllers.clone(), i);
             cfg.lease_timeout = opts.cluster_lease;
+            cfg.gossip = opts.cluster_gossip;
             world.node_as_mut::<Controller>(id).enable_cluster(cfg);
         }
     }

@@ -15,7 +15,7 @@ use zen_wire::{EthernetAddress, Ipv4Address};
 pub type Dpid = u64;
 
 /// What the controller knows about one switch.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SwitchInfo {
     /// Ports and their operational state.
     pub ports: BTreeMap<PortNo, bool>,
@@ -66,14 +66,18 @@ impl NetworkView {
         self.version += 1;
     }
 
-    /// Register or refresh a switch.
+    /// Register or refresh a switch. A refresh that confirms what we
+    /// already know is a no-op — no version bump, so apps don't
+    /// recompute over an unchanged view.
     pub fn add_switch(&mut self, dpid: Dpid, n_tables: u8, ports: &[(PortNo, bool)]) {
         let info = SwitchInfo {
             ports: ports.iter().copied().collect(),
             n_tables,
         };
-        self.switches.insert(dpid, info);
-        self.bump();
+        if self.switches.get(&dpid) != Some(&info) {
+            self.switches.insert(dpid, info);
+            self.bump();
+        }
     }
 
     /// Record a port state change. Downed ports also tear down any link

@@ -18,9 +18,9 @@ use zen_dataplane::{Action, Bucket, FlowMatch, FlowSpec, GroupDesc, GroupType, P
 use zen_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
 
 use crate::{
-    CacheStatsRec, CookieCount, ErrorCode, EwEntry, FlowModCmd, FlowStats, GroupModCmd, Message,
-    MeterModCmd, PortDesc, PortStatsRec, RemovedReason, Role, StatsBody, StatsKind, TableStats,
-    ViewEvent, VERSION,
+    CacheStatsRec, CookieCount, ErrorCode, EwEntry, FlowModCmd, FlowStats, GroupModCmd, Intent,
+    IntentEntry, Message, MeterModCmd, OriginHead, PortDesc, PortStatsRec, RemovedReason, Role,
+    StatsBody, StatsKind, TableStats, ViewEvent, VERSION,
 };
 
 /// The fixed message header length: version, type, length (u32), xid.
@@ -753,6 +753,115 @@ fn get_ew_entry(rd: &mut Rd<'_>) -> Result<EwEntry> {
     })
 }
 
+/// The canonical wire bytes of one east-west entry — the byte string
+/// the anti-entropy chain hash folds over, so replicas comparing
+/// digests agree on the exact bytes being summarized.
+pub fn ew_entry_bytes(entry: &EwEntry) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    put_ew_entry(&mut out, entry);
+    out
+}
+
+/// The canonical wire bytes of one flow match (used as a stable state
+/// key for ACL intents).
+pub fn match_bytes(m: &FlowMatch) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    put_match(&mut out, m);
+    out
+}
+
+fn put_origin_head(out: &mut Vec<u8>, h: &OriginHead) {
+    out.put_u32(h.origin);
+    out.put_u64(h.floor);
+    out.put_u64(h.head);
+    out.put_u64(h.hash);
+}
+
+fn get_origin_head(rd: &mut Rd<'_>) -> Result<OriginHead> {
+    Ok(OriginHead {
+        origin: rd.u32()?,
+        floor: rd.u64()?,
+        head: rd.u64()?,
+        hash: rd.u64()?,
+    })
+}
+
+fn put_intent(out: &mut Vec<u8>, intent: &Intent) {
+    match intent {
+        Intent::Noop => out.put_u8(0),
+        Intent::AclDeny {
+            priority,
+            matcher,
+            install,
+        } => {
+            out.put_u8(1);
+            out.put_u16(*priority);
+            put_match(out, matcher);
+            out.put_u8(u8::from(*install));
+        }
+        Intent::MastershipPin {
+            dpid,
+            replica,
+            pinned,
+        } => {
+            out.put_u8(2);
+            out.put_u64(*dpid);
+            out.put_u32(*replica);
+            out.put_u8(u8::from(*pinned));
+        }
+    }
+}
+
+fn get_intent(rd: &mut Rd<'_>) -> Result<Intent> {
+    let tag_at = rd.pos();
+    Ok(match rd.u8()? {
+        0 => Intent::Noop,
+        1 => Intent::AclDeny {
+            priority: rd.u16()?,
+            matcher: get_match(rd)?,
+            install: rd.u8()? != 0,
+        },
+        2 => Intent::MastershipPin {
+            dpid: rd.u64()?,
+            replica: rd.u32()?,
+            pinned: rd.u8()? != 0,
+        },
+        other => {
+            return Err(CodecError::BadTag {
+                field: "intent.kind",
+                value: other as u32,
+                offset: tag_at,
+            })
+        }
+    })
+}
+
+fn put_intent_entry(out: &mut Vec<u8>, entry: &IntentEntry) {
+    out.put_u64(entry.index);
+    out.put_u64(entry.term);
+    out.put_u32(entry.origin);
+    out.put_u64(entry.token);
+    put_intent(out, &entry.intent);
+}
+
+fn get_intent_entry(rd: &mut Rd<'_>) -> Result<IntentEntry> {
+    Ok(IntentEntry {
+        index: rd.u64()?,
+        term: rd.u64()?,
+        origin: rd.u32()?,
+        token: rd.u64()?,
+        intent: get_intent(rd)?,
+    })
+}
+
+/// The canonical wire bytes of one intent-log entry — the byte string
+/// snapshot checksums fold over.
+pub fn intent_entry_bytes(entry: &IntentEntry) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    put_intent_entry(&mut out, entry);
+    out
+}
+
 fn put_bytes(out: &mut Vec<u8>, data: &[u8]) {
     out.put_u32(data.len() as u32);
     out.put_slice(data);
@@ -1005,6 +1114,116 @@ pub fn encode(msg: &Message, xid: u32) -> Vec<u8> {
             for entry in entries {
                 put_ew_entry(&mut out, entry);
             }
+        }
+        Message::EwDigest {
+            replica,
+            term,
+            heads,
+        } => {
+            out.put_u32(*replica);
+            out.put_u64(*term);
+            out.put_u32(heads.len() as u32);
+            for h in heads {
+                put_origin_head(&mut out, h);
+            }
+        }
+        Message::EwFetch { replica, ranges } => {
+            out.put_u32(*replica);
+            out.put_u32(ranges.len() as u32);
+            for &(origin, from, to) in ranges {
+                out.put_u32(origin);
+                out.put_u64(from);
+                out.put_u64(to);
+            }
+        }
+        Message::EwSnapshot {
+            replica,
+            heads,
+            entries,
+            checksum,
+        } => {
+            out.put_u32(*replica);
+            out.put_u32(heads.len() as u32);
+            for h in heads {
+                put_origin_head(&mut out, h);
+            }
+            out.put_u32(entries.len() as u32);
+            for entry in entries {
+                put_ew_entry(&mut out, entry);
+            }
+            out.put_u64(*checksum);
+        }
+        Message::IntentPropose {
+            replica,
+            token,
+            intent,
+        } => {
+            out.put_u32(*replica);
+            out.put_u64(*token);
+            put_intent(&mut out, intent);
+        }
+        Message::IntentAppend {
+            leader,
+            term,
+            prev_index,
+            prev_term,
+            commit,
+            entries,
+        } => {
+            out.put_u32(*leader);
+            out.put_u64(*term);
+            out.put_u64(*prev_index);
+            out.put_u64(*prev_term);
+            out.put_u64(*commit);
+            out.put_u32(entries.len() as u32);
+            for entry in entries {
+                put_intent_entry(&mut out, entry);
+            }
+        }
+        Message::IntentAck {
+            replica,
+            term,
+            match_index,
+            success,
+        } => {
+            out.put_u32(*replica);
+            out.put_u64(*term);
+            out.put_u64(*match_index);
+            out.put_u8(u8::from(*success));
+        }
+        Message::IntentFetch {
+            replica,
+            term,
+            from_index,
+        } => {
+            out.put_u32(*replica);
+            out.put_u64(*term);
+            out.put_u64(*from_index);
+        }
+        Message::IntentCatchup {
+            replica,
+            term,
+            snap_index,
+            snap_term,
+            snap_state,
+            entries,
+            commit,
+            checksum,
+        } => {
+            out.put_u32(*replica);
+            out.put_u64(*term);
+            out.put_u64(*snap_index);
+            out.put_u64(*snap_term);
+            out.put_u32(snap_state.len() as u32);
+            for entry in snap_state {
+                put_intent_entry(&mut out, entry);
+            }
+            out.put_u32(entries.len() as u32);
+            for entry in entries {
+                put_intent_entry(&mut out, entry);
+            }
+            out.put_u64(*commit);
+            out.put_u64(*checksum);
         }
     }
     let len = out.len() as u32;
@@ -1474,6 +1693,120 @@ pub fn decode_view(buf: &[u8]) -> Result<(MessageView<'_>, u32, usize)> {
             }
             Message::EwEvents { replica, entries }
         }
+        23 => {
+            let replica = rd.u32()?;
+            let term = rd.u64()?;
+            let n = rd.u32()? as usize;
+            check_count(&rd, "ew.heads", n)?;
+            let mut heads = Vec::with_capacity(n);
+            for _ in 0..n {
+                heads.push(get_origin_head(&mut rd)?);
+            }
+            Message::EwDigest {
+                replica,
+                term,
+                heads,
+            }
+        }
+        24 => {
+            let replica = rd.u32()?;
+            let n = rd.u32()? as usize;
+            check_count(&rd, "ew.ranges", n)?;
+            let mut ranges = Vec::with_capacity(n);
+            for _ in 0..n {
+                let origin = rd.u32()?;
+                let from = rd.u64()?;
+                let to = rd.u64()?;
+                ranges.push((origin, from, to));
+            }
+            Message::EwFetch { replica, ranges }
+        }
+        25 => {
+            let replica = rd.u32()?;
+            let n = rd.u32()? as usize;
+            check_count(&rd, "ew.snapshot_heads", n)?;
+            let mut heads = Vec::with_capacity(n);
+            for _ in 0..n {
+                heads.push(get_origin_head(&mut rd)?);
+            }
+            let n = rd.u32()? as usize;
+            check_count(&rd, "ew.snapshot_entries", n)?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(get_ew_entry(&mut rd)?);
+            }
+            Message::EwSnapshot {
+                replica,
+                heads,
+                entries,
+                checksum: rd.u64()?,
+            }
+        }
+        26 => Message::IntentPropose {
+            replica: rd.u32()?,
+            token: rd.u64()?,
+            intent: get_intent(&mut rd)?,
+        },
+        27 => {
+            let leader = rd.u32()?;
+            let term = rd.u64()?;
+            let prev_index = rd.u64()?;
+            let prev_term = rd.u64()?;
+            let commit = rd.u64()?;
+            let n = rd.u32()? as usize;
+            check_count(&rd, "intent.entries", n)?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(get_intent_entry(&mut rd)?);
+            }
+            Message::IntentAppend {
+                leader,
+                term,
+                prev_index,
+                prev_term,
+                commit,
+                entries,
+            }
+        }
+        28 => Message::IntentAck {
+            replica: rd.u32()?,
+            term: rd.u64()?,
+            match_index: rd.u64()?,
+            success: rd.u8()? != 0,
+        },
+        29 => Message::IntentFetch {
+            replica: rd.u32()?,
+            term: rd.u64()?,
+            from_index: rd.u64()?,
+        },
+        30 => {
+            let replica = rd.u32()?;
+            let term = rd.u64()?;
+            let snap_index = rd.u64()?;
+            let snap_term = rd.u64()?;
+            let n = rd.u32()? as usize;
+            check_count(&rd, "intent.snap_state", n)?;
+            let mut snap_state = Vec::with_capacity(n);
+            for _ in 0..n {
+                snap_state.push(get_intent_entry(&mut rd)?);
+            }
+            let n = rd.u32()? as usize;
+            check_count(&rd, "intent.catchup_entries", n)?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(get_intent_entry(&mut rd)?);
+            }
+            Message::IntentCatchup {
+                replica,
+                term,
+                snap_index,
+                snap_term,
+                snap_state,
+                entries,
+                commit: rd.u64()?,
+                checksum: rd.u64()?,
+            }
+        }
         other => return Err(CodecError::UnknownType { found: other }),
     };
     rd.finish()?;
@@ -1818,6 +2151,128 @@ mod tests {
             Message::EwEvents {
                 replica: 0,
                 entries: vec![],
+            },
+            Message::EwDigest {
+                replica: 1,
+                term: 3,
+                heads: vec![
+                    OriginHead {
+                        origin: 0,
+                        floor: 2,
+                        head: 9,
+                        hash: 0xdead_beef_cafe_f00d,
+                    },
+                    OriginHead {
+                        origin: 1,
+                        floor: 0,
+                        head: 0,
+                        hash: 0xcbf2_9ce4_8422_2325,
+                    },
+                ],
+            },
+            Message::EwFetch {
+                replica: 2,
+                ranges: vec![(0, 3, 9), (1, 0, 0)],
+            },
+            Message::EwSnapshot {
+                replica: 0,
+                heads: vec![OriginHead {
+                    origin: 0,
+                    floor: 9,
+                    head: 9,
+                    hash: 7,
+                }],
+                entries: vec![EwEntry {
+                    origin: 0,
+                    seq: 9,
+                    term: 2,
+                    event: ViewEvent::LinkAdd {
+                        from_dpid: 4,
+                        from_port: 1,
+                        to_dpid: 5,
+                        to_port: 2,
+                    },
+                }],
+                checksum: 0x1111_2222_3333_4444,
+            },
+            Message::IntentPropose {
+                replica: 2,
+                token: 0xaa55,
+                intent: Intent::AclDeny {
+                    priority: 900,
+                    matcher: FlowMatch::ipv4_to("10.9.0.0/16".parse().unwrap()),
+                    install: true,
+                },
+            },
+            Message::IntentAppend {
+                leader: 0,
+                term: 6,
+                prev_index: 4,
+                prev_term: 5,
+                commit: 3,
+                entries: vec![
+                    IntentEntry {
+                        index: 5,
+                        term: 6,
+                        origin: 0,
+                        token: 0,
+                        intent: Intent::Noop,
+                    },
+                    IntentEntry {
+                        index: 6,
+                        term: 6,
+                        origin: 2,
+                        token: 0xaa55,
+                        intent: Intent::MastershipPin {
+                            dpid: 7,
+                            replica: 1,
+                            pinned: true,
+                        },
+                    },
+                ],
+            },
+            Message::IntentAck {
+                replica: 1,
+                term: 6,
+                match_index: 6,
+                success: true,
+            },
+            Message::IntentAck {
+                replica: 2,
+                term: 7,
+                match_index: 3,
+                success: false,
+            },
+            Message::IntentFetch {
+                replica: 1,
+                term: 8,
+                from_index: 2,
+            },
+            Message::IntentCatchup {
+                replica: 2,
+                term: 8,
+                snap_index: 4,
+                snap_term: 5,
+                snap_state: vec![IntentEntry {
+                    index: 2,
+                    term: 3,
+                    origin: 1,
+                    token: 11,
+                    intent: Intent::AclDeny {
+                        priority: 901,
+                        matcher: FlowMatch::ipv4_to("10.8.0.0/16".parse().unwrap()),
+                        install: true,
+                    },
+                }],
+                entries: vec![IntentEntry {
+                    index: 5,
+                    term: 6,
+                    origin: 0,
+                    token: 0,
+                    intent: Intent::Noop,
+                }],
+                commit: 4,
+                checksum: 0x5555_6666_7777_8888,
             },
         ]
     }

@@ -32,8 +32,8 @@
 pub mod codec;
 
 pub use codec::{
-    decode, decode_view, encode, encode_packet_out, CodecError, FrameAssembler, MessageView,
-    HEADER_LEN,
+    decode, decode_view, encode, encode_packet_out, ew_entry_bytes, intent_entry_bytes,
+    match_bytes, CodecError, FrameAssembler, MessageView, HEADER_LEN,
 };
 
 use zen_dataplane::{FlowMatch, FlowSpec, GroupDesc, PortNo};
@@ -339,6 +339,71 @@ pub struct EwEntry {
     pub event: ViewEvent,
 }
 
+/// One summary line of a replica's per-origin log position, carried by
+/// [`Message::EwDigest`] and [`Message::EwSnapshot`]: the retention
+/// floor (entries at or below it are pruned), the applied head, and the
+/// rolling chain hash over the origin's log up to the head. Two
+/// replicas with equal `(head, hash)` hold byte-identical logs for that
+/// origin; a peer whose head is behind fetches exactly the missing
+/// range, and a hash mismatch at an equal head flags divergence worth a
+/// snapshot resync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OriginHead {
+    /// The origin replica the summary describes.
+    pub origin: u32,
+    /// Seqs at or below this are pruned at the sender.
+    pub floor: u64,
+    /// Highest contiguous seq the sender has applied from the origin.
+    pub head: u64,
+    /// Rolling chain hash over entries `1..=head`.
+    pub hash: u64,
+}
+
+/// A linearizable mutation carried by the replicated intent log — the
+/// few control-plane writes that must not ride the eventually
+/// consistent event store (see `zen-consensus`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Intent {
+    /// A leader barrier appended on activation: committing it commits
+    /// every earlier-term entry beneath it (the Raft no-op). Never
+    /// proposed by applications.
+    Noop,
+    /// Install (or withdraw) a network-wide ACL deny rule.
+    AclDeny {
+        /// Rule priority.
+        priority: u16,
+        /// The traffic to deny.
+        matcher: FlowMatch,
+        /// `true` installs the deny, `false` withdraws it.
+        install: bool,
+    },
+    /// Pin (or unpin) mastership of one switch to a replica, overriding
+    /// the deterministic assignment while the pinned replica is alive.
+    MastershipPin {
+        /// The switch.
+        dpid: u64,
+        /// The replica to pin mastership to.
+        replica: u32,
+        /// `true` pins, `false` releases the pin.
+        pinned: bool,
+    },
+}
+
+/// One entry of the replicated intent log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntentEntry {
+    /// Position in the replicated log (1-based, contiguous).
+    pub index: u64,
+    /// Leader term the entry was appended under.
+    pub term: u64,
+    /// Replica that proposed the intent (receives the commit callback).
+    pub origin: u32,
+    /// Proposer-chosen token identifying the proposal (0 for no-ops).
+    pub token: u64,
+    /// The intent itself.
+    pub intent: Intent,
+}
+
 /// A control-channel message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
@@ -518,6 +583,114 @@ pub enum Message {
         /// The entries, ascending by seq.
         entries: Vec<EwEntry>,
     },
+    /// Digest-mode anti-entropy summary: per-origin log heads and chain
+    /// hashes instead of a blind suffix resend. A peer compares the
+    /// digest against its own applied marks and pulls exactly the
+    /// missing ranges with [`Message::EwFetch`].
+    EwDigest {
+        /// Sender's replica index.
+        replica: u32,
+        /// Sender's mastership term.
+        term: u64,
+        /// One summary per origin, ascending by origin.
+        heads: Vec<OriginHead>,
+    },
+    /// Pull request for east-west log ranges a digest showed missing.
+    /// The range `(origin, 0, 0)` asks for a full snapshot (bootstrap,
+    /// or divergence detected by a chain-hash mismatch).
+    EwFetch {
+        /// Sender's replica index.
+        replica: u32,
+        /// `(origin, from_seq, to_seq)` inclusive ranges to resend.
+        ranges: Vec<(u32, u64, u64)>,
+    },
+    /// A checksummed snapshot of the winning east-west writes: the
+    /// per-origin heads being installed plus one entry per logical key
+    /// (the current last-writer-wins state). Serves bootstrap and
+    /// requests below the sender's retention floor, replacing a full
+    /// log replay with a state transfer.
+    EwSnapshot {
+        /// Sender's replica index.
+        replica: u32,
+        /// Per-origin heads the snapshot advances the receiver to.
+        heads: Vec<OriginHead>,
+        /// The winning entry per logical key, in key order.
+        entries: Vec<EwEntry>,
+        /// Chain hash over `entries`, for integrity.
+        checksum: u64,
+    },
+    /// Forward an intent proposal to the current consensus leader.
+    IntentPropose {
+        /// Proposing replica's index.
+        replica: u32,
+        /// Proposer-chosen token (echoed in the commit callback).
+        token: u64,
+        /// The proposed intent.
+        intent: Intent,
+    },
+    /// Leader-to-follower intent-log replication (also the consensus
+    /// heartbeat): entries after `(prev_index, prev_term)` plus the
+    /// leader's commit index.
+    IntentAppend {
+        /// The leader's replica index.
+        leader: u32,
+        /// The leader's term.
+        term: u64,
+        /// Index of the entry immediately before `entries`.
+        prev_index: u64,
+        /// Term of the entry at `prev_index`.
+        prev_term: u64,
+        /// The leader's commit index.
+        commit: u64,
+        /// Entries to append, ascending by index.
+        entries: Vec<IntentEntry>,
+    },
+    /// Follower response to [`Message::IntentAppend`].
+    IntentAck {
+        /// The follower's replica index.
+        replica: u32,
+        /// The follower's term (a higher term steps the leader down).
+        term: u64,
+        /// On success: highest index now matching the leader's log. On
+        /// failure: the follower's commit index, as a resend hint.
+        match_index: u64,
+        /// Whether the consistency check at `prev_index` passed.
+        success: bool,
+    },
+    /// Pull a peer's intent-log suffix: a freshly elected leader syncs
+    /// from a majority before activating, so every committed entry
+    /// survives the failover.
+    IntentFetch {
+        /// The fetching replica's index.
+        replica: u32,
+        /// The fetcher's term.
+        term: u64,
+        /// Return entries with index strictly above this.
+        from_index: u64,
+    },
+    /// Intent-log state transfer, serving both fetch replies and
+    /// snapshot installs to followers behind the leader's retention
+    /// floor. When `snap_index > 0` the receiver first installs the
+    /// materialized committed state (`snap_state`) at that index, then
+    /// appends `entries`.
+    IntentCatchup {
+        /// Sending replica's index.
+        replica: u32,
+        /// Sender's term.
+        term: u64,
+        /// Index the snapshot state materializes (0 = no snapshot).
+        snap_index: u64,
+        /// Term of the entry at `snap_index`.
+        snap_term: u64,
+        /// The active committed entries at `snap_index`, in key order.
+        snap_state: Vec<IntentEntry>,
+        /// Log entries above the snapshot (or above the fetch point).
+        entries: Vec<IntentEntry>,
+        /// Sender's commit index.
+        commit: u64,
+        /// Chain hash over `snap_state`, for integrity.
+        checksum: u64,
+    },
 }
 
 impl Message {
@@ -547,6 +720,14 @@ impl Message {
             Message::RoleReply { .. } => 20,
             Message::EwHeartbeat { .. } => 21,
             Message::EwEvents { .. } => 22,
+            Message::EwDigest { .. } => 23,
+            Message::EwFetch { .. } => 24,
+            Message::EwSnapshot { .. } => 25,
+            Message::IntentPropose { .. } => 26,
+            Message::IntentAppend { .. } => 27,
+            Message::IntentAck { .. } => 28,
+            Message::IntentFetch { .. } => 29,
+            Message::IntentCatchup { .. } => 30,
         }
     }
 }

@@ -11,12 +11,13 @@
 use zen_dataplane::{Action, Bucket, FlowMatch, FlowSpec, GroupDesc, GroupType};
 use zen_proto::{
     decode, decode_view, encode, CacheStatsRec, CodecError, CookieCount, ErrorCode, EwEntry,
-    FlowModCmd, FlowStats, GroupModCmd, Message, MeterModCmd, PortDesc, PortStatsRec,
-    RemovedReason, Role, StatsBody, StatsKind, TableStats, ViewEvent, HEADER_LEN,
+    FlowModCmd, FlowStats, GroupModCmd, Intent, IntentEntry, Message, MeterModCmd, OriginHead,
+    PortDesc, PortStatsRec, RemovedReason, Role, StatsBody, StatsKind, TableStats, ViewEvent,
+    HEADER_LEN,
 };
 use zen_wire::{EthernetAddress, Ipv4Address};
 
-/// One exemplar per wire type id, 0 through 22. The coverage test
+/// One exemplar per wire type id, 0 through 30. The coverage test
 /// below asserts this list really does span every discriminant, so a
 /// new message type cannot be added without extending the sweeps.
 fn one_of_each() -> Vec<Message> {
@@ -154,6 +155,107 @@ fn one_of_each() -> Vec<Message> {
                 },
             }],
         },
+        Message::EwDigest {
+            replica: 2,
+            term: 5,
+            heads: vec![
+                OriginHead {
+                    origin: 0,
+                    floor: 3,
+                    head: 17,
+                    hash: 0xdead_beef,
+                },
+                OriginHead {
+                    origin: 1,
+                    floor: 0,
+                    head: 4,
+                    hash: 0xfeed_f00d,
+                },
+            ],
+        },
+        Message::EwFetch {
+            replica: 1,
+            ranges: vec![(0, 4, 17), (2, 0, 0)],
+        },
+        Message::EwSnapshot {
+            replica: 0,
+            heads: vec![OriginHead {
+                origin: 0,
+                floor: 0,
+                head: 1,
+                hash: 0x1234,
+            }],
+            entries: vec![EwEntry {
+                origin: 0,
+                seq: 1,
+                term: 1,
+                event: ViewEvent::LinkDel {
+                    from_dpid: 1,
+                    from_port: 2,
+                },
+            }],
+            checksum: 0x5678,
+        },
+        Message::IntentPropose {
+            replica: 2,
+            token: 0xf00,
+            intent: Intent::AclDeny {
+                priority: 900,
+                matcher: FlowMatch::ipv4_to("10.9.0.0/16".parse().unwrap()),
+                install: true,
+            },
+        },
+        Message::IntentAppend {
+            leader: 0,
+            term: 6,
+            prev_index: 3,
+            prev_term: 5,
+            commit: 3,
+            entries: vec![IntentEntry {
+                index: 4,
+                term: 6,
+                origin: 0,
+                token: 0,
+                intent: Intent::Noop,
+            }],
+        },
+        Message::IntentAck {
+            replica: 3,
+            term: 6,
+            match_index: 4,
+            success: true,
+        },
+        Message::IntentFetch {
+            replica: 1,
+            term: 7,
+            from_index: 3,
+        },
+        Message::IntentCatchup {
+            replica: 2,
+            term: 7,
+            snap_index: 3,
+            snap_term: 5,
+            snap_state: vec![IntentEntry {
+                index: 2,
+                term: 4,
+                origin: 1,
+                token: 0xabc,
+                intent: Intent::MastershipPin {
+                    dpid: 7,
+                    replica: 1,
+                    pinned: true,
+                },
+            }],
+            entries: vec![IntentEntry {
+                index: 4,
+                term: 6,
+                origin: 0,
+                token: 0,
+                intent: Intent::Noop,
+            }],
+            commit: 3,
+            checksum: 0x9abc,
+        },
     ]
 }
 
@@ -164,7 +266,7 @@ fn exemplars_cover_every_frame_type() {
     let mut ids: Vec<u8> = one_of_each().iter().map(Message::type_id).collect();
     ids.sort_unstable();
     ids.dedup();
-    let expect: Vec<u8> = (0..=22).collect();
+    let expect: Vec<u8> = (0..=30).collect();
     assert_eq!(ids, expect, "exemplar list does not span the type space");
 }
 
@@ -533,6 +635,23 @@ fn corruption_table() -> Vec<Corruption> {
             },
         },
         Corruption {
+            name: "intent kind tag",
+            msg: Message::IntentPropose {
+                replica: 2,
+                token: 0xf00,
+                intent: Intent::Noop,
+            },
+            // replica(4) + token(8)
+            patch_at: HEADER_LEN + 12,
+            clean: 0,
+            patch_to: 9,
+            expect: CodecError::BadTag {
+                field: "intent.kind",
+                value: 9,
+                offset: HEADER_LEN + 12,
+            },
+        },
+        Corruption {
             name: "host learned ip presence flag",
             msg: Message::EwEvents {
                 replica: 1,
@@ -691,6 +810,44 @@ fn count_overflow_rejected_before_allocating() {
             count_at: HEADER_LEN + 4,
             count_width: 4,
             expect_field: "ew.entries",
+        },
+        Bomb {
+            name: "east-west digest head count",
+            msg: Message::EwDigest {
+                replica: 2,
+                term: 5,
+                heads: vec![OriginHead {
+                    origin: 0,
+                    floor: 3,
+                    head: 17,
+                    hash: 0xdead_beef,
+                }],
+            },
+            // replica(4) + term(8)
+            count_at: HEADER_LEN + 12,
+            count_width: 4,
+            expect_field: "ew.heads",
+        },
+        Bomb {
+            name: "intent append entry count",
+            msg: Message::IntentAppend {
+                leader: 0,
+                term: 6,
+                prev_index: 3,
+                prev_term: 5,
+                commit: 3,
+                entries: vec![IntentEntry {
+                    index: 4,
+                    term: 6,
+                    origin: 0,
+                    token: 0,
+                    intent: Intent::Noop,
+                }],
+            },
+            // leader(4) + term(8) + prev_index(8) + prev_term(8) + commit(8)
+            count_at: HEADER_LEN + 36,
+            count_width: 4,
+            expect_field: "intent.entries",
         },
         Bomb {
             name: "stats reply record count",

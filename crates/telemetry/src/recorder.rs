@@ -195,6 +195,24 @@ pub enum TraceEvent {
         /// The phase entered.
         phase: &'static str,
     },
+    /// A replicated intent committed through the consensus log (one
+    /// record per replica as each observes the commit).
+    IntentCommitted {
+        /// Log index of the committed entry.
+        index: u64,
+        /// Consensus term the entry was appended under.
+        term: u64,
+        /// Replica that proposed the intent.
+        origin: u32,
+    },
+    /// An east-west snapshot was installed, replacing incremental
+    /// repair (fresh bootstrap or chain-hash divergence).
+    EwSnapshotInstalled {
+        /// Replica that served the snapshot.
+        from_replica: u32,
+        /// Number of winning entries the snapshot carried.
+        entries: u64,
+    },
 }
 
 impl TraceEvent {
@@ -219,6 +237,8 @@ impl TraceEvent {
             TraceEvent::PuntDeferred { .. } => "punt_deferred",
             TraceEvent::PushbackInstalled { .. } => "pushback_installed",
             TraceEvent::EpochPhase { .. } => "epoch_phase",
+            TraceEvent::IntentCommitted { .. } => "intent_committed",
+            TraceEvent::EwSnapshotInstalled { .. } => "ew_snapshot_installed",
         }
     }
 }
@@ -524,6 +544,20 @@ fn write_record(rec: &TraceRecord, out: &mut String) {
             line.u64("dpid", *dpid).u64("port", u64::from(*port))
         }
         TraceEvent::EpochPhase { epoch, phase } => line.u64("epoch", *epoch).str("phase", phase),
+        TraceEvent::IntentCommitted {
+            index,
+            term,
+            origin,
+        } => line
+            .u64("index", *index)
+            .u64("term", *term)
+            .u64("origin", u64::from(*origin)),
+        TraceEvent::EwSnapshotInstalled {
+            from_replica,
+            entries,
+        } => line
+            .u64("from", u64::from(*from_replica))
+            .u64("entries", *entries),
     };
     line.finish(out);
 }
