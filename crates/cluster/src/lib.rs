@@ -452,7 +452,20 @@ impl EwStore {
     pub fn missing_ranges(&self, peer_heads: &[OriginHead]) -> Vec<(u32, u64, u64)> {
         let mut out = Vec::new();
         for h in peer_heads {
-            if h.origin == self.origin || h.origin as usize >= self.n_replicas {
+            if h.origin as usize >= self.n_replicas {
+                continue;
+            }
+            if h.origin == self.origin {
+                // A peer remembers more of our own origin log than we
+                // do: we were wiped and restarted. Bootstrap from a
+                // snapshot so `next_seq` resumes past the retired seqs
+                // — otherwise every new local append is rejected by
+                // peers as a duplicate and stops propagating. (This
+                // must not wait for the floor-triggered path: before
+                // any pruning, all floors are still 0.)
+                if h.head > self.applied_high(self.origin) {
+                    out.push((h.origin, 0, 0));
+                }
                 continue;
             }
             let mine = self.applied_high(h.origin);
@@ -866,6 +879,35 @@ mod tests {
         let (heads, entries, checksum) = a.snapshot();
         let mut d = EwStore::new(2, 3);
         assert!(d.install_snapshot(&heads, entries, checksum ^ 1).is_none());
+    }
+
+    #[test]
+    fn wiped_replica_resumes_own_origin_before_any_pruning() {
+        // Regression: a wiped replica rejoining while every floor was
+        // still 0 never took the snapshot path, restarted its own log
+        // at seq 1, and every new append died at peers as a duplicate.
+        let mut a = EwStore::new(0, 2);
+        let mut b = EwStore::new(1, 2);
+        for i in 0..4 {
+            a.append(1, link_add(i, 1));
+        }
+        for e in a.pending_for(1, 16) {
+            assert_eq!(b.admit(&e), Admit::Apply);
+        }
+        // Replica 0 loses its state and restarts. No pruning has
+        // happened anywhere (all floors 0), yet b's digest must steer
+        // it to a snapshot for its own origin.
+        let mut a2 = EwStore::new(0, 2);
+        let want = a2.missing_ranges(&b.digest());
+        assert!(want.contains(&(0, 0, 0)), "got {want:?}");
+        let (heads, entries, checksum) = b.snapshot();
+        a2.install_snapshot(&heads, entries, checksum)
+            .expect("checksum verifies");
+        // Its own log resumes past the retired seqs, so new local
+        // observations keep propagating cluster-wide.
+        let e = a2.append(2, link_add(9, 1));
+        assert_eq!(e.seq, 5);
+        assert_eq!(b.admit(&e), Admit::Apply);
     }
 
     #[test]

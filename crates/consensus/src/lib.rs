@@ -68,9 +68,18 @@ pub fn chain_ew(h: u64, entry: &EwEntry) -> u64 {
 }
 
 /// Checksum pinning a catchup payload: a chain hash over the snapshot
-/// state followed by the trailing entries, in transmission order.
-pub fn entries_checksum(snap: &[IntentEntry], entries: &[IntentEntry]) -> u64 {
+/// token set, the snapshot state, and the trailing entries, in
+/// transmission order.
+pub fn catchup_checksum(
+    tokens: &[(u32, u64)],
+    snap: &[IntentEntry],
+    entries: &[IntentEntry],
+) -> u64 {
     let mut h = CHAIN_SEED;
+    for &(origin, token) in tokens {
+        h = fnv1a_fold(h, &origin.to_be_bytes());
+        h = fnv1a_fold(h, &token.to_be_bytes());
+    }
     for e in snap.iter().chain(entries.iter()) {
         h = fnv1a_fold(h, &intent_entry_bytes(e));
     }
@@ -91,6 +100,13 @@ pub fn vterm(mterm: u64, n: u32, leader: u32) -> u64 {
 /// Quorum size for a cluster of `n` replicas (strict majority).
 pub fn majority(n: u32) -> usize {
     n as usize / 2 + 1
+}
+
+/// The leader index an effective term encodes (see [`vterm`]): the
+/// receiver of a frame can verify the sender is the term's leader
+/// without any out-of-band leader table.
+pub fn term_leader(term: u64, n: u32) -> u32 {
+    (term % n.max(1) as u64) as u32
 }
 
 /// Stable key identifying the piece of state an intent mutates; the
@@ -470,11 +486,12 @@ impl IntentReplica {
         snap_index: u64,
         snap_term: u64,
         snap_state: Vec<IntentEntry>,
+        snap_tokens: Vec<(u32, u64)>,
         entries: Vec<IntentEntry>,
         peer_commit: u64,
         checksum: u64,
     ) -> Vec<Outbound> {
-        if entries_checksum(&snap_state, &entries) != checksum {
+        if catchup_checksum(&snap_tokens, &snap_state, &entries) != checksum {
             return Vec::new();
         }
         if term > self.term {
@@ -500,7 +517,12 @@ impl IntentReplica {
                     if let Some(inc) = incoming_last {
                         if inc >= self.last_tuple() {
                             if snap_index > self.commit {
-                                self.install_snapshot(snap_index, snap_term, snap_state);
+                                self.install_snapshot(
+                                    snap_index,
+                                    snap_term,
+                                    snap_state,
+                                    snap_tokens,
+                                );
                             }
                             self.splice(entries);
                         }
@@ -518,18 +540,41 @@ impl IntentReplica {
             }
             Phase::Follower => {
                 if term < self.term {
+                    // Nack so a stale-term leader learns it is
+                    // superseded — it may have no append in flight to
+                    // us (our next_idx below its floor routes every
+                    // retry through this catchup path), and a silent
+                    // drop would leave it sitting on the old term
+                    // forever.
+                    return vec![self.ack(from, self.commit, false)];
+                }
+                // Only the current term's leader installs state into a
+                // follower. Stale replies to fetches we sent while
+                // Syncing (from arbitrary peers) land here too, and
+                // would otherwise splice unverified suffixes.
+                if from != term_leader(term, self.n) {
                     return Vec::new();
                 }
                 if snap_index > self.commit {
-                    self.install_snapshot(snap_index, snap_term, snap_state);
+                    self.install_snapshot(snap_index, snap_term, snap_state, snap_tokens);
                 }
-                self.splice(entries);
+                // Splice only entries anchored to a verified prefix —
+                // the snapshot just installed, or the committed prefix
+                // itself — mirroring the prev_index/prev_term gate of
+                // on_append; and ack only indexes so verified, never a
+                // stale local suffix beyond them.
+                let mut confirmed = self.commit;
+                if entries.first().is_none_or(|f| f.index <= self.commit + 1) {
+                    if let Some(e) = entries.last() {
+                        confirmed = confirmed.max(e.index);
+                    }
+                    self.splice(entries);
+                }
                 if peer_commit > self.commit {
                     self.commit = peer_commit.min(self.last_tuple().1);
                     self.advance_applied();
                 }
-                let (_, last) = self.last_tuple();
-                vec![self.ack(from, last, true)]
+                vec![self.ack(from, confirmed.max(self.commit), true)]
             }
             // A sitting leader's log is append-only; stale catchup
             // replies (term already adopted above) carry nothing new.
@@ -723,14 +768,15 @@ impl IntentReplica {
     }
 
     fn make_catchup(&self, to: u32, from_index: u64) -> Outbound {
-        let (snap_index, snap_term, snap_state) = if from_index < self.floor {
+        let (snap_index, snap_term, snap_state, snap_tokens) = if from_index < self.floor {
             (
                 self.applied,
                 self.applied_term(),
                 self.active.values().cloned().collect::<Vec<_>>(),
+                self.applied_tokens.iter().copied().collect::<Vec<_>>(),
             )
         } else {
-            (0, 0, Vec::new())
+            (0, 0, Vec::new(), Vec::new())
         };
         let start = if snap_index > 0 {
             self.applied
@@ -742,7 +788,7 @@ impl IntentReplica {
             .range(start + 1..)
             .map(|(_, e)| e.clone())
             .collect();
-        let checksum = entries_checksum(&snap_state, &entries);
+        let checksum = catchup_checksum(&snap_tokens, &snap_state, &entries);
         Outbound {
             to,
             msg: Message::IntentCatchup {
@@ -751,6 +797,7 @@ impl IntentReplica {
                 snap_index,
                 snap_term,
                 snap_state,
+                snap_tokens,
                 entries,
                 commit: self.commit,
                 checksum,
@@ -758,20 +805,32 @@ impl IntentReplica {
         }
     }
 
-    fn install_snapshot(&mut self, snap_index: u64, snap_term: u64, snap_state: Vec<IntentEntry>) {
+    fn install_snapshot(
+        &mut self,
+        snap_index: u64,
+        snap_term: u64,
+        snap_state: Vec<IntentEntry>,
+        snap_tokens: Vec<(u32, u64)>,
+    ) {
         self.log.clear();
         self.floor = snap_index;
         self.floor_term = snap_term;
         self.commit = snap_index;
         self.applied = snap_index;
         self.active.clear();
-        self.applied_tokens.clear();
         for e in &snap_state {
             if let Some((key, _)) = intent_key(&e.intent) {
                 self.active.insert(key, e.clone());
             }
             self.applied_tokens.insert((e.origin, e.token));
         }
+        // The carried token set covers committed-but-superseded intents
+        // that `snap_state` (latest entry per key) cannot reconstruct —
+        // without it, a proposer that never observed its commit would
+        // re-propose past the snapshot and commit a second time. Union
+        // with what we already hold: tokens only ever enter this set on
+        // commit, so nothing stale can survive the merge.
+        self.applied_tokens.extend(snap_tokens);
         let toks = &self.applied_tokens;
         let me = self.me;
         self.pending_local
@@ -822,11 +881,20 @@ mod tests {
                 snap_index,
                 snap_term,
                 snap_state,
+                snap_tokens,
                 entries,
                 commit,
                 checksum,
             } => rep.on_catchup(
-                replica, term, snap_index, snap_term, snap_state, entries, commit, checksum,
+                replica,
+                term,
+                snap_index,
+                snap_term,
+                snap_state,
+                snap_tokens,
+                entries,
+                commit,
+                checksum,
             ),
             _ => Vec::new(),
         }
@@ -845,6 +913,10 @@ mod tests {
         /// Replicas whose outbound acks are dropped (for mid-commit
         /// scenarios).
         drop_acks: BTreeSet<u32>,
+        /// Replicas that receive nothing at all, while their own
+        /// outbound frames still flow (a one-way partition: the
+        /// proposer never observes its commit).
+        drop_to: BTreeSet<u32>,
     }
 
     impl Net {
@@ -855,6 +927,7 @@ mod tests {
                 groups: vec![(0..n).collect()],
                 mterm: 1,
                 drop_acks: BTreeSet::new(),
+                drop_to: BTreeSet::new(),
             }
         }
 
@@ -906,6 +979,9 @@ mod tests {
                     continue;
                 }
                 if self.drop_acks.contains(&from) && matches!(o.msg, Message::IntentAck { .. }) {
+                    continue;
+                }
+                if self.drop_to.contains(&o.to) {
                     continue;
                 }
                 for r in deliver(&mut self.reps[o.to as usize], o.msg) {
@@ -1074,6 +1150,98 @@ mod tests {
             got_snapshot,
             "rejoin below the floor must install a snapshot"
         );
+    }
+
+    #[test]
+    fn snapshot_carries_superseded_tokens_for_dedup() {
+        // Regression: the snapshot used to rebuild `applied_tokens`
+        // from the active entries only, forgetting tokens of
+        // committed-but-superseded intents. A proposer that never
+        // observed its commit then re-proposed past the snapshot and
+        // the intent committed twice — resurrecting a withdrawn deny.
+        let mut net = Net::new(3);
+        net.run(3);
+        assert!(net.reps[0].is_leader());
+        // Replica 1 proposes an install but hears nothing back (its
+        // own frames still flow out).
+        net.drop_to.insert(1);
+        let tok_in = fnv1a(b"install");
+        net.reps[1].propose_local(tok_in, deny(1));
+        net.run(3);
+        assert_eq!(net.reps[1].pending_len(), 1);
+        // The deny is withdrawn, then bulk commits push the leader's
+        // compaction floor past both entries.
+        let withdraw = match deny(1) {
+            Intent::AclDeny {
+                priority, matcher, ..
+            } => Intent::AclDeny {
+                priority,
+                matcher,
+                install: false,
+            },
+            _ => unreachable!(),
+        };
+        net.reps[0].propose_local(fnv1a(b"withdraw"), withdraw);
+        net.run(2);
+        for i in 0..(3 * KEEP_TAIL as usize) {
+            let tok = fnv1a(format!("bulk{i}").as_bytes());
+            net.reps[0].propose_local(tok, deny((10 + i % 200) as u8));
+            net.run(1);
+        }
+        assert!(net.reps[0].floor() > 2);
+        // Heal: replica 1 bootstraps from a snapshot whose active set
+        // contains neither the install nor the withdraw, but whose
+        // token set must still cover the proposal — dropping it from
+        // the pending queue.
+        net.drop_to.clear();
+        net.run(4);
+        assert_eq!(net.reps[1].commit(), net.reps[0].commit());
+        assert_eq!(
+            net.reps[1].pending_len(),
+            0,
+            "snapshot token set must absorb the unobserved proposal"
+        );
+        // Failover to the replica that installed the snapshot: it must
+        // not re-append its old proposal.
+        net.kill(0);
+        net.run(6);
+        assert!(net.reps[1].is_leader());
+        let key = intent_key(&deny(1)).expect("acl key").0;
+        for i in 1..3u32 {
+            assert!(
+                !net.reps[i as usize].active().contains_key(&key),
+                "replica {i} resurrected the withdrawn deny"
+            );
+        }
+        let count = applied_tokens_of(&net.reps[2].take_applied())
+            .iter()
+            .filter(|&&t| t == (1, tok_in))
+            .count();
+        assert_eq!(count, 1, "intent must commit exactly once");
+    }
+
+    #[test]
+    fn follower_ignores_catchup_from_non_leader() {
+        let mut net = Net::new(3);
+        net.run(3);
+        net.reps[0].propose_local(fnv1a(b"base"), deny(1));
+        net.run(3);
+        // A stale reply from replica 2 (not the term's leader) carrying
+        // a fabricated uncommitted suffix must not splice into replica
+        // 1's log, checksum notwithstanding.
+        let term = net.reps[1].term();
+        let commit = net.reps[1].commit();
+        let bogus = vec![IntentEntry {
+            index: net.reps[1].last_index() + 1,
+            term,
+            origin: 2,
+            token: 99,
+            intent: deny(9),
+        }];
+        let checksum = catchup_checksum(&[], &[], &bogus);
+        let outs = net.reps[1].on_catchup(2, term, 0, 0, vec![], vec![], bogus, commit, checksum);
+        assert!(outs.is_empty());
+        assert_eq!(net.reps[1].last_index(), commit);
     }
 
     #[test]

@@ -92,12 +92,25 @@ pub trait App: 'static {
 
     /// A cluster-wide intent committed through the replicated log (or
     /// locally when not clustered) — the linearizable counterpart to
-    /// the eventually consistent view replication. Fires exactly once
+    /// the eventually consistent view replication. Fires at most once
     /// per intent on every replica, in commit order; apps holding
     /// switch state derived from intents (network-wide ACL rules,
     /// pinned mastership) materialize it here. Proposed via
-    /// [`Ctl::propose_intent`].
+    /// [`Ctl::propose_intent`]. A replica that rejoins past the
+    /// leader's compaction floor does **not** replay individual
+    /// commits: it receives one [`App::on_intent_snapshot`] instead.
     fn on_intent_committed(&mut self, ctl: &mut Ctl<'_, '_>, intent: &Intent) {}
+
+    /// The replicated intent state was replaced wholesale by a
+    /// snapshot install (this replica rejoined past the leader's
+    /// compaction floor). `intents` is the full active set — the
+    /// latest committed install per key; withdrawn state is simply
+    /// absent. Apps deriving state from intents must **rebuild** from
+    /// this set, replacing rather than patching their materialization:
+    /// incremental replay cannot retract state whose withdrawal the
+    /// snapshot compacted away. [`App::on_intent_committed`] does not
+    /// fire for these entries.
+    fn on_intent_snapshot(&mut self, ctl: &mut Ctl<'_, '_>, intents: &[Intent]) {}
 
     /// A two-phase [`crate::txn::NetworkUpdate`] this app committed
     /// (identified by the `owner`/`token` it passed to

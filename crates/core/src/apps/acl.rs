@@ -146,6 +146,35 @@ impl App for Acl {
         }
     }
 
+    fn on_intent_snapshot(&mut self, ctl: &mut Ctl<'_, '_>, intents: &[Intent]) {
+        // Rebuild, never patch: the snapshot's active set is the whole
+        // committed rule set. A withdraw compacted out of the log shows
+        // up only as absence here, so a rule carried over from before
+        // the partition must be dropped, not kept.
+        self.committed = intents
+            .iter()
+            .filter_map(|i| match *i {
+                Intent::AclDeny {
+                    priority,
+                    matcher,
+                    install: true,
+                } if priority == self.priority => Some(matcher),
+                _ => None,
+            })
+            .collect();
+        // Cookie-scoped delete clears whatever the pre-partition rule
+        // set left behind on switches we master, then the rebuilt set
+        // is pushed whole.
+        let dpids: Vec<Dpid> = ctl.view.switches.keys().copied().collect();
+        for dpid in dpids {
+            if !ctl.is_master(dpid) {
+                continue;
+            }
+            ctl.delete_flows_by_cookie(dpid, ACL_COOKIE);
+            self.program_switch(ctl, dpid);
+        }
+    }
+
     fn on_switch_up(&mut self, ctl: &mut Ctl<'_, '_>, dpid: Dpid) {
         self.program_switch(ctl, dpid);
     }

@@ -841,6 +841,12 @@ impl Controller {
         self.cluster.as_ref().map(|cl| cl.membership.term())
     }
 
+    /// The replicated intent log, if clustered (post-run inspection:
+    /// role, term, commit index, compaction floor).
+    pub fn intent_replica(&self) -> Option<&IntentReplica> {
+        self.cluster.as_ref().map(|cl| &cl.intents)
+    }
+
     /// The replicated program stamp for `(dpid, cookie)` (post-run
     /// inspection; see [`Ctl::program_stamp`]).
     pub fn program_stamp_of(&self, dpid: Dpid, cookie: u64) -> Option<u64> {
@@ -1190,13 +1196,22 @@ impl Controller {
                 snap_index,
                 snap_term,
                 snap_state,
+                snap_tokens,
                 entries,
                 commit,
                 checksum,
             } => {
                 let outs = match self.cluster.as_mut() {
                     Some(cl) => cl.intents.on_catchup(
-                        replica, term, snap_index, snap_term, snap_state, entries, commit, checksum,
+                        replica,
+                        term,
+                        snap_index,
+                        snap_term,
+                        snap_state,
+                        snap_tokens,
+                        entries,
+                        commit,
+                        checksum,
                     ),
                     None => return,
                 };
@@ -1252,17 +1267,70 @@ impl Controller {
         };
         for a in applied {
             match a {
-                Applied::Snapshot(entries) => {
-                    // A snapshot replaces the materialized state: drop
-                    // derived pins, then replay the committed entries.
-                    if let Some(cl) = self.cluster.as_mut() {
-                        cl.pins.clear();
-                    }
-                    for e in entries {
-                        self.apply_committed_intent(ctx, e, me);
-                    }
-                }
+                Applied::Snapshot(entries) => self.apply_intent_snapshot(ctx, entries, me),
                 Applied::Entry(e) => self.apply_committed_intent(ctx, e, me),
+            }
+        }
+    }
+
+    /// A snapshot install replaced the committed intent state
+    /// wholesale. Derived state is rebuilt from the active set, not
+    /// patched: replaying the entries through the incremental
+    /// [`App::on_intent_committed`] hook could never retract state
+    /// whose withdrawal the snapshot compacted away (a withdrawn ACL
+    /// deny would survive forever), and would double-fire the hook for
+    /// entries this replica already applied.
+    fn apply_intent_snapshot(
+        &mut self,
+        ctx: &mut Context<'_>,
+        entries: Vec<IntentEntry>,
+        me: Option<u32>,
+    ) {
+        if let Some(cl) = self.cluster.as_mut() {
+            cl.pins.clear();
+            for e in &entries {
+                if let Intent::MastershipPin {
+                    dpid,
+                    replica,
+                    pinned: true,
+                } = e.intent
+                {
+                    cl.pins.insert(dpid, replica);
+                }
+            }
+        }
+        {
+            let rec = ctx.recorder();
+            if rec.is_enabled() {
+                rec.record(
+                    ctx.now().as_nanos(),
+                    control_trace(0),
+                    TraceEvent::IntentSnapshotInstalled {
+                        entries: entries.len() as u64,
+                    },
+                );
+            }
+        }
+        // Proposals of ours that committed while we were away complete
+        // their owner callbacks now.
+        let own_tokens: Vec<u64> = entries
+            .iter()
+            .filter(|e| me.is_none_or(|m| m == e.origin))
+            .map(|e| e.token)
+            .collect();
+        let intents: Vec<Intent> = entries.into_iter().map(|e| e.intent).collect();
+        self.with_apps(ctx, |apps, ctl| {
+            for app in apps.iter_mut() {
+                app.on_intent_snapshot(ctl, &intents);
+            }
+        });
+        for token in own_tokens {
+            if let Some(owner) = self.intent_owners.remove(&token) {
+                self.with_apps(ctx, |apps, ctl| {
+                    for app in apps.iter_mut() {
+                        app.on_update_committed(ctl, owner, token);
+                    }
+                });
             }
         }
     }

@@ -86,9 +86,35 @@ impl App for Proposer {
     }
 }
 
+/// A test app that proposes a batch of intents at a scheduled instant
+/// — bulk traffic for pushing the intent log's compaction floor.
+struct BatchProposer {
+    at: Instant,
+    intents: Vec<Intent>,
+}
+
+impl App for BatchProposer {
+    fn name(&self) -> &'static str {
+        "batch"
+    }
+
+    fn tick(&mut self, ctl: &mut Ctl<'_, '_>) {
+        if ctl.now() >= self.at {
+            for intent in std::mem::take(&mut self.intents) {
+                ctl.propose_intent("batch", intent);
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
 /// A 4-switch ring, hosts on 0 and 2, `n` replicas each running
 /// ProactiveFabric + Acl + Proposer. Replica `acl_on` seeds the deny;
-/// replica `propose_on` (if any) fires `intent` at `propose_at`.
+/// replica `propose_on` (if any) fires `intent` at `propose_at`;
+/// replica `batch_on` (if any) fires its whole intent batch at once.
 #[allow(clippy::too_many_arguments)]
 fn consensus_fabric(
     world: &mut World,
@@ -96,6 +122,7 @@ fn consensus_fabric(
     gossip: GossipMode,
     acl_on: Option<usize>,
     propose_on: Option<(usize, Instant, Intent)>,
+    batch_on: Option<(usize, Instant, Vec<Intent>)>,
     workload: Option<Workload>,
 ) -> Fabric {
     let mut topo = Topology::ring(4, LinkParams::default());
@@ -124,6 +151,16 @@ fn consensus_fabric(
                 Some((r, at, intent)) if *r == i => Proposer::new(*at, intent.clone()),
                 _ => Proposer::idle(),
             };
+            let batch = match &batch_on {
+                Some((r, at, intents)) if *r == i => BatchProposer {
+                    at: *at,
+                    intents: intents.clone(),
+                },
+                _ => BatchProposer {
+                    at: Instant::ZERO,
+                    intents: Vec::new(),
+                },
+            };
             vec![
                 Box::new(Acl::new(denies)),
                 Box::new(ProactiveFabric::new(
@@ -132,6 +169,7 @@ fn consensus_fabric(
                     expected_links,
                 )),
                 Box::new(proposer),
+                Box::new(batch),
             ]
         },
         opts,
@@ -173,6 +211,7 @@ fn acl_intent_commits_on_every_replica_and_programs_all_switches() {
         3,
         GossipMode::Digest,
         Some(0),
+        None,
         None,
         Some(Workload::Udp {
             dst: default_ip(1),
@@ -238,6 +277,7 @@ fn leader_killed_mid_commit_loses_no_intents() {
             },
         )),
         None,
+        None,
     );
     world.run_until(secs(2));
     world.set_fault_plan(
@@ -294,6 +334,7 @@ fn mastership_pin_intent_overrides_hash_assignment() {
             },
         )),
         None,
+        None,
     );
     world.run_until(ms(1200));
     let before = world
@@ -334,6 +375,7 @@ fn digest_gossip_converges_like_suffix_with_fewer_entries_sent() {
             3,
             gossip,
             Some(0),
+            None,
             None,
             Some(Workload::Ping {
                 dst: default_ip(1),
@@ -379,6 +421,97 @@ fn digest_gossip_converges_like_suffix_with_fewer_entries_sent() {
     );
 }
 
+/// A replica partitioned across an ACL withdrawal that the leader then
+/// compacts out of the log must rejoin via snapshot and *drop* the
+/// stale deny: the withdrawal exists only as absence from the
+/// snapshot's active set, so patching (replaying entries) can never
+/// retract it. Guards the rebuild contract of
+/// [`App::on_intent_snapshot`] end to end, down to the switch tables.
+#[test]
+fn healed_replica_rebuilds_acl_from_snapshot_dropping_withdrawn_deny() {
+    let mut world = World::new(59);
+    // Replica 0 seeds the deny. While replica 2 is partitioned,
+    // replica 1 withdraws it and then churns enough pin intents
+    // through the log to push the leader's compaction floor past the
+    // withdrawal.
+    let mut batch = vec![Intent::AclDeny {
+        priority: 900,
+        matcher: deny_udp_9(),
+        install: false,
+    }];
+    batch.extend((0..40).map(|k| Intent::MastershipPin {
+        dpid: 1000,
+        replica: 0,
+        pinned: k % 2 == 0,
+    }));
+    let fabric = consensus_fabric(
+        &mut world,
+        3,
+        GossipMode::Digest,
+        Some(0),
+        None,
+        Some((1, ms(2500), batch)),
+        None,
+    );
+    world.run_until(secs(2));
+    for r in 0..3 {
+        assert_eq!(
+            acl_committed(&world, &fabric, r),
+            vec![deny_udp_9()],
+            "replica {r} missing the deny pre-partition"
+        );
+    }
+    world.set_fault_plan(
+        FaultPlan::default().isolate(fabric.controllers[2], Window::new(secs(2), secs(5))),
+    );
+    world.run_until(secs(8));
+
+    // The healed replica converged on the leader's log despite its
+    // inflated self-campaign term from the partition.
+    let caught_up = world
+        .node_as::<Controller>(fabric.controllers[2])
+        .intent_replica()
+        .unwrap();
+    let leader_log = world
+        .node_as::<Controller>(fabric.controllers[0])
+        .intent_replica()
+        .unwrap();
+    assert_eq!(
+        (caught_up.term(), caught_up.commit()),
+        (leader_log.term(), leader_log.commit()),
+        "replica 2 did not converge on the leader's term and commit"
+    );
+    // Replica 2 rejoined past the floor: it caught up by snapshot, not
+    // by replaying every commit it missed.
+    let replayed = world
+        .node_as::<Controller>(fabric.controllers[2])
+        .stats
+        .intents_committed;
+    let full = world
+        .node_as::<Controller>(fabric.controllers[0])
+        .stats
+        .intents_committed;
+    assert!(
+        replayed < full,
+        "replica 2 replayed {replayed}/{full} commits — snapshot path not exercised"
+    );
+    // The withdrawn deny is gone everywhere — including on the replica
+    // that never saw the withdrawal — and off every switch table.
+    for r in 0..3 {
+        assert!(
+            acl_committed(&world, &fabric, r).is_empty(),
+            "replica {r} kept the withdrawn deny"
+        );
+    }
+    for i in 0..fabric.switches.len() {
+        assert_eq!(
+            acl_rules_installed(&world, &fabric, i),
+            0,
+            "switch {i} still carries the withdrawn deny"
+        );
+    }
+}
+
 /// Fixed-seed consensus soak (CI runs this): ACL intents and a
 /// mastership pin ride the log while the consensus leader is killed
 /// and healed — twice, from the same seed — and the end states must be
@@ -404,6 +537,7 @@ fn fixed_seed_consensus_soak_is_deterministic() {
                     pinned: true,
                 },
             )),
+            None,
             Some(Workload::Udp {
                 dst: default_ip(1),
                 dst_port: 7,

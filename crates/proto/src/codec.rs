@@ -1206,6 +1206,7 @@ pub fn encode(msg: &Message, xid: u32) -> Vec<u8> {
             snap_index,
             snap_term,
             snap_state,
+            snap_tokens,
             entries,
             commit,
             checksum,
@@ -1217,6 +1218,11 @@ pub fn encode(msg: &Message, xid: u32) -> Vec<u8> {
             out.put_u32(snap_state.len() as u32);
             for entry in snap_state {
                 put_intent_entry(&mut out, entry);
+            }
+            out.put_u32(snap_tokens.len() as u32);
+            for &(origin, token) in snap_tokens {
+                out.put_u32(origin);
+                out.put_u64(token);
             }
             out.put_u32(entries.len() as u32);
             for entry in entries {
@@ -1791,6 +1797,14 @@ pub fn decode_view(buf: &[u8]) -> Result<(MessageView<'_>, u32, usize)> {
                 snap_state.push(get_intent_entry(&mut rd)?);
             }
             let n = rd.u32()? as usize;
+            check_count(&rd, "intent.snap_tokens", n)?;
+            let mut snap_tokens = Vec::with_capacity(n);
+            for _ in 0..n {
+                let origin = rd.u32()?;
+                let token = rd.u64()?;
+                snap_tokens.push((origin, token));
+            }
+            let n = rd.u32()? as usize;
             check_count(&rd, "intent.catchup_entries", n)?;
             let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
@@ -1802,6 +1816,7 @@ pub fn decode_view(buf: &[u8]) -> Result<(MessageView<'_>, u32, usize)> {
                 snap_index,
                 snap_term,
                 snap_state,
+                snap_tokens,
                 entries,
                 commit: rd.u64()?,
                 checksum: rd.u64()?,
@@ -2264,6 +2279,7 @@ mod tests {
                         install: true,
                     },
                 }],
+                snap_tokens: vec![(1, 11), (2, 0xdead_beef)],
                 entries: vec![IntentEntry {
                     index: 5,
                     term: 6,

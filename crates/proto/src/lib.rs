@@ -684,11 +684,17 @@ pub enum Message {
         snap_term: u64,
         /// The active committed entries at `snap_index`, in key order.
         snap_state: Vec<IntentEntry>,
+        /// Every committed `(origin, token)` pair at `snap_index`,
+        /// ascending — including tokens of entries later superseded or
+        /// withdrawn, which `snap_state` alone cannot reconstruct. The
+        /// installer adopts these for at-most-once proposal dedup.
+        snap_tokens: Vec<(u32, u64)>,
         /// Log entries above the snapshot (or above the fetch point).
         entries: Vec<IntentEntry>,
         /// Sender's commit index.
         commit: u64,
-        /// Chain hash over `snap_state`, for integrity.
+        /// Chain hash over `snap_tokens`, `snap_state`, and `entries`,
+        /// for integrity.
         checksum: u64,
     },
 }

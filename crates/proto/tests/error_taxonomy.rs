@@ -246,6 +246,7 @@ fn one_of_each() -> Vec<Message> {
                     pinned: true,
                 },
             }],
+            snap_tokens: vec![(1, 0xabc)],
             entries: vec![IntentEntry {
                 index: 4,
                 term: 6,

@@ -213,6 +213,13 @@ pub enum TraceEvent {
         /// Number of winning entries the snapshot carried.
         entries: u64,
     },
+    /// An intent-log snapshot replaced the materialized committed
+    /// state wholesale (replica rejoined past the leader's compaction
+    /// floor); apps rebuilt rather than patched their derived state.
+    IntentSnapshotInstalled {
+        /// Number of active entries the snapshot carried.
+        entries: u64,
+    },
 }
 
 impl TraceEvent {
@@ -239,6 +246,7 @@ impl TraceEvent {
             TraceEvent::EpochPhase { .. } => "epoch_phase",
             TraceEvent::IntentCommitted { .. } => "intent_committed",
             TraceEvent::EwSnapshotInstalled { .. } => "ew_snapshot_installed",
+            TraceEvent::IntentSnapshotInstalled { .. } => "intent_snapshot_installed",
         }
     }
 }
@@ -558,6 +566,7 @@ fn write_record(rec: &TraceRecord, out: &mut String) {
         } => line
             .u64("from", u64::from(*from_replica))
             .u64("entries", *entries),
+        TraceEvent::IntentSnapshotInstalled { entries } => line.u64("entries", *entries),
     };
     line.finish(out);
 }
