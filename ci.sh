@@ -56,6 +56,13 @@ cargo test --release -p zen-core --test consistency -- --ignored --nocapture
 # replication, snapshot catch-up, digest anti-entropy, intent dispatch).
 cargo test --release -p zen-core --test consensus -- --ignored --nocapture
 
+# Shard-determinism soak: the Datapath-backed fat-tree fabric run on
+# the sharded engine at 1, 2 and 4 shards from one seed, with a
+# mid-run admin link flap; asserts the per-event digest, all merged
+# counters, the event total, and every host's deliveries are
+# byte-identical across shard counts.
+cargo test --release -p zen-core --test shard -- --ignored --nocapture
+
 # Perf-regression gates: each runs one experiment bench in quick mode
 # against its committed baseline (ci/BENCH_<ID>.baseline.json), writes
 # target/BENCH_<ID>.json (uploaded as a CI artifact), and fails past
@@ -66,7 +73,10 @@ cargo test --release -p zen-core --test consensus -- --ignored --nocapture
 #        rewrite loses zero packets while the naive burst does not
 #   E20: digest-mode east-west entries at 5 replicas (ceiling); also
 #        asserts zero intents lost across a leader kill
+#   E21: peak sharded-fabric packets/sec (floor); also asserts merged
+#        counters are identical across shard counts
 ci/bench_gate.sh E17 20
 ci/bench_gate.sh E18 20
 ci/bench_gate.sh E19 20
 ci/bench_gate.sh E20 20
+ci/bench_gate.sh E21 20

@@ -3,7 +3,7 @@
 #
 #   ci/bench_gate.sh <ID> [pct]
 #
-# <ID> is the experiment id (E17, E18, E19, E20); [pct] is the allowed
+# <ID> is the experiment id (E17, E18, E19, E20, E21); [pct] is the allowed
 # regression percentage against ci/BENCH_<ID>.baseline.json (default 20).
 # The bench writes target/BENCH_<ID>.json (uploaded as a CI artifact)
 # and exits non-zero past the threshold. The baseline path is passed
@@ -19,6 +19,7 @@ E17) BENCH=expt_saturation ;;
 E18) BENCH=expt_storm ;;
 E19) BENCH=expt_consistent_update ;;
 E20) BENCH=expt_consensus ;;
+E21) BENCH=expt_shard ;;
 *)
     echo "bench_gate: unknown experiment id '$ID'" >&2
     exit 2

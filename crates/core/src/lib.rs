@@ -30,6 +30,7 @@ pub mod cbench;
 pub mod controller;
 pub mod harness;
 pub mod policy;
+pub mod shard_fabric;
 pub mod snapshot;
 pub mod txn;
 pub mod view;
@@ -45,6 +46,7 @@ pub use harness::{
     build_cluster_fabric, build_cluster_fabric_with_hosts, build_fabric, build_fabric_with_hosts,
     Fabric, FabricOptions,
 };
+pub use shard_fabric::{build_shard_fat_tree, ShardFabric, ShardSwitch, ShardTrafficHost};
 pub use snapshot::export_jsonl;
 pub use txn::{Consistency, NetworkUpdate, UpdatePlanner};
 pub use view::{Dpid, HostEntry, NetworkView, SwitchInfo};

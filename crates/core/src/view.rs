@@ -188,12 +188,14 @@ impl NetworkView {
     /// Record a host sighting. Returns `true` if the host is new or
     /// moved (location change), which callers propagate to apps.
     ///
-    /// A sighting that carries an IP also evicts *stale* entries: other
-    /// MACs still claiming the same IP from an earlier attachment. Left
-    /// in place they shadow the fresh entry in [`NetworkView::host_by_ip`]
-    /// (first match by MAC order) — a latent single-controller bug that
-    /// mastership handoff would amplify, since a new master re-learns
-    /// hosts from resync-era traffic.
+    /// A sighting also evicts *stale* entries: other MACs still claiming
+    /// the host's IP from an earlier attachment. Left in place they shadow
+    /// the fresh entry in [`NetworkView::host_by_ip`] (first match by MAC
+    /// order). The eviction runs both when the sighting carries an IP and
+    /// when a known host moves without one — an IP-less sighting (plain
+    /// L2 traffic after a handoff) must still displace shadowers of the
+    /// IP already on record, since a new master re-learns hosts from
+    /// resync-era traffic that rarely repeats the ARP exchange.
     pub fn learn_host(
         &mut self,
         mac: EthernetAddress,
@@ -202,15 +204,21 @@ impl NetworkView {
         ip: Option<Ipv4Address>,
         now: Instant,
     ) -> bool {
+        let evict_shadowers =
+            |hosts: &mut BTreeMap<EthernetAddress, HostEntry>, addr: Ipv4Address| -> bool {
+                let stale: Vec<EthernetAddress> = hosts
+                    .iter()
+                    .filter(|(&m, e)| m != mac && e.ip == Some(addr))
+                    .map(|(&m, _)| m)
+                    .collect();
+                let any = !stale.is_empty();
+                for m in stale {
+                    hosts.remove(&m);
+                }
+                any
+            };
         if let Some(addr) = ip {
-            let stale: Vec<EthernetAddress> = self
-                .hosts
-                .iter()
-                .filter(|(&m, e)| m != mac && e.ip == Some(addr))
-                .map(|(&m, _)| m)
-                .collect();
-            for m in stale {
-                self.hosts.remove(&m);
+            if evict_shadowers(&mut self.hosts, addr) {
                 self.bump();
             }
         }
@@ -223,7 +231,15 @@ impl NetworkView {
                     entry.ip = ip;
                 }
                 entry.last_seen = now;
+                let known_ip = entry.ip;
                 if moved {
+                    // A location change invalidates earlier attachments
+                    // wholesale: whatever IP this host is known by must
+                    // stop resolving to dead entries, even though this
+                    // particular sighting carried no IP.
+                    if let Some(addr) = known_ip.filter(|_| ip.is_none()) {
+                        evict_shadowers(&mut self.hosts, addr);
+                    }
                     self.bump();
                 }
                 moved
@@ -473,9 +489,51 @@ mod tests {
             v.host_by_ip(ip).map(|(m, e)| (m, e.dpid)),
             Some((new_mac, 2))
         );
-        // An IP-less sighting never evicts (no claim to arbitrate).
+        // An IP-less sighting of an unknown host never evicts (there is
+        // no IP on record to arbitrate).
         v.learn_host(old_mac, 1, 1, None, t);
         assert_eq!(v.hosts.len(), 2);
+    }
+
+    #[test]
+    fn move_without_ip_unshadows_host_by_ip() {
+        // Mastership-handoff regression: a new master's view can hold a
+        // stale MAC still claiming a live host's IP (resync-era events
+        // replay out of order across replicas, and merged state lands in
+        // the public `hosts` map directly). The live host then shows up
+        // via plain L2 traffic — a sighting that carries no IP — at a
+        // new location. The stale claimant must go, or `host_by_ip`
+        // keeps resolving to the dead attachment (first match by MAC
+        // order) indefinitely.
+        let mut v = two_switch_view();
+        let stale_mac = EthernetAddress::from_id(3); // sorts before live_mac
+        let live_mac = EthernetAddress::from_id(9);
+        let ip = Ipv4Address::new(10, 0, 0, 7);
+        let t = Instant::from_millis(1);
+        v.learn_host(live_mac, 1, 1, Some(ip), t);
+        v.hosts.insert(
+            stale_mac,
+            HostEntry {
+                dpid: 1,
+                port: 2,
+                ip: Some(ip),
+                last_seen: t,
+            },
+        );
+        assert_eq!(
+            v.host_by_ip(ip).map(|(m, _)| m),
+            Some(stale_mac),
+            "stale claimant shadows the live host before the move"
+        );
+        assert!(v.learn_host(live_mac, 2, 2, None, t), "location change");
+        assert!(
+            !v.hosts.contains_key(&stale_mac),
+            "stale claim evicted on IP-less move"
+        );
+        assert_eq!(
+            v.host_by_ip(ip).map(|(m, e)| (m, e.dpid)),
+            Some((live_mac, 2))
+        );
     }
 
     #[test]

@@ -174,7 +174,9 @@ impl FlowCache {
 
     /// Record a slow-path classification: `key` (exact, for tier 1) and
     /// its consulted-field `mask` (for tier 2) both map to `program`.
-    pub fn insert(&mut self, key: FlowKey, mask: KeyMask, program: Program) {
+    /// Returns the shared handle so batch processing can replay the
+    /// trajectory for sibling frames without re-probing.
+    pub fn insert(&mut self, key: FlowKey, mask: KeyMask, program: Program) -> Arc<Program> {
         let program = Arc::new(program);
         self.stats.inserts += 1;
         self.insert_micro(key, Arc::clone(&program));
@@ -188,7 +190,7 @@ impl FlowCache {
             }
         };
         if let Entry::Vacant(slot) = map.entry(projected) {
-            slot.insert(program);
+            slot.insert(Arc::clone(&program));
             self.mega_fifo.push_back((mask, projected));
             if self.mega_fifo.len() > MEGA_CAP {
                 if let Some((old_mask, old_key)) = self.mega_fifo.pop_front() {
@@ -205,6 +207,7 @@ impl FlowCache {
                 }
             }
         }
+        program
     }
 
     fn insert_micro(&mut self, key: FlowKey, program: Arc<Program>) {

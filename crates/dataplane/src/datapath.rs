@@ -1,6 +1,8 @@
-//! The multi-table pipeline: one `process` call per received frame.
+//! The multi-table pipeline: scalar `process` and OVS-style
+//! `process_batch` entry points over the same table walk.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use zen_telemetry::{trace_id_for_frame, CacheTier, Recorder, TraceEvent, TraceId};
 
@@ -95,6 +97,39 @@ pub struct Datapath {
     /// Trace of the frame currently in the pipeline, set only while the
     /// recorder is enabled; lets group/meter taps attribute events.
     current_trace: Option<TraceId>,
+    /// Per-batch microflow→probe-outcome memo. Scratch state: cleared at
+    /// the top of every [`Datapath::process_batch`], kept on the struct
+    /// only to recycle its allocation.
+    batch_memo: HashMap<FlowKey, BatchMemo>,
+    /// Scratch buffer holding the frame being rewritten, recycled across
+    /// frames and calls.
+    scratch_frame: Vec<u8>,
+}
+
+/// Memoized cache-probe outcome for one microflow group within a batch.
+#[derive(Debug, Clone)]
+enum BatchMemo {
+    /// The group's first frame resolved to this trajectory (cache hit or
+    /// freshly installed); siblings replay it without re-probing.
+    Cached(Arc<Program>),
+    /// The group's latest slow run terminated early (meter red, TTL), so
+    /// nothing was cached; siblings re-run the slow path, still without
+    /// re-probing.
+    SlowUncached,
+}
+
+/// Per-switch ECMP hash: a SplitMix64-style scramble of the flow hash
+/// salted with the datapath id. Without the salt, every switch on a
+/// multi-tier path extracts the same low bits from the same flow hash,
+/// so SELECT choices at successive tiers are perfectly correlated and a
+/// fat-tree polarizes onto a fraction of its cores.
+fn ecmp_hash(flow_hash: u64, dpid: DatapathId) -> u64 {
+    let mut x = flow_hash ^ dpid.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 impl Datapath {
@@ -115,6 +150,8 @@ impl Datapath {
             cache_enabled: true,
             recorder: Recorder::new(),
             current_trace: None,
+            batch_memo: HashMap::new(),
+            scratch_frame: Vec::new(),
         }
     }
 
@@ -330,65 +367,162 @@ impl Datapath {
     /// identical to walking the tables. A miss takes the slow path,
     /// accumulating the mask of consulted key fields, and installs the
     /// resulting trajectory into both tiers.
+    /// This is a batch-of-one shim over [`Datapath::process_batch`].
     pub fn process(&mut self, now: Nanos, in_port: PortNo, frame: &[u8]) -> Vec<Effect> {
-        {
-            let stats = self.port_stats.entry(in_port).or_default();
-            stats.rx_frames += 1;
-            stats.rx_bytes += frame.len() as u64;
-        }
-        let Some(key) = FlowKey::extract(in_port, frame) else {
-            self.pipeline_drops += 1;
-            return Vec::new();
-        };
-        self.current_trace = if self.recorder.is_enabled() {
-            trace_id_for_frame(frame)
-        } else {
-            None
-        };
+        let mut effects = Vec::new();
+        self.process_batch(now, &[(in_port, frame)], &mut effects);
+        effects
+    }
 
-        if self.cache_enabled {
-            if let Some((tier, program)) = self.cache.lookup_tiered(&key) {
-                if let Some(trace) = self.current_trace {
+    /// Process a batch of received frames, appending every externally
+    /// visible outcome to `effects` in frame order.
+    ///
+    /// Frames are processed strictly in submitted order — meters and
+    /// counters are order-dependent, so grouping must never reorder —
+    /// but per-frame fixed costs are amortized the way OVS batches do:
+    /// frames sharing a microflow key probe the cache once (the group's
+    /// first frame) and siblings replay the same memoized trajectory,
+    /// and the rewrite buffer is recycled instead of allocated per
+    /// frame. Skipping sibling probes is sound because nothing inside
+    /// frame processing invalidates the cache — only table, meter, and
+    /// port mutations do, and none can happen mid-batch. Cache probe
+    /// counters consequently count *probes* (at most one per microflow
+    /// group per batch), not packets; every other observable — effects,
+    /// port stats, entry counters, meter state, `pipeline_drops` — is
+    /// bit-identical to calling [`Datapath::process`] per frame and
+    /// concatenating the results.
+    pub fn process_batch(
+        &mut self,
+        now: Nanos,
+        batch: &[(PortNo, &[u8])],
+        effects: &mut Vec<Effect>,
+    ) {
+        let mut memo = std::mem::take(&mut self.batch_memo);
+        memo.clear();
+        let mut working = std::mem::take(&mut self.scratch_frame);
+        // A batch of one cannot amortize anything; skip memo bookkeeping
+        // so the scalar shim stays as lean as the old scalar path.
+        let use_memo = self.cache_enabled && batch.len() > 1;
+        for &(in_port, frame) in batch {
+            {
+                let stats = self.port_stats.entry(in_port).or_default();
+                stats.rx_frames += 1;
+                stats.rx_bytes += frame.len() as u64;
+            }
+            let Some(key) = FlowKey::extract(in_port, frame) else {
+                self.pipeline_drops += 1;
+                continue;
+            };
+            self.current_trace = if self.recorder.is_enabled() {
+                trace_id_for_frame(frame)
+            } else {
+                None
+            };
+
+            // One cache probe per microflow group: after the group's
+            // first frame, the memo answers instead of the cache.
+            let mut probe_skipped = false;
+            let mut hit: Option<(Arc<Program>, CacheTier)> = None;
+            if use_memo {
+                match memo.get(&key) {
+                    Some(BatchMemo::Cached(program)) => {
+                        // Scalar processing would find the trajectory in
+                        // the microflow tier by now (the group's first
+                        // frame promoted or installed it).
+                        hit = Some((Arc::clone(program), CacheTier::Micro));
+                        probe_skipped = true;
+                    }
+                    Some(BatchMemo::SlowUncached) => probe_skipped = true,
+                    None => {}
+                }
+            }
+            if !probe_skipped && self.cache_enabled {
+                if let Some((tier, program)) = self.cache.lookup_tiered(&key) {
                     let tier = match tier {
                         HitTier::Micro => CacheTier::Micro,
                         HitTier::Mega => CacheTier::Mega,
                     };
-                    self.recorder.record(
+                    if use_memo {
+                        memo.insert(key, BatchMemo::Cached(Arc::clone(&program)));
+                    }
+                    hit = Some((program, tier));
+                }
+            }
+
+            let start = effects.len();
+            working.clear();
+            working.extend_from_slice(frame);
+            match hit {
+                Some((program, tier)) => {
+                    if let Some(trace) = self.current_trace {
+                        self.recorder.record(
+                            now,
+                            trace,
+                            TraceEvent::DpMatch {
+                                dpid: self.dpid,
+                                tier,
+                            },
+                        );
+                    }
+                    self.replay_into(
+                        &program,
+                        &key,
+                        in_port,
+                        frame.len(),
                         now,
-                        trace,
-                        TraceEvent::DpMatch {
-                            dpid: self.dpid,
-                            tier,
-                        },
+                        &mut working,
+                        effects,
                     );
                 }
-                let effects = self.replay(&program, &key, in_port, frame, now);
-                self.account_outputs(&effects);
-                self.current_trace = None;
-                return effects;
+                None => {
+                    if let Some(trace) = self.current_trace {
+                        self.recorder.record(
+                            now,
+                            trace,
+                            TraceEvent::DpMatch {
+                                dpid: self.dpid,
+                                tier: CacheTier::Slow,
+                            },
+                        );
+                    }
+                    let inserted =
+                        self.process_slow(now, &key, in_port, frame.len(), &mut working, effects);
+                    if use_memo {
+                        match inserted {
+                            Some(program) => memo.insert(key, BatchMemo::Cached(program)),
+                            None => memo.insert(key, BatchMemo::SlowUncached),
+                        };
+                    }
+                }
             }
+            self.account_outputs(&effects[start..]);
+            self.current_trace = None;
         }
-        if let Some(trace) = self.current_trace {
-            self.recorder.record(
-                now,
-                trace,
-                TraceEvent::DpMatch {
-                    dpid: self.dpid,
-                    tier: CacheTier::Slow,
-                },
-            );
-        }
+        self.batch_memo = memo;
+        self.scratch_frame = working;
+    }
 
-        let mut effects = Vec::new();
-        let mut working = frame.to_vec();
+    /// Walk the tables for one frame (cache miss or cache disabled),
+    /// appending its effects. `working` arrives pre-loaded with the
+    /// frame. Returns the trajectory installed into the cache, if the
+    /// run completed and caching is on.
+    #[allow(clippy::too_many_arguments)]
+    fn process_slow(
+        &mut self,
+        now: Nanos,
+        key: &FlowKey,
+        in_port: PortNo,
+        frame_len: usize,
+        working: &mut Vec<u8>,
+        effects: &mut Vec<Effect>,
+    ) -> Option<Arc<Program>> {
         let mut table_id = 0u8;
         let mut mask = KeyMask::default();
         let mut segments: Vec<Segment> = Vec::new();
         let mut terminated_early = false;
         loop {
             let table = &mut self.tables[table_id as usize];
-            let Some((entry_idx, entry)) =
-                table.lookup_with_mask(&key, frame.len(), now, &mut mask)
+            let Some((entry_idx, entry)) = table.lookup_with_mask(key, frame_len, now, &mut mask)
             else {
                 if self.cache_enabled {
                     segments.push(Segment::Miss {
@@ -420,15 +554,7 @@ impl Datapath {
                     actions: actions.clone(),
                 });
             }
-            if !self.execute_actions(
-                &actions,
-                &key,
-                in_port,
-                &mut working,
-                &mut effects,
-                now,
-                table_id,
-            ) {
+            if !self.execute_actions(&actions, key, in_port, working, effects, now, table_id) {
                 // Dropped mid-pipeline (meter red or TTL expired). The
                 // tables this run never reached leave no record, so the
                 // trajectory is not a faithful classification — don't
@@ -445,11 +571,10 @@ impl Datapath {
             }
         }
         if self.cache_enabled && !terminated_early {
-            self.cache.insert(key, mask, Program { segments });
+            Some(self.cache.insert(*key, mask, Program { segments }))
+        } else {
+            None
         }
-        self.account_outputs(&effects);
-        self.current_trace = None;
-        effects
     }
 
     /// Re-run a cached trajectory against the current frame and state.
@@ -457,16 +582,18 @@ impl Datapath {
     /// credited as if the lookup had happened, actions execute against
     /// live meter/group/port state, and a mid-replay drop (meter red,
     /// TTL expired) terminates the walk just as it would uncached.
-    fn replay(
+    /// `working` arrives pre-loaded with the frame.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_into(
         &mut self,
         program: &Program,
         key: &FlowKey,
         in_port: PortNo,
-        frame: &[u8],
+        frame_len: usize,
         now: Nanos,
-    ) -> Vec<Effect> {
-        let mut effects = Vec::new();
-        let mut working = frame.to_vec();
+        working: &mut Vec<u8>,
+        effects: &mut Vec<Effect>,
+    ) {
         for segment in &program.segments {
             match segment {
                 Segment::Hit {
@@ -474,13 +601,13 @@ impl Datapath {
                     entry_idx,
                     actions,
                 } => {
-                    self.tables[*table_id].record_hit(*entry_idx, frame.len(), now);
+                    self.tables[*table_id].record_hit(*entry_idx, frame_len, now);
                     if !self.execute_actions(
                         actions,
                         key,
                         in_port,
-                        &mut working,
-                        &mut effects,
+                        working,
+                        effects,
                         now,
                         *table_id as u8,
                     ) {
@@ -506,7 +633,6 @@ impl Datapath {
                 }
             }
         }
-        effects
     }
 
     /// Execute an action list against `working`. Returns `false` if the
@@ -561,9 +687,11 @@ impl Datapath {
                         );
                     }
                     let ports_snapshot = self.ports.clone();
-                    let picks = self.groups.select_buckets(id, key.flow_hash(), |p| {
-                        ports_snapshot.get(&p).copied().unwrap_or(false)
-                    });
+                    let picks = self.groups.select_buckets(
+                        id,
+                        ecmp_hash(key.flow_hash(), self.dpid),
+                        |p| ports_snapshot.get(&p).copied().unwrap_or(false),
+                    );
                     let buckets: Vec<Vec<Action>> = picks
                         .iter()
                         .filter_map(|&i| self.groups.get(id).map(|g| g.buckets[i].actions.clone()))

@@ -1,0 +1,305 @@
+//! Differential test for the batched pipeline: a datapath driven
+//! through `process_batch` and one driven frame-by-frame through the
+//! scalar `process` shim see identical randomized traffic/flow-mod
+//! interleavings and must stay observably identical — same effect
+//! sequences, same entry/table/port counters, same drops, same meter
+//! state.
+//!
+//! This is the batch path's soundness proof in executable form: probe
+//! memoization and buffer reuse may only amortize costs, never change
+//! what the pipeline does. Cache probe counters are deliberately NOT
+//! compared — one probe per microflow group per batch (instead of one
+//! per packet) is the amortization being tested.
+
+use zen_dataplane::{
+    Action, Bucket, Datapath, Effect, FlowMatch, FlowSpec, GroupDesc, GroupType, MissPolicy,
+};
+use zen_wire::builder::PacketBuilder;
+use zen_wire::lcg::Lcg;
+use zen_wire::{EthernetAddress, Ipv4Address, Ipv4Cidr};
+
+const CASES: usize = 60;
+const OPS_PER_CASE: usize = 120;
+const MAX_BATCH: u64 = 16;
+
+/// A small universe of frames so batches revisit microflow groups.
+fn gen_frame(rng: &mut Lcg) -> (u32, Vec<u8>) {
+    let in_port = 1 + rng.gen_range(4) as u32;
+    let src_ip = Ipv4Address::new(10, 0, rng.gen_range(2) as u8, rng.gen_range(8) as u8);
+    let dst_ip = Ipv4Address::new(10, 0, 1 + rng.gen_range(2) as u8, rng.gen_range(8) as u8);
+    let sport = 1000 + rng.gen_range(4) as u16;
+    let dport = 50 + rng.gen_range(6) as u16;
+    let frame = PacketBuilder::udp(
+        EthernetAddress::from_id(u64::from(in_port)),
+        src_ip,
+        sport,
+        EthernetAddress::from_id(99),
+        dst_ip,
+        dport,
+        b"batch-differential",
+    );
+    (in_port, frame)
+}
+
+fn gen_cidr(rng: &mut Lcg, third_octet: u8) -> Ipv4Cidr {
+    let plen = *rng.choose(&[0u8, 8, 16, 24, 32]).unwrap();
+    Ipv4Cidr::new(
+        Ipv4Address::new(10, 0, third_octet, rng.gen_range(8) as u8),
+        plen,
+    )
+    .unwrap()
+}
+
+fn opt<T>(rng: &mut Lcg, f: impl FnOnce(&mut Lcg) -> T) -> Option<T> {
+    if rng.gen_ratio(1, 2) {
+        Some(f(rng))
+    } else {
+        None
+    }
+}
+
+fn gen_match(rng: &mut Lcg) -> FlowMatch {
+    FlowMatch {
+        in_port: opt(rng, |r| 1 + r.gen_range(4) as u32),
+        ipv4_src: opt(rng, |r| gen_cidr(r, 0)),
+        ipv4_dst: opt(rng, |r| {
+            let third = 1 + r.gen_range(2) as u8;
+            gen_cidr(r, third)
+        }),
+        l4_dst: opt(rng, |r| 50 + r.gen_range(6) as u16),
+        ..FlowMatch::ANY
+    }
+}
+
+fn gen_actions(rng: &mut Lcg) -> Vec<Action> {
+    let pool = [
+        Action::Output(1 + rng.gen_range(4) as u32),
+        Action::Flood,
+        Action::DecTtl,
+        Action::SetEthDst(EthernetAddress::from_id(7)),
+        Action::ToController { max_len: 48 },
+        Action::Meter(1),
+        Action::Group(7),
+        Action::Output(1 + rng.gen_range(4) as u32),
+    ];
+    (0..1 + rng.gen_index(3))
+        .map(|_| *rng.choose(&pool).unwrap())
+        .collect()
+}
+
+fn gen_spec(rng: &mut Lcg) -> FlowSpec {
+    let mut spec = FlowSpec::new(rng.gen_range(4) as u16, gen_match(rng), gen_actions(rng))
+        .with_cookie(rng.gen_range(3))
+        .with_timeouts(
+            *rng.choose(&[0u64, 40, 90]).unwrap(),
+            *rng.choose(&[0u64, 120, 400]).unwrap(),
+        );
+    if rng.gen_ratio(1, 3) {
+        spec = spec.with_goto(1);
+    }
+    spec
+}
+
+fn build_dp(cached: bool) -> Datapath {
+    let mut dp = Datapath::new(1, 2, MissPolicy::ToController { max_len: 64 });
+    dp.set_flow_cache_enabled(cached);
+    for p in 1..=4 {
+        dp.add_port(p);
+    }
+    dp.groups.add(
+        7,
+        GroupDesc {
+            group_type: GroupType::Select,
+            buckets: vec![Bucket::output(2), Bucket::output(3), Bucket::output(4)],
+        },
+    );
+    dp.set_meter(1, 80_000, 2_000);
+    dp
+}
+
+/// (priority, cookie, packets, bytes, last_hit) per installed entry.
+type EntrySnap = Vec<(u16, u64, u64, u64, u64)>;
+/// (len, hits, misses) per table.
+type TableSnap = Vec<(u64, u64, u64)>;
+/// Per-port counters, every field separately.
+type PortSnap = Vec<(u64, u64, u64, u64, u64)>;
+
+/// Everything externally observable about a datapath, for equality.
+/// Cache probe counters are excluded by design (see module docs).
+fn snapshot(dp: &Datapath) -> (EntrySnap, TableSnap, PortSnap, u64, u64, usize) {
+    let mut entries = Vec::new();
+    let mut tables = Vec::new();
+    for tid in 0..dp.table_count() as u8 {
+        let t = dp.table(tid);
+        tables.push((t.len() as u64, t.hits, t.misses));
+        for e in t.entries() {
+            entries.push((
+                e.spec.priority,
+                e.spec.cookie,
+                e.packets,
+                e.bytes,
+                e.last_hit,
+            ));
+        }
+    }
+    let ports = dp
+        .ports()
+        .into_iter()
+        .map(|p| {
+            let s = dp.port_stats(p);
+            (
+                s.rx_frames,
+                s.rx_bytes,
+                s.tx_frames,
+                s.tx_bytes,
+                s.tx_dropped,
+            )
+        })
+        .collect();
+    let meter_drops = dp.meter(1).map(|m| m.dropped).unwrap_or(0);
+    (
+        entries,
+        tables,
+        ports,
+        dp.pipeline_drops,
+        meter_drops,
+        dp.flow_count(),
+    )
+}
+
+fn run_differential(seed: u64, cache_enabled: bool) -> u64 {
+    let mut rng = Lcg::new(seed);
+    let mut total_frames = 0u64;
+    for case in 0..CASES {
+        let mut batched = build_dp(cache_enabled);
+        let mut scalar = build_dp(cache_enabled);
+        let mut now = 0u64;
+        for op in 0..OPS_PER_CASE {
+            now += 1 + rng.gen_range(20);
+            match rng.gen_index(12) {
+                // Mostly traffic, so batches actually form groups.
+                0..=6 => {
+                    let n = 1 + rng.gen_range(MAX_BATCH) as usize;
+                    let frames: Vec<(u32, Vec<u8>)> = (0..n).map(|_| gen_frame(&mut rng)).collect();
+                    let batch: Vec<(u32, &[u8])> =
+                        frames.iter().map(|(p, f)| (*p, f.as_slice())).collect();
+                    let mut batch_effects = Vec::new();
+                    batched.process_batch(now, &batch, &mut batch_effects);
+                    let scalar_effects: Vec<Effect> = frames
+                        .iter()
+                        .flat_map(|(p, f)| scalar.process(now, *p, f))
+                        .collect();
+                    assert_eq!(
+                        batch_effects, scalar_effects,
+                        "effects diverged, case {case} op {op}"
+                    );
+                    total_frames += n as u64;
+                }
+                7 => {
+                    let table_id = rng.gen_range(2) as u8;
+                    let spec = gen_spec(&mut rng);
+                    batched.add_flow(table_id, spec.clone(), now);
+                    scalar.add_flow(table_id, spec, now);
+                }
+                8 => {
+                    let table_id = rng.gen_range(2) as u8;
+                    let priority = rng.gen_range(4) as u16;
+                    let matcher = gen_match(&mut rng);
+                    let a = batched.delete_flow_strict(table_id, priority, &matcher);
+                    let b = scalar.delete_flow_strict(table_id, priority, &matcher);
+                    assert_eq!(
+                        a.is_some(),
+                        b.is_some(),
+                        "delete diverged, case {case} op {op}"
+                    );
+                }
+                9 => {
+                    let cookie = rng.gen_range(3);
+                    let a = batched.delete_flows_by_cookie(cookie);
+                    let b = scalar.delete_flows_by_cookie(cookie);
+                    assert_eq!(
+                        a.len(),
+                        b.len(),
+                        "cookie delete diverged, case {case} op {op}"
+                    );
+                }
+                10 => {
+                    let a = batched.expire(now);
+                    let b = scalar.expire(now);
+                    assert_eq!(a.len(), b.len(), "expiry diverged, case {case} op {op}");
+                }
+                _ => {
+                    let port = 1 + rng.gen_range(4) as u32;
+                    let up = rng.gen_ratio(1, 2);
+                    batched.set_port_up(port, up);
+                    scalar.set_port_up(port, up);
+                }
+            }
+            assert_eq!(
+                snapshot(&batched),
+                snapshot(&scalar),
+                "state diverged, case {case} op {op}"
+            );
+        }
+    }
+    total_frames
+}
+
+#[test]
+fn batched_and_scalar_pipelines_are_observably_identical() {
+    let total = run_differential(0xBA7C4ED1, true);
+    // The interleavings must be long enough to mean something.
+    assert!(total >= 10_000, "only {total} frames processed");
+}
+
+#[test]
+fn batched_and_scalar_agree_with_cache_disabled() {
+    // Without the cache every frame takes the slow path; batching must
+    // still only amortize, never reorder or merge.
+    let total = run_differential(0xBA7C4ED2, false);
+    assert!(total >= 10_000, "only {total} frames processed");
+}
+
+#[test]
+fn batch_probes_are_amortized_across_groups() {
+    // A homogeneous batch must cost one cache probe, not one per frame.
+    let mut dp = build_dp(true);
+    dp.add_flow(
+        0,
+        FlowSpec::new(1, FlowMatch::ANY, vec![Action::Output(2)]),
+        0,
+    );
+    let frame = PacketBuilder::udp(
+        EthernetAddress::from_id(1),
+        Ipv4Address::new(10, 0, 0, 1),
+        1000,
+        EthernetAddress::from_id(99),
+        Ipv4Address::new(10, 0, 1, 1),
+        50,
+        b"warm",
+    );
+    // Warm the cache with one scalar call (one miss, one insert).
+    dp.process(1, 1, &frame);
+    let warm = dp.cache_stats();
+    let batch: Vec<(u32, &[u8])> = (0..64).map(|_| (1u32, frame.as_slice())).collect();
+    let mut effects = Vec::new();
+    dp.process_batch(2, &batch, &mut effects);
+    assert_eq!(effects.len(), 64, "every frame still produced its output");
+    let after = dp.cache_stats();
+    assert_eq!(
+        after.hits() - warm.hits(),
+        1,
+        "one probe for the whole 64-frame group"
+    );
+    assert_eq!(after.misses, warm.misses);
+}
+
+#[test]
+fn empty_batch_is_a_no_op() {
+    let mut dp = build_dp(true);
+    let before = snapshot(&dp);
+    let mut effects = Vec::new();
+    dp.process_batch(5, &[], &mut effects);
+    assert!(effects.is_empty());
+    assert_eq!(snapshot(&dp), before);
+}

@@ -38,6 +38,7 @@ pub mod fault;
 pub mod host;
 pub mod hostile;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod topo;
@@ -47,6 +48,7 @@ pub use fault::{FaultPlan, Scope, Window};
 pub use host::{Host, Workload};
 pub use hostile::{Attack, Churn, HostileConfig, HostileHost, HostileStats, TrafficProfile, Zipf};
 pub use rng::Rng;
+pub use shard::{ShardCtx, ShardNode, ShardedWorld};
 pub use stats::{Counter, CounterId, Histogram, HistogramId, Metrics, TimeSeries};
 pub use time::{Duration, Instant};
 pub use topo::{FatTreeIndex, Topology};

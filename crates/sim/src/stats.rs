@@ -279,6 +279,25 @@ impl Metrics {
             .map(move |(k, &idx)| (k.as_str(), &self.histograms[idx as usize]))
     }
 
+    /// Fold another registry into this one by name: counters are summed,
+    /// histogram samples appended. Used to merge per-shard registries
+    /// after a sharded run — the result is shard-count-independent for
+    /// counters (addition commutes); histogram sample *order* follows
+    /// shard order, so quantiles are exact but ordering-sensitive
+    /// consumers should not be fed merged histograms.
+    pub fn merge_from(&mut self, other: &Metrics) {
+        for (name, value) in other.counters() {
+            let id = self.register_counter(name);
+            self.add(id, value);
+        }
+        for (name, hist) in other.histograms() {
+            let id = self.register_histogram(name);
+            for &sample in hist.samples() {
+                self.histograms[id.0 as usize].record(sample);
+            }
+        }
+    }
+
     /// Serialize every counter and histogram as deterministic JSON-lines,
     /// in name order. Takes `&mut self` because quantile queries build the
     /// histogram sort caches.

@@ -794,9 +794,12 @@ impl World {
     /// the queue is empty.
     ///
     /// When the flight recorder is enabled, each dispatch is accounted to
-    /// its event type: wall-clock cost (profiling only) and how far
-    /// simulated time advanced to reach it (part of the deterministic
-    /// export).
+    /// its event type: how far simulated time advanced to reach it (part
+    /// of the deterministic export) and — only when wall profiling is
+    /// opted into via [`zen_telemetry::Recorder::set_wall_profile`] —
+    /// the wall-clock dispatch cost. Sampling the OS clock twice per
+    /// event dominates enabled-recorder overhead, so it is off unless
+    /// asked for.
     pub fn step(&mut self) -> Option<Instant> {
         let Reverse(event) = self.core.queue.pop()?;
         debug_assert!(event.at >= self.core.now, "time went backwards");
@@ -809,6 +812,11 @@ impl World {
             return Some(at);
         }
         let kind = event.kind.name();
+        if !self.core.recorder.wall_profile_enabled() {
+            self.dispatch(event);
+            self.core.recorder.note_loop(kind, 0, advance.as_nanos());
+            return Some(at);
+        }
         let t0 = std::time::Instant::now();
         self.dispatch(event);
         let wall = t0.elapsed().as_nanos() as u64;
@@ -896,12 +904,23 @@ impl World {
     /// Run until the event queue drains, up to `max_events` (a safety
     /// valve against livelocking protocols). Returns the number of events
     /// processed.
+    ///
+    /// Marks the world as started exactly like [`World::run_until`], so
+    /// worlds driven only to quiescence take the same bootstrap path as
+    /// deadline-driven ones.
     pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+        self.started = true;
         let mut n = 0;
         while n < max_events && self.step().is_some() {
             n += 1;
         }
         n
+    }
+
+    /// Whether any run entry point ([`World::run_until`],
+    /// [`World::run_for`], [`World::run_to_quiescence`]) has been invoked.
+    pub fn started(&self) -> bool {
+        self.started
     }
 }
 
@@ -1020,6 +1039,32 @@ mod tests {
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self
         }
+    }
+
+    #[test]
+    fn run_entry_points_bootstrap_identically() {
+        // The same scenario driven by run_until and by run_to_quiescence
+        // must mark the world started and produce identical outcomes.
+        let (mut deadline_world, da, db) = two_node_world(LinkParams::default());
+        let (mut quiescent_world, qa, qb) = two_node_world(LinkParams::default());
+        assert!(!deadline_world.started());
+        assert!(!quiescent_world.started());
+        deadline_world.run_until(Instant::from_secs(1));
+        quiescent_world.run_to_quiescence(1_000_000);
+        assert!(deadline_world.started());
+        assert!(quiescent_world.started());
+        assert_eq!(
+            deadline_world.node_as::<Pinger>(da).rtt,
+            quiescent_world.node_as::<Pinger>(qa).rtt
+        );
+        assert_eq!(
+            deadline_world.node_as::<Echo>(db).rx,
+            quiescent_world.node_as::<Echo>(qb).rx
+        );
+        assert_eq!(
+            deadline_world.events_processed(),
+            quiescent_world.events_processed()
+        );
     }
 
     #[test]

@@ -1,25 +1,28 @@
 //! The flight recorder: a bounded, shareable ring of causal trace events.
 //!
-//! One [`Recorder`] instance is shared (via cheap `Rc` clones) by every
+//! One [`Recorder`] instance is shared (via cheap `Arc` clones) by every
 //! component that can observe a traced packet: the simulator world, each
 //! switch datapath, the controller, and the hosts. All clones see the same
 //! ring, the same enable flag, and the same xid bindings, so enabling the
-//! recorder after the fabric is built still takes effect everywhere.
+//! recorder after the fabric is built still takes effect everywhere. The
+//! handle is `Send`, so datapath-backed nodes can move onto sharded
+//! event-loop worker threads; each shard normally owns its own recorder,
+//! with the mutex only there for safety, never contention.
 //!
 //! The recorder is built for two constraints:
 //!
 //! * **Near-zero cost when disabled.** Every tap point is guarded by
-//!   [`Recorder::is_enabled`], a single pointer dereference and byte load.
-//!   No trace-ID hashing, no allocation, no `RefCell` borrow happens on
-//!   the disabled path.
+//!   [`Recorder::is_enabled`], a single pointer dereference and one
+//!   relaxed atomic load. No trace-ID hashing, no allocation, no lock
+//!   acquisition happens on the disabled path.
 //! * **Bounded memory.** The event ring holds a fixed number of records
 //!   and overwrites the oldest when full (counting what it dropped); the
 //!   xid→trace map is capped and evicts its oldest binding.
 
-use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::json::Line;
 use crate::trace::TraceId;
@@ -286,8 +289,9 @@ struct Inner {
 
 #[derive(Debug)]
 struct Shared {
-    enabled: Cell<bool>,
-    inner: RefCell<Inner>,
+    enabled: AtomicBool,
+    profile_wall: AtomicBool,
+    inner: Mutex<Inner>,
 }
 
 /// Cheaply-cloneable handle to the shared flight recorder.
@@ -297,7 +301,7 @@ struct Shared {
 /// enable.
 #[derive(Debug, Clone)]
 pub struct Recorder {
-    shared: Rc<Shared>,
+    shared: Arc<Shared>,
 }
 
 impl Default for Recorder {
@@ -316,9 +320,10 @@ impl Recorder {
     pub fn with_capacity(capacity: usize) -> Recorder {
         let capacity = capacity.max(1);
         Recorder {
-            shared: Rc::new(Shared {
-                enabled: Cell::new(false),
-                inner: RefCell::new(Inner {
+            shared: Arc::new(Shared {
+                enabled: AtomicBool::new(false),
+                profile_wall: AtomicBool::new(false),
+                inner: Mutex::new(Inner {
                     ring: VecDeque::with_capacity(capacity.min(4096)),
                     capacity,
                     dropped: 0,
@@ -330,19 +335,45 @@ impl Recorder {
         }
     }
 
+    /// Lock the interior state, recovering from a poisoned mutex: the
+    /// recorder is observability plumbing, so a panic on some other
+    /// thread should not cascade into every later tap point.
+    fn inner(&self) -> MutexGuard<'_, Inner> {
+        match self.shared.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     /// Enable or disable recording. Affects every clone of this handle.
     pub fn set_enabled(&self, on: bool) {
-        self.shared.enabled.set(on);
+        self.shared.enabled.store(on, Ordering::Relaxed);
     }
 
     /// Whether the recorder is currently capturing events.
     ///
-    /// This is the hot-path guard: one `Rc` dereference and one byte load.
-    /// Callers must check it before doing any per-event work (hashing,
-    /// formatting, field extraction).
+    /// This is the hot-path guard: one `Arc` dereference and one relaxed
+    /// atomic load. Callers must check it before doing any per-event work
+    /// (hashing, formatting, field extraction).
     #[inline]
     pub fn is_enabled(&self) -> bool {
-        self.shared.enabled.get()
+        self.shared.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Opt in to wall-clock sampling of event-loop dispatches.
+    ///
+    /// Off by default: the deterministic span export (counts + simulated
+    /// advance) never needs wall time, and sampling `Instant::now` twice
+    /// per event dominates enabled-recorder overhead. Flip this on only
+    /// when [`Recorder::loop_profile`] wall costs are actually wanted.
+    pub fn set_wall_profile(&self, on: bool) {
+        self.shared.profile_wall.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether event-loop dispatches should sample wall-clock time.
+    #[inline]
+    pub fn wall_profile_enabled(&self) -> bool {
+        self.shared.profile_wall.load(Ordering::Relaxed)
     }
 
     /// Append a record to the ring, overwriting the oldest when full.
@@ -351,7 +382,7 @@ impl Recorder {
         if !self.is_enabled() {
             return;
         }
-        let mut inner = self.shared.inner.borrow_mut();
+        let mut inner = self.inner();
         if inner.ring.len() == inner.capacity {
             inner.ring.pop_front();
             inner.dropped += 1;
@@ -368,14 +399,14 @@ impl Recorder {
     /// Downstream taps like flow-mod send attach to this trace.
     pub fn begin_trace(&self, trace: Option<TraceId>) {
         if self.is_enabled() {
-            self.shared.inner.borrow_mut().current = trace;
+            self.inner().current = trace;
         }
     }
 
     /// Clear the current-trace context set by [`Recorder::begin_trace`].
     pub fn end_trace(&self) {
         if self.is_enabled() {
-            self.shared.inner.borrow_mut().current = None;
+            self.inner().current = None;
         }
     }
 
@@ -384,7 +415,7 @@ impl Recorder {
         if !self.is_enabled() {
             return None;
         }
-        self.shared.inner.borrow().current
+        self.inner().current
     }
 
     /// Remember that protocol transaction `xid` belongs to `trace`, so the
@@ -394,7 +425,7 @@ impl Recorder {
         if !self.is_enabled() {
             return;
         }
-        let mut inner = self.shared.inner.borrow_mut();
+        let mut inner = self.inner();
         if inner.xids.len() >= XID_MAP_CAPACITY && !inner.xids.contains_key(&xid) {
             inner.xids.pop_first();
         }
@@ -407,7 +438,7 @@ impl Recorder {
         if !self.is_enabled() {
             return None;
         }
-        self.shared.inner.borrow().xids.get(&xid).copied()
+        self.inner().xids.get(&xid).copied()
     }
 
     /// Look up and remove the binding for `xid` (used at ack time).
@@ -415,7 +446,7 @@ impl Recorder {
         if !self.is_enabled() {
             return None;
         }
-        self.shared.inner.borrow_mut().xids.remove(&xid)
+        self.inner().xids.remove(&xid)
     }
 
     /// Account one simulator event-loop dispatch: `kind` is the event type
@@ -425,7 +456,7 @@ impl Recorder {
         if !self.is_enabled() {
             return;
         }
-        let mut inner = self.shared.inner.borrow_mut();
+        let mut inner = self.inner();
         let span = inner.spans.entry(kind).or_default();
         span.count += 1;
         span.wall_nanos += wall_nanos;
@@ -434,14 +465,12 @@ impl Recorder {
 
     /// Snapshot of the whole trace ring, oldest first.
     pub fn records(&self) -> Vec<TraceRecord> {
-        self.shared.inner.borrow().ring.iter().cloned().collect()
+        self.inner().ring.iter().cloned().collect()
     }
 
     /// All records belonging to `trace`, oldest first.
     pub fn trace_records(&self, trace: TraceId) -> Vec<TraceRecord> {
-        self.shared
-            .inner
-            .borrow()
+        self.inner()
             .ring
             .iter()
             .filter(|r| r.trace == trace)
@@ -451,18 +480,30 @@ impl Recorder {
 
     /// Number of records overwritten because the ring was full.
     pub fn dropped(&self) -> u64 {
-        self.shared.inner.borrow().dropped
+        self.inner().dropped
+    }
+
+    /// Fold another recorder's event-loop profile into this one, summing
+    /// counts, wall time, and simulated advance per event type. Used to
+    /// merge per-shard recorders after a sharded run; a handle sharing
+    /// state with `other` is left unchanged.
+    pub fn merge_loop_profile(&self, other: &Recorder) {
+        if Arc::ptr_eq(&self.shared, &other.shared) {
+            return;
+        }
+        let spans = other.loop_profile();
+        let mut inner = self.inner();
+        for (kind, span) in spans {
+            let merged = inner.spans.entry(kind).or_default();
+            merged.count += span.count;
+            merged.wall_nanos += span.wall_nanos;
+            merged.sim_advance_nanos += span.sim_advance_nanos;
+        }
     }
 
     /// Snapshot of the event-loop profile, keyed by event-type name.
     pub fn loop_profile(&self) -> Vec<(&'static str, LoopSpan)> {
-        self.shared
-            .inner
-            .borrow()
-            .spans
-            .iter()
-            .map(|(k, v)| (*k, *v))
-            .collect()
+        self.inner().spans.iter().map(|(k, v)| (*k, *v)).collect()
     }
 
     /// Serialize the trace ring and the event-loop profile as
@@ -473,7 +514,7 @@ impl Recorder {
     /// accounting, trace records) is a pure function of the scenario and
     /// its seed.
     pub fn write_jsonl(&self, out: &mut String) {
-        let inner = self.shared.inner.borrow();
+        let inner = self.inner();
         for (kind, span) in &inner.spans {
             Line::new("loop_span")
                 .str("event", kind)
